@@ -1,0 +1,105 @@
+//! Criterion micro-benchmark: the five detection algorithms over a
+//! realistic synthetic event log (post-mortem analysis cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use odp_model::{
+    CodePtr, DataOpEvent, DataOpKind, DeviceId, EventId, HashVal, SimTime, TargetEvent,
+    TargetKind, TimeSpan,
+};
+use ompdataperf::detect::Findings;
+use std::hint::black_box;
+
+/// Build a log shaped like a real trace: per iteration one alloc + H2D +
+/// kernel + D2H + delete, with every fourth iteration re-sending
+/// identical content.
+fn build_log(iters: usize) -> (Vec<DataOpEvent>, Vec<TargetEvent>) {
+    let mut ops = Vec::with_capacity(iters * 5);
+    let mut kernels = Vec::with_capacity(iters);
+    let mut id = 0u64;
+    let next = |id: &mut u64| {
+        *id += 1;
+        EventId(*id)
+    };
+    for i in 0..iters {
+        let t = (i as u64) * 100;
+        let hash = if i % 4 == 0 { 42 } else { 1000 + i as u64 };
+        ops.push(DataOpEvent {
+            id: next(&mut id),
+            kind: DataOpKind::Alloc,
+            src_device: DeviceId::HOST,
+            dest_device: DeviceId::target(0),
+            src_addr: 0x1000,
+            dest_addr: 0xd000,
+            bytes: 4096,
+            hash: None,
+            span: TimeSpan::new(SimTime(t), SimTime(t + 5)),
+            codeptr: CodePtr(0x1),
+        });
+        ops.push(DataOpEvent {
+            id: next(&mut id),
+            kind: DataOpKind::Transfer,
+            src_device: DeviceId::HOST,
+            dest_device: DeviceId::target(0),
+            src_addr: 0x1000,
+            dest_addr: 0xd000,
+            bytes: 4096,
+            hash: Some(HashVal(hash)),
+            span: TimeSpan::new(SimTime(t + 10), SimTime(t + 20)),
+            codeptr: CodePtr(0x2),
+        });
+        kernels.push(TargetEvent {
+            id: next(&mut id),
+            device: DeviceId::target(0),
+            kind: TargetKind::Kernel,
+            span: TimeSpan::new(SimTime(t + 30), SimTime(t + 60)),
+            codeptr: CodePtr(0x3),
+        });
+        ops.push(DataOpEvent {
+            id: next(&mut id),
+            kind: DataOpKind::Transfer,
+            src_device: DeviceId::target(0),
+            dest_device: DeviceId::HOST,
+            src_addr: 0xd000,
+            dest_addr: 0x1000,
+            bytes: 4096,
+            hash: Some(HashVal(5000 + i as u64)),
+            span: TimeSpan::new(SimTime(t + 70), SimTime(t + 80)),
+            codeptr: CodePtr(0x4),
+        });
+        ops.push(DataOpEvent {
+            id: next(&mut id),
+            kind: DataOpKind::Delete,
+            src_device: DeviceId::HOST,
+            dest_device: DeviceId::target(0),
+            src_addr: 0x1000,
+            dest_addr: 0xd000,
+            bytes: 4096,
+            hash: None,
+            span: TimeSpan::new(SimTime(t + 90), SimTime(t + 95)),
+            codeptr: CodePtr(0x5),
+        });
+    }
+    (ops, kernels)
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detect_all_five");
+    for &iters in &[1_000usize, 10_000] {
+        let (ops, kernels) = build_log(iters);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(iters),
+            &(ops, kernels),
+            |b, (ops, kernels)| {
+                b.iter(|| black_box(Findings::detect(black_box(ops), black_box(kernels), 1)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(1)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_detectors
+);
+criterion_main!(benches);

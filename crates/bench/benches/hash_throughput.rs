@@ -1,0 +1,29 @@
+//! Criterion micro-benchmark: content-hash throughput for the Figure-5
+//! representatives across payload sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use odp_hash::HashAlgoId;
+use std::hint::black_box;
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_throughput");
+    for &size in &[64usize, 4 * 1024, 256 * 1024] {
+        let data: Vec<u8> = (0..size).map(|i| (i * 131 % 251) as u8).collect();
+        group.throughput(Throughput::Bytes(size as u64));
+        for algo in HashAlgoId::FIGURE5 {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), size),
+                &data,
+                |b, data| b.iter(|| black_box(algo.hash(black_box(data)))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(700)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_hashes
+);
+criterion_main!(benches);

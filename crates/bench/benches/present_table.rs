@@ -1,0 +1,69 @@
+//! Criterion micro-benchmark: present-table and device-allocator
+//! operations — the simulated runtime's per-map-clause hot path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use odp_sim::alloc::FreeListAllocator;
+use odp_sim::PresentTable;
+use std::hint::black_box;
+
+fn bench_present_table(c: &mut Criterion) {
+    c.bench_function("present_lookup_hit", |b| {
+        let mut t = PresentTable::new();
+        for i in 0..1024u64 {
+            t.insert(0x1000 + i * 64, 0xd000 + i * 64, 64);
+        }
+        b.iter(|| black_box(t.lookup(black_box(0x1000 + 512 * 64))));
+    });
+
+    c.bench_function("present_retain_release_cycle", |b| {
+        let mut t = PresentTable::new();
+        t.insert(0x1000, 0xd000, 4096);
+        b.iter(|| {
+            t.retain(black_box(0x1000));
+            black_box(t.release(0x1000));
+        });
+    });
+
+    c.bench_function("map_enter_exit_cycle", |b| {
+        let mut t = PresentTable::new();
+        let mut addr = 0xd000u64;
+        b.iter(|| {
+            t.insert(black_box(0x1000), addr, 4096);
+            addr += 64;
+            black_box(t.release(0x1000));
+        });
+    });
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    c.bench_function("device_alloc_free_cycle", |b| {
+        let mut a = FreeListAllocator::new(0xd000_0000, 1 << 30);
+        b.iter(|| {
+            let p = a.alloc(black_box(4096)).unwrap();
+            black_box(a.free(p));
+        });
+    });
+
+    c.bench_function("device_alloc_free_fragmented", |b| {
+        let mut a = FreeListAllocator::new(0xd000_0000, 1 << 30);
+        // Pre-fragment: many live blocks of mixed sizes.
+        let live: Vec<u64> = (0..512)
+            .map(|i| a.alloc(256 + (i % 7) * 512).unwrap())
+            .collect();
+        // Free every other block to punch holes.
+        for p in live.iter().step_by(2) {
+            a.free(*p);
+        }
+        b.iter(|| {
+            let p = a.alloc(black_box(384)).unwrap();
+            black_box(a.free(p));
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(700)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_present_table, bench_allocator
+);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Ablation — how the content-hash choice drives tool overhead.
+//!
+//! Appendix B motivates hash selection by throughput: "users might ...
+//! experience significant runtime overhead" with a slow hash. The tool
+//! times its own hashing (the Table-4 "effective hash rate" meter), so
+//! this ablation reports the *exact* nanoseconds each algorithm spends
+//! inside the profiler on the same workload — a noise-free signal — plus
+//! the implied overhead against the untooled wall-clock runtime.
+//!
+//! ```sh
+//! cargo run --release -p odp-bench --bin ablate_hash_overhead
+//! ```
+
+use odp_bench::{measure_wall, Table};
+use odp_hash::HashAlgoId;
+use odp_sim::Runtime;
+use odp_workloads::{ProblemSize, Variant};
+use ompdataperf::tool::{OmpDataPerfTool, ToolConfig};
+
+const REPS: usize = 3;
+
+fn main() {
+    let hashes = [
+        HashAlgoId::T1ha0_avx2,
+        HashAlgoId::XXH3_64bits,
+        HashAlgoId::XXH64,
+        HashAlgoId::XXH32,
+        HashAlgoId::CityHash32,
+    ];
+    let programs = ["babelstream", "xsbench", "bspline-vgh-omp"];
+
+    let mut headers: Vec<String> = vec![
+        "program".into(),
+        "baseline".into(),
+        "bytes hashed".into(),
+    ];
+    headers.extend(hashes.iter().map(|h| h.name().to_string()));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(&headers_ref);
+
+    for name in programs {
+        let w = odp_workloads::by_name(name).unwrap();
+        let baseline = measure_wall(REPS, || {
+            let mut rt = Runtime::with_defaults();
+            let t = std::time::Instant::now();
+            w.run(&mut rt, ProblemSize::Medium, Variant::Original);
+            rt.finish();
+            t.elapsed()
+        });
+        let mut row = vec![
+            name.to_string(),
+            format!("{:.2} ms", baseline.as_secs_f64() * 1e3),
+        ];
+        let mut bytes_cell = String::new();
+        let mut cells = Vec::new();
+        for algo in hashes {
+            // Median hashing time over REPS runs, from the tool's own
+            // meter — deterministic event stream, exact attribution.
+            let mut metered: Vec<(u64, u64)> = (0..REPS)
+                .map(|_| {
+                    let mut rt = Runtime::with_defaults();
+                    let (tool, handle) = OmpDataPerfTool::new(ToolConfig {
+                        hash_algo: algo,
+                        ..Default::default()
+                    });
+                    rt.attach_tool(Box::new(tool));
+                    w.run(&mut rt, ProblemSize::Medium, Variant::Original);
+                    rt.finish();
+                    let m = handle.hash_meter();
+                    (m.nanos, m.bytes)
+                })
+                .collect();
+            metered.sort_unstable();
+            let (hash_ns, bytes) = metered[REPS / 2];
+            bytes_cell = format!("{:.1} MB", bytes as f64 / 1e6);
+            let implied = 1.0 + hash_ns as f64 / baseline.as_nanos() as f64;
+            cells.push(format!("{:.2} ms ({implied:.3}x)", hash_ns as f64 / 1e6));
+        }
+        row.push(bytes_cell);
+        row.extend(cells);
+        table.row(row);
+    }
+
+    println!("Ablation: time spent hashing inside the profiler, per algorithm");
+    println!("(cells: hashing wall time and the implied overhead vs the baseline)\n");
+    println!("{}", table.render());
+    println!(
+        "expected: hashing time grows as the hash slows (t1ha0_avx2/XXH3 → \
+         XXH64 → XXH32 → CityHash32), which is why §B.1 selects the default \
+         by measured throughput."
+    );
+}

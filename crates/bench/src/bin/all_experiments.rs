@@ -1,0 +1,41 @@
+//! Run every experiment binary in sequence (the artifact's §A.5 "run
+//! everything" workflow). Forwards `--quick` to each.
+//!
+//! ```sh
+//! cargo run --release -p odp-bench --bin all_experiments [-- --quick]
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let bins = [
+        "table1_issues",
+        "table2_comparison",
+        "table3_runtime",
+        "fig4_prediction",
+        "fig2_overhead",
+        "fig3_space",
+        "table4_hashrate",
+        "fig5_throughput",
+        "table6_ompt",
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+
+    for bin in bins {
+        println!("\n================ {bin} ================\n");
+        let mut cmd = Command::new(exe_dir.join(bin));
+        if quick {
+            cmd.arg("--quick");
+        }
+        let status = cmd.status().unwrap_or_else(|e| {
+            panic!("failed to launch {bin}: {e} (build with `cargo build --release -p odp-bench` first)")
+        });
+        assert!(status.success(), "{bin} failed");
+    }
+    println!("\nall experiments completed");
+}

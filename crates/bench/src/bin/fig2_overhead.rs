@@ -1,0 +1,98 @@
+//! Figure 2 — runtime overhead of profiling with OMPDataPerf, expressed
+//! as slowdown over an untooled run, per benchmark and problem size.
+//!
+//! Paper: worst case 1.33× (xsbench Large), seven of ten benchmarks
+//! under 1.07×, geometric mean 1.05×. "Programs with more runtime
+//! dominated by host/device communication activity tended to incur
+//! greater overhead."
+//!
+//! ```sh
+//! cargo run --release -p odp-bench --bin fig2_overhead [-- --quick --json]
+//! ```
+
+use odp_bench::{geometric_mean, BenchArgs, Table};
+use odp_sim::Runtime;
+use odp_workloads::Variant;
+use ompdataperf::tool::{OmpDataPerfTool, ToolConfig};
+use serde_json::json;
+
+const REPS: usize = 5;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let mut table = Table::new(&["program", "size", "baseline", "tooled", "slowdown"]);
+    let mut slowdowns = Vec::new();
+    let mut records = Vec::new();
+
+    for w in odp_workloads::paper_benchmarks() {
+        for &size in args.sizes() {
+            // Interleave baseline/tooled samples so clock-speed drift,
+            // page-cache warming and allocator state cancel out instead
+            // of biasing one side.
+            let run_baseline = || {
+                let mut rt = Runtime::with_defaults();
+                let t = std::time::Instant::now();
+                w.run(&mut rt, size, Variant::Original);
+                rt.finish();
+                t.elapsed()
+            };
+            let run_tooled = || {
+                let mut rt = Runtime::with_defaults();
+                let (tool, _handle) = OmpDataPerfTool::new(ToolConfig::default());
+                rt.attach_tool(Box::new(tool));
+                let t = std::time::Instant::now();
+                w.run(&mut rt, size, Variant::Original);
+                rt.finish();
+                t.elapsed()
+            };
+            let _ = run_baseline(); // warm-up
+            let _ = run_tooled();
+            let mut base_samples = Vec::with_capacity(REPS);
+            let mut tool_samples = Vec::with_capacity(REPS);
+            for _ in 0..REPS {
+                base_samples.push(run_baseline());
+                tool_samples.push(run_tooled());
+            }
+            base_samples.sort();
+            tool_samples.sort();
+            let baseline = base_samples[REPS / 2];
+            let tooled = tool_samples[REPS / 2];
+            let slowdown = tooled.as_secs_f64() / baseline.as_secs_f64().max(1e-9);
+            slowdowns.push(slowdown);
+            table.row(vec![
+                w.name().to_string(),
+                size.name().to_string(),
+                format!("{:.2} ms", baseline.as_secs_f64() * 1e3),
+                format!("{:.2} ms", tooled.as_secs_f64() * 1e3),
+                format!("{slowdown:.3}x"),
+            ]);
+            records.push(json!({
+                "program": w.name(),
+                "size": size.name(),
+                "baseline_ms": baseline.as_secs_f64() * 1e3,
+                "tooled_ms": tooled.as_secs_f64() * 1e3,
+                "slowdown": slowdown,
+            }));
+        }
+    }
+
+    println!("Figure 2: runtime overhead when analyzing with OMPDataPerf (lower is better)\n");
+    println!("{}", table.render());
+    let gmean = geometric_mean(&slowdowns);
+    let worst = slowdowns.iter().cloned().fold(0.0, f64::max);
+    println!("geometric-mean slowdown : {gmean:.3}x   (paper: 1.05x)");
+    println!("worst-case slowdown     : {worst:.3}x   (paper: 1.33x, xsbench Large)");
+
+    if args.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&json!({
+                "experiment": "fig2_overhead",
+                "geomean": gmean,
+                "worst": worst,
+                "points": records,
+            }))
+            .unwrap()
+        );
+    }
+}

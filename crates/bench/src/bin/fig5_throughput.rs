@@ -1,0 +1,96 @@
+//! Figure 5 — sequential hash throughput vs data size for the top hash
+//! of each family, against the host↔device transfer throughput curve.
+//!
+//! Paper claims to reproduce: (1) hash throughput rises, peaks while the
+//! buffer fits in cache, and drops past LLC capacity; (2) the transfer
+//! curve has high startup cost and needs much larger volumes to reach
+//! peak; (3) even past LLC, hashing stays a healthy multiple of transfer
+//! throughput (2.4–3.0× in the paper), so content hashing keeps up.
+//!
+//! ```sh
+//! cargo run --release -p odp-bench --bin fig5_throughput [-- --quick --json]
+//! ```
+
+use odp_bench::{BenchArgs, Table};
+use odp_hash::throughput::{calibrate_iters, measure};
+use odp_hash::HashAlgoId;
+use odp_sim::TransferModel;
+use serde_json::json;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let max_pow = if args.quick { 24 } else { 28 };
+    let sizes: Vec<usize> = (1..=max_pow).map(|p| 1usize << p).collect();
+
+    let mut headers: Vec<String> = vec!["Data Size (B)".to_string()];
+    headers.extend(HashAlgoId::FIGURE5.iter().map(|a| a.name().to_string()));
+    headers.push("Data Transfer".to_string());
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(&headers_ref);
+
+    let transfer = TransferModel::pcie_gen4_h2d();
+    let mut records = Vec::new();
+    let mut big_sizes = 0usize;
+    let mut hash_wins = 0usize;
+
+    for &size in &sizes {
+        let data: Vec<u8> = (0..size).map(|i| (i.wrapping_mul(131) % 251) as u8).collect();
+        let mut row = vec![format!("2^{}", size.trailing_zeros())];
+        let mut best_hash_rate: f64 = 0.0;
+        for algo in HashAlgoId::FIGURE5 {
+            let iters = calibrate_iters(size, 30_000_000);
+            let rate = measure(algo, &data, iters).gb_per_s();
+            best_hash_rate = best_hash_rate.max(rate);
+            row.push(format!("{rate:.1}"));
+            records.push(json!({
+                "size": size,
+                "hash": algo.name(),
+                "gb_per_s": rate,
+            }));
+        }
+        let xfer = transfer.effective_gb_per_s(size as u64);
+        row.push(format!("{xfer:.2}"));
+        records.push(json!({ "size": size, "hash": "transfer", "gb_per_s": xfer }));
+        table.row(row);
+
+        // §B.1: "The top-performing hash functions demonstrated higher
+        // effective throughput than host/device data transfers." The
+        // paper measured both curves on one physical machine (EPYC 7543
+        // vs its own PCIe link); here the hash curve is this host's CPU
+        // while the transfer curve models an A100-class link, so the
+        // crossover point shifts with the hardware executing the tests.
+        if size >= 1 << 16 {
+            big_sizes += 1;
+            if best_hash_rate >= xfer {
+                hash_wins += 1;
+            }
+        }
+    }
+
+    println!("Figure 5: average sequential throughput vs data size (GB/s, higher is better)\n");
+    println!("{}", table.render());
+    println!(
+        "expected shape: hash curves peak in cache and dip past the LLC; the \
+         transfer curve is startup-dominated below ~1 MiB and saturates at \
+         ~{} GB/s.",
+        transfer.bytes_per_ns
+    );
+    println!(
+        "hash-beats-modeled-transfer at {hash_wins}/{big_sizes} sizes ≥ 64 KiB \
+         (the paper's EPYC 7543 beat its own link everywhere; a slower test \
+         CPU against the same modeled A100 link shifts the crossover — see \
+         EXPERIMENTS.md)"
+    );
+    assert!(big_sizes > 0, "sweep must include post-64KiB sizes");
+
+    if args.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&json!({
+                "experiment": "fig5_throughput",
+                "points": records,
+            }))
+            .unwrap()
+        );
+    }
+}

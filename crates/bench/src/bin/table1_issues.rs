@@ -1,0 +1,71 @@
+//! Table 1 — issues detected by OMPDataPerf per benchmark, including the
+//! synthetic-issue and fixed rows. Pass `--inputs` to also print the
+//! Table 5 input strings.
+//!
+//! ```sh
+//! cargo run --release -p odp-bench --bin table1_issues
+//! ```
+
+use odp_bench::{run_with_tool, Table};
+use odp_workloads::{ProblemSize, Variant, Workload};
+use ompdataperf::tool::ToolConfig;
+
+fn add_row(table: &mut Table, w: &dyn Workload, variant: Variant) {
+    let run = run_with_tool(w, ProblemSize::Medium, variant, ToolConfig::default());
+    let c = run.report.counts;
+    table.row(vec![
+        format!("{}{}", w.name(), variant.suffix()),
+        c.dd.to_string(),
+        c.rt.to_string(),
+        c.ra.to_string(),
+        c.ua.to_string(),
+        c.ut.to_string(),
+    ]);
+}
+
+fn main() {
+    let show_inputs = std::env::args().any(|a| a == "--inputs");
+
+    let mut table = Table::new(&["Program Name", "DD", "RT", "RA", "UA", "UT"]);
+    let benches = odp_workloads::paper_benchmarks();
+    for w in &benches {
+        add_row(&mut table, w.as_ref(), Variant::Original);
+    }
+    println!("Table 1: Issues Detected by OMPDataPerf (Medium problem size)\n");
+    println!("{}", table.render());
+
+    let mut syn = Table::new(&["Program Name", "DD", "RT", "RA", "UA", "UT"]);
+    for w in &benches {
+        if w.supports(Variant::Synthetic) {
+            add_row(&mut syn, w.as_ref(), Variant::Synthetic);
+        }
+    }
+    println!("Applications With Injected Synthetic Issues:\n");
+    println!("{}", syn.render());
+
+    let mut fixed = Table::new(&["Program Name", "DD", "RT", "RA", "UA", "UT"]);
+    for w in &benches {
+        if w.supports(Variant::Fixed)
+            && matches!(w.name(), "bfs" | "minife" | "rsbench" | "xsbench")
+        {
+            add_row(&mut fixed, w.as_ref(), Variant::Fixed);
+        }
+    }
+    println!("Applications With Key Issues Fixed:\n");
+    println!("{}", fixed.render());
+
+    if show_inputs {
+        let mut inputs = Table::new(&["Application", "Domain", "Small", "Medium", "Large"]);
+        for w in &benches {
+            inputs.row(vec![
+                w.name().to_string(),
+                w.domain().to_string(),
+                w.paper_input(ProblemSize::Small).to_string(),
+                w.paper_input(ProblemSize::Medium).to_string(),
+                w.paper_input(ProblemSize::Large).to_string(),
+            ]);
+        }
+        println!("Table 5: Programs and Inputs Used for Evaluating OMPDataPerf\n");
+        println!("{}", inputs.render());
+    }
+}

@@ -1,0 +1,53 @@
+//! Table 2 — issues detected by OMPDataPerf and Arbalest-Vec on the five
+//! HeCBench programs (§7.7).
+//!
+//! ```sh
+//! cargo run --release -p odp-bench --bin table2_comparison
+//! ```
+
+use odp_bench::{run_with_arbalest, run_with_tool, Table};
+use odp_workloads::{ProblemSize, Variant};
+use ompdataperf::tool::ToolConfig;
+
+fn main() {
+    let mut table = Table::new(&["Program Name", "OMPDataPerf", "Arbalest-Vec"]);
+    for w in odp_workloads::hecbench_programs() {
+        let run = run_with_tool(
+            w.as_ref(),
+            ProblemSize::Medium,
+            Variant::Original,
+            ToolConfig::default(),
+        );
+        let c = run.report.counts;
+        let mut cats = Vec::new();
+        if c.dd > 0 {
+            cats.push("DD");
+        }
+        if c.rt > 0 {
+            cats.push("RT");
+        }
+        if c.ra > 0 {
+            cats.push("RA");
+        }
+        if c.ua > 0 {
+            cats.push("UA");
+        }
+        if c.ut > 0 {
+            cats.push("UT");
+        }
+        let odp = if cats.is_empty() {
+            "N/A".to_string()
+        } else {
+            cats.join(", ")
+        };
+        let av = run_with_arbalest(w.as_ref(), ProblemSize::Medium, Variant::Original).summary();
+        table.row(vec![w.name().to_string(), odp, av]);
+    }
+    println!("Table 2: Issues Detected by OMPDataPerf and Arbalest-Vec\n");
+    println!("{}", table.render());
+    println!(
+        "Arbalest-Vec's UUM reports point at write-only kernel outputs \
+         (masked vector stores) — false positives per the paper's manual \
+         inspection (§7.7)."
+    );
+}

@@ -1,0 +1,134 @@
+//! The `ompdataperf` profiler binary (§A.5.3).
+//!
+//! ```sh
+//! cargo run -p odp-cli --bin ompdataperf -- hotspot --size s
+//! cargo run -p odp-cli --bin ompdataperf -- bfs --size m --variant fixed
+//! cargo run -p odp-cli --bin ompdataperf -- tealeaf --pre-emi   # §A.6 warning
+//! ```
+
+use odp_cli::{parse, resolve_profile, Parsed};
+use odp_hash::HashAlgoId;
+use odp_sim::{Runtime, RuntimeConfig};
+use ompdataperf::tool::{OmpDataPerfTool, ToolConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match parse("ompdataperf", &args) {
+        Parsed::Exit(msg) => {
+            println!("{msg}");
+            return ExitCode::SUCCESS;
+        }
+        Parsed::Error(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+        Parsed::Run(a) => a,
+    };
+
+    let Some(workload) = odp_workloads::by_name(&parsed.program) else {
+        eprintln!(
+            "error: unknown program '{}'; available: {}",
+            parsed.program,
+            odp_workloads::all()
+                .iter()
+                .map(|w| w.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return ExitCode::FAILURE;
+    };
+    if !workload.supports(parsed.variant) {
+        eprintln!(
+            "error: {} has no '{:?}' variant in the paper's evaluation",
+            workload.name(),
+            parsed.variant
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let hash_algo = match &parsed.hash {
+        None => HashAlgoId::default(),
+        Some(name) => match HashAlgoId::from_name(name) {
+            Some(a) => a,
+            None => {
+                eprintln!(
+                    "error: unknown hash '{name}'; available: {}",
+                    HashAlgoId::ALL
+                        .iter()
+                        .map(|a| a.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    let mut cfg = RuntimeConfig::default();
+    if parsed.pre_emi {
+        cfg = cfg.pre_emi();
+    }
+    if let Some(p) = &parsed.profile {
+        match resolve_profile(p) {
+            Some(profile) => cfg = cfg.with_profile(profile),
+            None => {
+                eprintln!("error: unknown compiler profile '{p}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut rt = Runtime::new(cfg);
+    let (tool, handle) = OmpDataPerfTool::new(ToolConfig {
+        hash_algo,
+        collision_audit: parsed.audit,
+        quiet: parsed.quiet,
+        verbose: parsed.verbose,
+    });
+    rt.attach_tool(Box::new(tool));
+
+    let wall = std::time::Instant::now();
+    let dbg = workload.run(&mut rt, parsed.size, parsed.variant);
+    let stats = rt.finish();
+    let wall = wall.elapsed();
+
+    let trace = handle.take_trace();
+    if let Some(path) = &parsed.trace_out {
+        let json = odp_trace::chrome::to_chrome_trace(&trace);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("error: cannot write trace to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        if !parsed.quiet {
+            println!("info: wrote chrome://tracing timeline to {path}");
+        }
+    }
+    let report = ompdataperf::analysis::analyze_named(
+        &trace,
+        Some(&dbg),
+        workload.name(),
+        handle.console_lines(),
+    );
+
+    if parsed.json {
+        println!("{}", report.to_json());
+    } else {
+        println!("{}", report.render());
+        if parsed.verbose {
+            println!(
+                "simulated time  : {} | wall-clock (host) : {:?}",
+                stats.total_time, wall
+            );
+            println!(
+                "hash rate       : {:.1} GB/s ({})",
+                handle.hash_rate_gb_per_s(),
+                hash_algo
+            );
+            if parsed.audit {
+                println!("hash collisions : {}", handle.collision_count());
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

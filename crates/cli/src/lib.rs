@@ -1,0 +1,210 @@
+//! Shared argument handling for the command-line front ends.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use odp_workloads::{ProblemSize, Variant};
+
+/// Parsed common arguments.
+#[derive(Clone, Debug)]
+pub struct CommonArgs {
+    /// Workload name.
+    pub program: String,
+    /// Problem size.
+    pub size: ProblemSize,
+    /// Program variant.
+    pub variant: Variant,
+    /// `-q`.
+    pub quiet: bool,
+    /// `-v`.
+    pub verbose: bool,
+    /// `--json`.
+    pub json: bool,
+    /// `--hash <name>`.
+    pub hash: Option<String>,
+    /// `--audit-collisions`.
+    pub audit: bool,
+    /// `--pre-emi` (simulate an OMPT 5.0-preview runtime).
+    pub pre_emi: bool,
+    /// `--profile <compiler>` (Table 6 capability profile).
+    pub profile: Option<String>,
+    /// `--trace-out <path>`: write the event log as Chrome Trace Format
+    /// JSON for chrome://tracing / Perfetto.
+    pub trace_out: Option<String>,
+}
+
+/// Outcome of argument parsing.
+pub enum Parsed {
+    /// Run with these arguments.
+    Run(Box<CommonArgs>),
+    /// Print this text and exit successfully.
+    Exit(String),
+    /// Print this error and exit with failure.
+    Error(String),
+}
+
+/// The §A.5.3 usage text, extended with the simulator's knobs.
+pub fn usage(tool: &str) -> String {
+    format!(
+        "Usage: {tool} [options] [program] [program arguments]\n\
+         Options:\n\
+         \x20 -h, --help            Show this help message\n\
+         \x20 -q, --quiet           Suppress warnings\n\
+         \x20 -v, --verbose         Enable verbose output\n\
+         \x20 --version             Print the version of {tool}\n\
+         \x20 --size s|m|l          Problem size (default: s)\n\
+         \x20 --variant NAME        original|fixed|synthetic (default: original)\n\
+         \x20 --json                Emit the report as JSON\n\
+         \x20 --hash NAME           Content hash (default: t1ha0_avx2)\n\
+         \x20 --audit-collisions    Keep payload copies, verify hashes (§B.1)\n\
+         \x20 --pre-emi             Simulate a pre-5.1 OMPT runtime (§A.6)\n\
+         \x20 --profile NAME        Compiler capability profile (Table 6)\n\
+         \x20 --trace-out PATH      Write a chrome://tracing JSON timeline\n\
+         Programs:\n\x20 {}",
+        odp_workloads::all()
+            .iter()
+            .map(|w| w.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    )
+}
+
+/// Parse command-line arguments (everything after argv[0]).
+pub fn parse(tool: &str, args: &[String]) -> Parsed {
+    let mut out = CommonArgs {
+        program: String::new(),
+        size: ProblemSize::Small,
+        variant: Variant::Original,
+        quiet: false,
+        verbose: false,
+        json: false,
+        hash: None,
+        audit: false,
+        pre_emi: false,
+        profile: None,
+        trace_out: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Parsed::Exit(usage(tool)),
+            "--version" => {
+                return Parsed::Exit(format!("{tool} {}", env!("CARGO_PKG_VERSION")))
+            }
+            "-q" | "--quiet" => out.quiet = true,
+            "-v" | "--verbose" => out.verbose = true,
+            "--json" => out.json = true,
+            "--audit-collisions" => out.audit = true,
+            "--pre-emi" => out.pre_emi = true,
+            "--size" => match it.next().map(|s| s.as_str()) {
+                Some("s") | Some("small") => out.size = ProblemSize::Small,
+                Some("m") | Some("medium") => out.size = ProblemSize::Medium,
+                Some("l") | Some("large") => out.size = ProblemSize::Large,
+                other => return Parsed::Error(format!("bad --size {other:?}")),
+            },
+            "--variant" => match it.next().map(|s| s.as_str()) {
+                Some("original") => out.variant = Variant::Original,
+                Some("fixed") | Some("fix") => out.variant = Variant::Fixed,
+                Some("synthetic") | Some("syn") => out.variant = Variant::Synthetic,
+                other => return Parsed::Error(format!("bad --variant {other:?}")),
+            },
+            "--hash" => match it.next() {
+                Some(h) => out.hash = Some(h.clone()),
+                None => return Parsed::Error("--hash needs a value".into()),
+            },
+            "--profile" => match it.next() {
+                Some(p) => out.profile = Some(p.clone()),
+                None => return Parsed::Error("--profile needs a value".into()),
+            },
+            "--trace-out" => match it.next() {
+                Some(p) => out.trace_out = Some(p.clone()),
+                None => return Parsed::Error("--trace-out needs a path".into()),
+            },
+            other if other.starts_with('-') => {
+                return Parsed::Error(format!("unknown option {other}\n\n{}", usage(tool)))
+            }
+            other => {
+                if out.program.is_empty() {
+                    out.program = other.to_string();
+                }
+                // Remaining positional args are the program's own; the
+                // simulated workloads take their inputs from --size.
+            }
+        }
+    }
+    if out.program.is_empty() {
+        return Parsed::Error(format!("no program given\n\n{}", usage(tool)));
+    }
+    Parsed::Run(Box::new(out))
+}
+
+/// Resolve a Table 6 profile name.
+pub fn resolve_profile(name: &str) -> Option<odp_ompt::CompilerProfile> {
+    use odp_ompt::CompilerProfile as P;
+    Some(match name.to_ascii_lowercase().as_str() {
+        "llvm" | "clang" => P::LlvmClang,
+        "aocc" => P::AmdAocc,
+        "aomp" => P::AmdAomp,
+        "rocm" => P::AmdRocm,
+        "acfl" | "arm" => P::ArmAcfl,
+        "gcc" | "gnu" => P::GnuGcc,
+        "cce" | "cray" => P::HpeCce,
+        "icx" | "intel" => P::IntelIcx,
+        "nvhpc" | "nvidia" => P::NvidiaHpc,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_version() {
+        assert!(matches!(parse("ompdataperf", &argv("--help")), Parsed::Exit(_)));
+        match parse("ompdataperf", &argv("--version")) {
+            Parsed::Exit(s) => assert!(s.starts_with("ompdataperf")),
+            _ => panic!("expected version exit"),
+        }
+    }
+
+    #[test]
+    fn full_run_line() {
+        match parse(
+            "ompdataperf",
+            &argv("--size m --variant fixed --json -q bfs"),
+        ) {
+            Parsed::Run(a) => {
+                assert_eq!(a.program, "bfs");
+                assert_eq!(a.size, ProblemSize::Medium);
+                assert_eq!(a.variant, Variant::Fixed);
+                assert!(a.json && a.quiet && !a.verbose);
+            }
+            _ => panic!("expected run"),
+        }
+    }
+
+    #[test]
+    fn missing_program_is_an_error() {
+        assert!(matches!(parse("ompdataperf", &argv("-q")), Parsed::Error(_)));
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        assert!(matches!(
+            parse("ompdataperf", &argv("--frobnicate bfs")),
+            Parsed::Error(_)
+        ));
+    }
+
+    #[test]
+    fn profile_resolution() {
+        assert!(resolve_profile("llvm").is_some());
+        assert!(resolve_profile("GCC").is_some());
+        assert!(resolve_profile("tcc").is_none());
+    }
+}

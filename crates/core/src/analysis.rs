@@ -1,0 +1,166 @@
+//! End-to-end analysis: trace → findings → prediction → report.
+
+use crate::attrib::DebugInfo;
+use crate::detect::Findings;
+use crate::predict::predict;
+use crate::report::{build_sections, Report};
+use odp_model::{DataOpEvent, TargetEvent};
+use odp_trace::TraceLog;
+
+/// Infer the number of target devices from the event stream (the tool
+/// decodes traces offline and cannot ask the runtime).
+pub fn infer_num_devices(data_ops: &[DataOpEvent], kernels: &[TargetEvent]) -> u32 {
+    let mut max_ix: i64 = -1;
+    for e in data_ops {
+        for d in [e.src_device, e.dest_device] {
+            if let Some(ix) = d.target_index() {
+                max_ix = max_ix.max(ix as i64);
+            }
+        }
+    }
+    for k in kernels {
+        if let Some(ix) = k.device.target_index() {
+            max_ix = max_ix.max(ix as i64);
+        }
+    }
+    (max_ix + 1).max(1) as u32
+}
+
+/// Run the full §5 analysis over a collected trace.
+///
+/// `dbg` enables source attribution (the `-g` path); without it, report
+/// rows carry raw code pointers, exactly like the native tool on a binary
+/// without debug info.
+pub fn analyze(log: &TraceLog, dbg: Option<&DebugInfo>) -> Report {
+    analyze_named(log, dbg, "unnamed program", Vec::new())
+}
+
+/// [`analyze`] with a program name and tool console lines for the report
+/// header.
+pub fn analyze_named(
+    log: &TraceLog,
+    dbg: Option<&DebugInfo>,
+    program: &str,
+    console: Vec<String>,
+) -> Report {
+    let data_ops = log.data_op_events();
+    let kernels = log.kernel_events();
+    let num_devices = infer_num_devices(&data_ops, &kernels);
+
+    let findings = Findings::detect(&data_ops, &kernels, num_devices);
+    let counts = findings.counts();
+    let prediction = predict(&findings, log.total_time());
+    let sections = build_sections(&findings, dbg, log.total_time());
+
+    Report {
+        program: program.to_string(),
+        counts,
+        findings,
+        prediction,
+        stats: log.stats(),
+        space: log.space_stats(),
+        console,
+        sections,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odp_model::{
+        CodePtr, DataOpKind, DeviceId, SimTime, TargetKind, TimeSpan,
+    };
+
+    fn sample_trace() -> TraceLog {
+        let mut log = TraceLog::new();
+        let span = |a: u64, b: u64| TimeSpan::new(SimTime(a), SimTime(b));
+        // Duplicate H2D pair around two kernels.
+        for i in 0..2u64 {
+            let t = i * 1000;
+            log.record_data_op(
+                DataOpKind::Alloc,
+                DeviceId::HOST,
+                DeviceId::target(0),
+                0x1000,
+                0xd000,
+                4096,
+                None,
+                span(t, t + 50),
+                CodePtr(0x400100),
+            );
+            log.record_data_op(
+                DataOpKind::Transfer,
+                DeviceId::HOST,
+                DeviceId::target(0),
+                0x1000,
+                0xd000,
+                4096,
+                Some(0xAB),
+                span(t + 50, t + 150),
+                CodePtr(0x400100),
+            );
+            log.record_target(
+                TargetKind::Kernel,
+                DeviceId::target(0),
+                span(t + 150, t + 500),
+                CodePtr(0x400200),
+            );
+            log.record_data_op(
+                DataOpKind::Delete,
+                DeviceId::HOST,
+                DeviceId::target(0),
+                0x1000,
+                0xd000,
+                4096,
+                None,
+                span(t + 500, t + 520),
+                CodePtr(0x400100),
+            );
+        }
+        log
+    }
+
+    #[test]
+    fn full_pipeline_detects_and_reports() {
+        let log = sample_trace();
+        let report = analyze(&log, None);
+        assert_eq!(report.counts.dd, 1);
+        assert_eq!(report.counts.ra, 1);
+        assert!(report.prediction.time_saved.as_nanos() > 0);
+        assert!(report.prediction.predicted_speedup > 1.0);
+        let text = report.render();
+        assert!(text.contains("Duplicate Target Data Transfer"));
+        assert!(text.contains("predicted speedup"));
+    }
+
+    #[test]
+    fn attribution_appears_in_rows() {
+        let log = sample_trace();
+        let mut dbg = DebugInfo::new();
+        dbg.register(CodePtr(0x400100), "listing1.c", 2, "main");
+        let report = analyze(&log, Some(&dbg));
+        let dd = &report.sections[0];
+        assert!(!dd.rows.is_empty());
+        assert!(dd.rows[0].source.contains("listing1.c:2"));
+        // Without debug info the same row is a raw pointer.
+        let report2 = analyze(&log, None);
+        assert!(report2.sections[0].rows[0].source.starts_with("0x"));
+    }
+
+    #[test]
+    fn device_inference() {
+        let log = sample_trace();
+        let ops = log.data_op_events();
+        let ks = log.kernel_events();
+        assert_eq!(infer_num_devices(&ops, &ks), 1);
+        assert_eq!(infer_num_devices(&[], &[]), 1, "empty trace still has a device");
+    }
+
+    #[test]
+    fn json_export_round_trips() {
+        let report = analyze(&sample_trace(), None);
+        let json = report.to_json();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["counts"]["dd"], 1);
+    }
+}

@@ -1,0 +1,129 @@
+//! `GetAllocDeletePairs` — pair each allocation event with its deletion.
+//!
+//! Shared by Algorithms 3 and 4. An allocation is matched to the first
+//! subsequent delete of the same `(device, device address)`; allocations
+//! never freed (live at program end) pair with `None`.
+
+use odp_hash::fnv::FnvHashMap;
+use odp_model::{DataOpEvent, DeviceId, SimTime};
+use serde::Serialize;
+
+/// An allocation and its (possibly absent) deletion.
+#[derive(Clone, Debug, Serialize)]
+pub struct AllocDeletePair {
+    /// The allocation event.
+    pub alloc: DataOpEvent,
+    /// The matching deletion, if the allocation was ever freed.
+    pub delete: Option<DataOpEvent>,
+}
+
+impl AllocDeletePair {
+    /// End of the allocation's lifetime: the delete's end, or "infinity"
+    /// (program end) for never-freed allocations.
+    pub fn lifetime_end(&self) -> SimTime {
+        self.delete
+            .as_ref()
+            .map(|d| d.span.end)
+            .unwrap_or(SimTime(u64::MAX))
+    }
+}
+
+/// Pair allocs with deletes. `data_op_events` must be chronological; the
+/// result preserves allocation order.
+pub fn alloc_delete_pairs(data_op_events: &[DataOpEvent]) -> Vec<AllocDeletePair> {
+    // (device, dev_addr) → index of the open pair in `pairs`.
+    let mut open: FnvHashMap<(DeviceId, u64), usize> = FnvHashMap::default();
+    let mut pairs: Vec<AllocDeletePair> = Vec::new();
+
+    for event in data_op_events {
+        if event.is_alloc() {
+            let key = (event.dest_device, event.dest_addr);
+            // A new allocation at an address shadows any stale open entry
+            // (would indicate a missed delete in the log).
+            open.insert(key, pairs.len());
+            pairs.push(AllocDeletePair {
+                alloc: event.clone(),
+                delete: None,
+            });
+        } else if event.is_delete() {
+            let key = (event.dest_device, event.dest_addr);
+            if let Some(ix) = open.remove(&key) {
+                pairs[ix].delete = Some(event.clone());
+            }
+            // A delete with no open alloc is a runtime anomaly; the
+            // detectors simply ignore it.
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::testutil::EventFactory;
+
+    #[test]
+    fn pairs_in_allocation_order() {
+        let mut f = EventFactory::new();
+        let ops = vec![
+            f.alloc(0, 0, 0x1000, 0xd000, 64),
+            f.alloc(5, 0, 0x2000, 0xd100, 64),
+            f.delete(10, 0, 0x2000, 0xd100, 64),
+            f.delete(15, 0, 0x1000, 0xd000, 64),
+        ];
+        let pairs = alloc_delete_pairs(&ops);
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].alloc.src_addr, 0x1000);
+        assert_eq!(pairs[0].delete.as_ref().unwrap().span.start.0, 15);
+        assert_eq!(pairs[1].alloc.src_addr, 0x2000);
+        assert_eq!(pairs[1].delete.as_ref().unwrap().span.start.0, 10);
+    }
+
+    #[test]
+    fn address_reuse_pairs_correctly() {
+        // The same device address allocated, freed, allocated again —
+        // each alloc pairs with *its* delete.
+        let mut f = EventFactory::new();
+        let ops = vec![
+            f.alloc(0, 0, 0x1000, 0xd000, 64),
+            f.delete(10, 0, 0x1000, 0xd000, 64),
+            f.alloc(20, 0, 0x1000, 0xd000, 64),
+            f.delete(30, 0, 0x1000, 0xd000, 64),
+        ];
+        let pairs = alloc_delete_pairs(&ops);
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].delete.as_ref().unwrap().span.start.0, 10);
+        assert_eq!(pairs[1].delete.as_ref().unwrap().span.start.0, 30);
+    }
+
+    #[test]
+    fn leaked_allocation_has_open_lifetime() {
+        let mut f = EventFactory::new();
+        let ops = vec![f.alloc(0, 0, 0x1000, 0xd000, 64)];
+        let pairs = alloc_delete_pairs(&ops);
+        assert_eq!(pairs.len(), 1);
+        assert!(pairs[0].delete.is_none());
+        assert_eq!(pairs[0].lifetime_end(), SimTime(u64::MAX));
+    }
+
+    #[test]
+    fn same_address_on_different_devices_is_distinct() {
+        let mut f = EventFactory::new();
+        let ops = vec![
+            f.alloc(0, 0, 0x1000, 0xd000, 64),
+            f.alloc(5, 1, 0x1000, 0xd000, 64),
+            f.delete(10, 1, 0x1000, 0xd000, 64),
+        ];
+        let pairs = alloc_delete_pairs(&ops);
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs[0].delete.is_none(), "device 0 alloc still open");
+        assert!(pairs[1].delete.is_some());
+    }
+
+    #[test]
+    fn stray_delete_is_ignored() {
+        let mut f = EventFactory::new();
+        let ops = vec![f.delete(0, 0, 0x1000, 0xd000, 64)];
+        assert!(alloc_delete_pairs(&ops).is_empty());
+    }
+}

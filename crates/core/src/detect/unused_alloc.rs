@@ -1,0 +1,160 @@
+//! Algorithm 4 — Identify Unused Device Memory Allocations.
+//!
+//! Definition 4.4 (allocation half): a mapping is unused when the device
+//! never utilizes the allocated region during its lifetime. Without
+//! memory-access instrumentation the detectable subset is "all
+//! allocations whose lifetimes do not intersect with the execution of any
+//! active kernel on that device" (§5.4) — such an allocation *cannot
+//! possibly* have been used.
+
+use crate::detect::pairing::{alloc_delete_pairs, AllocDeletePair};
+use odp_model::{DataOpEvent, SimTime, TargetEvent};
+use serde::Serialize;
+
+/// An allocation that no kernel execution could have used.
+#[derive(Clone, Debug, Serialize)]
+pub struct UnusedAlloc {
+    /// The allocation and its deletion.
+    pub pair: AllocDeletePair,
+}
+
+/// Algorithm 4. Both event slices must be chronological;
+/// `kernel_events` are the target kernel-execution events.
+pub fn find_unused_allocs(
+    kernel_events: &[TargetEvent],
+    data_op_events: &[DataOpEvent],
+    num_devices: u32,
+) -> Vec<UnusedAlloc> {
+    let alloc_events = alloc_delete_pairs(data_op_events);
+
+    // Sort events by device.
+    let mut device_tgt_events: Vec<Vec<&TargetEvent>> = vec![Vec::new(); num_devices as usize];
+    for e in kernel_events {
+        if let Some(ix) = e.device.target_index() {
+            if ix < device_tgt_events.len() {
+                device_tgt_events[ix].push(e);
+            }
+        }
+    }
+    let mut device_allocs: Vec<Vec<&AllocDeletePair>> = vec![Vec::new(); num_devices as usize];
+    for pair in &alloc_events {
+        if let Some(ix) = pair.alloc.dest_device.target_index() {
+            if ix < device_allocs.len() {
+                device_allocs[ix].push(pair);
+            }
+        }
+    }
+
+    // Find allocations that do not overlap with target execution.
+    let mut unused_allocs = Vec::new();
+    for dev_idx in 0..num_devices as usize {
+        let tgt_events = &device_tgt_events[dev_idx];
+        let allocs = &device_allocs[dev_idx];
+        let mut tgt_idx = 0usize;
+        for pair in allocs {
+            // Skip kernels that finished before this allocation existed.
+            while tgt_idx < tgt_events.len()
+                && tgt_events[tgt_idx].span.end < pair.alloc.span.start
+            {
+                tgt_idx += 1;
+            }
+            let delete_end: SimTime = pair.lifetime_end();
+            if tgt_idx == tgt_events.len() || tgt_events[tgt_idx].span.start > delete_end {
+                unused_allocs.push(UnusedAlloc {
+                    pair: (*pair).clone(),
+                });
+            }
+        }
+    }
+    unused_allocs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::testutil::EventFactory;
+
+    #[test]
+    fn allocation_spanning_a_kernel_is_used() {
+        let mut f = EventFactory::new();
+        let kernels = vec![f.kernel(20, 40, 0)];
+        let ops = vec![
+            f.alloc(0, 0, 0x1000, 0xd000, 64),
+            f.delete(50, 0, 0x1000, 0xd000, 64),
+        ];
+        assert!(find_unused_allocs(&kernels, &ops, 1).is_empty());
+    }
+
+    #[test]
+    fn allocation_between_kernels_is_unused() {
+        // Lifetime falls entirely in the gap between two kernels.
+        let mut f = EventFactory::new();
+        let kernels = vec![f.kernel(0, 10, 0), f.kernel(100, 110, 0)];
+        let ops = vec![
+            f.alloc(20, 0, 0x1000, 0xd000, 64),
+            f.delete(30, 0, 0x1000, 0xd000, 64),
+        ];
+        let unused = find_unused_allocs(&kernels, &ops, 1);
+        assert_eq!(unused.len(), 1);
+    }
+
+    #[test]
+    fn allocation_after_last_kernel_is_unused() {
+        let mut f = EventFactory::new();
+        let kernels = vec![f.kernel(0, 10, 0)];
+        let ops = vec![
+            f.alloc(20, 0, 0x1000, 0xd000, 64),
+            f.delete(30, 0, 0x1000, 0xd000, 64),
+        ];
+        assert_eq!(find_unused_allocs(&kernels, &ops, 1).len(), 1);
+    }
+
+    #[test]
+    fn no_kernels_at_all_makes_every_alloc_unused() {
+        let mut f = EventFactory::new();
+        let ops = vec![
+            f.alloc(0, 0, 0x1000, 0xd000, 64),
+            f.delete(10, 0, 0x1000, 0xd000, 64),
+            f.alloc(20, 0, 0x2000, 0xd100, 64),
+            f.delete(30, 0, 0x2000, 0xd100, 64),
+        ];
+        assert_eq!(find_unused_allocs(&[], &ops, 1).len(), 2);
+    }
+
+    #[test]
+    fn never_freed_allocation_uses_open_lifetime() {
+        // Alloc before the only kernel, never freed → lifetime extends to
+        // program end, overlapping the kernel → used.
+        let mut f = EventFactory::new();
+        let kernels = vec![f.kernel(50, 60, 0)];
+        let ops = vec![f.alloc(0, 0, 0x1000, 0xd000, 64)];
+        assert!(find_unused_allocs(&kernels, &ops, 1).is_empty());
+    }
+
+    #[test]
+    fn kernels_on_other_devices_do_not_count() {
+        // Device 1 runs kernels, device 0's allocation is still unused.
+        let mut f = EventFactory::new();
+        let kernels = vec![f.kernel(20, 40, 1)];
+        let ops = vec![
+            f.alloc(20, 0, 0x1000, 0xd000, 64),
+            f.delete(50, 0, 0x1000, 0xd000, 64),
+        ];
+        let unused = find_unused_allocs(&kernels, &ops, 2);
+        assert_eq!(unused.len(), 1);
+    }
+
+    #[test]
+    fn boundary_touch_counts_as_use() {
+        // Kernel starting exactly when the delete ends: the comparison is
+        // strict (`start > delete.end`), so touching intervals are "used"
+        // — matching the paper's pseudocode.
+        let mut f = EventFactory::new();
+        let kernels = vec![f.kernel(32, 40, 0)];
+        let ops = vec![
+            f.alloc(0, 0, 0x1000, 0xd000, 64),   // ends at 5
+            f.delete(30, 0, 0x1000, 0xd000, 64), // span 30..32
+        ];
+        assert!(find_unused_allocs(&kernels, &ops, 1).is_empty());
+    }
+}

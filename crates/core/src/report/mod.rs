@@ -1,0 +1,257 @@
+//! Report rendering — the §A.6 human-readable tables plus JSON export.
+
+use crate::attrib::DebugInfo;
+use crate::detect::{Findings, IssueCounts};
+use crate::predict::Prediction;
+use odp_hash::fnv::FnvHashMap;
+use odp_model::{CodePtr, DataOpEvent, SimDuration};
+use odp_trace::{SpaceStats, TraceStats};
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// One aggregated row of a category table: findings sharing a source
+/// location.
+#[derive(Clone, Debug, Serialize)]
+pub struct ReportRow {
+    /// Percentage of total execution time.
+    pub time_pct: f64,
+    /// Eliminable time at this site.
+    pub time: SimDuration,
+    /// Number of wasted operations at this site.
+    pub count: usize,
+    /// Wasted bytes at this site.
+    pub bytes: u64,
+    /// Resolved source location (or the raw code pointer).
+    pub source: String,
+}
+
+/// A category section of the report.
+#[derive(Clone, Debug, Serialize)]
+pub struct ReportSection {
+    /// Section title (§A.6 style).
+    pub title: String,
+    /// Rows, sorted by descending time.
+    pub rows: Vec<ReportRow>,
+}
+
+/// The complete analysis report.
+#[derive(Clone, Debug, Serialize)]
+pub struct Report {
+    /// Program name (if known).
+    pub program: String,
+    /// Issue counts (Table 1 conventions).
+    pub counts: IssueCounts,
+    /// Detector output.
+    pub findings: Findings,
+    /// Optimization-potential estimate.
+    pub prediction: Prediction,
+    /// Aggregate trace statistics.
+    pub stats: TraceStats,
+    /// Tool space overhead (Figure 3).
+    pub space: SpaceStats,
+    /// Console lines accumulated by the tool (info + warnings).
+    pub console: Vec<String>,
+    /// Rendered category sections.
+    pub sections: Vec<ReportSection>,
+}
+
+pub(crate) struct RowAggregator<'a> {
+    dbg: Option<&'a DebugInfo>,
+    total_ns: u64,
+    by_site: FnvHashMap<u64, (usize, u64, u64)>, // codeptr → (count, ns, bytes)
+    order: Vec<u64>,
+}
+
+impl<'a> RowAggregator<'a> {
+    pub fn new(dbg: Option<&'a DebugInfo>, total: SimDuration) -> Self {
+        RowAggregator {
+            dbg,
+            total_ns: total.as_nanos().max(1),
+            by_site: FnvHashMap::default(),
+            order: Vec::new(),
+        }
+    }
+
+    pub fn add(&mut self, e: &DataOpEvent) {
+        let entry = self.by_site.entry(e.codeptr.0).or_insert_with(|| {
+            self.order.push(e.codeptr.0);
+            (0, 0, 0)
+        });
+        entry.0 += 1;
+        entry.1 += e.duration().as_nanos();
+        entry.2 += e.bytes;
+    }
+
+    pub fn finish(self, title: &str) -> ReportSection {
+        let mut rows: Vec<ReportRow> = self
+            .order
+            .iter()
+            .map(|&cp| {
+                let (count, ns, bytes) = self.by_site[&cp];
+                let source = match self.dbg.and_then(|d| d.resolve(CodePtr(cp))) {
+                    Some(loc) => loc.to_string(),
+                    None => CodePtr(cp).to_string(),
+                };
+                ReportRow {
+                    time_pct: 100.0 * ns as f64 / self.total_ns as f64,
+                    time: SimDuration(ns),
+                    count,
+                    bytes,
+                    source,
+                }
+            })
+            .collect();
+        rows.sort_by(|a, b| b.time.cmp(&a.time).then(b.count.cmp(&a.count)));
+        ReportSection {
+            title: title.to_string(),
+            rows,
+        }
+    }
+}
+
+/// Build the category sections from findings.
+pub(crate) fn build_sections(
+    findings: &Findings,
+    dbg: Option<&DebugInfo>,
+    total: SimDuration,
+) -> Vec<ReportSection> {
+    let mut sections = Vec::new();
+
+    let mut agg = RowAggregator::new(dbg, total);
+    for g in &findings.duplicates {
+        for e in g.events.iter().skip(1) {
+            agg.add(e);
+        }
+    }
+    sections.push(agg.finish("OpenMP Duplicate Target Data Transfer Analysis"));
+
+    let mut agg = RowAggregator::new(dbg, total);
+    for g in &findings.round_trips {
+        for t in &g.trips {
+            agg.add(&t.rx);
+        }
+    }
+    sections.push(agg.finish("OpenMP Round-Trip Target Data Transfer Analysis"));
+
+    let mut agg = RowAggregator::new(dbg, total);
+    for g in &findings.repeated_allocs {
+        for p in g.pairs.iter().skip(1) {
+            agg.add(&p.alloc);
+        }
+    }
+    sections.push(agg.finish("OpenMP Repeated Target Memory Allocation Analysis"));
+
+    let mut agg = RowAggregator::new(dbg, total);
+    for ua in &findings.unused_allocs {
+        agg.add(&ua.pair.alloc);
+    }
+    sections.push(agg.finish("OpenMP Unused Target Memory Allocation Analysis"));
+
+    let mut agg = RowAggregator::new(dbg, total);
+    for ut in &findings.unused_transfers {
+        agg.add(&ut.event);
+    }
+    sections.push(agg.finish("OpenMP Unused Target Data Transfer Analysis"));
+
+    sections
+}
+
+fn human_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{:.2} GiB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.2} MiB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.2} KiB", b as f64 / 1024.0)
+    } else {
+        format!("{b} B")
+    }
+}
+
+impl Report {
+    /// Render the human-readable console report (§A.6 shape).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for line in &self.console {
+            let _ = writeln!(out, "{line}");
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "Total time : {} ({} data ops, {} kernels)",
+            self.stats.total_time, self.prediction.ops_eliminated, self.stats.kernels
+        );
+
+        for section in &self.sections {
+            let _ = writeln!(out, "\n=== {} ===", section.title);
+            if section.rows.is_empty() {
+                let _ = writeln!(out, "  no issues detected");
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  {:>8}  {:>12}  {:>8}  {:>12}  source",
+                "time(%)", "time", "count", "bytes"
+            );
+            for row in &section.rows {
+                let _ = writeln!(
+                    out,
+                    "  {:>7.2}%  {:>12}  {:>8}  {:>12}  {}",
+                    row.time_pct,
+                    row.time.to_string(),
+                    row.count,
+                    human_bytes(row.bytes),
+                    row.source
+                );
+            }
+        }
+
+        let c = self.counts;
+        let _ = writeln!(out, "\n=== Summary ===");
+        let _ = writeln!(
+            out,
+            "  issues: DD={} RT={} RA={} UA={} UT={}",
+            c.dd, c.rt, c.ra, c.ua, c.ut
+        );
+        let _ = writeln!(
+            out,
+            "  predicted time savings : {} ({} ops, {})",
+            self.prediction.time_saved,
+            self.prediction.ops_eliminated,
+            human_bytes(self.prediction.bytes_eliminated)
+        );
+        let _ = writeln!(
+            out,
+            "  predicted speedup      : {:.2}x ({} -> {})",
+            self.prediction.predicted_speedup,
+            self.prediction.total_time,
+            self.prediction.predicted_time
+        );
+        let _ = writeln!(
+            out,
+            "  tool space overhead    : {} peak ({} data-op records, {} target records)",
+            human_bytes(self.space.peak_alloc_bytes as u64),
+            self.space.data_op_records,
+            self.space.target_records
+        );
+        out
+    }
+
+    /// Serialize the report as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(12), "12 B");
+        assert_eq!(human_bytes(2048), "2.00 KiB");
+        assert_eq!(human_bytes(3 << 20), "3.00 MiB");
+        assert_eq!(human_bytes(5 << 30), "5.00 GiB");
+    }
+}

@@ -1,0 +1,555 @@
+//! The OMPT client — what `libompdataperf.so` is to a native program.
+//!
+//! [`OmpDataPerfTool`] registers for the EMI target callbacks, hashes
+//! every transfer payload with the configured algorithm (timing itself,
+//! which yields the Table 4 "effective hash rate"), and appends compact
+//! records to a [`TraceLog`]. On pre-5.1 runtimes it falls back to the
+//! deprecated begin-only callbacks with the §A.6 degradation warning; on
+//! runtimes without target callbacks it reports itself unusable.
+//!
+//! Construction returns the tool plus a [`ToolHandle`] sharing its
+//! collector, so the harness can extract the trace after the runtime
+//! finishes with the boxed tool.
+
+use crate::collision::CollisionAudit;
+use odp_hash::fnv::FnvHashMap;
+use odp_hash::HashAlgoId;
+use odp_model::{DataOpKind, SimDuration, SimTime, TargetKind, TimeSpan};
+use odp_ompt::{
+    CallbackKind, DataOpCallback, DataOpType, Endpoint, RuntimeCapabilities, SubmitCallback,
+    TargetCallback, TargetConstructKind, Tool, ToolRegistration,
+};
+use odp_trace::TraceLog;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Tool configuration (the CLI's flags, §A.5.3).
+#[derive(Clone, Copy, Debug)]
+pub struct ToolConfig {
+    /// Content-hash algorithm (default: `t1ha0_avx2`, §B.1).
+    pub hash_algo: HashAlgoId,
+    /// Enable the §B.1 collision audit (stores payload copies).
+    pub collision_audit: bool,
+    /// Suppress warnings (`-q`).
+    pub quiet: bool,
+    /// Verbose output (`-v`).
+    pub verbose: bool,
+}
+
+impl Default for ToolConfig {
+    fn default() -> Self {
+        ToolConfig {
+            hash_algo: HashAlgoId::default(),
+            collision_audit: false,
+            quiet: false,
+            verbose: false,
+        }
+    }
+}
+
+/// Wall-clock hashing meter (Table 4's "effective hash rate").
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HashMeter {
+    /// Payload bytes hashed.
+    pub bytes: u64,
+    /// Wall-clock nanoseconds spent hashing.
+    pub nanos: u64,
+}
+
+impl HashMeter {
+    /// Effective rate in GB/s (decimal).
+    pub fn gb_per_s(&self) -> f64 {
+        if self.nanos == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.nanos as f64
+        }
+    }
+}
+
+/// Everything the tool accumulates during a run.
+#[derive(Debug, Default)]
+pub struct Collector {
+    /// The event log.
+    pub log: TraceLog,
+    /// Hash-rate meter.
+    pub hash_meter: HashMeter,
+    /// Collision audit store.
+    pub audit: CollisionAudit,
+    /// `info:` console lines (§A.6).
+    pub info: Vec<String>,
+    /// `warning:` console lines.
+    pub warnings: Vec<String>,
+    /// Operating against a pre-EMI runtime (durations unavailable).
+    pub degraded: bool,
+    /// No target callbacks at all — nothing can be profiled.
+    pub unusable: bool,
+    /// Program finished (finalize ran).
+    pub finalized: bool,
+}
+
+/// Shared handle for extracting results after the run.
+#[derive(Clone)]
+pub struct ToolHandle {
+    shared: Arc<Mutex<Collector>>,
+}
+
+impl ToolHandle {
+    /// Run `f` against the collector.
+    pub fn with<R>(&self, f: impl FnOnce(&Collector) -> R) -> R {
+        f(&self.shared.lock())
+    }
+
+    /// Take the trace log out (leaves an empty one behind).
+    pub fn take_trace(&self) -> TraceLog {
+        std::mem::take(&mut self.shared.lock().log)
+    }
+
+    /// Effective hash rate in GB/s.
+    pub fn hash_rate_gb_per_s(&self) -> f64 {
+        self.shared.lock().hash_meter.gb_per_s()
+    }
+
+    /// Snapshot of the hash meter.
+    pub fn hash_meter(&self) -> HashMeter {
+        self.shared.lock().hash_meter
+    }
+
+    /// Accumulated console lines (info then warnings).
+    pub fn console_lines(&self) -> Vec<String> {
+        let c = self.shared.lock();
+        c.info.iter().chain(c.warnings.iter()).cloned().collect()
+    }
+
+    /// Is the tool in degraded (non-EMI) mode?
+    pub fn degraded(&self) -> bool {
+        self.shared.lock().degraded
+    }
+
+    /// Could the tool register any target callbacks at all?
+    pub fn unusable(&self) -> bool {
+        self.shared.lock().unusable
+    }
+
+    /// Number of hash collisions the audit observed.
+    pub fn collision_count(&self) -> usize {
+        self.shared.lock().audit.collisions().len()
+    }
+}
+
+/// The tool. Attach with `runtime.attach_tool(Box::new(tool))`.
+pub struct OmpDataPerfTool {
+    cfg: ToolConfig,
+    shared: Arc<Mutex<Collector>>,
+    /// host_op_id → begin time of the open data op.
+    open_ops: FnvHashMap<u64, SimTime>,
+    /// target_id → begin time of the open kernel submit.
+    open_submits: FnvHashMap<u64, SimTime>,
+    /// (target_id, construct discriminant) → begin time.
+    open_targets: FnvHashMap<(u64, u8), SimTime>,
+}
+
+impl OmpDataPerfTool {
+    /// Build a tool and its extraction handle.
+    pub fn new(cfg: ToolConfig) -> (OmpDataPerfTool, ToolHandle) {
+        let shared = Arc::new(Mutex::new(Collector {
+            audit: CollisionAudit::new(cfg.collision_audit),
+            ..Default::default()
+        }));
+        let handle = ToolHandle {
+            shared: shared.clone(),
+        };
+        (
+            OmpDataPerfTool {
+                cfg,
+                shared,
+                open_ops: FnvHashMap::default(),
+                open_submits: FnvHashMap::default(),
+                open_targets: FnvHashMap::default(),
+            },
+            handle,
+        )
+    }
+
+    /// The tool's configuration.
+    pub fn config(&self) -> ToolConfig {
+        self.cfg
+    }
+
+    fn hash_payload(&self, c: &mut Collector, payload: &[u8]) -> u64 {
+        let t = Instant::now();
+        let h = self.cfg.hash_algo.hash(payload);
+        let dt = t.elapsed().as_nanos() as u64;
+        c.hash_meter.bytes += payload.len() as u64;
+        c.hash_meter.nanos += dt.max(1);
+        c.audit.record(payload, h);
+        h
+    }
+}
+
+fn data_op_kind(t: DataOpType) -> DataOpKind {
+    match t {
+        DataOpType::Alloc => DataOpKind::Alloc,
+        DataOpType::TransferToDevice | DataOpType::TransferFromDevice => DataOpKind::Transfer,
+        DataOpType::Delete => DataOpKind::Delete,
+        DataOpType::Associate => DataOpKind::Associate,
+        DataOpType::Disassociate => DataOpKind::Disassociate,
+    }
+}
+
+fn target_kind(c: TargetConstructKind) -> TargetKind {
+    match c {
+        TargetConstructKind::Target => TargetKind::Region,
+        TargetConstructKind::TargetData => TargetKind::DataRegion,
+        TargetConstructKind::TargetEnterData => TargetKind::EnterData,
+        TargetConstructKind::TargetExitData => TargetKind::ExitData,
+        TargetConstructKind::TargetUpdate => TargetKind::Update,
+    }
+}
+
+fn construct_tag(c: TargetConstructKind) -> u8 {
+    match c {
+        TargetConstructKind::Target => 0,
+        TargetConstructKind::TargetData => 1,
+        TargetConstructKind::TargetEnterData => 2,
+        TargetConstructKind::TargetExitData => 3,
+        TargetConstructKind::TargetUpdate => 4,
+    }
+}
+
+impl Tool for OmpDataPerfTool {
+    fn initialize(&mut self, caps: &RuntimeCapabilities) -> ToolRegistration {
+        let mut c = self.shared.lock();
+        c.info.push(format!(
+            "info: OpenMP OMPT interface version {}",
+            caps.ompt_version
+        ));
+        c.info
+            .push(format!("info: OpenMP runtime {}", caps.runtime_name));
+        if let Some(flag) = caps.requires_recompile_flag {
+            c.info.push(format!(
+                "info: this runtime requires programs to be compiled with {flag} for OMPT tools to engage"
+            ));
+        }
+
+        let emi = ToolRegistration::negotiate(
+            &[
+                CallbackKind::TargetEmi,
+                CallbackKind::TargetDataOpEmi,
+                CallbackKind::TargetSubmitEmi,
+            ],
+            caps,
+        );
+        if emi.fully_granted() {
+            return emi;
+        }
+
+        let legacy = ToolRegistration::negotiate(
+            &[
+                CallbackKind::Target,
+                CallbackKind::TargetDataOp,
+                CallbackKind::TargetSubmit,
+            ],
+            caps,
+        );
+        if legacy.granted(CallbackKind::TargetDataOp) {
+            c.degraded = true;
+            if !self.cfg.quiet {
+                c.warnings.push(format!(
+                    "warning: OMPDataPerf requires OMPT interface version 5.1 (or later), \
+                     but found version {}. Some features may be degraded.",
+                    caps.ompt_version
+                ));
+            }
+            return legacy;
+        }
+
+        c.unusable = true;
+        if !self.cfg.quiet {
+            c.warnings.push(format!(
+                "warning: the OpenMP runtime ({}) provides no OMPT target callbacks; \
+                 OMPDataPerf cannot profile this program.",
+                caps.runtime_name
+            ));
+        }
+        ToolRegistration::default()
+    }
+
+    fn on_target(&mut self, cb: &TargetCallback) {
+        let key = (cb.target_id, construct_tag(cb.construct));
+        match cb.endpoint {
+            Endpoint::Begin => {
+                self.open_targets.insert(key, cb.time);
+            }
+            Endpoint::End => {
+                let start = self.open_targets.remove(&key).unwrap_or(cb.time);
+                self.shared.lock().log.record_target(
+                    target_kind(cb.construct),
+                    cb.device,
+                    TimeSpan::new(start, cb.time),
+                    cb.codeptr_ra,
+                );
+            }
+        }
+        // Degraded mode: begin-only → record an instantaneous marker.
+        if self.shared.lock().degraded && cb.endpoint == Endpoint::Begin {
+            self.shared.lock().log.record_target(
+                target_kind(cb.construct),
+                cb.device,
+                TimeSpan::at(cb.time),
+                cb.codeptr_ra,
+            );
+            self.open_targets.remove(&key);
+        }
+    }
+
+    fn on_data_op(&mut self, cb: &DataOpCallback<'_>) {
+        match cb.endpoint {
+            Endpoint::Begin => {
+                self.open_ops.insert(cb.host_op_id, cb.time);
+                // Degraded (non-EMI) runtimes never send End: record now
+                // with zero duration, hashing the payload that a pointer-
+                // chasing tool reads at op start.
+                let degraded = self.shared.lock().degraded;
+                if degraded {
+                    let mut c = self.shared.lock();
+                    let hash = cb
+                        .payload
+                        .map(|p| self.hash_payload(&mut c, p))
+                        .or(if data_op_kind(cb.optype) == DataOpKind::Transfer {
+                            Some(0)
+                        } else {
+                            None
+                        });
+                    c.log.record_data_op(
+                        data_op_kind(cb.optype),
+                        cb.src_device,
+                        cb.dest_device,
+                        cb.src_addr,
+                        cb.dest_addr,
+                        cb.bytes,
+                        hash,
+                        TimeSpan::at(cb.time),
+                        cb.codeptr_ra,
+                    );
+                    self.open_ops.remove(&cb.host_op_id);
+                }
+            }
+            Endpoint::End => {
+                let start = self.open_ops.remove(&cb.host_op_id).unwrap_or(cb.time);
+                let mut c = self.shared.lock();
+                let hash = cb.payload.map(|p| self.hash_payload(&mut c, p));
+                c.log.record_data_op(
+                    data_op_kind(cb.optype),
+                    cb.src_device,
+                    cb.dest_device,
+                    cb.src_addr,
+                    cb.dest_addr,
+                    cb.bytes,
+                    hash,
+                    TimeSpan::new(start, cb.time),
+                    cb.codeptr_ra,
+                );
+            }
+        }
+    }
+
+    fn on_submit(&mut self, cb: &SubmitCallback) {
+        match cb.endpoint {
+            Endpoint::Begin => {
+                self.open_submits.insert(cb.target_id, cb.time);
+                let degraded = self.shared.lock().degraded;
+                if degraded {
+                    self.shared.lock().log.record_target(
+                        TargetKind::Kernel,
+                        cb.device,
+                        TimeSpan::at(cb.time),
+                        cb.codeptr_ra,
+                    );
+                    self.open_submits.remove(&cb.target_id);
+                }
+            }
+            Endpoint::End => {
+                let start = self.open_submits.remove(&cb.target_id).unwrap_or(cb.time);
+                self.shared.lock().log.record_target(
+                    TargetKind::Kernel,
+                    cb.device,
+                    TimeSpan::new(start, cb.time),
+                    cb.codeptr_ra,
+                );
+            }
+        }
+    }
+
+    fn finalize(&mut self, total_time_ns: u64) {
+        let mut c = self.shared.lock();
+        c.log.set_total_time(SimDuration(total_time_ns));
+        c.finalized = true;
+        if self.cfg.verbose {
+            let rate = c.hash_meter.gb_per_s();
+            c.info
+                .push(format!("info: effective hash rate {rate:.1} GB/s"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odp_model::DeviceId;
+    use odp_ompt::CompilerProfile;
+
+    fn data_op<'a>(
+        endpoint: Endpoint,
+        host_op_id: u64,
+        optype: DataOpType,
+        time: u64,
+        payload: Option<&'a [u8]>,
+    ) -> DataOpCallback<'a> {
+        DataOpCallback {
+            endpoint,
+            target_id: 1,
+            host_op_id,
+            optype,
+            src_device: DeviceId::HOST,
+            src_addr: 0x1000,
+            dest_device: DeviceId::target(0),
+            dest_addr: 0xd000,
+            bytes: payload.map(|p| p.len() as u64).unwrap_or(64),
+            codeptr_ra: odp_model::CodePtr(0x42),
+            time: SimTime(time),
+            payload,
+        }
+    }
+
+    #[test]
+    fn emi_begin_end_produces_one_record_with_duration() {
+        let (mut tool, handle) = OmpDataPerfTool::new(ToolConfig::default());
+        tool.initialize(&CompilerProfile::LlvmClang.capabilities());
+        let payload = vec![7u8; 256];
+        tool.on_data_op(&data_op(Endpoint::Begin, 5, DataOpType::TransferToDevice, 100, None));
+        tool.on_data_op(&data_op(
+            Endpoint::End,
+            5,
+            DataOpType::TransferToDevice,
+            150,
+            Some(&payload),
+        ));
+        tool.finalize(1_000);
+        let trace = handle.take_trace();
+        let events = trace.data_op_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].span.duration().as_nanos(), 50);
+        assert!(events[0].hash.is_some());
+        assert_eq!(
+            events[0].hash.unwrap().0,
+            HashAlgoId::default().hash(&payload)
+        );
+    }
+
+    #[test]
+    fn hash_meter_accumulates() {
+        let (mut tool, handle) = OmpDataPerfTool::new(ToolConfig::default());
+        tool.initialize(&CompilerProfile::LlvmClang.capabilities());
+        let payload = vec![1u8; 1024];
+        for i in 0..10 {
+            tool.on_data_op(&data_op(Endpoint::Begin, i, DataOpType::TransferToDevice, 0, None));
+            tool.on_data_op(&data_op(
+                Endpoint::End,
+                i,
+                DataOpType::TransferToDevice,
+                10,
+                Some(&payload),
+            ));
+        }
+        let m = handle.hash_meter();
+        assert_eq!(m.bytes, 10 * 1024);
+        assert!(m.nanos > 0);
+        assert!(handle.hash_rate_gb_per_s() > 0.0);
+    }
+
+    #[test]
+    fn degraded_runtime_sets_warning_and_zero_durations() {
+        let (mut tool, handle) = OmpDataPerfTool::new(ToolConfig::default());
+        let caps = CompilerProfile::LlvmClang.capabilities_pre_emi();
+        let reg = tool.initialize(&caps);
+        assert!(reg.granted(CallbackKind::TargetDataOp));
+        assert!(handle.degraded());
+        assert!(handle
+            .console_lines()
+            .iter()
+            .any(|l| l.contains("Some features may be degraded")));
+        let payload = vec![2u8; 64];
+        tool.on_data_op(&data_op(
+            Endpoint::Begin,
+            1,
+            DataOpType::TransferToDevice,
+            100,
+            Some(&payload),
+        ));
+        tool.finalize(500);
+        let trace = handle.take_trace();
+        let events = trace.data_op_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].span.duration().as_nanos(), 0, "begin-only");
+        assert!(events[0].hash.is_some());
+    }
+
+    #[test]
+    fn gcc_runtime_is_unusable() {
+        let (mut tool, handle) = OmpDataPerfTool::new(ToolConfig::default());
+        let reg = tool.initialize(&CompilerProfile::GnuGcc.capabilities());
+        assert!(reg.requested.is_empty());
+        assert!(handle.unusable());
+        assert!(handle
+            .console_lines()
+            .iter()
+            .any(|l| l.contains("cannot profile")));
+    }
+
+    #[test]
+    fn quiet_mode_suppresses_warnings() {
+        let (mut tool, handle) = OmpDataPerfTool::new(ToolConfig {
+            quiet: true,
+            ..Default::default()
+        });
+        tool.initialize(&CompilerProfile::GnuGcc.capabilities());
+        assert!(handle.unusable());
+        assert!(!handle.console_lines().iter().any(|l| l.starts_with("warning")));
+    }
+
+    #[test]
+    fn collision_audit_sees_payloads() {
+        let (mut tool, handle) = OmpDataPerfTool::new(ToolConfig {
+            collision_audit: true,
+            ..Default::default()
+        });
+        tool.initialize(&CompilerProfile::LlvmClang.capabilities());
+        let p1 = vec![1u8; 128];
+        tool.on_data_op(&data_op(Endpoint::Begin, 1, DataOpType::TransferToDevice, 0, None));
+        tool.on_data_op(&data_op(Endpoint::End, 1, DataOpType::TransferToDevice, 10, Some(&p1)));
+        assert_eq!(handle.collision_count(), 0);
+        handle.with(|c| assert_eq!(c.audit.checks(), 1));
+    }
+
+    #[test]
+    fn submit_pairs_become_kernel_records() {
+        let (mut tool, handle) = OmpDataPerfTool::new(ToolConfig::default());
+        tool.initialize(&CompilerProfile::LlvmClang.capabilities());
+        let cb = |endpoint, time| SubmitCallback {
+            endpoint,
+            target_id: 9,
+            device: DeviceId::target(0),
+            requested_num_teams: 4,
+            codeptr_ra: odp_model::CodePtr(0x99),
+            time: SimTime(time),
+        };
+        tool.on_submit(&cb(Endpoint::Begin, 100));
+        tool.on_submit(&cb(Endpoint::End, 400));
+        let trace = handle.take_trace();
+        let kernels = trace.kernel_events();
+        assert_eq!(kernels.len(), 1);
+        assert_eq!(kernels[0].span.duration().as_nanos(), 300);
+    }
+}

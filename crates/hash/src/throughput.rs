@@ -1,0 +1,93 @@
+//! Wall-clock hash-throughput measurement (Table 4, Figure 5).
+//!
+//! The paper instruments the tool with a timer to measure the *effective
+//! hash rate* over the real transfer payloads of each benchmark. This
+//! module provides the measurement primitive both the tool and the bench
+//! harness use.
+
+use crate::HashAlgoId;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Result of a throughput measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct Throughput {
+    /// Total bytes hashed.
+    pub bytes: u64,
+    /// Total wall-clock nanoseconds spent hashing.
+    pub nanos: u64,
+}
+
+impl Throughput {
+    /// Gigabytes per second (decimal GB, as in the paper).
+    pub fn gb_per_s(&self) -> f64 {
+        if self.nanos == 0 {
+            return 0.0;
+        }
+        self.bytes as f64 / self.nanos as f64
+    }
+
+    /// Merge two measurements.
+    pub fn merge(&mut self, other: Throughput) {
+        self.bytes += other.bytes;
+        self.nanos += other.nanos;
+    }
+}
+
+impl Default for Throughput {
+    fn default() -> Self {
+        Throughput { bytes: 0, nanos: 0 }
+    }
+}
+
+/// Hash `data` `iters` times with `algo`, returning the measured rate.
+pub fn measure(algo: HashAlgoId, data: &[u8], iters: usize) -> Throughput {
+    // Warm the cache once so the measurement reflects steady state.
+    black_box(algo.hash(black_box(data)));
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(algo.hash(black_box(data)));
+    }
+    let nanos = start.elapsed().as_nanos() as u64;
+    Throughput {
+        bytes: (data.len() * iters) as u64,
+        nanos: nanos.max(1),
+    }
+}
+
+/// Pick an iteration count so that a sweep point takes roughly
+/// `target_ns` of wall time for a buffer of `len` bytes.
+pub fn calibrate_iters(len: usize, target_ns: u64) -> usize {
+    // Assume ≥ 1 GB/s (1 byte/ns) as a floor; clamp to sane bounds.
+    let est_ns_per_iter = (len as u64).max(32);
+    ((target_ns / est_ns_per_iter).max(3) as usize).min(4_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_rate_is_positive() {
+        let data = vec![0xABu8; 64 * 1024];
+        let t = measure(HashAlgoId::T1ha0_avx2, &data, 16);
+        assert!(t.gb_per_s() > 0.0);
+        assert_eq!(t.bytes, 64 * 1024 * 16);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Throughput { bytes: 10, nanos: 10 };
+        a.merge(Throughput { bytes: 30, nanos: 10 });
+        assert_eq!(a.bytes, 40);
+        assert_eq!(a.nanos, 20);
+        assert!((a.gb_per_s() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn calibration_bounds() {
+        assert!(calibrate_iters(1, 1_000_000) >= 3);
+        assert!(calibrate_iters(1 << 30, 1_000) >= 3);
+        assert!(calibrate_iters(8, 10_000_000_000) <= 4_000_000);
+    }
+}

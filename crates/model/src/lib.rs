@@ -1,0 +1,35 @@
+//! # odp-model — shared vocabulary for the OMPDataPerf reproduction
+//!
+//! This crate defines the domain types that every other crate in the
+//! workspace speaks: device identifiers, simulated time, memory addresses,
+//! OpenMP `map` clause semantics, the OpenMP target event model that the
+//! detection algorithms of the paper consume, and source-location types used
+//! for attribution.
+//!
+//! The event model mirrors what a tool observes through the OpenMP Tools
+//! Interface (OMPT) EMI callbacks, per §5 of the paper: each event carries
+//! its start/end time, source and destination device numbers, addresses,
+//! byte counts, the content hash of transferred data (when applicable), and
+//! the code pointer used for source attribution.
+//!
+//! Nothing in this crate allocates during hot paths; all types are small,
+//! `Copy` where possible, and serializable for trace export.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod device;
+pub mod event;
+pub mod map;
+pub mod source;
+pub mod time;
+
+pub use addr::{DevAddr, HostAddr, MemRange};
+pub use device::{DeviceId, DeviceKind};
+pub use event::{
+    DataOpEvent, DataOpKind, EventId, HashVal, TargetEvent, TargetKind,
+};
+pub use map::{MapModifier, MapType};
+pub use source::{CodePtr, SourceLoc};
+pub use time::{SimDuration, SimTime, TimeSpan};

@@ -1,0 +1,391 @@
+//! Compiler/runtime OMPT capability profiles — the paper's Table 6.
+//!
+//! Appendix D surveys OMPT target-feature support across nine compiler
+//! infrastructures. This module encodes that matrix: which callbacks each
+//! runtime supports, since which release, and the footnoted
+//! deprecation/optionality status. The simulator can be configured with
+//! any profile, which makes tool degradation (§A.6's version warning)
+//! testable without the actual compilers.
+
+use crate::callback::CallbackKind;
+use crate::version::OmptVersion;
+use serde::{Deserialize, Serialize};
+
+/// One of the nine surveyed compiler infrastructures (Table 6 columns).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompilerProfile {
+    /// AMD Optimizing C/C++ and Fortran Compilers.
+    AmdAocc,
+    /// AMD AOMP (Radeon-focused LLVM fork).
+    AmdAomp,
+    /// AMD ROCm LLVM.
+    AmdRocm,
+    /// Arm Compiler for Linux (offload disabled; non-target OMPT only).
+    ArmAcfl,
+    /// GNU GCC (no OMPT at all).
+    GnuGcc,
+    /// HPE Cray Compiling Environment.
+    HpeCce,
+    /// Intel oneAPI DPC++/C++ and Fortran.
+    IntelIcx,
+    /// LLVM Clang/Flang (the paper's primary platform).
+    LlvmClang,
+    /// NVIDIA HPC SDK.
+    NvidiaHpc,
+}
+
+/// What a configured runtime offers to tools.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuntimeCapabilities {
+    /// The compiler infrastructure this models.
+    pub profile: CompilerProfile,
+    /// OMPT interface version reported at tool initialization.
+    pub ompt_version: OmptVersion,
+    /// Runtime identification string (cf. §A.6 "LLVM OMP version ...").
+    pub runtime_name: &'static str,
+    /// Callbacks this runtime dispatches.
+    pub supported_callbacks: Vec<CallbackKind>,
+    /// Does the runtime implement the OMPT target tracing interface?
+    pub tracing_interface: bool,
+    /// Must the program be (re)compiled with a special flag for OMPT to
+    /// engage (NVHPC's `-mp=ompt`)?
+    pub requires_recompile_flag: Option<&'static str>,
+}
+
+impl RuntimeCapabilities {
+    /// Does the runtime dispatch `kind`?
+    pub fn supports(&self, kind: CallbackKind) -> bool {
+        self.supported_callbacks.contains(&kind)
+    }
+
+    /// Does this runtime satisfy OMPDataPerf's two hard requirements
+    /// (`target_emi` + `target_data_op_emi`, §6)?
+    pub fn meets_ompdataperf_requirements(&self) -> bool {
+        self.supports(CallbackKind::TargetEmi) && self.supports(CallbackKind::TargetDataOpEmi)
+    }
+}
+
+/// A row of Table 6: per-feature first-supporting version strings.
+#[derive(Clone, Debug, Serialize)]
+pub struct SupportMatrixRow {
+    /// Compiler column.
+    pub profile: CompilerProfile,
+    /// Display name.
+    pub compiler: &'static str,
+    /// Runtime library name.
+    pub runtime_name: &'static str,
+    /// Tool-initialization support since (None = unsupported).
+    pub tool_init: Option<&'static str>,
+    /// Non-EMI target callbacks since.
+    pub target_callbacks: Option<&'static str>,
+    /// OMPT tracing interface since.
+    pub tracing: Option<&'static str>,
+    /// EMI target callbacks since.
+    pub target_emi: Option<&'static str>,
+    /// Target-map EMI callback since (optional feature).
+    pub target_map_emi: Option<&'static str>,
+}
+
+impl CompilerProfile {
+    /// All nine profiles, Table 6 column order.
+    pub const ALL: [CompilerProfile; 9] = [
+        CompilerProfile::AmdAocc,
+        CompilerProfile::AmdAomp,
+        CompilerProfile::AmdRocm,
+        CompilerProfile::ArmAcfl,
+        CompilerProfile::GnuGcc,
+        CompilerProfile::HpeCce,
+        CompilerProfile::IntelIcx,
+        CompilerProfile::LlvmClang,
+        CompilerProfile::NvidiaHpc,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CompilerProfile::AmdAocc => "AMD AOCC",
+            CompilerProfile::AmdAomp => "AMD AOMP",
+            CompilerProfile::AmdRocm => "AMD ROCm",
+            CompilerProfile::ArmAcfl => "Arm ACfL",
+            CompilerProfile::GnuGcc => "GNU GCC",
+            CompilerProfile::HpeCce => "HPE CCE",
+            CompilerProfile::IntelIcx => "Intel ICX/IFX",
+            CompilerProfile::LlvmClang => "LLVM Clang/Flang",
+            CompilerProfile::NvidiaHpc => "NVIDIA NVHPC",
+        }
+    }
+
+    /// The capability set this compiler's runtime offers (Table 6 body).
+    pub fn capabilities(self) -> RuntimeCapabilities {
+        use CallbackKind::*;
+        let full_emi = vec![
+            TargetEmi, TargetDataOpEmi, TargetSubmitEmi, Target, TargetDataOp, TargetSubmit,
+        ];
+        match self {
+            CompilerProfile::LlvmClang => RuntimeCapabilities {
+                profile: self,
+                ompt_version: OmptVersion::V5_1,
+                runtime_name: "LLVM OMP version: 5.0.20140926",
+                supported_callbacks: full_emi,
+                tracing_interface: false,
+                requires_recompile_flag: None,
+            },
+            CompilerProfile::AmdAocc => RuntimeCapabilities {
+                profile: self,
+                ompt_version: OmptVersion::V5_1,
+                runtime_name: "AOCC libomp",
+                supported_callbacks: full_emi,
+                tracing_interface: false,
+                requires_recompile_flag: None,
+            },
+            CompilerProfile::AmdAomp => RuntimeCapabilities {
+                profile: self,
+                ompt_version: OmptVersion::V5_1,
+                runtime_name: "AOMP libomp",
+                supported_callbacks: full_emi,
+                tracing_interface: true,
+                requires_recompile_flag: None,
+            },
+            CompilerProfile::AmdRocm => RuntimeCapabilities {
+                profile: self,
+                ompt_version: OmptVersion::V5_1,
+                runtime_name: "ROCm libomp",
+                supported_callbacks: full_emi,
+                tracing_interface: true,
+                requires_recompile_flag: None,
+            },
+            CompilerProfile::HpeCce => RuntimeCapabilities {
+                profile: self,
+                ompt_version: OmptVersion::V5_1,
+                runtime_name: "libcraymp",
+                supported_callbacks: full_emi,
+                tracing_interface: false,
+                requires_recompile_flag: None,
+            },
+            CompilerProfile::IntelIcx => RuntimeCapabilities {
+                profile: self,
+                ompt_version: OmptVersion::V5_1,
+                runtime_name: "Intel libomp",
+                supported_callbacks: full_emi,
+                tracing_interface: false,
+                requires_recompile_flag: None,
+            },
+            CompilerProfile::NvidiaHpc => {
+                let mut cbs = full_emi;
+                cbs.push(TargetMapEmi);
+                cbs.push(TargetMap);
+                RuntimeCapabilities {
+                    profile: self,
+                    ompt_version: OmptVersion::V5_1,
+                    runtime_name: "libnvomp",
+                    supported_callbacks: cbs,
+                    tracing_interface: false,
+                    requires_recompile_flag: Some("-mp=ompt"),
+                }
+            }
+            CompilerProfile::ArmAcfl => RuntimeCapabilities {
+                profile: self,
+                ompt_version: OmptVersion::V5_0,
+                runtime_name: "ACfL libomp",
+                // Non-target OMPT only: no target callbacks at all.
+                supported_callbacks: vec![],
+                tracing_interface: false,
+                requires_recompile_flag: None,
+            },
+            CompilerProfile::GnuGcc => RuntimeCapabilities {
+                profile: self,
+                ompt_version: OmptVersion::None,
+                runtime_name: "libgomp",
+                supported_callbacks: vec![],
+                tracing_interface: false,
+                requires_recompile_flag: None,
+            },
+        }
+    }
+
+    /// A degraded variant of this profile reporting only OMPT 5.0
+    /// (non-EMI callbacks) — used to reproduce the §A.6 warning, which
+    /// shows OMPDataPerf operating against "OMPT interface version TR4 5.0
+    /// preview 1" with degraded features.
+    pub fn capabilities_pre_emi(self) -> RuntimeCapabilities {
+        use CallbackKind::*;
+        let mut caps = self.capabilities();
+        caps.ompt_version = OmptVersion::Tr4Preview;
+        caps.supported_callbacks = vec![Target, TargetDataOp, TargetSubmit];
+        caps
+    }
+
+    /// Table 6 row (feature → first supporting release).
+    pub fn support_matrix_row(self) -> SupportMatrixRow {
+        let caps = self.capabilities();
+        match self {
+            CompilerProfile::AmdAocc => SupportMatrixRow {
+                profile: self,
+                compiler: self.name(),
+                runtime_name: caps.runtime_name,
+                tool_init: Some("2.0"),
+                target_callbacks: Some("5.0"),
+                tracing: None,
+                target_emi: Some("5.0"),
+                target_map_emi: None,
+            },
+            CompilerProfile::AmdAomp => SupportMatrixRow {
+                profile: self,
+                compiler: self.name(),
+                runtime_name: caps.runtime_name,
+                tool_init: Some("0.8-0"),
+                target_callbacks: Some("17.0-3"),
+                tracing: Some("14.0-1"),
+                target_emi: Some("17.0-3"),
+                target_map_emi: None,
+            },
+            CompilerProfile::AmdRocm => SupportMatrixRow {
+                profile: self,
+                compiler: self.name(),
+                runtime_name: caps.runtime_name,
+                tool_init: Some("3.5.0"),
+                target_callbacks: Some("5.7.0"),
+                tracing: Some("5.1.0"),
+                target_emi: Some("5.7.0"),
+                target_map_emi: None,
+            },
+            CompilerProfile::ArmAcfl => SupportMatrixRow {
+                profile: self,
+                compiler: self.name(),
+                runtime_name: caps.runtime_name,
+                tool_init: Some("20.0"),
+                target_callbacks: None,
+                tracing: None,
+                target_emi: None,
+                target_map_emi: None,
+            },
+            CompilerProfile::GnuGcc => SupportMatrixRow {
+                profile: self,
+                compiler: self.name(),
+                runtime_name: caps.runtime_name,
+                tool_init: None,
+                target_callbacks: None,
+                tracing: None,
+                target_emi: None,
+                target_map_emi: None,
+            },
+            CompilerProfile::HpeCce => SupportMatrixRow {
+                profile: self,
+                compiler: self.name(),
+                runtime_name: caps.runtime_name,
+                tool_init: Some("11.0.0"),
+                target_callbacks: Some("16.0.0"),
+                tracing: None,
+                target_emi: Some("16.0.0"),
+                target_map_emi: None,
+            },
+            CompilerProfile::IntelIcx => SupportMatrixRow {
+                profile: self,
+                compiler: self.name(),
+                runtime_name: caps.runtime_name,
+                tool_init: Some("2021.1"),
+                target_callbacks: Some("2023.2"),
+                tracing: None,
+                target_emi: Some("2023.2"),
+                target_map_emi: None,
+            },
+            CompilerProfile::LlvmClang => SupportMatrixRow {
+                profile: self,
+                compiler: self.name(),
+                runtime_name: caps.runtime_name,
+                tool_init: Some("8.0.0"),
+                target_callbacks: Some("17.0.1"),
+                tracing: None,
+                target_emi: Some("17.0.1"),
+                target_map_emi: None,
+            },
+            CompilerProfile::NvidiaHpc => SupportMatrixRow {
+                profile: self,
+                compiler: self.name(),
+                runtime_name: caps.runtime_name,
+                tool_init: Some("22.7"),
+                target_callbacks: Some("22.7"),
+                tracing: None,
+                target_emi: Some("22.7"),
+                target_map_emi: Some("22.7"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_of_nine_meet_ompdataperf_requirements() {
+        // Table 6 / §D: all full-EMI runtimes qualify; ACfL (no target
+        // callbacks) and GCC (no OMPT) do not.
+        let qualifying = CompilerProfile::ALL
+            .iter()
+            .filter(|p| p.capabilities().meets_ompdataperf_requirements())
+            .count();
+        assert_eq!(qualifying, 7);
+        assert!(!CompilerProfile::GnuGcc
+            .capabilities()
+            .meets_ompdataperf_requirements());
+        assert!(!CompilerProfile::ArmAcfl
+            .capabilities()
+            .meets_ompdataperf_requirements());
+    }
+
+    #[test]
+    fn only_amd_forks_have_tracing() {
+        for p in CompilerProfile::ALL {
+            let expect = matches!(p, CompilerProfile::AmdAomp | CompilerProfile::AmdRocm);
+            assert_eq!(p.capabilities().tracing_interface, expect, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn nvhpc_requires_recompile_flag() {
+        assert_eq!(
+            CompilerProfile::NvidiaHpc
+                .capabilities()
+                .requires_recompile_flag,
+            Some("-mp=ompt")
+        );
+        assert_eq!(
+            CompilerProfile::LlvmClang
+                .capabilities()
+                .requires_recompile_flag,
+            None
+        );
+    }
+
+    #[test]
+    fn pre_emi_profile_reports_tr4_and_no_emi() {
+        let caps = CompilerProfile::LlvmClang.capabilities_pre_emi();
+        assert_eq!(caps.ompt_version, OmptVersion::Tr4Preview);
+        assert!(!caps.supports(CallbackKind::TargetEmi));
+        assert!(caps.supports(CallbackKind::Target));
+        assert!(!caps.meets_ompdataperf_requirements());
+    }
+
+    #[test]
+    fn matrix_rows_match_capabilities() {
+        for p in CompilerProfile::ALL {
+            let row = p.support_matrix_row();
+            let caps = p.capabilities();
+            assert_eq!(
+                row.target_emi.is_some(),
+                caps.supports(CallbackKind::TargetEmi),
+                "{p:?}: matrix row and capability set disagree on EMI"
+            );
+            assert_eq!(row.tracing.is_some(), caps.tracing_interface, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn gcc_row_is_all_dashes() {
+        let row = CompilerProfile::GnuGcc.support_matrix_row();
+        assert!(row.tool_init.is_none());
+        assert!(row.target_callbacks.is_none());
+        assert!(row.target_emi.is_none());
+    }
+}

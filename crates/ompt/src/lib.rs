@@ -1,0 +1,36 @@
+//! # odp-ompt — the OpenMP Tools Interface, in Rust
+//!
+//! OMPT (paper §2.3) is the OpenMP-runtime-integrated API through which
+//! portable tools observe target events. OMPDataPerf depends on exactly
+//! two callbacks: `ompt_callback_target_emi` and
+//! `ompt_callback_target_data_op_emi` (§6); it additionally uses
+//! `ompt_callback_target_submit_emi` to delimit kernel executions.
+//!
+//! This crate defines:
+//!
+//! * the callback payload types ([`TargetCallback`], [`DataOpCallback`],
+//!   [`SubmitCallback`]) mirroring the OMPT EMI signatures, with one
+//!   extension — transfers expose the payload bytes so content-hashing
+//!   tools can read them the way a native tool reads the source pointer;
+//! * the [`Tool`] trait that tools implement and the registration
+//!   machinery ([`ToolRegistration`]) modeled on `ompt_start_tool` +
+//!   `ompt_set_callback`, including per-callback availability results;
+//! * [`capability`] — the compiler/runtime support matrix from the
+//!   paper's Table 6, so that degraded-runtime behaviour (§A.6's warning)
+//!   is reproducible and testable against nine compiler profiles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod callback;
+pub mod capability;
+pub mod tool;
+pub mod version;
+
+pub use callback::{
+    AccessRange, CallbackKind, DataOpCallback, DataOpType, Endpoint, HostAccessInfo,
+    KernelAccessInfo, SubmitCallback, TargetCallback, TargetConstructKind,
+};
+pub use capability::{CompilerProfile, RuntimeCapabilities};
+pub use tool::{NullTool, SetCallbackResult, Tool, ToolRegistration};
+pub use version::OmptVersion;

@@ -1,0 +1,77 @@
+//! Runtime configuration.
+
+use crate::timing::TimingModel;
+use odp_ompt::CompilerProfile;
+
+/// Configuration of a simulated runtime instance.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Number of target devices (§7.8: multi-GPU is supported).
+    pub num_devices: u32,
+    /// Per-device memory capacity in bytes (A100-40GB default).
+    pub device_memory_bytes: u64,
+    /// Timing model for transfers/allocs/kernels.
+    pub timing: TimingModel,
+    /// Which compiler's OMPT capability profile the runtime advertises.
+    pub profile: CompilerProfile,
+    /// Pretend the runtime predates OMPT 5.1: only deprecated non-EMI
+    /// callbacks are offered (reproduces the §A.6 degraded-mode warning).
+    pub pre_emi_runtime: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            num_devices: 1,
+            device_memory_bytes: 40 * (1 << 30), // 40 GiB, A100-40GB-like
+            timing: TimingModel::default(),
+            profile: CompilerProfile::LlvmClang,
+            pre_emi_runtime: false,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Config with `n` devices.
+    pub fn with_devices(mut self, n: u32) -> Self {
+        self.num_devices = n;
+        self
+    }
+
+    /// Config with a specific compiler profile.
+    pub fn with_profile(mut self, p: CompilerProfile) -> Self {
+        self.profile = p;
+        self
+    }
+
+    /// Config advertising a pre-EMI (OMPT 5.0 preview) runtime.
+    pub fn pre_emi(mut self) -> Self {
+        self.pre_emi_runtime = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_single_a100_like_llvm() {
+        let c = RuntimeConfig::default();
+        assert_eq!(c.num_devices, 1);
+        assert_eq!(c.profile, CompilerProfile::LlvmClang);
+        assert!(!c.pre_emi_runtime);
+        assert_eq!(c.device_memory_bytes, 40 << 30);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = RuntimeConfig::default()
+            .with_devices(4)
+            .with_profile(CompilerProfile::AmdRocm)
+            .pre_emi();
+        assert_eq!(c.num_devices, 4);
+        assert_eq!(c.profile, CompilerProfile::AmdRocm);
+        assert!(c.pre_emi_runtime);
+    }
+}

@@ -1,0 +1,65 @@
+//! # odp-sim — the OpenMP offload runtime simulator
+//!
+//! Rust has no OpenMP offload runtime, so this crate *is* the substrate
+//! the paper's tool attaches to (see DESIGN.md §1). It reproduces the
+//! pieces of LLVM's `libomp`/`libomptarget` that OMPT-visible behaviour
+//! depends on:
+//!
+//! * a host memory space holding real byte buffers for mapped variables;
+//! * N target devices, each with its own memory space, a first-fit
+//!   allocator that **reuses freed addresses** (required for the paper's
+//!   discussion of Algorithm 3's false-positive mitigation), and a
+//!   reference-counted **present table** implementing `map` clause
+//!   semantics exactly as `libomptarget` does;
+//! * the `target`, `target data`, `target enter/exit data` and
+//!   `target update` directives, including the implicit data-mapping
+//!   rules for variables referenced by a kernel but not explicitly
+//!   mapped;
+//! * kernels that execute *real* compute against device buffers (so
+//!   content hashes evolve honestly) while a calibrated timing model
+//!   advances a deterministic virtual clock;
+//! * OMPT EMI callback dispatch (begin/end pairs) to attached tools,
+//!   honoring the configured compiler capability profile, with graceful
+//!   degradation to the deprecated non-EMI callbacks.
+//!
+//! The crate is single-threaded by design: determinism is a feature (the
+//! detection algorithms need chronologically ordered logs, and the
+//! prediction-accuracy experiment needs reproducible timings).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod config;
+pub mod kernel;
+pub mod memory;
+pub mod present;
+pub mod runtime;
+pub mod timing;
+
+pub use config::RuntimeConfig;
+pub use kernel::{DeviceView, Kernel, KernelCost};
+pub use memory::VarId;
+pub use present::PresentTable;
+pub use runtime::{Map, Runtime, RuntimeStats, RuntimeWarning};
+pub use timing::{AllocModel, TimingModel, TransferModel};
+
+use odp_model::{MapModifier, MapType};
+
+/// Convenience constructor for a map clause item.
+pub fn map(map_type: MapType, var: VarId) -> Map {
+    Map {
+        var,
+        map_type,
+        modifier: MapModifier::NONE,
+    }
+}
+
+/// Convenience constructor for `map(always, <type>: var)`.
+pub fn map_always(map_type: MapType, var: VarId) -> Map {
+    Map {
+        var,
+        map_type,
+        modifier: MapModifier::ALWAYS,
+    }
+}

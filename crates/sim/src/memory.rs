@@ -1,0 +1,228 @@
+//! Host and device memory spaces holding real bytes.
+//!
+//! Host variables are `Vec<u8>` buffers with stable synthetic virtual
+//! addresses; device allocations are `Vec<u8>` buffers at addresses handed
+//! out by the per-device [`crate::alloc::FreeListAllocator`]. Transfers
+//! `memcpy` between them, which is what makes content hashing — and hence
+//! the duplicate/round-trip detectors — honest rather than modeled.
+
+use crate::alloc::FreeListAllocator;
+use std::collections::HashMap;
+
+/// Handle to a host variable (a mapped array or scalar).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+/// A named host buffer.
+#[derive(Debug)]
+pub struct HostVar {
+    /// Variable name (for reports and debug info).
+    pub name: String,
+    /// Synthetic host virtual address.
+    pub addr: u64,
+    /// The actual bytes.
+    pub data: Vec<u8>,
+}
+
+/// The host memory space.
+#[derive(Debug, Default)]
+pub struct HostMemory {
+    vars: Vec<HostVar>,
+    next_addr: u64,
+}
+
+/// Base of the synthetic host heap (stack/heap-looking addresses).
+const HOST_BASE: u64 = 0x7f40_0000_0000;
+
+impl HostMemory {
+    /// Empty host memory.
+    pub fn new() -> Self {
+        HostMemory {
+            vars: Vec::new(),
+            next_addr: HOST_BASE,
+        }
+    }
+
+    /// Allocate a zero-initialized host variable of `bytes`.
+    pub fn alloc(&mut self, name: &str, bytes: usize) -> VarId {
+        let addr = self.next_addr;
+        // 64-byte-aligned, cache-line style.
+        self.next_addr += ((bytes as u64).max(1) + 63) & !63;
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(HostVar {
+            name: name.to_string(),
+            addr,
+            data: vec![0u8; bytes],
+        });
+        id
+    }
+
+    /// The variable's metadata.
+    pub fn var(&self, id: VarId) -> &HostVar {
+        &self.vars[id.0 as usize]
+    }
+
+    /// Mutable access to the variable's bytes.
+    pub fn bytes_mut(&mut self, id: VarId) -> &mut [u8] {
+        &mut self.vars[id.0 as usize].data
+    }
+
+    /// Shared access to the variable's bytes.
+    pub fn bytes(&self, id: VarId) -> &[u8] {
+        &self.vars[id.0 as usize].data
+    }
+
+    /// Host address of the variable.
+    pub fn addr(&self, id: VarId) -> u64 {
+        self.vars[id.0 as usize].addr
+    }
+
+    /// Size of the variable in bytes.
+    pub fn size(&self, id: VarId) -> u64 {
+        self.vars[id.0 as usize].data.len() as u64
+    }
+
+    /// Look a variable up by its host address.
+    pub fn by_addr(&self, addr: u64) -> Option<VarId> {
+        self.vars
+            .iter()
+            .position(|v| v.addr == addr)
+            .map(|i| VarId(i as u32))
+    }
+
+    /// Look a variable up by name (first match).
+    pub fn by_name(&self, name: &str) -> Option<VarId> {
+        self.vars
+            .iter()
+            .position(|v| v.name == name)
+            .map(|i| VarId(i as u32))
+    }
+
+    /// Number of live variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Is the space empty?
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+}
+
+/// One device's memory space.
+#[derive(Debug)]
+pub struct DeviceMemory {
+    allocator: FreeListAllocator,
+    buffers: HashMap<u64, Vec<u8>>,
+}
+
+/// Device address-space stride: device *n* owns `[DEV_BASE + n·2^40, …)`.
+const DEV_BASE: u64 = 0xd000_0000_0000;
+const DEV_STRIDE: u64 = 1 << 40;
+
+impl DeviceMemory {
+    /// Memory for target device `index` with `capacity` bytes (e.g. 40 GB
+    /// for an A100-40GB).
+    pub fn new(index: u32, capacity: u64) -> Self {
+        DeviceMemory {
+            allocator: FreeListAllocator::new(DEV_BASE + index as u64 * DEV_STRIDE, capacity),
+            buffers: HashMap::new(),
+        }
+    }
+
+    /// Allocate `bytes`, returning the device address.
+    pub fn alloc(&mut self, bytes: u64) -> Option<u64> {
+        let addr = self.allocator.alloc(bytes)?;
+        self.buffers.insert(addr, vec![0u8; bytes as usize]);
+        Some(addr)
+    }
+
+    /// Free the allocation at `addr`.
+    pub fn free(&mut self, addr: u64) -> bool {
+        if self.allocator.free(addr).is_some() {
+            self.buffers.remove(&addr);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Buffer at `addr`.
+    pub fn bytes(&self, addr: u64) -> Option<&[u8]> {
+        self.buffers.get(&addr).map(|v| v.as_slice())
+    }
+
+    /// Mutable buffer at `addr`.
+    pub fn bytes_mut(&mut self, addr: u64) -> Option<&mut Vec<u8>> {
+        self.buffers.get_mut(&addr)
+    }
+
+    /// Bytes currently allocated on this device.
+    pub fn in_use(&self) -> u64 {
+        self.allocator.in_use()
+    }
+
+    /// Peak bytes allocated on this device.
+    pub fn peak_in_use(&self) -> u64 {
+        self.allocator.peak_in_use()
+    }
+
+    /// Number of live allocations.
+    pub fn live_blocks(&self) -> usize {
+        self.allocator.live_blocks()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_vars_have_distinct_stable_addresses() {
+        let mut h = HostMemory::new();
+        let a = h.alloc("a", 100);
+        let b = h.alloc("b", 100);
+        assert_ne!(h.addr(a), h.addr(b));
+        assert_eq!(h.by_addr(h.addr(a)), Some(a));
+        assert_eq!(h.var(a).name, "a");
+        assert_eq!(h.size(a), 100);
+    }
+
+    #[test]
+    fn host_bytes_are_real() {
+        let mut h = HostMemory::new();
+        let a = h.alloc("a", 8);
+        h.bytes_mut(a).copy_from_slice(&42u64.to_le_bytes());
+        assert_eq!(u64::from_le_bytes(h.bytes(a).try_into().unwrap()), 42);
+    }
+
+    #[test]
+    fn device_spaces_do_not_collide() {
+        let mut d0 = DeviceMemory::new(0, 1 << 20);
+        let mut d1 = DeviceMemory::new(1, 1 << 20);
+        let p0 = d0.alloc(64).unwrap();
+        let p1 = d1.alloc(64).unwrap();
+        assert_ne!(p0, p1);
+        assert!(p1 > p0);
+    }
+
+    #[test]
+    fn device_buffer_lifecycle() {
+        let mut d = DeviceMemory::new(0, 1 << 20);
+        let p = d.alloc(16).unwrap();
+        d.bytes_mut(p).unwrap()[0] = 7;
+        assert_eq!(d.bytes(p).unwrap()[0], 7);
+        assert!(d.free(p));
+        assert!(d.bytes(p).is_none());
+        assert!(!d.free(p), "double free rejected");
+    }
+
+    #[test]
+    fn zero_sized_vars_work() {
+        let mut h = HostMemory::new();
+        let a = h.alloc("empty", 0);
+        let b = h.alloc("next", 8);
+        assert_ne!(h.addr(a), h.addr(b));
+        assert_eq!(h.size(a), 0);
+    }
+}

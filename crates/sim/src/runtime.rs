@@ -1,0 +1,1711 @@
+//! The simulated OpenMP offload runtime.
+//!
+//! Directive execution follows `libomptarget`'s observable behaviour:
+//!
+//! * On region entry each map clause consults the device's present table.
+//!   Absent data is allocated (alloc event) and, for `to`/`tofrom`,
+//!   copied in (transfer event). Present data just gains a reference
+//!   (plus a forced copy under the `always` modifier).
+//! * On region exit the reference count drops; at zero, `from`/`tofrom`
+//!   data is copied back (transfer event) and the allocation is released
+//!   (delete event).
+//! * `target` regions implicitly map referenced-but-unmapped variables
+//!   `tofrom`, run the kernel (submit events; real compute on device
+//!   buffers), then unwind their data environment.
+//!
+//! Every operation advances the virtual clock through the timing model
+//! and is reported to the attached tool through OMPT EMI callbacks
+//! (begin/end), or the deprecated begin-only non-EMI callbacks when the
+//! configured capability profile predates OpenMP 5.1.
+
+use crate::config::RuntimeConfig;
+use crate::kernel::{DeviceView, Kernel};
+use crate::memory::{DeviceMemory, HostMemory, VarId};
+use odp_model::{CodePtr, DeviceId, MapModifier, MapType, SimDuration, SimTime};
+use odp_ompt::{
+    AccessRange, CallbackKind, CompilerProfile, DataOpCallback, DataOpType, Endpoint,
+    HostAccessInfo, KernelAccessInfo, RuntimeCapabilities, SubmitCallback, TargetCallback,
+    TargetConstructKind, Tool, ToolRegistration,
+};
+
+/// One map clause item: `map(<modifier><type>: <var>)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Map {
+    /// The mapped variable.
+    pub var: VarId,
+    /// Map type.
+    pub map_type: MapType,
+    /// Modifiers (`always`).
+    pub modifier: MapModifier,
+}
+
+/// Non-fatal conditions the runtime records while executing directives.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RuntimeWarning {
+    /// `target update` on data not present on the device (unspecified
+    /// behaviour per the spec; libomptarget ignores it).
+    UpdateOfAbsentData {
+        /// Variable name.
+        var: String,
+    },
+    /// `map(release:)`/`map(from:)` exit of data never mapped.
+    ReleaseOfAbsentData {
+        /// Variable name.
+        var: String,
+    },
+    /// `map(delete:)` of data never mapped.
+    DeleteOfAbsentData {
+        /// Variable name.
+        var: String,
+    },
+}
+
+/// Handle to an open structured `target data` region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataRegionHandle(usize);
+
+struct OpenRegion {
+    device: u32,
+    maps: Vec<Map>,
+    codeptr: CodePtr,
+    target_id: u64,
+}
+
+struct DeviceState {
+    mem: DeviceMemory,
+    present: crate::present::PresentTable,
+    /// Device busy executing asynchronously launched kernels until this
+    /// time (OpenMP 5.1 `nowait` support, paper §7.8).
+    busy_until: SimTime,
+}
+
+struct ToolSlot {
+    tool: Box<dyn Tool>,
+    registration: ToolRegistration,
+}
+
+impl ToolSlot {
+    fn wants(&self, kind: CallbackKind) -> bool {
+        self.registration.granted(kind)
+    }
+}
+
+/// Aggregate statistics of a finished run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RuntimeStats {
+    /// Final virtual clock (total program time).
+    pub total_time: SimDuration,
+    /// Number of H2D + D2H transfers performed.
+    pub transfers: usize,
+    /// Bytes moved.
+    pub bytes_transferred: u64,
+    /// Device allocations performed.
+    pub allocs: usize,
+    /// Kernels launched.
+    pub kernels: usize,
+    /// Cumulative transfer time.
+    pub transfer_time: SimDuration,
+    /// Cumulative alloc/free time.
+    pub alloc_time: SimDuration,
+    /// Cumulative kernel time (including launch overhead).
+    pub kernel_time: SimDuration,
+}
+
+/// The simulated runtime. See module docs.
+pub struct Runtime {
+    cfg: RuntimeConfig,
+    caps: RuntimeCapabilities,
+    clock: SimTime,
+    host: HostMemory,
+    devices: Vec<DeviceState>,
+    tool: Option<ToolSlot>,
+    warnings: Vec<RuntimeWarning>,
+    open_regions: Vec<OpenRegion>,
+    next_target_id: u64,
+    next_host_op_id: u64,
+    stats: RuntimeStats,
+    finished: bool,
+}
+
+impl Runtime {
+    /// Create a runtime from `cfg`.
+    pub fn new(cfg: RuntimeConfig) -> Self {
+        let caps = if cfg.pre_emi_runtime {
+            cfg.profile.capabilities_pre_emi()
+        } else {
+            cfg.profile.capabilities()
+        };
+        let devices = (0..cfg.num_devices)
+            .map(|i| DeviceState {
+                mem: DeviceMemory::new(i, cfg.device_memory_bytes),
+                present: crate::present::PresentTable::new(),
+                busy_until: SimTime::ZERO,
+            })
+            .collect();
+        Runtime {
+            cfg,
+            caps,
+            clock: SimTime::ZERO,
+            host: HostMemory::new(),
+            devices,
+            tool: None,
+            warnings: Vec::new(),
+            open_regions: Vec::new(),
+            next_target_id: 1,
+            next_host_op_id: 1,
+            stats: RuntimeStats::default(),
+            finished: false,
+        }
+    }
+
+    /// A runtime with the default configuration (1 LLVM-profile device).
+    pub fn with_defaults() -> Self {
+        Self::new(RuntimeConfig::default())
+    }
+
+    /// The capability set this runtime advertises to tools.
+    pub fn capabilities(&self) -> &RuntimeCapabilities {
+        &self.caps
+    }
+
+    /// The configured compiler profile.
+    pub fn profile(&self) -> CompilerProfile {
+        self.cfg.profile
+    }
+
+    /// Attach a tool (the `ompt_start_tool` handshake). Only one tool may
+    /// be attached, before any directive executes.
+    pub fn attach_tool(&mut self, mut tool: Box<dyn Tool>) {
+        assert!(self.tool.is_none(), "a tool is already attached");
+        let registration = tool.initialize(&self.caps);
+        self.tool = Some(ToolSlot { tool, registration });
+    }
+
+    /// Detach and return the tool (used by harnesses that own the tool).
+    pub fn detach_tool(&mut self) -> Option<Box<dyn Tool>> {
+        self.tool.take().map(|s| s.tool)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Warnings accumulated so far.
+    pub fn warnings(&self) -> &[RuntimeWarning] {
+        &self.warnings
+    }
+
+    /// Number of target devices.
+    pub fn num_devices(&self) -> u32 {
+        self.cfg.num_devices
+    }
+
+    // ---------------------------------------------------------------
+    // Host memory API
+    // ---------------------------------------------------------------
+
+    /// Allocate a zero-initialized host variable.
+    pub fn host_alloc(&mut self, name: &str, bytes: usize) -> VarId {
+        self.host.alloc(name, bytes)
+    }
+
+    /// Host address of a variable.
+    pub fn host_addr(&self, var: VarId) -> u64 {
+        self.host.addr(var)
+    }
+
+    /// Size of a variable in bytes.
+    pub fn var_size(&self, var: VarId) -> u64 {
+        self.host.size(var)
+    }
+
+    /// Name of a variable.
+    pub fn var_name(&self, var: VarId) -> &str {
+        &self.host.var(var).name
+    }
+
+    /// Find a host variable by name (first match).
+    pub fn find_var(&self, name: &str) -> Option<VarId> {
+        self.host.by_name(name)
+    }
+
+    /// Raw (silent) access to host bytes — for workload setup.
+    pub fn host_bytes(&self, var: VarId) -> &[u8] {
+        self.host.bytes(var)
+    }
+
+    /// Raw (silent) mutable access to host bytes — for workload setup.
+    pub fn host_bytes_mut(&mut self, var: VarId) -> &mut [u8] {
+        self.host.bytes_mut(var)
+    }
+
+    /// Fill a host variable with f64 values.
+    pub fn host_fill_f64(&mut self, var: VarId, f: impl Fn(usize) -> f64) {
+        let buf = self.host.bytes_mut(var);
+        for (i, chunk) in buf.chunks_exact_mut(8).enumerate() {
+            chunk.copy_from_slice(&f(i).to_le_bytes());
+        }
+    }
+
+    /// Fill a host variable with f32 values.
+    pub fn host_fill_f32(&mut self, var: VarId, f: impl Fn(usize) -> f32) {
+        let buf = self.host.bytes_mut(var);
+        for (i, chunk) in buf.chunks_exact_mut(4).enumerate() {
+            chunk.copy_from_slice(&f(i).to_le_bytes());
+        }
+    }
+
+    /// Fill a host variable with u32 values.
+    pub fn host_fill_u32(&mut self, var: VarId, f: impl Fn(usize) -> u32) {
+        let buf = self.host.bytes_mut(var);
+        for (i, chunk) in buf.chunks_exact_mut(4).enumerate() {
+            chunk.copy_from_slice(&f(i).to_le_bytes());
+        }
+    }
+
+    /// Read a host variable as u32s.
+    pub fn host_read_u32(&self, var: VarId) -> Vec<u32> {
+        self.host
+            .bytes(var)
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    /// Read a host variable as f64s.
+    pub fn host_read_f64(&self, var: VarId) -> Vec<f64> {
+        self.host
+            .bytes(var)
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    /// Instrumented host write: mutates bytes *and* notifies tools that
+    /// model binary instrumentation (Arbalest). Advances no virtual time.
+    pub fn host_store(&mut self, var: VarId, offset: usize, data: &[u8]) {
+        let time = self.clock;
+        let addr = self.host.addr(var);
+        self.host.bytes_mut(var)[offset..offset + data.len()].copy_from_slice(data);
+        if let Some(slot) = self.tool.as_mut() {
+            slot.tool.on_host_access(&HostAccessInfo {
+                host_addr: addr,
+                bytes: data.len() as u64,
+                is_write: true,
+                time,
+            });
+        }
+    }
+
+    /// Instrumented host read marker (for use-of-stale-data analysis).
+    pub fn host_load(&mut self, var: VarId) {
+        let time = self.clock;
+        let addr = self.host.addr(var);
+        let bytes = self.host.size(var);
+        if let Some(slot) = self.tool.as_mut() {
+            slot.tool.on_host_access(&HostAccessInfo {
+                host_addr: addr,
+                bytes,
+                is_write: false,
+                time,
+            });
+        }
+    }
+
+    /// Model a host compute phase of `d` (advances the virtual clock).
+    pub fn host_compute(&mut self, d: SimDuration) {
+        self.clock += d;
+    }
+
+    // ---------------------------------------------------------------
+    // Directives
+    // ---------------------------------------------------------------
+
+    /// `#pragma omp target data map(...)` — begin of the structured
+    /// region. Must be closed with [`Runtime::target_data_end`].
+    pub fn target_data_begin(
+        &mut self,
+        device: u32,
+        codeptr: CodePtr,
+        maps: &[Map],
+    ) -> DataRegionHandle {
+        self.assert_running(device);
+        self.dispatch_overhead();
+        let target_id = self.fresh_target_id();
+        self.emit_target(
+            TargetConstructKind::TargetData,
+            Endpoint::Begin,
+            device,
+            target_id,
+            codeptr,
+        );
+        for &m in maps {
+            self.map_enter(device, m, target_id, codeptr);
+        }
+        self.emit_target(
+            TargetConstructKind::TargetData,
+            Endpoint::End,
+            device,
+            target_id,
+            codeptr,
+        );
+        self.open_regions.push(OpenRegion {
+            device,
+            maps: maps.to_vec(),
+            codeptr,
+            target_id,
+        });
+        DataRegionHandle(self.open_regions.len() - 1)
+    }
+
+    /// End of a structured `target data` region. Regions must close in
+    /// LIFO order (they are lexically nested in the source).
+    pub fn target_data_end(&mut self, handle: DataRegionHandle) {
+        self.dispatch_overhead();
+        assert_eq!(
+            handle.0 + 1,
+            self.open_regions.len(),
+            "target data regions must close in LIFO order"
+        );
+        let region = self.open_regions.pop().expect("open region");
+        self.emit_target(
+            TargetConstructKind::TargetData,
+            Endpoint::Begin,
+            region.device,
+            region.target_id,
+            region.codeptr,
+        );
+        for &m in region.maps.iter().rev() {
+            self.map_exit(region.device, m, region.target_id, region.codeptr);
+        }
+        self.emit_target(
+            TargetConstructKind::TargetData,
+            Endpoint::End,
+            region.device,
+            region.target_id,
+            region.codeptr,
+        );
+    }
+
+    /// `#pragma omp target enter data map(to|alloc: ...)`.
+    pub fn target_enter_data(&mut self, device: u32, codeptr: CodePtr, maps: &[Map]) {
+        self.assert_running(device);
+        self.dispatch_overhead();
+        let target_id = self.fresh_target_id();
+        self.emit_target(
+            TargetConstructKind::TargetEnterData,
+            Endpoint::Begin,
+            device,
+            target_id,
+            codeptr,
+        );
+        for &m in maps {
+            self.map_enter(device, m, target_id, codeptr);
+        }
+        self.emit_target(
+            TargetConstructKind::TargetEnterData,
+            Endpoint::End,
+            device,
+            target_id,
+            codeptr,
+        );
+    }
+
+    /// `#pragma omp target exit data map(from|release|delete: ...)`.
+    pub fn target_exit_data(&mut self, device: u32, codeptr: CodePtr, maps: &[Map]) {
+        self.assert_running(device);
+        self.dispatch_overhead();
+        let target_id = self.fresh_target_id();
+        self.emit_target(
+            TargetConstructKind::TargetExitData,
+            Endpoint::Begin,
+            device,
+            target_id,
+            codeptr,
+        );
+        for &m in maps {
+            self.map_exit(device, m, target_id, codeptr);
+        }
+        self.emit_target(
+            TargetConstructKind::TargetExitData,
+            Endpoint::End,
+            device,
+            target_id,
+            codeptr,
+        );
+    }
+
+    /// `#pragma omp target update to(...)`.
+    pub fn target_update_to(&mut self, device: u32, codeptr: CodePtr, vars: &[VarId]) {
+        self.target_update(device, codeptr, vars, true);
+    }
+
+    /// `#pragma omp target update from(...)`.
+    pub fn target_update_from(&mut self, device: u32, codeptr: CodePtr, vars: &[VarId]) {
+        self.target_update(device, codeptr, vars, false);
+    }
+
+    fn target_update(&mut self, device: u32, codeptr: CodePtr, vars: &[VarId], to_device: bool) {
+        self.assert_running(device);
+        self.dispatch_overhead();
+        let target_id = self.fresh_target_id();
+        self.emit_target(
+            TargetConstructKind::TargetUpdate,
+            Endpoint::Begin,
+            device,
+            target_id,
+            codeptr,
+        );
+        for &var in vars {
+            let haddr = self.host.addr(var);
+            match self.devices[device as usize].present.lookup(haddr) {
+                Some(entry) => {
+                    let dev_addr = entry.dev_addr;
+                    if to_device {
+                        self.do_h2d(device, var, dev_addr, target_id, codeptr);
+                    } else {
+                        self.do_d2h(device, var, dev_addr, target_id, codeptr);
+                    }
+                }
+                None => self.warnings.push(RuntimeWarning::UpdateOfAbsentData {
+                    var: self.host.var(var).name.clone(),
+                }),
+            }
+        }
+        self.emit_target(
+            TargetConstructKind::TargetUpdate,
+            Endpoint::End,
+            device,
+            target_id,
+            codeptr,
+        );
+    }
+
+    /// `#pragma omp target map(...)` — map data, run the kernel, unwind.
+    ///
+    /// Variables the kernel references that are neither explicitly mapped
+    /// nor already present are mapped implicitly `tofrom`, per the
+    /// OpenMP default for aggregates (the behaviour Listing 2 exhibits).
+    pub fn target(&mut self, device: u32, codeptr: CodePtr, maps: &[Map], kernel: Kernel<'_>) {
+        self.assert_running(device);
+        self.dispatch_overhead();
+        let target_id = self.fresh_target_id();
+        self.emit_target(
+            TargetConstructKind::Target,
+            Endpoint::Begin,
+            device,
+            target_id,
+            codeptr,
+        );
+
+        // Effective data environment: explicit maps, then implicit tofrom
+        // for referenced-but-unmapped variables.
+        let mut effective: Vec<Map> = maps.to_vec();
+        for var in kernel.referenced_vars() {
+            if !effective.iter().any(|m| m.var == var) {
+                effective.push(Map {
+                    var,
+                    map_type: MapType::ToFrom,
+                    modifier: MapModifier::NONE,
+                });
+            }
+        }
+        for &m in &effective {
+            self.map_enter(device, m, target_id, codeptr);
+        }
+
+        self.run_kernel(device, codeptr, target_id, kernel);
+
+        for &m in effective.iter().rev() {
+            self.map_exit(device, m, target_id, codeptr);
+        }
+        self.emit_target(
+            TargetConstructKind::Target,
+            Endpoint::End,
+            device,
+            target_id,
+            codeptr,
+        );
+    }
+
+    /// `#pragma omp target nowait` — asynchronous offload (OpenMP 5.1;
+    /// paper §7.8). The kernel is enqueued on the device and the host
+    /// continues after the launch overhead; the kernel's submit events
+    /// span its *actual* device execution window, so transfers issued
+    /// meanwhile genuinely overlap it (exercising Algorithm 5's
+    /// conservative overlap handling). Exit-side data motion
+    /// synchronizes with the device, as the OpenMP data environment
+    /// requires; combine with persistent `target data` regions and
+    /// [`Runtime::taskwait`] for real overlap.
+    pub fn target_nowait(&mut self, device: u32, codeptr: CodePtr, maps: &[Map], kernel: Kernel<'_>) {
+        self.assert_running(device);
+        self.dispatch_overhead();
+        let target_id = self.fresh_target_id();
+        self.emit_target(
+            TargetConstructKind::Target,
+            Endpoint::Begin,
+            device,
+            target_id,
+            codeptr,
+        );
+        let mut effective: Vec<Map> = maps.to_vec();
+        for var in kernel.referenced_vars() {
+            if !effective.iter().any(|m| m.var == var) {
+                effective.push(Map {
+                    var,
+                    map_type: MapType::ToFrom,
+                    modifier: MapModifier::NONE,
+                });
+            }
+        }
+        for &m in &effective {
+            self.map_enter(device, m, target_id, codeptr);
+        }
+
+        self.launch_kernel_async(device, codeptr, target_id, kernel);
+
+        // The data-environment exit must wait for the kernel whenever it
+        // moves or frees data the kernel may still be using.
+        let must_sync = effective.iter().any(|m| {
+            let haddr = self.host.addr(m.var);
+            let refcount = self.devices[device as usize]
+                .present
+                .lookup(haddr)
+                .map(|e| e.refcount)
+                .unwrap_or(0);
+            m.map_type.copies_from_device()
+                || m.map_type == MapType::Delete
+                || refcount <= 1
+        });
+        if must_sync {
+            self.taskwait(device);
+        }
+        for &m in effective.iter().rev() {
+            self.map_exit(device, m, target_id, codeptr);
+        }
+        self.emit_target(
+            TargetConstructKind::Target,
+            Endpoint::End,
+            device,
+            target_id,
+            codeptr,
+        );
+    }
+
+    /// `#pragma omp taskwait` — block the host until `device`'s
+    /// asynchronously launched kernels complete.
+    pub fn taskwait(&mut self, device: u32) {
+        self.assert_running(device);
+        let busy = self.devices[device as usize].busy_until;
+        if busy > self.clock {
+            self.clock = busy;
+        }
+    }
+
+    /// Launch a kernel without blocking the host: the submit events span
+    /// the device-side execution window; the host clock advances only by
+    /// the launch overhead.
+    fn launch_kernel_async(
+        &mut self,
+        device: u32,
+        codeptr: CodePtr,
+        target_id: u64,
+        kernel: Kernel<'_>,
+    ) {
+        let start = self.devices[device as usize].busy_until.max(self.clock);
+        let dur = SimDuration(self.cfg.timing.kernel_launch_ns) + kernel.cost.duration();
+        let end = start + dur;
+        self.emit_submit(Endpoint::Begin, device, target_id, kernel.num_teams, codeptr, start);
+
+        // Execute the body now (deterministically) against the device
+        // buffers; logically it completes at `end`.
+        let referenced = kernel.referenced_vars();
+        let mut taken: Vec<(VarId, u64, Vec<u8>)> = Vec::with_capacity(referenced.len());
+        for &var in &referenced {
+            let haddr = self.host.addr(var);
+            let entry = self.devices[device as usize]
+                .present
+                .lookup(haddr)
+                .copied()
+                .expect("kernel var is mapped after map_enter");
+            let buf = self.devices[device as usize]
+                .mem
+                .bytes_mut(entry.dev_addr)
+                .expect("mapped buffer exists")
+                .split_off(0);
+            taken.push((var, entry.dev_addr, buf));
+        }
+        let access_info = KernelAccessInfo {
+            device: DeviceId::target(device),
+            target_id,
+            reads: kernel
+                .reads
+                .iter()
+                .map(|&v| self.access_range(device, v, &taken))
+                .collect(),
+            writes: kernel
+                .writes
+                .iter()
+                .map(|&v| self.access_range(device, v, &taken))
+                .collect(),
+            masked_writes: kernel
+                .masked_writes
+                .iter()
+                .map(|&v| self.access_range(device, v, &taken))
+                .collect(),
+            time: start,
+        };
+        let mut kernel = kernel;
+        {
+            let mut view = DeviceView {
+                vars: taken.iter_mut().map(|(v, _, b)| (*v, b)).collect(),
+            };
+            match kernel.body.take() {
+                Some(body) => body(&mut view),
+                None => {
+                    for &var in kernel.writes.iter().chain(kernel.masked_writes.iter()) {
+                        let buf = view.bytes_mut(var);
+                        default_mutation(buf, target_id);
+                    }
+                }
+            }
+        }
+        for (_, dev_addr, buf) in taken {
+            if let Some(slot) = self.devices[device as usize].mem.bytes_mut(dev_addr) {
+                *slot = buf;
+            }
+        }
+
+        self.devices[device as usize].busy_until = end;
+        // The host returns right after the enqueue.
+        self.clock += SimDuration(self.cfg.timing.kernel_launch_ns);
+        self.stats.kernels += 1;
+        self.stats.kernel_time += dur;
+        if let Some(slot) = self.tool.as_mut() {
+            slot.tool.on_kernel_access(&access_info);
+        }
+        self.emit_submit(Endpoint::End, device, target_id, kernel.num_teams, codeptr, end);
+    }
+
+    fn run_kernel(&mut self, device: u32, codeptr: CodePtr, target_id: u64, kernel: Kernel<'_>) {
+        // Queue behind any asynchronously launched kernel on this device.
+        let busy = self.devices[device as usize].busy_until;
+        if busy > self.clock {
+            self.clock = busy;
+        }
+        let t0 = self.clock;
+        self.emit_submit(Endpoint::Begin, device, target_id, kernel.num_teams, codeptr, t0);
+
+        // Gather device buffers for the kernel's variables: temporarily
+        // take ownership so the body can hold simultaneous &mut views.
+        let referenced = kernel.referenced_vars();
+        let mut taken: Vec<(VarId, u64, Vec<u8>)> = Vec::with_capacity(referenced.len());
+        for &var in &referenced {
+            let haddr = self.host.addr(var);
+            let entry = self.devices[device as usize]
+                .present
+                .lookup(haddr)
+                .copied()
+                .expect("kernel var is mapped after map_enter");
+            let buf = self.devices[device as usize]
+                .mem
+                .bytes_mut(entry.dev_addr)
+                .expect("mapped buffer exists")
+                .split_off(0);
+            taken.push((var, entry.dev_addr, buf));
+        }
+
+        // Instrumentation feed for access-tracking tools.
+        let access_info = KernelAccessInfo {
+            device: DeviceId::target(device),
+            target_id,
+            reads: kernel
+                .reads
+                .iter()
+                .map(|&v| self.access_range(device, v, &taken))
+                .collect(),
+            writes: kernel
+                .writes
+                .iter()
+                .map(|&v| self.access_range(device, v, &taken))
+                .collect(),
+            masked_writes: kernel
+                .masked_writes
+                .iter()
+                .map(|&v| self.access_range(device, v, &taken))
+                .collect(),
+            time: t0,
+        };
+
+        // Execute the body (real compute) or the default mutation.
+        let mut kernel = kernel;
+        {
+            let mut view = DeviceView {
+                vars: taken.iter_mut().map(|(v, _, b)| (*v, b)).collect(),
+            };
+            match kernel.body.take() {
+                Some(body) => body(&mut view),
+                None => {
+                    for &var in kernel.writes.iter().chain(kernel.masked_writes.iter()) {
+                        let buf = view.bytes_mut(var);
+                        default_mutation(buf, target_id);
+                    }
+                }
+            }
+        }
+
+        // Return the buffers to the device.
+        for (_, dev_addr, buf) in taken {
+            if let Some(slot) = self.devices[device as usize].mem.bytes_mut(dev_addr) {
+                *slot = buf;
+            }
+        }
+
+        // Advance time: launch overhead + execution.
+        let dur = SimDuration(self.cfg.timing.kernel_launch_ns) + kernel.cost.duration();
+        self.clock += dur;
+        self.stats.kernels += 1;
+        self.stats.kernel_time += dur;
+
+        if let Some(slot) = self.tool.as_mut() {
+            slot.tool.on_kernel_access(&access_info);
+        }
+        let t1 = self.clock;
+        self.emit_submit(Endpoint::End, device, target_id, kernel.num_teams, codeptr, t1);
+    }
+
+    fn access_range(
+        &self,
+        device: u32,
+        var: VarId,
+        taken: &[(VarId, u64, Vec<u8>)],
+    ) -> AccessRange {
+        let haddr = self.host.addr(var);
+        let dev_addr = taken
+            .iter()
+            .find(|(v, _, _)| *v == var)
+            .map(|(_, d, _)| *d)
+            .or_else(|| {
+                self.devices[device as usize]
+                    .present
+                    .lookup(haddr)
+                    .map(|e| e.dev_addr)
+            })
+            .unwrap_or(0);
+        AccessRange {
+            host_addr: haddr,
+            dev_addr,
+            bytes: self.host.size(var),
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Map-clause machinery
+    // ---------------------------------------------------------------
+
+    fn map_enter(&mut self, device: u32, m: Map, target_id: u64, codeptr: CodePtr) {
+        let haddr = self.host.addr(m.var);
+        let present = self.devices[device as usize].present.lookup(haddr).copied();
+        match present {
+            Some(entry) => {
+                self.devices[device as usize].present.retain(haddr);
+                if m.modifier.always && m.map_type.copies_to_device() {
+                    self.do_h2d(device, m.var, entry.dev_addr, target_id, codeptr);
+                }
+            }
+            None => {
+                if !m.map_type.allocates() {
+                    // release/delete of absent data on an *enter* path is
+                    // a programming error; record and move on.
+                    self.warnings.push(RuntimeWarning::ReleaseOfAbsentData {
+                        var: self.host.var(m.var).name.clone(),
+                    });
+                    return;
+                }
+                let dev_addr = self.do_alloc(device, m.var, target_id, codeptr);
+                self.devices[device as usize].present.insert(
+                    haddr,
+                    dev_addr,
+                    self.host.size(m.var),
+                );
+                if m.map_type.copies_to_device() {
+                    self.do_h2d(device, m.var, dev_addr, target_id, codeptr);
+                }
+            }
+        }
+    }
+
+    fn map_exit(&mut self, device: u32, m: Map, target_id: u64, codeptr: CodePtr) {
+        let haddr = self.host.addr(m.var);
+        match m.map_type {
+            MapType::Delete => {
+                match self.devices[device as usize].present.force_remove(haddr) {
+                    Some(entry) => self.do_delete(device, m.var, entry.dev_addr, target_id, codeptr),
+                    None => self.warnings.push(RuntimeWarning::DeleteOfAbsentData {
+                        var: self.host.var(m.var).name.clone(),
+                    }),
+                }
+            }
+            _ => {
+                if !self.devices[device as usize].present.contains(haddr) {
+                    self.warnings.push(RuntimeWarning::ReleaseOfAbsentData {
+                        var: self.host.var(m.var).name.clone(),
+                    });
+                    return;
+                }
+                // `always from` copies back even while references remain.
+                if m.modifier.always && m.map_type.copies_from_device() {
+                    let dev_addr = self.devices[device as usize]
+                        .present
+                        .lookup(haddr)
+                        .expect("checked present")
+                        .dev_addr;
+                    self.do_d2h(device, m.var, dev_addr, target_id, codeptr);
+                }
+                if let Some(entry) = self.devices[device as usize].present.release(haddr) {
+                    if m.map_type.copies_from_device() && !m.modifier.always {
+                        self.do_d2h(device, m.var, entry.dev_addr, target_id, codeptr);
+                    }
+                    self.do_delete(device, m.var, entry.dev_addr, target_id, codeptr);
+                }
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Primitive data operations (each = one OMPT data-op event)
+    // ---------------------------------------------------------------
+
+    fn do_alloc(&mut self, device: u32, var: VarId, target_id: u64, codeptr: CodePtr) -> u64 {
+        let bytes = self.host.size(var);
+        let dev_addr = self.devices[device as usize]
+            .mem
+            .alloc(bytes)
+            .expect("simulated device out of memory");
+        let t0 = self.clock;
+        let dur = self.cfg.timing.alloc.alloc_duration(bytes);
+        self.clock += dur;
+        self.stats.allocs += 1;
+        self.stats.alloc_time += dur;
+        let host_op_id = self.fresh_host_op_id();
+        let haddr = self.host.addr(var);
+        self.dispatch_data_op(
+            DataOpType::Alloc,
+            device,
+            target_id,
+            host_op_id,
+            haddr,
+            dev_addr,
+            bytes,
+            codeptr,
+            t0,
+            self.clock,
+            None,
+        );
+        dev_addr
+    }
+
+    fn do_delete(&mut self, device: u32, var: VarId, dev_addr: u64, target_id: u64, codeptr: CodePtr) {
+        let bytes = self.host.size(var);
+        let freed = self.devices[device as usize].mem.free(dev_addr);
+        debug_assert!(freed, "delete of unallocated device memory");
+        let t0 = self.clock;
+        let dur = self.cfg.timing.alloc.free_duration();
+        self.clock += dur;
+        self.stats.alloc_time += dur;
+        let host_op_id = self.fresh_host_op_id();
+        let haddr = self.host.addr(var);
+        self.dispatch_data_op(
+            DataOpType::Delete,
+            device,
+            target_id,
+            host_op_id,
+            haddr,
+            dev_addr,
+            bytes,
+            codeptr,
+            t0,
+            self.clock,
+            None,
+        );
+    }
+
+    fn do_h2d(&mut self, device: u32, var: VarId, dev_addr: u64, target_id: u64, codeptr: CodePtr) {
+        let bytes = self.host.size(var);
+        // Real byte movement: host → device buffer.
+        let src: Vec<u8> = self.host.bytes(var).to_vec();
+        if let Some(buf) = self.devices[device as usize].mem.bytes_mut(dev_addr) {
+            buf.copy_from_slice(&src);
+        }
+        let t0 = self.clock;
+        let dur = self.cfg.timing.transfer_duration(bytes, true);
+        self.clock += dur;
+        self.stats.transfers += 1;
+        self.stats.bytes_transferred += bytes;
+        self.stats.transfer_time += dur;
+        let host_op_id = self.fresh_host_op_id();
+        let haddr = self.host.addr(var);
+        let t1 = self.clock;
+        self.dispatch_data_op_with_payload(
+            DataOpType::TransferToDevice,
+            device,
+            target_id,
+            host_op_id,
+            haddr,
+            dev_addr,
+            bytes,
+            codeptr,
+            t0,
+            t1,
+            var,
+        );
+    }
+
+    fn do_d2h(&mut self, device: u32, var: VarId, dev_addr: u64, target_id: u64, codeptr: CodePtr) {
+        let bytes = self.host.size(var);
+        // Real byte movement: device buffer → host.
+        if let Some(buf) = self.devices[device as usize].mem.bytes(dev_addr) {
+            let copy: Vec<u8> = buf.to_vec();
+            self.host.bytes_mut(var).copy_from_slice(&copy);
+        }
+        let t0 = self.clock;
+        let dur = self.cfg.timing.transfer_duration(bytes, false);
+        self.clock += dur;
+        self.stats.transfers += 1;
+        self.stats.bytes_transferred += bytes;
+        self.stats.transfer_time += dur;
+        let host_op_id = self.fresh_host_op_id();
+        let haddr = self.host.addr(var);
+        let t1 = self.clock;
+        self.dispatch_data_op_with_payload(
+            DataOpType::TransferFromDevice,
+            device,
+            target_id,
+            host_op_id,
+            dev_addr,
+            haddr,
+            bytes,
+            codeptr,
+            t0,
+            t1,
+            var,
+        );
+    }
+
+    // ---------------------------------------------------------------
+    // OMPT dispatch
+    // ---------------------------------------------------------------
+
+    fn emit_target(
+        &mut self,
+        construct: TargetConstructKind,
+        endpoint: Endpoint,
+        device: u32,
+        target_id: u64,
+        codeptr: CodePtr,
+    ) {
+        let time = self.clock;
+        let Some(slot) = self.tool.as_mut() else {
+            return;
+        };
+        let emi = slot.wants(CallbackKind::TargetEmi);
+        let legacy = slot.wants(CallbackKind::Target);
+        if !emi && !legacy {
+            return;
+        }
+        if !emi && endpoint == Endpoint::End {
+            // Non-EMI callbacks fire only at event start (§2.3).
+            return;
+        }
+        slot.tool.on_target(&TargetCallback {
+            endpoint,
+            construct,
+            device: DeviceId::target(device),
+            target_id,
+            codeptr_ra: codeptr,
+            time,
+        });
+    }
+
+    fn emit_submit(
+        &mut self,
+        endpoint: Endpoint,
+        device: u32,
+        target_id: u64,
+        num_teams: u32,
+        codeptr: CodePtr,
+        time: SimTime,
+    ) {
+        let Some(slot) = self.tool.as_mut() else {
+            return;
+        };
+        let emi = slot.wants(CallbackKind::TargetSubmitEmi);
+        let legacy = slot.wants(CallbackKind::TargetSubmit);
+        if !emi && !legacy {
+            return;
+        }
+        if !emi && endpoint == Endpoint::End {
+            return;
+        }
+        slot.tool.on_submit(&SubmitCallback {
+            endpoint,
+            target_id,
+            device: DeviceId::target(device),
+            requested_num_teams: num_teams,
+            codeptr_ra: codeptr,
+            time,
+        });
+    }
+
+    /// Dispatch a data op with no payload (alloc/delete).
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_data_op(
+        &mut self,
+        optype: DataOpType,
+        device: u32,
+        target_id: u64,
+        host_op_id: u64,
+        src_addr: u64,
+        dest_addr: u64,
+        bytes: u64,
+        codeptr: CodePtr,
+        t0: SimTime,
+        t1: SimTime,
+        payload: Option<&[u8]>,
+    ) {
+        let Some(slot) = self.tool.as_mut() else {
+            return;
+        };
+        let emi = slot.wants(CallbackKind::TargetDataOpEmi);
+        let legacy = slot.wants(CallbackKind::TargetDataOp);
+        if !emi && !legacy {
+            return;
+        }
+        let (src_device, dest_device) = device_endpoints(optype, device);
+        let mk = |endpoint, time, payload| DataOpCallback {
+            endpoint,
+            target_id,
+            host_op_id,
+            optype,
+            src_device,
+            src_addr,
+            dest_device,
+            dest_addr,
+            bytes,
+            codeptr_ra: codeptr,
+            time,
+            payload,
+        };
+        if emi {
+            slot.tool.on_data_op(&mk(Endpoint::Begin, t0, None));
+            slot.tool.on_data_op(&mk(Endpoint::End, t1, payload));
+        } else {
+            // Begin-only, and the payload is observable at start for a
+            // pointer-chasing tool, so hand it over here.
+            slot.tool.on_data_op(&mk(Endpoint::Begin, t0, payload));
+        }
+    }
+
+    /// Dispatch a transfer whose payload is `var`'s host bytes (valid for
+    /// both directions: after a D2H the host copy equals the device copy).
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_data_op_with_payload(
+        &mut self,
+        optype: DataOpType,
+        device: u32,
+        target_id: u64,
+        host_op_id: u64,
+        src_addr: u64,
+        dest_addr: u64,
+        bytes: u64,
+        codeptr: CodePtr,
+        t0: SimTime,
+        t1: SimTime,
+        var: VarId,
+    ) {
+        let Some(slot) = self.tool.as_mut() else {
+            return;
+        };
+        let emi = slot.wants(CallbackKind::TargetDataOpEmi);
+        let legacy = slot.wants(CallbackKind::TargetDataOp);
+        if !emi && !legacy {
+            return;
+        }
+        // For H2D the host copy *is* the payload; for D2H we just copied
+        // the device bytes into the host var, so it is content-identical.
+        let payload = self.host.bytes(var);
+        let (src_device, dest_device) = device_endpoints(optype, device);
+        let mk = |endpoint, time, payload| DataOpCallback {
+            endpoint,
+            target_id,
+            host_op_id,
+            optype,
+            src_device,
+            src_addr,
+            dest_device,
+            dest_addr,
+            bytes,
+            codeptr_ra: codeptr,
+            time,
+            payload,
+        };
+        if emi {
+            slot.tool.on_data_op(&mk(Endpoint::Begin, t0, None));
+            slot.tool.on_data_op(&mk(Endpoint::End, t1, Some(payload)));
+        } else {
+            slot.tool.on_data_op(&mk(Endpoint::Begin, t0, Some(payload)));
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Lifecycle
+    // ---------------------------------------------------------------
+
+    /// Finish the run: finalize the tool and return run statistics.
+    pub fn finish(&mut self) -> RuntimeStats {
+        assert!(!self.finished, "finish() called twice");
+        assert!(
+            self.open_regions.is_empty(),
+            "target data region left open at program end"
+        );
+        self.finished = true;
+        self.stats.total_time = SimDuration(self.clock.as_nanos());
+        if let Some(slot) = self.tool.as_mut() {
+            slot.tool.finalize(self.clock.as_nanos());
+        }
+        self.stats
+    }
+
+    /// Statistics so far (valid any time; total_time set at finish).
+    pub fn stats(&self) -> RuntimeStats {
+        self.stats
+    }
+
+    /// Peak device memory in use on `device`.
+    pub fn device_peak_bytes(&self, device: u32) -> u64 {
+        self.devices[device as usize].mem.peak_in_use()
+    }
+
+    /// Live present-table mappings on `device` (testing aid).
+    pub fn present_mappings(&self, device: u32) -> usize {
+        self.devices[device as usize].present.len()
+    }
+
+    /// Advance the clock by the host-side directive dispatch overhead.
+    fn dispatch_overhead(&mut self) {
+        self.clock += SimDuration(self.cfg.timing.host_dispatch_ns);
+    }
+
+    fn fresh_target_id(&mut self) -> u64 {
+        let id = self.next_target_id;
+        self.next_target_id += 1;
+        id
+    }
+
+    fn fresh_host_op_id(&mut self) -> u64 {
+        let id = self.next_host_op_id;
+        self.next_host_op_id += 1;
+        id
+    }
+
+    fn assert_running(&self, device: u32) {
+        assert!(!self.finished, "directive after finish()");
+        assert!(
+            (device as usize) < self.devices.len(),
+            "device {device} out of range ({} devices)",
+            self.devices.len()
+        );
+    }
+}
+
+/// OMPT device-number conventions per op type.
+fn device_endpoints(optype: DataOpType, device: u32) -> (DeviceId, DeviceId) {
+    match optype {
+        DataOpType::TransferFromDevice => (DeviceId::target(device), DeviceId::HOST),
+        // Alloc/delete/H2D/associate: host side is the source operand.
+        _ => (DeviceId::HOST, DeviceId::target(device)),
+    }
+}
+
+/// Deterministic default mutation for written buffers when a kernel has
+/// no real body: stamps a salt-derived value into the head and bumps a
+/// sparse stride, so distinct launches always produce distinct content
+/// (the stamp mix is bijective in the salt) while staying cheap.
+fn default_mutation(buf: &mut [u8], salt: u64) {
+    if buf.is_empty() {
+        return;
+    }
+    // SplitMix64 finalizer: bijective, so different target ids can never
+    // stamp identical bytes into buffers of ≥ 8 bytes.
+    let mut z = salt.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    let stamp = z ^ (z >> 31);
+
+    let k = buf.len().min(8);
+    buf[..k].copy_from_slice(&stamp.to_le_bytes()[..k]);
+    let step = (buf.len() / 64).max(1);
+    let mut i = k;
+    while i < buf.len() {
+        buf[i] = buf[i].wrapping_add((stamp as u8) | 1);
+        i += step;
+    }
+    let last = buf.len() - 1;
+    buf[last] = buf[last].wrapping_add((stamp >> 8) as u8 | 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelCost;
+    use crate::{map, map_always};
+    use std::sync::{Arc, Mutex};
+
+    /// A recording tool capturing every callback for assertions.
+    #[derive(Default)]
+    struct Recorder {
+        events: Arc<Mutex<Vec<String>>>,
+        hashes_seen: Arc<Mutex<Vec<u64>>>,
+    }
+
+    impl Tool for Recorder {
+        fn initialize(&mut self, caps: &RuntimeCapabilities) -> ToolRegistration {
+            ToolRegistration::negotiate(
+                &[
+                    CallbackKind::TargetEmi,
+                    CallbackKind::TargetDataOpEmi,
+                    CallbackKind::TargetSubmitEmi,
+                ],
+                caps,
+            )
+        }
+
+        fn on_target(&mut self, cb: &TargetCallback) {
+            self.events
+                .lock()
+                .unwrap()
+                .push(format!("target {:?} {:?}", cb.construct, cb.endpoint));
+        }
+
+        fn on_data_op(&mut self, cb: &DataOpCallback<'_>) {
+            if cb.endpoint == Endpoint::End {
+                self.events
+                    .lock()
+                    .unwrap()
+                    .push(format!("dataop {:?} {} bytes", cb.optype, cb.bytes));
+                if let Some(p) = cb.payload {
+                    self.hashes_seen
+                        .lock()
+                        .unwrap()
+                        .push(odp_hash_stub(p));
+                }
+            }
+        }
+
+        fn on_submit(&mut self, cb: &SubmitCallback) {
+            self.events
+                .lock()
+                .unwrap()
+                .push(format!("submit {:?}", cb.endpoint));
+        }
+    }
+
+    /// Cheap stand-in hash for tests (the real tool uses odp-hash).
+    fn odp_hash_stub(data: &[u8]) -> u64 {
+        data.iter().fold(0xcbf29ce484222325u64, |h, &b| {
+            (h ^ b as u64).wrapping_mul(0x100000001b3)
+        })
+    }
+
+    fn recorder_runtime() -> (Runtime, Arc<Mutex<Vec<String>>>, Arc<Mutex<Vec<u64>>>) {
+        let mut rt = Runtime::with_defaults();
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let hashes = Arc::new(Mutex::new(Vec::new()));
+        rt.attach_tool(Box::new(Recorder {
+            events: events.clone(),
+            hashes_seen: hashes.clone(),
+        }));
+        (rt, events, hashes)
+    }
+
+    #[test]
+    fn listing1_duplicate_transfer_shape() {
+        // Two back-to-back target regions mapping the same `to:` array:
+        // alloc+H2D+delete twice, with identical payload → same hash.
+        let (mut rt, events, hashes) = recorder_runtime();
+        let a = rt.host_alloc("a", 1024);
+        rt.host_fill_u32(a, |i| i as u32);
+        for _ in 0..2 {
+            rt.target(
+                0,
+                CodePtr(0x100),
+                &[map(MapType::To, a)],
+                Kernel::new("sum", KernelCost::fixed(1_000)).reads(&[a]),
+            );
+        }
+        rt.finish();
+        let ev = events.lock().unwrap();
+        let h2d = ev.iter().filter(|e| e.contains("TransferToDevice")).count();
+        let allocs = ev.iter().filter(|e| e.contains("Alloc")).count();
+        let deletes = ev.iter().filter(|e| e.contains("Delete")).count();
+        assert_eq!(h2d, 2, "duplicate transfer: {ev:?}");
+        assert_eq!(allocs, 2, "repeated allocation");
+        assert_eq!(deletes, 2);
+        let hs = hashes.lock().unwrap();
+        assert_eq!(hs.len(), 2);
+        assert_eq!(hs[0], hs[1], "identical payloads hash identically");
+    }
+
+    #[test]
+    fn target_data_region_suppresses_remapping() {
+        // Listing 1's fix: wrap both regions in `target data map(to: a)`.
+        let (mut rt, events, _) = recorder_runtime();
+        let a = rt.host_alloc("a", 1024);
+        let region = rt.target_data_begin(0, CodePtr(0x90), &[map(MapType::To, a)]);
+        for _ in 0..2 {
+            rt.target(
+                0,
+                CodePtr(0x100),
+                &[map(MapType::To, a)],
+                Kernel::new("sum", KernelCost::fixed(1_000)).reads(&[a]),
+            );
+        }
+        rt.target_data_end(region);
+        rt.finish();
+        let ev = events.lock().unwrap();
+        let h2d = ev.iter().filter(|e| e.contains("TransferToDevice")).count();
+        let allocs = ev.iter().filter(|e| e.contains("Alloc")).count();
+        assert_eq!(h2d, 1, "single transfer inside the data region: {ev:?}");
+        assert_eq!(allocs, 1);
+    }
+
+    #[test]
+    fn implicit_tofrom_round_trip() {
+        // Listing 2: no explicit map → implicit tofrom each iteration.
+        let (mut rt, events, hashes) = recorder_runtime();
+        let a = rt.host_alloc("a", 4096);
+        for _ in 0..3 {
+            rt.target(
+                0,
+                CodePtr(0x200),
+                &[],
+                Kernel::new("incr", KernelCost::fixed(500)).reads(&[a]).writes(&[a]),
+            );
+        }
+        rt.finish();
+        let ev = events.lock().unwrap();
+        let h2d = ev.iter().filter(|e| e.contains("TransferToDevice")).count();
+        let d2h = ev.iter().filter(|e| e.contains("TransferFromDevice")).count();
+        assert_eq!(h2d, 3);
+        assert_eq!(d2h, 3);
+        // Round-trip: D2H of iteration i has the same content as H2D of
+        // iteration i+1 (kernel mutates on device, host copies it back).
+        let hs = hashes.lock().unwrap();
+        // order: h2d0, d2h0, h2d1, d2h1, h2d2, d2h2
+        assert_eq!(hs[1], hs[2], "round trip between iterations");
+        assert_eq!(hs[3], hs[4]);
+        // And the kernel really mutates: h2d0 != d2h0.
+        assert_ne!(hs[0], hs[1]);
+    }
+
+    #[test]
+    fn kernel_body_runs_real_compute() {
+        let mut rt = Runtime::with_defaults();
+        let x = rt.host_alloc("x", 8 * 8);
+        rt.host_fill_f64(x, |i| i as f64);
+        let mut body = |view: &mut DeviceView<'_>| {
+            let mut vals = view.read_f64(VarId(0));
+            for v in vals.iter_mut() {
+                *v *= 2.0;
+            }
+            view.write_f64(VarId(0), &vals);
+        };
+        rt.target(
+            0,
+            CodePtr(1),
+            &[map(MapType::ToFrom, x)],
+            Kernel::new("dbl", KernelCost::fixed(100))
+                .reads(&[x])
+                .writes(&[x])
+                .body(&mut body),
+        );
+        rt.finish();
+        let vals = rt.host_read_f64(x);
+        assert_eq!(vals, vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0]);
+    }
+
+    #[test]
+    fn enter_exit_data_persistence() {
+        let (mut rt, events, _) = recorder_runtime();
+        let a = rt.host_alloc("a", 64);
+        rt.target_enter_data(0, CodePtr(1), &[map(MapType::To, a)]);
+        for _ in 0..4 {
+            rt.target(
+                0,
+                CodePtr(2),
+                &[map(MapType::To, a)],
+                Kernel::new("k", KernelCost::fixed(10)).reads(&[a]),
+            );
+        }
+        rt.target_exit_data(0, CodePtr(3), &[map(MapType::Delete, a)]);
+        rt.finish();
+        let ev = events.lock().unwrap();
+        assert_eq!(
+            ev.iter().filter(|e| e.contains("TransferToDevice")).count(),
+            1
+        );
+        assert_eq!(ev.iter().filter(|e| e.contains("Alloc")).count(), 1);
+        assert_eq!(ev.iter().filter(|e| e.contains("Delete")).count(), 1);
+        assert_eq!(rt.present_mappings(0), 0);
+    }
+
+    #[test]
+    fn always_modifier_forces_copy() {
+        let (mut rt, events, _) = recorder_runtime();
+        let a = rt.host_alloc("a", 64);
+        let region = rt.target_data_begin(0, CodePtr(1), &[map(MapType::To, a)]);
+        rt.target(
+            0,
+            CodePtr(2),
+            &[map_always(MapType::To, a)],
+            Kernel::new("k", KernelCost::fixed(10)).reads(&[a]),
+        );
+        rt.target_data_end(region);
+        rt.finish();
+        let ev = events.lock().unwrap();
+        assert_eq!(
+            ev.iter().filter(|e| e.contains("TransferToDevice")).count(),
+            2,
+            "region entry + forced copy"
+        );
+    }
+
+    #[test]
+    fn update_of_absent_data_warns() {
+        let mut rt = Runtime::with_defaults();
+        let a = rt.host_alloc("ghost", 64);
+        rt.target_update_to(0, CodePtr(1), &[a]);
+        assert_eq!(rt.warnings().len(), 1);
+        assert!(matches!(
+            rt.warnings()[0],
+            RuntimeWarning::UpdateOfAbsentData { .. }
+        ));
+    }
+
+    #[test]
+    fn virtual_clock_advances_through_model() {
+        let mut rt = Runtime::with_defaults();
+        let a = rt.host_alloc("a", 1 << 20);
+        assert_eq!(rt.now(), SimTime::ZERO);
+        rt.target(
+            0,
+            CodePtr(1),
+            &[map(MapType::ToFrom, a)],
+            Kernel::new("k", KernelCost::fixed(1_000)).reads(&[a]).writes(&[a]),
+        );
+        let stats = rt.finish();
+        // alloc + h2d + kernel + d2h + delete all contribute.
+        assert!(stats.total_time.as_nanos() > 0);
+        assert_eq!(stats.transfers, 2);
+        assert_eq!(stats.allocs, 1);
+        assert_eq!(stats.kernels, 1);
+        assert!(stats.transfer_time > SimDuration::ZERO);
+        assert!(stats.kernel_time.as_nanos() >= 1_000);
+    }
+
+    #[test]
+    fn lifo_region_discipline_enforced() {
+        let mut rt = Runtime::with_defaults();
+        let a = rt.host_alloc("a", 8);
+        let b = rt.host_alloc("b", 8);
+        let r1 = rt.target_data_begin(0, CodePtr(1), &[map(MapType::To, a)]);
+        let r2 = rt.target_data_begin(0, CodePtr(2), &[map(MapType::To, b)]);
+        rt.target_data_end(r2);
+        rt.target_data_end(r1);
+        rt.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "LIFO")]
+    fn non_lifo_region_close_panics() {
+        let mut rt = Runtime::with_defaults();
+        let a = rt.host_alloc("a", 8);
+        let b = rt.host_alloc("b", 8);
+        let r1 = rt.target_data_begin(0, CodePtr(1), &[map(MapType::To, a)]);
+        let _r2 = rt.target_data_begin(0, CodePtr(2), &[map(MapType::To, b)]);
+        rt.target_data_end(r1);
+    }
+
+    #[test]
+    fn multi_device_independent_present_tables() {
+        let (mut rt, events, _) = {
+            let mut rt = Runtime::new(RuntimeConfig::default().with_devices(2));
+            let events = Arc::new(Mutex::new(Vec::new()));
+            let hashes = Arc::new(Mutex::new(Vec::new()));
+            rt.attach_tool(Box::new(Recorder {
+                events: events.clone(),
+                hashes_seen: hashes.clone(),
+            }));
+            (rt, events, hashes)
+        };
+        let a = rt.host_alloc("a", 256);
+        rt.target(
+            0,
+            CodePtr(1),
+            &[map(MapType::To, a)],
+            Kernel::new("k0", KernelCost::fixed(10)).reads(&[a]),
+        );
+        rt.target(
+            1,
+            CodePtr(2),
+            &[map(MapType::To, a)],
+            Kernel::new("k1", KernelCost::fixed(10)).reads(&[a]),
+        );
+        rt.finish();
+        let ev = events.lock().unwrap();
+        // Each device maps independently: 2 allocs, 2 H2D.
+        assert_eq!(ev.iter().filter(|e| e.contains("Alloc")).count(), 2);
+        assert_eq!(
+            ev.iter().filter(|e| e.contains("TransferToDevice")).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn pre_emi_runtime_delivers_begin_only() {
+        #[derive(Default)]
+        struct CountEndpoints {
+            begins: Arc<Mutex<usize>>,
+            ends: Arc<Mutex<usize>>,
+        }
+        impl Tool for CountEndpoints {
+            fn initialize(&mut self, caps: &RuntimeCapabilities) -> ToolRegistration {
+                // Ask for EMI; fall back to legacy when denied.
+                let emi = ToolRegistration::negotiate(
+                    &[CallbackKind::TargetDataOpEmi],
+                    caps,
+                );
+                if emi.fully_granted() {
+                    emi
+                } else {
+                    ToolRegistration::negotiate(&[CallbackKind::TargetDataOp], caps)
+                }
+            }
+            fn on_data_op(&mut self, cb: &DataOpCallback<'_>) {
+                match cb.endpoint {
+                    Endpoint::Begin => *self.begins.lock().unwrap() += 1,
+                    Endpoint::End => *self.ends.lock().unwrap() += 1,
+                }
+            }
+        }
+        let begins = Arc::new(Mutex::new(0));
+        let ends = Arc::new(Mutex::new(0));
+        let mut rt = Runtime::new(RuntimeConfig::default().pre_emi());
+        rt.attach_tool(Box::new(CountEndpoints {
+            begins: begins.clone(),
+            ends: ends.clone(),
+        }));
+        let a = rt.host_alloc("a", 64);
+        rt.target(
+            0,
+            CodePtr(1),
+            &[map(MapType::To, a)],
+            Kernel::new("k", KernelCost::fixed(10)).reads(&[a]),
+        );
+        rt.finish();
+        assert!(*begins.lock().unwrap() > 0);
+        assert_eq!(*ends.lock().unwrap(), 0, "non-EMI = begin only");
+    }
+
+    #[test]
+    fn nowait_kernel_overlaps_host_clock() {
+        let mut rt = Runtime::with_defaults();
+        let a = rt.host_alloc("a", 256);
+        let region = rt.target_data_begin(0, CodePtr(1), &[map(MapType::To, a)]);
+        let t0 = rt.now();
+        rt.target_nowait(
+            0,
+            CodePtr(2),
+            &[map(MapType::To, a)],
+            Kernel::new("slow", KernelCost::fixed(1_000_000)).reads(&[a]).writes(&[a]),
+        );
+        let t1 = rt.now();
+        assert!(
+            (t1 - t0).as_nanos() < 1_000_000,
+            "host must not wait for the async kernel"
+        );
+        rt.taskwait(0);
+        assert!((rt.now() - t0).as_nanos() >= 1_000_000);
+        rt.target_data_end(region);
+        rt.finish();
+    }
+
+    #[test]
+    fn nowait_exit_syncs_when_data_is_copied_back() {
+        // An implicit tofrom on a nowait target must wait for the kernel
+        // before the copy-back, per OpenMP data-environment semantics.
+        let mut rt = Runtime::with_defaults();
+        let a = rt.host_alloc("a", 256);
+        let t0 = rt.now();
+        rt.target_nowait(
+            0,
+            CodePtr(2),
+            &[],
+            Kernel::new("slow", KernelCost::fixed(2_000_000)).reads(&[a]).writes(&[a]),
+        );
+        assert!(
+            (rt.now() - t0).as_nanos() >= 2_000_000,
+            "copy-back forces synchronization"
+        );
+        rt.finish();
+    }
+
+    #[test]
+    fn taskwait_is_idempotent() {
+        let mut rt = Runtime::with_defaults();
+        rt.taskwait(0);
+        let t = rt.now();
+        rt.taskwait(0);
+        assert_eq!(rt.now(), t);
+        rt.finish();
+    }
+
+    #[test]
+    fn device_address_reuse_after_full_unmap() {
+        // The allocator behaviour Algorithm 3 keys on.
+        let mut rt = Runtime::with_defaults();
+        let a = rt.host_alloc("a", 4096);
+        let mut addrs = Vec::new();
+        struct Grab {
+            addrs: Arc<Mutex<Vec<u64>>>,
+        }
+        impl Tool for Grab {
+            fn initialize(&mut self, caps: &RuntimeCapabilities) -> ToolRegistration {
+                ToolRegistration::negotiate(&[CallbackKind::TargetDataOpEmi], caps)
+            }
+            fn on_data_op(&mut self, cb: &DataOpCallback<'_>) {
+                if cb.optype == DataOpType::Alloc && cb.endpoint == Endpoint::End {
+                    self.addrs.lock().unwrap().push(cb.dest_addr);
+                }
+            }
+        }
+        let grabbed = Arc::new(Mutex::new(Vec::new()));
+        rt.attach_tool(Box::new(Grab {
+            addrs: grabbed.clone(),
+        }));
+        for _ in 0..3 {
+            rt.target(
+                0,
+                CodePtr(1),
+                &[map(MapType::To, a)],
+                Kernel::new("k", KernelCost::fixed(10)).reads(&[a]),
+            );
+        }
+        rt.finish();
+        addrs.extend(grabbed.lock().unwrap().iter().copied());
+        assert_eq!(addrs.len(), 3);
+        assert_eq!(addrs[0], addrs[1], "repeat alloc reuses the device address");
+        assert_eq!(addrs[1], addrs[2]);
+    }
+}

@@ -1,0 +1,30 @@
+//! # odp-trace — the tool-side event log
+//!
+//! OMPDataPerf's detection runs post-mortem over "a log of all OpenMP
+//! target events" (§5). This crate is that log. Its design goals follow
+//! the paper's §7.4 space-overhead accounting:
+//!
+//! * **72 bytes** per data-transfer/allocation event,
+//! * **24 bytes** per target-launch event,
+//! * chunked append-only storage (no reallocation spikes while the
+//!   monitored program runs),
+//! * peak-allocation tracking so Figure 3 is a real byte count,
+//! * code-pointer interning for the 24-byte target records,
+//! * hydration into the `odp-model` event types for the detectors, and
+//!   JSON export for offline analysis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod chunked;
+pub mod intern;
+pub mod log;
+pub mod record;
+pub mod stats;
+
+pub use chunked::ChunkedVec;
+pub use intern::CodePtrTable;
+pub use log::TraceLog;
+pub use record::{DataOpRecord, TargetRecord, DATA_OP_RECORD_BYTES, TARGET_RECORD_BYTES};
+pub use stats::{SpaceStats, TraceStats};

@@ -1,0 +1,363 @@
+//! The trace log assembled by the tool while the program runs, and the
+//! hydrated view the detectors consume afterwards.
+
+use crate::chunked::ChunkedVec;
+use crate::intern::CodePtrTable;
+use crate::record::{DataOpRecord, TargetRecord};
+use crate::stats::{SpaceStats, TraceStats};
+use odp_model::{
+    CodePtr, DataOpEvent, DataOpKind, DeviceId, SimDuration, TargetEvent, TargetKind, TimeSpan,
+};
+use serde::Serialize;
+
+/// The tool-side event log.
+///
+/// Records are appended in completion order while the program runs; the
+/// hydrated views returned by [`TraceLog::data_op_events`] and
+/// [`TraceLog::target_events`] are sorted chronologically by event start
+/// (with log order breaking ties), which is the precondition of every
+/// algorithm in §5.
+#[derive(Debug, Default)]
+pub struct TraceLog {
+    data_ops: ChunkedVec<DataOpRecord>,
+    targets: ChunkedVec<TargetRecord>,
+    codeptrs: CodePtrTable,
+    next_seq: u32,
+    peak_alloc_bytes: usize,
+    total_time: SimDuration,
+}
+
+impl TraceLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a data operation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_data_op(
+        &mut self,
+        kind: DataOpKind,
+        src_device: DeviceId,
+        dest_device: DeviceId,
+        src_addr: u64,
+        dest_addr: u64,
+        bytes: u64,
+        hash: Option<u64>,
+        span: TimeSpan,
+        codeptr: CodePtr,
+    ) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.data_ops.push(DataOpRecord::new(
+            seq, kind, src_device, dest_device, src_addr, dest_addr, bytes, hash, span, codeptr,
+        ));
+        self.note_end(span);
+        self.update_peak();
+    }
+
+    /// Record a target construct / kernel execution.
+    pub fn record_target(
+        &mut self,
+        kind: TargetKind,
+        device: DeviceId,
+        span: TimeSpan,
+        codeptr: CodePtr,
+    ) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let ix = self.codeptrs.intern(codeptr);
+        self.targets.push(TargetRecord::new(seq, device, kind, span, ix));
+        self.note_end(span);
+        self.update_peak();
+    }
+
+    fn note_end(&mut self, span: TimeSpan) {
+        let end = SimDuration(span.end.as_nanos());
+        if end > self.total_time {
+            self.total_time = end;
+        }
+    }
+
+    fn update_peak(&mut self) {
+        let now = self.current_alloc_bytes();
+        if now > self.peak_alloc_bytes {
+            self.peak_alloc_bytes = now;
+        }
+    }
+
+    /// Explicitly set the monitored program's total execution time (the
+    /// tool records this at finalization; used by prediction).
+    pub fn set_total_time(&mut self, t: SimDuration) {
+        if t > self.total_time {
+            self.total_time = t;
+        }
+    }
+
+    /// Total program execution time seen by the log.
+    pub fn total_time(&self) -> SimDuration {
+        self.total_time
+    }
+
+    /// Number of data-op records.
+    pub fn data_op_count(&self) -> usize {
+        self.data_ops.len()
+    }
+
+    /// Number of target records.
+    pub fn target_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Bytes currently allocated by the log.
+    pub fn current_alloc_bytes(&self) -> usize {
+        self.data_ops.allocated_bytes()
+            + self.targets.allocated_bytes()
+            + self.codeptrs.allocated_bytes()
+    }
+
+    /// Space accounting for Figure 3.
+    pub fn space_stats(&self) -> SpaceStats {
+        SpaceStats {
+            data_op_records: self.data_ops.len(),
+            target_records: self.targets.len(),
+            record_bytes: self.data_ops.used_bytes() + self.targets.used_bytes(),
+            peak_alloc_bytes: self.peak_alloc_bytes,
+        }
+    }
+
+    /// Hydrate data-op events, sorted chronologically (start, then log
+    /// order) — the `data_op_events` input of Algorithms 1–5.
+    pub fn data_op_events(&self) -> Vec<DataOpEvent> {
+        let mut events: Vec<DataOpEvent> = self.data_ops.iter().map(|r| r.to_event()).collect();
+        events.sort_by_key(|e| (e.span.start, e.id));
+        events
+    }
+
+    /// Hydrate target events, sorted chronologically.
+    pub fn target_events(&self) -> Vec<TargetEvent> {
+        let mut pairs: Vec<(u32, TargetEvent)> = self
+            .targets
+            .iter()
+            .map(|r| {
+                let cp = self.codeptrs.resolve(r.codeptr_ix);
+                (r.seq(), r.to_event(r.seq() as u64, cp))
+            })
+            .collect();
+        pairs.sort_by_key(|(seq, e)| (e.span.start, *seq));
+        pairs.into_iter().map(|(_, e)| e).collect()
+    }
+
+    /// Hydrate only kernel-execution events (input to Algorithms 4/5).
+    pub fn kernel_events(&self) -> Vec<TargetEvent> {
+        self.target_events()
+            .into_iter()
+            .filter(|e| e.is_kernel())
+            .collect()
+    }
+
+    /// Aggregate statistics for reports.
+    pub fn stats(&self) -> TraceStats {
+        let mut s = TraceStats::default();
+        for r in self.data_ops.iter() {
+            let e = r.to_event();
+            match e.kind {
+                DataOpKind::Transfer => {
+                    s.transfers += 1;
+                    s.bytes_transferred += e.bytes;
+                    s.transfer_time += e.duration();
+                    if e.is_host_to_device() {
+                        s.h2d_transfers += 1;
+                    } else if e.is_device_to_host() {
+                        s.d2h_transfers += 1;
+                    }
+                }
+                DataOpKind::Alloc => {
+                    s.allocs += 1;
+                    s.bytes_allocated += e.bytes;
+                    s.alloc_time += e.duration();
+                }
+                DataOpKind::Delete => {
+                    s.deletes += 1;
+                    s.alloc_time += e.duration();
+                }
+                _ => {}
+            }
+        }
+        for r in self.targets.iter() {
+            if r.kind() == TargetKind::Kernel {
+                s.kernels += 1;
+                s.kernel_time += SimDuration(r.end.saturating_sub(r.start));
+            }
+        }
+        s.total_time = self.total_time;
+        s
+    }
+
+    /// Export the hydrated events as pretty JSON.
+    pub fn to_json(&self) -> String {
+        #[derive(Serialize)]
+        struct Export {
+            data_ops: Vec<DataOpEvent>,
+            targets: Vec<TargetEvent>,
+            total_time_ns: u64,
+        }
+        let ex = Export {
+            data_ops: self.data_op_events(),
+            targets: self.target_events(),
+            total_time_ns: self.total_time.as_nanos(),
+        };
+        serde_json::to_string_pretty(&ex).expect("trace serialization cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odp_model::SimTime;
+
+    fn span(a: u64, b: u64) -> TimeSpan {
+        TimeSpan::new(SimTime(a), SimTime(b))
+    }
+
+    fn sample_log() -> TraceLog {
+        let mut log = TraceLog::new();
+        log.record_data_op(
+            DataOpKind::Alloc,
+            DeviceId::HOST,
+            DeviceId::target(0),
+            0x1000,
+            0x8000,
+            256,
+            None,
+            span(0, 10),
+            CodePtr(0x400100),
+        );
+        log.record_data_op(
+            DataOpKind::Transfer,
+            DeviceId::HOST,
+            DeviceId::target(0),
+            0x1000,
+            0x8000,
+            256,
+            Some(0xabcd),
+            span(10, 30),
+            CodePtr(0x400100),
+        );
+        log.record_target(TargetKind::Kernel, DeviceId::target(0), span(30, 90), CodePtr(0x400200));
+        log.record_data_op(
+            DataOpKind::Transfer,
+            DeviceId::target(0),
+            DeviceId::HOST,
+            0x8000,
+            0x1000,
+            256,
+            Some(0xef01),
+            span(90, 110),
+            CodePtr(0x400100),
+        );
+        log.record_data_op(
+            DataOpKind::Delete,
+            DeviceId::HOST,
+            DeviceId::target(0),
+            0x1000,
+            0x8000,
+            256,
+            None,
+            span(110, 115),
+            CodePtr(0x400100),
+        );
+        log
+    }
+
+    #[test]
+    fn counts_and_hydration() {
+        let log = sample_log();
+        assert_eq!(log.data_op_count(), 4);
+        assert_eq!(log.target_count(), 1);
+        let ops = log.data_op_events();
+        assert_eq!(ops.len(), 4);
+        assert!(ops.windows(2).all(|w| w[0].span.start <= w[1].span.start));
+        let kernels = log.kernel_events();
+        assert_eq!(kernels.len(), 1);
+        assert_eq!(kernels[0].codeptr, CodePtr(0x400200));
+    }
+
+    #[test]
+    fn stats_aggregate_correctly() {
+        let log = sample_log();
+        let s = log.stats();
+        assert_eq!(s.transfers, 2);
+        assert_eq!(s.h2d_transfers, 1);
+        assert_eq!(s.d2h_transfers, 1);
+        assert_eq!(s.allocs, 1);
+        assert_eq!(s.deletes, 1);
+        assert_eq!(s.kernels, 1);
+        assert_eq!(s.bytes_transferred, 512);
+        assert_eq!(s.transfer_time, SimDuration(40));
+        assert_eq!(s.kernel_time, SimDuration(60));
+        assert_eq!(s.total_time, SimDuration(115));
+    }
+
+    #[test]
+    fn chronological_sort_breaks_ties_by_log_order() {
+        let mut log = TraceLog::new();
+        for i in 0..5u64 {
+            log.record_data_op(
+                DataOpKind::Transfer,
+                DeviceId::HOST,
+                DeviceId::target(0),
+                i,
+                0,
+                1,
+                Some(i),
+                span(100, 100),
+                CodePtr::NULL,
+            );
+        }
+        let ops = log.data_op_events();
+        let addrs: Vec<u64> = ops.iter().map(|e| e.src_addr).collect();
+        assert_eq!(addrs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn space_stats_track_peak() {
+        let mut log = TraceLog::new();
+        for _ in 0..10_000 {
+            log.record_data_op(
+                DataOpKind::Transfer,
+                DeviceId::HOST,
+                DeviceId::target(0),
+                0,
+                0,
+                1,
+                Some(1),
+                span(0, 1),
+                CodePtr::NULL,
+            );
+        }
+        let ss = log.space_stats();
+        assert_eq!(ss.data_op_records, 10_000);
+        assert_eq!(ss.record_bytes, 10_000 * 72);
+        assert!(ss.peak_alloc_bytes >= ss.record_bytes);
+    }
+
+    #[test]
+    fn json_export_is_valid() {
+        let log = sample_log();
+        let json = log.to_json();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["data_ops"].as_array().unwrap().len(), 4);
+        assert_eq!(v["total_time_ns"], 115);
+    }
+
+    #[test]
+    fn total_time_can_be_extended_by_finalizer() {
+        let mut log = sample_log();
+        log.set_total_time(SimDuration(10_000));
+        assert_eq!(log.total_time(), SimDuration(10_000));
+        // But never shrunk.
+        log.set_total_time(SimDuration(5));
+        assert_eq!(log.total_time(), SimDuration(10_000));
+    }
+}

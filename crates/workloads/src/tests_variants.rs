@@ -1,0 +1,77 @@
+//! Cross-variant invariants for the workload suite, checked at the
+//! Small size so they stay cheap enough for every CI run.
+
+use crate::{ProblemSize, Variant};
+use odp_sim::Runtime;
+
+/// Virtual runtime of one run.
+fn sim_time(name: &str, variant: Variant) -> u64 {
+    let w = crate::by_name(name).unwrap();
+    let mut rt = Runtime::with_defaults();
+    w.run(&mut rt, ProblemSize::Small, variant);
+    rt.finish().total_time.as_nanos()
+}
+
+#[test]
+fn fixes_always_speed_programs_up() {
+    for name in ["bfs", "minife", "rsbench", "xsbench"] {
+        let orig = sim_time(name, Variant::Original);
+        let fixed = sim_time(name, Variant::Fixed);
+        assert!(
+            fixed < orig,
+            "{name}: fixed ({fixed} ns) not faster than original ({orig} ns)"
+        );
+    }
+}
+
+#[test]
+fn synthetic_issues_always_slow_programs_down() {
+    for name in ["hotspot", "lud", "minifmm", "nw", "tealeaf"] {
+        let orig = sim_time(name, Variant::Original);
+        let syn = sim_time(name, Variant::Synthetic);
+        assert!(
+            syn > orig,
+            "{name}: synthetic ({syn} ns) not slower than original ({orig} ns)"
+        );
+    }
+}
+
+#[test]
+fn syn_fixed_sits_between_original_and_synthetic() {
+    for name in ["lud", "nw", "minifmm"] {
+        let orig = sim_time(name, Variant::Original);
+        let syn = sim_time(name, Variant::Synthetic);
+        let syn_fixed = sim_time(name, Variant::SynFixed);
+        assert!(
+            syn_fixed < syn,
+            "{name}: repairing injections must help ({syn_fixed} vs {syn})"
+        );
+        assert!(
+            syn_fixed >= orig,
+            "{name}: the repaired synthetic program keeps its scaffolding \
+             kernels, so it cannot beat the original ({syn_fixed} vs {orig})"
+        );
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    for name in ["bfs", "tealeaf", "bspline-vgh-omp"] {
+        let a = sim_time(name, Variant::Original);
+        let b = sim_time(name, Variant::Original);
+        assert_eq!(a, b, "{name}: nondeterministic virtual time");
+    }
+}
+
+#[test]
+fn xsbench_moves_more_data_than_rsbench() {
+    // The defining contrast between the two Argonne proxies (rsbench is
+    // the "reduced data movement algorithm", its paper's title).
+    let bytes = |name: &str| {
+        let w = crate::by_name(name).unwrap();
+        let mut rt = Runtime::with_defaults();
+        w.run(&mut rt, ProblemSize::Medium, Variant::Original);
+        rt.finish().bytes_transferred
+    };
+    assert!(bytes("xsbench") > 4 * bytes("rsbench"));
+}

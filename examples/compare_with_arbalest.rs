@@ -1,0 +1,69 @@
+//! §7.7 in miniature: run OMPDataPerf and Arbalest-Vec side by side on
+//! the five HeCBench programs and print the Table 2 comparison — the
+//! paper's argument that correctness checking alone does not surface
+//! performance bugs (and sometimes cries wolf on write-only outputs).
+//!
+//! ```sh
+//! cargo run --example compare_with_arbalest
+//! ```
+
+use odp_arbalest::ArbalestVecTool;
+use odp_sim::Runtime;
+use odp_workloads::{ProblemSize, Variant, Workload};
+use ompdataperf::tool::{OmpDataPerfTool, ToolConfig};
+
+fn ompdataperf_categories(w: &dyn Workload) -> String {
+    let mut rt = Runtime::with_defaults();
+    let (tool, handle) = OmpDataPerfTool::new(ToolConfig::default());
+    rt.attach_tool(Box::new(tool));
+    w.run(&mut rt, ProblemSize::Medium, Variant::Original);
+    rt.finish();
+    let c = ompdataperf::analyze(&handle.take_trace(), None).counts;
+    let mut cats = Vec::new();
+    if c.dd > 0 {
+        cats.push("DD");
+    }
+    if c.rt > 0 {
+        cats.push("RT");
+    }
+    if c.ra > 0 {
+        cats.push("RA");
+    }
+    if c.ua > 0 {
+        cats.push("UA");
+    }
+    if c.ut > 0 {
+        cats.push("UT");
+    }
+    if cats.is_empty() {
+        "N/A".into()
+    } else {
+        cats.join(", ")
+    }
+}
+
+fn arbalest_summary(w: &dyn Workload) -> String {
+    let mut rt = Runtime::with_defaults();
+    let (tool, handle) = ArbalestVecTool::new();
+    rt.attach_tool(Box::new(tool));
+    w.run(&mut rt, ProblemSize::Medium, Variant::Original);
+    rt.finish();
+    handle.report().summary()
+}
+
+fn main() {
+    println!("Table 2: Issues Detected by OMPDataPerf and Arbalest-Vec\n");
+    println!("{:<20} {:<16} {:<12}", "Program Name", "OMPDataPerf", "Arbalest-Vec");
+    for w in odp_workloads::hecbench_programs() {
+        let odp = ompdataperf_categories(w.as_ref());
+        let av = arbalest_summary(w.as_ref());
+        println!("{:<20} {:<16} {:<12}", w.name(), odp, av);
+    }
+    println!(
+        "\nEvery Arbalest-Vec UUM above points at a write-only kernel output \
+         (masked vector stores) — false positives, per the paper's manual \
+         inspection (§7.7). Arbalest-Vec's instrumentation also costs ~{}x \
+         native runtime (§8), vs OMPDataPerf's 5% average overhead.",
+        odp_arbalest::ArbalestReport::NOMINAL_SLOWDOWN
+    );
+}

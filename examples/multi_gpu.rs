@@ -1,0 +1,70 @@
+//! Multi-GPU profiling (§7.8): a data-parallel stencil split across four
+//! simulated GPUs, with a per-device stop-flag anti-pattern that the
+//! tool attributes to each device independently.
+//!
+//! ```sh
+//! cargo run --example multi_gpu
+//! ```
+
+use odp_model::MapType;
+use odp_sim::{map, Kernel, KernelCost, Runtime, RuntimeConfig};
+use ompdataperf::attrib::{DebugInfo, SourceFile};
+use ompdataperf::tool::{OmpDataPerfTool, ToolConfig};
+
+const DEVICES: u32 = 4;
+const CHUNK: usize = 64 * 1024;
+const STEPS: usize = 4;
+
+fn main() {
+    let mut rt = Runtime::new(RuntimeConfig::default().with_devices(DEVICES));
+    let (tool, handle) = OmpDataPerfTool::new(ToolConfig::default());
+    rt.attach_tool(Box::new(tool));
+
+    let mut dbg = DebugInfo::new();
+    let mut sf = SourceFile::new(&mut dbg, "multi_gpu_stencil.c", 0x60_0000);
+    let cp_kernel = sf.line(42, "run_step");
+
+    // One chunk of the domain per device.
+    let chunks: Vec<_> = (0..DEVICES)
+        .map(|d| {
+            let v = rt.host_alloc(&format!("domain_chunk_{d}"), CHUNK);
+            rt.host_fill_u32(v, |i| (i as u32).wrapping_mul(d + 1));
+            v
+        })
+        .collect();
+
+    // Anti-pattern: every step remaps each chunk instead of keeping it
+    // resident, so every device sees duplicates and reallocations.
+    for _step in 0..STEPS {
+        for (d, &chunk) in chunks.iter().enumerate() {
+            rt.target(
+                d as u32,
+                cp_kernel,
+                &[map(MapType::To, chunk)],
+                Kernel::new("stencil_step", KernelCost::scaled((CHUNK / 4) as u64))
+                    .reads(&[chunk])
+                    .writes(&[chunk]),
+            );
+        }
+    }
+    rt.finish();
+
+    let trace = handle.take_trace();
+    let report = ompdataperf::analysis::analyze_named(
+        &trace,
+        Some(&dbg),
+        "multi_gpu_stencil",
+        handle.console_lines(),
+    );
+    println!("{}", report.render());
+
+    // Each device re-received its unchanged chunk STEPS-1 times...
+    assert_eq!(report.counts.dd, (DEVICES as usize) * (STEPS - 1));
+    // ...and reallocated it as many times.
+    assert_eq!(report.counts.ra, (DEVICES as usize) * (STEPS - 1));
+    println!(
+        "detected the remapping anti-pattern on all {DEVICES} devices \
+         ({} duplicate transfers, {} reallocations)",
+        report.counts.dd, report.counts.ra
+    );
+}

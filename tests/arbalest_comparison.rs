@@ -1,0 +1,147 @@
+//! Table 2 reproduction: OMPDataPerf vs Arbalest-Vec on the five
+//! HeCBench programs (§7.7).
+
+use odp_arbalest::{AnomalyKind, ArbalestVecTool};
+use odp_sim::Runtime;
+use odp_workloads::{ProblemSize, Variant, Workload};
+use ompdataperf::tool::{OmpDataPerfTool, ToolConfig};
+
+/// Run both tools (separately — each gets its own pristine run, as in
+/// the paper's methodology) and return (OMPDataPerf categories,
+/// Arbalest summary).
+fn both_tools(w: &dyn Workload) -> (String, String) {
+    let mut rt = Runtime::with_defaults();
+    let (tool, handle) = OmpDataPerfTool::new(ToolConfig::default());
+    rt.attach_tool(Box::new(tool));
+    w.run(&mut rt, ProblemSize::Medium, Variant::Original);
+    rt.finish();
+    let report = ompdataperf::analyze(&handle.take_trace(), None);
+    let c = report.counts;
+    let mut cats = Vec::new();
+    if c.dd > 0 {
+        cats.push("DD");
+    }
+    if c.rt > 0 {
+        cats.push("RT");
+    }
+    if c.ra > 0 {
+        cats.push("RA");
+    }
+    if c.ua > 0 {
+        cats.push("UA");
+    }
+    if c.ut > 0 {
+        cats.push("UT");
+    }
+    let odp = if cats.is_empty() {
+        "N/A".to_string()
+    } else {
+        cats.join(", ")
+    };
+
+    let mut rt2 = Runtime::with_defaults();
+    let (av_tool, av_handle) = ArbalestVecTool::new();
+    rt2.attach_tool(Box::new(av_tool));
+    w.run(&mut rt2, ProblemSize::Medium, Variant::Original);
+    rt2.finish();
+    (odp, av_handle.report().summary())
+}
+
+#[test]
+fn resize_omp_row() {
+    let w = odp_workloads::by_name("resize-omp").unwrap();
+    let (odp, av) = both_tools(w.as_ref());
+    assert_eq!(odp, "DD, RA");
+    assert_eq!(av, "N/A");
+}
+
+#[test]
+fn mandelbrot_omp_row() {
+    let w = odp_workloads::by_name("mandelbrot-omp").unwrap();
+    let (odp, av) = both_tools(w.as_ref());
+    assert_eq!(odp, "DD, RA, UA");
+    assert_eq!(av, "UUM");
+}
+
+#[test]
+fn accuracy_omp_row() {
+    let w = odp_workloads::by_name("accuracy-omp").unwrap();
+    let (odp, av) = both_tools(w.as_ref());
+    assert_eq!(odp, "DD, UA, UT");
+    assert_eq!(av, "N/A");
+}
+
+#[test]
+fn lif_omp_row() {
+    let w = odp_workloads::by_name("lif-omp").unwrap();
+    let (odp, av) = both_tools(w.as_ref());
+    assert_eq!(odp, "N/A");
+    assert_eq!(av, "UUM");
+}
+
+#[test]
+fn bspline_vgh_omp_row() {
+    let w = odp_workloads::by_name("bspline-vgh-omp").unwrap();
+    let (odp, av) = both_tools(w.as_ref());
+    assert_eq!(odp, "DD, UA, UT");
+    assert_eq!(av, "UUM");
+}
+
+#[test]
+fn arbalest_uum_reports_are_false_positives_on_write_only_vars() {
+    // §7.7: "The reported variables were ... All of these were
+    // write-only inside the kernel" — i.e., the UUM anomalies point at
+    // outputs, not at genuinely consumed uninitialized data.
+    let w = odp_workloads::by_name("bspline-vgh-omp").unwrap();
+    let mut rt = Runtime::with_defaults();
+    let (av_tool, av_handle) = ArbalestVecTool::new();
+    rt.attach_tool(Box::new(av_tool));
+    w.run(&mut rt, ProblemSize::Medium, Variant::Original);
+    rt.finish();
+    let report = av_handle.report();
+    // walkers_vals[0], walkers_grads[0], walkers_hess[0].
+    assert_eq!(report.count(AnomalyKind::Uum), 3);
+    assert_eq!(report.count(AnomalyKind::Usd), 0);
+    assert_eq!(report.count(AnomalyKind::Uaf), 0);
+    assert_eq!(report.count(AnomalyKind::Bo), 0);
+}
+
+#[test]
+fn fixing_ompdataperf_issues_never_introduces_arbalest_anomalies() {
+    // §8: the tools complement each other — after applying OMPDataPerf's
+    // fixes, Arbalest (minus its known FPs) stays quiet.
+    for name in ["resize-omp", "accuracy-omp"] {
+        let w = odp_workloads::by_name(name).unwrap();
+        let mut rt = Runtime::with_defaults();
+        let (av_tool, av_handle) = ArbalestVecTool::new();
+        rt.attach_tool(Box::new(av_tool));
+        w.run(&mut rt, ProblemSize::Medium, Variant::Fixed);
+        rt.finish();
+        assert_eq!(av_handle.report().summary(), "N/A", "{name}");
+    }
+}
+
+#[test]
+fn bspline_fix_reduces_copy_calls_by_99_percent() {
+    // §7.7: "a 99 % reduction in the number of calls to copy data to
+    // the device."
+    let w = odp_workloads::by_name("bspline-vgh-omp").unwrap();
+
+    let h2d_count = |variant: Variant| {
+        let mut rt = Runtime::with_defaults();
+        let (tool, handle) = OmpDataPerfTool::new(ToolConfig::default());
+        rt.attach_tool(Box::new(tool));
+        w.run(&mut rt, ProblemSize::Medium, variant);
+        rt.finish();
+        let trace = handle.take_trace();
+        trace.stats().h2d_transfers
+    };
+
+    let before = h2d_count(Variant::Original);
+    let after = h2d_count(Variant::Fixed);
+    let reduction = 100.0 * (before - after) as f64 / before as f64;
+    assert!(
+        reduction >= 99.0,
+        "expected ≥99 % reduction, got {reduction:.1}% ({before} → {after})"
+    );
+}

@@ -1,0 +1,151 @@
+//! Asynchronous offload (`target nowait`, §7.8): the paper notes that
+//! optimization-potential estimates "may be unreliable" for programs
+//! using OpenMP 5.1's asynchronous mapping features, while the
+//! *detection* algorithms themselves need no adjustment. These tests pin
+//! that behaviour: detection stays sound under overlap; Algorithm 5
+//! conservatively forgets overwrite candidates that overlap running
+//! kernels.
+
+use odp_model::{CodePtr, MapType, SimDuration};
+use odp_sim::{map, Kernel, KernelCost, Runtime};
+use ompdataperf::tool::{OmpDataPerfTool, ToolConfig};
+
+#[test]
+fn nowait_overlaps_host_and_device() {
+    // An async kernel lets the host run ahead; taskwait re-synchronizes.
+    let mut rt = Runtime::with_defaults();
+    let a = rt.host_alloc("a", 1 << 20);
+    let region = rt.target_data_begin(0, CodePtr(1), &[map(MapType::To, a)]);
+    let before = rt.now();
+    rt.target_nowait(
+        0,
+        CodePtr(2),
+        &[map(MapType::To, a)],
+        Kernel::new("long_kernel", KernelCost::fixed(10_000_000)).reads(&[a]).writes(&[a]),
+    );
+    let after_launch = rt.now();
+    // The host returned long before the 10 ms kernel finished.
+    assert!(
+        (after_launch - before) < SimDuration::from_millis(1),
+        "launch took {}",
+        after_launch - before
+    );
+    rt.host_compute(SimDuration::from_micros(50)); // overlapped host work
+    rt.taskwait(0);
+    let after_wait = rt.now();
+    assert!(
+        (after_wait - before) >= SimDuration::from_millis(10),
+        "taskwait must cover the kernel: {}",
+        after_wait - before
+    );
+    rt.target_data_end(region);
+    rt.finish();
+}
+
+#[test]
+fn sync_target_queues_behind_async_kernel() {
+    let mut rt = Runtime::with_defaults();
+    let a = rt.host_alloc("a", 4096);
+    let region = rt.target_data_begin(0, CodePtr(1), &[map(MapType::To, a)]);
+    rt.target_nowait(
+        0,
+        CodePtr(2),
+        &[map(MapType::To, a)],
+        Kernel::new("async", KernelCost::fixed(5_000_000)).reads(&[a]).writes(&[a]),
+    );
+    let t_launch = rt.now();
+    rt.target(
+        0,
+        CodePtr(3),
+        &[map(MapType::To, a)],
+        Kernel::new("sync", KernelCost::fixed(1_000)).reads(&[a]),
+    );
+    let t_done = rt.now();
+    assert!(
+        (t_done - t_launch) >= SimDuration::from_millis(5),
+        "the synchronous kernel must wait for the async one"
+    );
+    rt.target_data_end(region);
+    rt.finish();
+}
+
+#[test]
+fn transfer_overlapping_async_kernel_clears_algorithm5_candidates() {
+    // Overwrite pattern that would be UT in a synchronous program —
+    // but here the first transfer overlaps a running kernel, so
+    // Algorithm 5 must conservatively NOT flag it (the kernel might
+    // still read it).
+    let mut rt = Runtime::with_defaults();
+    let (tool, handle) = OmpDataPerfTool::new(ToolConfig::default());
+    rt.attach_tool(Box::new(tool));
+
+    let a = rt.host_alloc("a", 4096);
+    let v = rt.host_alloc("v", 256);
+    rt.host_fill_u32(v, |i| i as u32);
+    let region = rt.target_data_begin(
+        0,
+        CodePtr(1),
+        &[map(MapType::To, a), map(MapType::To, v)],
+    );
+    // Long async kernel reading v.
+    rt.target_nowait(
+        0,
+        CodePtr(2),
+        &[map(MapType::To, a), map(MapType::To, v)],
+        Kernel::new("consumer", KernelCost::fixed(50_000_000))
+            .reads(&[a, v])
+            .writes(&[a]),
+    );
+    // While it runs: update v twice (same source address, new content).
+    rt.host_fill_u32(v, |i| i as u32 + 100);
+    rt.target_update_to(0, CodePtr(3), &[v]);
+    rt.host_fill_u32(v, |i| i as u32 + 200);
+    rt.target_update_to(0, CodePtr(3), &[v]);
+    rt.taskwait(0);
+    // A final kernel consumes the last image.
+    rt.target(
+        0,
+        CodePtr(4),
+        &[map(MapType::To, v)],
+        Kernel::new("tail", KernelCost::fixed(1_000)).reads(&[v]),
+    );
+    rt.target_data_end(region);
+    rt.finish();
+
+    let report = ompdataperf::analyze(&handle.take_trace(), None);
+    assert_eq!(
+        report.counts.ut, 0,
+        "overlapping transfers must not be flagged: {:?}",
+        report.counts
+    );
+}
+
+#[test]
+fn detection_counts_unaffected_by_asynchrony() {
+    // The same duplicate-transfer program, synchronous vs nowait: the
+    // content-based detectors see identical issues (§7.8: the detection
+    // techniques need no adjustment — only time-savings estimates do).
+    let run = |nowait: bool| {
+        let mut rt = Runtime::with_defaults();
+        let (tool, handle) = OmpDataPerfTool::new(ToolConfig::default());
+        rt.attach_tool(Box::new(tool));
+        let a = rt.host_alloc("a", 8192);
+        rt.host_fill_u32(a, |i| i as u32);
+        for _ in 0..4 {
+            let k = Kernel::new("k", KernelCost::fixed(10_000)).reads(&[a]);
+            if nowait {
+                rt.target_nowait(0, CodePtr(7), &[map(MapType::To, a)], k);
+            } else {
+                rt.target(0, CodePtr(7), &[map(MapType::To, a)], k);
+            }
+        }
+        rt.taskwait(0);
+        rt.finish();
+        ompdataperf::analyze(&handle.take_trace(), None).counts
+    };
+    let sync_counts = run(false);
+    let async_counts = run(true);
+    assert_eq!(sync_counts.dd, 3);
+    assert_eq!(async_counts.dd, sync_counts.dd);
+    assert_eq!(async_counts.ra, sync_counts.ra);
+}

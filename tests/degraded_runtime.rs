@@ -1,0 +1,90 @@
+//! Degraded and unusable runtime behaviour (§A.6's warning, Table 6's
+//! capability matrix).
+
+use odp_sim::{Runtime, RuntimeConfig};
+use odp_ompt::CompilerProfile;
+use odp_workloads::{ProblemSize, Variant};
+use ompdataperf::tool::{OmpDataPerfTool, ToolConfig};
+
+#[test]
+fn pre_emi_runtime_degrades_with_warning_but_still_detects() {
+    // §A.6: "warning: OMPDataPerf requires OMPT interface version 5.1
+    // (or later), but found version TR4 5.0 preview 1. Some features may
+    // be degraded."
+    let w = odp_workloads::by_name("bfs").unwrap();
+    let mut rt = Runtime::new(RuntimeConfig::default().pre_emi());
+    let (tool, handle) = OmpDataPerfTool::new(ToolConfig::default());
+    rt.attach_tool(Box::new(tool));
+    w.run(&mut rt, ProblemSize::Small, Variant::Original);
+    rt.finish();
+
+    assert!(handle.degraded());
+    let console = handle.console_lines();
+    assert!(
+        console.iter().any(|l| l.contains("TR4 5.0 preview 1")
+            && l.contains("Some features may be degraded")),
+        "{console:?}"
+    );
+
+    let trace = handle.take_trace();
+    let report = ompdataperf::analyze(&trace, None);
+    // Content-based detection still works from begin-only callbacks...
+    assert!(report.counts.dd > 0);
+    assert!(report.counts.ra > 0);
+    // ...but event durations are unobservable, so the predicted time
+    // savings degrade to zero (the degraded feature).
+    assert_eq!(report.prediction.time_saved.as_nanos(), 0);
+}
+
+#[test]
+fn gcc_runtime_cannot_be_profiled() {
+    let w = odp_workloads::by_name("hotspot").unwrap();
+    let mut rt = Runtime::new(RuntimeConfig::default().with_profile(CompilerProfile::GnuGcc));
+    let (tool, handle) = OmpDataPerfTool::new(ToolConfig::default());
+    rt.attach_tool(Box::new(tool));
+    w.run(&mut rt, ProblemSize::Small, Variant::Original);
+    rt.finish();
+
+    assert!(handle.unusable());
+    let trace = handle.take_trace();
+    assert_eq!(trace.data_op_count(), 0, "no callbacks, no records");
+    assert_eq!(trace.target_count(), 0);
+}
+
+#[test]
+fn all_full_emi_profiles_profile_identically() {
+    // Hardware/compiler agnosticism: the same program produces the same
+    // issue counts on every EMI-capable runtime profile.
+    let w = odp_workloads::by_name("xsbench").unwrap();
+    let mut baseline = None;
+    for profile in CompilerProfile::ALL {
+        if !profile.capabilities().meets_ompdataperf_requirements() {
+            continue;
+        }
+        let mut rt = Runtime::new(RuntimeConfig::default().with_profile(profile));
+        let (tool, handle) = OmpDataPerfTool::new(ToolConfig::default());
+        rt.attach_tool(Box::new(tool));
+        w.run(&mut rt, ProblemSize::Small, Variant::Original);
+        rt.finish();
+        let counts = ompdataperf::analyze(&handle.take_trace(), None).counts;
+        match &baseline {
+            None => baseline = Some(counts),
+            Some(b) => assert_eq!(&counts, b, "{profile:?} diverged"),
+        }
+    }
+    assert_eq!(baseline.unwrap().rt, 1);
+}
+
+#[test]
+fn runtime_name_appears_in_console_output() {
+    let mut rt = Runtime::new(RuntimeConfig::default().with_profile(CompilerProfile::NvidiaHpc));
+    let (tool, handle) = OmpDataPerfTool::new(ToolConfig::default());
+    rt.attach_tool(Box::new(tool));
+    rt.finish();
+    let console = handle.console_lines();
+    assert!(console.iter().any(|l| l.contains("libnvomp")), "{console:?}");
+    assert!(
+        console.iter().any(|l| l.contains("-mp=ompt")),
+        "NVHPC recompile-flag notice expected: {console:?}"
+    );
+}

@@ -1,0 +1,132 @@
+//! Multi-GPU profiling (§7.8: "OMPDataPerf is capable of profiling
+//! programs that use multiple GPUs").
+
+use odp_model::{CodePtr, MapType};
+use odp_sim::{map, Kernel, KernelCost, Runtime, RuntimeConfig};
+use ompdataperf::tool::{OmpDataPerfTool, ToolConfig};
+use ompdataperf::Report;
+
+fn with_devices(n: u32, f: impl FnOnce(&mut Runtime)) -> Report {
+    let mut rt = Runtime::new(RuntimeConfig::default().with_devices(n));
+    let (tool, handle) = OmpDataPerfTool::new(ToolConfig::default());
+    rt.attach_tool(Box::new(tool));
+    f(&mut rt);
+    rt.finish();
+    ompdataperf::analyze(&handle.take_trace(), None)
+}
+
+#[test]
+fn per_device_duplicates_are_independent() {
+    // Broadcasting the same array to two devices is NOT a duplicate
+    // (each device receives it once); re-sending to the same device is.
+    let report = with_devices(2, |rt| {
+        let a = rt.host_alloc("a", 2048);
+        rt.host_fill_u32(a, |i| i as u32);
+        for dev in 0..2 {
+            rt.target(
+                dev,
+                CodePtr(0x100 + dev as u64),
+                &[map(MapType::To, a)],
+                Kernel::new("use_a", KernelCost::fixed(1_000)).reads(&[a]),
+            );
+        }
+        // Second launch on device 0 only → one duplicate there.
+        rt.target(
+            0,
+            CodePtr(0x100),
+            &[map(MapType::To, a)],
+            Kernel::new("use_a_again", KernelCost::fixed(1_000)).reads(&[a]),
+        );
+    });
+    assert_eq!(report.counts.dd, 1, "{:?}", report.counts);
+    // Each device reallocated once for `a`? Device 0 mapped it twice.
+    assert_eq!(report.counts.ra, 1);
+}
+
+#[test]
+fn unused_allocs_are_scanned_per_device() {
+    let report = with_devices(2, |rt| {
+        let a = rt.host_alloc("a", 512);
+        rt.host_fill_u32(a, |i| i as u32 + 7);
+        let b = rt.host_alloc("b", 512);
+        rt.host_fill_u32(b, |i| i as u32 * 3 + 1);
+        // Device 0 runs a kernel; device 1 only ever allocates.
+        rt.target(
+            0,
+            CodePtr(0x200),
+            &[map(MapType::To, a)],
+            Kernel::new("k0", KernelCost::fixed(1_000)).reads(&[a]),
+        );
+        rt.target_enter_data(1, CodePtr(0x300), &[map(MapType::Alloc, b)]);
+        rt.target_exit_data(1, CodePtr(0x310), &[map(MapType::Delete, b)]);
+    });
+    assert_eq!(report.counts.ua, 1, "{:?}", report.counts);
+}
+
+#[test]
+fn cross_device_round_trip_through_host() {
+    // dev0 computes, result goes home, and the host ships the identical
+    // bytes onward to dev1 — not a round trip (different destination),
+    // but if dev0 later receives them back, it is.
+    let report = with_devices(2, |rt| {
+        let a = rt.host_alloc("a", 1024);
+        let region0 = rt.target_data_begin(0, CodePtr(0x400), &[map(MapType::To, a)]);
+        rt.target(
+            0,
+            CodePtr(0x401),
+            &[map(MapType::To, a)],
+            Kernel::new("produce", KernelCost::fixed(1_000)).reads(&[a]).writes(&[a]),
+        );
+        rt.target_update_from(0, CodePtr(0x402), &[a]); // D2H: content h
+        // Host forwards the same bytes to dev1 (fine)...
+        rt.target(
+            1,
+            CodePtr(0x403),
+            &[map(MapType::To, a)],
+            Kernel::new("consume", KernelCost::fixed(1_000)).reads(&[a]),
+        );
+        // ...and then redundantly back to dev0 (round trip completes).
+        rt.target_update_to(0, CodePtr(0x404), &[a]);
+        rt.target(
+            0,
+            CodePtr(0x405),
+            &[map(MapType::To, a)],
+            Kernel::new("reuse", KernelCost::fixed(1_000)).reads(&[a]),
+        );
+        rt.target_data_end(region0);
+    });
+    assert_eq!(report.counts.rt, 1, "{:?}", report.counts);
+}
+
+#[test]
+fn multi_gpu_workload_example_is_profiled() {
+    // A data-parallel split across 4 devices with a per-device stop-flag
+    // anti-pattern: the tool sees issues on every device.
+    let devices = 4u32;
+    let report = with_devices(devices, |rt| {
+        let chunks: Vec<_> = (0..devices)
+            .map(|d| {
+                let v = rt.host_alloc(&format!("chunk{d}"), 4096);
+                rt.host_fill_u32(v, |i| i as u32 * (d + 1));
+                v
+            })
+            .collect();
+        for iter in 0..3 {
+            for (d, &chunk) in chunks.iter().enumerate() {
+                let flag = rt.host_alloc(&format!("flag_{d}_{iter}"), 4);
+                rt.target(
+                    d as u32,
+                    CodePtr(0x500 + d as u64),
+                    &[map(MapType::To, chunk), map(MapType::ToFrom, flag)],
+                    Kernel::new("step", KernelCost::fixed(2_000))
+                        .reads(&[chunk])
+                        .writes(&[chunk, flag]),
+                );
+            }
+        }
+    });
+    // Each device re-receives its (unchanged) chunk on iterations 2,3
+    // (2 DD) and its zeroed stop flag re-image twice more (2 DD).
+    assert_eq!(report.counts.dd as u32, devices * 4, "{:?}", report.counts);
+    assert_eq!(report.counts.ra as u32, devices * 2);
+}

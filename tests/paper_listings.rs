@@ -1,0 +1,170 @@
+//! The paper's Listings 1–2, executed literally against the simulated
+//! runtime, must produce exactly the issues §4 attributes to them.
+
+use odp_model::{CodePtr, MapType};
+use odp_sim::{map, Kernel, KernelCost, Runtime};
+use ompdataperf::tool::{OmpDataPerfTool, ToolConfig};
+use ompdataperf::Report;
+
+fn with_tool(f: impl FnOnce(&mut Runtime)) -> Report {
+    let mut rt = Runtime::with_defaults();
+    let (tool, handle) = OmpDataPerfTool::new(ToolConfig::default());
+    rt.attach_tool(Box::new(tool));
+    f(&mut rt);
+    rt.finish();
+    ompdataperf::analyze(&handle.take_trace(), None)
+}
+
+#[test]
+fn listing1_duplicate_transfer_and_repeated_alloc() {
+    // int a[N], sum = 0, prod = 1;
+    // #pragma omp target map(to: a) map(tofrom: sum)   ← region 1
+    // #pragma omp target map(to: a) map(tofrom: prod)  ← region 2
+    let report = with_tool(|rt| {
+        let a = rt.host_alloc("a", 4096);
+        rt.host_fill_u32(a, |i| i as u32);
+        let sum = rt.host_alloc("sum", 4);
+        let prod = rt.host_alloc("prod", 4);
+        rt.host_fill_u32(prod, |_| 1);
+
+        rt.target(
+            0,
+            CodePtr(0x100),
+            &[map(MapType::To, a), map(MapType::ToFrom, sum)],
+            Kernel::new("sum_reduction", KernelCost::fixed(10_000))
+                .reads(&[a])
+                .writes(&[sum]),
+        );
+        rt.target(
+            0,
+            CodePtr(0x200),
+            &[map(MapType::To, a), map(MapType::ToFrom, prod)],
+            Kernel::new("prod_reduction", KernelCost::fixed(10_000))
+                .reads(&[a])
+                .writes(&[prod]),
+        );
+    });
+
+    // "Duplicate data transfer occurs since a is transferred to the
+    // device before entering each target region."
+    assert_eq!(report.counts.dd, 1, "{:?}", report.counts);
+    // "Required device memory is also allocated and deallocated for
+    // each target region."
+    assert_eq!(report.counts.ra, 1);
+    assert_eq!(report.counts.ut, 0);
+    assert_eq!(report.counts.ua, 0);
+}
+
+#[test]
+fn listing1_fixed_with_target_data_region() {
+    // "array a could be mapped over both target regions using a target
+    // data directive."
+    let report = with_tool(|rt| {
+        let a = rt.host_alloc("a", 4096);
+        rt.host_fill_u32(a, |i| i as u32);
+        let sum = rt.host_alloc("sum", 4);
+        let prod = rt.host_alloc("prod", 4);
+        rt.host_fill_u32(prod, |_| 1); // int prod = 1 (Listing 1)
+
+        let region = rt.target_data_begin(0, CodePtr(0x90), &[map(MapType::To, a)]);
+        rt.target(
+            0,
+            CodePtr(0x100),
+            &[map(MapType::To, a), map(MapType::ToFrom, sum)],
+            Kernel::new("sum_reduction", KernelCost::fixed(10_000))
+                .reads(&[a])
+                .writes(&[sum]),
+        );
+        rt.target(
+            0,
+            CodePtr(0x200),
+            &[map(MapType::To, a), map(MapType::ToFrom, prod)],
+            Kernel::new("prod_reduction", KernelCost::fixed(10_000))
+                .reads(&[a])
+                .writes(&[prod]),
+        );
+        rt.target_data_end(region);
+    });
+
+    assert_eq!(report.counts.dd, 0, "{:?}", report.counts);
+    assert_eq!(report.counts.ra, 0);
+}
+
+#[test]
+fn listing2_round_trips_and_reallocs() {
+    // int a[N] = {};
+    // for (i = 0; i < N; ++i)
+    //   #pragma omp target parallel for   ← no explicit map
+    //     a[j] += j;
+    let iters = 5;
+    let report = with_tool(|rt| {
+        let a = rt.host_alloc("a", 4096);
+        for _ in 0..iters {
+            rt.target(
+                0,
+                CodePtr(0x300),
+                &[],
+                Kernel::new("incr", KernelCost::fixed(5_000)).reads(&[a]).writes(&[a]),
+            );
+        }
+    });
+
+    // Each iteration after the first re-sends what came back: the D2H of
+    // iteration i and the H2D of iteration i+1 carry identical bytes.
+    assert_eq!(report.counts.rt, iters - 1, "{:?}", report.counts);
+    // "array a is reallocated every iteration."
+    assert_eq!(report.counts.ra, iters - 1);
+    // Kernel mutates a, so no duplicate content lands anywhere twice.
+    assert_eq!(report.counts.dd, 0);
+}
+
+#[test]
+fn listing2_fixed_with_outer_data_region() {
+    let iters = 5;
+    let report = with_tool(|rt| {
+        let a = rt.host_alloc("a", 4096);
+        let region = rt.target_data_begin(0, CodePtr(0x290), &[map(MapType::ToFrom, a)]);
+        for _ in 0..iters {
+            rt.target(
+                0,
+                CodePtr(0x300),
+                &[map(MapType::To, a)],
+                Kernel::new("incr", KernelCost::fixed(5_000)).reads(&[a]).writes(&[a]),
+            );
+        }
+        rt.target_data_end(region);
+    });
+
+    assert!(report.counts.is_clean(), "{:?}", report.counts);
+}
+
+#[test]
+fn unused_mapping_patterns_from_section_4_4() {
+    // "Unused data mappings are sometimes introduced into programs that
+    // contain dead code, overly cautious preemptive transfers, or
+    // conditional logic that sometimes bypasses kernel execution."
+    let report = with_tool(|rt| {
+        let live = rt.host_alloc("live", 1024);
+        rt.host_fill_u32(live, |i| i as u32);
+        let dead = rt.host_alloc("dead", 1024);
+        rt.host_fill_u32(dead, |i| !(i as u32));
+
+        // The conditional bypasses kernel execution, but the data was
+        // already mapped and transferred.
+        rt.target_enter_data(0, CodePtr(0x400), &[map(MapType::To, dead)]);
+        rt.target_exit_data(0, CodePtr(0x410), &[map(MapType::Delete, dead)]);
+
+        rt.target(
+            0,
+            CodePtr(0x420),
+            &[map(MapType::To, live)],
+            Kernel::new("work", KernelCost::fixed(1_000)).reads(&[live]),
+        );
+    });
+
+    assert_eq!(report.counts.ua, 1, "{:?}", report.counts);
+    // The dead transfer precedes the only kernel on the device and is
+    // never overwritten, so Algorithm 5 cannot prove it unused — exactly
+    // the conservatism §5.4 describes.
+    assert_eq!(report.counts.ut, 0);
+}

@@ -1,0 +1,123 @@
+//! Smoke and numerics sanity for every workload, size, and variant.
+
+use odp_sim::Runtime;
+use odp_workloads::{ProblemSize, Variant};
+use ompdataperf::tool::{OmpDataPerfTool, ToolConfig};
+
+#[test]
+fn every_supported_combination_runs_clean() {
+    for w in odp_workloads::all() {
+        for variant in [
+            Variant::Original,
+            Variant::Fixed,
+            Variant::Synthetic,
+            Variant::SynFixed,
+        ] {
+            if !w.supports(variant) && w.fig4_pair().map(|(_, a)| a) != Some(variant) {
+                continue;
+            }
+            let mut rt = Runtime::with_defaults();
+            let (tool, handle) = OmpDataPerfTool::new(ToolConfig::default());
+            rt.attach_tool(Box::new(tool));
+            let dbg = w.run(&mut rt, ProblemSize::Small, variant);
+            let stats = rt.finish();
+            assert!(
+                rt.warnings().is_empty(),
+                "{}{}: runtime warnings {:?}",
+                w.name(),
+                variant.suffix(),
+                rt.warnings()
+            );
+            assert!(stats.kernels > 0, "{} launched no kernels", w.name());
+            assert!(stats.total_time.as_nanos() > 0);
+            assert!(!dbg.is_empty(), "{} registered no debug info", w.name());
+            let trace = handle.take_trace();
+            assert!(trace.data_op_count() > 0);
+        }
+    }
+}
+
+#[test]
+fn sizes_scale_runtime_monotonically() {
+    for name in ["bfs", "hotspot", "minife", "tealeaf", "xsbench"] {
+        let w = odp_workloads::by_name(name).unwrap();
+        let mut prev = 0u64;
+        for size in ProblemSize::ALL {
+            let mut rt = Runtime::with_defaults();
+            w.run(&mut rt, size, Variant::Original);
+            let t = rt.finish().total_time.as_nanos();
+            assert!(
+                t > prev,
+                "{name}: {size:?} ({t} ns) not slower than previous ({prev} ns)"
+            );
+            prev = t;
+        }
+    }
+}
+
+#[test]
+fn bfs_computes_correct_levels() {
+    // The chain graph gives cost[i] = i for reachable nodes.
+    let w = odp_workloads::by_name("bfs").unwrap();
+    let mut rt = Runtime::with_defaults();
+    w.run(&mut rt, ProblemSize::Small, Variant::Original);
+    let cost_var = rt.find_var("h_cost").expect("h_cost exists");
+    let cost = rt.host_read_u32(cost_var);
+    for (i, &c) in cost.iter().take(6).enumerate() {
+        assert_eq!(c, i as u32, "bfs level of node {i}");
+    }
+    rt.finish();
+}
+
+#[test]
+fn fixed_variants_preserve_results() {
+    // bfs: the fix must not change the computed levels.
+    let levels = |variant: Variant| -> Vec<u32> {
+        let w = odp_workloads::by_name("bfs").unwrap();
+        let mut rt = Runtime::with_defaults();
+        w.run(&mut rt, ProblemSize::Small, variant);
+        let out = rt
+            .find_var("h_cost")
+            .map(|v| rt.host_read_u32(v))
+            .unwrap_or_default();
+        rt.finish();
+        out
+    };
+    let orig = levels(Variant::Original);
+    let fixed = levels(Variant::Fixed);
+    assert!(!orig.is_empty());
+    assert_eq!(orig, fixed, "bfs fix changed program output");
+}
+
+#[test]
+fn paper_inputs_match_table5() {
+    let check = |name: &str, size: ProblemSize, expect: &str| {
+        let w = odp_workloads::by_name(name).unwrap();
+        assert_eq!(w.paper_input(size), expect, "{name} {size:?}");
+    };
+    check("babelstream", ProblemSize::Small, "-n 100 -s 1048576");
+    check("babelstream", ProblemSize::Medium, "-n 500 -s 33554432");
+    check("babelstream", ProblemSize::Large, "-n 2500 -s 33554432");
+    check("bfs", ProblemSize::Large, "graph1MW_6.txt");
+    check("hotspot", ProblemSize::Medium, "512 512 2 4 temp_512 power_512");
+    check("lud", ProblemSize::Large, "-s 8000");
+    check("minife", ProblemSize::Small, "-nx 66 -ny 64 -nz 64");
+    check("minifmm", ProblemSize::Medium, "-n 1000");
+    check("nw", ProblemSize::Medium, "2048 10 2");
+    check("rsbench", ProblemSize::Medium, "-m event -s large -l 4250000");
+    check("tealeaf", ProblemSize::Large, "--file tea_bm_4.in");
+    check("xsbench", ProblemSize::Medium, "-m event -g 1413");
+}
+
+#[test]
+fn tool_handle_reports_hash_rate() {
+    let w = odp_workloads::by_name("babelstream").unwrap();
+    let mut rt = Runtime::with_defaults();
+    let (tool, handle) = OmpDataPerfTool::new(ToolConfig::default());
+    rt.attach_tool(Box::new(tool));
+    w.run(&mut rt, ProblemSize::Small, Variant::Original);
+    rt.finish();
+    let meter = handle.hash_meter();
+    assert!(meter.bytes > 0, "tool hashed no payloads");
+    assert!(handle.hash_rate_gb_per_s() > 0.0);
+}
