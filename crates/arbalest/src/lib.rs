@@ -130,7 +130,14 @@ struct Inner {
 }
 
 impl Inner {
-    fn emit(&mut self, kind: AnomalyKind, host_addr: u64, bytes: u64, time: SimTime, device: DeviceId) {
+    fn emit(
+        &mut self,
+        kind: AnomalyKind,
+        host_addr: u64,
+        bytes: u64,
+        time: SimTime,
+        device: DeviceId,
+    ) {
         if self.seen.insert((kind, host_addr), ()).is_none() {
             self.report.anomalies.push(Anomaly {
                 kind,
@@ -198,10 +205,9 @@ impl Tool for ArbalestVecTool {
         let mut inner = self.shared.lock();
         match cb.optype {
             DataOpType::Alloc => {
-                inner.mappings.insert(
-                    (cb.dest_device, cb.src_addr),
-                    MappingState::fresh(cb.bytes),
-                );
+                inner
+                    .mappings
+                    .insert((cb.dest_device, cb.src_addr), MappingState::fresh(cb.bytes));
             }
             DataOpType::Delete => {
                 if let Some(m) = inner.mappings.get_mut(&(cb.dest_device, cb.src_addr)) {
@@ -218,9 +224,13 @@ impl Tool for ArbalestVecTool {
                             .expect("checked present")
                             .dev_init = true;
                     }
-                    Some(_) => {
-                        inner.emit(AnomalyKind::Uaf, cb.src_addr, cb.bytes, cb.time, cb.dest_device)
-                    }
+                    Some(_) => inner.emit(
+                        AnomalyKind::Uaf,
+                        cb.src_addr,
+                        cb.bytes,
+                        cb.time,
+                        cb.dest_device,
+                    ),
                     None => { /* runtime anomaly; out of scope */ }
                 }
             }
@@ -253,17 +263,41 @@ impl Tool for ArbalestVecTool {
             let key = (info.device, range.host_addr);
             match inner.mappings.get(&key).copied() {
                 None => {
-                    inner.emit(AnomalyKind::Uaf, range.host_addr, range.bytes, info.time, info.device);
+                    inner.emit(
+                        AnomalyKind::Uaf,
+                        range.host_addr,
+                        range.bytes,
+                        info.time,
+                        info.device,
+                    );
                 }
                 Some(m) if !m.mapped => {
-                    inner.emit(AnomalyKind::Uaf, range.host_addr, range.bytes, info.time, info.device);
+                    inner.emit(
+                        AnomalyKind::Uaf,
+                        range.host_addr,
+                        range.bytes,
+                        info.time,
+                        info.device,
+                    );
                 }
                 Some(m) => {
                     if range.bytes > m.bytes {
-                        inner.emit(AnomalyKind::Bo, range.host_addr, range.bytes, info.time, info.device);
+                        inner.emit(
+                            AnomalyKind::Bo,
+                            range.host_addr,
+                            range.bytes,
+                            info.time,
+                            info.device,
+                        );
                     }
                     if may_consume && !m.dev_init {
-                        inner.emit(AnomalyKind::Uum, range.host_addr, range.bytes, info.time, info.device);
+                        inner.emit(
+                            AnomalyKind::Uum,
+                            range.host_addr,
+                            range.bytes,
+                            info.time,
+                            info.device,
+                        );
                     }
                 }
             }
@@ -426,7 +460,9 @@ mod tests {
             0,
             CodePtr(2),
             &[map(MapType::To, a)],
-            Kernel::new("update", KernelCost::fixed(10)).reads(&[a]).writes(&[a]),
+            Kernel::new("update", KernelCost::fixed(10))
+                .reads(&[a])
+                .writes(&[a]),
         );
         rt.host_load(a); // USD: device copy is newer
         rt.target_data_end(region);
@@ -446,7 +482,9 @@ mod tests {
             0,
             CodePtr(2),
             &[],
-            Kernel::new("update", KernelCost::fixed(10)).reads(&[a]).writes(&[a]),
+            Kernel::new("update", KernelCost::fixed(10))
+                .reads(&[a])
+                .writes(&[a]),
         );
         // Implicit tofrom copied the data back at region end.
         rt.host_load(a);
@@ -469,7 +507,11 @@ mod tests {
             );
         }
         rt.finish();
-        assert_eq!(handle.report().count(AnomalyKind::Uum), 1, "one per variable");
+        assert_eq!(
+            handle.report().count(AnomalyKind::Uum),
+            1,
+            "one per variable"
+        );
     }
 
     #[test]

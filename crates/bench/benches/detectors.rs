@@ -1,12 +1,15 @@
 //! Criterion micro-benchmark: the five detection algorithms over a
-//! realistic synthetic event log (post-mortem analysis cost).
+//! realistic synthetic event log (post-mortem analysis cost), plus the
+//! fused-engine vs. five-separate-passes comparison that motivates
+//! `core::detect::engine` (the BENCH trajectory's baseline: the fused
+//! sweep must beat the separate passes by ≥ 2× at 100k+ events).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use odp_model::{
-    CodePtr, DataOpEvent, DataOpKind, DeviceId, EventId, HashVal, SimTime, TargetEvent,
-    TargetKind, TimeSpan,
+    CodePtr, DataOpEvent, DataOpKind, DeviceId, EventId, HashVal, SimTime, TargetEvent, TargetKind,
+    TimeSpan,
 };
-use ompdataperf::detect::Findings;
+use ompdataperf::detect::{EventView, Findings};
 use std::hint::black_box;
 
 /// Build a log shaped like a real trace: per iteration one alloc + H2D +
@@ -97,9 +100,47 @@ fn bench_detectors(c: &mut Criterion) {
     group.finish();
 }
 
+/// Fused engine vs. the five standalone passes at 10k / 100k / 1M
+/// events (`build_log` emits five events per iteration). Both sides
+/// start from the same sorted slices and produce identical findings;
+/// the fused side includes building the shared `EventView`.
+fn bench_fused_vs_separate(c: &mut Criterion) {
+    for &events in &[10_000usize, 100_000, 1_000_000] {
+        let (ops, kernels) = build_log(events / 5);
+        let total = (ops.len() + kernels.len()) as u64;
+
+        let mut group = c.benchmark_group(format!("detect_{events}_events"));
+        group.throughput(Throughput::Elements(total));
+        group.bench_with_input(
+            BenchmarkId::new("separate", events),
+            &(&ops, &kernels),
+            |b, (ops, kernels)| {
+                b.iter(|| {
+                    black_box(Findings::detect_separate(
+                        black_box(ops),
+                        black_box(kernels),
+                        1,
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fused", events),
+            &(&ops, &kernels),
+            |b, (ops, kernels)| {
+                b.iter(|| {
+                    let view = EventView::new(black_box(ops), black_box(kernels), 1);
+                    black_box(Findings::detect_fused(&view))
+                })
+            },
+        );
+        group.finish();
+    }
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(1)).warm_up_time(std::time::Duration::from_millis(200));
-    targets = bench_detectors
+    targets = bench_detectors, bench_fused_vs_separate
 );
 criterion_main!(benches);

@@ -11,11 +11,9 @@ fn bench_hashes(c: &mut Criterion) {
         let data: Vec<u8> = (0..size).map(|i| (i * 131 % 251) as u8).collect();
         group.throughput(Throughput::Bytes(size as u64));
         for algo in HashAlgoId::FIGURE5 {
-            group.bench_with_input(
-                BenchmarkId::new(algo.name(), size),
-                &data,
-                |b, data| b.iter(|| black_box(algo.hash(black_box(data)))),
-            );
+            group.bench_with_input(BenchmarkId::new(algo.name(), size), &data, |b, data| {
+                b.iter(|| black_box(algo.hash(black_box(data))))
+            });
         }
     }
     group.finish();

@@ -12,51 +12,47 @@ fn bench_data_op_callback(c: &mut Criterion) {
     for &size in &[64usize, 4096, 262_144] {
         let payload: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
         group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(size),
-            &payload,
-            |b, payload| {
-                let (mut tool, _handle) = OmpDataPerfTool::new(ToolConfig::default());
-                tool.initialize(&odp_ompt::CompilerProfile::LlvmClang.capabilities());
-                let mut op_id = 0u64;
-                let mut t = 0u64;
-                fn mk<'a>(
-                    endpoint: Endpoint,
-                    op_id: u64,
-                    time: u64,
-                    bytes: u64,
-                    p: Option<&'a [u8]>,
-                ) -> DataOpCallback<'a> {
-                    DataOpCallback {
-                        endpoint,
-                        target_id: 1,
-                        host_op_id: op_id,
-                        optype: DataOpType::TransferToDevice,
-                        src_device: DeviceId::HOST,
-                        src_addr: 0x1000,
-                        dest_device: DeviceId::target(0),
-                        dest_addr: 0xd000,
-                        bytes,
-                        codeptr_ra: CodePtr(0x42),
-                        time: SimTime(time),
-                        payload: p,
-                    }
+        group.bench_with_input(BenchmarkId::from_parameter(size), &payload, |b, payload| {
+            let (mut tool, _handle) = OmpDataPerfTool::new(ToolConfig::default());
+            tool.initialize(&odp_ompt::CompilerProfile::LlvmClang.capabilities());
+            let mut op_id = 0u64;
+            let mut t = 0u64;
+            fn mk<'a>(
+                endpoint: Endpoint,
+                op_id: u64,
+                time: u64,
+                bytes: u64,
+                p: Option<&'a [u8]>,
+            ) -> DataOpCallback<'a> {
+                DataOpCallback {
+                    endpoint,
+                    target_id: 1,
+                    host_op_id: op_id,
+                    optype: DataOpType::TransferToDevice,
+                    src_device: DeviceId::HOST,
+                    src_addr: 0x1000,
+                    dest_device: DeviceId::target(0),
+                    dest_addr: 0xd000,
+                    bytes,
+                    codeptr_ra: CodePtr(0x42),
+                    time: SimTime(time),
+                    payload: p,
                 }
-                b.iter(|| {
-                    op_id += 1;
-                    t += 20;
-                    let bytes = payload.len() as u64;
-                    tool.on_data_op(&mk(Endpoint::Begin, op_id, t, bytes, None));
-                    tool.on_data_op(black_box(&mk(
-                        Endpoint::End,
-                        op_id,
-                        t + 10,
-                        bytes,
-                        Some(payload),
-                    )));
-                });
-            },
-        );
+            }
+            b.iter(|| {
+                op_id += 1;
+                t += 20;
+                let bytes = payload.len() as u64;
+                tool.on_data_op(&mk(Endpoint::Begin, op_id, t, bytes, None));
+                tool.on_data_op(black_box(&mk(
+                    Endpoint::End,
+                    op_id,
+                    t + 10,
+                    bytes,
+                    Some(payload),
+                )));
+            });
+        });
     }
     group.finish();
 }

@@ -29,11 +29,7 @@ fn main() {
     ];
     let programs = ["babelstream", "xsbench", "bspline-vgh-omp"];
 
-    let mut headers: Vec<String> = vec![
-        "program".into(),
-        "baseline".into(),
-        "bytes hashed".into(),
-    ];
+    let mut headers: Vec<String> = vec!["program".into(), "baseline".into(), "bytes hashed".into()];
     headers.extend(hashes.iter().map(|h| h.name().to_string()));
     let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     let mut table = Table::new(&headers_ref);

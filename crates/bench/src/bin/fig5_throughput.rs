@@ -34,7 +34,9 @@ fn main() {
     let mut hash_wins = 0usize;
 
     for &size in &sizes {
-        let data: Vec<u8> = (0..size).map(|i| (i.wrapping_mul(131) % 251) as u8).collect();
+        let data: Vec<u8> = (0..size)
+            .map(|i| (i.wrapping_mul(131) % 251) as u8)
+            .collect();
         let mut row = vec![format!("2^{}", size.trailing_zeros())];
         let mut best_hash_rate: f64 = 0.0;
         for algo in HashAlgoId::FIGURE5 {

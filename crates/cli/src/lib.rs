@@ -88,9 +88,7 @@ pub fn parse(tool: &str, args: &[String]) -> Parsed {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "-h" | "--help" => return Parsed::Exit(usage(tool)),
-            "--version" => {
-                return Parsed::Exit(format!("{tool} {}", env!("CARGO_PKG_VERSION")))
-            }
+            "--version" => return Parsed::Exit(format!("{tool} {}", env!("CARGO_PKG_VERSION"))),
             "-q" | "--quiet" => out.quiet = true,
             "-v" | "--verbose" => out.verbose = true,
             "--json" => out.json = true,
@@ -165,7 +163,10 @@ mod tests {
 
     #[test]
     fn help_and_version() {
-        assert!(matches!(parse("ompdataperf", &argv("--help")), Parsed::Exit(_)));
+        assert!(matches!(
+            parse("ompdataperf", &argv("--help")),
+            Parsed::Exit(_)
+        ));
         match parse("ompdataperf", &argv("--version")) {
             Parsed::Exit(s) => assert!(s.starts_with("ompdataperf")),
             _ => panic!("expected version exit"),
@@ -190,7 +191,10 @@ mod tests {
 
     #[test]
     fn missing_program_is_an_error() {
-        assert!(matches!(parse("ompdataperf", &argv("-q")), Parsed::Error(_)));
+        assert!(matches!(
+            parse("ompdataperf", &argv("-q")),
+            Parsed::Error(_)
+        ));
     }
 
     #[test]

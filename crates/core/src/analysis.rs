@@ -1,7 +1,7 @@
 //! End-to-end analysis: trace → findings → prediction → report.
 
 use crate::attrib::DebugInfo;
-use crate::detect::Findings;
+use crate::detect::{EventView, Findings};
 use crate::predict::predict;
 use crate::report::{build_sections, Report};
 use odp_model::{DataOpEvent, TargetEvent};
@@ -43,11 +43,11 @@ pub fn analyze_named(
     program: &str,
     console: Vec<String>,
 ) -> Report {
-    let data_ops = log.data_op_events();
-    let kernels = log.kernel_events();
-    let num_devices = infer_num_devices(&data_ops, &kernels);
-
-    let findings = Findings::detect(&data_ops, &kernels, num_devices);
+    // Borrow the log's memoized hydration (sorted once), build the
+    // shared view, and run all five detectors in one fused sweep.
+    // Events are only materialized where they land in findings.
+    let view = EventView::from_log(log);
+    let findings = Findings::detect_fused(&view);
     let counts = findings.counts();
     let prediction = predict(&findings, log.total_time());
     let sections = build_sections(&findings, dbg, log.total_time());
@@ -67,9 +67,7 @@ pub fn analyze_named(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use odp_model::{
-        CodePtr, DataOpKind, DeviceId, SimTime, TargetKind, TimeSpan,
-    };
+    use odp_model::{CodePtr, DataOpKind, DeviceId, SimTime, TargetKind, TimeSpan};
 
     fn sample_trace() -> TraceLog {
         let mut log = TraceLog::new();
@@ -153,7 +151,11 @@ mod tests {
         let ops = log.data_op_events();
         let ks = log.kernel_events();
         assert_eq!(infer_num_devices(&ops, &ks), 1);
-        assert_eq!(infer_num_devices(&[], &[]), 1, "empty trace still has a device");
+        assert_eq!(
+            infer_num_devices(&[], &[]),
+            1,
+            "empty trace still has a device"
+        );
     }
 
     #[test]

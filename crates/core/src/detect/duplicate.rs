@@ -76,7 +76,10 @@ mod tests {
     fn detects_listing1_pattern() {
         // `a` transferred to the device before each of two target regions.
         let mut f = EventFactory::new();
-        let ops = vec![f.h2d(0, 0, 0x1000, 0xAAAA, 4096), f.h2d(100, 0, 0x1000, 0xAAAA, 4096)];
+        let ops = vec![
+            f.h2d(0, 0, 0x1000, 0xAAAA, 4096),
+            f.h2d(100, 0, 0x1000, 0xAAAA, 4096),
+        ];
         let groups = find_duplicate_transfers(&ops);
         assert_eq!(groups.len(), 1);
         assert_eq!(groups[0].duplicate_count(), 1);

@@ -1,0 +1,563 @@
+//! The fused single-pass detection engine.
+//!
+//! The five standalone detectors (`find_duplicate_transfers`,
+//! `find_round_trips`, `find_repeated_allocs`, `find_unused_allocs`,
+//! `find_unused_transfers`) each re-walk the full event log and each
+//! rebuild their own side structures: Algorithms 1 and 2 both build a
+//! `(hash, dest_device)` reception map, Algorithms 3 and 4 both run
+//! `alloc_delete_pairs` (cloning every alloc/delete event), and
+//! Algorithms 4 and 5 both re-partition events by device. At
+//! million-event scale that redundancy dominates analysis time.
+//!
+//! This engine hydrates the trace **once** into a shared [`EventView`]
+//! — borrowed, chronologically sorted event slices plus the side tables
+//! every algorithm needs (per-`(hash, dest)` reception queues,
+//! alloc/delete pairing, per-device partitions) — built in a single
+//! linear indexing sweep. Detection then runs one more chronological
+//! sweep in which all five algorithms advance as incremental state
+//! machines over `&DataOpEvent` references, producing *index-based*
+//! findings ([`IndexFindings`]): no event is cloned during detection.
+//! Owned [`Findings`] (byte-identical to the standalone detectors'
+//! output, group order included) are materialized only at the report
+//! boundary via [`IndexFindings::resolve`].
+//!
+//! Equivalence with the five independent passes is enforced by the
+//! differential test suite in `crates/core/tests/fused_differential.rs`
+//! (randomized traces, exact JSON equality).
+
+use crate::detect::pairing::AllocDeletePair;
+use crate::detect::{
+    DuplicateTransferGroup, Findings, IssueCounts, RepeatedAllocGroup, RoundTrip, RoundTripGroup,
+    UnusedAlloc, UnusedTransfer, UnusedTransferReason,
+};
+use odp_hash::fnv::FnvHashMap;
+use odp_model::{DataOpEvent, DeviceId, HashVal, SimTime, TargetEvent};
+use odp_trace::TraceLog;
+
+/// Index of an event in [`EventView::data_ops`] (chronological order).
+pub type OpIx = u32;
+
+/// One reception queue: every transfer of one `(hash, dest_device)`
+/// pair, chronological. Shared by Algorithms 1 (whole queue = duplicate
+/// group) and 2 (FIFO of pending receptions).
+struct RxSlot {
+    hash: HashVal,
+    dest: DeviceId,
+    events: Vec<OpIx>,
+}
+
+/// An alloc/delete pairing by event index (the zero-copy counterpart of
+/// [`AllocDeletePair`]). Shared by Algorithms 3 and 4.
+struct IdxPair {
+    alloc: OpIx,
+    delete: Option<OpIx>,
+}
+
+/// The shared, hydrated, indexed view of one trace.
+///
+/// Borrows the chronologically sorted event slices (from the trace
+/// log's memoized hydration, or from caller-owned vectors) and carries
+/// the side tables that the fused sweep shares across all five
+/// algorithms. Building the view is one linear pass over each slice.
+pub struct EventView<'a> {
+    /// Data-op events, sorted by (start, log order).
+    pub data_ops: &'a [DataOpEvent],
+    /// Kernel-execution events, sorted by (start, log order).
+    pub kernels: &'a [TargetEvent],
+    /// Number of target devices analyzed (Algorithms 4/5 iterate these).
+    pub num_devices: u32,
+    /// Reception queues in first-seen key order.
+    rx_slots: Vec<RxSlot>,
+    /// `(hash, dest_device)` → index into `rx_slots`.
+    rx_index: FnvHashMap<(HashVal, DeviceId), u32>,
+    /// Chronological indices of hashed transfers (the only events
+    /// Algorithms 1/2 look at), so the round-trip sweep skips straight
+    /// over allocs, deletes, and hashless transfers.
+    hashed_transfers: Vec<OpIx>,
+    /// For each hashed transfer (parallel to `hashed_transfers`), the
+    /// `rx_slots` index it was enqueued into — precomputed so the sweep
+    /// dequeues without a second hash lookup.
+    dest_slot: Vec<u32>,
+    /// Alloc/delete pairings, in allocation order.
+    pairs: Vec<IdxPair>,
+    /// Per-target-device transfer indices (Algorithm 5 input).
+    tx_by_device: Vec<Vec<OpIx>>,
+    /// Per-target-device kernel indices into `kernels` (Algorithms 4/5).
+    kernels_by_device: Vec<Vec<u32>>,
+    /// Per-target-device pairing indices into `pairs` (Algorithm 4).
+    pairs_by_device: Vec<Vec<u32>>,
+}
+
+impl<'a> EventView<'a> {
+    /// Build the view from sorted event slices. One linear pass over
+    /// `kernels` and one over `data_ops`; no event is cloned.
+    pub fn new(
+        data_ops: &'a [DataOpEvent],
+        kernels: &'a [TargetEvent],
+        num_devices: u32,
+    ) -> EventView<'a> {
+        let nd = num_devices as usize;
+
+        let mut kernels_by_device: Vec<Vec<u32>> = vec![Vec::new(); nd];
+        for (kx, k) in kernels.iter().enumerate() {
+            if let Some(ix) = k.device.target_index() {
+                if ix < nd {
+                    kernels_by_device[ix].push(kx as u32);
+                }
+            }
+        }
+
+        // A cheap counting pass (no hashing) sizes the tables up front,
+        // so the build pass never rehashes.
+        let mut n_hashed_tx = 0usize;
+        let mut n_allocs = 0usize;
+        for e in data_ops {
+            if e.is_transfer() && e.hash.is_some() {
+                n_hashed_tx += 1;
+            } else if e.is_alloc() {
+                n_allocs += 1;
+            }
+        }
+
+        let mut rx_slots: Vec<RxSlot> = Vec::with_capacity(n_hashed_tx.min(1 << 16));
+        let mut rx_index: FnvHashMap<(HashVal, DeviceId), u32> =
+            FnvHashMap::with_capacity_and_hasher(n_hashed_tx, Default::default());
+        let mut hashed_transfers: Vec<OpIx> = Vec::with_capacity(n_hashed_tx);
+        let mut dest_slot: Vec<u32> = Vec::with_capacity(n_hashed_tx);
+        let mut pairs: Vec<IdxPair> = Vec::with_capacity(n_allocs);
+        let mut open: FnvHashMap<(DeviceId, u64), u32> =
+            FnvHashMap::with_capacity_and_hasher(n_allocs, Default::default());
+        let mut tx_by_device: Vec<Vec<OpIx>> = vec![Vec::new(); nd];
+        let mut pairs_by_device: Vec<Vec<u32>> = vec![Vec::new(); nd];
+
+        for (ox, e) in data_ops.iter().enumerate() {
+            let ox = ox as OpIx;
+            if e.is_transfer() {
+                if let Some(hash) = e.hash {
+                    let slot = *rx_index.entry((hash, e.dest_device)).or_insert_with(|| {
+                        rx_slots.push(RxSlot {
+                            hash,
+                            dest: e.dest_device,
+                            events: Vec::new(),
+                        });
+                        (rx_slots.len() - 1) as u32
+                    });
+                    rx_slots[slot as usize].events.push(ox);
+                    hashed_transfers.push(ox);
+                    dest_slot.push(slot);
+                }
+                if let Some(ix) = e.dest_device.target_index() {
+                    if ix < nd {
+                        tx_by_device[ix].push(ox);
+                    }
+                }
+            } else if e.is_alloc() {
+                let pair_ix = pairs.len() as u32;
+                // A new allocation at an address shadows any stale open
+                // entry (same contract as `alloc_delete_pairs`).
+                open.insert((e.dest_device, e.dest_addr), pair_ix);
+                pairs.push(IdxPair {
+                    alloc: ox,
+                    delete: None,
+                });
+                if let Some(ix) = e.dest_device.target_index() {
+                    if ix < nd {
+                        pairs_by_device[ix].push(pair_ix);
+                    }
+                }
+            } else if e.is_delete() {
+                if let Some(pair_ix) = open.remove(&(e.dest_device, e.dest_addr)) {
+                    pairs[pair_ix as usize].delete = Some(ox);
+                }
+            }
+        }
+
+        EventView {
+            data_ops,
+            kernels,
+            num_devices,
+            rx_slots,
+            rx_index,
+            hashed_transfers,
+            dest_slot,
+            pairs,
+            tx_by_device,
+            kernels_by_device,
+            pairs_by_device,
+        }
+    }
+
+    /// Build a view over a trace log's memoized hydrations, inferring
+    /// the device count from the events.
+    pub fn from_log(log: &'a TraceLog) -> EventView<'a> {
+        let data_ops = log.data_op_events_sorted();
+        let kernels = log.kernel_events_sorted();
+        let num_devices = crate::analysis::infer_num_devices(data_ops, kernels);
+        EventView::new(data_ops, kernels, num_devices)
+    }
+
+    /// The event behind an index.
+    #[inline]
+    pub fn op(&self, ix: OpIx) -> &DataOpEvent {
+        &self.data_ops[ix as usize]
+    }
+
+    /// End of a pairing's lifetime (delete end, or program end for
+    /// never-freed allocations) — `AllocDeletePair::lifetime_end`.
+    fn pair_lifetime_end(&self, p: &IdxPair) -> SimTime {
+        p.delete
+            .map(|d| self.op(d).span.end)
+            .unwrap_or(SimTime(u64::MAX))
+    }
+
+    fn resolve_pair(&self, p: &IdxPair) -> AllocDeletePair {
+        AllocDeletePair {
+            alloc: self.op(p.alloc).clone(),
+            delete: p.delete.map(|d| self.op(d).clone()),
+        }
+    }
+}
+
+/// Index-based findings: what the fused sweep produces. Events are
+/// referenced by their chronological index ([`OpIx`]) into the view —
+/// resolve one with [`EventView::op`] (its `.id` is the stable
+/// [`odp_model::EventId`]). [`IndexFindings::counts`] computes the Table
+/// 1 issue counts without materializing a single event clone;
+/// [`IndexFindings::resolve`] materializes owned [`Findings`] for
+/// reports.
+#[derive(Default)]
+pub struct IndexFindings {
+    /// Algorithm 1: duplicate groups as `rx_slots` indices.
+    duplicates: Vec<u32>,
+    /// Algorithm 2: round-trip groups.
+    round_trips: Vec<IdxRoundTripGroup>,
+    /// Algorithm 3: repeated-allocation groups.
+    repeated_allocs: Vec<IdxRepeatedAllocGroup>,
+    /// Algorithm 4: unused allocations as `pairs` indices.
+    unused_allocs: Vec<u32>,
+    /// Algorithm 5: unused transfers.
+    unused_transfers: Vec<(OpIx, UnusedTransferReason)>,
+}
+
+struct IdxRoundTripGroup {
+    hash: HashVal,
+    src: DeviceId,
+    dest: DeviceId,
+    /// (outbound leg, completing reception) pairs.
+    trips: Vec<(OpIx, OpIx)>,
+}
+
+struct IdxRepeatedAllocGroup {
+    host_addr: u64,
+    device: DeviceId,
+    bytes: u64,
+    /// Indices into the view's shared pairing table.
+    pair_ixs: Vec<u32>,
+}
+
+impl IndexFindings {
+    /// Table 1 issue counts, straight from the indices (no event
+    /// materialization).
+    pub fn counts(&self, view: &EventView<'_>) -> IssueCounts {
+        IssueCounts {
+            dd: self
+                .duplicates
+                .iter()
+                .map(|&s| view.rx_slots[s as usize].events.len().saturating_sub(1))
+                .sum(),
+            rt: self.round_trips.iter().map(|g| g.trips.len()).sum(),
+            ra: self
+                .repeated_allocs
+                .iter()
+                .map(|g| g.pair_ixs.len().saturating_sub(1))
+                .sum(),
+            ua: self.unused_allocs.len(),
+            ut: self.unused_transfers.len(),
+        }
+    }
+
+    /// Materialize owned findings — the one place events are cloned,
+    /// and only the events that appear in findings.
+    pub fn resolve(&self, view: &EventView<'_>) -> Findings {
+        Findings {
+            duplicates: self
+                .duplicates
+                .iter()
+                .map(|&s| {
+                    let slot = &view.rx_slots[s as usize];
+                    DuplicateTransferGroup {
+                        hash: slot.hash,
+                        dest_device: slot.dest,
+                        events: slot.events.iter().map(|&ox| view.op(ox).clone()).collect(),
+                    }
+                })
+                .collect(),
+            round_trips: self
+                .round_trips
+                .iter()
+                .map(|g| RoundTripGroup {
+                    hash: g.hash,
+                    src_device: g.src,
+                    dest_device: g.dest,
+                    trips: g
+                        .trips
+                        .iter()
+                        .map(|&(tx, rx)| RoundTrip {
+                            tx: view.op(tx).clone(),
+                            rx: view.op(rx).clone(),
+                        })
+                        .collect(),
+                })
+                .collect(),
+            repeated_allocs: self
+                .repeated_allocs
+                .iter()
+                .map(|g| RepeatedAllocGroup {
+                    host_addr: g.host_addr,
+                    device: g.device,
+                    bytes: g.bytes,
+                    pairs: g
+                        .pair_ixs
+                        .iter()
+                        .map(|&px| view.resolve_pair(&view.pairs[px as usize]))
+                        .collect(),
+                })
+                .collect(),
+            unused_allocs: self
+                .unused_allocs
+                .iter()
+                .map(|&px| UnusedAlloc {
+                    pair: view.resolve_pair(&view.pairs[px as usize]),
+                })
+                .collect(),
+            unused_transfers: self
+                .unused_transfers
+                .iter()
+                .map(|&(ox, reason)| UnusedTransfer {
+                    event: view.op(ox).clone(),
+                    reason,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Run all five detection algorithms over the view in one fused
+/// chronological sweep, returning index-based findings.
+///
+/// The invariant every state machine below relies on: `view.data_ops`
+/// and `view.kernels` are chronological (start, then log order), and
+/// the per-device / per-key side tables preserve that order as
+/// subsequences. Each algorithm therefore observes events in exactly
+/// the order the standalone detectors do, and the outputs match them
+/// byte for byte — group order, event order within groups, everything.
+pub fn detect_indexed(view: &EventView<'_>) -> IndexFindings {
+    let mut out = IndexFindings::default();
+
+    // Algorithm 1 — duplicate transfers. The reception queues *are* the
+    // groups: first-seen key order, chronological events.
+    for (sx, slot) in view.rx_slots.iter().enumerate() {
+        if slot.events.len() >= 2 {
+            out.duplicates.push(sx as u32);
+        }
+    }
+
+    // Algorithm 2 — round trips: one chronological sweep consuming the
+    // shared reception queues through per-slot cursors (the standalone
+    // detector's FIFO pops, without cloning the queues).
+    {
+        let mut heads: Vec<usize> = vec![0; view.rx_slots.len()];
+        let mut group_ix: FnvHashMap<(HashVal, DeviceId, DeviceId), u32> = FnvHashMap::default();
+        for (tix, &ox) in view.hashed_transfers.iter().enumerate() {
+            let e = view.op(ox);
+            let hash = e.hash.expect("hashed_transfers holds hashed events");
+            // A pending reception at the transfer's *source* device
+            // completes a round trip.
+            let Some(&rx_slot) = view.rx_index.get(&(hash, e.src_device)) else {
+                continue;
+            };
+            let queue = &view.rx_slots[rx_slot as usize].events;
+            if heads[rx_slot as usize] >= queue.len() {
+                continue; // queue exhausted: data never returns
+            }
+            let rx = queue[heads[rx_slot as usize]];
+            let key = (hash, e.src_device, e.dest_device);
+            let gx = *group_ix.entry(key).or_insert_with(|| {
+                out.round_trips.push(IdxRoundTripGroup {
+                    hash,
+                    src: e.src_device,
+                    dest: e.dest_device,
+                    trips: Vec::new(),
+                });
+                (out.round_trips.len() - 1) as u32
+            });
+            out.round_trips[gx as usize].trips.push((ox, rx));
+            // Dequeue this transfer from its own destination's queue so
+            // it cannot later complete a different round trip. The slot
+            // was recorded at enqueue time: no second hash lookup.
+            heads[view.dest_slot[tix] as usize] += 1;
+        }
+    }
+
+    // Algorithm 3 — repeated allocations, over the shared pairing table
+    // (allocation order), grouped by ⟨host addr, device, size⟩.
+    {
+        let mut group_ix: FnvHashMap<(u64, DeviceId, u64), u32> = FnvHashMap::default();
+        let mut groups: Vec<IdxRepeatedAllocGroup> = Vec::new();
+        for (px, pair) in view.pairs.iter().enumerate() {
+            let alloc = view.op(pair.alloc);
+            let key = (alloc.src_addr, alloc.dest_device, alloc.bytes);
+            let gx = *group_ix.entry(key).or_insert_with(|| {
+                groups.push(IdxRepeatedAllocGroup {
+                    host_addr: alloc.src_addr,
+                    device: alloc.dest_device,
+                    bytes: alloc.bytes,
+                    pair_ixs: Vec::new(),
+                });
+                (groups.len() - 1) as u32
+            });
+            groups[gx as usize].pair_ixs.push(px as u32);
+        }
+        out.repeated_allocs = groups
+            .into_iter()
+            .filter(|g| g.pair_ixs.len() >= 2)
+            .collect();
+    }
+
+    // Algorithm 4 — unused allocations: per device, advance a kernel
+    // cursor alongside the (allocation-ordered) pairings; an allocation
+    // whose lifetime precedes the next kernel on its device can never
+    // have been used.
+    for dev in 0..view.num_devices as usize {
+        let kernels = &view.kernels_by_device[dev];
+        let mut kx = 0usize;
+        for &px in &view.pairs_by_device[dev] {
+            let pair = &view.pairs[px as usize];
+            let alloc_start = view.op(pair.alloc).span.start;
+            while kx < kernels.len() && view.kernels[kernels[kx] as usize].span.end < alloc_start {
+                kx += 1;
+            }
+            let lifetime_end = view.pair_lifetime_end(pair);
+            if kx == kernels.len() || view.kernels[kernels[kx] as usize].span.start > lifetime_end {
+                out.unused_allocs.push(px);
+            }
+        }
+    }
+
+    // Algorithm 5 — unused transfers: per device, a candidate map from
+    // source address to the last transfer that wrote from it; kernel
+    // completions clear the candidates (the kernel may have consumed
+    // the data).
+    for dev in 0..view.num_devices as usize {
+        let kernels = &view.kernels_by_device[dev];
+        let mut kx = 0usize;
+        let mut candidates: FnvHashMap<u64, OpIx> = FnvHashMap::default();
+        for &tx in &view.tx_by_device[dev] {
+            let e = view.op(tx);
+            while kx < kernels.len() && view.kernels[kernels[kx] as usize].span.end < e.span.start {
+                kx += 1;
+                candidates.clear();
+            }
+            if kx == kernels.len() {
+                out.unused_transfers
+                    .push((tx, UnusedTransferReason::AfterLastKernel));
+            } else if view.kernels[kernels[kx] as usize].span.start > e.span.start {
+                if let Some(&cand) = candidates.get(&e.src_addr) {
+                    out.unused_transfers
+                        .push((cand, UnusedTransferReason::OverwrittenBeforeUse));
+                }
+                candidates.insert(e.src_addr, tx);
+            } else {
+                // Overlaps a running kernel (asynchronous mapping):
+                // conservatively forget all candidates.
+                candidates.clear();
+            }
+        }
+    }
+
+    out
+}
+
+/// Run the fused engine end to end: indexed detection plus owned
+/// materialization. Equivalent to — and the implementation behind —
+/// [`Findings::detect`].
+pub fn detect(view: &EventView<'_>) -> Findings {
+    detect_indexed(view).resolve(view)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::testutil::EventFactory;
+
+    #[test]
+    fn fused_matches_standalone_on_mixed_trace() {
+        let mut f = EventFactory::new();
+        let kernels = vec![f.kernel(30, 60, 0), f.kernel(130, 160, 0)];
+        let ops = vec![
+            f.alloc(0, 0, 0x1000, 0xd000, 64),
+            f.h2d(10, 0, 0x1000, 7, 64),
+            f.h2d(20, 0, 0x1000, 7, 64), // duplicate
+            f.d2h(70, 0, 0x1000, 7, 64), // round trip back to host
+            f.delete(80, 0, 0x1000, 0xd000, 64),
+            f.alloc(90, 0, 0x1000, 0xd000, 64), // repeated alloc
+            f.h2d(100, 0, 0x1000, 9, 64),
+            f.delete(170, 0, 0x1000, 0xd000, 64),
+            f.h2d(180, 0, 0x2000, 11, 64), // after last kernel
+        ];
+        let view = EventView::new(&ops, &kernels, 1);
+        let fused = detect(&view);
+        let separate = Findings::detect_separate(&ops, &kernels, 1);
+        assert_eq!(
+            serde_json::to_string(&fused).unwrap(),
+            serde_json::to_string(&separate).unwrap()
+        );
+        assert_eq!(fused.counts(), separate.counts());
+        assert_eq!(
+            detect_indexed(&view).counts(&view),
+            separate.counts(),
+            "indexed counts must not require materialization"
+        );
+    }
+
+    #[test]
+    fn empty_view_is_clean() {
+        let view = EventView::new(&[], &[], 1);
+        let findings = detect(&view);
+        assert!(findings.counts().is_clean());
+    }
+
+    #[test]
+    fn view_from_log_uses_memoized_hydration() {
+        use odp_model::{CodePtr, DataOpKind, DeviceId, SimTime, TargetKind, TimeSpan};
+        let mut log = TraceLog::new();
+        let span = |a: u64, b: u64| TimeSpan::new(SimTime(a), SimTime(b));
+        for t in [0u64, 100] {
+            log.record_data_op(
+                DataOpKind::Transfer,
+                DeviceId::HOST,
+                DeviceId::target(0),
+                0x1000,
+                0xd000,
+                256,
+                Some(0xAB),
+                span(t, t + 10),
+                CodePtr(0x1),
+            );
+            log.record_target(
+                TargetKind::Kernel,
+                DeviceId::target(0),
+                span(t + 20, t + 40),
+                CodePtr(0x2),
+            );
+        }
+        let before = log.sort_count();
+        let view = EventView::from_log(&log);
+        let findings = detect(&view);
+        assert_eq!(findings.counts().dd, 1);
+        // A second view re-borrows the same hydration: no further sorts.
+        let view2 = EventView::from_log(&log);
+        let _ = detect(&view2);
+        assert_eq!(log.sort_count(), before + 2, "one sort per event family");
+    }
+}

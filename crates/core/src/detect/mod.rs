@@ -5,8 +5,40 @@
 //! sizes, start/end times, and content hashes. None of them needs memory
 //! access tracking — that is the design point that keeps the tool's
 //! overhead at 5 % where instrumenting profilers pay 3.5–20×.
+//!
+//! # Architecture: fused engine + standalone references
+//!
+//! Each algorithm exists twice, by design:
+//!
+//! * **Standalone reference passes** — `find_duplicate_transfers`,
+//!   `find_round_trips`, `find_repeated_allocs`, `find_unused_allocs`,
+//!   `find_unused_transfers` — direct transcriptions of the paper's
+//!   pseudocode. Each walks the full event slice independently and
+//!   builds its own side structures. They are the semantic ground truth
+//!   (and what the §5.3 ablation hooks into), but running all five
+//!   repeats work: Algorithms 1+2 both build the reception map, 3+4
+//!   both pair allocs with deletes, 4+5 both partition by device.
+//!
+//! * **The fused engine** ([`engine`]) — hydrates the trace once into a
+//!   shared [`engine::EventView`] (borrowed sorted slices + the shared
+//!   side tables, built in one indexing pass), then advances all five
+//!   algorithms as incremental state machines in **one** chronological
+//!   detection sweep over `&DataOpEvent` references. Findings are
+//!   index-based ([`engine::IndexFindings`]) until the report boundary;
+//!   only events that appear in findings are ever cloned.
+//!
+//! **The one-pass invariant:** the engine observes events in exactly
+//! the order the standalone passes do (chronological, with per-key and
+//! per-device side tables preserving that order as subsequences), so
+//! [`Findings::detect`] — which delegates to the engine — is
+//! byte-identical to [`Findings::detect_separate`], group order
+//! included. The differential suite in
+//! `crates/core/tests/fused_differential.rs` enforces this on
+//! randomized traces; `crates/bench/benches/detectors.rs` measures the
+//! speedup (shared hydration + no per-detector clones).
 
 pub mod duplicate;
+pub mod engine;
 pub mod pairing;
 pub mod realloc;
 pub mod roundtrip;
@@ -17,6 +49,7 @@ use odp_model::{DataOpEvent, TargetEvent};
 use serde::Serialize;
 
 pub use duplicate::{find_duplicate_transfers, DuplicateTransferGroup};
+pub use engine::{EventView, IndexFindings};
 pub use pairing::{alloc_delete_pairs, AllocDeletePair};
 pub use realloc::{find_repeated_allocs, find_repeated_allocs_keyed, RepeatedAllocGroup};
 pub use roundtrip::{find_round_trips, RoundTrip, RoundTripGroup};
@@ -73,11 +106,28 @@ pub struct Findings {
 }
 
 impl Findings {
-    /// Run all five detectors.
+    /// Run all five detectors through the fused single-pass engine.
     ///
     /// `data_op_events` and `kernel_events` must be in chronological
-    /// order (the trace log's hydration guarantees this).
+    /// order (the trace log's hydration guarantees this). Output is
+    /// byte-identical to [`Findings::detect_separate`].
     pub fn detect(
+        data_op_events: &[DataOpEvent],
+        kernel_events: &[TargetEvent],
+        num_devices: u32,
+    ) -> Findings {
+        Findings::detect_fused(&EventView::new(data_op_events, kernel_events, num_devices))
+    }
+
+    /// Run the fused engine over a prebuilt [`EventView`].
+    pub fn detect_fused(view: &EventView<'_>) -> Findings {
+        engine::detect(view)
+    }
+
+    /// Run the five standalone reference passes independently — the
+    /// paper-pseudocode transcriptions the fused engine is verified
+    /// against.
+    pub fn detect_separate(
         data_op_events: &[DataOpEvent],
         kernel_events: &[TargetEvent],
         num_devices: u32,
@@ -169,7 +219,14 @@ pub(crate) mod testutil {
             }
         }
 
-        pub fn alloc(&mut self, t: u64, dev: u32, haddr: u64, daddr: u64, bytes: u64) -> DataOpEvent {
+        pub fn alloc(
+            &mut self,
+            t: u64,
+            dev: u32,
+            haddr: u64,
+            daddr: u64,
+            bytes: u64,
+        ) -> DataOpEvent {
             DataOpEvent {
                 id: self.id(),
                 kind: DataOpKind::Alloc,
@@ -184,7 +241,14 @@ pub(crate) mod testutil {
             }
         }
 
-        pub fn delete(&mut self, t: u64, dev: u32, haddr: u64, daddr: u64, bytes: u64) -> DataOpEvent {
+        pub fn delete(
+            &mut self,
+            t: u64,
+            dev: u32,
+            haddr: u64,
+            daddr: u64,
+            bytes: u64,
+        ) -> DataOpEvent {
             DataOpEvent {
                 id: self.id(),
                 kind: DataOpKind::Delete,

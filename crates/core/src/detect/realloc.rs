@@ -77,7 +77,11 @@ pub fn find_repeated_allocs_keyed(
             Some(RepeatedAllocGroup {
                 host_addr: key.0,
                 device: key.1,
-                bytes: if size_in_key { key.2 } else { pairs[0].alloc.bytes },
+                bytes: if size_in_key {
+                    key.2
+                } else {
+                    pairs[0].alloc.bytes
+                },
                 pairs,
             })
         })
@@ -163,7 +167,10 @@ mod tests {
             f.alloc(20, 1, 0x1000, 0xd000, 64),
             f.delete(30, 1, 0x1000, 0xd000, 64),
         ];
-        assert!(find_repeated_allocs(&ops).is_empty(), "one alloc per device");
+        assert!(
+            find_repeated_allocs(&ops).is_empty(),
+            "one alloc per device"
+        );
     }
 
     #[test]

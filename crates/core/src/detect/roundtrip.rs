@@ -74,7 +74,10 @@ pub fn find_round_trips(data_op_events: &[DataOpEvent]) -> Vec<RoundTripGroup> {
             continue;
         };
         let rx_key = (hash, tx_event.src_device);
-        let has_pending = received.get(&rx_key).map(|q| !q.is_empty()).unwrap_or(false);
+        let has_pending = received
+            .get(&rx_key)
+            .map(|q| !q.is_empty())
+            .unwrap_or(false);
         if !has_pending {
             // Not a round trip: the data is never sent back.
             continue;

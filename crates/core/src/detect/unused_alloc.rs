@@ -53,8 +53,7 @@ pub fn find_unused_allocs(
         let mut tgt_idx = 0usize;
         for pair in allocs {
             // Skip kernels that finished before this allocation existed.
-            while tgt_idx < tgt_events.len()
-                && tgt_events[tgt_idx].span.end < pair.alloc.span.start
+            while tgt_idx < tgt_events.len() && tgt_events[tgt_idx].span.end < pair.alloc.span.start
             {
                 tgt_idx += 1;
             }

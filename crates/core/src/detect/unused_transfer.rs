@@ -135,7 +135,10 @@ mod tests {
         let u = find_unused_transfers(&kernels, &ops, 1);
         assert_eq!(u.len(), 1);
         assert_eq!(u[0].reason, UnusedTransferReason::OverwrittenBeforeUse);
-        assert_eq!(u[0].event.id, first.id, "the *overwritten* transfer is flagged");
+        assert_eq!(
+            u[0].event.id, first.id,
+            "the *overwritten* transfer is flagged"
+        );
     }
 
     #[test]
@@ -163,7 +166,9 @@ mod tests {
         let ops = vec![f.h2d(0, 0, 0x1000, 1, 64), f.h2d(20, 0, 0x2000, 2, 64)];
         let u = find_unused_transfers(&[], &ops, 1);
         assert_eq!(u.len(), 2);
-        assert!(u.iter().all(|x| x.reason == UnusedTransferReason::AfterLastKernel));
+        assert!(u
+            .iter()
+            .all(|x| x.reason == UnusedTransferReason::AfterLastKernel));
     }
 
     #[test]

@@ -217,7 +217,11 @@ mod tests {
         let p = predict(&findings, SimDuration(10_000));
         // Each event lasts 10 ns; 4 events exist; savings can never
         // exceed the total duration of all events.
-        assert!(p.time_saved.as_nanos() <= 40, "saved {}", p.time_saved.as_nanos());
+        assert!(
+            p.time_saved.as_nanos() <= 40,
+            "saved {}",
+            p.time_saved.as_nanos()
+        );
         assert!(p.ops_eliminated <= 4);
     }
 
@@ -230,7 +234,10 @@ mod tests {
         let p = predict(&findings, SimDuration(5));
         assert_eq!(p.time_saved, SimDuration(5));
         assert_eq!(p.predicted_time, SimDuration::ZERO);
-        assert!((p.predicted_speedup - 1.0).abs() < 1e-12, "degenerate case pins to 1.0");
+        assert!(
+            (p.predicted_speedup - 1.0).abs() < 1e-12,
+            "degenerate case pins to 1.0"
+        );
     }
 
     #[test]

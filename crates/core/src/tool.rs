@@ -25,7 +25,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Tool configuration (the CLI's flags, §A.5.3).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct ToolConfig {
     /// Content-hash algorithm (default: `t1ha0_avx2`, §B.1).
     pub hash_algo: HashAlgoId,
@@ -35,17 +35,6 @@ pub struct ToolConfig {
     pub quiet: bool,
     /// Verbose output (`-v`).
     pub verbose: bool,
-}
-
-impl Default for ToolConfig {
-    fn default() -> Self {
-        ToolConfig {
-            hash_algo: HashAlgoId::default(),
-            collision_audit: false,
-            quiet: false,
-            verbose: false,
-        }
-    }
 }
 
 /// Wall-clock hashing meter (Table 4's "effective hash rate").
@@ -142,6 +131,11 @@ impl ToolHandle {
 pub struct OmpDataPerfTool {
     cfg: ToolConfig,
     shared: Arc<Mutex<Collector>>,
+    /// Cached copy of the collector's `degraded` flag, decided once at
+    /// `initialize` — callbacks read this instead of taking the lock a
+    /// second time per event (the runtime drives all callbacks from one
+    /// thread; the collector's copy exists for the handle's observers).
+    degraded: bool,
     /// host_op_id → begin time of the open data op.
     open_ops: FnvHashMap<u64, SimTime>,
     /// target_id → begin time of the open kernel submit.
@@ -164,6 +158,7 @@ impl OmpDataPerfTool {
             OmpDataPerfTool {
                 cfg,
                 shared,
+                degraded: false,
                 open_ops: FnvHashMap::default(),
                 open_submits: FnvHashMap::default(),
                 open_targets: FnvHashMap::default(),
@@ -255,6 +250,7 @@ impl Tool for OmpDataPerfTool {
         );
         if legacy.granted(CallbackKind::TargetDataOp) {
             c.degraded = true;
+            self.degraded = true;
             if !self.cfg.quiet {
                 c.warnings.push(format!(
                     "warning: OMPDataPerf requires OMPT interface version 5.1 (or later), \
@@ -279,6 +275,16 @@ impl Tool for OmpDataPerfTool {
     fn on_target(&mut self, cb: &TargetCallback) {
         let key = (cb.target_id, construct_tag(cb.construct));
         match cb.endpoint {
+            // Degraded mode: begin-only → record an instantaneous marker
+            // (pre-EMI runtimes never deliver End).
+            Endpoint::Begin if self.degraded => {
+                self.shared.lock().log.record_target(
+                    target_kind(cb.construct),
+                    cb.device,
+                    TimeSpan::at(cb.time),
+                    cb.codeptr_ra,
+                );
+            }
             Endpoint::Begin => {
                 self.open_targets.insert(key, cb.time);
             }
@@ -292,49 +298,36 @@ impl Tool for OmpDataPerfTool {
                 );
             }
         }
-        // Degraded mode: begin-only → record an instantaneous marker.
-        if self.shared.lock().degraded && cb.endpoint == Endpoint::Begin {
-            self.shared.lock().log.record_target(
-                target_kind(cb.construct),
-                cb.device,
-                TimeSpan::at(cb.time),
-                cb.codeptr_ra,
-            );
-            self.open_targets.remove(&key);
-        }
     }
 
     fn on_data_op(&mut self, cb: &DataOpCallback<'_>) {
         match cb.endpoint {
+            // Degraded (non-EMI) runtimes never send End: record now
+            // with zero duration, hashing the payload that a pointer-
+            // chasing tool reads at op start.
+            Endpoint::Begin if self.degraded => {
+                let mut c = self.shared.lock();
+                let hash = cb.payload.map(|p| self.hash_payload(&mut c, p)).or(
+                    if data_op_kind(cb.optype) == DataOpKind::Transfer {
+                        Some(0)
+                    } else {
+                        None
+                    },
+                );
+                c.log.record_data_op(
+                    data_op_kind(cb.optype),
+                    cb.src_device,
+                    cb.dest_device,
+                    cb.src_addr,
+                    cb.dest_addr,
+                    cb.bytes,
+                    hash,
+                    TimeSpan::at(cb.time),
+                    cb.codeptr_ra,
+                );
+            }
             Endpoint::Begin => {
                 self.open_ops.insert(cb.host_op_id, cb.time);
-                // Degraded (non-EMI) runtimes never send End: record now
-                // with zero duration, hashing the payload that a pointer-
-                // chasing tool reads at op start.
-                let degraded = self.shared.lock().degraded;
-                if degraded {
-                    let mut c = self.shared.lock();
-                    let hash = cb
-                        .payload
-                        .map(|p| self.hash_payload(&mut c, p))
-                        .or(if data_op_kind(cb.optype) == DataOpKind::Transfer {
-                            Some(0)
-                        } else {
-                            None
-                        });
-                    c.log.record_data_op(
-                        data_op_kind(cb.optype),
-                        cb.src_device,
-                        cb.dest_device,
-                        cb.src_addr,
-                        cb.dest_addr,
-                        cb.bytes,
-                        hash,
-                        TimeSpan::at(cb.time),
-                        cb.codeptr_ra,
-                    );
-                    self.open_ops.remove(&cb.host_op_id);
-                }
             }
             Endpoint::End => {
                 let start = self.open_ops.remove(&cb.host_op_id).unwrap_or(cb.time);
@@ -357,18 +350,16 @@ impl Tool for OmpDataPerfTool {
 
     fn on_submit(&mut self, cb: &SubmitCallback) {
         match cb.endpoint {
+            Endpoint::Begin if self.degraded => {
+                self.shared.lock().log.record_target(
+                    TargetKind::Kernel,
+                    cb.device,
+                    TimeSpan::at(cb.time),
+                    cb.codeptr_ra,
+                );
+            }
             Endpoint::Begin => {
                 self.open_submits.insert(cb.target_id, cb.time);
-                let degraded = self.shared.lock().degraded;
-                if degraded {
-                    self.shared.lock().log.record_target(
-                        TargetKind::Kernel,
-                        cb.device,
-                        TimeSpan::at(cb.time),
-                        cb.codeptr_ra,
-                    );
-                    self.open_submits.remove(&cb.target_id);
-                }
             }
             Endpoint::End => {
                 let start = self.open_submits.remove(&cb.target_id).unwrap_or(cb.time);
@@ -428,7 +419,13 @@ mod tests {
         let (mut tool, handle) = OmpDataPerfTool::new(ToolConfig::default());
         tool.initialize(&CompilerProfile::LlvmClang.capabilities());
         let payload = vec![7u8; 256];
-        tool.on_data_op(&data_op(Endpoint::Begin, 5, DataOpType::TransferToDevice, 100, None));
+        tool.on_data_op(&data_op(
+            Endpoint::Begin,
+            5,
+            DataOpType::TransferToDevice,
+            100,
+            None,
+        ));
         tool.on_data_op(&data_op(
             Endpoint::End,
             5,
@@ -454,7 +451,13 @@ mod tests {
         tool.initialize(&CompilerProfile::LlvmClang.capabilities());
         let payload = vec![1u8; 1024];
         for i in 0..10 {
-            tool.on_data_op(&data_op(Endpoint::Begin, i, DataOpType::TransferToDevice, 0, None));
+            tool.on_data_op(&data_op(
+                Endpoint::Begin,
+                i,
+                DataOpType::TransferToDevice,
+                0,
+                None,
+            ));
             tool.on_data_op(&data_op(
                 Endpoint::End,
                 i,
@@ -516,7 +519,10 @@ mod tests {
         });
         tool.initialize(&CompilerProfile::GnuGcc.capabilities());
         assert!(handle.unusable());
-        assert!(!handle.console_lines().iter().any(|l| l.starts_with("warning")));
+        assert!(!handle
+            .console_lines()
+            .iter()
+            .any(|l| l.starts_with("warning")));
     }
 
     #[test]
@@ -527,8 +533,20 @@ mod tests {
         });
         tool.initialize(&CompilerProfile::LlvmClang.capabilities());
         let p1 = vec![1u8; 128];
-        tool.on_data_op(&data_op(Endpoint::Begin, 1, DataOpType::TransferToDevice, 0, None));
-        tool.on_data_op(&data_op(Endpoint::End, 1, DataOpType::TransferToDevice, 10, Some(&p1)));
+        tool.on_data_op(&data_op(
+            Endpoint::Begin,
+            1,
+            DataOpType::TransferToDevice,
+            0,
+            None,
+        ));
+        tool.on_data_op(&data_op(
+            Endpoint::End,
+            1,
+            DataOpType::TransferToDevice,
+            10,
+            Some(&p1),
+        ));
         assert_eq!(handle.collision_count(), 0);
         handle.with(|c| assert_eq!(c.audit.checks(), 1));
     }

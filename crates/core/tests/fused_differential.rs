@@ -1,0 +1,234 @@
+//! Differential tests: the fused single-pass engine must produce
+//! **byte-identical** findings to the five standalone reference
+//! detectors — group order, event order within groups, reasons, issue
+//! counts — on randomized chronological traces.
+//!
+//! Generation is fully deterministic (seeded xorshift64*, no wall clock
+//! or OS entropy): a failing seed reproduces forever.
+
+use odp_model::{
+    CodePtr, DataOpEvent, DataOpKind, DeviceId, EventId, HashVal, SimTime, TargetEvent, TargetKind,
+    TimeSpan,
+};
+use ompdataperf::detect::{EventView, Findings};
+
+/// xorshift64* with splittable seeding.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next() % bound
+        }
+    }
+}
+
+/// Build a random chronological trace. Small pools of addresses, hashes,
+/// and devices force every collision class the detectors key on:
+/// duplicate receptions, round trips, address reuse with matching and
+/// mismatching sizes, interleaved kernels, overlapping spans, and
+/// identical start times (tie-broken by log order, which the sort
+/// preserves via `EventId`).
+fn random_trace(seed: u64, len: usize, num_devices: u32) -> (Vec<DataOpEvent>, Vec<TargetEvent>) {
+    let mut rng = Rng::new(seed);
+    let mut data_ops = Vec::new();
+    let mut kernels = Vec::new();
+    let mut t = 0u64;
+    for id in 0..len as u64 {
+        // Occasionally reuse the same start time to exercise tie-breaks;
+        // occasionally jump to create kernel-free gaps.
+        match rng.below(10) {
+            0 => {}
+            1..=7 => t += 1 + rng.below(12),
+            _ => t += 40 + rng.below(60),
+        }
+        let dur = rng.below(25);
+        let span = TimeSpan::new(SimTime(t), SimTime(t + dur));
+        let dev = DeviceId::target(rng.below(num_devices as u64) as u32);
+        let haddr = 0x1000 + rng.below(5) * 0x100;
+        let daddr = 0xd000 + rng.below(5) * 0x100;
+        let bytes = 64 << rng.below(3);
+        let hash = HashVal(rng.below(6));
+        let codeptr = CodePtr(0x400_000 + rng.below(4) * 0x10);
+        match rng.below(12) {
+            0..=3 => data_ops.push(DataOpEvent {
+                id: EventId(id),
+                kind: DataOpKind::Transfer,
+                src_device: DeviceId::HOST,
+                dest_device: dev,
+                src_addr: haddr,
+                dest_addr: daddr,
+                bytes,
+                hash: Some(hash),
+                span,
+                codeptr,
+            }),
+            4..=6 => data_ops.push(DataOpEvent {
+                id: EventId(id),
+                kind: DataOpKind::Transfer,
+                src_device: dev,
+                dest_device: DeviceId::HOST,
+                src_addr: daddr,
+                dest_addr: haddr,
+                bytes,
+                hash: Some(hash),
+                span,
+                codeptr,
+            }),
+            7 => data_ops.push(DataOpEvent {
+                id: EventId(id),
+                // A hashless transfer (e.g. degraded-mode zero-length
+                // payload): ignored by Algorithms 1/2, seen by 5.
+                kind: DataOpKind::Transfer,
+                src_device: DeviceId::HOST,
+                dest_device: dev,
+                src_addr: haddr,
+                dest_addr: daddr,
+                bytes,
+                hash: None,
+                span,
+                codeptr,
+            }),
+            8 => data_ops.push(DataOpEvent {
+                id: EventId(id),
+                kind: DataOpKind::Alloc,
+                src_device: DeviceId::HOST,
+                dest_device: dev,
+                src_addr: haddr,
+                dest_addr: daddr,
+                bytes,
+                hash: None,
+                span,
+                codeptr,
+            }),
+            9 => data_ops.push(DataOpEvent {
+                id: EventId(id),
+                kind: DataOpKind::Delete,
+                src_device: DeviceId::HOST,
+                dest_device: dev,
+                src_addr: haddr,
+                dest_addr: daddr,
+                bytes,
+                hash: None,
+                span,
+                codeptr,
+            }),
+            10 => data_ops.push(DataOpEvent {
+                id: EventId(id),
+                kind: if rng.below(2) == 0 {
+                    DataOpKind::Associate
+                } else {
+                    DataOpKind::Disassociate
+                },
+                src_device: DeviceId::HOST,
+                dest_device: dev,
+                src_addr: haddr,
+                dest_addr: daddr,
+                bytes,
+                hash: None,
+                span,
+                codeptr,
+            }),
+            _ => kernels.push(TargetEvent {
+                id: EventId(id),
+                device: dev,
+                kind: TargetKind::Kernel,
+                span,
+                codeptr,
+            }),
+        }
+    }
+    // The detectors' precondition: chronological by (start, log order).
+    data_ops.sort_by_key(|e| (e.span.start, e.id));
+    kernels.sort_by_key(|e| (e.span.start, e.id));
+    (data_ops, kernels)
+}
+
+/// Exact equality through the canonical JSON rendering: covers every
+/// field of every finding and the order of everything.
+fn assert_identical(ops: &[DataOpEvent], kernels: &[TargetEvent], num_devices: u32, ctx: &str) {
+    let view = EventView::new(ops, kernels, num_devices);
+    let fused = Findings::detect_fused(&view);
+    let separate = Findings::detect_separate(ops, kernels, num_devices);
+    assert_eq!(
+        fused.counts(),
+        separate.counts(),
+        "issue counts diverge ({ctx})"
+    );
+    assert_eq!(
+        serde_json::to_string_pretty(&fused).unwrap(),
+        serde_json::to_string_pretty(&separate).unwrap(),
+        "findings diverge ({ctx})"
+    );
+}
+
+#[test]
+fn fused_equals_separate_on_random_traces() {
+    for seed in 1..=40u64 {
+        let (ops, kernels) = random_trace(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15), 300, 2);
+        assert_identical(&ops, &kernels, 2, &format!("seed {seed}"));
+    }
+}
+
+#[test]
+fn fused_equals_separate_on_large_trace() {
+    let (ops, kernels) = random_trace(0xDEAD_BEEF, 20_000, 3);
+    assert_identical(&ops, &kernels, 3, "large trace");
+}
+
+#[test]
+fn fused_equals_separate_with_single_device_pool() {
+    // One device + tiny hash pool: maximal duplicate / round-trip churn.
+    for seed in [3u64, 17, 99] {
+        let (ops, kernels) = random_trace(seed, 500, 1);
+        assert_identical(&ops, &kernels, 1, &format!("dense seed {seed}"));
+    }
+}
+
+#[test]
+fn fused_equals_separate_on_kernel_free_trace() {
+    // No kernels at all: Algorithm 4 flags every allocation, Algorithm 5
+    // every device-bound transfer.
+    let (ops, _) = random_trace(0x5EED, 400, 2);
+    assert_identical(&ops, &[], 2, "kernel-free");
+}
+
+#[test]
+fn fused_equals_separate_on_empty_trace() {
+    assert_identical(&[], &[], 1, "empty");
+}
+
+#[test]
+fn indexed_counts_match_materialized_counts() {
+    use ompdataperf::detect::engine::detect_indexed;
+    for seed in [7u64, 21, 63] {
+        let (ops, kernels) = random_trace(seed, 600, 2);
+        let view = EventView::new(&ops, &kernels, 2);
+        let indexed = detect_indexed(&view);
+        let materialized = indexed.resolve(&view);
+        assert_eq!(indexed.counts(&view), materialized.counts());
+    }
+}
+
+#[test]
+fn device_count_overflow_is_handled_identically() {
+    // Events naming devices beyond num_devices: both paths must ignore
+    // them in the per-device algorithms the same way.
+    let (ops, kernels) = random_trace(0xABCD, 300, 4);
+    assert_identical(&ops, &kernels, 2, "undercounted devices");
+}

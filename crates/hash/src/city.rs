@@ -76,8 +76,12 @@ fn hash_len_17_to_32(data: &[u8]) -> u64 {
     let c = read64(data, len - 8).wrapping_mul(mul);
     let d = read64(data, len - 16).wrapping_mul(K2);
     hash_len16_mul(
-        a.wrapping_add(b).rotate_right(43).wrapping_add(c.rotate_right(30)).wrapping_add(d),
-        a.wrapping_add(b.wrapping_add(K2).rotate_right(18)).wrapping_add(c),
+        a.wrapping_add(b)
+            .rotate_right(43)
+            .wrapping_add(c.rotate_right(30))
+            .wrapping_add(d),
+        a.wrapping_add(b.wrapping_add(K2).rotate_right(18))
+            .wrapping_add(c),
         mul,
     )
 }
@@ -94,14 +98,28 @@ fn hash_len_33_to_64(data: &[u8]) -> u64 {
     let g = read64(data, len - 8);
     let h = read64(data, len - 16).wrapping_mul(mul);
 
-    let u = a.wrapping_add(g).rotate_right(43).wrapping_add(b.rotate_right(30).wrapping_add(c)).wrapping_mul(9);
+    let u = a
+        .wrapping_add(g)
+        .rotate_right(43)
+        .wrapping_add(b.rotate_right(30).wrapping_add(c))
+        .wrapping_mul(9);
     let v = (a.wrapping_add(g) ^ d).wrapping_add(f).wrapping_add(1);
-    let w = ((u.wrapping_add(v)).wrapping_mul(mul)).swap_bytes().wrapping_add(h);
+    let w = ((u.wrapping_add(v)).wrapping_mul(mul))
+        .swap_bytes()
+        .wrapping_add(h);
     let x = e.wrapping_add(f).rotate_right(42).wrapping_add(c);
-    let y = ((v.wrapping_add(w)).wrapping_mul(mul)).swap_bytes().wrapping_add(g).wrapping_mul(mul);
+    let y = ((v.wrapping_add(w)).wrapping_mul(mul))
+        .swap_bytes()
+        .wrapping_add(g)
+        .wrapping_mul(mul);
     let z = e.wrapping_add(f).wrapping_add(c);
-    let a2 = (x.wrapping_add(z)).wrapping_mul(mul).wrapping_add(y).wrapping_add(K2);
-    shift_mix(a2.wrapping_mul(K2).wrapping_add(z)).wrapping_mul(K2).wrapping_add(x)
+    let a2 = (x.wrapping_add(z))
+        .wrapping_mul(mul)
+        .wrapping_add(y)
+        .wrapping_add(K2);
+    shift_mix(a2.wrapping_mul(K2).wrapping_add(z))
+        .wrapping_mul(K2)
+        .wrapping_add(x)
 }
 
 #[inline(always)]
@@ -197,7 +215,9 @@ pub fn city64(data: &[u8]) -> u64 {
     }
 
     hash128_to_64(
-        hash128_to_64(v.0, w.0).wrapping_add(shift_mix(y).wrapping_mul(K1)).wrapping_add(z),
+        hash128_to_64(v.0, w.0)
+            .wrapping_add(shift_mix(y).wrapping_mul(K1))
+            .wrapping_add(z),
         hash128_to_64(v.1, w.1).wrapping_add(x),
     )
 }
@@ -213,7 +233,10 @@ pub fn city32(data: &[u8]) -> u32 {
             c ^= b;
         }
         return fmix32(
-            fmix32(b).wrapping_add(fmix32(len as u32)).wrapping_mul(C2_32) ^ c,
+            fmix32(b)
+                .wrapping_add(fmix32(len as u32))
+                .wrapping_mul(C2_32)
+                ^ c,
         );
     }
     if len <= 12 {
@@ -238,9 +261,16 @@ pub fn city32(data: &[u8]) -> u32 {
         let c = read32(data, i + 8);
         let d = read32(data, i + 12);
         let e = read32(data, i + 16);
-        h = h.wrapping_add(a.wrapping_mul(C1_32)).rotate_right(19).wrapping_mul(5).wrapping_add(0xe654_6b64);
+        h = h
+            .wrapping_add(a.wrapping_mul(C1_32))
+            .rotate_right(19)
+            .wrapping_mul(5)
+            .wrapping_add(0xe654_6b64);
         g = g.wrapping_add(b).rotate_right(18).wrapping_mul(5) ^ c.wrapping_mul(C2_32);
-        f = f.wrapping_add(d.rotate_right(13)).wrapping_mul(C1_32).wrapping_add(e);
+        f = f
+            .wrapping_add(d.rotate_right(13))
+            .wrapping_mul(C1_32)
+            .wrapping_add(e);
         i += 20;
     }
     // Tail via final 20 bytes (overlapping read).
@@ -250,7 +280,12 @@ pub fn city32(data: &[u8]) -> u32 {
         g ^= read32(t, 8).wrapping_mul(C2_32);
         f ^= read32(t, 16);
     }
-    fmix32(fmix32(h).wrapping_add(fmix32(g).rotate_right(11)).wrapping_mul(C1_32) ^ fmix32(f))
+    fmix32(
+        fmix32(h)
+            .wrapping_add(fmix32(g).rotate_right(11))
+            .wrapping_mul(C1_32)
+            ^ fmix32(f),
+    )
 }
 
 /// CityHash128-inspired: produce two 64-bit words.

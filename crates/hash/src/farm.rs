@@ -59,8 +59,13 @@ pub fn farm32(data: &[u8]) -> u32 {
     let mut g = h.rotate_left(9);
     let mut i = 0usize;
     while i + 16 <= len {
-        h = (h ^ read32(data, i).wrapping_mul(0xcc9e_2d51)).rotate_right(17).wrapping_mul(0x1b87_3593);
-        g = (g.wrapping_add(read32(data, i + 4))).rotate_right(19).wrapping_mul(5).wrapping_add(0xe654_6b64);
+        h = (h ^ read32(data, i).wrapping_mul(0xcc9e_2d51))
+            .rotate_right(17)
+            .wrapping_mul(0x1b87_3593);
+        g = (g.wrapping_add(read32(data, i + 4)))
+            .rotate_right(19)
+            .wrapping_mul(5)
+            .wrapping_add(0xe654_6b64);
         h ^= read32(data, i + 8);
         g = g.wrapping_add(read32(data, i + 12).rotate_left(7));
         i += 16;

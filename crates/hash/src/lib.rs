@@ -207,9 +207,10 @@ impl HashAlgoId {
 
     /// Parse a Table 4 column label.
     pub fn from_name(name: &str) -> Option<HashAlgoId> {
-        HashAlgoId::ALL.iter().copied().find(|a| {
-            a.name().eq_ignore_ascii_case(name)
-        })
+        HashAlgoId::ALL
+            .iter()
+            .copied()
+            .find(|a| a.name().eq_ignore_ascii_case(name))
     }
 
     /// Is this an exact implementation of the reference algorithm (as
@@ -310,7 +311,10 @@ mod tests {
         let mut digests: Vec<u64> = HashAlgoId::ALL.iter().map(|a| a.hash(data)).collect();
         digests.sort_unstable();
         digests.dedup();
-        assert!(digests.len() >= 18, "suspicious digest collisions across algos");
+        assert!(
+            digests.len() >= 18,
+            "suspicious digest collisions across algos"
+        );
     }
 
     #[test]

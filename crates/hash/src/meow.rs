@@ -14,7 +14,7 @@ const LANE_KEYS: [u64; 8] = [
     0xBF58_476D_1CE4_E5B9,
     0x94D0_49BB_1331_11EB,
     0xD6E8_FEB8_6659_FD93,
-    0xCA5A_8263_95121157,
+    0xCA5A_8263_9512_1157,
     0x7B1C_E583_BD4A_767D,
     0x85EB_CA77_C2B2_AE63,
     0xC2B2_AE3D_27D4_EB4F,

@@ -49,8 +49,8 @@ pub fn t1ha0_lanes<const LANES: usize>(data: &[u8]) -> u64 {
     }
 
     let mut acc = (len as u64).wrapping_mul(PRIME0);
-    for lane in 0..LANES {
-        acc = mum(acc ^ lanes[lane], PRIME1.wrapping_add((lane as u64) << 1));
+    for (lane, &value) in lanes.iter().enumerate() {
+        acc = mum(acc ^ value, PRIME1.wrapping_add((lane as u64) << 1));
     }
     fmix64(acc)
 }
@@ -75,12 +75,17 @@ pub fn t1ha0_32le(data: &[u8]) -> u64 {
         let m1 = (b ^ w1) as u64 * 0xC2B2_AE35_u64;
         a = (m0 as u32) ^ ((m0 >> 32) as u32) ^ c.rotate_left(13);
         b = (m1 as u32) ^ ((m1 >> 32) as u32) ^ d.rotate_left(7);
-        c = c.wrapping_add(w2).rotate_right(17).wrapping_mul(0xCC9E_2D51);
+        c = c
+            .wrapping_add(w2)
+            .rotate_right(17)
+            .wrapping_mul(0xCC9E_2D51);
         d = (d ^ w3).rotate_right(11).wrapping_mul(0x1B87_3593);
         i += 16;
     }
     while i + 4 <= len {
-        a = (a ^ read32(data, i)).wrapping_mul(0x85EB_CA6B).rotate_left(15);
+        a = (a ^ read32(data, i))
+            .wrapping_mul(0x85EB_CA6B)
+            .rotate_left(15);
         i += 4;
     }
     while i < len {

@@ -10,7 +10,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 /// Result of a throughput measurement.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct Throughput {
     /// Total bytes hashed.
     pub bytes: u64,
@@ -31,12 +31,6 @@ impl Throughput {
     pub fn merge(&mut self, other: Throughput) {
         self.bytes += other.bytes;
         self.nanos += other.nanos;
-    }
-}
-
-impl Default for Throughput {
-    fn default() -> Self {
-        Throughput { bytes: 0, nanos: 0 }
     }
 }
 
@@ -77,8 +71,14 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = Throughput { bytes: 10, nanos: 10 };
-        a.merge(Throughput { bytes: 30, nanos: 10 });
+        let mut a = Throughput {
+            bytes: 10,
+            nanos: 10,
+        };
+        a.merge(Throughput {
+            bytes: 30,
+            nanos: 10,
+        });
         assert_eq!(a.bytes, 40);
         assert_eq!(a.nanos, 20);
         assert!((a.gb_per_s() - 2.0).abs() < 1e-9);

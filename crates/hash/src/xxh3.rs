@@ -18,17 +18,14 @@ const SECRET: [u64; 12] = [
     0x8e24_47b7_58d4_f4f8,
     0xb8fe_6c39_23a4_4bbe,
     0x7c01_812c_f721_ad1c,
-    0xded4_6de9_839097db,
+    0xded4_6de9_8390_97db,
     0x3f34_9ce3_3f76_4638,
     0x9c31_53f8_2552_2ae4,
 ];
 
 #[inline(always)]
 fn mix16(data: &[u8], offset: usize, s0: u64, s1: u64) -> u64 {
-    mum(
-        read64(data, offset) ^ s0,
-        read64(data, offset + 8) ^ s1,
-    )
+    mum(read64(data, offset) ^ s0, read64(data, offset + 8) ^ s1)
 }
 
 fn short_hash(data: &[u8]) -> u64 {
@@ -106,7 +103,10 @@ fn long_hash(data: &[u8]) -> [u64; 2] {
     let mut lo = (len as u64).wrapping_mul(0x9E37_79B1_85EB_CA87);
     let mut hi = !(len as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
     for lane in 0..4 {
-        lo = lo.wrapping_add(mum(acc[2 * lane] ^ SECRET[lane], acc[2 * lane + 1] ^ SECRET[lane + 4]));
+        lo = lo.wrapping_add(mum(
+            acc[2 * lane] ^ SECRET[lane],
+            acc[2 * lane + 1] ^ SECRET[lane + 4],
+        ));
         hi = hi.wrapping_add(mum(
             acc[2 * lane].rotate_left(17) ^ SECRET[lane + 8 - 4],
             acc[2 * lane + 1].rotate_left(43) ^ SECRET[(lane + 7) % 12],

@@ -99,10 +99,7 @@ impl MemRange {
     /// Do the two ranges share at least one byte?
     #[inline]
     pub fn overlaps(self, other: MemRange) -> bool {
-        !self.is_empty()
-            && !other.is_empty()
-            && self.base < other.end()
-            && other.base < self.end()
+        !self.is_empty() && !other.is_empty() && self.base < other.end() && other.base < self.end()
     }
 }
 

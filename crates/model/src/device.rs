@@ -127,7 +127,10 @@ mod tests {
     fn ordering_places_host_first() {
         let mut v = vec![DeviceId::target(1), DeviceId::HOST, DeviceId::target(0)];
         v.sort();
-        assert_eq!(v, vec![DeviceId::HOST, DeviceId::target(0), DeviceId::target(1)]);
+        assert_eq!(
+            v,
+            vec![DeviceId::HOST, DeviceId::target(0), DeviceId::target(1)]
+        );
     }
 
     #[test]

@@ -27,9 +27,7 @@ pub mod time;
 
 pub use addr::{DevAddr, HostAddr, MemRange};
 pub use device::{DeviceId, DeviceKind};
-pub use event::{
-    DataOpEvent, DataOpKind, EventId, HashVal, TargetEvent, TargetKind,
-};
+pub use event::{DataOpEvent, DataOpKind, EventId, HashVal, TargetEvent, TargetKind};
 pub use map::{MapModifier, MapType};
 pub use source::{CodePtr, SourceLoc};
 pub use time::{SimDuration, SimTime, TimeSpan};

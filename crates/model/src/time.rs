@@ -250,7 +250,10 @@ mod tests {
 
     #[test]
     fn overlap_closed_semantics() {
-        assert!(span(0, 10).overlaps(span(10, 20)), "touching endpoints count");
+        assert!(
+            span(0, 10).overlaps(span(10, 20)),
+            "touching endpoints count"
+        );
         assert!(span(0, 10).overlaps(span(5, 6)));
         assert!(span(5, 6).overlaps(span(0, 10)));
         assert!(!span(0, 10).overlaps(span(11, 20)));
@@ -268,7 +271,10 @@ mod tests {
     #[test]
     fn precedes_is_strict() {
         assert!(span(0, 4).precedes(span(5, 6)));
-        assert!(!span(0, 5).precedes(span(5, 6)), "touching is not preceding");
+        assert!(
+            !span(0, 5).precedes(span(5, 6)),
+            "touching is not preceding"
+        );
     }
 
     #[test]

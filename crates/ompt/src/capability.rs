@@ -119,7 +119,12 @@ impl CompilerProfile {
     pub fn capabilities(self) -> RuntimeCapabilities {
         use CallbackKind::*;
         let full_emi = vec![
-            TargetEmi, TargetDataOpEmi, TargetSubmitEmi, Target, TargetDataOp, TargetSubmit,
+            TargetEmi,
+            TargetDataOpEmi,
+            TargetSubmitEmi,
+            Target,
+            TargetDataOp,
+            TargetSubmit,
         ];
         match self {
             CompilerProfile::LlvmClang => RuntimeCapabilities {

@@ -9,8 +9,7 @@
 //! degraded-mode warning in the paper's §A.6 sample output.
 
 use crate::callback::{
-    CallbackKind, DataOpCallback, HostAccessInfo, KernelAccessInfo, SubmitCallback,
-    TargetCallback,
+    CallbackKind, DataOpCallback, HostAccessInfo, KernelAccessInfo, SubmitCallback, TargetCallback,
 };
 use crate::capability::RuntimeCapabilities;
 

@@ -244,7 +244,10 @@ mod tests {
     fn cost_models() {
         assert_eq!(KernelCost::fixed(500).duration(), SimDuration(500));
         assert_eq!(KernelCost::items(1000, 1.0).duration(), SimDuration(1000));
-        assert_eq!(KernelCost::scaled(1_000_000).duration(), SimDuration(10_000));
+        assert_eq!(
+            KernelCost::scaled(1_000_000).duration(),
+            SimDuration(10_000)
+        );
     }
 
     #[test]

@@ -538,7 +538,13 @@ impl Runtime {
     /// synchronizes with the device, as the OpenMP data environment
     /// requires; combine with persistent `target data` regions and
     /// [`Runtime::taskwait`] for real overlap.
-    pub fn target_nowait(&mut self, device: u32, codeptr: CodePtr, maps: &[Map], kernel: Kernel<'_>) {
+    pub fn target_nowait(
+        &mut self,
+        device: u32,
+        codeptr: CodePtr,
+        maps: &[Map],
+        kernel: Kernel<'_>,
+    ) {
         self.assert_running(device);
         self.dispatch_overhead();
         let target_id = self.fresh_target_id();
@@ -574,9 +580,7 @@ impl Runtime {
                 .lookup(haddr)
                 .map(|e| e.refcount)
                 .unwrap_or(0);
-            m.map_type.copies_from_device()
-                || m.map_type == MapType::Delete
-                || refcount <= 1
+            m.map_type.copies_from_device() || m.map_type == MapType::Delete || refcount <= 1
         });
         if must_sync {
             self.taskwait(device);
@@ -616,7 +620,14 @@ impl Runtime {
         let start = self.devices[device as usize].busy_until.max(self.clock);
         let dur = SimDuration(self.cfg.timing.kernel_launch_ns) + kernel.cost.duration();
         let end = start + dur;
-        self.emit_submit(Endpoint::Begin, device, target_id, kernel.num_teams, codeptr, start);
+        self.emit_submit(
+            Endpoint::Begin,
+            device,
+            target_id,
+            kernel.num_teams,
+            codeptr,
+            start,
+        );
 
         // Execute the body now (deterministically) against the device
         // buffers; logically it completes at `end`.
@@ -685,7 +696,14 @@ impl Runtime {
         if let Some(slot) = self.tool.as_mut() {
             slot.tool.on_kernel_access(&access_info);
         }
-        self.emit_submit(Endpoint::End, device, target_id, kernel.num_teams, codeptr, end);
+        self.emit_submit(
+            Endpoint::End,
+            device,
+            target_id,
+            kernel.num_teams,
+            codeptr,
+            end,
+        );
     }
 
     fn run_kernel(&mut self, device: u32, codeptr: CodePtr, target_id: u64, kernel: Kernel<'_>) {
@@ -695,7 +713,14 @@ impl Runtime {
             self.clock = busy;
         }
         let t0 = self.clock;
-        self.emit_submit(Endpoint::Begin, device, target_id, kernel.num_teams, codeptr, t0);
+        self.emit_submit(
+            Endpoint::Begin,
+            device,
+            target_id,
+            kernel.num_teams,
+            codeptr,
+            t0,
+        );
 
         // Gather device buffers for the kernel's variables: temporarily
         // take ownership so the body can hold simultaneous &mut views.
@@ -772,7 +797,14 @@ impl Runtime {
             slot.tool.on_kernel_access(&access_info);
         }
         let t1 = self.clock;
-        self.emit_submit(Endpoint::End, device, target_id, kernel.num_teams, codeptr, t1);
+        self.emit_submit(
+            Endpoint::End,
+            device,
+            target_id,
+            kernel.num_teams,
+            codeptr,
+            t1,
+        );
     }
 
     fn access_range(
@@ -839,14 +871,12 @@ impl Runtime {
     fn map_exit(&mut self, device: u32, m: Map, target_id: u64, codeptr: CodePtr) {
         let haddr = self.host.addr(m.var);
         match m.map_type {
-            MapType::Delete => {
-                match self.devices[device as usize].present.force_remove(haddr) {
-                    Some(entry) => self.do_delete(device, m.var, entry.dev_addr, target_id, codeptr),
-                    None => self.warnings.push(RuntimeWarning::DeleteOfAbsentData {
-                        var: self.host.var(m.var).name.clone(),
-                    }),
-                }
-            }
+            MapType::Delete => match self.devices[device as usize].present.force_remove(haddr) {
+                Some(entry) => self.do_delete(device, m.var, entry.dev_addr, target_id, codeptr),
+                None => self.warnings.push(RuntimeWarning::DeleteOfAbsentData {
+                    var: self.host.var(m.var).name.clone(),
+                }),
+            },
             _ => {
                 if !self.devices[device as usize].present.contains(haddr) {
                     self.warnings.push(RuntimeWarning::ReleaseOfAbsentData {
@@ -906,7 +936,14 @@ impl Runtime {
         dev_addr
     }
 
-    fn do_delete(&mut self, device: u32, var: VarId, dev_addr: u64, target_id: u64, codeptr: CodePtr) {
+    fn do_delete(
+        &mut self,
+        device: u32,
+        var: VarId,
+        dev_addr: u64,
+        target_id: u64,
+        codeptr: CodePtr,
+    ) {
         let bytes = self.host.size(var);
         let freed = self.devices[device as usize].mem.free(dev_addr);
         debug_assert!(freed, "delete of unallocated device memory");
@@ -1154,7 +1191,8 @@ impl Runtime {
             slot.tool.on_data_op(&mk(Endpoint::Begin, t0, None));
             slot.tool.on_data_op(&mk(Endpoint::End, t1, Some(payload)));
         } else {
-            slot.tool.on_data_op(&mk(Endpoint::Begin, t0, Some(payload)));
+            slot.tool
+                .on_data_op(&mk(Endpoint::Begin, t0, Some(payload)));
         }
     }
 
@@ -1295,10 +1333,7 @@ mod tests {
                     .unwrap()
                     .push(format!("dataop {:?} {} bytes", cb.optype, cb.bytes));
                 if let Some(p) = cb.payload {
-                    self.hashes_seen
-                        .lock()
-                        .unwrap()
-                        .push(odp_hash_stub(p));
+                    self.hashes_seen.lock().unwrap().push(odp_hash_stub(p));
                 }
             }
         }
@@ -1318,6 +1353,7 @@ mod tests {
         })
     }
 
+    #[allow(clippy::type_complexity)]
     fn recorder_runtime() -> (Runtime, Arc<Mutex<Vec<String>>>, Arc<Mutex<Vec<u64>>>) {
         let mut rt = Runtime::with_defaults();
         let events = Arc::new(Mutex::new(Vec::new()));
@@ -1390,13 +1426,18 @@ mod tests {
                 0,
                 CodePtr(0x200),
                 &[],
-                Kernel::new("incr", KernelCost::fixed(500)).reads(&[a]).writes(&[a]),
+                Kernel::new("incr", KernelCost::fixed(500))
+                    .reads(&[a])
+                    .writes(&[a]),
             );
         }
         rt.finish();
         let ev = events.lock().unwrap();
         let h2d = ev.iter().filter(|e| e.contains("TransferToDevice")).count();
-        let d2h = ev.iter().filter(|e| e.contains("TransferFromDevice")).count();
+        let d2h = ev
+            .iter()
+            .filter(|e| e.contains("TransferFromDevice"))
+            .count();
         assert_eq!(h2d, 3);
         assert_eq!(d2h, 3);
         // Round-trip: D2H of iteration i has the same content as H2D of
@@ -1502,7 +1543,9 @@ mod tests {
             0,
             CodePtr(1),
             &[map(MapType::ToFrom, a)],
-            Kernel::new("k", KernelCost::fixed(1_000)).reads(&[a]).writes(&[a]),
+            Kernel::new("k", KernelCost::fixed(1_000))
+                .reads(&[a])
+                .writes(&[a]),
         );
         let stats = rt.finish();
         // alloc + h2d + kernel + d2h + delete all contribute.
@@ -1582,10 +1625,7 @@ mod tests {
         impl Tool for CountEndpoints {
             fn initialize(&mut self, caps: &RuntimeCapabilities) -> ToolRegistration {
                 // Ask for EMI; fall back to legacy when denied.
-                let emi = ToolRegistration::negotiate(
-                    &[CallbackKind::TargetDataOpEmi],
-                    caps,
-                );
+                let emi = ToolRegistration::negotiate(&[CallbackKind::TargetDataOpEmi], caps);
                 if emi.fully_granted() {
                     emi
                 } else {
@@ -1628,7 +1668,9 @@ mod tests {
             0,
             CodePtr(2),
             &[map(MapType::To, a)],
-            Kernel::new("slow", KernelCost::fixed(1_000_000)).reads(&[a]).writes(&[a]),
+            Kernel::new("slow", KernelCost::fixed(1_000_000))
+                .reads(&[a])
+                .writes(&[a]),
         );
         let t1 = rt.now();
         assert!(
@@ -1652,7 +1694,9 @@ mod tests {
             0,
             CodePtr(2),
             &[],
-            Kernel::new("slow", KernelCost::fixed(2_000_000)).reads(&[a]).writes(&[a]),
+            Kernel::new("slow", KernelCost::fixed(2_000_000))
+                .reads(&[a])
+                .writes(&[a]),
         );
         assert!(
             (rt.now() - t0).as_nanos() >= 2_000_000,

@@ -58,12 +58,8 @@ pub fn to_chrome_trace(log: &TraceLog) -> String {
             DataOpKind::Disassociate => ("disassociate".to_string(), "memory"),
         };
         // Transfers render on the receiving lane; alloc/free on the
-        // owning device's lane.
-        let tid = lane(if e.kind == DataOpKind::Transfer {
-            e.dest_device
-        } else {
-            e.dest_device
-        });
+        // owning device's lane — both are the destination device.
+        let tid = lane(e.dest_device);
         events.push(ChromeEvent {
             name,
             cat,

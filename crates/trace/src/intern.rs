@@ -53,8 +53,7 @@ impl CodePtrTable {
     /// overhead).
     pub fn allocated_bytes(&self) -> usize {
         self.ptrs.capacity() * std::mem::size_of::<u64>()
-            + self.by_ptr.capacity()
-                * (std::mem::size_of::<u64>() + std::mem::size_of::<u32>() + 8)
+            + self.by_ptr.capacity() * (std::mem::size_of::<u64>() + std::mem::size_of::<u32>() + 8)
     }
 }
 

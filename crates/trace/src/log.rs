@@ -8,7 +8,8 @@ use crate::stats::{SpaceStats, TraceStats};
 use odp_model::{
     CodePtr, DataOpEvent, DataOpKind, DeviceId, SimDuration, TargetEvent, TargetKind, TimeSpan,
 };
-use serde::Serialize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// The tool-side event log.
 ///
@@ -17,6 +18,14 @@ use serde::Serialize;
 /// [`TraceLog::target_events`] are sorted chronologically by event start
 /// (with log order breaking ties), which is the precondition of every
 /// algorithm in §5.
+///
+/// Hydration is memoized: the first call to a `*_events` accessor (or
+/// [`TraceLog::stats`] / [`TraceLog::to_json`]) sorts once and caches the
+/// result; repeated calls borrow the cached slice via the `*_sorted`
+/// accessors without re-hydrating or re-sorting. Appending a record
+/// invalidates the caches (appends take `&mut self`, so no reader can
+/// hold a stale borrow). [`TraceLog::sort_count`] exposes how many sort
+/// passes have actually run, so the memoization is testable.
 #[derive(Debug, Default)]
 pub struct TraceLog {
     data_ops: ChunkedVec<DataOpRecord>,
@@ -25,6 +34,19 @@ pub struct TraceLog {
     next_seq: u32,
     peak_alloc_bytes: usize,
     total_time: SimDuration,
+    /// Memoized chronological hydration of `data_ops`.
+    hydrated_ops: OnceLock<Vec<DataOpEvent>>,
+    /// Memoized chronological hydration of all `targets`.
+    hydrated_targets: OnceLock<Vec<TargetEvent>>,
+    /// Memoized chronological hydration of kernel records only (built by
+    /// filtering *records* before hydration, so a log dominated by
+    /// non-kernel constructs never hydrates them on this path).
+    hydrated_kernels: OnceLock<Vec<TargetEvent>>,
+    /// Memoized aggregate statistics.
+    cached_stats: OnceLock<TraceStats>,
+    /// Number of hydration sort passes performed (observability for the
+    /// memoization contract; not part of the trace).
+    sort_passes: AtomicUsize,
 }
 
 impl TraceLog {
@@ -50,8 +72,18 @@ impl TraceLog {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.data_ops.push(DataOpRecord::new(
-            seq, kind, src_device, dest_device, src_addr, dest_addr, bytes, hash, span, codeptr,
+            seq,
+            kind,
+            src_device,
+            dest_device,
+            src_addr,
+            dest_addr,
+            bytes,
+            hash,
+            span,
+            codeptr,
         ));
+        self.invalidate_hydration();
         self.note_end(span);
         self.update_peak();
     }
@@ -67,9 +99,20 @@ impl TraceLog {
         let seq = self.next_seq;
         self.next_seq += 1;
         let ix = self.codeptrs.intern(codeptr);
-        self.targets.push(TargetRecord::new(seq, device, kind, span, ix));
+        self.targets
+            .push(TargetRecord::new(seq, device, kind, span, ix));
+        self.invalidate_hydration();
         self.note_end(span);
         self.update_peak();
+    }
+
+    /// Drop the memoized hydrations after an append. Cheap when nothing
+    /// is cached (the steady state while the program runs).
+    fn invalidate_hydration(&mut self) {
+        self.hydrated_ops.take();
+        self.hydrated_targets.take();
+        self.hydrated_kernels.take();
+        self.cached_stats.take();
     }
 
     fn note_end(&mut self, span: TimeSpan) {
@@ -91,6 +134,9 @@ impl TraceLog {
     pub fn set_total_time(&mut self, t: SimDuration) {
         if t > self.total_time {
             self.total_time = t;
+            // Cached stats embed total_time; drop them so the next
+            // stats() reflects the finalized duration.
+            self.cached_stats.take();
         }
     }
 
@@ -126,88 +172,129 @@ impl TraceLog {
         }
     }
 
-    /// Hydrate data-op events, sorted chronologically (start, then log
-    /// order) — the `data_op_events` input of Algorithms 1–5.
+    /// Borrow the memoized chronological data-op events (start, then log
+    /// order) — the `data_op_events` input of Algorithms 1–5. Sorts at
+    /// most once per batch of appends.
+    pub fn data_op_events_sorted(&self) -> &[DataOpEvent] {
+        self.hydrated_ops.get_or_init(|| {
+            self.sort_passes.fetch_add(1, Ordering::Relaxed);
+            let mut events: Vec<DataOpEvent> = self.data_ops.iter().map(|r| r.to_event()).collect();
+            events.sort_by_key(|e| (e.span.start, e.id));
+            events
+        })
+    }
+
+    /// Hydrate data-op events as an owned vector (copies the memoized
+    /// slice; prefer [`TraceLog::data_op_events_sorted`] on hot paths).
     pub fn data_op_events(&self) -> Vec<DataOpEvent> {
-        let mut events: Vec<DataOpEvent> = self.data_ops.iter().map(|r| r.to_event()).collect();
-        events.sort_by_key(|e| (e.span.start, e.id));
-        events
+        self.data_op_events_sorted().to_vec()
     }
 
-    /// Hydrate target events, sorted chronologically.
+    /// Borrow the memoized chronological target events.
+    pub fn target_events_sorted(&self) -> &[TargetEvent] {
+        self.hydrated_targets.get_or_init(|| {
+            self.sort_passes.fetch_add(1, Ordering::Relaxed);
+            let mut pairs: Vec<(u32, TargetEvent)> = self
+                .targets
+                .iter()
+                .map(|r| {
+                    let cp = self.codeptrs.resolve(r.codeptr_ix);
+                    (r.seq(), r.to_event(r.seq() as u64, cp))
+                })
+                .collect();
+            pairs.sort_by_key(|(seq, e)| (e.span.start, *seq));
+            pairs.into_iter().map(|(_, e)| e).collect()
+        })
+    }
+
+    /// Hydrate target events as an owned vector.
     pub fn target_events(&self) -> Vec<TargetEvent> {
-        let mut pairs: Vec<(u32, TargetEvent)> = self
-            .targets
-            .iter()
-            .map(|r| {
-                let cp = self.codeptrs.resolve(r.codeptr_ix);
-                (r.seq(), r.to_event(r.seq() as u64, cp))
-            })
-            .collect();
-        pairs.sort_by_key(|(seq, e)| (e.span.start, *seq));
-        pairs.into_iter().map(|(_, e)| e).collect()
+        self.target_events_sorted().to_vec()
     }
 
-    /// Hydrate only kernel-execution events (input to Algorithms 4/5).
+    /// Borrow the memoized kernel-execution events (input to Algorithms
+    /// 4/5). Filters the packed *records* before hydrating, so non-kernel
+    /// target constructs are never hydrated or sorted on this path.
+    pub fn kernel_events_sorted(&self) -> &[TargetEvent] {
+        self.hydrated_kernels.get_or_init(|| {
+            self.sort_passes.fetch_add(1, Ordering::Relaxed);
+            let mut pairs: Vec<(u32, TargetEvent)> = self
+                .targets
+                .iter()
+                .filter(|r| r.kind() == TargetKind::Kernel)
+                .map(|r| {
+                    let cp = self.codeptrs.resolve(r.codeptr_ix);
+                    (r.seq(), r.to_event(r.seq() as u64, cp))
+                })
+                .collect();
+            pairs.sort_by_key(|(seq, e)| (e.span.start, *seq));
+            pairs.into_iter().map(|(_, e)| e).collect()
+        })
+    }
+
+    /// Hydrate only kernel-execution events as an owned vector.
     pub fn kernel_events(&self) -> Vec<TargetEvent> {
-        self.target_events()
-            .into_iter()
-            .filter(|e| e.is_kernel())
-            .collect()
+        self.kernel_events_sorted().to_vec()
     }
 
-    /// Aggregate statistics for reports.
+    /// Number of hydration sort passes performed so far. Repeated calls
+    /// to the event accessors must not grow this (the memoization
+    /// contract); appending a record resets the caches and allows one
+    /// more pass per view.
+    pub fn sort_count(&self) -> usize {
+        self.sort_passes.load(Ordering::Relaxed)
+    }
+
+    /// Aggregate statistics for reports (memoized; works on the packed
+    /// records directly, no hydration or sorting involved).
     pub fn stats(&self) -> TraceStats {
-        let mut s = TraceStats::default();
-        for r in self.data_ops.iter() {
-            let e = r.to_event();
-            match e.kind {
-                DataOpKind::Transfer => {
-                    s.transfers += 1;
-                    s.bytes_transferred += e.bytes;
-                    s.transfer_time += e.duration();
-                    if e.is_host_to_device() {
-                        s.h2d_transfers += 1;
-                    } else if e.is_device_to_host() {
-                        s.d2h_transfers += 1;
+        *self.cached_stats.get_or_init(|| {
+            let mut s = TraceStats::default();
+            for r in self.data_ops.iter() {
+                let e = r.to_event();
+                match e.kind {
+                    DataOpKind::Transfer => {
+                        s.transfers += 1;
+                        s.bytes_transferred += e.bytes;
+                        s.transfer_time += e.duration();
+                        if e.is_host_to_device() {
+                            s.h2d_transfers += 1;
+                        } else if e.is_device_to_host() {
+                            s.d2h_transfers += 1;
+                        }
                     }
+                    DataOpKind::Alloc => {
+                        s.allocs += 1;
+                        s.bytes_allocated += e.bytes;
+                        s.alloc_time += e.duration();
+                    }
+                    DataOpKind::Delete => {
+                        s.deletes += 1;
+                        s.alloc_time += e.duration();
+                    }
+                    _ => {}
                 }
-                DataOpKind::Alloc => {
-                    s.allocs += 1;
-                    s.bytes_allocated += e.bytes;
-                    s.alloc_time += e.duration();
-                }
-                DataOpKind::Delete => {
-                    s.deletes += 1;
-                    s.alloc_time += e.duration();
-                }
-                _ => {}
             }
-        }
-        for r in self.targets.iter() {
-            if r.kind() == TargetKind::Kernel {
-                s.kernels += 1;
-                s.kernel_time += SimDuration(r.end.saturating_sub(r.start));
+            for r in self.targets.iter() {
+                if r.kind() == TargetKind::Kernel {
+                    s.kernels += 1;
+                    s.kernel_time += SimDuration(r.end.saturating_sub(r.start));
+                }
             }
-        }
-        s.total_time = self.total_time;
-        s
+            s.total_time = self.total_time;
+            s
+        })
     }
 
-    /// Export the hydrated events as pretty JSON.
+    /// Export the hydrated events as pretty JSON (reuses the memoized
+    /// hydrations; no additional sorting).
     pub fn to_json(&self) -> String {
-        #[derive(Serialize)]
-        struct Export {
-            data_ops: Vec<DataOpEvent>,
-            targets: Vec<TargetEvent>,
-            total_time_ns: u64,
-        }
-        let ex = Export {
-            data_ops: self.data_op_events(),
-            targets: self.target_events(),
-            total_time_ns: self.total_time.as_nanos(),
-        };
-        serde_json::to_string_pretty(&ex).expect("trace serialization cannot fail")
+        let export = serde_json::json!({
+            "data_ops": self.data_op_events_sorted(),
+            "targets": self.target_events_sorted(),
+            "total_time_ns": self.total_time.as_nanos(),
+        });
+        serde_json::to_string_pretty(&export).expect("trace serialization cannot fail")
     }
 }
 
@@ -244,7 +331,12 @@ mod tests {
             span(10, 30),
             CodePtr(0x400100),
         );
-        log.record_target(TargetKind::Kernel, DeviceId::target(0), span(30, 90), CodePtr(0x400200));
+        log.record_target(
+            TargetKind::Kernel,
+            DeviceId::target(0),
+            span(30, 90),
+            CodePtr(0x400200),
+        );
         log.record_data_op(
             DataOpKind::Transfer,
             DeviceId::target(0),
@@ -349,6 +441,76 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert_eq!(v["data_ops"].as_array().unwrap().len(), 4);
         assert_eq!(v["total_time_ns"], 115);
+    }
+
+    #[test]
+    fn hydration_is_memoized_until_append() {
+        let mut log = sample_log();
+        assert_eq!(log.sort_count(), 0, "no hydration before first access");
+
+        // Kernel hydration filters records directly — one sort, and it
+        // does not build (or need) the full target hydration.
+        let k1 = log.kernel_events();
+        assert_eq!(log.sort_count(), 1);
+        let k2 = log.kernel_events();
+        assert_eq!(log.sort_count(), 1, "kernel hydration memoized");
+        assert_eq!(k1, k2);
+
+        // Repeated data-op hydration: exactly one sort.
+        let ops1 = log.data_op_events();
+        let ops2 = log.data_op_events();
+        assert_eq!(ops1, ops2);
+        assert_eq!(log.sort_count(), 2, "data-op hydration memoized");
+
+        // Stats and JSON export reuse the caches (JSON additionally
+        // builds the full target hydration, once).
+        let _ = log.stats();
+        let _ = log.stats();
+        let _ = log.to_json();
+        let _ = log.to_json();
+        assert_eq!(log.sort_count(), 3, "export added only the target sort");
+
+        // Appending invalidates: the next access re-sorts, once.
+        log.record_data_op(
+            DataOpKind::Transfer,
+            DeviceId::HOST,
+            DeviceId::target(0),
+            0x1,
+            0x2,
+            8,
+            Some(9),
+            span(200, 210),
+            CodePtr::NULL,
+        );
+        let ops3 = log.data_op_events();
+        assert_eq!(ops3.len(), ops1.len() + 1);
+        assert_eq!(log.sort_count(), 4);
+        let _ = log.data_op_events();
+        assert_eq!(log.sort_count(), 4);
+    }
+
+    #[test]
+    fn set_total_time_invalidates_cached_stats() {
+        let mut log = sample_log();
+        // Cache stats mid-run, then finalize with a longer total time.
+        assert_eq!(log.stats().total_time, SimDuration(115));
+        log.set_total_time(SimDuration(10_000));
+        assert_eq!(
+            log.stats().total_time,
+            SimDuration(10_000),
+            "finalized total time must reach already-cached stats"
+        );
+        // A no-op (shrinking) set keeps the cache.
+        log.set_total_time(SimDuration(5));
+        assert_eq!(log.stats().total_time, SimDuration(10_000));
+    }
+
+    #[test]
+    fn sorted_accessors_borrow_the_same_hydration() {
+        let log = sample_log();
+        let a = log.data_op_events_sorted().as_ptr();
+        let b = log.data_op_events_sorted().as_ptr();
+        assert_eq!(a, b, "repeated calls borrow one cached vector");
     }
 
     #[test]

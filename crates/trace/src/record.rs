@@ -6,8 +6,8 @@
 //! so the space-overhead experiment (Figure 3) cannot silently drift.
 
 use odp_model::{
-    CodePtr, DataOpEvent, DataOpKind, DeviceId, EventId, HashVal, SimTime, TargetEvent,
-    TargetKind, TimeSpan,
+    CodePtr, DataOpEvent, DataOpKind, DeviceId, EventId, HashVal, SimTime, TargetEvent, TargetKind,
+    TimeSpan,
 };
 
 /// Size of a [`DataOpRecord`] in bytes.
@@ -191,7 +191,13 @@ impl TargetRecord {
     /// records by start time first, so the wrap only affects tie-breaking
     /// among simultaneous events, which cannot occur for target constructs
     /// on one device.
-    pub fn new(seq: u32, device: DeviceId, kind: TargetKind, span: TimeSpan, codeptr_ix: u32) -> Self {
+    pub fn new(
+        seq: u32,
+        device: DeviceId,
+        kind: TargetKind,
+        span: TimeSpan,
+        codeptr_ix: u32,
+    ) -> Self {
         let dev = (device.raw().clamp(-1, 254) + 1) as u32; // bias so host (-1) fits
         let packed = ((seq & Self::MAX_SEQ) << (Self::DEV_BITS + Self::KIND_BITS))
             | (dev << Self::KIND_BITS)
@@ -320,13 +326,8 @@ mod tests {
             TargetKind::Update,
         ] {
             for dev in [DeviceId::HOST, DeviceId::target(0), DeviceId::target(15)] {
-                let r = TargetRecord::new(
-                    12345,
-                    dev,
-                    kind,
-                    TimeSpan::new(SimTime(5), SimTime(9)),
-                    3,
-                );
+                let r =
+                    TargetRecord::new(12345, dev, kind, TimeSpan::new(SimTime(5), SimTime(9)), 3);
                 assert_eq!(r.kind(), kind);
                 assert_eq!(r.device(), dev);
                 assert_eq!(r.seq(), 12345);

@@ -141,7 +141,10 @@ impl Workload for BabelStream {
                 0,
                 cp_copy,
                 &[map(MapType::To, a_init), map(MapType::To, c)],
-                Kernel::new("copy", cost).reads(&[a_init]).writes(&[c]).body(&mut copy),
+                Kernel::new("copy", cost)
+                    .reads(&[a_init])
+                    .writes(&[c])
+                    .body(&mut copy),
             );
 
             let mut mul = |view: &mut DeviceView<'_>| {
@@ -153,7 +156,10 @@ impl Workload for BabelStream {
                 0,
                 cp_mul,
                 &[map(MapType::To, b), map(MapType::To, c)],
-                Kernel::new("mul", cost).reads(&[c]).writes(&[b]).body(&mut mul),
+                Kernel::new("mul", cost)
+                    .reads(&[c])
+                    .writes(&[b])
+                    .body(&mut mul),
             );
 
             let run_f = run as f64;
@@ -170,7 +176,11 @@ impl Workload for BabelStream {
             rt.target(
                 0,
                 cp_add,
-                &[map(MapType::To, a_init), map(MapType::To, b), map(MapType::To, c)],
+                &[
+                    map(MapType::To, a_init),
+                    map(MapType::To, b),
+                    map(MapType::To, c),
+                ],
                 Kernel::new("add", cost)
                     .reads(&[a_init, b])
                     .writes(&[c])
@@ -187,7 +197,10 @@ impl Workload for BabelStream {
                 0,
                 cp_triad,
                 &[map(MapType::To, b), map(MapType::To, c)],
-                Kernel::new("triad", cost).reads(&[b, c]).writes(&[b]).body(&mut triad),
+                Kernel::new("triad", cost)
+                    .reads(&[b, c])
+                    .writes(&[b])
+                    .body(&mut triad),
             );
 
             let mut dot = |view: &mut DeviceView<'_>| {
@@ -199,8 +212,15 @@ impl Workload for BabelStream {
             rt.target(
                 0,
                 cp_dot,
-                &[map(MapType::To, b), map(MapType::To, c), map(MapType::To, sum)],
-                Kernel::new("dot", cost).reads(&[b, c]).writes(&[sum]).body(&mut dot),
+                &[
+                    map(MapType::To, b),
+                    map(MapType::To, c),
+                    map(MapType::To, sum),
+                ],
+                Kernel::new("dot", cost)
+                    .reads(&[b, c])
+                    .writes(&[sum])
+                    .body(&mut dot),
             );
 
             if let Some(r) = region {

@@ -21,8 +21,14 @@ struct Params {
 fn params(size: ProblemSize) -> Params {
     match size {
         ProblemSize::Small => Params { dim: 64, tiles: 8 },
-        ProblemSize::Medium => Params { dim: 128, tiles: 16 },
-        ProblemSize::Large => Params { dim: 256, tiles: 32 },
+        ProblemSize::Medium => Params {
+            dim: 128,
+            tiles: 16,
+        },
+        ProblemSize::Large => Params {
+            dim: 256,
+            tiles: 32,
+        },
     }
 }
 

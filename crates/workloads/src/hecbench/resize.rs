@@ -114,8 +114,7 @@ impl Workload for Resize {
                         let b = s[(2 * r) * w + 2 * c + 1];
                         let e = s[(2 * r + 1) * w + 2 * c];
                         let f = s[(2 * r + 1) * w + 2 * c + 1];
-                        d[r * out_w + c] =
-                            ((a / 4 + b / 4 + e / 4 + f / 4) & 0xff_ffff) ^ fseed;
+                        d[r * out_w + c] = ((a / 4 + b / 4 + e / 4 + f / 4) & 0xff_ffff) ^ fseed;
                     }
                 }
                 view.write_u32(dst, &d);

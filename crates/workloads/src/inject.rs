@@ -86,7 +86,9 @@ pub fn round_trips(
             dev,
             cp_kernel,
             &[map(MapType::To, v)],
-            Kernel::new("syn_rt_kernel", tick()).reads(&[v]).writes(&[v]),
+            Kernel::new("syn_rt_kernel", tick())
+                .reads(&[v])
+                .writes(&[v]),
         );
         if !fixed {
             rt.target_update_from(dev, cp_from, &[v]); // D2H of content h_i
@@ -222,7 +224,11 @@ impl InjectionPlan {
     /// Scale the Medium-size plan to another problem size the way the
     /// paper's injections scale with the program's key-kernel count.
     pub fn scaled(self, factor_num: usize, factor_den: usize) -> InjectionPlan {
-        let s = |v: usize| (v * factor_num).div_ceil(factor_den).max(usize::from(v > 0));
+        let s = |v: usize| {
+            (v * factor_num)
+                .div_ceil(factor_den)
+                .max(usize::from(v > 0))
+        };
         InjectionPlan {
             dd: s(self.dd),
             rt: s(self.rt),
@@ -258,9 +264,7 @@ mod tests {
     use ompdataperf::attrib::DebugInfo;
     use ompdataperf::tool::{OmpDataPerfTool, ToolConfig};
 
-    fn counts_after(
-        f: impl FnOnce(&mut Runtime, &mut SourceFile<'_>),
-    ) -> ompdataperf::IssueCounts {
+    fn counts_after(f: impl FnOnce(&mut Runtime, &mut SourceFile<'_>)) -> ompdataperf::IssueCounts {
         let mut rt = Runtime::with_defaults();
         let (tool, handle) = OmpDataPerfTool::new(ToolConfig::default());
         rt.attach_tool(Box::new(tool));

@@ -164,7 +164,9 @@ pub fn all() -> Vec<Box<dyn Workload>> {
 
 /// Find a workload by (case-insensitive) name.
 pub fn by_name(name: &str) -> Option<Box<dyn Workload>> {
-    all().into_iter().find(|w| w.name().eq_ignore_ascii_case(name))
+    all()
+        .into_iter()
+        .find(|w| w.name().eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]

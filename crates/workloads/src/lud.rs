@@ -23,7 +23,10 @@ fn params(size: ProblemSize) -> Params {
     match size {
         ProblemSize::Small => Params { dim: 64, block: 16 },
         ProblemSize::Medium => Params { dim: 96, block: 16 },
-        ProblemSize::Large => Params { dim: 128, block: 16 },
+        ProblemSize::Large => Params {
+            dim: 128,
+            block: 16,
+        },
     }
 }
 
@@ -115,10 +118,13 @@ impl Workload for Lud {
                 0,
                 cp_diag,
                 &[map(MapType::To, m)],
-                Kernel::new("lud_diagonal", KernelCost::scaled((block * block * block) as u64))
-                    .reads(&[m])
-                    .writes(&[m])
-                    .body(&mut diag),
+                Kernel::new(
+                    "lud_diagonal",
+                    KernelCost::scaled((block * block * block) as u64),
+                )
+                .reads(&[m])
+                .writes(&[m])
+                .body(&mut diag),
             );
             if step + 1 < steps {
                 // Perimeter + internal updates for the trailing matrix.

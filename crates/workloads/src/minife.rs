@@ -154,7 +154,10 @@ impl Workload for MiniFe {
                 0,
                 cp_initp,
                 &[map(MapType::To, r), map(MapType::To, pv)],
-                Kernel::new("init_p", kcost).reads(&[r]).writes(&[pv]).body(&mut init_p),
+                Kernel::new("init_p", kcost)
+                    .reads(&[r])
+                    .writes(&[pv])
+                    .body(&mut init_p),
             );
 
             // Ap = A·p for the 1-D Laplacian stencil.
@@ -172,7 +175,10 @@ impl Workload for MiniFe {
                 0,
                 cp_matvec,
                 &[map(MapType::To, pv), map(MapType::To, ap)],
-                Kernel::new("matvec", kcost).reads(&[pv]).writes(&[ap]).body(&mut matvec),
+                Kernel::new("matvec", kcost)
+                    .reads(&[pv])
+                    .writes(&[ap])
+                    .body(&mut matvec),
             );
 
             // x += α p;  r -= α Ap.

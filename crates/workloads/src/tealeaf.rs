@@ -125,8 +125,8 @@ impl Workload for TeaLeaf {
         rt.host_fill_f64(energy, |i| 2.5 + (i % 29) as f64 * 0.01);
         // ...and fourteen identical zero-initialized work arrays → 13 DD.
         let names = [
-            "u", "u0", "p_field", "r_field", "w_field", "z_field", "kx", "ky", "sd", "mi",
-            "vec_r", "vec_w", "vec_z", "vec_sd",
+            "u", "u0", "p_field", "r_field", "w_field", "z_field", "kx", "ky", "sd", "mi", "vec_r",
+            "vec_w", "vec_z", "vec_sd",
         ];
         let fields: Vec<_> = names.iter().map(|nm| rt.host_alloc(nm, bytes)).collect();
         let sd = fields[8];

@@ -108,7 +108,9 @@ pub(crate) fn run_xs_style(
     });
     // The input aggregate (problem description, pointers, sizes).
     let sim_data = rt.host_alloc("SD", 512);
-    rt.host_fill_u32(sim_data, |i| (grid_size as u32).wrapping_mul(31).wrapping_add(i as u32));
+    rt.host_fill_u32(sim_data, |i| {
+        (grid_size as u32).wrapping_mul(31).wrapping_add(i as u32)
+    });
     let verification = rt.host_alloc("verification", lookups.min(4096) * 8);
 
     let sd_map = if fixed {
@@ -125,7 +127,9 @@ pub(crate) fn run_xs_style(
         let mut verif = vec![0.0f64; vlen];
         let mut seed = 0x9E3779B97F4A7C15u64;
         for l in 0..lookups {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let ix = (seed >> 33) as usize % g.len();
             // A toy macroscopic cross-section accumulation.
             let xs = g[ix] * 0.8 + g[(ix + 7) % g.len()] * 0.2;
@@ -141,10 +145,13 @@ pub(crate) fn run_xs_style(
             sd_map,
             map(MapType::From, verification),
         ],
-        Kernel::new("xs_lookup_kernel", KernelCost::scaled((lookups * 16) as u64))
-            .reads(&[grid, sim_data])
-            .writes(&[verification])
-            .body(&mut lookup),
+        Kernel::new(
+            "xs_lookup_kernel",
+            KernelCost::scaled((lookups * 16) as u64),
+        )
+        .reads(&[grid, sim_data])
+        .writes(&[verification])
+        .body(&mut lookup),
     );
     rt.host_load(verification);
     dbg

@@ -53,7 +53,10 @@ fn arbalest_summary(w: &dyn Workload) -> String {
 
 fn main() {
     println!("Table 2: Issues Detected by OMPDataPerf and Arbalest-Vec\n");
-    println!("{:<20} {:<16} {:<12}", "Program Name", "OMPDataPerf", "Arbalest-Vec");
+    println!(
+        "{:<20} {:<16} {:<12}",
+        "Program Name", "OMPDataPerf", "Arbalest-Vec"
+    );
     for w in odp_workloads::hecbench_programs() {
         let odp = ompdataperf_categories(w.as_ref());
         let av = arbalest_summary(w.as_ref());

@@ -21,7 +21,9 @@ fn nowait_overlaps_host_and_device() {
         0,
         CodePtr(2),
         &[map(MapType::To, a)],
-        Kernel::new("long_kernel", KernelCost::fixed(10_000_000)).reads(&[a]).writes(&[a]),
+        Kernel::new("long_kernel", KernelCost::fixed(10_000_000))
+            .reads(&[a])
+            .writes(&[a]),
     );
     let after_launch = rt.now();
     // The host returned long before the 10 ms kernel finished.
@@ -51,7 +53,9 @@ fn sync_target_queues_behind_async_kernel() {
         0,
         CodePtr(2),
         &[map(MapType::To, a)],
-        Kernel::new("async", KernelCost::fixed(5_000_000)).reads(&[a]).writes(&[a]),
+        Kernel::new("async", KernelCost::fixed(5_000_000))
+            .reads(&[a])
+            .writes(&[a]),
     );
     let t_launch = rt.now();
     rt.target(
@@ -82,11 +86,7 @@ fn transfer_overlapping_async_kernel_clears_algorithm5_candidates() {
     let a = rt.host_alloc("a", 4096);
     let v = rt.host_alloc("v", 256);
     rt.host_fill_u32(v, |i| i as u32);
-    let region = rt.target_data_begin(
-        0,
-        CodePtr(1),
-        &[map(MapType::To, a), map(MapType::To, v)],
-    );
+    let region = rt.target_data_begin(0, CodePtr(1), &[map(MapType::To, a), map(MapType::To, v)]);
     // Long async kernel reading v.
     rt.target_nowait(
         0,

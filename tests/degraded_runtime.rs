@@ -1,8 +1,8 @@
 //! Degraded and unusable runtime behaviour (§A.6's warning, Table 6's
 //! capability matrix).
 
-use odp_sim::{Runtime, RuntimeConfig};
 use odp_ompt::CompilerProfile;
+use odp_sim::{Runtime, RuntimeConfig};
 use odp_workloads::{ProblemSize, Variant};
 use ompdataperf::tool::{OmpDataPerfTool, ToolConfig};
 
@@ -82,7 +82,10 @@ fn runtime_name_appears_in_console_output() {
     rt.attach_tool(Box::new(tool));
     rt.finish();
     let console = handle.console_lines();
-    assert!(console.iter().any(|l| l.contains("libnvomp")), "{console:?}");
+    assert!(
+        console.iter().any(|l| l.contains("libnvomp")),
+        "{console:?}"
+    );
     assert!(
         console.iter().any(|l| l.contains("-mp=ompt")),
         "NVHPC recompile-flag notice expected: {console:?}"

@@ -2,8 +2,8 @@
 //! must hold for *any* chronological event log.
 
 use odp_model::{
-    CodePtr, DataOpEvent, DataOpKind, DeviceId, EventId, HashVal, SimTime, TargetEvent,
-    TargetKind, TimeSpan,
+    CodePtr, DataOpEvent, DataOpKind, DeviceId, EventId, HashVal, SimTime, TargetEvent, TargetKind,
+    TimeSpan,
 };
 use ompdataperf::detect::{
     alloc_delete_pairs, find_duplicate_transfers, find_repeated_allocs, find_round_trips,

@@ -75,10 +75,12 @@ fn cross_device_round_trip_through_host() {
             0,
             CodePtr(0x401),
             &[map(MapType::To, a)],
-            Kernel::new("produce", KernelCost::fixed(1_000)).reads(&[a]).writes(&[a]),
+            Kernel::new("produce", KernelCost::fixed(1_000))
+                .reads(&[a])
+                .writes(&[a]),
         );
         rt.target_update_from(0, CodePtr(0x402), &[a]); // D2H: content h
-        // Host forwards the same bytes to dev1 (fine)...
+                                                        // Host forwards the same bytes to dev1 (fine)...
         rt.target(
             1,
             CodePtr(0x403),

@@ -104,7 +104,9 @@ fn listing2_round_trips_and_reallocs() {
                 0,
                 CodePtr(0x300),
                 &[],
-                Kernel::new("incr", KernelCost::fixed(5_000)).reads(&[a]).writes(&[a]),
+                Kernel::new("incr", KernelCost::fixed(5_000))
+                    .reads(&[a])
+                    .writes(&[a]),
             );
         }
     });
@@ -129,7 +131,9 @@ fn listing2_fixed_with_outer_data_region() {
                 0,
                 CodePtr(0x300),
                 &[map(MapType::To, a)],
-                Kernel::new("incr", KernelCost::fixed(5_000)).reads(&[a]).writes(&[a]),
+                Kernel::new("incr", KernelCost::fixed(5_000))
+                    .reads(&[a])
+                    .writes(&[a]),
             );
         }
         rt.target_data_end(region);

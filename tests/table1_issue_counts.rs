@@ -23,10 +23,12 @@ fn expect(name: &str, variant: Variant, dd: usize, rt: usize, ra: usize, ua: usi
     let got = counts(name, variant);
     let want = IssueCounts { dd, rt, ra, ua, ut };
     assert_eq!(
-        got, want,
+        got,
+        want,
         "{name}{} : got {:?}, Table 1 says {:?}",
         variant.suffix(),
-        got, want
+        got,
+        want
     );
 }
 

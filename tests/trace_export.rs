@@ -52,7 +52,10 @@ fn chrome_trace_durations_match_event_spans() {
         / 1e3;
     // Chrome slices cover at least the data-op + kernel time (regions
     // add more); and no slice is zero-width.
-    assert!(total_dur_us >= expected_us * 0.99, "{total_dur_us} vs {expected_us}");
+    assert!(
+        total_dur_us >= expected_us * 0.99,
+        "{total_dur_us} vs {expected_us}"
+    );
 }
 
 #[test]

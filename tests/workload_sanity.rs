@@ -99,12 +99,20 @@ fn paper_inputs_match_table5() {
     check("babelstream", ProblemSize::Medium, "-n 500 -s 33554432");
     check("babelstream", ProblemSize::Large, "-n 2500 -s 33554432");
     check("bfs", ProblemSize::Large, "graph1MW_6.txt");
-    check("hotspot", ProblemSize::Medium, "512 512 2 4 temp_512 power_512");
+    check(
+        "hotspot",
+        ProblemSize::Medium,
+        "512 512 2 4 temp_512 power_512",
+    );
     check("lud", ProblemSize::Large, "-s 8000");
     check("minife", ProblemSize::Small, "-nx 66 -ny 64 -nz 64");
     check("minifmm", ProblemSize::Medium, "-n 1000");
     check("nw", ProblemSize::Medium, "2048 10 2");
-    check("rsbench", ProblemSize::Medium, "-m event -s large -l 4250000");
+    check(
+        "rsbench",
+        ProblemSize::Medium,
+        "-m event -s large -l 4250000",
+    );
     check("tealeaf", ProblemSize::Large, "--file tea_bm_4.in");
     check("xsbench", ProblemSize::Medium, "-m event -g 1413");
 }

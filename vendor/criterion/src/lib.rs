@@ -1,0 +1,271 @@
+//! Vendored minimal stand-in for the `criterion` crate.
+//!
+//! Implements the statistical-free core of criterion's API surface used
+//! by this workspace's benches: warm-up + timed sampling, mean/min
+//! ns-per-iteration reporting, benchmark groups with throughput
+//! annotations, and the `criterion_group!`/`criterion_main!` macros.
+//! No plotting, no saved baselines — one line of output per benchmark.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark configuration and entry point.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.clone());
+        f(&mut b);
+        b.report(name, None);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotation: reported alongside time per iteration.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            text: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample size within this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Override the measurement time within this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.criterion.clone());
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id), self.throughput);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.criterion.clone());
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id), self.throughput);
+        self
+    }
+
+    /// End the group (drop would do; mirrors criterion's API).
+    pub fn finish(self) {}
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    cfg: Criterion,
+    /// Mean nanoseconds per iteration over all samples.
+    mean_ns: f64,
+    /// Fastest sample's nanoseconds per iteration.
+    min_ns: f64,
+}
+
+impl Bencher {
+    fn new(cfg: Criterion) -> Bencher {
+        Bencher {
+            cfg,
+            mean_ns: f64::NAN,
+            min_ns: f64::NAN,
+        }
+    }
+
+    /// Measure a closure: warm up, then time `sample_size` samples that
+    /// together fill the measurement budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, counting iterations to size the samples.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.cfg.warm_up_time || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+
+        let samples = self.cfg.sample_size as u64;
+        let budget_ns = self.cfg.measurement_time.as_nanos() as f64;
+        let iters_per_sample = ((budget_ns / samples as f64 / per_iter.max(1.0)) as u64).max(1);
+
+        let mut total_ns = 0f64;
+        let mut min_ns = f64::INFINITY;
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let sample_ns = t.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            total_ns += sample_ns;
+            min_ns = min_ns.min(sample_ns);
+        }
+        self.mean_ns = total_ns / samples as f64;
+        self.min_ns = min_ns;
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        if self.mean_ns.is_nan() {
+            println!("{name:<56} (no measurement)");
+            return;
+        }
+        let time = format_ns(self.mean_ns);
+        let extra = match throughput {
+            Some(Throughput::Bytes(bytes)) => {
+                let gbps = bytes as f64 / self.mean_ns;
+                format!("  thrpt: {gbps:>8.3} GB/s")
+            }
+            Some(Throughput::Elements(n)) => {
+                let meps = n as f64 * 1e3 / self.mean_ns;
+                format!("  thrpt: {meps:>8.3} Melem/s")
+            }
+            None => String::new(),
+        };
+        println!(
+            "{name:<56} time: [{time} (min {min})]{extra}",
+            min = format_ns(self.min_ns),
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Define a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,383 @@
+//! Vendored minimal `#[derive(Serialize, Deserialize)]` macros.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` available offline),
+//! targeting the protocol of the vendored `serde` crate: derived
+//! `Serialize` impls produce a `serde::Value` tree; derived
+//! `Deserialize` impls rebuild `Self` from one.
+//!
+//! Supported shapes — the full set this workspace uses:
+//!
+//! * structs with named fields (serialized as objects; honors
+//!   `#[serde(rename = "...")]` per field);
+//! * tuple structs (newtypes serialize transparently as their single
+//!   field; longer tuples as arrays);
+//! * unit structs (serialize as `null`);
+//! * enums whose variants are all unit variants (serialize as the
+//!   variant-name string, serde's external tagging for unit variants).
+//!
+//! Anything fancier (generics, data-carrying enum variants) produces a
+//! `compile_error!` naming the unsupported construct.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Serialize)
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    /// Field identifier (named structs only).
+    name: String,
+    /// JSON key (`name` unless `#[serde(rename = "...")]`).
+    key: String,
+    /// Field type, re-rendered from its original tokens.
+    ty: String,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    /// Tuple struct: list of field types.
+    Tuple(Vec<String>),
+    Unit,
+    /// Enum of unit variants: variant names.
+    UnitEnum(Vec<String>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+fn expand(input: TokenStream, which: Trait) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0usize;
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => pos += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                pos += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        pos += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return compile_error("serde_derive: expected `struct` or `enum`"),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return compile_error("serde_derive: expected type name"),
+    };
+    pos += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            return compile_error("serde_derive: generic types are not supported");
+        }
+    }
+
+    let shape = match (kind.as_str(), tokens.get(pos)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            match parse_named_fields(g.stream()) {
+                Ok(fields) => Shape::Named(fields),
+                Err(e) => return compile_error(&e),
+            }
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            match parse_tuple_fields(g.stream()) {
+                Ok(tys) => Shape::Tuple(tys),
+                Err(e) => return compile_error(&e),
+            }
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Shape::Unit,
+        ("struct", None) => Shape::Unit,
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            match parse_unit_variants(g.stream()) {
+                Ok(vs) => Shape::UnitEnum(vs),
+                Err(e) => return compile_error(&e),
+            }
+        }
+        _ => return compile_error("serde_derive: unsupported type shape"),
+    };
+
+    let code = match which {
+        Trait::Serialize => gen_serialize(&name, &shape),
+        Trait::Deserialize => gen_deserialize(&name, &shape),
+    };
+    code.parse().unwrap()
+}
+
+/// Skip attributes at `pos`, returning any `#[serde(rename = "...")]`
+/// value seen.
+fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) -> Option<String> {
+    let mut rename = None;
+    while let Some(TokenTree::Punct(p)) = tokens.get(*pos) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) {
+            if let Some(r) = parse_serde_rename(g.stream()) {
+                rename = Some(r);
+            }
+        }
+        *pos += 2;
+    }
+    rename
+}
+
+/// From the bracket-group tokens of one attribute, extract the rename
+/// string of `serde(rename = "...")` if that is what the attribute is.
+fn parse_serde_rename(attr: TokenStream) -> Option<String> {
+    let toks: Vec<TokenTree> = attr.into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            match (inner.first(), inner.get(1), inner.get(2)) {
+                (
+                    Some(TokenTree::Ident(key)),
+                    Some(TokenTree::Punct(eq)),
+                    Some(TokenTree::Literal(lit)),
+                ) if key.to_string() == "rename" && eq.as_char() == '=' => {
+                    let s = lit.to_string();
+                    Some(s.trim_matches('"').to_string())
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Collect type tokens until a comma at angle-bracket depth zero,
+/// re-rendering them through a `TokenStream` so lifetimes and paths
+/// keep valid spacing.
+fn collect_type(tokens: &[TokenTree], pos: &mut usize) -> String {
+    let mut depth = 0i32;
+    let mut ty_tokens: Vec<TokenTree> = Vec::new();
+    while let Some(tok) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => break,
+                _ => {}
+            }
+        }
+        ty_tokens.push(tok.clone());
+        *pos += 1;
+    }
+    ty_tokens.into_iter().collect::<TokenStream>().to_string()
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0usize;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let rename = skip_attrs(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("serde_derive: expected field name, got {other:?}")),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => return Err(format!("serde_derive: expected `:`, got {other:?}")),
+        }
+        let ty = collect_type(&tokens, &mut pos);
+        // Skip the trailing comma, if any.
+        if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+            if p.as_char() == ',' {
+                pos += 1;
+            }
+        }
+        let key = rename.unwrap_or_else(|| name.clone());
+        fields.push(Field { name, key, ty });
+    }
+    Ok(fields)
+}
+
+fn parse_tuple_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0usize;
+    let mut tys = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        let ty = collect_type(&tokens, &mut pos);
+        if ty.is_empty() {
+            break;
+        }
+        tys.push(ty);
+        if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+            if p.as_char() == ',' {
+                pos += 1;
+            }
+        }
+    }
+    Ok(tys)
+}
+
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0usize;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("serde_derive: expected variant, got {other:?}")),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => pos += 1,
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "serde_derive: variant `{name}` carries data; only unit variants are supported"
+                ));
+            }
+            other => return Err(format!("serde_derive: unexpected token {other:?}")),
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "fields.push(({key:?}.to_string(), ::serde::Serialize::to_value(&self.{name})));\n",
+                    key = f.key,
+                    name = f.name,
+                ));
+            }
+            format!(
+                "let mut fields: Vec<(String, ::serde::Value)> = \
+                 Vec::with_capacity({n});\n{pushes}::serde::Value::Object(fields)",
+                n = fields.len(),
+            )
+        }
+        Shape::Tuple(tys) if tys.len() == 1 => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(tys) => {
+            let elems: Vec<String> = (0..tys.len())
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string())"))
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{name}: <{ty} as ::serde::Deserialize>::from_value(\
+                     v.get({key:?}).unwrap_or(&::serde::Value::Null))?,\n",
+                    name = f.name,
+                    ty = f.ty,
+                    key = f.key,
+                ));
+            }
+            format!("Ok({name} {{\n{inits}}})")
+        }
+        Shape::Tuple(tys) if tys.len() == 1 => {
+            format!(
+                "Ok({name}(<{ty} as ::serde::Deserialize>::from_value(v)?))",
+                ty = tys[0],
+            )
+        }
+        Shape::Tuple(tys) => {
+            let elems: Vec<String> = tys
+                .iter()
+                .enumerate()
+                .map(|(i, ty)| {
+                    format!(
+                        "<{ty} as ::serde::Deserialize>::from_value(\
+                         v.get_index({i}).unwrap_or(&::serde::Value::Null))?"
+                    )
+                })
+                .collect();
+            format!("Ok({name}({}))", elems.join(", "))
+        }
+        Shape::Unit => format!("Ok({name})"),
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("Some({v:?}) => Ok({name}::{v})"))
+                .collect();
+            format!(
+                "match v.as_str() {{ {arms}, _ => Err(::serde::DeError::custom(\
+                 format!(\"unknown {name} variant: {{v:?}}\"))) }}",
+                arms = arms.join(", "),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}"
+    )
+}

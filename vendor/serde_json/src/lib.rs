@@ -1,0 +1,456 @@
+//! Vendored minimal stand-in for the `serde_json` crate.
+//!
+//! Renders and parses the vendored `serde` crate's [`Value`] tree as
+//! JSON text: [`to_string`], [`to_string_pretty`], [`from_str`], and
+//! the [`json!`] literal macro.
+
+pub use serde::Value;
+
+use std::fmt;
+
+/// JSON rendering / parsing error.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convert any serializable value into a [`Value`] tree (used by the
+/// [`json!`] macro for interpolated expressions).
+pub fn to_value<T: serde::Serialize>(value: T) -> Value {
+    value.to_value()
+}
+
+/// Serialize to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serialize to pretty JSON (two-space indent, `serde_json` style).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Parse JSON text into any deserializable type (including [`Value`]).
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.pos)));
+    }
+    T::from_value(&v).map_err(|e| Error(e.0))
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_float(f: f64, out: &mut String) {
+    if !f.is_finite() {
+        out.push_str("null");
+    } else {
+        // `{:?}` prints the shortest representation that round-trips and
+        // always includes a decimal point or exponent.
+        out.push_str(&format!("{f:?}"));
+    }
+}
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Float(f) => write_float(*f, out),
+        Value::Str(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(width) = indent {
+                    out.push('\n');
+                    out.push_str(&" ".repeat(width * (level + 1)));
+                }
+                write_value(item, out, indent, level + 1);
+            }
+            if let Some(width) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(width * level));
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(width) = indent {
+                    out.push('\n');
+                    out.push_str(&" ".repeat(width * (level + 1)));
+                }
+                write_escaped(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(val, out, indent, level + 1);
+            }
+            if let Some(width) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(width * level));
+            }
+            out.push('}');
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            other => Err(Error(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            while matches!(self.peek(), Some(b) if b != b'"' && b != b'\\') {
+                self.pos += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| Error(e.to_string()))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| Error(e.to_string()))?,
+                                16,
+                            )
+                            .map_err(|e| Error(e.to_string()))?;
+                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(Error(format!("bad escape {other:?}")));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(Error("unterminated string".into())),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| Error(e.to_string()))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| Error(e.to_string()))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|e| Error(e.to_string()))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .or_else(|_| text.parse::<f64>().map(Value::Float))
+                .map_err(|e| Error(e.to_string()))
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error(format!("expected `,` or `]` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(Error(format!("expected `,` or `}}` at byte {}", self.pos))),
+            }
+        }
+    }
+}
+
+/// Build a [`Value`] from a JSON-like literal, interpolating Rust
+/// expressions in value position (a reduced version of `serde_json`'s
+/// macro: object keys must be string literals).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(Vec::new()) };
+    ([ $($tt:tt)+ ]) => {{
+        #[allow(clippy::vec_init_then_push)]
+        {
+            let mut items: Vec<$crate::Value> = Vec::new();
+            $crate::json_items!(items; [] $($tt)+);
+            $crate::Value::Array(items)
+        }
+    }};
+    ({}) => { $crate::Value::Object(Vec::new()) };
+    ({ $($tt:tt)+ }) => {{
+        #[allow(clippy::vec_init_then_push)]
+        {
+            let mut fields: Vec<(String, $crate::Value)> = Vec::new();
+            $crate::json_fields!(fields; $($tt)+);
+            $crate::Value::Object(fields)
+        }
+    }};
+    ($other:expr) => { $crate::to_value($other) };
+}
+
+/// Internal muncher for [`json!`] arrays — accumulates tokens up to a
+/// top-level comma, then recurses into [`json!`] for the element.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_items {
+    ($items:ident; [$($elem:tt)+]) => {
+        $items.push($crate::json!($($elem)+));
+    };
+    ($items:ident; [$($elem:tt)+] , $($rest:tt)*) => {
+        $items.push($crate::json!($($elem)+));
+        $crate::json_items!($items; [] $($rest)*);
+    };
+    ($items:ident; []) => {};
+    ($items:ident; [$($elem:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::json_items!($items; [$($elem)* $next] $($rest)*);
+    };
+}
+
+/// Internal muncher for [`json!`] objects.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_fields {
+    ($fields:ident; $key:literal : $($rest:tt)+) => {
+        $crate::json_field_value!($fields; $key [] $($rest)+);
+    };
+    ($fields:ident;) => {};
+}
+
+/// Internal muncher for a single [`json!`] object value.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_field_value {
+    ($fields:ident; $key:literal [$($val:tt)+] , $($rest:tt)*) => {
+        $fields.push(($key.to_string(), $crate::json!($($val)+)));
+        $crate::json_fields!($fields; $($rest)*);
+    };
+    ($fields:ident; $key:literal [$($val:tt)+]) => {
+        $fields.push(($key.to_string(), $crate::json!($($val)+)));
+    };
+    ($fields:ident; $key:literal [$($val:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::json_field_value!($fields; $key [$($val)* $next] $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        let v: Value = from_str("{\"a\": 1, \"b\": -2, \"c\": 1.5, \"d\": null}").unwrap();
+        assert_eq!(v["a"], 1);
+        assert_eq!(v["b"], -2);
+        assert_eq!(v["c"].as_f64(), Some(1.5));
+        assert!(v["d"].is_null());
+    }
+
+    #[test]
+    fn pretty_print_shape() {
+        let v = json!({"k": [1, 2], "s": "x"});
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains("\"k\": ["));
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn json_macro_interpolates() {
+        let n = 7u64;
+        let v = json!({"n": n, "f": format!("0x{:x}", 255), "opt": Option::<String>::None});
+        assert_eq!(v["n"], 7);
+        assert_eq!(v["f"], "0xff");
+        assert!(v["opt"].is_null());
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let v = json!({"s": "a\"b\\c\nd"});
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+}
