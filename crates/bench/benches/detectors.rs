@@ -9,7 +9,7 @@ use odp_model::{
     CodePtr, DataOpEvent, DataOpKind, DeviceId, EventId, HashVal, SimTime, TargetEvent, TargetKind,
     TimeSpan,
 };
-use ompdataperf::detect::{EventView, Findings};
+use ompdataperf::detect::{EventView, Findings, StreamingEngine};
 use std::hint::black_box;
 
 /// Build a log shaped like a real trace: per iteration one alloc + H2D +
@@ -138,9 +138,69 @@ fn bench_fused_vs_separate(c: &mut Criterion) {
     }
 }
 
+/// Streaming (per-callback pushes + watermark advances + finalize)
+/// vs. the post-mortem fused sweep, at 10k / 100k events. The streaming
+/// side pays one clone, one heap push/pop, and the state-machine step
+/// per event — this group tracks that per-callback overhead so online
+/// mode cannot silently regress the tool's 5 % budget.
+fn bench_streaming_vs_postmortem(c: &mut Criterion) {
+    enum Arrival {
+        Op(DataOpEvent),
+        Kernel(TargetEvent),
+    }
+    for &events in &[10_000usize, 100_000] {
+        let (ops, kernels) = build_log(events / 5);
+        let total = (ops.len() + kernels.len()) as u64;
+        // build_log emits non-overlapping spans, so completion order is
+        // chronological; the watermark is simply each event's end.
+        let mut arrivals: Vec<Arrival> = ops.iter().cloned().map(Arrival::Op).collect();
+        arrivals.extend(kernels.iter().cloned().map(Arrival::Kernel));
+        arrivals.sort_by_key(|a| match a {
+            Arrival::Op(e) => (e.span.end, e.id.0),
+            Arrival::Kernel(k) => (k.span.end, k.id.0),
+        });
+
+        let mut group = c.benchmark_group("streaming_vs_postmortem");
+        group.throughput(Throughput::Elements(total));
+        group.bench_with_input(
+            BenchmarkId::new("postmortem", events),
+            &(&ops, &kernels),
+            |b, (ops, kernels)| {
+                b.iter(|| black_box(Findings::detect(black_box(ops), black_box(kernels), 1)))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("streaming", events),
+            &(&ops, &kernels, &arrivals),
+            |b, (ops, kernels, arrivals)| {
+                b.iter(|| {
+                    let mut engine = StreamingEngine::default();
+                    for arrival in arrivals.iter() {
+                        match arrival {
+                            Arrival::Op(e) => {
+                                let end = e.span.end;
+                                engine.push_data_op(e.clone());
+                                engine.advance_watermark(end);
+                            }
+                            Arrival::Kernel(k) => {
+                                let end = k.span.end;
+                                engine.push_target(k.clone());
+                                engine.advance_watermark(end);
+                            }
+                        }
+                    }
+                    let view = EventView::new(black_box(ops), black_box(kernels), 1);
+                    black_box(engine.finalize(&view))
+                })
+            },
+        );
+        group.finish();
+    }
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(1)).warm_up_time(std::time::Duration::from_millis(200));
-    targets = bench_detectors, bench_fused_vs_separate
+    targets = bench_detectors, bench_fused_vs_separate, bench_streaming_vs_postmortem
 );
 criterion_main!(benches);

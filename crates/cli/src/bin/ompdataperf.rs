@@ -9,6 +9,8 @@
 use odp_cli::{parse, resolve_profile, Parsed};
 use odp_hash::HashAlgoId;
 use odp_sim::{Runtime, RuntimeConfig};
+use ompdataperf::detect::EventView;
+use ompdataperf::report::{ConsoleStreamSink, FindingsSink};
 use ompdataperf::tool::{OmpDataPerfTool, ToolConfig};
 use std::process::ExitCode;
 
@@ -85,6 +87,7 @@ fn main() -> ExitCode {
         collision_audit: parsed.audit,
         quiet: parsed.quiet,
         verbose: parsed.verbose,
+        stream: parsed.stream,
     });
     rt.attach_tool(Box::new(tool));
 
@@ -104,12 +107,58 @@ fn main() -> ExitCode {
             println!("info: wrote chrome://tracing timeline to {path}");
         }
     }
-    let report = ompdataperf::analysis::analyze_named(
-        &trace,
-        Some(&dbg),
-        workload.name(),
-        handle.console_lines(),
-    );
+    // Streaming mode: the online engine already ran the detectors during
+    // the run, so detection work is done by the time the workload
+    // returns. The simulated runtime is synchronous, so this front end
+    // prints the accumulated findings here; a concurrent consumer would
+    // drain ToolHandle::take_stream_findings while the program executes.
+    // Finalize against the trace (byte-identical to the post-mortem
+    // sweep) and build the report from those findings — no re-detection.
+    let report = if let Some(mut engine) = handle.take_stream_engine() {
+        let mut sink = ConsoleStreamSink::default();
+        for finding in engine.take_findings() {
+            sink.on_finding(&finding);
+        }
+        // Live lines go to stdout only in the human-readable mode; with
+        // --json the stream output would corrupt the machine-readable
+        // document (the findings are in the report JSON anyway).
+        if !parsed.quiet && !parsed.json {
+            const MAX_LIVE_LINES: usize = 40;
+            for line in sink.lines.iter().take(MAX_LIVE_LINES) {
+                println!("{line}");
+            }
+            if sink.lines.len() > MAX_LIVE_LINES {
+                println!(
+                    "stream: ... {} further findings elided",
+                    sink.lines.len() - MAX_LIVE_LINES
+                );
+            }
+            let stats = engine.buffer_stats();
+            println!(
+                "info: streaming detection emitted {} finding(s) live \
+                 (reorder peak {}, lookahead peak {})",
+                sink.lines.len(),
+                stats.buffered_peak,
+                stats.frontier_peak
+            );
+        }
+        let view = EventView::from_log(&trace);
+        let findings = engine.finalize(&view);
+        ompdataperf::analysis::analyze_with_findings(
+            &trace,
+            Some(&dbg),
+            workload.name(),
+            handle.console_lines(),
+            findings,
+        )
+    } else {
+        ompdataperf::analysis::analyze_named(
+            &trace,
+            Some(&dbg),
+            workload.name(),
+            handle.console_lines(),
+        )
+    };
 
     if parsed.json {
         println!("{}", report.to_json());

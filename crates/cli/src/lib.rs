@@ -31,6 +31,11 @@ pub struct CommonArgs {
     /// `--trace-out <path>`: write the event log as Chrome Trace Format
     /// JSON for chrome://tracing / Perfetto.
     pub trace_out: Option<String>,
+    /// `--stream`: run the detection engine online. Findings are
+    /// computed as events arrive; live consumers pull them via
+    /// `ToolHandle::take_stream_findings` (the synchronous CLI prints
+    /// them once the run returns).
+    pub stream: bool,
 }
 
 /// Outcome of argument parsing.
@@ -60,6 +65,7 @@ pub fn usage(tool: &str) -> String {
          \x20 --pre-emi             Simulate a pre-5.1 OMPT runtime (§A.6)\n\
          \x20 --profile NAME        Compiler capability profile (Table 6)\n\
          \x20 --trace-out PATH      Write a chrome://tracing JSON timeline\n\
+         \x20 --stream              Run the detectors online during execution\n\
          Programs:\n\x20 {}",
         odp_workloads::all()
             .iter()
@@ -83,6 +89,7 @@ pub fn parse(tool: &str, args: &[String]) -> Parsed {
         pre_emi: false,
         profile: None,
         trace_out: None,
+        stream: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -94,6 +101,7 @@ pub fn parse(tool: &str, args: &[String]) -> Parsed {
             "--json" => out.json = true,
             "--audit-collisions" => out.audit = true,
             "--pre-emi" => out.pre_emi = true,
+            "--stream" => out.stream = true,
             "--size" => match it.next().map(|s| s.as_str()) {
                 Some("s") | Some("small") => out.size = ProblemSize::Small,
                 Some("m") | Some("medium") => out.size = ProblemSize::Medium,
@@ -184,9 +192,20 @@ mod tests {
                 assert_eq!(a.size, ProblemSize::Medium);
                 assert_eq!(a.variant, Variant::Fixed);
                 assert!(a.json && a.quiet && !a.verbose);
+                assert!(!a.stream, "streaming is opt-in");
             }
             _ => panic!("expected run"),
         }
+    }
+
+    #[test]
+    fn stream_flag_is_parsed() {
+        match parse("ompdataperf", &argv("--stream bfs")) {
+            Parsed::Run(a) => assert!(a.stream),
+            _ => panic!("expected run"),
+        }
+        let usage = usage("ompdataperf");
+        assert!(usage.contains("--stream"));
     }
 
     #[test]

@@ -47,7 +47,38 @@ pub fn analyze_named(
     // shared view, and run all five detectors in one fused sweep.
     // Events are only materialized where they land in findings.
     let view = EventView::from_log(log);
-    let findings = Findings::detect_fused(&view);
+    analyze_view(log, &view, dbg, program, console)
+}
+
+/// Run the fused analysis over a caller-built view — the entry point
+/// for explicit device counts. Events the view excluded from the
+/// per-device algorithms (device `>= num_devices`) surface as a console
+/// warning instead of silently skewing Algorithms 4/5.
+pub fn analyze_view(
+    log: &TraceLog,
+    view: &EventView<'_>,
+    dbg: Option<&DebugInfo>,
+    program: &str,
+    mut console: Vec<String>,
+) -> Report {
+    if let Some(warning) = view.out_of_range().warning(view.num_devices) {
+        console.push(warning);
+    }
+    let findings = Findings::detect_fused(view);
+    analyze_with_findings(log, dbg, program, console, findings)
+}
+
+/// Build a report from findings that were already produced — the
+/// streaming path: the tool's online engine finalizes its own findings
+/// (byte-identical to the fused sweep), so detection must not run a
+/// second time.
+pub fn analyze_with_findings(
+    log: &TraceLog,
+    dbg: Option<&DebugInfo>,
+    program: &str,
+    console: Vec<String>,
+    findings: Findings,
+) -> Report {
     let counts = findings.counts();
     let prediction = predict(&findings, log.total_time());
     let sections = build_sections(&findings, dbg, log.total_time());
@@ -156,6 +187,44 @@ mod tests {
             1,
             "empty trace still has a device"
         );
+    }
+
+    #[test]
+    fn undersized_device_count_warns_instead_of_silently_skewing() {
+        let mut log = TraceLog::new();
+        let span = |a: u64, b: u64| TimeSpan::new(SimTime(a), SimTime(b));
+        // Allocation + kernel on device 3, analyzed as a 1-device trace.
+        log.record_data_op(
+            DataOpKind::Alloc,
+            DeviceId::HOST,
+            DeviceId::target(3),
+            0x1000,
+            0xd000,
+            64,
+            None,
+            span(0, 10),
+            CodePtr(0x1),
+        );
+        log.record_target(
+            TargetKind::Kernel,
+            DeviceId::target(3),
+            span(20, 40),
+            CodePtr(0x2),
+        );
+        let view = EventView::new(log.data_op_events_sorted(), log.kernel_events_sorted(), 1);
+        let report = super::analyze_view(&log, &view, None, "undersized", Vec::new());
+        assert!(
+            report
+                .console
+                .iter()
+                .any(|l| l.starts_with("warning:") && l.contains("Algorithms 4/5")),
+            "{:?}",
+            report.console
+        );
+        // A correctly sized view stays silent.
+        let full = EventView::from_log(&log);
+        let clean = super::analyze_view(&log, &full, None, "sized", Vec::new());
+        assert!(clean.console.is_empty(), "{:?}", clean.console);
     }
 
     #[test]

@@ -37,6 +37,49 @@ use odp_trace::TraceLog;
 /// Index of an event in [`EventView::data_ops`] (chronological order).
 pub type OpIx = u32;
 
+/// Events that name a target device at or beyond the view's `num_devices`
+/// and are therefore excluded from the per-device algorithms (4 and 5).
+///
+/// Historically these were dropped *silently*, which skews Algorithms 4/5
+/// without a trace: a kernel on an out-of-range device can neither mark
+/// allocations used nor clear transfer candidates. The view now counts
+/// what it drops so callers can surface a warning ([`OutOfRangeEvents::warning`]).
+/// Algorithms 1–3 are unaffected (they key on [`DeviceId`] directly and
+/// never index a per-device table).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OutOfRangeEvents {
+    /// Kernel executions on devices `>= num_devices`.
+    pub kernels: usize,
+    /// Transfers whose destination device is `>= num_devices`.
+    pub transfers: usize,
+    /// Allocations on devices `>= num_devices`.
+    pub allocs: usize,
+}
+
+impl OutOfRangeEvents {
+    /// Total dropped events.
+    pub fn total(&self) -> usize {
+        self.kernels + self.transfers + self.allocs
+    }
+
+    /// A console warning describing the drop, or `None` when nothing was
+    /// dropped.
+    pub fn warning(&self, num_devices: u32) -> Option<String> {
+        if self.total() == 0 {
+            return None;
+        }
+        Some(format!(
+            "warning: {} event(s) name target devices >= the analyzed device count ({}); \
+             Algorithms 4/5 exclude them ({} kernel(s), {} transfer(s), {} allocation(s))",
+            self.total(),
+            num_devices,
+            self.kernels,
+            self.transfers,
+            self.allocs
+        ))
+    }
+}
+
 /// One reception queue: every transfer of one `(hash, dest_device)`
 /// pair, chronological. Shared by Algorithms 1 (whole queue = duplicate
 /// group) and 2 (FIFO of pending receptions).
@@ -86,6 +129,8 @@ pub struct EventView<'a> {
     kernels_by_device: Vec<Vec<u32>>,
     /// Per-target-device pairing indices into `pairs` (Algorithm 4).
     pairs_by_device: Vec<Vec<u32>>,
+    /// Events excluded from the per-device tables (device `>= num_devices`).
+    out_of_range: OutOfRangeEvents,
 }
 
 impl<'a> EventView<'a> {
@@ -98,11 +143,15 @@ impl<'a> EventView<'a> {
     ) -> EventView<'a> {
         let nd = num_devices as usize;
 
+        let mut out_of_range = OutOfRangeEvents::default();
+
         let mut kernels_by_device: Vec<Vec<u32>> = vec![Vec::new(); nd];
         for (kx, k) in kernels.iter().enumerate() {
             if let Some(ix) = k.device.target_index() {
                 if ix < nd {
                     kernels_by_device[ix].push(kx as u32);
+                } else {
+                    out_of_range.kernels += 1;
                 }
             }
         }
@@ -149,6 +198,8 @@ impl<'a> EventView<'a> {
                 if let Some(ix) = e.dest_device.target_index() {
                     if ix < nd {
                         tx_by_device[ix].push(ox);
+                    } else {
+                        out_of_range.transfers += 1;
                     }
                 }
             } else if e.is_alloc() {
@@ -163,6 +214,8 @@ impl<'a> EventView<'a> {
                 if let Some(ix) = e.dest_device.target_index() {
                     if ix < nd {
                         pairs_by_device[ix].push(pair_ix);
+                    } else {
+                        out_of_range.allocs += 1;
                     }
                 }
             } else if e.is_delete() {
@@ -184,7 +237,16 @@ impl<'a> EventView<'a> {
             tx_by_device,
             kernels_by_device,
             pairs_by_device,
+            out_of_range,
         }
+    }
+
+    /// Events the per-device tables excluded because they name target
+    /// devices `>= num_devices`. Non-zero counts mean Algorithms 4/5 are
+    /// running over a subset of the trace — surface
+    /// [`OutOfRangeEvents::warning`] rather than ignoring it.
+    pub fn out_of_range(&self) -> OutOfRangeEvents {
+        self.out_of_range
     }
 
     /// Build a view over a trace log's memoized hydrations, inferring

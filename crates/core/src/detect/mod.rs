@@ -36,12 +36,48 @@
 //! `crates/core/tests/fused_differential.rs` enforces this on
 //! randomized traces; `crates/bench/benches/detectors.rs` measures the
 //! speedup (shared hydration + no per-detector clones).
+//!
+//! # Streaming data flow
+//!
+//! The third execution mode, [`stream::StreamingEngine`], runs the same
+//! incremental state machines *while the program executes*:
+//!
+//! ```text
+//! OMPT callbacks ──► OmpDataPerfTool (one lock per callback)
+//!    │  record to TraceLog (source of truth, unchanged)
+//!    └─ push event ──► StreamingEngine
+//!         reorder buffer ── released at the StreamClock watermark
+//!         (completion order → chronological (start, id) order)
+//!              │
+//!              ├─ Alg 1  reception slots: duplicates final on arrival
+//!              ├─ Alg 2  confirmed frontier: trips retire when the
+//!              │         re-send arrives; stalled lookahead window is
+//!              │         compact (seqs, no clones) and reconciled at
+//!              │         finalize
+//!              ├─ Alg 3  pairing groups: repeats final at alloc time
+//!              └─ Alg 4/5 per-device pending queues: decisions land on
+//!                        the device's next kernel (or finalize)
+//!              │
+//!              ├──► live StreamFindings (seq-based, for sinks /
+//!              │    future live mapping decisions)
+//!              └──► finalize(&EventView) → Findings, byte-identical
+//!                   to Findings::detect on the recorded trace
+//! ```
+//!
+//! Detection state is index-based throughout; the engine clones no
+//! event after the reorder buffer releases it. The equivalence contract
+//! is enforced by `crates/core/tests/streaming_differential.rs`
+//! (randomized traces delivered in completion order, exact JSON
+//! equality) and the per-callback overhead is tracked by the
+//! `streaming_vs_postmortem` group of
+//! `crates/bench/benches/detectors.rs`.
 
 pub mod duplicate;
 pub mod engine;
 pub mod pairing;
 pub mod realloc;
 pub mod roundtrip;
+pub mod stream;
 pub mod unused_alloc;
 pub mod unused_transfer;
 
@@ -49,10 +85,11 @@ use odp_model::{DataOpEvent, TargetEvent};
 use serde::Serialize;
 
 pub use duplicate::{find_duplicate_transfers, DuplicateTransferGroup};
-pub use engine::{EventView, IndexFindings};
+pub use engine::{EventView, IndexFindings, OutOfRangeEvents};
 pub use pairing::{alloc_delete_pairs, AllocDeletePair};
 pub use realloc::{find_repeated_allocs, find_repeated_allocs_keyed, RepeatedAllocGroup};
 pub use roundtrip::{find_round_trips, RoundTrip, RoundTripGroup};
+pub use stream::{StreamBufferStats, StreamConfig, StreamFinding, StreamingEngine};
 pub use unused_alloc::{find_unused_allocs, UnusedAlloc};
 pub use unused_transfer::{find_unused_transfers, UnusedTransfer, UnusedTransferReason};
 

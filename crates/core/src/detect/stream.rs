@@ -1,0 +1,1100 @@
+//! Online/streaming detection: the five §5 algorithms advanced live,
+//! one event at a time, from the tool's OMPT callbacks.
+//!
+//! The fused engine ([`crate::detect::engine`]) runs the five detectors
+//! as incremental state machines, but only over a fully hydrated trace
+//! after program exit. [`StreamingEngine`] feeds the *same* state
+//! machines during the run, so findings can be emitted while the
+//! program still executes — early enough to drive mapping decisions —
+//! and still materialize, at [`StreamingEngine::finalize`], findings
+//! **byte-identical** to [`Findings::detect`] over the same trace.
+//!
+//! # The two ordering problems streaming has to solve
+//!
+//! **Arrival order is completion order, not start order.** OMPT end
+//! callbacks fire when operations *finish*; overlapping (async) spans
+//! therefore arrive out of chronological start order, while every
+//! detector's precondition is `(start, log order)`. The engine keeps a
+//! reorder buffer (a min-heap on `(start, id)`) and only releases
+//! events at or below the caller-supplied *watermark* — the earliest
+//! begin time of any still-open operation (see
+//! [`odp_ompt::StreamClock`]). The buffer is bounded by the number of
+//! concurrently open operations, not by trace length.
+//!
+//! **Algorithm 2 needs lookahead.** Post-mortem, the round-trip pass
+//! consults reception queues built from the *full* trace: whether a
+//! transfer completes a round trip can depend on a re-send that has not
+//! happened yet. The streaming engine runs the exact reference sweep
+//! behind a *confirmed frontier*: transfers whose outcome is already
+//! determined by past events retire immediately; the first undecided
+//! transfer stalls the frontier, and everything behind it waits in a
+//! compact window (16 bytes per transfer, no event clones) that either
+//! retires the moment the awaited re-send arrives or is reconciled at
+//! finalize. Because nothing behind the frontier advances while it is
+//! stalled, every queue head the sweep reads has exactly the value the
+//! post-mortem pass would see — this is what makes finalize output
+//! bit-exact instead of approximate. For steady-state workloads (data
+//! ping-pongs or content re-sends keep consuming the queues) the
+//! window stays O(1); [`StreamingEngine::buffer_stats`] exposes the
+//! high-water marks so tests can pin that down.
+//!
+//! Algorithms 1 and 3 are naturally incremental (a duplicate or a
+//! repeated allocation is final the moment the second occurrence
+//! lands). Algorithms 4 and 5 carry per-device pending queues: an
+//! allocation or transfer waits only until the next kernel on its
+//! device (or finalize) proves the decision, mirroring the reference
+//! cursor sweeps exactly.
+//!
+//! All detection state is index-based (`u32`/`u64` sequence numbers);
+//! the engine never clones an event after the reorder buffer releases
+//! it. Findings are materialized once, at the report boundary, from the
+//! trace's hydrated [`EventView`].
+
+use crate::detect::engine::{EventView, OutOfRangeEvents};
+use crate::detect::{
+    AllocDeletePair, DuplicateTransferGroup, Findings, IssueCounts, RepeatedAllocGroup, RoundTrip,
+    RoundTripGroup, UnusedAlloc, UnusedTransfer, UnusedTransferReason,
+};
+use odp_hash::fnv::FnvHashMap;
+use odp_model::{DataOpEvent, DeviceId, HashVal, SimTime, TargetEvent, TargetKind};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// A logged event's sequence number ([`odp_model::EventId`] value) — how
+/// the streaming engine refers to events without holding them.
+pub type Seq = u64;
+
+/// Streaming-engine configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StreamConfig {
+    /// Analyze exactly this many target devices (events naming devices
+    /// beyond the count are excluded from Algorithms 4/5 and counted in
+    /// [`StreamingEngine::out_of_range`], matching [`EventView::new`]).
+    /// `None` grows the per-device machines on demand, matching the
+    /// post-mortem path's inferred device count.
+    pub num_devices: Option<u32>,
+}
+
+/// A finding emitted while the program is still running. Events are
+/// referenced by sequence number; resolve them against the trace after
+/// the run (live consumers usually only need the category and devices).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamFinding {
+    /// Algorithm 1: `event` re-delivered content first seen in `first`.
+    DuplicateTransfer {
+        /// Shared content hash.
+        hash: HashVal,
+        /// Receiving device.
+        dest_device: DeviceId,
+        /// The redundant transfer.
+        event: Seq,
+        /// The first delivery of this content.
+        first: Seq,
+        /// 1-based occurrence number (2 = first duplicate).
+        occurrence: u32,
+    },
+    /// Algorithm 2: `tx` carried content away and `rx` returned it.
+    RoundTrip {
+        /// Content hash.
+        hash: HashVal,
+        /// Device that sent and re-received the data.
+        src_device: DeviceId,
+        /// Intermediate device.
+        dest_device: DeviceId,
+        /// Outbound leg.
+        tx: Seq,
+        /// Completing reception.
+        rx: Seq,
+    },
+    /// Algorithm 3: `alloc` re-allocated an already-seen mapping.
+    RepeatedAlloc {
+        /// Host address of the mapped variable.
+        host_addr: u64,
+        /// Device allocated on.
+        device: DeviceId,
+        /// Allocation size.
+        bytes: u64,
+        /// The repeated allocation event.
+        alloc: Seq,
+        /// 1-based occurrence number (2 = first repeat).
+        occurrence: u32,
+    },
+    /// Algorithm 4: no kernel could have used this allocation.
+    UnusedAlloc {
+        /// Device allocated on.
+        device: DeviceId,
+        /// The allocation event.
+        alloc: Seq,
+        /// Its deletion, if freed.
+        delete: Option<Seq>,
+    },
+    /// Algorithm 5: a provably unused transfer.
+    UnusedTransfer {
+        /// Destination device.
+        device: DeviceId,
+        /// The wasted transfer.
+        event: Seq,
+        /// Why it is provably unused.
+        reason: UnusedTransferReason,
+    },
+}
+
+/// High-water marks of the engine's bounded windows. For steady-state
+/// workloads each peak is independent of trace length.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamBufferStats {
+    /// Events currently in the reorder buffer.
+    pub buffered_now: usize,
+    /// Reorder-buffer high-water mark (bounded by open-op concurrency).
+    pub buffered_peak: usize,
+    /// Transfers currently behind the Algorithm 2 frontier.
+    pub frontier_now: usize,
+    /// Frontier-window high-water mark.
+    pub frontier_peak: usize,
+    /// Per-device pending work (pairs + transfers + buffered kernels).
+    pub device_pending_now: usize,
+    /// Per-device pending high-water mark.
+    pub device_pending_peak: usize,
+}
+
+/// Reorder-buffer entry, min-ordered by `(start, id, family)` — the same
+/// key the trace log's hydration sorts by (families tie arbitrarily;
+/// the detectors only compare spans across families).
+#[derive(Debug)]
+enum BufEntry {
+    Op(DataOpEvent),
+    Kernel(TargetEvent),
+}
+
+impl BufEntry {
+    fn key(&self) -> (SimTime, Seq, u8) {
+        match self {
+            BufEntry::Op(e) => (e.span.start, e.id.0, 0),
+            BufEntry::Kernel(k) => (k.span.start, k.id.0, 1),
+        }
+    }
+}
+
+impl PartialEq for BufEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for BufEntry {}
+impl PartialOrd for BufEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for BufEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// One reception queue — the streaming twin of the fused engine's
+/// `RxSlot`, holding sequence numbers instead of borrowed events.
+#[derive(Debug)]
+struct Slot {
+    hash: HashVal,
+    dest: DeviceId,
+    /// Receptions, chronological (append order behind the watermark).
+    events: Vec<Seq>,
+    /// Confirmed-consumed prefix (Algorithm 2 dequeues).
+    head: u32,
+}
+
+/// A hashed transfer whose round-trip outcome is not yet determined.
+#[derive(Debug)]
+struct FrontierTx {
+    seq: Seq,
+    hash: HashVal,
+    src: DeviceId,
+    /// Slot index of the transfer's own `(hash, dest)` queue.
+    dest_slot: u32,
+}
+
+#[derive(Debug)]
+struct TripGroup {
+    hash: HashVal,
+    src: DeviceId,
+    dest: DeviceId,
+    trips: Vec<(Seq, Seq)>,
+}
+
+/// The streaming twin of an alloc/delete pairing.
+#[derive(Debug)]
+struct StreamPair {
+    alloc_seq: Seq,
+    alloc_start: SimTime,
+    delete_seq: Option<Seq>,
+    /// Valid iff `delete_seq.is_some()`.
+    delete_end: SimTime,
+}
+
+#[derive(Debug)]
+struct ReallocGroup {
+    host_addr: u64,
+    device: DeviceId,
+    bytes: u64,
+    pair_ixs: Vec<u32>,
+}
+
+/// A buffered kernel span (per-device queues for Algorithms 4/5).
+#[derive(Clone, Copy, Debug)]
+struct KSpan {
+    start: SimTime,
+    end: SimTime,
+}
+
+/// A transfer awaiting its device's next kernel (Algorithm 5).
+#[derive(Clone, Copy, Debug)]
+struct PendingTx {
+    seq: Seq,
+    start: SimTime,
+    src_addr: u64,
+}
+
+/// Per-target-device state machines for Algorithms 4 and 5.
+#[derive(Debug, Default)]
+struct DeviceMachine {
+    /// Algorithm 4's kernel cursor: kernels not yet passed.
+    kq4: VecDeque<KSpan>,
+    /// Pairings awaiting a decision, allocation order.
+    pending_pairs: VecDeque<u32>,
+    /// Decided-unused pairings, allocation order.
+    unused: Vec<u32>,
+    /// Algorithm 5's kernel cursor.
+    kq5: VecDeque<KSpan>,
+    /// Transfers awaiting the device's next kernel.
+    pending_tx: VecDeque<PendingTx>,
+    /// Source address → last transfer writing from it (candidates).
+    candidates: FnvHashMap<u64, Seq>,
+    /// Decided-unused transfers, reference emission order.
+    unused_tx: Vec<(Seq, UnusedTransferReason)>,
+}
+
+impl DeviceMachine {
+    fn pending_len(&self) -> usize {
+        self.kq4.len() + self.kq5.len() + self.pending_pairs.len() + self.pending_tx.len()
+    }
+}
+
+/// The online detection engine. Push events (in completion order),
+/// advance the watermark as open operations retire, and finalize against
+/// the hydrated trace to obtain findings byte-identical to
+/// [`Findings::detect`].
+#[derive(Debug, Default)]
+pub struct StreamingEngine {
+    /// Fixed device count, or `None` to grow on demand.
+    fixed_devices: Option<u32>,
+    /// Reorder buffer (min-heap on `(start, id)`).
+    buffer: BinaryHeap<Reverse<BufEntry>>,
+    /// Everything at or below this start time has been released.
+    watermark: SimTime,
+    /// Last released key, for the monotonicity debug check.
+    last_released: Option<(SimTime, Seq, u8)>,
+
+    /// Reception queues in first-enqueue order (Algorithms 1/2).
+    slots: Vec<Slot>,
+    slot_index: FnvHashMap<(HashVal, DeviceId), u32>,
+    /// Algorithm 2's bounded lookahead window.
+    frontier: VecDeque<FrontierTx>,
+    trip_groups: Vec<TripGroup>,
+    trip_index: FnvHashMap<(HashVal, DeviceId, DeviceId), u32>,
+
+    /// Alloc/delete pairings in allocation order (Algorithms 3/4).
+    pairs: Vec<StreamPair>,
+    open_pairs: FnvHashMap<(DeviceId, u64), u32>,
+    realloc_groups: Vec<ReallocGroup>,
+    realloc_index: FnvHashMap<(u64, DeviceId, u64), u32>,
+
+    /// Per-target-device machines (Algorithms 4/5), index = device.
+    machines: Vec<DeviceMachine>,
+
+    /// Live findings not yet drained.
+    emitted: Vec<StreamFinding>,
+    counts: IssueCounts,
+    out_of_range: OutOfRangeEvents,
+    stats: StreamBufferStats,
+    finalized: bool,
+}
+
+impl StreamingEngine {
+    /// A new engine.
+    pub fn new(cfg: StreamConfig) -> StreamingEngine {
+        StreamingEngine {
+            fixed_devices: cfg.num_devices,
+            ..Default::default()
+        }
+    }
+
+    /// Buffer an incoming data operation (any completion order).
+    pub fn push_data_op(&mut self, e: DataOpEvent) {
+        debug_assert!(!self.finalized, "push after finalize");
+        self.buffer.push(Reverse(BufEntry::Op(e)));
+        self.note_buffered();
+    }
+
+    /// Buffer an incoming kernel execution. Non-kernel target constructs
+    /// are ignored (no detector consumes them).
+    pub fn push_target(&mut self, k: TargetEvent) {
+        debug_assert!(!self.finalized, "push after finalize");
+        if k.kind != TargetKind::Kernel {
+            return;
+        }
+        self.buffer.push(Reverse(BufEntry::Kernel(k)));
+        self.note_buffered();
+    }
+
+    /// Release every buffered event whose start is at or below
+    /// `watermark` into the detection state machines, in chronological
+    /// `(start, id)` order. The caller guarantees no future event can
+    /// start at or below the watermark (see [`odp_ompt::StreamClock`]).
+    pub fn advance_watermark(&mut self, watermark: SimTime) {
+        if watermark > self.watermark {
+            self.watermark = watermark;
+        }
+        while let Some(Reverse(entry)) = self.buffer.peek() {
+            if entry.key().0 > self.watermark {
+                break;
+            }
+            let Reverse(entry) = self.buffer.pop().expect("peeked");
+            debug_assert!(
+                self.last_released.is_none_or(|last| last <= entry.key()),
+                "watermark violated: event released out of order"
+            );
+            self.last_released = Some(entry.key());
+            match entry {
+                BufEntry::Op(e) => self.ingest_op(&e),
+                BufEntry::Kernel(k) => self.ingest_kernel(&k),
+            }
+        }
+        self.note_peaks();
+    }
+
+    /// Issue counts of everything emitted so far. After finalize this
+    /// equals the materialized findings' [`Findings::counts`].
+    pub fn live_counts(&self) -> IssueCounts {
+        self.counts
+    }
+
+    /// Drain the findings emitted since the last call.
+    pub fn take_findings(&mut self) -> Vec<StreamFinding> {
+        std::mem::take(&mut self.emitted)
+    }
+
+    /// Events excluded from Algorithms 4/5 because they named devices at
+    /// or beyond the configured count (fixed-device mode only).
+    pub fn out_of_range(&self) -> OutOfRangeEvents {
+        self.out_of_range
+    }
+
+    /// Current and peak sizes of the engine's bounded windows.
+    pub fn buffer_stats(&self) -> StreamBufferStats {
+        let mut s = self.stats;
+        s.buffered_now = self.buffer.len();
+        s.frontier_now = self.frontier.len();
+        s.device_pending_now = self.machines.iter().map(|m| m.pending_len()).sum();
+        s
+    }
+
+    /// Run every state machine to completion and materialize owned
+    /// findings from the trace's hydrated view — byte-identical to
+    /// [`Findings::detect`] over the same events. Call once, after the
+    /// monitored program finished; `view` must hydrate the same trace
+    /// the engine observed.
+    pub fn finalize(&mut self, view: &EventView<'_>) -> Findings {
+        assert!(!self.finalized, "StreamingEngine::finalize called twice");
+        self.finalized = true;
+
+        // Nothing is open anymore: release the whole reorder buffer.
+        self.watermark = SimTime(u64::MAX);
+        while let Some(Reverse(entry)) = self.buffer.pop() {
+            debug_assert!(self.last_released.is_none_or(|last| last <= entry.key()));
+            self.last_released = Some(entry.key());
+            match entry {
+                BufEntry::Op(e) => self.ingest_op(&e),
+                BufEntry::Kernel(k) => self.ingest_kernel(&k),
+            }
+        }
+        self.note_peaks();
+
+        // Algorithm 2: the reception queues are final; every transfer
+        // still behind the frontier resolves against them (re-sends that
+        // never happened are now provably never happening).
+        while let Some(tx) = self.frontier.pop_front() {
+            self.try_complete_trip(&tx);
+        }
+
+        // Algorithms 4/5: no kernel will ever arrive; drain the pending
+        // queues with the end-of-trace rules.
+        for dev in 0..self.machines.len() {
+            self.alg4_advance(dev, true);
+            while let Some(tx) = self.machines[dev].pending_tx.pop_front() {
+                self.machines[dev]
+                    .unused_tx
+                    .push((tx.seq, UnusedTransferReason::AfterLastKernel));
+                self.emit(StreamFinding::UnusedTransfer {
+                    device: DeviceId::target(dev as u32),
+                    event: tx.seq,
+                    reason: UnusedTransferReason::AfterLastKernel,
+                });
+                self.counts.ut += 1;
+            }
+        }
+
+        self.materialize(view)
+    }
+
+    // ---- event routing --------------------------------------------------
+
+    fn ingest_op(&mut self, e: &DataOpEvent) {
+        if e.is_transfer() {
+            if let Some(hash) = e.hash {
+                self.on_hashed_transfer(e, hash);
+            }
+            if let Some(ix) = e.dest_device.target_index() {
+                if self.in_range(ix) {
+                    self.alg5_on_transfer(ix, e);
+                } else {
+                    self.out_of_range.transfers += 1;
+                }
+            }
+        } else if e.is_alloc() {
+            self.on_alloc(e);
+        } else if e.is_delete() {
+            self.on_delete(e);
+        }
+    }
+
+    fn ingest_kernel(&mut self, k: &TargetEvent) {
+        let Some(ix) = k.device.target_index() else {
+            return;
+        };
+        if !self.in_range(ix) {
+            self.out_of_range.kernels += 1;
+            return;
+        }
+        let span = KSpan {
+            start: k.span.start,
+            end: k.span.end,
+        };
+        let m = self.machine(ix);
+        m.kq4.push_back(span);
+        m.kq5.push_back(span);
+        self.alg4_advance(ix, false);
+        self.alg5_on_kernel(ix);
+    }
+
+    fn in_range(&self, ix: usize) -> bool {
+        match self.fixed_devices {
+            Some(nd) => ix < nd as usize,
+            None => true,
+        }
+    }
+
+    fn machine(&mut self, ix: usize) -> &mut DeviceMachine {
+        if ix >= self.machines.len() {
+            self.machines.resize_with(ix + 1, DeviceMachine::default);
+        }
+        &mut self.machines[ix]
+    }
+
+    // ---- Algorithms 1 + 2 ----------------------------------------------
+
+    fn on_hashed_transfer(&mut self, e: &DataOpEvent, hash: HashVal) {
+        // Enqueue into the (hash, dest) reception queue — Algorithm 1's
+        // group membership is final immediately.
+        let slot_ix = *self
+            .slot_index
+            .entry((hash, e.dest_device))
+            .or_insert_with(|| {
+                self.slots.push(Slot {
+                    hash,
+                    dest: e.dest_device,
+                    events: Vec::new(),
+                    head: 0,
+                });
+                (self.slots.len() - 1) as u32
+            });
+        let slot = &mut self.slots[slot_ix as usize];
+        slot.events.push(e.id.0);
+        if slot.events.len() >= 2 {
+            let (first, occurrence) = (slot.events[0], slot.events.len() as u32);
+            self.emit(StreamFinding::DuplicateTransfer {
+                hash,
+                dest_device: e.dest_device,
+                event: e.id.0,
+                first,
+                occurrence,
+            });
+            self.counts.dd += 1;
+        }
+
+        // Algorithm 2: the new reception may retire stalled transfers at
+        // the front of the frontier, then this transfer joins the back.
+        self.frontier.push_back(FrontierTx {
+            seq: e.id.0,
+            hash,
+            src: e.src_device,
+            dest_slot: slot_ix,
+        });
+        self.stats.frontier_peak = self.stats.frontier_peak.max(self.frontier.len());
+        self.alg2_advance_frontier();
+    }
+
+    /// Retire frontier transfers while their outcome is determined by
+    /// events already seen. The front transfer stalls when its source
+    /// slot has no unconsumed reception *yet* — a future re-send could
+    /// still complete the trip, so nothing behind it may advance (the
+    /// pending dequeue could change every later queue read).
+    fn alg2_advance_frontier(&mut self) {
+        while let Some(front) = self.frontier.front() {
+            let undecided = match self.slot_index.get(&(front.hash, front.src)) {
+                None => true,
+                Some(&sx) => {
+                    let s = &self.slots[sx as usize];
+                    (s.head as usize) >= s.events.len()
+                }
+            };
+            if undecided {
+                break;
+            }
+            let tx = self.frontier.pop_front().expect("peeked");
+            self.try_complete_trip(&tx);
+        }
+    }
+
+    /// The reference sweep body for one transfer: completes a round trip
+    /// if its source device holds an unconsumed reception of the same
+    /// content, dequeuing the transfer's own reception entry so it can
+    /// never complete a second trip.
+    fn try_complete_trip(&mut self, tx: &FrontierTx) {
+        let Some(&sx) = self.slot_index.get(&(tx.hash, tx.src)) else {
+            return;
+        };
+        let rx = {
+            let s = &self.slots[sx as usize];
+            if (s.head as usize) >= s.events.len() {
+                return; // the data never returns: not a round trip
+            }
+            s.events[s.head as usize]
+        };
+        let dest = self.slots[tx.dest_slot as usize].dest;
+        let key = (tx.hash, tx.src, dest);
+        let gx = *self.trip_index.entry(key).or_insert_with(|| {
+            self.trip_groups.push(TripGroup {
+                hash: tx.hash,
+                src: tx.src,
+                dest,
+                trips: Vec::new(),
+            });
+            (self.trip_groups.len() - 1) as u32
+        });
+        self.trip_groups[gx as usize].trips.push((tx.seq, rx));
+        // Consume the front of the transfer's own destination queue.
+        self.slots[tx.dest_slot as usize].head += 1;
+        self.emit(StreamFinding::RoundTrip {
+            hash: tx.hash,
+            src_device: tx.src,
+            dest_device: dest,
+            tx: tx.seq,
+            rx,
+        });
+        self.counts.rt += 1;
+    }
+
+    // ---- Algorithms 3 + 4 ----------------------------------------------
+
+    fn on_alloc(&mut self, e: &DataOpEvent) {
+        let pair_ix = self.pairs.len() as u32;
+        // A new allocation at an address shadows any stale open entry
+        // (same contract as `alloc_delete_pairs`).
+        self.open_pairs
+            .insert((e.dest_device, e.dest_addr), pair_ix);
+        self.pairs.push(StreamPair {
+            alloc_seq: e.id.0,
+            alloc_start: e.span.start,
+            delete_seq: None,
+            delete_end: SimTime(0),
+        });
+
+        // Algorithm 3: group membership is final at allocation time.
+        let key = (e.src_addr, e.dest_device, e.bytes);
+        let gx = *self.realloc_index.entry(key).or_insert_with(|| {
+            self.realloc_groups.push(ReallocGroup {
+                host_addr: e.src_addr,
+                device: e.dest_device,
+                bytes: e.bytes,
+                pair_ixs: Vec::new(),
+            });
+            (self.realloc_groups.len() - 1) as u32
+        });
+        let g = &mut self.realloc_groups[gx as usize];
+        g.pair_ixs.push(pair_ix);
+        if g.pair_ixs.len() >= 2 {
+            let occurrence = g.pair_ixs.len() as u32;
+            self.emit(StreamFinding::RepeatedAlloc {
+                host_addr: e.src_addr,
+                device: e.dest_device,
+                bytes: e.bytes,
+                alloc: e.id.0,
+                occurrence,
+            });
+            self.counts.ra += 1;
+        }
+
+        // Algorithm 4: the pairing waits for a kernel able to prove use.
+        if let Some(ix) = e.dest_device.target_index() {
+            if self.in_range(ix) {
+                self.machine(ix).pending_pairs.push_back(pair_ix);
+                self.alg4_advance(ix, false);
+            } else {
+                self.out_of_range.allocs += 1;
+            }
+        }
+    }
+
+    fn on_delete(&mut self, e: &DataOpEvent) {
+        if let Some(pix) = self.open_pairs.remove(&(e.dest_device, e.dest_addr)) {
+            let p = &mut self.pairs[pix as usize];
+            p.delete_seq = Some(e.id.0);
+            p.delete_end = e.span.end;
+        }
+        // A delete with no open alloc is a runtime anomaly; ignored.
+    }
+
+    /// Decide pending pairings in allocation order. The front pairing is
+    /// undecidable only while no kernel with `end >= alloc.start` has
+    /// arrived on its device; any kernel arriving later starts at or
+    /// after the allocation (chronological release), so "no delete yet"
+    /// already proves the allocation's lifetime reaches that kernel.
+    /// With `at_end` (finalize) an exhausted kernel cursor is no longer
+    /// a stall but the reference's "no kernel ever used it" verdict.
+    fn alg4_advance(&mut self, dev: usize, at_end: bool) {
+        loop {
+            let Some(&pix) = self.machines[dev].pending_pairs.front() else {
+                return;
+            };
+            let p = &self.pairs[pix as usize];
+            let (alloc_start, deleted, delete_end) =
+                (p.alloc_start, p.delete_seq.is_some(), p.delete_end);
+            let m = &mut self.machines[dev];
+            while m.kq4.front().is_some_and(|k| k.end < alloc_start) {
+                m.kq4.pop_front();
+            }
+            let unused = match m.kq4.front() {
+                Some(k) => deleted && k.start > delete_end,
+                None if at_end => true,
+                None => return, // wait for the device's next kernel
+            };
+            m.pending_pairs.pop_front();
+            if unused {
+                m.unused.push(pix);
+                self.emit_unused_alloc(dev, pix);
+            }
+        }
+    }
+
+    fn emit_unused_alloc(&mut self, dev: usize, pix: u32) {
+        let p = &self.pairs[pix as usize];
+        let finding = StreamFinding::UnusedAlloc {
+            device: DeviceId::target(dev as u32),
+            alloc: p.alloc_seq,
+            delete: p.delete_seq,
+        };
+        self.emit(finding);
+        self.counts.ua += 1;
+    }
+
+    // ---- Algorithm 5 ---------------------------------------------------
+
+    fn alg5_on_transfer(&mut self, dev: usize, e: &DataOpEvent) {
+        let tx = PendingTx {
+            seq: e.id.0,
+            start: e.span.start,
+            src_addr: e.src_addr,
+        };
+        self.machine(dev); // ensure the device table covers `dev`
+        let m = &mut self.machines[dev];
+        if !m.pending_tx.is_empty() {
+            m.pending_tx.push_back(tx); // preserve order behind the stall
+            return;
+        }
+        if let Some(stalled) =
+            Self::alg5_process_tx(m, tx, dev, &mut self.emitted, &mut self.counts)
+        {
+            m.pending_tx.push_back(stalled); // queue was empty: order holds
+        }
+    }
+
+    /// The reference per-transfer step: advance the kernel cursor
+    /// (clearing candidates per passed kernel), then classify against
+    /// the next kernel — or return the transfer to stall until one
+    /// arrives.
+    fn alg5_process_tx(
+        m: &mut DeviceMachine,
+        tx: PendingTx,
+        dev: usize,
+        emitted: &mut Vec<StreamFinding>,
+        counts: &mut IssueCounts,
+    ) -> Option<PendingTx> {
+        while m.kq5.front().is_some_and(|k| k.end < tx.start) {
+            m.kq5.pop_front();
+            m.candidates.clear();
+        }
+        match m.kq5.front() {
+            None => return Some(tx),
+            Some(k) if k.start > tx.start => {
+                if let Some(&cand) = m.candidates.get(&tx.src_addr) {
+                    m.unused_tx
+                        .push((cand, UnusedTransferReason::OverwrittenBeforeUse));
+                    emitted.push(StreamFinding::UnusedTransfer {
+                        device: DeviceId::target(dev as u32),
+                        event: cand,
+                        reason: UnusedTransferReason::OverwrittenBeforeUse,
+                    });
+                    counts.ut += 1;
+                }
+                m.candidates.insert(tx.src_addr, tx.seq);
+            }
+            Some(_) => {
+                // Overlaps a running kernel (asynchronous mapping):
+                // conservatively forget all candidates.
+                m.candidates.clear();
+            }
+        }
+        None
+    }
+
+    /// A kernel arrived: transfers that stalled on an empty cursor can
+    /// now classify (the new kernel starts at or after each of them, so
+    /// it is exactly the reference's `kernels[idx]`).
+    fn alg5_on_kernel(&mut self, dev: usize) {
+        let m = &mut self.machines[dev];
+        while !m.pending_tx.is_empty() && !m.kq5.is_empty() {
+            let tx = m.pending_tx.pop_front().expect("checked");
+            if let Some(stalled) =
+                Self::alg5_process_tx(m, tx, dev, &mut self.emitted, &mut self.counts)
+            {
+                m.pending_tx.push_front(stalled); // re-stalled: keep order
+                break;
+            }
+        }
+    }
+
+    // ---- bookkeeping & materialization ----------------------------------
+
+    fn emit(&mut self, f: StreamFinding) {
+        self.emitted.push(f);
+    }
+
+    fn note_buffered(&mut self) {
+        self.stats.buffered_peak = self.stats.buffered_peak.max(self.buffer.len());
+    }
+
+    fn note_peaks(&mut self) {
+        let pending: usize = self.machines.iter().map(|m| m.pending_len()).sum();
+        self.stats.device_pending_peak = self.stats.device_pending_peak.max(pending);
+        self.stats.frontier_peak = self.stats.frontier_peak.max(self.frontier.len());
+    }
+
+    /// Materialize owned findings from the hydrated view, in exactly the
+    /// orders the fused engine (and the standalone passes) produce.
+    fn materialize(&self, view: &EventView<'_>) -> Findings {
+        let mut by_seq: FnvHashMap<Seq, u32> =
+            FnvHashMap::with_capacity_and_hasher(view.data_ops.len(), Default::default());
+        for (ix, e) in view.data_ops.iter().enumerate() {
+            by_seq.insert(e.id.0, ix as u32);
+        }
+        let ev = |seq: Seq| -> DataOpEvent {
+            view.data_ops[*by_seq
+                .get(&seq)
+                .expect("streamed event missing from the finalize view")
+                as usize]
+                .clone()
+        };
+        let pair = |p: &StreamPair| AllocDeletePair {
+            alloc: ev(p.alloc_seq),
+            delete: p.delete_seq.map(&ev),
+        };
+
+        Findings {
+            duplicates: self
+                .slots
+                .iter()
+                .filter(|s| s.events.len() >= 2)
+                .map(|s| DuplicateTransferGroup {
+                    hash: s.hash,
+                    dest_device: s.dest,
+                    events: s.events.iter().map(|&q| ev(q)).collect(),
+                })
+                .collect(),
+            round_trips: self
+                .trip_groups
+                .iter()
+                .map(|g| RoundTripGroup {
+                    hash: g.hash,
+                    src_device: g.src,
+                    dest_device: g.dest,
+                    trips: g
+                        .trips
+                        .iter()
+                        .map(|&(tx, rx)| RoundTrip {
+                            tx: ev(tx),
+                            rx: ev(rx),
+                        })
+                        .collect(),
+                })
+                .collect(),
+            repeated_allocs: self
+                .realloc_groups
+                .iter()
+                .filter(|g| g.pair_ixs.len() >= 2)
+                .map(|g| RepeatedAllocGroup {
+                    host_addr: g.host_addr,
+                    device: g.device,
+                    bytes: g.bytes,
+                    pairs: g
+                        .pair_ixs
+                        .iter()
+                        .map(|&px| pair(&self.pairs[px as usize]))
+                        .collect(),
+                })
+                .collect(),
+            unused_allocs: self
+                .machines
+                .iter()
+                .flat_map(|m| m.unused.iter())
+                .map(|&px| UnusedAlloc {
+                    pair: pair(&self.pairs[px as usize]),
+                })
+                .collect(),
+            unused_transfers: self
+                .machines
+                .iter()
+                .flat_map(|m| m.unused_tx.iter())
+                .map(|&(seq, reason)| UnusedTransfer {
+                    event: ev(seq),
+                    reason,
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::testutil::EventFactory;
+    use odp_model::TimeSpan;
+
+    /// Feed events in chronological order with a trailing watermark.
+    fn feed_chronological(
+        engine: &mut StreamingEngine,
+        ops: &[DataOpEvent],
+        kernels: &[TargetEvent],
+    ) {
+        let mut merged: Vec<BufEntry> = ops.iter().cloned().map(BufEntry::Op).collect();
+        merged.extend(kernels.iter().cloned().map(BufEntry::Kernel));
+        merged.sort_by_key(|e| e.key());
+        for entry in merged {
+            let end = match &entry {
+                BufEntry::Op(e) => e.span.end,
+                BufEntry::Kernel(k) => k.span.end,
+            };
+            match entry {
+                BufEntry::Op(e) => engine.push_data_op(e),
+                BufEntry::Kernel(k) => engine.push_target(k),
+            }
+            engine.advance_watermark(end);
+        }
+    }
+
+    #[test]
+    fn streaming_matches_postmortem_on_mixed_trace() {
+        let mut f = EventFactory::new();
+        let kernels = vec![f.kernel(30, 60, 0), f.kernel(130, 160, 0)];
+        let ops = vec![
+            f.alloc(0, 0, 0x1000, 0xd000, 64),
+            f.h2d(10, 0, 0x1000, 7, 64),
+            f.h2d(20, 0, 0x1000, 7, 64), // duplicate
+            f.d2h(70, 0, 0x1000, 7, 64), // round trip back to host
+            f.delete(80, 0, 0x1000, 0xd000, 64),
+            f.alloc(90, 0, 0x1000, 0xd000, 64), // repeated alloc
+            f.h2d(100, 0, 0x1000, 9, 64),
+            f.delete(170, 0, 0x1000, 0xd000, 64),
+            f.h2d(180, 0, 0x2000, 11, 64), // after last kernel
+        ];
+        let mut engine = StreamingEngine::default();
+        feed_chronological(&mut engine, &ops, &kernels);
+        let live = engine.take_findings();
+        assert!(!live.is_empty(), "findings must be emitted mid-stream");
+        let view = EventView::new(&ops, &kernels, 1);
+        let streamed = engine.finalize(&view);
+        let postmortem = Findings::detect(&ops, &kernels, 1);
+        assert_eq!(
+            serde_json::to_string(&streamed).unwrap(),
+            serde_json::to_string(&postmortem).unwrap()
+        );
+        assert_eq!(engine.live_counts(), postmortem.counts());
+    }
+
+    #[test]
+    fn out_of_order_completion_is_reordered_by_watermark() {
+        // Op A spans 0..200 (completes last); op B spans 50..60 and a
+        // kernel spans 70..80 — both complete while A is open. Arrival
+        // order is B, kernel, A; chronological order is A, B, kernel.
+        let mut f = EventFactory::new();
+        let mut a = f.h2d(0, 0, 0x1000, 5, 64);
+        a.span = TimeSpan::new(SimTime(0), SimTime(200));
+        let mut b = f.h2d(50, 0, 0x1000, 5, 64); // duplicate of A's content
+        b.span = TimeSpan::new(SimTime(50), SimTime(60));
+        let kernel = f.kernel(70, 80, 0);
+
+        let mut engine = StreamingEngine::default();
+        // B completes at 60; A (begun at 0) is still open → watermark 0.
+        engine.push_data_op(b.clone());
+        engine.advance_watermark(SimTime(0));
+        assert_eq!(engine.buffer_stats().buffered_now, 1, "B must wait on A");
+        engine.push_target(kernel.clone());
+        engine.advance_watermark(SimTime(0));
+        // A completes: everything drains in (start, id) order.
+        engine.push_data_op(a.clone());
+        engine.advance_watermark(SimTime(200));
+        assert_eq!(engine.buffer_stats().buffered_now, 0);
+
+        let ops = {
+            let mut v = vec![a, b];
+            v.sort_by_key(|e| (e.span.start, e.id));
+            v
+        };
+        let kernels = vec![kernel];
+        let view = EventView::new(&ops, &kernels, 1);
+        let streamed = engine.finalize(&view);
+        let postmortem = Findings::detect(&ops, &kernels, 1);
+        assert_eq!(
+            serde_json::to_string(&streamed).unwrap(),
+            serde_json::to_string(&postmortem).unwrap()
+        );
+        assert_eq!(streamed.counts().dd, 1);
+    }
+
+    #[test]
+    fn round_trip_retires_when_the_resend_arrives() {
+        let mut f = EventFactory::new();
+        let ops = vec![f.h2d(0, 0, 0x1000, 7, 256), f.d2h(50, 0, 0x1000, 7, 256)];
+        let mut engine = StreamingEngine::default();
+
+        engine.push_data_op(ops[0].clone());
+        engine.advance_watermark(SimTime(10));
+        assert!(
+            engine.take_findings().is_empty(),
+            "outbound leg alone is provisional"
+        );
+        assert_eq!(engine.buffer_stats().frontier_now, 1);
+
+        engine.push_data_op(ops[1].clone());
+        engine.advance_watermark(SimTime(60));
+        let live = engine.take_findings();
+        assert!(
+            live.iter()
+                .any(|l| matches!(l, StreamFinding::RoundTrip { .. })),
+            "trip must retire as soon as the reception lands: {live:?}"
+        );
+
+        let view = EventView::new(&ops, &[], 1);
+        let streamed = engine.finalize(&view);
+        assert_eq!(streamed.counts().rt, 1);
+    }
+
+    #[test]
+    fn steady_state_windows_stay_bounded() {
+        // Iterative ping-pong: the same content travels out and back each
+        // iteration, kernels keep the Algorithm 4/5 cursors moving. Every
+        // window's high-water mark must be independent of trace length.
+        fn run(iters: u64) -> StreamBufferStats {
+            let mut engine = StreamingEngine::default();
+            let mut f = EventFactory::new();
+            for i in 0..iters {
+                let t = i * 100;
+                let mut ops = vec![
+                    f.alloc(t, 0, 0x1000, 0xd000, 64),
+                    f.h2d(t + 10, 0, 0x1000, 7, 64),
+                    f.d2h(t + 70, 0, 0x1000, 7, 64),
+                    f.delete(t + 80, 0, 0x1000, 0xd000, 64),
+                ];
+                let kernel = f.kernel(t + 30, t + 60, 0);
+                for op in ops.drain(..2) {
+                    engine.push_data_op(op);
+                }
+                engine.push_target(kernel);
+                for op in ops {
+                    engine.push_data_op(op);
+                }
+                engine.advance_watermark(SimTime(t + 90));
+            }
+            engine.buffer_stats()
+        }
+        let small = run(50);
+        let large = run(500);
+        assert_eq!(
+            small.frontier_peak, large.frontier_peak,
+            "Algorithm 2 window must not grow with trace length"
+        );
+        assert_eq!(small.buffered_peak, large.buffered_peak);
+        assert_eq!(small.device_pending_peak, large.device_pending_peak);
+        assert!(large.frontier_peak <= 4, "{large:?}");
+        assert!(large.device_pending_peak <= 8, "{large:?}");
+    }
+
+    #[test]
+    fn fixed_device_mode_counts_out_of_range_events() {
+        let mut f = EventFactory::new();
+        let kernels = vec![f.kernel(10, 20, 3)];
+        let ops = vec![
+            f.alloc(0, 3, 0x1000, 0xd000, 64),
+            f.h2d(5, 3, 0x1000, 7, 64),
+        ];
+        let mut engine = StreamingEngine::new(StreamConfig {
+            num_devices: Some(1),
+        });
+        feed_chronological(&mut engine, &ops, &kernels);
+        let view = EventView::new(&ops, &kernels, 1);
+        let streamed = engine.finalize(&view);
+        let postmortem = Findings::detect(&ops, &kernels, 1);
+        assert_eq!(
+            serde_json::to_string(&streamed).unwrap(),
+            serde_json::to_string(&postmortem).unwrap()
+        );
+        assert_eq!(engine.out_of_range(), view.out_of_range());
+        assert_eq!(engine.out_of_range().total(), 3);
+        assert!(view
+            .out_of_range()
+            .warning(1)
+            .is_some_and(|w| w.contains("Algorithms 4/5")));
+    }
+
+    #[test]
+    fn live_findings_reference_real_events() {
+        let mut f = EventFactory::new();
+        let ops = vec![f.h2d(0, 0, 0x1000, 7, 64), f.h2d(20, 0, 0x1000, 7, 64)];
+        let mut engine = StreamingEngine::default();
+        feed_chronological(&mut engine, &ops, &[]);
+        let live = engine.take_findings();
+        match live.as_slice() {
+            [StreamFinding::DuplicateTransfer {
+                event,
+                first,
+                occurrence,
+                ..
+            }] => {
+                assert_eq!(*first, ops[0].id.0);
+                assert_eq!(*event, ops[1].id.0);
+                assert_eq!(*occurrence, 2);
+            }
+            other => panic!("expected one duplicate finding, got {other:?}"),
+        }
+    }
+}

@@ -1,7 +1,8 @@
-//! Report rendering — the §A.6 human-readable tables plus JSON export.
+//! Report rendering — the §A.6 human-readable tables plus JSON export,
+//! and the incremental sink for streaming-mode findings.
 
 use crate::attrib::DebugInfo;
-use crate::detect::{Findings, IssueCounts};
+use crate::detect::{Findings, IssueCounts, StreamFinding};
 use crate::predict::Prediction;
 use odp_hash::fnv::FnvHashMap;
 use odp_model::{CodePtr, DataOpEvent, SimDuration};
@@ -156,6 +157,89 @@ pub(crate) fn build_sections(
     sections
 }
 
+/// Consumer of findings emitted while the program is still running
+/// (streaming mode). Implementations can render console lines, steer
+/// live mapping decisions, or forward findings over IPC — the engine
+/// only guarantees each finding is final (or provisional-reconciled at
+/// finalize, for Algorithm 2's lookahead) when delivered.
+pub trait FindingsSink {
+    /// One finding became final.
+    fn on_finding(&mut self, finding: &StreamFinding);
+}
+
+/// Render one live finding as a console line (the streaming counterpart
+/// of the §A.6 tables; events are identified by log sequence number).
+pub fn render_stream_finding(f: &StreamFinding) -> String {
+    match f {
+        StreamFinding::DuplicateTransfer {
+            hash,
+            dest_device,
+            event,
+            first,
+            occurrence,
+        } => format!(
+            "stream: duplicate transfer (occurrence {occurrence}) of content {hash} \
+             to {dest_device} — event #{event} repeats #{first}"
+        ),
+        StreamFinding::RoundTrip {
+            hash,
+            src_device,
+            dest_device,
+            tx,
+            rx,
+        } => format!(
+            "stream: round trip of content {hash} from {src_device} via {dest_device} \
+             — outbound #{tx}, returned by #{rx}"
+        ),
+        StreamFinding::RepeatedAlloc {
+            host_addr,
+            device,
+            bytes,
+            alloc,
+            occurrence,
+        } => format!(
+            "stream: repeated allocation (occurrence {occurrence}) of 0x{host_addr:x} \
+             ({bytes} B) on {device} — event #{alloc}"
+        ),
+        StreamFinding::UnusedAlloc {
+            device,
+            alloc,
+            delete,
+        } => match delete {
+            Some(delete) => format!(
+                "stream: unused allocation on {device} — event #{alloc} (freed by #{delete})"
+            ),
+            None => format!("stream: unused allocation on {device} — event #{alloc} (never freed)"),
+        },
+        StreamFinding::UnusedTransfer {
+            device,
+            event,
+            reason,
+        } => {
+            let why = match reason {
+                crate::detect::UnusedTransferReason::AfterLastKernel => "after the last kernel",
+                crate::detect::UnusedTransferReason::OverwrittenBeforeUse => {
+                    "overwritten before any kernel ran"
+                }
+            };
+            format!("stream: unused transfer to {device} — event #{event} ({why})")
+        }
+    }
+}
+
+/// A [`FindingsSink`] that renders findings into console lines.
+#[derive(Debug, Default)]
+pub struct ConsoleStreamSink {
+    /// Rendered lines, delivery order.
+    pub lines: Vec<String>,
+}
+
+impl FindingsSink for ConsoleStreamSink {
+    fn on_finding(&mut self, finding: &StreamFinding) {
+        self.lines.push(render_stream_finding(finding));
+    }
+}
+
 fn human_bytes(b: u64) -> String {
     if b >= 1 << 30 {
         format!("{:.2} GiB", b as f64 / (1u64 << 30) as f64)
@@ -253,5 +337,55 @@ mod tests {
         assert_eq!(human_bytes(2048), "2.00 KiB");
         assert_eq!(human_bytes(3 << 20), "3.00 MiB");
         assert_eq!(human_bytes(5 << 30), "5.00 GiB");
+    }
+
+    #[test]
+    fn console_sink_renders_every_category() {
+        use crate::detect::UnusedTransferReason;
+        use odp_model::{DeviceId, HashVal};
+        let mut sink = ConsoleStreamSink::default();
+        let findings = [
+            StreamFinding::DuplicateTransfer {
+                hash: HashVal(0xab),
+                dest_device: DeviceId::target(0),
+                event: 5,
+                first: 2,
+                occurrence: 2,
+            },
+            StreamFinding::RoundTrip {
+                hash: HashVal(0xcd),
+                src_device: DeviceId::HOST,
+                dest_device: DeviceId::target(1),
+                tx: 3,
+                rx: 9,
+            },
+            StreamFinding::RepeatedAlloc {
+                host_addr: 0x1000,
+                device: DeviceId::target(0),
+                bytes: 4096,
+                alloc: 7,
+                occurrence: 3,
+            },
+            StreamFinding::UnusedAlloc {
+                device: DeviceId::target(0),
+                alloc: 11,
+                delete: None,
+            },
+            StreamFinding::UnusedTransfer {
+                device: DeviceId::target(0),
+                event: 13,
+                reason: UnusedTransferReason::AfterLastKernel,
+            },
+        ];
+        for f in &findings {
+            sink.on_finding(f);
+        }
+        assert_eq!(sink.lines.len(), findings.len());
+        assert!(sink.lines[0].contains("duplicate transfer"));
+        assert!(sink.lines[1].contains("round trip"));
+        assert!(sink.lines[2].contains("repeated allocation"));
+        assert!(sink.lines[3].contains("never freed"));
+        assert!(sink.lines[4].contains("after the last kernel"));
+        assert!(sink.lines.iter().all(|l| l.starts_with("stream: ")));
     }
 }

@@ -12,12 +12,13 @@
 //! finishes with the boxed tool.
 
 use crate::collision::CollisionAudit;
+use crate::detect::{IssueCounts, StreamConfig, StreamFinding, StreamingEngine};
 use odp_hash::fnv::FnvHashMap;
 use odp_hash::HashAlgoId;
 use odp_model::{DataOpKind, SimDuration, SimTime, TargetKind, TimeSpan};
 use odp_ompt::{
-    CallbackKind, DataOpCallback, DataOpType, Endpoint, RuntimeCapabilities, SubmitCallback,
-    TargetCallback, TargetConstructKind, Tool, ToolRegistration,
+    CallbackKind, DataOpCallback, DataOpType, Endpoint, RuntimeCapabilities, StreamClock,
+    SubmitCallback, TargetCallback, TargetConstructKind, Tool, ToolRegistration,
 };
 use odp_trace::TraceLog;
 use parking_lot::Mutex;
@@ -35,6 +36,11 @@ pub struct ToolConfig {
     pub quiet: bool,
     /// Verbose output (`-v`).
     pub verbose: bool,
+    /// Run the streaming detection engine online (`--stream`): every
+    /// callback additionally feeds the five §5 state machines, emitting
+    /// findings while the program runs. Post-run, the engine finalizes
+    /// to findings byte-identical to the post-mortem path.
+    pub stream: bool,
 }
 
 /// Wall-clock hashing meter (Table 4's "effective hash rate").
@@ -76,6 +82,10 @@ pub struct Collector {
     pub unusable: bool,
     /// Program finished (finalize ran).
     pub finalized: bool,
+    /// The online detection engine (`--stream` mode only). Lives behind
+    /// the same lock as the log, so the per-callback cost stays at one
+    /// lock acquisition.
+    pub stream: Option<StreamingEngine>,
 }
 
 /// Shared handle for extracting results after the run.
@@ -125,6 +135,35 @@ impl ToolHandle {
     pub fn collision_count(&self) -> usize {
         self.shared.lock().audit.collisions().len()
     }
+
+    /// Is the streaming engine attached?
+    pub fn streaming(&self) -> bool {
+        self.shared.lock().stream.is_some()
+    }
+
+    /// Drain the findings the streaming engine emitted since the last
+    /// call (empty when streaming is off). Safe to call while the
+    /// program runs — this is the live consumption point.
+    pub fn take_stream_findings(&self) -> Vec<StreamFinding> {
+        self.shared
+            .lock()
+            .stream
+            .as_mut()
+            .map(|e| e.take_findings())
+            .unwrap_or_default()
+    }
+
+    /// Issue counts of everything the streaming engine has emitted so
+    /// far (`None` when streaming is off).
+    pub fn stream_counts(&self) -> Option<IssueCounts> {
+        self.shared.lock().stream.as_ref().map(|e| e.live_counts())
+    }
+
+    /// Take the streaming engine out for finalization against the
+    /// extracted trace (leaves streaming detached).
+    pub fn take_stream_engine(&self) -> Option<StreamingEngine> {
+        self.shared.lock().stream.take()
+    }
 }
 
 /// The tool. Attach with `runtime.attach_tool(Box::new(tool))`.
@@ -136,6 +175,10 @@ pub struct OmpDataPerfTool {
     /// second time per event (the runtime drives all callbacks from one
     /// thread; the collector's copy exists for the handle's observers).
     degraded: bool,
+    /// Reorder watermark for the streaming engine: tracks open data ops
+    /// and kernel submits (the two event families the detectors
+    /// consume).
+    clock: StreamClock,
     /// host_op_id → begin time of the open data op.
     open_ops: FnvHashMap<u64, SimTime>,
     /// target_id → begin time of the open kernel submit.
@@ -149,6 +192,9 @@ impl OmpDataPerfTool {
     pub fn new(cfg: ToolConfig) -> (OmpDataPerfTool, ToolHandle) {
         let shared = Arc::new(Mutex::new(Collector {
             audit: CollisionAudit::new(cfg.collision_audit),
+            stream: cfg
+                .stream
+                .then(|| StreamingEngine::new(StreamConfig::default())),
             ..Default::default()
         }));
         let handle = ToolHandle {
@@ -159,6 +205,7 @@ impl OmpDataPerfTool {
                 cfg,
                 shared,
                 degraded: false,
+                clock: StreamClock::new(),
                 open_ops: FnvHashMap::default(),
                 open_submits: FnvHashMap::default(),
                 open_targets: FnvHashMap::default(),
@@ -314,7 +361,7 @@ impl Tool for OmpDataPerfTool {
                         None
                     },
                 );
-                c.log.record_data_op(
+                let event = c.log.record_data_op(
                     data_op_kind(cb.optype),
                     cb.src_device,
                     cb.dest_device,
@@ -325,15 +372,42 @@ impl Tool for OmpDataPerfTool {
                     TimeSpan::at(cb.time),
                     cb.codeptr_ra,
                 );
+                if self.cfg.stream {
+                    self.clock.observe(cb.time);
+                    let watermark = self.clock.watermark();
+                    if let Some(engine) = c.stream.as_mut() {
+                        engine.push_data_op(event);
+                        engine.advance_watermark(watermark);
+                    }
+                }
             }
             Endpoint::Begin => {
+                if self.cfg.stream {
+                    self.clock.open(cb.time);
+                }
                 self.open_ops.insert(cb.host_op_id, cb.time);
             }
             Endpoint::End => {
-                let start = self.open_ops.remove(&cb.host_op_id).unwrap_or(cb.time);
+                // Close the clock only for a *matched* Begin: an
+                // unmatched End's fallback time could coincide with a
+                // different op's open entry and corrupt the watermark.
+                let start = match self.open_ops.remove(&cb.host_op_id) {
+                    Some(begin) => {
+                        if self.cfg.stream {
+                            self.clock.close(begin, cb.time);
+                        }
+                        begin
+                    }
+                    None => {
+                        if self.cfg.stream {
+                            self.clock.observe(cb.time);
+                        }
+                        cb.time
+                    }
+                };
                 let mut c = self.shared.lock();
                 let hash = cb.payload.map(|p| self.hash_payload(&mut c, p));
-                c.log.record_data_op(
+                let event = c.log.record_data_op(
                     data_op_kind(cb.optype),
                     cb.src_device,
                     cb.dest_device,
@@ -344,6 +418,13 @@ impl Tool for OmpDataPerfTool {
                     TimeSpan::new(start, cb.time),
                     cb.codeptr_ra,
                 );
+                if self.cfg.stream {
+                    let watermark = self.clock.watermark();
+                    if let Some(engine) = c.stream.as_mut() {
+                        engine.push_data_op(event);
+                        engine.advance_watermark(watermark);
+                    }
+                }
             }
         }
     }
@@ -351,24 +432,58 @@ impl Tool for OmpDataPerfTool {
     fn on_submit(&mut self, cb: &SubmitCallback) {
         match cb.endpoint {
             Endpoint::Begin if self.degraded => {
-                self.shared.lock().log.record_target(
+                let mut c = self.shared.lock();
+                let event = c.log.record_target(
                     TargetKind::Kernel,
                     cb.device,
                     TimeSpan::at(cb.time),
                     cb.codeptr_ra,
                 );
+                if self.cfg.stream {
+                    self.clock.observe(cb.time);
+                    let watermark = self.clock.watermark();
+                    if let Some(engine) = c.stream.as_mut() {
+                        engine.push_target(event);
+                        engine.advance_watermark(watermark);
+                    }
+                }
             }
             Endpoint::Begin => {
+                if self.cfg.stream {
+                    self.clock.open(cb.time);
+                }
                 self.open_submits.insert(cb.target_id, cb.time);
             }
             Endpoint::End => {
-                let start = self.open_submits.remove(&cb.target_id).unwrap_or(cb.time);
-                self.shared.lock().log.record_target(
+                // Matched-Begin-only close: see on_data_op.
+                let start = match self.open_submits.remove(&cb.target_id) {
+                    Some(begin) => {
+                        if self.cfg.stream {
+                            self.clock.close(begin, cb.time);
+                        }
+                        begin
+                    }
+                    None => {
+                        if self.cfg.stream {
+                            self.clock.observe(cb.time);
+                        }
+                        cb.time
+                    }
+                };
+                let mut c = self.shared.lock();
+                let event = c.log.record_target(
                     TargetKind::Kernel,
                     cb.device,
                     TimeSpan::new(start, cb.time),
                     cb.codeptr_ra,
                 );
+                if self.cfg.stream {
+                    let watermark = self.clock.watermark();
+                    if let Some(engine) = c.stream.as_mut() {
+                        engine.push_target(event);
+                        engine.advance_watermark(watermark);
+                    }
+                }
             }
         }
     }
@@ -549,6 +664,153 @@ mod tests {
         ));
         assert_eq!(handle.collision_count(), 0);
         handle.with(|c| assert_eq!(c.audit.checks(), 1));
+    }
+
+    #[test]
+    fn streaming_tool_matches_postmortem_with_out_of_order_completion() {
+        use crate::detect::{EventView, Findings};
+        let (mut tool, handle) = OmpDataPerfTool::new(ToolConfig {
+            stream: true,
+            ..Default::default()
+        });
+        tool.initialize(&CompilerProfile::LlvmClang.capabilities());
+        assert!(handle.streaming());
+
+        let payload = vec![9u8; 128];
+        // Op 1 opens at t=0 and stays open while op 2 (same content →
+        // duplicate) and a kernel complete inside it: records land in
+        // completion order 2, kernel, 1 — chronological order 1, 2, kernel.
+        tool.on_data_op(&data_op(
+            Endpoint::Begin,
+            1,
+            DataOpType::TransferToDevice,
+            0,
+            None,
+        ));
+        tool.on_data_op(&data_op(
+            Endpoint::Begin,
+            2,
+            DataOpType::TransferToDevice,
+            50,
+            None,
+        ));
+        tool.on_data_op(&data_op(
+            Endpoint::End,
+            2,
+            DataOpType::TransferToDevice,
+            60,
+            Some(&payload),
+        ));
+        let submit = |endpoint, time| SubmitCallback {
+            endpoint,
+            target_id: 7,
+            device: DeviceId::target(0),
+            requested_num_teams: 1,
+            codeptr_ra: odp_model::CodePtr(0x77),
+            time: SimTime(time),
+        };
+        tool.on_submit(&submit(Endpoint::Begin, 70));
+        tool.on_submit(&submit(Endpoint::End, 80));
+        // The streaming engine must not have released anything past the
+        // still-open op 1 (its begin pins the watermark at 0).
+        handle.with(|c| {
+            let stats = c.stream.as_ref().unwrap().buffer_stats();
+            assert!(stats.buffered_now >= 2, "events wait on the open op");
+        });
+        tool.on_data_op(&data_op(
+            Endpoint::End,
+            1,
+            DataOpType::TransferToDevice,
+            200,
+            Some(&payload),
+        ));
+        tool.finalize(1_000);
+
+        let trace = handle.take_trace();
+        let mut engine = handle.take_stream_engine().expect("streaming engine");
+        let live = engine.take_findings();
+        assert!(!live.is_empty(), "duplicate must be found live");
+        let view = EventView::from_log(&trace);
+        let streamed = engine.finalize(&view);
+        let postmortem = Findings::detect_fused(&view);
+        assert_eq!(
+            serde_json::to_string(&streamed).unwrap(),
+            serde_json::to_string(&postmortem).unwrap()
+        );
+        assert_eq!(streamed.counts().dd, 1);
+    }
+
+    #[test]
+    fn unmatched_end_does_not_corrupt_the_watermark() {
+        use crate::detect::{EventView, Findings};
+        let (mut tool, handle) = OmpDataPerfTool::new(ToolConfig {
+            stream: true,
+            ..Default::default()
+        });
+        tool.initialize(&CompilerProfile::LlvmClang.capabilities());
+        let payload = vec![4u8; 64];
+        // Op 1 opens at t=100 and stays open. An *unmatched* End (op 2,
+        // no Begin) arrives at the same t=100: its fallback begin time
+        // coincides with op 1's open entry and must not close it.
+        tool.on_data_op(&data_op(
+            Endpoint::Begin,
+            1,
+            DataOpType::TransferToDevice,
+            100,
+            None,
+        ));
+        tool.on_data_op(&data_op(
+            Endpoint::End,
+            2,
+            DataOpType::TransferToDevice,
+            100,
+            Some(&payload),
+        ));
+        tool.on_data_op(&data_op(
+            Endpoint::Begin,
+            3,
+            DataOpType::TransferToDevice,
+            150,
+            None,
+        ));
+        tool.on_data_op(&data_op(
+            Endpoint::End,
+            3,
+            DataOpType::TransferToDevice,
+            160,
+            Some(&payload),
+        ));
+        // Op 1 is still open: nothing may have been released past t=99.
+        handle.with(|c| {
+            let stats = c.stream.as_ref().unwrap().buffer_stats();
+            assert_eq!(stats.buffered_now, 2, "both events must wait on op 1");
+        });
+        tool.on_data_op(&data_op(
+            Endpoint::End,
+            1,
+            DataOpType::TransferToDevice,
+            200,
+            Some(&payload),
+        ));
+        tool.finalize(500);
+        let trace = handle.take_trace();
+        let mut engine = handle.take_stream_engine().unwrap();
+        let view = EventView::from_log(&trace);
+        let streamed = engine.finalize(&view);
+        let postmortem = Findings::detect_fused(&view);
+        assert_eq!(
+            serde_json::to_string(&streamed).unwrap(),
+            serde_json::to_string(&postmortem).unwrap()
+        );
+    }
+
+    #[test]
+    fn streaming_off_by_default() {
+        let (_tool, handle) = OmpDataPerfTool::new(ToolConfig::default());
+        assert!(!handle.streaming());
+        assert!(handle.stream_counts().is_none());
+        assert!(handle.take_stream_findings().is_empty());
+        assert!(handle.take_stream_engine().is_none());
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Shared randomized-trace generation for the differential suites.
+//!
+//! Generation is fully deterministic (seeded xorshift64*, no wall clock
+//! or OS entropy): a failing seed reproduces forever. Both the fused
+//! engine's and the streaming engine's differential tests build their
+//! traces here so the two suites stress identical event distributions.
+
+use odp_model::{
+    CodePtr, DataOpEvent, DataOpKind, DeviceId, EventId, HashVal, SimTime, TargetEvent, TargetKind,
+    TimeSpan,
+};
+
+/// xorshift64* with splittable seeding.
+pub struct Rng(u64);
+
+impl Rng {
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+
+    pub fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next() % bound
+        }
+    }
+}
+
+/// Build a random chronological trace. Small pools of addresses, hashes,
+/// and devices force every collision class the detectors key on:
+/// duplicate receptions, round trips, address reuse with matching and
+/// mismatching sizes, interleaved kernels, overlapping spans, and
+/// identical start times (tie-broken by log order, which the sort
+/// preserves via `EventId`).
+pub fn random_trace(
+    seed: u64,
+    len: usize,
+    num_devices: u32,
+) -> (Vec<DataOpEvent>, Vec<TargetEvent>) {
+    let mut rng = Rng::new(seed);
+    let mut data_ops = Vec::new();
+    let mut kernels = Vec::new();
+    let mut t = 0u64;
+    for id in 0..len as u64 {
+        // Occasionally reuse the same start time to exercise tie-breaks;
+        // occasionally jump to create kernel-free gaps.
+        match rng.below(10) {
+            0 => {}
+            1..=7 => t += 1 + rng.below(12),
+            _ => t += 40 + rng.below(60),
+        }
+        let dur = rng.below(25);
+        let span = TimeSpan::new(SimTime(t), SimTime(t + dur));
+        let dev = DeviceId::target(rng.below(num_devices as u64) as u32);
+        let haddr = 0x1000 + rng.below(5) * 0x100;
+        let daddr = 0xd000 + rng.below(5) * 0x100;
+        let bytes = 64 << rng.below(3);
+        let hash = HashVal(rng.below(6));
+        let codeptr = CodePtr(0x400_000 + rng.below(4) * 0x10);
+        match rng.below(12) {
+            0..=3 => data_ops.push(DataOpEvent {
+                id: EventId(id),
+                kind: DataOpKind::Transfer,
+                src_device: DeviceId::HOST,
+                dest_device: dev,
+                src_addr: haddr,
+                dest_addr: daddr,
+                bytes,
+                hash: Some(hash),
+                span,
+                codeptr,
+            }),
+            4..=6 => data_ops.push(DataOpEvent {
+                id: EventId(id),
+                kind: DataOpKind::Transfer,
+                src_device: dev,
+                dest_device: DeviceId::HOST,
+                src_addr: daddr,
+                dest_addr: haddr,
+                bytes,
+                hash: Some(hash),
+                span,
+                codeptr,
+            }),
+            7 => data_ops.push(DataOpEvent {
+                id: EventId(id),
+                // A hashless transfer (e.g. degraded-mode zero-length
+                // payload): ignored by Algorithms 1/2, seen by 5.
+                kind: DataOpKind::Transfer,
+                src_device: DeviceId::HOST,
+                dest_device: dev,
+                src_addr: haddr,
+                dest_addr: daddr,
+                bytes,
+                hash: None,
+                span,
+                codeptr,
+            }),
+            8 => data_ops.push(DataOpEvent {
+                id: EventId(id),
+                kind: DataOpKind::Alloc,
+                src_device: DeviceId::HOST,
+                dest_device: dev,
+                src_addr: haddr,
+                dest_addr: daddr,
+                bytes,
+                hash: None,
+                span,
+                codeptr,
+            }),
+            9 => data_ops.push(DataOpEvent {
+                id: EventId(id),
+                kind: DataOpKind::Delete,
+                src_device: DeviceId::HOST,
+                dest_device: dev,
+                src_addr: haddr,
+                dest_addr: daddr,
+                bytes,
+                hash: None,
+                span,
+                codeptr,
+            }),
+            10 => data_ops.push(DataOpEvent {
+                id: EventId(id),
+                kind: if rng.below(2) == 0 {
+                    DataOpKind::Associate
+                } else {
+                    DataOpKind::Disassociate
+                },
+                src_device: DeviceId::HOST,
+                dest_device: dev,
+                src_addr: haddr,
+                dest_addr: daddr,
+                bytes,
+                hash: None,
+                span,
+                codeptr,
+            }),
+            _ => kernels.push(TargetEvent {
+                id: EventId(id),
+                device: dev,
+                kind: TargetKind::Kernel,
+                span,
+                codeptr,
+            }),
+        }
+    }
+    // The detectors' precondition: chronological by (start, log order).
+    data_ops.sort_by_key(|e| (e.span.start, e.id));
+    kernels.sort_by_key(|e| (e.span.start, e.id));
+    (data_ops, kernels)
+}

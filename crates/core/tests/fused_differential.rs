@@ -3,161 +3,14 @@
 //! detectors — group order, event order within groups, reasons, issue
 //! counts — on randomized chronological traces.
 //!
-//! Generation is fully deterministic (seeded xorshift64*, no wall clock
-//! or OS entropy): a failing seed reproduces forever.
+//! The trace generator (seeded xorshift64*, fully deterministic) is
+//! shared with the streaming suite — see `common/mod.rs`.
 
-use odp_model::{
-    CodePtr, DataOpEvent, DataOpKind, DeviceId, EventId, HashVal, SimTime, TargetEvent, TargetKind,
-    TimeSpan,
-};
+mod common;
+
+use common::random_trace;
+use odp_model::{DataOpEvent, TargetEvent};
 use ompdataperf::detect::{EventView, Findings};
-
-/// xorshift64* with splittable seeding.
-struct Rng(u64);
-
-impl Rng {
-    fn new(seed: u64) -> Rng {
-        Rng(seed | 1)
-    }
-
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
-    }
-
-    fn below(&mut self, bound: u64) -> u64 {
-        if bound == 0 {
-            0
-        } else {
-            self.next() % bound
-        }
-    }
-}
-
-/// Build a random chronological trace. Small pools of addresses, hashes,
-/// and devices force every collision class the detectors key on:
-/// duplicate receptions, round trips, address reuse with matching and
-/// mismatching sizes, interleaved kernels, overlapping spans, and
-/// identical start times (tie-broken by log order, which the sort
-/// preserves via `EventId`).
-fn random_trace(seed: u64, len: usize, num_devices: u32) -> (Vec<DataOpEvent>, Vec<TargetEvent>) {
-    let mut rng = Rng::new(seed);
-    let mut data_ops = Vec::new();
-    let mut kernels = Vec::new();
-    let mut t = 0u64;
-    for id in 0..len as u64 {
-        // Occasionally reuse the same start time to exercise tie-breaks;
-        // occasionally jump to create kernel-free gaps.
-        match rng.below(10) {
-            0 => {}
-            1..=7 => t += 1 + rng.below(12),
-            _ => t += 40 + rng.below(60),
-        }
-        let dur = rng.below(25);
-        let span = TimeSpan::new(SimTime(t), SimTime(t + dur));
-        let dev = DeviceId::target(rng.below(num_devices as u64) as u32);
-        let haddr = 0x1000 + rng.below(5) * 0x100;
-        let daddr = 0xd000 + rng.below(5) * 0x100;
-        let bytes = 64 << rng.below(3);
-        let hash = HashVal(rng.below(6));
-        let codeptr = CodePtr(0x400_000 + rng.below(4) * 0x10);
-        match rng.below(12) {
-            0..=3 => data_ops.push(DataOpEvent {
-                id: EventId(id),
-                kind: DataOpKind::Transfer,
-                src_device: DeviceId::HOST,
-                dest_device: dev,
-                src_addr: haddr,
-                dest_addr: daddr,
-                bytes,
-                hash: Some(hash),
-                span,
-                codeptr,
-            }),
-            4..=6 => data_ops.push(DataOpEvent {
-                id: EventId(id),
-                kind: DataOpKind::Transfer,
-                src_device: dev,
-                dest_device: DeviceId::HOST,
-                src_addr: daddr,
-                dest_addr: haddr,
-                bytes,
-                hash: Some(hash),
-                span,
-                codeptr,
-            }),
-            7 => data_ops.push(DataOpEvent {
-                id: EventId(id),
-                // A hashless transfer (e.g. degraded-mode zero-length
-                // payload): ignored by Algorithms 1/2, seen by 5.
-                kind: DataOpKind::Transfer,
-                src_device: DeviceId::HOST,
-                dest_device: dev,
-                src_addr: haddr,
-                dest_addr: daddr,
-                bytes,
-                hash: None,
-                span,
-                codeptr,
-            }),
-            8 => data_ops.push(DataOpEvent {
-                id: EventId(id),
-                kind: DataOpKind::Alloc,
-                src_device: DeviceId::HOST,
-                dest_device: dev,
-                src_addr: haddr,
-                dest_addr: daddr,
-                bytes,
-                hash: None,
-                span,
-                codeptr,
-            }),
-            9 => data_ops.push(DataOpEvent {
-                id: EventId(id),
-                kind: DataOpKind::Delete,
-                src_device: DeviceId::HOST,
-                dest_device: dev,
-                src_addr: haddr,
-                dest_addr: daddr,
-                bytes,
-                hash: None,
-                span,
-                codeptr,
-            }),
-            10 => data_ops.push(DataOpEvent {
-                id: EventId(id),
-                kind: if rng.below(2) == 0 {
-                    DataOpKind::Associate
-                } else {
-                    DataOpKind::Disassociate
-                },
-                src_device: DeviceId::HOST,
-                dest_device: dev,
-                src_addr: haddr,
-                dest_addr: daddr,
-                bytes,
-                hash: None,
-                span,
-                codeptr,
-            }),
-            _ => kernels.push(TargetEvent {
-                id: EventId(id),
-                device: dev,
-                kind: TargetKind::Kernel,
-                span,
-                codeptr,
-            }),
-        }
-    }
-    // The detectors' precondition: chronological by (start, log order).
-    data_ops.sort_by_key(|e| (e.span.start, e.id));
-    kernels.sort_by_key(|e| (e.span.start, e.id));
-    (data_ops, kernels)
-}
 
 /// Exact equality through the canonical JSON rendering: covers every
 /// field of every finding and the order of everything.
@@ -228,7 +81,24 @@ fn indexed_counts_match_materialized_counts() {
 #[test]
 fn device_count_overflow_is_handled_identically() {
     // Events naming devices beyond num_devices: both paths must ignore
-    // them in the per-device algorithms the same way.
+    // them in the per-device algorithms the same way — and the view must
+    // *count* what it excluded instead of dropping it silently, so
+    // callers can surface the skew as a warning.
     let (ops, kernels) = random_trace(0xABCD, 300, 4);
     assert_identical(&ops, &kernels, 2, "undercounted devices");
+
+    let view = EventView::new(&ops, &kernels, 2);
+    let dropped = view.out_of_range();
+    assert!(
+        dropped.total() > 0,
+        "a 4-device trace analyzed as 2 devices must drop something"
+    );
+    assert!(dropped.kernels > 0 && dropped.transfers > 0 && dropped.allocs > 0);
+    let warning = dropped.warning(2).expect("non-zero drops must warn");
+    assert!(warning.contains("Algorithms 4/5"), "{warning}");
+
+    // A correctly sized view drops nothing and stays silent.
+    let full = EventView::new(&ops, &kernels, 4);
+    assert_eq!(full.out_of_range().total(), 0);
+    assert!(full.out_of_range().warning(4).is_none());
 }

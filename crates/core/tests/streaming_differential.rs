@@ -1,0 +1,313 @@
+//! Differential tests for the streaming engine: finalize output must be
+//! **byte-identical** (exact JSON equality) to [`Findings::detect`] on
+//! randomized traces — with events delivered the way a real run
+//! delivers them: in *completion* order, gated by the open-operation
+//! watermark, not in the chronological order the detectors consume.
+//!
+//! The trace generator is shared with the fused suite (`common/mod.rs`),
+//! so both engines face identical event distributions.
+
+mod common;
+
+use common::random_trace;
+use odp_model::{DataOpEvent, SimTime, TargetEvent};
+use ompdataperf::detect::{EventView, Findings, StreamConfig, StreamingEngine};
+
+/// One deliverable event in arrival (completion) order.
+enum Arrival {
+    Op(DataOpEvent),
+    Kernel(TargetEvent),
+}
+
+impl Arrival {
+    fn start(&self) -> SimTime {
+        match self {
+            Arrival::Op(e) => e.span.start,
+            Arrival::Kernel(k) => k.span.start,
+        }
+    }
+
+    fn end_key(&self) -> (SimTime, u64) {
+        match self {
+            Arrival::Op(e) => (e.span.end, e.id.0),
+            Arrival::Kernel(k) => (k.span.end, k.id.0),
+        }
+    }
+}
+
+/// Deliver the trace to the engine exactly as the tool would: events
+/// arrive when they *complete*; after each arrival the watermark is the
+/// earliest begin time among operations still open (here: events that
+/// have begun but not yet arrived), clamped to the current time.
+fn feed_completion_order(
+    engine: &mut StreamingEngine,
+    ops: &[DataOpEvent],
+    kernels: &[TargetEvent],
+) {
+    let mut arrivals: Vec<Arrival> = ops.iter().cloned().map(Arrival::Op).collect();
+    arrivals.extend(kernels.iter().cloned().map(Arrival::Kernel));
+    arrivals.sort_by_key(Arrival::end_key);
+
+    // suffix_min_start[i] = earliest start among arrivals i.. (the ops
+    // still "open" once everything before i has been delivered).
+    let mut suffix_min_start: Vec<SimTime> = vec![SimTime(u64::MAX); arrivals.len() + 1];
+    for i in (0..arrivals.len()).rev() {
+        suffix_min_start[i] = suffix_min_start[i + 1].min(arrivals[i].start());
+    }
+
+    for (i, arrival) in arrivals.into_iter().enumerate() {
+        let now = arrival.end_key().0;
+        match arrival {
+            Arrival::Op(e) => engine.push_data_op(e),
+            Arrival::Kernel(k) => engine.push_target(k),
+        }
+        // Open ops pin the watermark one tick below their begin (they
+        // will emit an event at that start; see StreamClock::watermark).
+        let open_floor = SimTime(suffix_min_start[i + 1].0.saturating_sub(1));
+        engine.advance_watermark(now.min(open_floor));
+    }
+}
+
+fn assert_streaming_identical(
+    ops: &[DataOpEvent],
+    kernels: &[TargetEvent],
+    num_devices: u32,
+    fixed: bool,
+    ctx: &str,
+) {
+    let mut engine = StreamingEngine::new(StreamConfig {
+        num_devices: fixed.then_some(num_devices),
+    });
+    feed_completion_order(&mut engine, ops, kernels);
+    let view = EventView::new(ops, kernels, num_devices);
+    let streamed = engine.finalize(&view);
+    let postmortem = Findings::detect(ops, kernels, num_devices);
+    assert_eq!(
+        streamed.counts(),
+        postmortem.counts(),
+        "issue counts diverge ({ctx})"
+    );
+    assert_eq!(
+        serde_json::to_string_pretty(&streamed).unwrap(),
+        serde_json::to_string_pretty(&postmortem).unwrap(),
+        "findings diverge ({ctx})"
+    );
+    assert_eq!(
+        engine.live_counts(),
+        postmortem.counts(),
+        "live counts must agree with materialized counts ({ctx})"
+    );
+}
+
+#[test]
+fn streaming_equals_postmortem_on_random_traces() {
+    for seed in 1..=40u64 {
+        let (ops, kernels) = random_trace(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15), 300, 2);
+        assert_streaming_identical(&ops, &kernels, 2, false, &format!("seed {seed}"));
+    }
+}
+
+#[test]
+fn streaming_equals_postmortem_on_large_trace() {
+    let (ops, kernels) = random_trace(0xDEAD_BEEF, 20_000, 3);
+    assert_streaming_identical(&ops, &kernels, 3, false, "large trace");
+}
+
+#[test]
+fn streaming_equals_postmortem_with_single_device_pool() {
+    // One device + tiny hash pool: maximal duplicate / round-trip churn,
+    // the worst case for Algorithm 2's lookahead window.
+    for seed in [3u64, 17, 99] {
+        let (ops, kernels) = random_trace(seed, 500, 1);
+        assert_streaming_identical(&ops, &kernels, 1, false, &format!("dense seed {seed}"));
+    }
+}
+
+#[test]
+fn streaming_equals_postmortem_on_kernel_free_trace() {
+    // No kernels at all: Algorithms 4/5 can decide nothing before
+    // finalize — the entire per-device pending state reconciles there.
+    let (ops, _) = random_trace(0x5EED, 400, 2);
+    assert_streaming_identical(&ops, &[], 2, false, "kernel-free");
+}
+
+#[test]
+fn streaming_equals_postmortem_on_empty_trace() {
+    assert_streaming_identical(&[], &[], 1, false, "empty");
+}
+
+#[test]
+fn streaming_equals_postmortem_with_out_of_range_devices() {
+    // Fixed-device mode: events naming devices beyond the configured
+    // count must be excluded exactly as the post-mortem view excludes
+    // them — and counted, not silently dropped.
+    let (ops, kernels) = random_trace(0xABCD, 300, 4);
+    assert_streaming_identical(&ops, &kernels, 2, true, "undercounted devices");
+
+    let mut engine = StreamingEngine::new(StreamConfig {
+        num_devices: Some(2),
+    });
+    feed_completion_order(&mut engine, &ops, &kernels);
+    let view = EventView::new(&ops, &kernels, 2);
+    let _ = engine.finalize(&view);
+    assert_eq!(
+        engine.out_of_range(),
+        view.out_of_range(),
+        "streaming and post-mortem must count identical exclusions"
+    );
+    assert!(engine.out_of_range().total() > 0);
+}
+
+#[test]
+fn streaming_in_chronological_delivery_matches_too() {
+    // Degraded (begin-only) runtimes deliver events already in start
+    // order with an always-current watermark: the reorder buffer should
+    // pass everything straight through.
+    for seed in [5u64, 23] {
+        let (ops, kernels) = random_trace(seed, 400, 2);
+        let mut engine = StreamingEngine::default();
+        let mut merged: Vec<(SimTime, u64, bool, usize)> = Vec::new();
+        for (i, e) in ops.iter().enumerate() {
+            merged.push((e.span.start, e.id.0, false, i));
+        }
+        for (i, k) in kernels.iter().enumerate() {
+            merged.push((k.span.start, k.id.0, true, i));
+        }
+        merged.sort_by_key(|&(start, id, _, _)| (start, id));
+        for &(start, _, is_kernel, i) in &merged {
+            if is_kernel {
+                engine.push_target(kernels[i].clone());
+            } else {
+                engine.push_data_op(ops[i].clone());
+            }
+            engine.advance_watermark(start);
+        }
+        assert_eq!(
+            engine.buffer_stats().buffered_now,
+            0,
+            "chronological delivery must not accumulate"
+        );
+        let view = EventView::new(&ops, &kernels, 2);
+        let streamed = engine.finalize(&view);
+        let postmortem = Findings::detect(&ops, &kernels, 2);
+        assert_eq!(
+            serde_json::to_string_pretty(&streamed).unwrap(),
+            serde_json::to_string_pretty(&postmortem).unwrap(),
+            "chronological seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn steady_state_memory_is_independent_of_trace_length() {
+    // The acceptance criterion: Algorithm 2's lookahead buffer (and the
+    // other windows) must not grow with trace length for steady-state
+    // workloads. Build an iterative ping-pong — content leaves and
+    // returns each iteration, kernels keep every cursor moving — at 1×
+    // and 10× length and compare high-water marks.
+    fn run(iters: usize) -> (ompdataperf::detect::StreamBufferStats, usize) {
+        use odp_model::{CodePtr, DataOpKind, DeviceId, EventId, HashVal, TargetKind, TimeSpan};
+        let mut ops = Vec::new();
+        let mut kernels = Vec::new();
+        let mut id = 0u64;
+        #[allow(clippy::too_many_arguments)]
+        fn next(
+            id: &mut u64,
+            v: &mut Vec<DataOpEvent>,
+            kind: DataOpKind,
+            src: DeviceId,
+            dest: DeviceId,
+            hash: Option<HashVal>,
+            t0: u64,
+            t1: u64,
+        ) {
+            v.push(DataOpEvent {
+                id: EventId(*id),
+                kind,
+                src_device: src,
+                dest_device: dest,
+                src_addr: 0x1000,
+                dest_addr: 0xd000,
+                bytes: 64,
+                hash,
+                span: TimeSpan::new(SimTime(t0), SimTime(t1)),
+                codeptr: CodePtr(0x1),
+            });
+            *id += 1;
+        }
+        for i in 0..iters as u64 {
+            let t = i * 100;
+            let host = DeviceId::HOST;
+            let dev = DeviceId::target(0);
+            next(
+                &mut id,
+                &mut ops,
+                DataOpKind::Alloc,
+                host,
+                dev,
+                None,
+                t,
+                t + 5,
+            );
+            next(
+                &mut id,
+                &mut ops,
+                DataOpKind::Transfer,
+                host,
+                dev,
+                Some(HashVal(7)),
+                t + 10,
+                t + 20,
+            );
+            kernels.push(TargetEvent {
+                id: EventId(id),
+                device: dev,
+                kind: TargetKind::Kernel,
+                span: TimeSpan::new(SimTime(t + 30), SimTime(t + 60)),
+                codeptr: CodePtr(0x2),
+            });
+            id += 1;
+            next(
+                &mut id,
+                &mut ops,
+                DataOpKind::Transfer,
+                dev,
+                host,
+                Some(HashVal(7)),
+                t + 70,
+                t + 80,
+            );
+            next(
+                &mut id,
+                &mut ops,
+                DataOpKind::Delete,
+                host,
+                dev,
+                None,
+                t + 85,
+                t + 90,
+            );
+        }
+        let mut engine = StreamingEngine::default();
+        feed_completion_order(&mut engine, &ops, &kernels);
+        let stats = engine.buffer_stats();
+        let view = EventView::new(&ops, &kernels, 1);
+        let streamed = engine.finalize(&view);
+        let postmortem = Findings::detect(&ops, &kernels, 1);
+        assert_eq!(
+            serde_json::to_string(&streamed).unwrap(),
+            serde_json::to_string(&postmortem).unwrap()
+        );
+        (stats, ops.len() + kernels.len())
+    }
+    let (small, small_events) = run(100);
+    let (large, large_events) = run(1_000);
+    assert!(large_events >= 10 * small_events - 10);
+    assert_eq!(
+        small.frontier_peak, large.frontier_peak,
+        "Algorithm 2's window grew with trace length: {small:?} vs {large:?}"
+    );
+    assert_eq!(small.buffered_peak, large.buffered_peak);
+    assert_eq!(small.device_pending_peak, large.device_pending_peak);
+    assert!(large.frontier_peak <= 4, "{large:?}");
+}

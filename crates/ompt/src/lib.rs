@@ -17,13 +17,17 @@
 //!   `ompt_set_callback`, including per-callback availability results;
 //! * [`capability`] — the compiler/runtime support matrix from the
 //!   paper's Table 6, so that degraded-runtime behaviour (§A.6's warning)
-//!   is reproducible and testable against nine compiler profiles.
+//!   is reproducible and testable against nine compiler profiles;
+//! * [`progress`] — the [`StreamClock`] watermark used by online
+//!   (streaming) tools to turn completion-ordered callbacks back into a
+//!   chronological event stream.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod callback;
 pub mod capability;
+pub mod progress;
 pub mod tool;
 pub mod version;
 
@@ -32,5 +36,6 @@ pub use callback::{
     KernelAccessInfo, SubmitCallback, TargetCallback, TargetConstructKind,
 };
 pub use capability::{CompilerProfile, RuntimeCapabilities};
+pub use progress::StreamClock;
 pub use tool::{NullTool, SetCallbackResult, Tool, ToolRegistration};
 pub use version::OmptVersion;

@@ -1,0 +1,135 @@
+//! Stream-progress tracking for online tools.
+//!
+//! OMPT delivers end callbacks in *completion* order, while every
+//! detection algorithm consumes events in *chronological start* order.
+//! A tool that analyzes online therefore needs to know when an event's
+//! position in the chronological order is settled: once no still-open
+//! operation (and no operation yet to begin) can start at or before
+//! time *t*, every buffered event starting at or before *t* is safe to
+//! release.
+//!
+//! [`StreamClock`] computes that bound — the **watermark** — from the
+//! begin/end callback edges the tool already receives. The runtime's
+//! callback clock is monotonic, so a new operation can never begin
+//! before the latest callback time; open operations pin the watermark
+//! at their earliest begin time.
+
+use odp_model::SimTime;
+use std::collections::BTreeMap;
+
+/// Tracks open operation begin times and the latest callback time, and
+/// yields the reorder watermark for streaming consumers.
+///
+/// `open`/`close` must be called with matching begin times (the tool
+/// already keeps per-id begin maps for duration pairing, so the close
+/// time is at hand). Multiple operations may share a begin time.
+#[derive(Clone, Debug, Default)]
+pub struct StreamClock {
+    /// Begin time → number of open operations that began then.
+    open: BTreeMap<SimTime, u32>,
+    /// Latest callback time observed (the runtime clock is monotonic).
+    now: SimTime,
+}
+
+impl StreamClock {
+    /// A fresh clock at time zero with nothing open.
+    pub fn new() -> StreamClock {
+        StreamClock::default()
+    }
+
+    /// Observe any callback edge at `t` (advances the monotonic clock).
+    pub fn observe(&mut self, t: SimTime) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// An operation began at `t`.
+    pub fn open(&mut self, t: SimTime) {
+        self.observe(t);
+        *self.open.entry(t).or_insert(0) += 1;
+    }
+
+    /// An operation that began at `begin` ended at `t`. Unmatched closes
+    /// are ignored (mirrors the tool's tolerance of unmatched End
+    /// callbacks).
+    pub fn close(&mut self, begin: SimTime, t: SimTime) {
+        self.observe(t);
+        if let Some(n) = self.open.get_mut(&begin) {
+            *n -= 1;
+            if *n == 0 {
+                self.open.remove(&begin);
+            }
+        }
+    }
+
+    /// Number of currently open operations.
+    pub fn open_count(&self) -> usize {
+        self.open.values().map(|&n| n as usize).sum()
+    }
+
+    /// The watermark: no future event can start at or before this time
+    /// minus one... precisely, no event delivered after this call will
+    /// have a start time strictly below the returned value, and any
+    /// event starting exactly at it was recorded earlier (monotonic
+    /// sequence numbers break the tie). Buffered events with
+    /// `start <= watermark()` are safe to release in `(start, id)`
+    /// order.
+    pub fn watermark(&self) -> SimTime {
+        match self.open.keys().next() {
+            // An open op will eventually emit an event at its begin
+            // time; nothing at or after that is settled yet. `- 1`
+            // (saturating) keeps `start <= watermark` releases strictly
+            // ahead of it.
+            Some(&earliest) => SimTime(earliest.0.saturating_sub(1)),
+            None => self.now,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_clock_follows_observations() {
+        let mut c = StreamClock::new();
+        assert_eq!(c.watermark(), SimTime(0));
+        c.observe(SimTime(100));
+        assert_eq!(c.watermark(), SimTime(100));
+        c.observe(SimTime(50)); // non-monotonic observations are clamped
+        assert_eq!(c.watermark(), SimTime(100));
+    }
+
+    #[test]
+    fn open_ops_pin_the_watermark() {
+        let mut c = StreamClock::new();
+        c.open(SimTime(10));
+        c.open(SimTime(30));
+        c.observe(SimTime(90));
+        assert_eq!(c.watermark(), SimTime(9), "held below the earliest open");
+        c.close(SimTime(10), SimTime(95));
+        assert_eq!(c.watermark(), SimTime(29));
+        c.close(SimTime(30), SimTime(99));
+        assert_eq!(c.watermark(), SimTime(99), "released to the clock");
+        assert_eq!(c.open_count(), 0);
+    }
+
+    #[test]
+    fn shared_begin_times_are_counted() {
+        let mut c = StreamClock::new();
+        c.open(SimTime(5));
+        c.open(SimTime(5));
+        c.close(SimTime(5), SimTime(20));
+        assert_eq!(c.watermark(), SimTime(4), "one of the two is still open");
+        c.close(SimTime(5), SimTime(25));
+        assert_eq!(c.watermark(), SimTime(25));
+    }
+
+    #[test]
+    fn unmatched_close_is_ignored() {
+        let mut c = StreamClock::new();
+        c.close(SimTime(5), SimTime(10));
+        assert_eq!(c.watermark(), SimTime(10));
+    }
+}

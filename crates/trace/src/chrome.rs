@@ -97,7 +97,10 @@ pub fn to_chrome_trace(log: &TraceLog) -> String {
         });
     }
 
-    events.sort_by(|a, b| a.ts.partial_cmp(&b.ts).unwrap());
+    // `total_cmp` keeps the sort total even for non-finite timestamps
+    // (`partial_cmp(..).unwrap()` would panic on NaN), and the explicit
+    // `(ts, tid)` key pins tie ordering so exports are byte-stable.
+    events.sort_by(|a, b| a.ts.total_cmp(&b.ts).then_with(|| a.tid.cmp(&b.tid)));
 
     #[derive(Serialize)]
     struct Root {
@@ -190,6 +193,42 @@ mod tests {
             .map(|e| e["ts"].as_f64().unwrap())
             .collect();
         assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn simultaneous_events_tie_break_by_lane() {
+        // Two events at the same timestamp on different lanes: the
+        // export must order them by tid, not by record order, so the
+        // output is deterministic regardless of collection interleaving.
+        let mut log = TraceLog::new();
+        for dev in [2u32, 0, 1] {
+            log.record_data_op(
+                DataOpKind::Transfer,
+                DeviceId::HOST,
+                DeviceId::target(dev),
+                0x1000,
+                0xd000,
+                64,
+                Some(7),
+                TimeSpan::new(SimTime(100), SimTime(200)),
+                CodePtr(0x1),
+            );
+        }
+        let json = to_chrome_trace(&log);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let tids: Vec<u64> = v["traceEvents"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|e| e["tid"].as_u64().unwrap())
+            .collect();
+        assert_eq!(tids, vec![1, 2, 3], "ties ordered by lane");
+    }
+
+    #[test]
+    fn repeated_exports_are_byte_identical() {
+        let log = sample();
+        assert_eq!(to_chrome_trace(&log), to_chrome_trace(&log));
     }
 
     #[test]

@@ -55,7 +55,10 @@ impl TraceLog {
         Self::default()
     }
 
-    /// Record a data operation.
+    /// Record a data operation. Returns the hydrated event exactly as
+    /// the memoized hydration will later produce it (same `EventId`), so
+    /// online consumers — the streaming detection engine — observe the
+    /// identical event without re-deriving record encoding.
     #[allow(clippy::too_many_arguments)]
     pub fn record_data_op(
         &mut self,
@@ -68,10 +71,10 @@ impl TraceLog {
         hash: Option<u64>,
         span: TimeSpan,
         codeptr: CodePtr,
-    ) {
+    ) -> DataOpEvent {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.data_ops.push(DataOpRecord::new(
+        let record = DataOpRecord::new(
             seq,
             kind,
             src_device,
@@ -82,28 +85,35 @@ impl TraceLog {
             hash,
             span,
             codeptr,
-        ));
+        );
+        let event = record.to_event();
+        self.data_ops.push(record);
         self.invalidate_hydration();
         self.note_end(span);
         self.update_peak();
+        event
     }
 
-    /// Record a target construct / kernel execution.
+    /// Record a target construct / kernel execution. Returns the
+    /// hydrated event, with the same (wrapped) sequence id hydration
+    /// assigns — see [`TraceLog::record_data_op`].
     pub fn record_target(
         &mut self,
         kind: TargetKind,
         device: DeviceId,
         span: TimeSpan,
         codeptr: CodePtr,
-    ) {
+    ) -> TargetEvent {
         let seq = self.next_seq;
         self.next_seq += 1;
         let ix = self.codeptrs.intern(codeptr);
-        self.targets
-            .push(TargetRecord::new(seq, device, kind, span, ix));
+        let record = TargetRecord::new(seq, device, kind, span, ix);
+        let event = record.to_event(record.seq() as u64, codeptr);
+        self.targets.push(record);
         self.invalidate_hydration();
         self.note_end(span);
         self.update_peak();
+        event
     }
 
     /// Drop the memoized hydrations after an append. Cheap when nothing
@@ -511,6 +521,31 @@ mod tests {
         let a = log.data_op_events_sorted().as_ptr();
         let b = log.data_op_events_sorted().as_ptr();
         assert_eq!(a, b, "repeated calls borrow one cached vector");
+    }
+
+    #[test]
+    fn record_returns_exactly_the_hydrated_event() {
+        let mut log = TraceLog::new();
+        let op = log.record_data_op(
+            DataOpKind::Transfer,
+            DeviceId::HOST,
+            DeviceId::target(1),
+            0x1000,
+            0x8000,
+            128,
+            Some(0xfeed),
+            span(5, 9),
+            CodePtr(0x400700),
+        );
+        let kernel = log.record_target(
+            TargetKind::Kernel,
+            DeviceId::target(1),
+            span(10, 20),
+            CodePtr(0x400800),
+        );
+        assert_eq!(log.data_op_events()[0], op);
+        assert_eq!(log.kernel_events()[0], kernel);
+        assert_eq!(kernel.id.0, 1, "wrapped sequence id matches hydration");
     }
 
     #[test]

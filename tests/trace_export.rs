@@ -75,3 +75,44 @@ fn json_event_dump_round_trips_counts() {
         .iter()
         .any(|e| e["hash"].is_object() || !e["hash"].is_null()));
 }
+
+#[test]
+fn chrome_trace_export_is_deterministic() {
+    // Two independent collections of the same deterministic workload,
+    // exported twice each: all four byte strings must be identical.
+    // This pins both the simulator's determinism and the exporter's
+    // total, tie-broken sort (ts, then tid) — an unstable or partial
+    // ordering would reorder simultaneous events between runs.
+    let a = odp_trace::chrome::to_chrome_trace(&traced_run("bfs"));
+    let b = odp_trace::chrome::to_chrome_trace(&traced_run("bfs"));
+    assert_eq!(a, b, "independent collections must export identically");
+    let log = traced_run("bfs");
+    assert_eq!(
+        odp_trace::chrome::to_chrome_trace(&log),
+        odp_trace::chrome::to_chrome_trace(&log),
+        "re-exporting one log must be byte-identical"
+    );
+}
+
+#[test]
+fn chrome_trace_ts_and_dur_are_finite_and_ordered() {
+    for name in ["bfs", "hotspot", "xsbench"] {
+        let json = odp_trace::chrome::to_chrome_trace(&traced_run(name));
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = v["traceEvents"].as_array().unwrap();
+        assert!(!events.is_empty());
+        let mut prev = (f64::NEG_INFINITY, 0u64);
+        for e in events {
+            let ts = e["ts"].as_f64().unwrap();
+            let dur = e["dur"].as_f64().unwrap();
+            assert!(ts.is_finite() && ts >= 0.0, "{name}: bad ts {ts}");
+            assert!(dur.is_finite() && dur > 0.0, "{name}: bad dur {dur}");
+            let tid = e["tid"].as_u64().unwrap();
+            assert!(
+                (ts, tid) >= prev,
+                "{name}: events must be (ts, tid)-ordered: {prev:?} then ({ts}, {tid})"
+            );
+            prev = (ts, tid);
+        }
+    }
+}
