@@ -9,8 +9,11 @@ use odp_model::{
     CodePtr, DataOpEvent, DataOpKind, DeviceId, EventId, HashVal, SimTime, TargetEvent, TargetKind,
     TimeSpan,
 };
+use odp_ompt::{CompilerProfile, DataOpCallback, DataOpType, Endpoint, Tool};
 use ompdataperf::detect::{EventView, Findings, StreamingEngine};
+use ompdataperf::tool::{OmpDataPerfTool, ToolConfig};
 use std::hint::black_box;
+use std::sync::Arc;
 
 /// Build a log shaped like a real trace: per iteration one alloc + H2D +
 /// kernel + D2H + delete, with every fourth iteration re-sending
@@ -198,9 +201,103 @@ fn bench_streaming_vs_postmortem(c: &mut Criterion) {
     }
 }
 
+/// Per-callback collection cost under concurrency: the sharded tool
+/// (per-thread shard locks + atomic watermark publishes; zero global
+/// lock acquisitions on the fast path) against the pre-refactor design
+/// — every callback funnelled through one global `Mutex<TraceLog>`.
+/// Near-linear callback throughput from 1→4 threads on the sharded
+/// side is the acceptance signal; the single-lock side collapses as
+/// threads contend.
+fn bench_sharded_vs_single_lock(c: &mut Criterion) {
+    const OPS_PER_THREAD: u64 = 10_000;
+
+    fn callback(endpoint: Endpoint, id: u64, time: u64) -> DataOpCallback<'static> {
+        DataOpCallback {
+            endpoint,
+            target_id: 1,
+            host_op_id: id,
+            optype: DataOpType::TransferToDevice,
+            src_device: DeviceId::HOST,
+            src_addr: 0x1000,
+            dest_device: DeviceId::target(0),
+            dest_addr: 0xd000,
+            bytes: 64,
+            codeptr_ra: CodePtr(0x42),
+            time: SimTime(time),
+            payload: None,
+        }
+    }
+
+    /// The old design, reproduced for comparison: one global lock
+    /// around the one shared log, taken once per recorded event.
+    fn single_lock_storm(threads: u64) {
+        let log = Arc::new(parking_lot::Mutex::new(odp_trace::TraceLog::new()));
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let log = log.clone();
+                s.spawn(move || {
+                    let mut open = std::collections::HashMap::new();
+                    for i in 0..OPS_PER_THREAD {
+                        let t = i * 10;
+                        open.insert(i, SimTime(t));
+                        let begin = open.remove(&i).unwrap();
+                        log.lock().record_data_op(
+                            DataOpKind::Transfer,
+                            DeviceId::HOST,
+                            DeviceId::target(0),
+                            0x1000,
+                            0xd000,
+                            64,
+                            None,
+                            TimeSpan::new(begin, SimTime(t + 5)),
+                            CodePtr(0x42),
+                        );
+                    }
+                });
+            }
+        });
+        black_box(log.lock().data_op_count());
+    }
+
+    fn sharded_storm(threads: u64) {
+        let (tool0, handle) = OmpDataPerfTool::new(ToolConfig::default());
+        let mut tools = vec![tool0];
+        for _ in 1..threads {
+            tools.push(handle.fork_tool());
+        }
+        let caps = CompilerProfile::LlvmClang.capabilities();
+        std::thread::scope(|s| {
+            for mut tool in tools {
+                let caps = caps.clone();
+                s.spawn(move || {
+                    tool.initialize(&caps);
+                    for i in 0..OPS_PER_THREAD {
+                        let t = i * 10;
+                        tool.on_data_op(&callback(Endpoint::Begin, i, t));
+                        tool.on_data_op(&callback(Endpoint::End, i, t + 5));
+                    }
+                });
+            }
+        });
+        black_box(handle.take_trace().data_op_count());
+    }
+
+    for &threads in &[1u64, 4, 16] {
+        let mut group = c.benchmark_group("sharded_vs_single_lock");
+        group.throughput(Throughput::Elements(threads * OPS_PER_THREAD));
+        group.bench_function(BenchmarkId::new("single_lock", threads), |b| {
+            b.iter(|| single_lock_storm(threads))
+        });
+        group.bench_function(BenchmarkId::new("sharded", threads), |b| {
+            b.iter(|| sharded_storm(threads))
+        });
+        group.finish();
+    }
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(1)).warm_up_time(std::time::Duration::from_millis(200));
-    targets = bench_detectors, bench_fused_vs_separate, bench_streaming_vs_postmortem
+    targets = bench_detectors, bench_fused_vs_separate, bench_streaming_vs_postmortem, bench_sharded_vs_single_lock
 );
 criterion_main!(benches);

@@ -4,15 +4,20 @@
 //! cargo run -p odp-cli --bin ompdataperf -- hotspot --size s
 //! cargo run -p odp-cli --bin ompdataperf -- bfs --size m --variant fixed
 //! cargo run -p odp-cli --bin ompdataperf -- tealeaf --pre-emi   # §A.6 warning
+//! cargo run -p odp-cli --bin ompdataperf -- bfs --threads 4 --stream \
+//!     --stream-interval 20                                # sharded + live report
 //! ```
 
 use odp_cli::{parse, resolve_profile, Parsed};
 use odp_hash::HashAlgoId;
+use odp_ompt::Tool;
 use odp_sim::{Runtime, RuntimeConfig};
 use ompdataperf::detect::EventView;
-use ompdataperf::report::{ConsoleStreamSink, FindingsSink};
+use ompdataperf::report::{ConsoleStreamSink, FindingsSink, SnapshotStreamSink};
 use ompdataperf::tool::{OmpDataPerfTool, ToolConfig};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -81,20 +86,94 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut rt = Runtime::new(cfg);
+    if parsed.threads as usize > OmpDataPerfTool::MAX_SHARDS {
+        eprintln!(
+            "error: --threads {} exceeds the collector's shard capacity ({})",
+            parsed.threads,
+            OmpDataPerfTool::MAX_SHARDS
+        );
+        return ExitCode::FAILURE;
+    }
+    if parsed.threads > 1 && !workload.supports_threads() {
+        eprintln!(
+            "error: {} has no threaded variant; --threads supports: {}",
+            workload.name(),
+            odp_workloads::threaded::threaded_workloads()
+                .iter()
+                .map(|w| w.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+
     let (tool, handle) = OmpDataPerfTool::new(ToolConfig {
         hash_algo,
         collision_audit: parsed.audit,
         quiet: parsed.quiet,
         verbose: parsed.verbose,
         stream: parsed.stream,
+        stream_max_frontier: parsed.stream_cap,
     });
-    rt.attach_tool(Box::new(tool));
+
+    // Live report consumer: drains findings while the program runs and
+    // interleaves incremental §A.6 snapshot lines (suppressed under
+    // --json, where stdout must stay machine-readable).
+    let run_done = Arc::new(AtomicBool::new(false));
+    let poller = parsed
+        .stream_interval_ms
+        .filter(|_| !parsed.json && !parsed.quiet)
+        .map(|ms| {
+            let handle = handle.clone();
+            let run_done = run_done.clone();
+            std::thread::spawn(move || {
+                let mut sink = SnapshotStreamSink::new(0);
+                loop {
+                    let done = run_done.load(Ordering::Acquire);
+                    let findings = handle.take_stream_findings();
+                    if !findings.is_empty() {
+                        for f in &findings {
+                            sink.on_finding(f);
+                        }
+                        sink.snapshot();
+                        for line in sink.lines.drain(..) {
+                            println!("{line}");
+                        }
+                    }
+                    if done {
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                }
+            })
+        });
 
     let wall = std::time::Instant::now();
-    let dbg = workload.run(&mut rt, parsed.size, parsed.variant);
-    let stats = rt.finish();
+    let (dbg, stats) = if parsed.threads > 1 {
+        let mut tools: Vec<Box<dyn Tool>> = vec![Box::new(tool)];
+        for _ in 1..parsed.threads {
+            tools.push(Box::new(handle.fork_tool()));
+        }
+        odp_workloads::threaded::run_threaded(
+            &*workload,
+            parsed.threads,
+            parsed.size,
+            parsed.variant,
+            &cfg,
+            tools,
+        )
+    } else {
+        let mut rt = Runtime::new(cfg);
+        rt.attach_tool(Box::new(tool));
+        let dbg = workload.run(&mut rt, parsed.size, parsed.variant);
+        let stats = rt.finish();
+        (dbg, stats)
+    };
     let wall = wall.elapsed();
+    run_done.store(true, Ordering::Release);
+    if let Some(poller) = poller {
+        let _ = poller.join();
+    }
 
     let trace = handle.take_trace();
     if let Some(path) = &parsed.trace_out {
@@ -115,6 +194,10 @@ fn main() -> ExitCode {
     // Finalize against the trace (byte-identical to the post-mortem
     // sweep) and build the report from those findings — no re-detection.
     let report = if let Some(mut engine) = handle.take_stream_engine() {
+        // Everything the engine emitted over the whole run — including
+        // findings a --stream-interval poller already drained and
+        // printed (take_findings below only returns the residue).
+        let live_total = engine.live_counts().total();
         let mut sink = ConsoleStreamSink::default();
         for finding in engine.take_findings() {
             sink.on_finding(&finding);
@@ -136,11 +219,13 @@ fn main() -> ExitCode {
             let stats = engine.buffer_stats();
             println!(
                 "info: streaming detection emitted {} finding(s) live \
-                 (reorder peak {}, lookahead peak {})",
-                sink.lines.len(),
-                stats.buffered_peak,
-                stats.frontier_peak
+                 (reorder peak {}, lookahead peak {}, spilled {})",
+                live_total, stats.buffered_peak, stats.frontier_peak, stats.frontier_spilled,
             );
+        }
+        let mut console = handle.console_lines();
+        if let Some(warning) = engine.spill_warning() {
+            console.push(warning);
         }
         let view = EventView::from_log(&trace);
         let findings = engine.finalize(&view);
@@ -148,7 +233,7 @@ fn main() -> ExitCode {
             &trace,
             Some(&dbg),
             workload.name(),
-            handle.console_lines(),
+            console,
             findings,
         )
     } else {

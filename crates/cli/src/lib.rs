@@ -36,6 +36,17 @@ pub struct CommonArgs {
     /// `ToolHandle::take_stream_findings` (the synchronous CLI prints
     /// them once the run returns).
     pub stream: bool,
+    /// `--stream-interval <ms>`: while streaming, print live findings
+    /// and an incremental §A.6 snapshot line every that-many
+    /// milliseconds from a consumer thread (implies `--stream`).
+    pub stream_interval_ms: Option<u64>,
+    /// `--stream-cap <n>`: hard cap for Algorithm 2's streaming
+    /// lookahead window (spills trade exactness for bounded memory).
+    pub stream_cap: Option<usize>,
+    /// `--threads <n>`: drive the workload's offload pattern from N OS
+    /// threads, each with its own runtime and tool shard (workloads
+    /// that support it: babelstream, bfs, xsbench).
+    pub threads: u32,
 }
 
 /// Outcome of argument parsing.
@@ -66,6 +77,9 @@ pub fn usage(tool: &str) -> String {
          \x20 --profile NAME        Compiler capability profile (Table 6)\n\
          \x20 --trace-out PATH      Write a chrome://tracing JSON timeline\n\
          \x20 --stream              Run the detectors online during execution\n\
+         \x20 --stream-interval MS  Print live findings + snapshot every MS ms (implies --stream)\n\
+         \x20 --stream-cap N        Cap the streaming round-trip lookahead window at N\n\
+         \x20 --threads N           Drive the workload from N OS threads (sharded collection)\n\
          Programs:\n\x20 {}",
         odp_workloads::all()
             .iter()
@@ -90,6 +104,9 @@ pub fn parse(tool: &str, args: &[String]) -> Parsed {
         profile: None,
         trace_out: None,
         stream: false,
+        stream_interval_ms: None,
+        stream_cap: None,
+        threads: 1,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -125,6 +142,21 @@ pub fn parse(tool: &str, args: &[String]) -> Parsed {
             "--trace-out" => match it.next() {
                 Some(p) => out.trace_out = Some(p.clone()),
                 None => return Parsed::Error("--trace-out needs a path".into()),
+            },
+            "--stream-interval" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) if ms > 0 => {
+                    out.stream_interval_ms = Some(ms);
+                    out.stream = true;
+                }
+                _ => return Parsed::Error("--stream-interval needs a positive ms value".into()),
+            },
+            "--stream-cap" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => out.stream_cap = Some(n),
+                _ => return Parsed::Error("--stream-cap needs a positive value".into()),
+            },
+            "--threads" => match it.next().and_then(|v| v.parse::<u32>().ok()) {
+                Some(n) if n >= 1 => out.threads = n,
+                _ => return Parsed::Error("--threads needs a value >= 1".into()),
             },
             other if other.starts_with('-') => {
                 return Parsed::Error(format!("unknown option {other}\n\n{}", usage(tool)))
@@ -206,6 +238,36 @@ mod tests {
         }
         let usage = usage("ompdataperf");
         assert!(usage.contains("--stream"));
+        assert!(usage.contains("--threads"));
+        assert!(usage.contains("--stream-interval"));
+    }
+
+    #[test]
+    fn threads_and_stream_interval_are_parsed() {
+        match parse(
+            "ompdataperf",
+            &argv("--threads 4 --stream-interval 50 --stream-cap 4096 bfs"),
+        ) {
+            Parsed::Run(a) => {
+                assert_eq!(a.threads, 4);
+                assert_eq!(a.stream_interval_ms, Some(50));
+                assert_eq!(a.stream_cap, Some(4096));
+                assert!(a.stream, "--stream-interval implies --stream");
+            }
+            _ => panic!("expected run"),
+        }
+        assert!(matches!(
+            parse("ompdataperf", &argv("--threads 0 bfs")),
+            Parsed::Error(_)
+        ));
+        assert!(matches!(
+            parse("ompdataperf", &argv("--stream-interval nope bfs")),
+            Parsed::Error(_)
+        ));
+        match parse("ompdataperf", &argv("bfs")) {
+            Parsed::Run(a) => assert_eq!(a.threads, 1),
+            _ => panic!("expected run"),
+        }
     }
 
     #[test]

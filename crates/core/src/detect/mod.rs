@@ -37,23 +37,40 @@
 //! randomized traces; `crates/bench/benches/detectors.rs` measures the
 //! speedup (shared hydration + no per-detector clones).
 //!
-//! # Streaming data flow
+//! # Streaming data flow (sharded, multi-threaded)
 //!
 //! The third execution mode, [`stream::StreamingEngine`], runs the same
-//! incremental state machines *while the program executes*:
+//! incremental state machines *while the program executes*. Collection
+//! is sharded: every runtime thread owns a tool shard, and the
+//! per-callback fast path performs **zero global lock acquisitions** —
+//! it touches its own shard (trace log + pending queue, one
+//! uncontended lock), its own `StreamClock`, and two atomic stores
+//! into the `GlobalWatermark`:
 //!
 //! ```text
-//! OMPT callbacks ──► OmpDataPerfTool (one lock per callback)
-//!    │  record to TraceLog (source of truth, unchanged)
-//!    └─ push event ──► StreamingEngine
-//!         reorder buffer ── released at the StreamClock watermark
-//!         (completion order → chronological (start, id) order)
+//! thread 0 ─► shard 0: TraceLog(for_shard 0) + pending queue ──┐
+//! thread 1 ─► shard 1: TraceLog(for_shard 1) + pending queue ──┤
+//!    ⋮            ⋮    (own StreamClock, publish ──► GlobalWatermark)
+//! thread N ─► shard N: TraceLog(for_shard N) + pending queue ──┤
+//!                                                              │
+//!          merged watermark = min over shards of the earliest  │
+//!          possible future start, strictly below (None while   │
+//!          any shard may still emit at t=0)                    │
+//!                                                              ▼
+//!          amortized drain (engine try_lock; snapshot merged
+//!          watermark, THEN sweep every shard's pending queue)
+//!                              │
+//!                              ▼
+//!         StreamingEngine reorder buffer ── released at the merged
+//!         watermark in (start, id) order; id = shard << 32 | seq,
+//!         so cross-shard same-start ties break deterministically
 //!              │
 //!              ├─ Alg 1  reception slots: duplicates final on arrival
 //!              ├─ Alg 2  confirmed frontier: trips retire when the
 //!              │         re-send arrives; stalled lookahead window is
 //!              │         compact (seqs, no clones) and reconciled at
-//!              │         finalize
+//!              │         finalize; `StreamConfig::max_frontier` caps
+//!              │         it with a counted, warned spill policy
 //!              ├─ Alg 3  pairing groups: repeats final at alloc time
 //!              └─ Alg 4/5 per-device pending queues: decisions land on
 //!                        the device's next kernel (or finalize)
@@ -61,15 +78,23 @@
 //!              ├──► live StreamFindings (seq-based, for sinks /
 //!              │    future live mapping decisions)
 //!              └──► finalize(&EventView) → Findings, byte-identical
-//!                   to Findings::detect on the recorded trace
+//!                   to Findings::detect on the merged trace
+//!
+//! post-run: TraceLog::merge_shards orders all shard streams by
+//! (start, shard, per-shard seq) — hydration output is independent
+//! of how the OS scheduled the recording threads.
 //! ```
 //!
 //! Detection state is index-based throughout; the engine clones no
 //! event after the reorder buffer releases it. The equivalence contract
 //! is enforced by `crates/core/tests/streaming_differential.rs`
-//! (randomized traces delivered in completion order, exact JSON
-//! equality) and the per-callback overhead is tracked by the
-//! `streaming_vs_postmortem` group of
+//! (randomized traces delivered in completion order *and* partitioned
+//! across shards with randomized interleavings, exact JSON equality),
+//! `crates/core/tests/sharded_stress.rs` (real OS-thread callback
+//! storms + barrier-forced watermark orderings), and
+//! `tests/threaded_collection.rs` (workloads driven from N threads
+//! end to end). Per-callback overhead is tracked by the
+//! `streaming_vs_postmortem` and `sharded_vs_single_lock` groups of
 //! `crates/bench/benches/detectors.rs`.
 
 pub mod duplicate;
@@ -89,7 +114,7 @@ pub use engine::{EventView, IndexFindings, OutOfRangeEvents};
 pub use pairing::{alloc_delete_pairs, AllocDeletePair};
 pub use realloc::{find_repeated_allocs, find_repeated_allocs_keyed, RepeatedAllocGroup};
 pub use roundtrip::{find_round_trips, RoundTrip, RoundTripGroup};
-pub use stream::{StreamBufferStats, StreamConfig, StreamFinding, StreamingEngine};
+pub use stream::{StreamBufferStats, StreamConfig, StreamEvent, StreamFinding, StreamingEngine};
 pub use unused_alloc::{find_unused_allocs, UnusedAlloc};
 pub use unused_transfer::{find_unused_transfers, UnusedTransfer, UnusedTransferReason};
 

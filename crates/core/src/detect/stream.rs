@@ -73,6 +73,28 @@ pub struct StreamConfig {
     /// `None` grows the per-device machines on demand, matching the
     /// post-mortem path's inferred device count.
     pub num_devices: Option<u32>,
+    /// Hard cap on Algorithm 2's lookahead window. On adversarial
+    /// traces — every transfer a unique hash that never returns — the
+    /// confirmed frontier grows with trace length; with a cap, the
+    /// oldest undecided transfers are *spilled*: resolved against the
+    /// reception queues as they stand (almost always "no round trip")
+    /// and retired, trading exactness of late-completing trips for a
+    /// guaranteed memory ceiling. Spills are counted in
+    /// [`StreamBufferStats::frontier_spilled`] and surfaced through
+    /// [`StreamingEngine::spill_warning`]; while the count stays zero,
+    /// finalize remains byte-identical to post-mortem detection.
+    /// `None` (default) never spills.
+    pub max_frontier: Option<usize>,
+}
+
+/// One event in arrival (completion) order — what a sharded collector
+/// buffers per thread before the merged watermark feeds the engine.
+#[derive(Clone, Debug)]
+pub enum StreamEvent {
+    /// A data operation (alloc/transfer/delete/...).
+    Op(DataOpEvent),
+    /// A target construct; only kernels reach the detectors.
+    Kernel(TargetEvent),
 }
 
 /// A finding emitted while the program is still running. Events are
@@ -155,6 +177,10 @@ pub struct StreamBufferStats {
     pub device_pending_now: usize,
     /// Per-device pending high-water mark.
     pub device_pending_peak: usize,
+    /// Undecided transfers force-retired by [`StreamConfig::max_frontier`].
+    /// Non-zero means late round trips may have been missed (finalize is
+    /// no longer guaranteed byte-identical to post-mortem detection).
+    pub frontier_spilled: usize,
 }
 
 /// Reorder-buffer entry, min-ordered by `(start, id, family)` — the same
@@ -288,6 +314,8 @@ impl DeviceMachine {
 pub struct StreamingEngine {
     /// Fixed device count, or `None` to grow on demand.
     fixed_devices: Option<u32>,
+    /// Algorithm 2 lookahead hard cap (`None` = unbounded/exact).
+    max_frontier: Option<usize>,
     /// Reorder buffer (min-heap on `(start, id)`).
     buffer: BinaryHeap<Reverse<BufEntry>>,
     /// Everything at or below this start time has been released.
@@ -325,7 +353,17 @@ impl StreamingEngine {
     pub fn new(cfg: StreamConfig) -> StreamingEngine {
         StreamingEngine {
             fixed_devices: cfg.num_devices,
+            max_frontier: cfg.max_frontier,
             ..Default::default()
+        }
+    }
+
+    /// Buffer an incoming event (any completion order) — the entry
+    /// point a sharded collector drains its per-thread queues through.
+    pub fn push(&mut self, ev: StreamEvent) {
+        match ev {
+            StreamEvent::Op(e) => self.push_data_op(e),
+            StreamEvent::Kernel(k) => self.push_target(k),
         }
     }
 
@@ -362,7 +400,10 @@ impl StreamingEngine {
             let Reverse(entry) = self.buffer.pop().expect("peeked");
             debug_assert!(
                 self.last_released.is_none_or(|last| last <= entry.key()),
-                "watermark violated: event released out of order"
+                "watermark violated: released {:?} after {:?} (watermark {:?})",
+                entry.key(),
+                self.last_released,
+                self.watermark
             );
             self.last_released = Some(entry.key());
             match entry {
@@ -397,6 +438,21 @@ impl StreamingEngine {
         s.frontier_now = self.frontier.len();
         s.device_pending_now = self.machines.iter().map(|m| m.pending_len()).sum();
         s
+    }
+
+    /// A report warning when [`StreamConfig::max_frontier`] forced
+    /// spills (late round trips may be under-counted), else `None`.
+    pub fn spill_warning(&self) -> Option<String> {
+        let spilled = self.stats.frontier_spilled;
+        if spilled == 0 {
+            return None;
+        }
+        let cap = self.max_frontier.unwrap_or(0);
+        Some(format!(
+            "warning: the Algorithm 2 lookahead window hit its hard cap ({cap}); \
+             {spilled} undecided transfer(s) were retired early — round trips \
+             completing after the spill are not reported"
+        ))
     }
 
     /// Run every state machine to completion and materialize owned
@@ -542,6 +598,19 @@ impl StreamingEngine {
         });
         self.stats.frontier_peak = self.stats.frontier_peak.max(self.frontier.len());
         self.alg2_advance_frontier();
+        // Hard cap: force-retire the oldest undecided transfers. Each
+        // spilled transfer is resolved against the queues as they stand
+        // — a re-send that has not happened yet is treated as never
+        // happening, the trade the cap buys its memory ceiling with.
+        if let Some(cap) = self.max_frontier {
+            while self.frontier.len() > cap {
+                let tx = self.frontier.pop_front().expect("len checked");
+                self.stats.frontier_spilled += 1;
+                self.try_complete_trip(&tx);
+            }
+            // Spilling unblocked whatever stalled behind the front.
+            self.alg2_advance_frontier();
+        }
     }
 
     /// Retire frontier transfers while their outcome is determined by
@@ -1050,6 +1119,103 @@ mod tests {
     }
 
     #[test]
+    fn frontier_hard_cap_bounds_adversarial_traces() {
+        // Adversarial input: every transfer carries a unique hash that
+        // never returns, so every transfer is undecided forever and the
+        // exact frontier grows linearly with the trace.
+        fn run(cap: Option<usize>, n: u64) -> (StreamingEngine, Vec<DataOpEvent>) {
+            let mut f = EventFactory::new();
+            let ops: Vec<DataOpEvent> = (0..n)
+                .map(|i| f.h2d(i * 20, 0, 0x1000, 1_000 + i, 64))
+                .collect();
+            let mut engine = StreamingEngine::new(StreamConfig {
+                num_devices: None,
+                max_frontier: cap,
+            });
+            for op in &ops {
+                engine.push(StreamEvent::Op(op.clone()));
+                engine.advance_watermark(op.span.end);
+            }
+            (engine, ops)
+        }
+
+        let (exact, _) = run(None, 500);
+        assert!(
+            exact.buffer_stats().frontier_peak >= 500,
+            "uncapped frontier grows with the trace: {:?}",
+            exact.buffer_stats()
+        );
+        assert_eq!(exact.spill_warning(), None);
+
+        let (mut capped, ops) = run(Some(32), 500);
+        let stats = capped.buffer_stats();
+        assert!(
+            stats.frontier_peak <= 33,
+            "high-water mark must respect the cap: {stats:?}"
+        );
+        assert_eq!(stats.frontier_spilled, 500 - 32);
+        assert!(capped
+            .spill_warning()
+            .is_some_and(|w| w.contains("hard cap") && w.contains("468")));
+
+        // Never-returning transfers are not round trips either way, so
+        // even the capped engine's finalize matches post-mortem here.
+        let view = EventView::new(&ops, &[], 1);
+        let streamed = capped.finalize(&view);
+        let postmortem = Findings::detect(&ops, &[], 1);
+        assert_eq!(
+            serde_json::to_string(&streamed).unwrap(),
+            serde_json::to_string(&postmortem).unwrap()
+        );
+    }
+
+    #[test]
+    fn spilled_transfers_give_up_late_round_trips_with_a_warning() {
+        // The documented trade: a transfer spilled before its re-send
+        // arrives loses its round trip; the warning says so.
+        let mut f = EventFactory::new();
+        let mut ops = vec![f.h2d(0, 0, 0x1000, 7, 64)];
+        for i in 0..50u64 {
+            ops.push(f.h2d(10 + i * 10, 0, 0x2000, 100 + i, 64));
+        }
+        // The re-send that would complete hash 7's round trip, far past
+        // the cap.
+        ops.push(f.d2h(2_000, 0, 0x1000, 7, 64));
+
+        let mut engine = StreamingEngine::new(StreamConfig {
+            num_devices: None,
+            max_frontier: Some(8),
+        });
+        for op in &ops {
+            engine.push_data_op(op.clone());
+            engine.advance_watermark(op.span.end);
+        }
+        let view = EventView::new(&ops, &[], 1);
+        let streamed = engine.finalize(&view);
+        let postmortem = Findings::detect(&ops, &[], 1);
+        // Exact detection pairs the outbound H2D with its late return.
+        assert_eq!(postmortem.counts().rt, 1);
+        assert!(postmortem
+            .round_trips
+            .iter()
+            .any(|g| g.src_device.is_host()));
+        // The spilled engine lost that pairing (the return leg may still
+        // complete a reverse-direction trip, but the host-outbound group
+        // is gone) — and the divergence is announced.
+        assert!(
+            !streamed.round_trips.iter().any(|g| g.src_device.is_host()),
+            "spilled outbound trip must not be reported: {streamed:?}"
+        );
+        assert_ne!(
+            serde_json::to_string(&streamed).unwrap(),
+            serde_json::to_string(&postmortem).unwrap(),
+            "this trace is built to diverge after the spill"
+        );
+        assert!(engine.spill_warning().is_some(), "divergence must warn");
+        assert!(engine.buffer_stats().frontier_spilled > 0);
+    }
+
+    #[test]
     fn fixed_device_mode_counts_out_of_range_events() {
         let mut f = EventFactory::new();
         let kernels = vec![f.kernel(10, 20, 3)];
@@ -1059,6 +1225,7 @@ mod tests {
         ];
         let mut engine = StreamingEngine::new(StreamConfig {
             num_devices: Some(1),
+            ..Default::default()
         });
         feed_chronological(&mut engine, &ops, &kernels);
         let view = EventView::new(&ops, &kernels, 1);

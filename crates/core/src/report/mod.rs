@@ -240,6 +240,80 @@ impl FindingsSink for ConsoleStreamSink {
     }
 }
 
+/// Render a live issue-count snapshot — the incremental counterpart of
+/// the §A.6 summary table, emitted periodically while the program runs
+/// (`--stream-interval`) instead of once after it exits.
+pub fn render_counts_snapshot(c: &IssueCounts) -> String {
+    format!(
+        "stream: snapshot DD={} RT={} RA={} UA={} UT={} (total {})",
+        c.dd,
+        c.rt,
+        c.ra,
+        c.ua,
+        c.ut,
+        c.total()
+    )
+}
+
+/// A [`FindingsSink`] that renders each finding *and* interleaves a
+/// [`render_counts_snapshot`] line after every `every` findings, so a
+/// console consumer sees the §A.6 summary grow during the run. The
+/// counts are accumulated from the delivered findings themselves and
+/// therefore always agree with the engine's `live_counts()` at the
+/// delivery point.
+#[derive(Debug)]
+pub struct SnapshotStreamSink {
+    /// Emit a snapshot line after this many findings (0 = never).
+    every: usize,
+    /// Findings since the last snapshot.
+    since: usize,
+    /// Running counts over everything delivered.
+    counts: IssueCounts,
+    /// Rendered lines (findings + snapshots), delivery order.
+    pub lines: Vec<String>,
+}
+
+impl SnapshotStreamSink {
+    /// A sink snapshotting after every `every` findings.
+    pub fn new(every: usize) -> SnapshotStreamSink {
+        SnapshotStreamSink {
+            every,
+            since: 0,
+            counts: IssueCounts::default(),
+            lines: Vec::new(),
+        }
+    }
+
+    /// Counts accumulated so far.
+    pub fn counts(&self) -> IssueCounts {
+        self.counts
+    }
+
+    /// Append a snapshot line now (the CLI's periodic timer calls this
+    /// between finding batches).
+    pub fn snapshot(&mut self) {
+        self.lines.push(render_counts_snapshot(&self.counts));
+        self.since = 0;
+    }
+}
+
+impl FindingsSink for SnapshotStreamSink {
+    fn on_finding(&mut self, finding: &StreamFinding) {
+        match finding {
+            StreamFinding::DuplicateTransfer { .. } => self.counts.dd += 1,
+            StreamFinding::RoundTrip { .. } => self.counts.rt += 1,
+            StreamFinding::RepeatedAlloc { .. } => self.counts.ra += 1,
+            StreamFinding::UnusedAlloc { .. } => self.counts.ua += 1,
+            StreamFinding::UnusedTransfer { .. } => self.counts.ut += 1,
+        }
+        self.lines.push(render_stream_finding(finding));
+        self.since += 1;
+        if self.every > 0 && self.since >= self.every {
+            self.snapshot();
+        }
+    }
+}
+
 fn human_bytes(b: u64) -> String {
     if b >= 1 << 30 {
         format!("{:.2} GiB", b as f64 / (1u64 << 30) as f64)
@@ -387,5 +461,32 @@ mod tests {
         assert!(sink.lines[3].contains("never freed"));
         assert!(sink.lines[4].contains("after the last kernel"));
         assert!(sink.lines.iter().all(|l| l.starts_with("stream: ")));
+    }
+
+    #[test]
+    fn snapshot_sink_interleaves_summary_lines() {
+        use odp_model::{DeviceId, HashVal};
+        let mut sink = SnapshotStreamSink::new(2);
+        let dup = |event| StreamFinding::DuplicateTransfer {
+            hash: HashVal(0xab),
+            dest_device: DeviceId::target(0),
+            event,
+            first: 0,
+            occurrence: 2,
+        };
+        for i in 1..=5 {
+            sink.on_finding(&dup(i));
+        }
+        // 5 findings + snapshots after #2 and #4.
+        assert_eq!(sink.lines.len(), 7);
+        assert!(sink.lines[2].contains("snapshot DD=2"));
+        assert!(sink.lines[5].contains("snapshot DD=4"));
+        assert_eq!(sink.counts().dd, 5);
+        sink.snapshot();
+        assert!(sink
+            .lines
+            .last()
+            .unwrap()
+            .contains("snapshot DD=5 RT=0 RA=0 UA=0 UT=0 (total 5)"));
     }
 }

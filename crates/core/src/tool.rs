@@ -7,18 +7,50 @@
 //! deprecated begin-only callbacks with the §A.6 degradation warning; on
 //! runtimes without target callbacks it reports itself unusable.
 //!
+//! # Sharded multi-threaded collection
+//!
+//! A real OpenMP runtime drives OMPT callbacks from *every* runtime
+//! thread. The collector is therefore sharded: each runtime thread owns
+//! one [`OmpDataPerfTool`] instance (fork more with
+//! [`ToolHandle::fork_tool`]), and the per-callback fast path touches
+//! **only that thread's shard** — its own [`TraceLog`] shard (event ids
+//! embed the shard, so the post-run [`TraceLog::merge_shards`] is
+//! deterministic regardless of OS scheduling), its own hash meter, its
+//! own [`StreamClock`], and its own pending-event queue. The only
+//! cross-thread traffic on the fast path is a pair of atomic stores into
+//! the [`GlobalWatermark`] — **zero global lock acquisitions**.
+//!
+//! Streaming mode adds an amortized batch step: after publishing its
+//! clock, a callback *tries* to take the engine lock; whoever succeeds
+//! snapshots the merged watermark, sweeps every shard's pending queue
+//! into the [`StreamingEngine`]'s reorder buffer, and advances it. A
+//! failed `try_lock` just means another thread is already draining —
+//! the next advance catches up, and finalize always performs a full
+//! blocking drain. The snapshot-*then*-drain order is what makes this
+//! sound: each shard queues an event *before* publishing the clock edge
+//! that could unblock it, so any event at or below a snapshotted merged
+//! watermark is already visible to the sweep.
+//!
+//! Lock order (outermost first): engine → shard list → one shard →
+//! control. The fast path takes only its own shard's (uncontended)
+//! lock; `control` guards cold data (console lines, flags, the opt-in
+//! collision audit, which serializes by design).
+//!
 //! Construction returns the tool plus a [`ToolHandle`] sharing its
-//! collector, so the harness can extract the trace after the runtime
-//! finishes with the boxed tool.
+//! collector, so the harness can extract the merged trace after the
+//! runtime finishes with the boxed tools.
 
 use crate::collision::CollisionAudit;
-use crate::detect::{IssueCounts, StreamConfig, StreamFinding, StreamingEngine};
+use crate::detect::{
+    IssueCounts, StreamBufferStats, StreamConfig, StreamEvent, StreamFinding, StreamingEngine,
+};
 use odp_hash::fnv::FnvHashMap;
 use odp_hash::HashAlgoId;
 use odp_model::{DataOpKind, SimDuration, SimTime, TargetKind, TimeSpan};
 use odp_ompt::{
-    CallbackKind, DataOpCallback, DataOpType, Endpoint, RuntimeCapabilities, StreamClock,
-    SubmitCallback, TargetCallback, TargetConstructKind, Tool, ToolRegistration,
+    CallbackKind, DataOpCallback, DataOpType, Endpoint, GlobalWatermark, RuntimeCapabilities,
+    ShardSlot, StreamClock, SubmitCallback, TargetCallback, TargetConstructKind, Tool,
+    ToolRegistration,
 };
 use odp_trace::TraceLog;
 use parking_lot::Mutex;
@@ -30,7 +62,8 @@ use std::time::Instant;
 pub struct ToolConfig {
     /// Content-hash algorithm (default: `t1ha0_avx2`, §B.1).
     pub hash_algo: HashAlgoId,
-    /// Enable the §B.1 collision audit (stores payload copies).
+    /// Enable the §B.1 collision audit (stores payload copies; the
+    /// audit store is shared, so audited callbacks serialize on it).
     pub collision_audit: bool,
     /// Suppress warnings (`-q`).
     pub quiet: bool,
@@ -39,8 +72,12 @@ pub struct ToolConfig {
     /// Run the streaming detection engine online (`--stream`): every
     /// callback additionally feeds the five §5 state machines, emitting
     /// findings while the program runs. Post-run, the engine finalizes
-    /// to findings byte-identical to the post-mortem path.
+    /// to findings byte-identical to the post-mortem path (unless
+    /// `stream_max_frontier` forced spills).
     pub stream: bool,
+    /// Hard cap for Algorithm 2's lookahead window
+    /// ([`StreamConfig::max_frontier`]); `None` keeps streaming exact.
+    pub stream_max_frontier: Option<usize>,
 }
 
 /// Wall-clock hashing meter (Table 4's "effective hash rate").
@@ -63,121 +100,254 @@ impl HashMeter {
     }
 }
 
-/// Everything the tool accumulates during a run.
+/// One runtime thread's slice of the collector. Only the owning thread
+/// touches it on the fast path; the handle's observers lock it briefly
+/// to aggregate.
 #[derive(Debug, Default)]
-pub struct Collector {
-    /// The event log.
-    pub log: TraceLog,
-    /// Hash-rate meter.
-    pub hash_meter: HashMeter,
-    /// Collision audit store.
-    pub audit: CollisionAudit,
-    /// `info:` console lines (§A.6).
-    pub info: Vec<String>,
-    /// `warning:` console lines.
-    pub warnings: Vec<String>,
-    /// Operating against a pre-EMI runtime (durations unavailable).
-    pub degraded: bool,
-    /// No target callbacks at all — nothing can be profiled.
-    pub unusable: bool,
-    /// Program finished (finalize ran).
-    pub finalized: bool,
-    /// The online detection engine (`--stream` mode only). Lives behind
-    /// the same lock as the log, so the per-callback cost stays at one
-    /// lock acquisition.
-    pub stream: Option<StreamingEngine>,
+struct ShardState {
+    /// This thread's trace shard (event ids embed the shard id).
+    log: TraceLog,
+    /// This thread's hash-rate meter.
+    hash_meter: HashMeter,
+    /// Events recorded but not yet swept into the streaming engine.
+    pending: Vec<StreamEvent>,
 }
 
-/// Shared handle for extracting results after the run.
+/// Cold shared state: console lines, negotiation flags, the audit.
+#[derive(Debug, Default)]
+struct Control {
+    /// Collision audit store (shared across shards by design: a
+    /// collision between payloads hashed on different threads must
+    /// still be caught).
+    audit: CollisionAudit,
+    /// `info:` console lines (§A.6).
+    info: Vec<String>,
+    /// `warning:` console lines.
+    warnings: Vec<String>,
+    /// Operating against a pre-EMI runtime (durations unavailable).
+    degraded: bool,
+    /// No target callbacks at all — nothing can be profiled.
+    unusable: bool,
+    /// First shard already performed the `initialize` handshake.
+    initialized: bool,
+    /// Shards created so far.
+    spawned_shards: usize,
+    /// Shards whose runtime called `finalize`.
+    finalized_shards: usize,
+    /// Every spawned shard finalized (program finished).
+    finalized: bool,
+}
+
+/// Everything the shards share.
+struct ToolShared {
+    cfg: ToolConfig,
+    control: Mutex<Control>,
+    /// All shards, fork order (= shard id order).
+    shards: Mutex<Vec<Arc<Mutex<ShardState>>>>,
+    /// The online detection engine (`stream` mode only). Fast-path
+    /// callbacks never block on it: they `try_lock` to drain.
+    engine: Mutex<Option<StreamingEngine>>,
+    /// Per-shard clock merge (lock-free).
+    watermark: GlobalWatermark,
+}
+
+impl ToolShared {
+    /// Sweep every shard's pending queue into the engine and advance it
+    /// to the merged watermark. `engine` must be locked by the caller.
+    fn drain_locked(&self, engine: &mut StreamingEngine) {
+        // Snapshot BEFORE sweeping: every event at or below this merged
+        // watermark was queued before its shard published the edge that
+        // enabled it (shards queue, then publish), so the sweep below
+        // is guaranteed to see it.
+        let watermark = self.watermark.merged();
+        // Lock order engine → shard list → shard allows holding the
+        // list guard across the sweep (no per-drain clone).
+        {
+            let shards = self.shards.lock();
+            for shard in shards.iter() {
+                let mut shard = shard.lock();
+                for ev in shard.pending.drain(..) {
+                    engine.push(ev);
+                }
+            }
+        }
+        // `None` = some shard may still emit at time zero: buffer only.
+        if let Some(watermark) = watermark {
+            engine.advance_watermark(watermark);
+        }
+    }
+
+    /// Opportunistic drain from the callback fast path: never blocks.
+    fn maybe_drain(&self) {
+        if !self.cfg.stream {
+            return;
+        }
+        let Some(mut guard) = self.engine.try_lock() else {
+            return; // another thread is already draining
+        };
+        if let Some(engine) = guard.as_mut() {
+            self.drain_locked(engine);
+        }
+    }
+
+    /// Blocking drain for observers and finalization.
+    fn drain_all(&self) {
+        let mut guard = self.engine.lock();
+        if let Some(engine) = guard.as_mut() {
+            self.drain_locked(engine);
+        }
+    }
+}
+
+/// Shared handle for forking shards and extracting results.
 #[derive(Clone)]
 pub struct ToolHandle {
-    shared: Arc<Mutex<Collector>>,
+    shared: Arc<ToolShared>,
 }
 
 impl ToolHandle {
-    /// Run `f` against the collector.
-    pub fn with<R>(&self, f: impl FnOnce(&Collector) -> R) -> R {
-        f(&self.shared.lock())
+    /// Fork a tool for one more runtime thread (at most
+    /// [`OmpDataPerfTool::MAX_SHARDS`] in total). All forks share this
+    /// handle's collector: their trace shards merge deterministically in
+    /// [`ToolHandle::take_trace`], their clocks merge in the global
+    /// watermark, and their streamed events feed one engine. Fork every
+    /// shard *before* the run starts: once the merged watermark has
+    /// advanced, a late shard's early-time events could no longer be
+    /// ordered ahead of already-released ones.
+    pub fn fork_tool(&self) -> OmpDataPerfTool {
+        OmpDataPerfTool::new_shard(self.shared.clone())
     }
 
-    /// Take the trace log out (leaves an empty one behind).
+    /// Number of shards forked so far.
+    pub fn shard_count(&self) -> usize {
+        self.shared.control.lock().spawned_shards
+    }
+
+    /// Take the merged trace out (leaves empty shard logs behind).
+    /// Shard streams merge by `(start, shard, per-shard order)` — the
+    /// output is independent of how the OS scheduled the recording
+    /// threads.
     pub fn take_trace(&self) -> TraceLog {
-        std::mem::take(&mut self.shared.lock().log)
+        let shards = self.shared.shards.lock();
+        let logs: Vec<TraceLog> = shards
+            .iter()
+            .map(|s| std::mem::take(&mut s.lock().log))
+            .collect();
+        TraceLog::merge_shards(logs)
     }
 
-    /// Effective hash rate in GB/s.
-    pub fn hash_rate_gb_per_s(&self) -> f64 {
-        self.shared.lock().hash_meter.gb_per_s()
-    }
-
-    /// Snapshot of the hash meter.
+    /// Aggregate hash meter across all shards.
     pub fn hash_meter(&self) -> HashMeter {
-        self.shared.lock().hash_meter
+        let shards = self.shared.shards.lock();
+        let mut total = HashMeter::default();
+        for s in shards.iter() {
+            let s = s.lock();
+            total.bytes += s.hash_meter.bytes;
+            total.nanos += s.hash_meter.nanos;
+        }
+        total
+    }
+
+    /// Effective hash rate in GB/s (aggregate).
+    pub fn hash_rate_gb_per_s(&self) -> f64 {
+        self.hash_meter().gb_per_s()
     }
 
     /// Accumulated console lines (info then warnings).
     pub fn console_lines(&self) -> Vec<String> {
-        let c = self.shared.lock();
+        let c = self.shared.control.lock();
         c.info.iter().chain(c.warnings.iter()).cloned().collect()
     }
 
     /// Is the tool in degraded (non-EMI) mode?
     pub fn degraded(&self) -> bool {
-        self.shared.lock().degraded
+        self.shared.control.lock().degraded
     }
 
     /// Could the tool register any target callbacks at all?
     pub fn unusable(&self) -> bool {
-        self.shared.lock().unusable
+        self.shared.control.lock().unusable
     }
 
     /// Number of hash collisions the audit observed.
     pub fn collision_count(&self) -> usize {
-        self.shared.lock().audit.collisions().len()
+        self.shared.control.lock().audit.collisions().len()
+    }
+
+    /// Number of payloads the collision audit checked.
+    pub fn audit_checks(&self) -> u64 {
+        self.shared.control.lock().audit.checks()
+    }
+
+    /// Bytes of payload copies the collision audit retains.
+    pub fn audit_retained_bytes(&self) -> usize {
+        self.shared.control.lock().audit.retained_bytes()
     }
 
     /// Is the streaming engine attached?
     pub fn streaming(&self) -> bool {
-        self.shared.lock().stream.is_some()
+        self.shared.engine.lock().is_some()
     }
 
     /// Drain the findings the streaming engine emitted since the last
     /// call (empty when streaming is off). Safe to call while the
-    /// program runs — this is the live consumption point.
+    /// program runs — this is the live consumption point. Sweeps every
+    /// shard's pending events first, so the caller sees everything
+    /// decidable at the current merged watermark.
     pub fn take_stream_findings(&self) -> Vec<StreamFinding> {
-        self.shared
-            .lock()
-            .stream
-            .as_mut()
-            .map(|e| e.take_findings())
-            .unwrap_or_default()
+        let mut guard = self.shared.engine.lock();
+        match guard.as_mut() {
+            Some(engine) => {
+                self.shared.drain_locked(engine);
+                engine.take_findings()
+            }
+            None => Vec::new(),
+        }
     }
 
     /// Issue counts of everything the streaming engine has emitted so
     /// far (`None` when streaming is off).
     pub fn stream_counts(&self) -> Option<IssueCounts> {
-        self.shared.lock().stream.as_ref().map(|e| e.live_counts())
+        let mut guard = self.shared.engine.lock();
+        guard.as_mut().map(|engine| {
+            self.shared.drain_locked(engine);
+            engine.live_counts()
+        })
+    }
+
+    /// Current streaming window sizes (`None` when streaming is off).
+    pub fn stream_buffer_stats(&self) -> Option<StreamBufferStats> {
+        self.shared.engine.lock().as_ref().map(|e| e.buffer_stats())
     }
 
     /// Take the streaming engine out for finalization against the
-    /// extracted trace (leaves streaming detached).
+    /// extracted trace (leaves streaming detached). Performs a final
+    /// full drain first, so no shard-buffered event is lost.
     pub fn take_stream_engine(&self) -> Option<StreamingEngine> {
-        self.shared.lock().stream.take()
+        let mut guard = self.shared.engine.lock();
+        if let Some(engine) = guard.as_mut() {
+            self.shared.drain_locked(engine);
+        }
+        guard.take()
     }
 }
 
-/// The tool. Attach with `runtime.attach_tool(Box::new(tool))`.
+/// The tool. Attach with `runtime.attach_tool(Box::new(tool))`; for a
+/// multi-threaded runtime, attach one [`ToolHandle::fork_tool`] result
+/// per runtime thread.
 pub struct OmpDataPerfTool {
     cfg: ToolConfig,
-    shared: Arc<Mutex<Collector>>,
+    shared: Arc<ToolShared>,
+    /// This instance's shard (only owner on the fast path).
+    shard: Arc<Mutex<ShardState>>,
+    /// This shard's watermark-publish slot.
+    slot: ShardSlot,
     /// Cached copy of the collector's `degraded` flag, decided once at
-    /// `initialize` — callbacks read this instead of taking the lock a
-    /// second time per event (the runtime drives all callbacks from one
-    /// thread; the collector's copy exists for the handle's observers).
+    /// `initialize` — callbacks read this instead of taking a lock a
+    /// second time per event.
     degraded: bool,
-    /// Reorder watermark for the streaming engine: tracks open data ops
-    /// and kernel submits (the two event families the detectors
-    /// consume).
+    /// Per-thread reorder clock: tracks this thread's open data ops and
+    /// kernel submits (the two event families the detectors consume).
     clock: StreamClock,
     /// host_op_id → begin time of the open data op.
     open_ops: FnvHashMap<u64, SimTime>,
@@ -188,30 +358,53 @@ pub struct OmpDataPerfTool {
 }
 
 impl OmpDataPerfTool {
-    /// Build a tool and its extraction handle.
+    /// Maximum number of shards one collector supports (the global
+    /// watermark's fixed slot capacity).
+    pub const MAX_SHARDS: usize = GlobalWatermark::DEFAULT_SHARDS;
+
+    /// Build the first shard and the extraction handle.
     pub fn new(cfg: ToolConfig) -> (OmpDataPerfTool, ToolHandle) {
-        let shared = Arc::new(Mutex::new(Collector {
-            audit: CollisionAudit::new(cfg.collision_audit),
-            stream: cfg
-                .stream
-                .then(|| StreamingEngine::new(StreamConfig::default())),
-            ..Default::default()
-        }));
+        let shared = Arc::new(ToolShared {
+            cfg,
+            control: Mutex::new(Control {
+                audit: CollisionAudit::new(cfg.collision_audit),
+                ..Default::default()
+            }),
+            shards: Mutex::new(Vec::new()),
+            engine: Mutex::new(cfg.stream.then(|| {
+                StreamingEngine::new(StreamConfig {
+                    num_devices: None,
+                    max_frontier: cfg.stream_max_frontier,
+                })
+            })),
+            watermark: GlobalWatermark::with_capacity(GlobalWatermark::DEFAULT_SHARDS),
+        });
         let handle = ToolHandle {
             shared: shared.clone(),
         };
-        (
-            OmpDataPerfTool {
-                cfg,
-                shared,
-                degraded: false,
-                clock: StreamClock::new(),
-                open_ops: FnvHashMap::default(),
-                open_submits: FnvHashMap::default(),
-                open_targets: FnvHashMap::default(),
-            },
-            handle,
-        )
+        (OmpDataPerfTool::new_shard(shared), handle)
+    }
+
+    fn new_shard(shared: Arc<ToolShared>) -> OmpDataPerfTool {
+        let slot = shared.watermark.register();
+        let shard = Arc::new(Mutex::new(ShardState {
+            log: TraceLog::for_shard(slot.index() as u32),
+            ..Default::default()
+        }));
+        shared.shards.lock().push(shard.clone());
+        shared.control.lock().spawned_shards += 1;
+        let cfg = shared.cfg;
+        OmpDataPerfTool {
+            cfg,
+            shared,
+            shard,
+            slot,
+            degraded: false,
+            clock: StreamClock::new(),
+            open_ops: FnvHashMap::default(),
+            open_submits: FnvHashMap::default(),
+            open_targets: FnvHashMap::default(),
+        }
     }
 
     /// The tool's configuration.
@@ -219,14 +412,35 @@ impl OmpDataPerfTool {
         self.cfg
     }
 
-    fn hash_payload(&self, c: &mut Collector, payload: &[u8]) -> u64 {
+    /// This instance's shard id.
+    pub fn shard(&self) -> u32 {
+        self.slot.index() as u32
+    }
+
+    /// Hash a payload against this shard's meter (and the shared audit
+    /// when enabled — the documented serialization point of audit mode).
+    fn hash_payload(&self, shard: &mut ShardState, payload: &[u8]) -> u64 {
         let t = Instant::now();
         let h = self.cfg.hash_algo.hash(payload);
         let dt = t.elapsed().as_nanos() as u64;
-        c.hash_meter.bytes += payload.len() as u64;
-        c.hash_meter.nanos += dt.max(1);
-        c.audit.record(payload, h);
+        shard.hash_meter.bytes += payload.len() as u64;
+        shard.hash_meter.nanos += dt.max(1);
+        if self.cfg.collision_audit {
+            self.shared.control.lock().audit.record(payload, h);
+        }
         h
+    }
+
+    /// Publish this thread's clock and opportunistically advance the
+    /// engine. Call *after* releasing the shard lock (the queued event
+    /// must be visible before the publish — and the drain re-locks the
+    /// shard).
+    fn publish_and_drain(&self) {
+        if !self.cfg.stream {
+            return;
+        }
+        self.shared.watermark.publish(self.slot, &self.clock);
+        self.shared.maybe_drain();
     }
 }
 
@@ -262,17 +476,21 @@ fn construct_tag(c: TargetConstructKind) -> u8 {
 
 impl Tool for OmpDataPerfTool {
     fn initialize(&mut self, caps: &RuntimeCapabilities) -> ToolRegistration {
-        let mut c = self.shared.lock();
-        c.info.push(format!(
-            "info: OpenMP OMPT interface version {}",
-            caps.ompt_version
-        ));
-        c.info
-            .push(format!("info: OpenMP runtime {}", caps.runtime_name));
-        if let Some(flag) = caps.requires_recompile_flag {
+        let mut c = self.shared.control.lock();
+        let first = !c.initialized;
+        c.initialized = true;
+        if first {
             c.info.push(format!(
-                "info: this runtime requires programs to be compiled with {flag} for OMPT tools to engage"
+                "info: OpenMP OMPT interface version {}",
+                caps.ompt_version
             ));
+            c.info
+                .push(format!("info: OpenMP runtime {}", caps.runtime_name));
+            if let Some(flag) = caps.requires_recompile_flag {
+                c.info.push(format!(
+                    "info: this runtime requires programs to be compiled with {flag} for OMPT tools to engage"
+                ));
+            }
         }
 
         let emi = ToolRegistration::negotiate(
@@ -298,7 +516,7 @@ impl Tool for OmpDataPerfTool {
         if legacy.granted(CallbackKind::TargetDataOp) {
             c.degraded = true;
             self.degraded = true;
-            if !self.cfg.quiet {
+            if first && !self.cfg.quiet {
                 c.warnings.push(format!(
                     "warning: OMPDataPerf requires OMPT interface version 5.1 (or later), \
                      but found version {}. Some features may be degraded.",
@@ -309,7 +527,7 @@ impl Tool for OmpDataPerfTool {
         }
 
         c.unusable = true;
-        if !self.cfg.quiet {
+        if first && !self.cfg.quiet {
             c.warnings.push(format!(
                 "warning: the OpenMP runtime ({}) provides no OMPT target callbacks; \
                  OMPDataPerf cannot profile this program.",
@@ -325,7 +543,7 @@ impl Tool for OmpDataPerfTool {
             // Degraded mode: begin-only → record an instantaneous marker
             // (pre-EMI runtimes never deliver End).
             Endpoint::Begin if self.degraded => {
-                self.shared.lock().log.record_target(
+                self.shard.lock().log.record_target(
                     target_kind(cb.construct),
                     cb.device,
                     TimeSpan::at(cb.time),
@@ -337,7 +555,7 @@ impl Tool for OmpDataPerfTool {
             }
             Endpoint::End => {
                 let start = self.open_targets.remove(&key).unwrap_or(cb.time);
-                self.shared.lock().log.record_target(
+                self.shard.lock().log.record_target(
                     target_kind(cb.construct),
                     cb.device,
                     TimeSpan::new(start, cb.time),
@@ -353,37 +571,42 @@ impl Tool for OmpDataPerfTool {
             // with zero duration, hashing the payload that a pointer-
             // chasing tool reads at op start.
             Endpoint::Begin if self.degraded => {
-                let mut c = self.shared.lock();
-                let hash = cb.payload.map(|p| self.hash_payload(&mut c, p)).or(
-                    if data_op_kind(cb.optype) == DataOpKind::Transfer {
-                        Some(0)
-                    } else {
-                        None
-                    },
-                );
-                let event = c.log.record_data_op(
-                    data_op_kind(cb.optype),
-                    cb.src_device,
-                    cb.dest_device,
-                    cb.src_addr,
-                    cb.dest_addr,
-                    cb.bytes,
-                    hash,
-                    TimeSpan::at(cb.time),
-                    cb.codeptr_ra,
-                );
+                {
+                    let mut shard = self.shard.lock();
+                    let hash = cb.payload.map(|p| self.hash_payload(&mut shard, p)).or(
+                        if data_op_kind(cb.optype) == DataOpKind::Transfer {
+                            Some(0)
+                        } else {
+                            None
+                        },
+                    );
+                    let event = shard.log.record_data_op(
+                        data_op_kind(cb.optype),
+                        cb.src_device,
+                        cb.dest_device,
+                        cb.src_addr,
+                        cb.dest_addr,
+                        cb.bytes,
+                        hash,
+                        TimeSpan::at(cb.time),
+                        cb.codeptr_ra,
+                    );
+                    if self.cfg.stream {
+                        shard.pending.push(StreamEvent::Op(event));
+                    }
+                }
                 if self.cfg.stream {
                     self.clock.observe(cb.time);
-                    let watermark = self.clock.watermark();
-                    if let Some(engine) = c.stream.as_mut() {
-                        engine.push_data_op(event);
-                        engine.advance_watermark(watermark);
-                    }
+                    self.publish_and_drain();
                 }
             }
             Endpoint::Begin => {
                 if self.cfg.stream {
                     self.clock.open(cb.time);
+                    // Publish the open immediately: until then the merge
+                    // only knows this thread's clock, which is already
+                    // at or below the new begin.
+                    self.shared.watermark.publish(self.slot, &self.clock);
                 }
                 self.open_ops.insert(cb.host_op_id, cb.time);
             }
@@ -405,26 +628,25 @@ impl Tool for OmpDataPerfTool {
                         cb.time
                     }
                 };
-                let mut c = self.shared.lock();
-                let hash = cb.payload.map(|p| self.hash_payload(&mut c, p));
-                let event = c.log.record_data_op(
-                    data_op_kind(cb.optype),
-                    cb.src_device,
-                    cb.dest_device,
-                    cb.src_addr,
-                    cb.dest_addr,
-                    cb.bytes,
-                    hash,
-                    TimeSpan::new(start, cb.time),
-                    cb.codeptr_ra,
-                );
-                if self.cfg.stream {
-                    let watermark = self.clock.watermark();
-                    if let Some(engine) = c.stream.as_mut() {
-                        engine.push_data_op(event);
-                        engine.advance_watermark(watermark);
+                {
+                    let mut shard = self.shard.lock();
+                    let hash = cb.payload.map(|p| self.hash_payload(&mut shard, p));
+                    let event = shard.log.record_data_op(
+                        data_op_kind(cb.optype),
+                        cb.src_device,
+                        cb.dest_device,
+                        cb.src_addr,
+                        cb.dest_addr,
+                        cb.bytes,
+                        hash,
+                        TimeSpan::new(start, cb.time),
+                        cb.codeptr_ra,
+                    );
+                    if self.cfg.stream {
+                        shard.pending.push(StreamEvent::Op(event));
                     }
                 }
+                self.publish_and_drain();
             }
         }
     }
@@ -432,25 +654,27 @@ impl Tool for OmpDataPerfTool {
     fn on_submit(&mut self, cb: &SubmitCallback) {
         match cb.endpoint {
             Endpoint::Begin if self.degraded => {
-                let mut c = self.shared.lock();
-                let event = c.log.record_target(
-                    TargetKind::Kernel,
-                    cb.device,
-                    TimeSpan::at(cb.time),
-                    cb.codeptr_ra,
-                );
+                {
+                    let mut shard = self.shard.lock();
+                    let event = shard.log.record_target(
+                        TargetKind::Kernel,
+                        cb.device,
+                        TimeSpan::at(cb.time),
+                        cb.codeptr_ra,
+                    );
+                    if self.cfg.stream {
+                        shard.pending.push(StreamEvent::Kernel(event));
+                    }
+                }
                 if self.cfg.stream {
                     self.clock.observe(cb.time);
-                    let watermark = self.clock.watermark();
-                    if let Some(engine) = c.stream.as_mut() {
-                        engine.push_target(event);
-                        engine.advance_watermark(watermark);
-                    }
+                    self.publish_and_drain();
                 }
             }
             Endpoint::Begin => {
                 if self.cfg.stream {
                     self.clock.open(cb.time);
+                    self.shared.watermark.publish(self.slot, &self.clock);
                 }
                 self.open_submits.insert(cb.target_id, cb.time);
             }
@@ -470,32 +694,53 @@ impl Tool for OmpDataPerfTool {
                         cb.time
                     }
                 };
-                let mut c = self.shared.lock();
-                let event = c.log.record_target(
-                    TargetKind::Kernel,
-                    cb.device,
-                    TimeSpan::new(start, cb.time),
-                    cb.codeptr_ra,
-                );
-                if self.cfg.stream {
-                    let watermark = self.clock.watermark();
-                    if let Some(engine) = c.stream.as_mut() {
-                        engine.push_target(event);
-                        engine.advance_watermark(watermark);
+                {
+                    let mut shard = self.shard.lock();
+                    let event = shard.log.record_target(
+                        TargetKind::Kernel,
+                        cb.device,
+                        TimeSpan::new(start, cb.time),
+                        cb.codeptr_ra,
+                    );
+                    if self.cfg.stream {
+                        shard.pending.push(StreamEvent::Kernel(event));
                     }
                 }
+                self.publish_and_drain();
             }
         }
     }
 
     fn finalize(&mut self, total_time_ns: u64) {
-        let mut c = self.shared.lock();
-        c.log.set_total_time(SimDuration(total_time_ns));
-        c.finalized = true;
-        if self.cfg.verbose {
-            let rate = c.hash_meter.gb_per_s();
-            c.info
-                .push(format!("info: effective hash rate {rate:.1} GB/s"));
+        self.shard
+            .lock()
+            .log
+            .set_total_time(SimDuration(total_time_ns));
+        // A finished thread must not pin the merged watermark.
+        self.shared.watermark.retire(self.slot);
+        let all_done = {
+            let mut c = self.shared.control.lock();
+            c.finalized_shards += 1;
+            c.finalized = c.finalized_shards >= c.spawned_shards;
+            c.finalized
+        };
+        if all_done {
+            if self.cfg.stream {
+                // Final full (blocking) sweep: nothing may be left in a
+                // shard queue once the program is over.
+                self.shared.drain_all();
+            }
+            if self.cfg.verbose {
+                let rate = ToolHandle {
+                    shared: self.shared.clone(),
+                }
+                .hash_rate_gb_per_s();
+                self.shared
+                    .control
+                    .lock()
+                    .info
+                    .push(format!("info: effective hash rate {rate:.1} GB/s"));
+            }
         }
     }
 }
@@ -663,7 +908,7 @@ mod tests {
             Some(&p1),
         ));
         assert_eq!(handle.collision_count(), 0);
-        handle.with(|c| assert_eq!(c.audit.checks(), 1));
+        assert_eq!(handle.audit_checks(), 1);
     }
 
     #[test]
@@ -713,10 +958,8 @@ mod tests {
         tool.on_submit(&submit(Endpoint::End, 80));
         // The streaming engine must not have released anything past the
         // still-open op 1 (its begin pins the watermark at 0).
-        handle.with(|c| {
-            let stats = c.stream.as_ref().unwrap().buffer_stats();
-            assert!(stats.buffered_now >= 2, "events wait on the open op");
-        });
+        let stats = handle.stream_buffer_stats().unwrap();
+        assert!(stats.buffered_now >= 2, "events wait on the open op");
         tool.on_data_op(&data_op(
             Endpoint::End,
             1,
@@ -781,10 +1024,8 @@ mod tests {
             Some(&payload),
         ));
         // Op 1 is still open: nothing may have been released past t=99.
-        handle.with(|c| {
-            let stats = c.stream.as_ref().unwrap().buffer_stats();
-            assert_eq!(stats.buffered_now, 2, "both events must wait on op 1");
-        });
+        let stats = handle.stream_buffer_stats().unwrap();
+        assert_eq!(stats.buffered_now, 2, "both events must wait on op 1");
         tool.on_data_op(&data_op(
             Endpoint::End,
             1,
@@ -809,6 +1050,7 @@ mod tests {
         let (_tool, handle) = OmpDataPerfTool::new(ToolConfig::default());
         assert!(!handle.streaming());
         assert!(handle.stream_counts().is_none());
+        assert!(handle.stream_buffer_stats().is_none());
         assert!(handle.take_stream_findings().is_empty());
         assert!(handle.take_stream_engine().is_none());
     }
@@ -831,5 +1073,102 @@ mod tests {
         let kernels = trace.kernel_events();
         assert_eq!(kernels.len(), 1);
         assert_eq!(kernels[0].span.duration().as_nanos(), 300);
+    }
+
+    #[test]
+    fn forked_shards_merge_into_one_deterministic_trace() {
+        let (mut t0, handle) = OmpDataPerfTool::new(ToolConfig::default());
+        let mut t1 = handle.fork_tool();
+        let mut t2 = handle.fork_tool();
+        assert_eq!(handle.shard_count(), 3);
+        assert_eq!(t0.shard(), 0);
+        assert_eq!(t1.shard(), 1);
+        assert_eq!(t2.shard(), 2);
+        let caps = CompilerProfile::LlvmClang.capabilities();
+        t0.initialize(&caps);
+        t1.initialize(&caps);
+        t2.initialize(&caps);
+        // Only one set of info lines despite three initializations.
+        assert_eq!(
+            handle
+                .console_lines()
+                .iter()
+                .filter(|l| l.contains("OMPT interface version"))
+                .count(),
+            1
+        );
+        let payload = vec![5u8; 64];
+        // All three shards record a transfer at the same virtual time.
+        for (i, t) in [&mut t0, &mut t1, &mut t2].into_iter().enumerate() {
+            let id = i as u64 + 1;
+            t.on_data_op(&data_op(
+                Endpoint::Begin,
+                id,
+                DataOpType::TransferToDevice,
+                10,
+                None,
+            ));
+            t.on_data_op(&data_op(
+                Endpoint::End,
+                id,
+                DataOpType::TransferToDevice,
+                20,
+                Some(&payload),
+            ));
+        }
+        t0.finalize(100);
+        t1.finalize(100);
+        t2.finalize(100);
+        let trace = handle.take_trace();
+        assert_eq!(trace.data_op_count(), 3);
+        let events = trace.data_op_events();
+        // Same start everywhere: ties break by shard id, deterministically.
+        let ids: Vec<u64> = events.iter().map(|e| e.id.0).collect();
+        assert_eq!(ids, vec![0, 1 << 32, 2 << 32]);
+        assert_eq!(handle.hash_meter().bytes, 3 * 64);
+    }
+
+    #[test]
+    fn forked_streaming_shards_feed_one_engine() {
+        use crate::detect::{EventView, Findings};
+        let (mut t0, handle) = OmpDataPerfTool::new(ToolConfig {
+            stream: true,
+            ..Default::default()
+        });
+        let mut t1 = handle.fork_tool();
+        let caps = CompilerProfile::LlvmClang.capabilities();
+        t0.initialize(&caps);
+        t1.initialize(&caps);
+        let payload = vec![3u8; 32];
+        // Shard 0 sends content; shard 1 sends the same content to the
+        // same device → a cross-shard duplicate the engine must see.
+        for (t, id) in [(&mut t0, 1u64), (&mut t1, 2)] {
+            t.on_data_op(&data_op(
+                Endpoint::Begin,
+                id,
+                DataOpType::TransferToDevice,
+                id * 10,
+                None,
+            ));
+            t.on_data_op(&data_op(
+                Endpoint::End,
+                id,
+                DataOpType::TransferToDevice,
+                id * 10 + 5,
+                Some(&payload),
+            ));
+        }
+        t0.finalize(100);
+        t1.finalize(100);
+        let trace = handle.take_trace();
+        let mut engine = handle.take_stream_engine().unwrap();
+        let view = EventView::from_log(&trace);
+        let streamed = engine.finalize(&view);
+        let postmortem = Findings::detect_fused(&view);
+        assert_eq!(
+            serde_json::to_string(&streamed).unwrap(),
+            serde_json::to_string(&postmortem).unwrap()
+        );
+        assert_eq!(streamed.counts().dd, 1, "cross-shard duplicate");
     }
 }

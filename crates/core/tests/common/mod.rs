@@ -5,10 +5,13 @@
 //! engine's and the streaming engine's differential tests build their
 //! traces here so the two suites stress identical event distributions.
 
+#![allow(dead_code)] // shared across several test binaries; each uses a subset
+
 use odp_model::{
     CodePtr, DataOpEvent, DataOpKind, DeviceId, EventId, HashVal, SimTime, TargetEvent, TargetKind,
     TimeSpan,
 };
+use ompdataperf::detect::StreamEvent;
 
 /// xorshift64* with splittable seeding.
 pub struct Rng(u64);
@@ -159,4 +162,83 @@ pub fn random_trace(
     data_ops.sort_by_key(|e| (e.span.start, e.id));
     kernels.sort_by_key(|e| (e.span.start, e.id));
     (data_ops, kernels)
+}
+
+/// A trace split across runtime-thread shards, the way a sharded
+/// multi-threaded collector observes it.
+pub struct ShardedTrace {
+    /// Merged data ops, chronological `(start, shard-encoded id)` —
+    /// what the merged trace log hydrates.
+    pub ops: Vec<DataOpEvent>,
+    /// Merged kernels, same order contract.
+    pub kernels: Vec<TargetEvent>,
+    /// Per-shard event streams in per-shard *completion* order (the
+    /// order the recording thread appends), ids re-encoded as
+    /// `shard << 32 | per-shard seq` exactly like `TraceLog::for_shard`.
+    pub shard_events: Vec<Vec<StreamEvent>>,
+}
+
+fn ev_span(ev: &StreamEvent) -> (u64, u64) {
+    match ev {
+        StreamEvent::Op(e) => (e.span.start.0, e.span.end.0),
+        StreamEvent::Kernel(k) => (k.span.start.0, k.span.end.0),
+    }
+}
+
+fn ev_id(ev: &StreamEvent) -> u64 {
+    match ev {
+        StreamEvent::Op(e) => e.id.0,
+        StreamEvent::Kernel(k) => k.id.0,
+    }
+}
+
+fn set_ev_id(ev: &mut StreamEvent, id: u64) {
+    match ev {
+        StreamEvent::Op(e) => e.id = EventId(id),
+        StreamEvent::Kernel(k) => k.id = EventId(id),
+    }
+}
+
+/// Randomly partition a chronological trace onto `shards` runtime
+/// threads and re-encode event ids the way shard logs do. Deterministic
+/// in `seed`.
+pub fn shard_partition(
+    ops: &[DataOpEvent],
+    kernels: &[TargetEvent],
+    shards: usize,
+    seed: u64,
+) -> ShardedTrace {
+    let mut rng = Rng::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+    let mut shard_events: Vec<Vec<StreamEvent>> = vec![Vec::new(); shards];
+    for e in ops {
+        shard_events[rng.below(shards as u64) as usize].push(StreamEvent::Op(e.clone()));
+    }
+    for k in kernels {
+        shard_events[rng.below(shards as u64) as usize].push(StreamEvent::Kernel(k.clone()));
+    }
+    // Per shard: completion (record) order, then shard-encoded ids.
+    for (s, events) in shard_events.iter_mut().enumerate() {
+        events.sort_by_key(|ev| (ev_span(ev).1, ev_id(ev)));
+        for (j, ev) in events.iter_mut().enumerate() {
+            set_ev_id(ev, ((s as u64) << 32) | j as u64);
+        }
+    }
+    // The merged hydration the post-mortem side consumes.
+    let mut merged_ops = Vec::new();
+    let mut merged_kernels = Vec::new();
+    for events in &shard_events {
+        for ev in events {
+            match ev {
+                StreamEvent::Op(e) => merged_ops.push(e.clone()),
+                StreamEvent::Kernel(k) => merged_kernels.push(k.clone()),
+            }
+        }
+    }
+    merged_ops.sort_by_key(|e| (e.span.start, e.id));
+    merged_kernels.sort_by_key(|e| (e.span.start, e.id));
+    ShardedTrace {
+        ops: merged_ops,
+        kernels: merged_kernels,
+        shard_events,
+    }
 }

@@ -8,7 +8,7 @@
 
 mod common;
 
-use common::random_trace;
+use common::{random_trace, shard_partition};
 use odp_model::{DataOpEvent, TargetEvent};
 use ompdataperf::detect::{EventView, Findings};
 
@@ -64,6 +64,28 @@ fn fused_equals_separate_on_kernel_free_trace() {
 #[test]
 fn fused_equals_separate_on_empty_trace() {
     assert_identical(&[], &[], 1, "empty");
+}
+
+#[test]
+fn fused_equals_separate_on_sharded_thread_traces() {
+    // Multi-threaded collection re-encodes event ids as (shard <<
+    // 32 | per-shard seq) and merges streams by (start, id). Both
+    // engines must agree on that id space exactly as they do on the
+    // contiguous one — across different thread counts and partition
+    // seeds (the randomized interleaving of recording threads).
+    for seed in [5u64, 29, 4242] {
+        for shards in [2usize, 4, 7] {
+            let (ops, kernels) = random_trace(seed.wrapping_mul(0xB5), 400, 2);
+            let st = shard_partition(&ops, &kernels, shards, seed);
+            assert_eq!(st.ops.len(), ops.len(), "partition loses nothing");
+            assert_identical(
+                &st.ops,
+                &st.kernels,
+                2,
+                &format!("sharded seed {seed}, {shards} threads"),
+            );
+        }
+    }
 }
 
 #[test]

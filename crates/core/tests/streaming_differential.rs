@@ -9,9 +9,10 @@
 
 mod common;
 
-use common::random_trace;
+use common::{random_trace, shard_partition, Rng};
 use odp_model::{DataOpEvent, SimTime, TargetEvent};
-use ompdataperf::detect::{EventView, Findings, StreamConfig, StreamingEngine};
+use odp_ompt::{GlobalWatermark, StreamClock};
+use ompdataperf::detect::{EventView, Findings, StreamConfig, StreamEvent, StreamingEngine};
 
 /// One deliverable event in arrival (completion) order.
 enum Arrival {
@@ -77,6 +78,7 @@ fn assert_streaming_identical(
 ) {
     let mut engine = StreamingEngine::new(StreamConfig {
         num_devices: fixed.then_some(num_devices),
+        ..Default::default()
     });
     feed_completion_order(&mut engine, ops, kernels);
     let view = EventView::new(ops, kernels, num_devices);
@@ -146,6 +148,7 @@ fn streaming_equals_postmortem_with_out_of_range_devices() {
 
     let mut engine = StreamingEngine::new(StreamConfig {
         num_devices: Some(2),
+        ..Default::default()
     });
     feed_completion_order(&mut engine, &ops, &kernels);
     let view = EventView::new(&ops, &kernels, 2);
@@ -194,6 +197,143 @@ fn streaming_in_chronological_delivery_matches_too() {
             serde_json::to_string_pretty(&streamed).unwrap(),
             serde_json::to_string_pretty(&postmortem).unwrap(),
             "chronological seed {seed}"
+        );
+    }
+}
+
+/// Deliver a sharded trace through per-shard [`StreamClock`]s and the
+/// [`GlobalWatermark`] merge, interleaving the shards' callback edges
+/// with a seeded rng — the single-threaded, perfectly reproducible twin
+/// of the multi-threaded tool path (whose OS-scheduled interleavings
+/// the stress suite covers). Each shard's edge stream stays monotonic,
+/// as the per-thread OMPT clock guarantees; *across* shards anything
+/// goes.
+fn feed_sharded_interleaved(
+    engine: &mut StreamingEngine,
+    shard_events: &[Vec<StreamEvent>],
+    interleave_seed: u64,
+) {
+    #[derive(Clone, Copy)]
+    enum Edge {
+        Begin(usize),
+        End(usize),
+    }
+    // Per shard: callback edges in per-thread time order.
+    let edges: Vec<Vec<(u64, u8, Edge)>> = shard_events
+        .iter()
+        .map(|events| {
+            let mut v = Vec::with_capacity(events.len() * 2);
+            for (ix, ev) in events.iter().enumerate() {
+                let (start, end) = match ev {
+                    StreamEvent::Op(e) => (e.span.start.0, e.span.end.0),
+                    StreamEvent::Kernel(k) => (k.span.start.0, k.span.end.0),
+                };
+                v.push((start, 0, Edge::Begin(ix)));
+                v.push((end, 1, Edge::End(ix)));
+            }
+            v.sort_by_key(|&(t, kind, edge)| {
+                (
+                    t,
+                    kind,
+                    match edge {
+                        Edge::Begin(ix) | Edge::End(ix) => ix,
+                    },
+                )
+            });
+            v
+        })
+        .collect();
+
+    let shards = shard_events.len();
+    let global = GlobalWatermark::with_capacity(shards);
+    let slots: Vec<_> = (0..shards).map(|_| global.register()).collect();
+    let mut clocks = vec![StreamClock::new(); shards];
+    let mut pending: Vec<Vec<StreamEvent>> = vec![Vec::new(); shards];
+    let mut cursors = vec![0usize; shards];
+    let mut rng = Rng::new(interleave_seed | 1);
+    let mut remaining: usize = edges.iter().map(|e| e.len()).sum();
+
+    while remaining > 0 {
+        // Pick any shard that still has edges — the interleaving is the
+        // randomized part.
+        let mut s = rng.below(shards as u64) as usize;
+        while cursors[s] >= edges[s].len() {
+            s = (s + 1) % shards;
+        }
+        let (t, _, edge) = edges[s][cursors[s]];
+        cursors[s] += 1;
+        remaining -= 1;
+        match edge {
+            Edge::Begin(_) => {
+                clocks[s].open(SimTime(t));
+                global.publish(slots[s], &clocks[s]);
+            }
+            Edge::End(ix) => {
+                let ev = shard_events[s][ix].clone();
+                let start = match &ev {
+                    StreamEvent::Op(e) => e.span.start,
+                    StreamEvent::Kernel(k) => k.span.start,
+                };
+                clocks[s].close(start, SimTime(t));
+                // The tool's contract: queue the event, then publish,
+                // then drain at the merged watermark.
+                pending[s].push(ev);
+                global.publish(slots[s], &clocks[s]);
+                let watermark = global.merged();
+                for queue in pending.iter_mut() {
+                    for ev in queue.drain(..) {
+                        engine.push(ev);
+                    }
+                }
+                if let Some(watermark) = watermark {
+                    engine.advance_watermark(watermark);
+                }
+            }
+        }
+    }
+    for slot in &slots {
+        global.retire(*slot);
+    }
+}
+
+#[test]
+fn streaming_equals_postmortem_under_randomized_thread_interleavings() {
+    for seed in [1u64, 7, 23, 77, 1234] {
+        for shards in [2usize, 3, 5] {
+            let (ops, kernels) = random_trace(seed.wrapping_mul(0x5DEECE66D) | 1, 400, 2);
+            let st = shard_partition(&ops, &kernels, shards, seed);
+            let mut engine = StreamingEngine::default();
+            feed_sharded_interleaved(&mut engine, &st.shard_events, seed ^ 0xF00D);
+            let view = EventView::new(&st.ops, &st.kernels, 2);
+            let streamed = engine.finalize(&view);
+            let postmortem = Findings::detect(&st.ops, &st.kernels, 2);
+            assert_eq!(
+                serde_json::to_string_pretty(&streamed).unwrap(),
+                serde_json::to_string_pretty(&postmortem).unwrap(),
+                "interleaved shards diverged (seed {seed}, {shards} shards)"
+            );
+            assert_eq!(engine.live_counts(), postmortem.counts());
+        }
+    }
+}
+
+#[test]
+fn sharded_delivery_is_insensitive_to_the_interleaving_choice() {
+    // Same sharded trace, many different interleavings: finalize output
+    // must be identical every time (and equal to post-mortem).
+    let (ops, kernels) = random_trace(0xC0FFEE, 300, 2);
+    let st = shard_partition(&ops, &kernels, 4, 9);
+    let reference =
+        serde_json::to_string_pretty(&Findings::detect(&st.ops, &st.kernels, 2)).unwrap();
+    for interleave in [1u64, 2, 3, 99, 4096] {
+        let mut engine = StreamingEngine::default();
+        feed_sharded_interleaved(&mut engine, &st.shard_events, interleave);
+        let view = EventView::new(&st.ops, &st.kernels, 2);
+        let streamed = engine.finalize(&view);
+        assert_eq!(
+            serde_json::to_string_pretty(&streamed).unwrap(),
+            reference,
+            "interleaving {interleave} changed the output"
         );
     }
 }

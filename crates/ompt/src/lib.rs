@@ -20,7 +20,9 @@
 //!   is reproducible and testable against nine compiler profiles;
 //! * [`progress`] — the [`StreamClock`] watermark used by online
 //!   (streaming) tools to turn completion-ordered callbacks back into a
-//!   chronological event stream.
+//!   chronological event stream, and the lock-free [`GlobalWatermark`]
+//!   that merges per-thread clocks when a multi-threaded runtime drives
+//!   callbacks from several shards at once.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,6 +38,6 @@ pub use callback::{
     KernelAccessInfo, SubmitCallback, TargetCallback, TargetConstructKind,
 };
 pub use capability::{CompilerProfile, RuntimeCapabilities};
-pub use progress::StreamClock;
+pub use progress::{GlobalWatermark, ShardSlot, StreamClock};
 pub use tool::{NullTool, SetCallbackResult, Tool, ToolRegistration};
 pub use version::OmptVersion;

@@ -86,7 +86,12 @@ impl ToolRegistration {
 /// An OMPT tool. The runtime calls `initialize` once at startup (the
 /// `ompt_start_tool` handshake), dispatches events while the program runs,
 /// and calls `finalize` at shutdown.
-pub trait Tool {
+///
+/// Tools are `Send`: a multi-threaded runtime hands each of its threads
+/// a tool instance (usually shards of one shared collector — see
+/// `ompdataperf::tool::ToolHandle::fork_tool`), and those instances move
+/// into the runtime threads.
+pub trait Tool: Send {
     /// Handshake: inspect the runtime's capabilities and request
     /// callbacks. Returning an empty request detaches the tool (the
     /// `ompt_start_tool` NULL return).

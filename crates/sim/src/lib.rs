@@ -22,9 +22,14 @@
 //!   honoring the configured compiler capability profile, with graceful
 //!   degradation to the deprecated non-EMI callbacks.
 //!
-//! The crate is single-threaded by design: determinism is a feature (the
-//! detection algorithms need chronologically ordered logs, and the
-//! prediction-accuracy experiment needs reproducible timings).
+//! A single [`Runtime`] instance is single-threaded and fully
+//! deterministic (the detection algorithms need chronologically ordered
+//! logs, and the prediction-accuracy experiment needs reproducible
+//! timings). Multi-threaded callback emission — the shape a real
+//! runtime presents to an OMPT tool — comes from [`threads`]: N OS
+//! threads, each driving its own deterministic runtime with its own
+//! tool shard, so the *merged* observation stays reproducible while
+//! the callback interleaving is genuinely concurrent.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +40,7 @@ pub mod kernel;
 pub mod memory;
 pub mod present;
 pub mod runtime;
+pub mod threads;
 pub mod timing;
 
 pub use config::RuntimeConfig;
@@ -42,6 +48,7 @@ pub use kernel::{DeviceView, Kernel, KernelCost};
 pub use memory::VarId;
 pub use present::PresentTable;
 pub use runtime::{Map, Runtime, RuntimeStats, RuntimeWarning};
+pub use threads::{merged_stats, run_on_threads};
 pub use timing::{AllocModel, TimingModel, TransferModel};
 
 use odp_model::{MapModifier, MapType};

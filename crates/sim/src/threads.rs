@@ -1,0 +1,157 @@
+//! Multi-threaded driving of the simulated runtime.
+//!
+//! A real OpenMP program's host threads each issue target directives,
+//! so an OMPT tool observes callbacks arriving concurrently from every
+//! runtime thread. This module reproduces that concurrency with *real
+//! OS threads*: [`run_on_threads`] gives each thread its own
+//! [`Runtime`] instance — its own virtual clock, host memory, and
+//! device state (the rank-per-thread offload shape, as when each host
+//! thread drives its own data environment) — and attaches one caller-
+//! supplied tool per thread. A sharded tool (e.g.
+//! `ompdataperf::tool::ToolHandle::fork_tool`) turns those per-thread
+//! callback streams back into one deterministic trace.
+//!
+//! Each thread's virtual timeline is deterministic, and sharded trace
+//! merging orders events by `(timestamp, shard, per-shard order)`, so
+//! the *merged* observation is byte-identical across runs no matter how
+//! the OS interleaves the threads — the property the concurrency stress
+//! suite pins down.
+
+use crate::config::RuntimeConfig;
+use crate::runtime::{Runtime, RuntimeStats};
+use odp_ompt::Tool;
+
+/// Run `body` on `threads` OS threads, thread `i` against its own
+/// `Runtime::new(cfg.clone())` with `tools[i]` attached. Joins all
+/// threads and returns each thread's `(body output, run statistics)` in
+/// thread-index order.
+///
+/// # Panics
+/// Propagates a panic from any runtime thread, and panics when
+/// `tools.len() != threads`.
+pub fn run_on_threads<R, F>(
+    threads: u32,
+    cfg: &RuntimeConfig,
+    tools: Vec<Box<dyn Tool>>,
+    body: F,
+) -> Vec<(R, RuntimeStats)>
+where
+    R: Send,
+    F: Fn(u32, &mut Runtime) -> R + Sync,
+{
+    assert_eq!(tools.len(), threads as usize, "one tool per runtime thread");
+    std::thread::scope(|scope| {
+        let body = &body;
+        let handles: Vec<_> = tools
+            .into_iter()
+            .enumerate()
+            .map(|(i, tool)| {
+                let cfg = cfg.clone();
+                scope.spawn(move || {
+                    let mut rt = Runtime::new(cfg);
+                    rt.attach_tool(tool);
+                    let out = body(i as u32, &mut rt);
+                    let stats = rt.finish();
+                    (out, stats)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("runtime thread panicked"))
+            .collect()
+    })
+}
+
+/// Aggregate per-thread run statistics: counters and cumulative times
+/// sum; total time is the slowest thread (the threads run in parallel).
+pub fn merged_stats(per_thread: &[RuntimeStats]) -> RuntimeStats {
+    let mut out = RuntimeStats::default();
+    for s in per_thread {
+        out.total_time = out.total_time.max(s.total_time);
+        out.transfers += s.transfers;
+        out.bytes_transferred += s.bytes_transferred;
+        out.allocs += s.allocs;
+        out.kernels += s.kernels;
+        out.transfer_time += s.transfer_time;
+        out.alloc_time += s.alloc_time;
+        out.kernel_time += s.kernel_time;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{Kernel, KernelCost};
+    use crate::map;
+    use odp_model::{CodePtr, MapType};
+    use odp_ompt::{CallbackKind, DataOpCallback, Endpoint, RuntimeCapabilities, ToolRegistration};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// Counts end-of-transfer callbacks; shared across all threads.
+    struct Counter {
+        transfers: Arc<AtomicUsize>,
+    }
+
+    impl Tool for Counter {
+        fn initialize(&mut self, caps: &RuntimeCapabilities) -> ToolRegistration {
+            ToolRegistration::negotiate(&[CallbackKind::TargetDataOpEmi], caps)
+        }
+        fn on_data_op(&mut self, cb: &DataOpCallback<'_>) {
+            if cb.endpoint == Endpoint::End && cb.payload.is_some() {
+                self.transfers.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn offload_once(rt: &mut Runtime) {
+        let a = rt.host_alloc("a", 256);
+        rt.target(
+            0,
+            CodePtr(0x10),
+            &[map(MapType::ToFrom, a)],
+            Kernel::new("k", KernelCost::fixed(100))
+                .reads(&[a])
+                .writes(&[a]),
+        );
+    }
+
+    #[test]
+    fn each_thread_drives_its_own_runtime() {
+        let transfers = Arc::new(AtomicUsize::new(0));
+        let tools: Vec<Box<dyn Tool>> = (0..4)
+            .map(|_| {
+                Box::new(Counter {
+                    transfers: transfers.clone(),
+                }) as Box<dyn Tool>
+            })
+            .collect();
+        let results = run_on_threads(4, &RuntimeConfig::default(), tools, |i, rt| {
+            offload_once(rt);
+            i
+        });
+        assert_eq!(results.len(), 4);
+        let outs: Vec<u32> = results.iter().map(|(o, _)| *o).collect();
+        assert_eq!(outs, vec![0, 1, 2, 3], "results in thread-index order");
+        // Each thread: one H2D + one D2H.
+        assert_eq!(transfers.load(Ordering::Relaxed), 8);
+        let merged = merged_stats(&results.iter().map(|(_, s)| *s).collect::<Vec<_>>());
+        assert_eq!(merged.transfers, 8);
+        assert_eq!(merged.kernels, 4);
+        assert!(merged.total_time.as_nanos() > 0);
+        // Threads ran the same deterministic program: identical clocks.
+        let times: Vec<u64> = results
+            .iter()
+            .map(|(_, s)| s.total_time.as_nanos())
+            .collect();
+        assert!(times.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "one tool per runtime thread")]
+    fn tool_count_must_match_thread_count() {
+        let _ = run_on_threads(2, &RuntimeConfig::default(), Vec::new(), |_, _| ());
+    }
+}

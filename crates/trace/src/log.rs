@@ -6,7 +6,8 @@ use crate::intern::CodePtrTable;
 use crate::record::{DataOpRecord, TargetRecord};
 use crate::stats::{SpaceStats, TraceStats};
 use odp_model::{
-    CodePtr, DataOpEvent, DataOpKind, DeviceId, SimDuration, TargetEvent, TargetKind, TimeSpan,
+    CodePtr, DataOpEvent, DataOpKind, DeviceId, EventId, SimDuration, TargetEvent, TargetKind,
+    TimeSpan,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -26,12 +27,32 @@ use std::sync::OnceLock;
 /// invalidates the caches (appends take `&mut self`, so no reader can
 /// hold a stale borrow). [`TraceLog::sort_count`] exposes how many sort
 /// passes have actually run, so the memoization is testable.
+///
+/// # Sharded collection
+///
+/// A multi-threaded tool appends to one *shard log per runtime thread*
+/// ([`TraceLog::for_shard`]) and merges them after the run with
+/// [`TraceLog::merge_shards`]. Shard logs embed their shard id in the
+/// high bits of every hydrated [`odp_model::EventId`]
+/// (`id = shard << 32 | per-shard seq`), so the merged hydration's
+/// `(start, id)` sort is a deterministic `(timestamp, thread id,
+/// per-thread order)` merge: the output is independent of how the OS
+/// interleaved the recording threads. Issue findings survive the merge
+/// unchanged because event ids never change — a streaming consumer that
+/// observed shard-local events during the run resolves the very same
+/// ids against the merged hydration.
 #[derive(Debug, Default)]
 pub struct TraceLog {
     data_ops: ChunkedVec<DataOpRecord>,
     targets: ChunkedVec<TargetRecord>,
     codeptrs: CodePtrTable,
     next_seq: u32,
+    /// OR-ed into every hydrated event id (`shard << 32`).
+    id_base: u64,
+    /// Shard logs this log was merged from (empty for a plain log).
+    /// Merged logs are read-only: hydration, stats, and export walk the
+    /// shards; `record_*` must not be called on them.
+    shards: Vec<TraceLog>,
     peak_alloc_bytes: usize,
     total_time: SimDuration,
     /// Memoized chronological hydration of `data_ops`.
@@ -55,6 +76,51 @@ impl TraceLog {
         Self::default()
     }
 
+    /// An empty shard log for runtime thread `shard`. Hydrated event
+    /// ids carry the shard in their high bits, so ids stay globally
+    /// unique across the shard set and `(start, id)` sorting breaks
+    /// same-start ties deterministically by `(shard, per-shard order)`.
+    pub fn for_shard(shard: u32) -> Self {
+        TraceLog {
+            id_base: (shard as u64) << 32,
+            ..Self::default()
+        }
+    }
+
+    /// The shard id this log records for (0 for a plain log).
+    pub fn shard(&self) -> u32 {
+        (self.id_base >> 32) as u32
+    }
+
+    /// Merge per-thread shard logs into one read-only log whose
+    /// hydration, stats, and export cover every shard. Event ids are
+    /// preserved (shards already embed their shard id), so the merged
+    /// chronological order — `(start, shard, per-shard seq)` — is
+    /// independent of thread scheduling. A single shard is returned
+    /// unchanged.
+    pub fn merge_shards(mut shards: Vec<TraceLog>) -> TraceLog {
+        if shards.len() == 1 {
+            return shards.pop().expect("checked length");
+        }
+        let total_time = shards
+            .iter()
+            .map(|s| s.total_time)
+            .max()
+            .unwrap_or_default();
+        let peak = shards.iter().map(|s| s.peak_alloc_bytes).sum();
+        TraceLog {
+            shards,
+            total_time,
+            peak_alloc_bytes: peak,
+            ..Self::default()
+        }
+    }
+
+    /// Is this a merged (read-only) log?
+    pub fn is_merged(&self) -> bool {
+        !self.shards.is_empty()
+    }
+
     /// Record a data operation. Returns the hydrated event exactly as
     /// the memoized hydration will later produce it (same `EventId`), so
     /// online consumers — the streaming detection engine — observe the
@@ -72,6 +138,7 @@ impl TraceLog {
         span: TimeSpan,
         codeptr: CodePtr,
     ) -> DataOpEvent {
+        debug_assert!(self.shards.is_empty(), "merged logs are read-only");
         let seq = self.next_seq;
         self.next_seq += 1;
         let record = DataOpRecord::new(
@@ -86,7 +153,8 @@ impl TraceLog {
             span,
             codeptr,
         );
-        let event = record.to_event();
+        let mut event = record.to_event();
+        event.id = EventId(self.id_base | event.id.0);
         self.data_ops.push(record);
         self.invalidate_hydration();
         self.note_end(span);
@@ -104,11 +172,12 @@ impl TraceLog {
         span: TimeSpan,
         codeptr: CodePtr,
     ) -> TargetEvent {
+        debug_assert!(self.shards.is_empty(), "merged logs are read-only");
         let seq = self.next_seq;
         self.next_seq += 1;
         let ix = self.codeptrs.intern(codeptr);
         let record = TargetRecord::new(seq, device, kind, span, ix);
-        let event = record.to_event(record.seq() as u64, codeptr);
+        let event = record.to_event(self.id_base | record.seq() as u64, codeptr);
         self.targets.push(record);
         self.invalidate_hydration();
         self.note_end(span);
@@ -155,40 +224,64 @@ impl TraceLog {
         self.total_time
     }
 
+    /// This log and every shard it was merged from (self first). A
+    /// plain log yields just itself.
+    fn parts(&self) -> impl Iterator<Item = &TraceLog> {
+        std::iter::once(self).chain(self.shards.iter())
+    }
+
     /// Number of data-op records.
     pub fn data_op_count(&self) -> usize {
-        self.data_ops.len()
+        self.parts().map(|p| p.data_ops.len()).sum()
     }
 
     /// Number of target records.
     pub fn target_count(&self) -> usize {
-        self.targets.len()
+        self.parts().map(|p| p.targets.len()).sum()
     }
 
     /// Bytes currently allocated by the log.
     pub fn current_alloc_bytes(&self) -> usize {
-        self.data_ops.allocated_bytes()
-            + self.targets.allocated_bytes()
-            + self.codeptrs.allocated_bytes()
+        self.parts()
+            .map(|p| {
+                p.data_ops.allocated_bytes()
+                    + p.targets.allocated_bytes()
+                    + p.codeptrs.allocated_bytes()
+            })
+            .sum()
     }
 
     /// Space accounting for Figure 3.
     pub fn space_stats(&self) -> SpaceStats {
         SpaceStats {
-            data_op_records: self.data_ops.len(),
-            target_records: self.targets.len(),
-            record_bytes: self.data_ops.used_bytes() + self.targets.used_bytes(),
+            data_op_records: self.data_op_count(),
+            target_records: self.target_count(),
+            record_bytes: self
+                .parts()
+                .map(|p| p.data_ops.used_bytes() + p.targets.used_bytes())
+                .sum(),
             peak_alloc_bytes: self.peak_alloc_bytes,
         }
     }
 
     /// Borrow the memoized chronological data-op events (start, then log
     /// order) — the `data_op_events` input of Algorithms 1–5. Sorts at
-    /// most once per batch of appends.
+    /// most once per batch of appends. On a merged log this is the
+    /// deterministic `(start, shard, per-shard order)` merge of every
+    /// shard's stream.
     pub fn data_op_events_sorted(&self) -> &[DataOpEvent] {
         self.hydrated_ops.get_or_init(|| {
             self.sort_passes.fetch_add(1, Ordering::Relaxed);
-            let mut events: Vec<DataOpEvent> = self.data_ops.iter().map(|r| r.to_event()).collect();
+            let mut events: Vec<DataOpEvent> = self
+                .parts()
+                .flat_map(|p| {
+                    p.data_ops.iter().map(|r| {
+                        let mut e = r.to_event();
+                        e.id = EventId(p.id_base | e.id.0);
+                        e
+                    })
+                })
+                .collect();
             events.sort_by_key(|e| (e.span.start, e.id));
             events
         })
@@ -204,16 +297,17 @@ impl TraceLog {
     pub fn target_events_sorted(&self) -> &[TargetEvent] {
         self.hydrated_targets.get_or_init(|| {
             self.sort_passes.fetch_add(1, Ordering::Relaxed);
-            let mut pairs: Vec<(u32, TargetEvent)> = self
-                .targets
-                .iter()
-                .map(|r| {
-                    let cp = self.codeptrs.resolve(r.codeptr_ix);
-                    (r.seq(), r.to_event(r.seq() as u64, cp))
+            let mut events: Vec<TargetEvent> = self
+                .parts()
+                .flat_map(|p| {
+                    p.targets.iter().map(|r| {
+                        let cp = p.codeptrs.resolve(r.codeptr_ix);
+                        r.to_event(p.id_base | r.seq() as u64, cp)
+                    })
                 })
                 .collect();
-            pairs.sort_by_key(|(seq, e)| (e.span.start, *seq));
-            pairs.into_iter().map(|(_, e)| e).collect()
+            events.sort_by_key(|e| (e.span.start, e.id));
+            events
         })
     }
 
@@ -228,17 +322,20 @@ impl TraceLog {
     pub fn kernel_events_sorted(&self) -> &[TargetEvent] {
         self.hydrated_kernels.get_or_init(|| {
             self.sort_passes.fetch_add(1, Ordering::Relaxed);
-            let mut pairs: Vec<(u32, TargetEvent)> = self
-                .targets
-                .iter()
-                .filter(|r| r.kind() == TargetKind::Kernel)
-                .map(|r| {
-                    let cp = self.codeptrs.resolve(r.codeptr_ix);
-                    (r.seq(), r.to_event(r.seq() as u64, cp))
+            let mut events: Vec<TargetEvent> = self
+                .parts()
+                .flat_map(|p| {
+                    p.targets
+                        .iter()
+                        .filter(|r| r.kind() == TargetKind::Kernel)
+                        .map(|r| {
+                            let cp = p.codeptrs.resolve(r.codeptr_ix);
+                            r.to_event(p.id_base | r.seq() as u64, cp)
+                        })
                 })
                 .collect();
-            pairs.sort_by_key(|(seq, e)| (e.span.start, *seq));
-            pairs.into_iter().map(|(_, e)| e).collect()
+            events.sort_by_key(|e| (e.span.start, e.id));
+            events
         })
     }
 
@@ -260,35 +357,37 @@ impl TraceLog {
     pub fn stats(&self) -> TraceStats {
         *self.cached_stats.get_or_init(|| {
             let mut s = TraceStats::default();
-            for r in self.data_ops.iter() {
-                let e = r.to_event();
-                match e.kind {
-                    DataOpKind::Transfer => {
-                        s.transfers += 1;
-                        s.bytes_transferred += e.bytes;
-                        s.transfer_time += e.duration();
-                        if e.is_host_to_device() {
-                            s.h2d_transfers += 1;
-                        } else if e.is_device_to_host() {
-                            s.d2h_transfers += 1;
+            for p in self.parts() {
+                for r in p.data_ops.iter() {
+                    let e = r.to_event();
+                    match e.kind {
+                        DataOpKind::Transfer => {
+                            s.transfers += 1;
+                            s.bytes_transferred += e.bytes;
+                            s.transfer_time += e.duration();
+                            if e.is_host_to_device() {
+                                s.h2d_transfers += 1;
+                            } else if e.is_device_to_host() {
+                                s.d2h_transfers += 1;
+                            }
                         }
+                        DataOpKind::Alloc => {
+                            s.allocs += 1;
+                            s.bytes_allocated += e.bytes;
+                            s.alloc_time += e.duration();
+                        }
+                        DataOpKind::Delete => {
+                            s.deletes += 1;
+                            s.alloc_time += e.duration();
+                        }
+                        _ => {}
                     }
-                    DataOpKind::Alloc => {
-                        s.allocs += 1;
-                        s.bytes_allocated += e.bytes;
-                        s.alloc_time += e.duration();
-                    }
-                    DataOpKind::Delete => {
-                        s.deletes += 1;
-                        s.alloc_time += e.duration();
-                    }
-                    _ => {}
                 }
-            }
-            for r in self.targets.iter() {
-                if r.kind() == TargetKind::Kernel {
-                    s.kernels += 1;
-                    s.kernel_time += SimDuration(r.end.saturating_sub(r.start));
+                for r in p.targets.iter() {
+                    if r.kind() == TargetKind::Kernel {
+                        s.kernels += 1;
+                        s.kernel_time += SimDuration(r.end.saturating_sub(r.start));
+                    }
                 }
             }
             s.total_time = self.total_time;
@@ -546,6 +645,121 @@ mod tests {
         assert_eq!(log.data_op_events()[0], op);
         assert_eq!(log.kernel_events()[0], kernel);
         assert_eq!(kernel.id.0, 1, "wrapped sequence id matches hydration");
+    }
+
+    fn shard_with_ops(shard: u32, starts: &[u64]) -> TraceLog {
+        let mut log = TraceLog::for_shard(shard);
+        for &t in starts {
+            log.record_data_op(
+                DataOpKind::Transfer,
+                DeviceId::HOST,
+                DeviceId::target(0),
+                0x1000 + t,
+                0xd000,
+                64,
+                Some(t),
+                span(t, t + 10),
+                CodePtr(0x100),
+            );
+        }
+        log.record_target(
+            TargetKind::Kernel,
+            DeviceId::target(0),
+            span(500, 600),
+            CodePtr(0x200),
+        );
+        log
+    }
+
+    #[test]
+    fn shard_ids_embed_the_shard_in_high_bits() {
+        let mut log = TraceLog::for_shard(3);
+        assert_eq!(log.shard(), 3);
+        let e = log.record_data_op(
+            DataOpKind::Transfer,
+            DeviceId::HOST,
+            DeviceId::target(0),
+            0x1,
+            0x2,
+            8,
+            Some(9),
+            span(0, 1),
+            CodePtr::NULL,
+        );
+        assert_eq!(e.id.0, (3u64 << 32), "shard 3, local seq 0");
+        let k = log.record_target(
+            TargetKind::Kernel,
+            DeviceId::target(0),
+            span(2, 3),
+            CodePtr::NULL,
+        );
+        assert_eq!(k.id.0, (3u64 << 32) | 1);
+        assert_eq!(log.data_op_events()[0], e, "hydration matches the return");
+        assert_eq!(log.kernel_events()[0], k);
+    }
+
+    #[test]
+    fn merged_hydration_breaks_same_start_ties_by_shard() {
+        // Both shards carry events at identical start times: the merged
+        // chronological order must interleave them by (start, shard,
+        // per-shard order), regardless of shard vector order... the
+        // shard id is in the event id, so even reversing the vector
+        // changes nothing.
+        let a = shard_with_ops(0, &[10, 10, 30]);
+        let b = shard_with_ops(1, &[10, 20, 30]);
+        let merged = TraceLog::merge_shards(vec![a, b]);
+        assert!(merged.is_merged());
+        let ops = merged.data_op_events();
+        let key: Vec<(u64, u64)> = ops.iter().map(|e| (e.span.start.0, e.id.0)).collect();
+        let mut sorted = key.clone();
+        sorted.sort();
+        assert_eq!(key, sorted, "chronological with deterministic ties");
+        // At t=10: shard 0's two events (seq 0, 1), then shard 1's.
+        assert_eq!(ops[0].id.0, 0);
+        assert_eq!(ops[1].id.0, 1);
+        assert_eq!(ops[2].id.0, 1 << 32);
+
+        let a2 = shard_with_ops(0, &[10, 10, 30]);
+        let b2 = shard_with_ops(1, &[10, 20, 30]);
+        let merged2 = TraceLog::merge_shards(vec![b2, a2]);
+        assert_eq!(
+            merged.to_json(),
+            merged2.to_json(),
+            "merge output independent of shard vector order"
+        );
+    }
+
+    #[test]
+    fn merged_counts_stats_and_space_aggregate_over_shards() {
+        let a = shard_with_ops(0, &[0, 10]);
+        let b = shard_with_ops(1, &[5]);
+        let (sa, sb) = (a.stats(), b.stats());
+        let merged = TraceLog::merge_shards(vec![a, b]);
+        assert_eq!(merged.data_op_count(), 3);
+        assert_eq!(merged.target_count(), 2);
+        let s = merged.stats();
+        assert_eq!(s.transfers, sa.transfers + sb.transfers);
+        assert_eq!(s.kernels, 2);
+        assert_eq!(
+            s.bytes_transferred,
+            sa.bytes_transferred + sb.bytes_transferred
+        );
+        assert_eq!(s.total_time, sa.total_time.max(sb.total_time));
+        let space = merged.space_stats();
+        assert_eq!(space.data_op_records, 3);
+        assert_eq!(space.target_records, 2);
+        assert!(space.record_bytes >= 3 * 72 + 2 * 24);
+        assert_eq!(merged.kernel_events().len(), 2);
+    }
+
+    #[test]
+    fn merging_a_single_shard_is_the_identity() {
+        let a = shard_with_ops(2, &[1, 2, 3]);
+        let json = a.to_json();
+        let merged = TraceLog::merge_shards(vec![a]);
+        assert!(!merged.is_merged(), "single shard passes through");
+        assert_eq!(merged.shard(), 2);
+        assert_eq!(merged.to_json(), json);
     }
 
     #[test]

@@ -78,6 +78,12 @@ impl Workload for BabelStream {
         Some((Variant::Original, Variant::SynFixed))
     }
 
+    /// BabelStream's kernel loop is embarrassingly parallel across host
+    /// threads — each drives its own copy of the triad pattern.
+    fn supports_threads(&self) -> bool {
+        true
+    }
+
     fn run(&self, rt: &mut Runtime, size: ProblemSize, variant: Variant) -> DebugInfo {
         let p = params(size);
         let n = p.elems;

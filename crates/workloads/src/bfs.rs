@@ -70,6 +70,13 @@ impl Workload for Bfs {
         Some((Variant::Original, Variant::Fixed))
     }
 
+    /// bfs's per-iteration remapping storm is the flagship anti-pattern;
+    /// running it from several host threads at once is the densest
+    /// concurrency stress the collector sees.
+    fn supports_threads(&self) -> bool {
+        true
+    }
+
     fn run(&self, rt: &mut Runtime, size: ProblemSize, variant: Variant) -> DebugInfo {
         let p = params(size);
         let n = p.nodes;

@@ -32,6 +32,7 @@ pub mod minifmm;
 pub mod nw;
 pub mod rsbench;
 pub mod tealeaf;
+pub mod threaded;
 pub mod xsbench;
 
 #[cfg(test)]
@@ -115,6 +116,15 @@ pub trait Workload: Send + Sync {
     /// Does the paper evaluate this variant for this program?
     fn supports(&self, variant: Variant) -> bool {
         variant == Variant::Original
+    }
+
+    /// Can this program run its offload pattern from several host
+    /// threads at once (`--threads N`)? Threaded workloads must be
+    /// deterministic per thread: each host thread drives its own data
+    /// environment with the same directive structure, which is how the
+    /// multi-threaded collection path gets exercised end to end.
+    fn supports_threads(&self) -> bool {
+        false
     }
 
     /// The (before, after) variant pair this program contributes to the

@@ -1,0 +1,111 @@
+//! Multi-threaded workload execution.
+//!
+//! [`run_threaded`] drives one workload's offload pattern from N real
+//! OS threads at once: every thread owns a simulated [`Runtime`] (its
+//! own virtual clock and data environment — the rank-per-thread shape)
+//! and an attached tool shard, so the attached collector observes
+//! genuinely concurrent OMPT callbacks. Because each thread's virtual
+//! timeline is deterministic and sharded traces merge by `(timestamp,
+//! shard, per-shard order)`, the merged observation is identical across
+//! runs regardless of OS scheduling — while the callback *interleaving*
+//! (what the sharded fast path and the watermark merge must survive) is
+//! real.
+
+use crate::{ProblemSize, Variant, Workload};
+use odp_ompt::Tool;
+use odp_sim::{run_on_threads, Runtime, RuntimeConfig, RuntimeStats};
+use ompdataperf::attrib::DebugInfo;
+
+/// Run `workload` on `threads` OS threads, each against its own runtime
+/// with `tools[i]` attached (fork them from one
+/// `ompdataperf::tool::ToolHandle`). Returns the workload's debug info
+/// (identical on every thread; the first is returned) and the merged
+/// run statistics.
+///
+/// # Panics
+/// When the workload does not support threaded execution
+/// ([`Workload::supports_threads`]) or `tools.len() != threads`.
+pub fn run_threaded(
+    workload: &dyn Workload,
+    threads: u32,
+    size: ProblemSize,
+    variant: Variant,
+    cfg: &RuntimeConfig,
+    tools: Vec<Box<dyn Tool>>,
+) -> (DebugInfo, RuntimeStats) {
+    assert!(
+        workload.supports_threads(),
+        "{} does not support --threads",
+        workload.name()
+    );
+    let results = run_on_threads(threads, cfg, tools, |_, rt: &mut Runtime| {
+        workload.run(rt, size, variant)
+    });
+    let stats: Vec<RuntimeStats> = results.iter().map(|(_, s)| *s).collect();
+    let dbg = results
+        .into_iter()
+        .map(|(d, _)| d)
+        .next()
+        .expect("at least one thread");
+    (dbg, odp_sim::merged_stats(&stats))
+}
+
+/// The workloads with threaded variants.
+pub fn threaded_workloads() -> Vec<Box<dyn Workload>> {
+    crate::all()
+        .into_iter()
+        .filter(|w| w.supports_threads())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ompdataperf::tool::{OmpDataPerfTool, ToolConfig};
+
+    #[test]
+    fn the_three_threaded_workloads_are_marked() {
+        let names: Vec<&str> = threaded_workloads().iter().map(|w| w.name()).collect();
+        assert_eq!(names, vec!["babelstream", "bfs", "xsbench"]);
+    }
+
+    #[test]
+    fn threaded_run_produces_a_deterministic_merged_trace() {
+        fn run_once(threads: u32) -> String {
+            let w = crate::by_name("babelstream").unwrap();
+            let (tool, handle) = OmpDataPerfTool::new(ToolConfig::default());
+            let mut tools: Vec<Box<dyn Tool>> = vec![Box::new(tool)];
+            for _ in 1..threads {
+                tools.push(Box::new(handle.fork_tool()));
+            }
+            let (_dbg, stats) = run_threaded(
+                &*w,
+                threads,
+                ProblemSize::Small,
+                Variant::Original,
+                &RuntimeConfig::default(),
+                tools,
+            );
+            assert!(stats.kernels > 0);
+            handle.take_trace().to_json()
+        }
+        let a = run_once(3);
+        let b = run_once(3);
+        assert_eq!(a, b, "merged trace must not depend on OS scheduling");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support --threads")]
+    fn unthreaded_workloads_are_rejected() {
+        let w = crate::by_name("hotspot").unwrap();
+        let (tool, _handle) = OmpDataPerfTool::new(ToolConfig::default());
+        let _ = run_threaded(
+            &*w,
+            1,
+            ProblemSize::Small,
+            Variant::Original,
+            &RuntimeConfig::default(),
+            vec![Box::new(tool)],
+        );
+    }
+}

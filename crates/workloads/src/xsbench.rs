@@ -71,6 +71,12 @@ impl Workload for XsBench {
         Some((Variant::Original, Variant::Fixed))
     }
 
+    /// XSBench's event-based lookups are independent per host thread
+    /// (the real program is OpenMP-threaded on the host side).
+    fn supports_threads(&self) -> bool {
+        true
+    }
+
     fn run(&self, rt: &mut Runtime, size: ProblemSize, variant: Variant) -> DebugInfo {
         let p = params(size);
         run_xs_style(

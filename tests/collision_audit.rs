@@ -17,7 +17,7 @@ fn collisions_for(algo: HashAlgoId, workload: &str) -> (usize, u64) {
     rt.attach_tool(Box::new(tool));
     w.run(&mut rt, ProblemSize::Small, Variant::Original);
     rt.finish();
-    let checks = handle.with(|c| c.audit.checks());
+    let checks = handle.audit_checks();
     (handle.collision_count(), checks)
 }
 
@@ -52,7 +52,7 @@ fn audit_retains_payload_copies_as_paper_warns() {
     rt.attach_tool(Box::new(tool));
     w.run(&mut rt, ProblemSize::Small, Variant::Original);
     rt.finish();
-    let retained = handle.with(|c| c.audit.retained_bytes());
+    let retained = handle.audit_retained_bytes();
     assert!(retained > 0, "audit must retain payload copies");
 }
 

@@ -1,0 +1,121 @@
+//! End-to-end multi-threaded collection: real workloads driven from N
+//! OS threads, each with its own simulated runtime and tool shard. The
+//! merged trace must be identical across runs (scheduling
+//! independence), detection over it must be deterministic, and
+//! streaming finalize must stay byte-identical to post-mortem
+//! detection under genuinely concurrent callback emission.
+
+use odp_ompt::Tool;
+use odp_sim::RuntimeConfig;
+use odp_workloads::threaded::{run_threaded, threaded_workloads};
+use odp_workloads::{ProblemSize, Variant};
+use ompdataperf::detect::{EventView, Findings};
+use ompdataperf::tool::{OmpDataPerfTool, ToolConfig};
+
+fn threaded_run(
+    name: &str,
+    threads: u32,
+    cfg: ToolConfig,
+) -> (
+    ompdataperf::tool::ToolHandle,
+    ompdataperf::attrib::DebugInfo,
+) {
+    let w = odp_workloads::by_name(name).unwrap();
+    let (tool, handle) = OmpDataPerfTool::new(cfg);
+    let mut tools: Vec<Box<dyn Tool>> = vec![Box::new(tool)];
+    for _ in 1..threads {
+        tools.push(Box::new(handle.fork_tool()));
+    }
+    let (dbg, stats) = run_threaded(
+        &*w,
+        threads,
+        ProblemSize::Small,
+        Variant::Original,
+        &RuntimeConfig::default(),
+        tools,
+    );
+    assert!(stats.kernels > 0);
+    (handle, dbg)
+}
+
+#[test]
+fn every_threaded_workload_merges_deterministically() {
+    for w in threaded_workloads() {
+        let (h1, _) = threaded_run(w.name(), 4, ToolConfig::default());
+        let (h2, _) = threaded_run(w.name(), 4, ToolConfig::default());
+        let t1 = h1.take_trace();
+        let t2 = h2.take_trace();
+        assert!(t1.is_merged());
+        assert_eq!(
+            t1.to_json(),
+            t2.to_json(),
+            "{}: merged trace depends on scheduling",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn threaded_detection_scales_the_single_thread_counts() {
+    // N identical host threads each run the same offload pattern: every
+    // per-thread inefficiency appears N times, and the threads'
+    // identical payloads collide into cross-thread duplicates — counts
+    // must be deterministic and at least N× the single-thread ones.
+    let (h1, _) = threaded_run("bfs", 1, ToolConfig::default());
+    let (h4, _) = threaded_run("bfs", 4, ToolConfig::default());
+    let t1 = h1.take_trace();
+    let t4 = h4.take_trace();
+    assert_eq!(t4.data_op_count(), 4 * t1.data_op_count());
+    let f1 = Findings::detect_fused(&EventView::from_log(&t1));
+    let f4 = Findings::detect_fused(&EventView::from_log(&t4));
+    assert!(f1.counts().total() > 0, "bfs has known issues");
+    assert!(
+        f4.counts().total() >= 4 * f1.counts().total(),
+        "4 threads: {:?} vs 1 thread: {:?}",
+        f4.counts(),
+        f1.counts()
+    );
+}
+
+#[test]
+fn threaded_streaming_finalize_matches_postmortem() {
+    for name in ["babelstream", "bfs", "xsbench"] {
+        for threads in [2u32, 4] {
+            let (handle, _) = threaded_run(
+                name,
+                threads,
+                ToolConfig {
+                    stream: true,
+                    ..Default::default()
+                },
+            );
+            let trace = handle.take_trace();
+            let mut engine = handle.take_stream_engine().expect("streaming on");
+            let view = EventView::from_log(&trace);
+            let streamed = engine.finalize(&view);
+            let postmortem = Findings::detect_fused(&view);
+            assert_eq!(
+                serde_json::to_string_pretty(&streamed).unwrap(),
+                serde_json::to_string_pretty(&postmortem).unwrap(),
+                "{name} with {threads} threads diverged"
+            );
+            assert_eq!(engine.live_counts(), postmortem.counts());
+        }
+    }
+}
+
+#[test]
+fn threaded_report_pipeline_runs_end_to_end() {
+    let (handle, dbg) = threaded_run("xsbench", 3, ToolConfig::default());
+    let trace = handle.take_trace();
+    let report = ompdataperf::analysis::analyze_named(
+        &trace,
+        Some(&dbg),
+        "xsbench x3",
+        handle.console_lines(),
+    );
+    assert!(report.counts.total() > 0);
+    assert_eq!(report.space.data_op_records, trace.data_op_count());
+    let text = report.render();
+    assert!(text.contains("=== Summary ==="));
+}
