@@ -13,6 +13,7 @@ use odp_hash::HashAlgoId;
 use odp_ompt::Tool;
 use odp_sim::{Runtime, RuntimeConfig};
 use ompdataperf::detect::EventView;
+use ompdataperf::remedy::{LiveRemediator, RemediationReport};
 use ompdataperf::report::{ConsoleStreamSink, FindingsSink, SnapshotStreamSink};
 use ompdataperf::tool::{OmpDataPerfTool, ToolConfig};
 use std::process::ExitCode;
@@ -149,6 +150,7 @@ fn main() -> ExitCode {
         });
 
     let wall = std::time::Instant::now();
+    let mut remedy = None;
     let (dbg, stats) = if parsed.threads > 1 {
         let mut tools: Vec<Box<dyn Tool>> = vec![Box::new(tool)];
         for _ in 1..parsed.threads {
@@ -165,8 +167,18 @@ fn main() -> ExitCode {
     } else {
         let mut rt = Runtime::new(cfg);
         rt.attach_tool(Box::new(tool));
+        // --remediate: the live findings stream steers an advisor that
+        // rewrites inefficient mappings at every subsequent region.
+        let policy = parsed.remediate.then(|| {
+            let (remediator, policy) = LiveRemediator::new(handle.clone());
+            rt.attach_advisor(Box::new(remediator));
+            policy
+        });
         let dbg = workload.run(&mut rt, parsed.size, parsed.variant);
         let stats = rt.finish();
+        if let Some(policy) = policy {
+            remedy = Some((policy, rt.remediation_stats()));
+        }
         (dbg, stats)
     };
     let wall = wall.elapsed();
@@ -245,10 +257,31 @@ fn main() -> ExitCode {
         )
     };
 
+    // The remediation summary rides along with the report: recovered
+    // bytes/time per finding kind, §A.6 console style or JSON.
+    let remediation = remedy.map(|(policy, remedy_stats)| {
+        RemediationReport::new(
+            &policy.lock(),
+            &remedy_stats,
+            stats.bytes_transferred,
+            stats.transfer_time,
+        )
+    });
+
     if parsed.json {
-        println!("{}", report.to_json());
+        match &remediation {
+            Some(r) => println!(
+                "{{\"report\":{},\"remediation\":{}}}",
+                report.to_json(),
+                r.to_json()
+            ),
+            None => println!("{}", report.to_json()),
+        }
     } else {
         println!("{}", report.render());
+        if let Some(r) = &remediation {
+            print!("{}", r.render());
+        }
         if parsed.verbose {
             println!(
                 "simulated time  : {} | wall-clock (host) : {:?}",

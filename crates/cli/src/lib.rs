@@ -47,6 +47,11 @@ pub struct CommonArgs {
     /// threads, each with its own runtime and tool shard (workloads
     /// that support it: babelstream, bfs, xsbench).
     pub threads: u32,
+    /// `--remediate`: close the detect→fix loop — stream findings into
+    /// a live remediation policy and rewrite inefficient mappings
+    /// mid-run, then print the recovered-transfer summary (implies
+    /// `--stream`; single-threaded runs only).
+    pub remediate: bool,
 }
 
 /// Outcome of argument parsing.
@@ -80,6 +85,7 @@ pub fn usage(tool: &str) -> String {
          \x20 --stream-interval MS  Print live findings + snapshot every MS ms (implies --stream)\n\
          \x20 --stream-cap N        Cap the streaming round-trip lookahead window at N\n\
          \x20 --threads N           Drive the workload from N OS threads (sharded collection)\n\
+         \x20 --remediate           Rewrite inefficient mappings mid-run from live findings (implies --stream)\n\
          Programs:\n\x20 {}",
         odp_workloads::all()
             .iter()
@@ -89,7 +95,7 @@ pub fn usage(tool: &str) -> String {
     )
 }
 
-/// Parse command-line arguments (everything after argv[0]).
+/// Parse command-line arguments (everything after `argv[0]`).
 pub fn parse(tool: &str, args: &[String]) -> Parsed {
     let mut out = CommonArgs {
         program: String::new(),
@@ -107,6 +113,7 @@ pub fn parse(tool: &str, args: &[String]) -> Parsed {
         stream_interval_ms: None,
         stream_cap: None,
         threads: 1,
+        remediate: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -119,6 +126,10 @@ pub fn parse(tool: &str, args: &[String]) -> Parsed {
             "--audit-collisions" => out.audit = true,
             "--pre-emi" => out.pre_emi = true,
             "--stream" => out.stream = true,
+            "--remediate" => {
+                out.remediate = true;
+                out.stream = true;
+            }
             "--size" => match it.next().map(|s| s.as_str()) {
                 Some("s") | Some("small") => out.size = ProblemSize::Small,
                 Some("m") | Some("medium") => out.size = ProblemSize::Medium,
@@ -172,6 +183,20 @@ pub fn parse(tool: &str, args: &[String]) -> Parsed {
     }
     if out.program.is_empty() {
         return Parsed::Error(format!("no program given\n\n{}", usage(tool)));
+    }
+    if out.remediate && out.threads > 1 {
+        return Parsed::Error(
+            "--remediate drives one runtime's advisor and does not combine with --threads".into(),
+        );
+    }
+    if out.remediate && out.stream_interval_ms.is_some() {
+        // Both consumers would race on the drain-once findings stream;
+        // whatever the poller printed would be lost to the policy.
+        return Parsed::Error(
+            "--remediate consumes the live findings stream and does not combine with \
+             --stream-interval"
+                .into(),
+        );
     }
     Parsed::Run(Box::new(out))
 }
@@ -268,6 +293,32 @@ mod tests {
             Parsed::Run(a) => assert_eq!(a.threads, 1),
             _ => panic!("expected run"),
         }
+    }
+
+    #[test]
+    fn remediate_implies_stream_and_rejects_threads() {
+        match parse("ompdataperf", &argv("--remediate babelstream")) {
+            Parsed::Run(a) => {
+                assert!(a.remediate);
+                assert!(a.stream, "--remediate implies --stream");
+            }
+            _ => panic!("expected run"),
+        }
+        assert!(matches!(
+            parse("ompdataperf", &argv("--remediate --threads 4 babelstream")),
+            Parsed::Error(_)
+        ));
+        assert!(
+            matches!(
+                parse(
+                    "ompdataperf",
+                    &argv("--remediate --stream-interval 10 babelstream")
+                ),
+                Parsed::Error(_)
+            ),
+            "the poller and the policy would race on the drain-once stream"
+        );
+        assert!(usage("ompdataperf").contains("--remediate"));
     }
 
     #[test]

@@ -75,8 +75,18 @@
 //!              └─ Alg 4/5 per-device pending queues: decisions land on
 //!                        the device's next kernel (or finalize)
 //!              │
-//!              ├──► live StreamFindings (seq-based, for sinks /
-//!              │    future live mapping decisions)
+//!              ├──► live StreamFindings (seq + site info: host addr,
+//!              │    codeptr — everything a rewrite needs mid-run)
+//!              │        │
+//!              │        ▼
+//!              │    remedy::RemediationPolicy — finding kind →
+//!              │    mapping rewrite, keyed (device, host addr)
+//!              │        │ consulted by the runtime at every
+//!              │        ▼ map-clause item (odp_ompt::MapAdvisor)
+//!              │    sim::Runtime rewrites the NEXT regions: persist /
+//!              │    downgrade to alloc|release / elide — recovered
+//!              │    bytes+time accounted per cause (RemediationStats)
+//!              │
 //!              └──► finalize(&EventView) → Findings, byte-identical
 //!                   to Findings::detect on the merged trace
 //!
@@ -84,6 +94,12 @@
 //! (start, shard, per-shard seq) — hydration output is independent
 //! of how the OS scheduled the recording threads.
 //! ```
+//!
+//! The remediation loop (bottom branch) is opt-in (`--remediate`);
+//! without an advisor the runtime's directive execution — and therefore
+//! every byte of detection output — is identical to the
+//! observation-only tool. The full pipeline narrative, including this
+//! diagram and the paper-to-code crosswalk, lives in ARCHITECTURE.md.
 //!
 //! Detection state is index-based throughout; the engine clones no
 //! event after the reorder buffer releases it. The equivalence contract

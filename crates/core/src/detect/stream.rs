@@ -56,7 +56,7 @@ use crate::detect::{
     RoundTripGroup, UnusedAlloc, UnusedTransfer, UnusedTransferReason,
 };
 use odp_hash::fnv::FnvHashMap;
-use odp_model::{DataOpEvent, DeviceId, HashVal, SimTime, TargetEvent, TargetKind};
+use odp_model::{CodePtr, DataOpEvent, DeviceId, HashVal, SimTime, TargetEvent, TargetKind};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -99,15 +99,24 @@ pub enum StreamEvent {
 
 /// A finding emitted while the program is still running. Events are
 /// referenced by sequence number; resolve them against the trace after
-/// the run (live consumers usually only need the category and devices).
+/// the run. Each finding additionally carries the offending event's
+/// *site* — host address and code pointer — which is everything a
+/// remediation policy ([`crate::remedy`]) needs to key a mapping
+/// rewrite without resolving sequence numbers mid-run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StreamFinding {
     /// Algorithm 1: `event` re-delivered content first seen in `first`.
     DuplicateTransfer {
         /// Shared content hash.
         hash: HashVal,
+        /// Sending device of the redundant transfer.
+        src_device: DeviceId,
         /// Receiving device.
         dest_device: DeviceId,
+        /// Host-side address of the transferred variable.
+        host_addr: u64,
+        /// The redundant transfer's call site.
+        codeptr: CodePtr,
         /// The redundant transfer.
         event: Seq,
         /// The first delivery of this content.
@@ -123,6 +132,10 @@ pub enum StreamFinding {
         src_device: DeviceId,
         /// Intermediate device.
         dest_device: DeviceId,
+        /// Host-side address of the bounced variable (of the `tx` leg).
+        host_addr: u64,
+        /// The outbound leg's call site.
+        codeptr: CodePtr,
         /// Outbound leg.
         tx: Seq,
         /// Completing reception.
@@ -136,6 +149,8 @@ pub enum StreamFinding {
         device: DeviceId,
         /// Allocation size.
         bytes: u64,
+        /// The repeated allocation's call site.
+        codeptr: CodePtr,
         /// The repeated allocation event.
         alloc: Seq,
         /// 1-based occurrence number (2 = first repeat).
@@ -145,6 +160,10 @@ pub enum StreamFinding {
     UnusedAlloc {
         /// Device allocated on.
         device: DeviceId,
+        /// Host address of the mapped variable.
+        host_addr: u64,
+        /// The allocation's call site.
+        codeptr: CodePtr,
         /// The allocation event.
         alloc: Seq,
         /// Its deletion, if freed.
@@ -154,11 +173,29 @@ pub enum StreamFinding {
     UnusedTransfer {
         /// Destination device.
         device: DeviceId,
+        /// Host-side source address of the wasted transfer.
+        host_addr: u64,
+        /// The wasted transfer's call site.
+        codeptr: CodePtr,
         /// The wasted transfer.
         event: Seq,
         /// Why it is provably unused.
         reason: UnusedTransferReason,
     },
+}
+
+/// The host-side address of a transfer: the source of an H2D, the
+/// destination of a D2H (device-to-device transfers key on the source).
+/// Shared with [`crate::remedy`], whose rules must key on exactly the
+/// address the runtime presents at map clauses.
+pub(crate) fn host_side_addr(e: &DataOpEvent) -> u64 {
+    if e.src_device.is_host() {
+        e.src_addr
+    } else if e.dest_device.is_host() {
+        e.dest_addr
+    } else {
+        e.src_addr
+    }
 }
 
 /// High-water marks of the engine's bounded windows. For steady-state
@@ -236,6 +273,9 @@ struct FrontierTx {
     seq: Seq,
     hash: HashVal,
     src: DeviceId,
+    /// Host-side address + call site, carried into the live finding.
+    host_addr: u64,
+    codeptr: CodePtr,
     /// Slot index of the transfer's own `(hash, dest)` queue.
     dest_slot: u32,
 }
@@ -253,6 +293,9 @@ struct TripGroup {
 struct StreamPair {
     alloc_seq: Seq,
     alloc_start: SimTime,
+    /// Host address + call site of the allocation (live-finding info).
+    alloc_haddr: u64,
+    alloc_codeptr: CodePtr,
     delete_seq: Option<Seq>,
     /// Valid iff `delete_seq.is_some()`.
     delete_end: SimTime,
@@ -279,6 +322,7 @@ struct PendingTx {
     seq: Seq,
     start: SimTime,
     src_addr: u64,
+    codeptr: CodePtr,
 }
 
 /// Per-target-device state machines for Algorithms 4 and 5.
@@ -294,8 +338,9 @@ struct DeviceMachine {
     kq5: VecDeque<KSpan>,
     /// Transfers awaiting the device's next kernel.
     pending_tx: VecDeque<PendingTx>,
-    /// Source address → last transfer writing from it (candidates).
-    candidates: FnvHashMap<u64, Seq>,
+    /// Source address → last transfer writing from it (candidates),
+    /// with its call site for the live finding.
+    candidates: FnvHashMap<u64, (Seq, CodePtr)>,
     /// Decided-unused transfers, reference emission order.
     unused_tx: Vec<(Seq, UnusedTransferReason)>,
 }
@@ -493,6 +538,8 @@ impl StreamingEngine {
                     .push((tx.seq, UnusedTransferReason::AfterLastKernel));
                 self.emit(StreamFinding::UnusedTransfer {
                     device: DeviceId::target(dev as u32),
+                    host_addr: tx.src_addr,
+                    codeptr: tx.codeptr,
                     event: tx.seq,
                     reason: UnusedTransferReason::AfterLastKernel,
                 });
@@ -580,7 +627,10 @@ impl StreamingEngine {
             let (first, occurrence) = (slot.events[0], slot.events.len() as u32);
             self.emit(StreamFinding::DuplicateTransfer {
                 hash,
+                src_device: e.src_device,
                 dest_device: e.dest_device,
+                host_addr: host_side_addr(e),
+                codeptr: e.codeptr,
                 event: e.id.0,
                 first,
                 occurrence,
@@ -594,6 +644,8 @@ impl StreamingEngine {
             seq: e.id.0,
             hash,
             src: e.src_device,
+            host_addr: host_side_addr(e),
+            codeptr: e.codeptr,
             dest_slot: slot_ix,
         });
         self.stats.frontier_peak = self.stats.frontier_peak.max(self.frontier.len());
@@ -668,6 +720,8 @@ impl StreamingEngine {
             hash: tx.hash,
             src_device: tx.src,
             dest_device: dest,
+            host_addr: tx.host_addr,
+            codeptr: tx.codeptr,
             tx: tx.seq,
             rx,
         });
@@ -685,6 +739,8 @@ impl StreamingEngine {
         self.pairs.push(StreamPair {
             alloc_seq: e.id.0,
             alloc_start: e.span.start,
+            alloc_haddr: e.src_addr,
+            alloc_codeptr: e.codeptr,
             delete_seq: None,
             delete_end: SimTime(0),
         });
@@ -708,6 +764,7 @@ impl StreamingEngine {
                 host_addr: e.src_addr,
                 device: e.dest_device,
                 bytes: e.bytes,
+                codeptr: e.codeptr,
                 alloc: e.id.0,
                 occurrence,
             });
@@ -770,6 +827,8 @@ impl StreamingEngine {
         let p = &self.pairs[pix as usize];
         let finding = StreamFinding::UnusedAlloc {
             device: DeviceId::target(dev as u32),
+            host_addr: p.alloc_haddr,
+            codeptr: p.alloc_codeptr,
             alloc: p.alloc_seq,
             delete: p.delete_seq,
         };
@@ -784,6 +843,7 @@ impl StreamingEngine {
             seq: e.id.0,
             start: e.span.start,
             src_addr: e.src_addr,
+            codeptr: e.codeptr,
         };
         self.machine(dev); // ensure the device table covers `dev`
         let m = &mut self.machines[dev];
@@ -816,17 +876,19 @@ impl StreamingEngine {
         match m.kq5.front() {
             None => return Some(tx),
             Some(k) if k.start > tx.start => {
-                if let Some(&cand) = m.candidates.get(&tx.src_addr) {
+                if let Some(&(cand, cand_cp)) = m.candidates.get(&tx.src_addr) {
                     m.unused_tx
                         .push((cand, UnusedTransferReason::OverwrittenBeforeUse));
                     emitted.push(StreamFinding::UnusedTransfer {
                         device: DeviceId::target(dev as u32),
+                        host_addr: tx.src_addr,
+                        codeptr: cand_cp,
                         event: cand,
                         reason: UnusedTransferReason::OverwrittenBeforeUse,
                     });
                     counts.ut += 1;
                 }
-                m.candidates.insert(tx.src_addr, tx.seq);
+                m.candidates.insert(tx.src_addr, (tx.seq, tx.codeptr));
             }
             Some(_) => {
                 // Overlaps a running kernel (asynchronous mapping):

@@ -1,7 +1,7 @@
 //! Algorithm 5 — Identify Unused Data Transfers.
 //!
 //! Detects transfers "that would be overwritten before any kernel could
-//! possibly access [them] or [that occur] after the last active kernel on
+//! possibly access \[them\] or \[that occur\] after the last active kernel on
 //! the device" (§5.4). A map of *candidates* relates source addresses to
 //! the last transfer that wrote to the device from them; a new transfer
 //! from the same address with no intervening kernel execution proves the

@@ -25,6 +25,11 @@
 //!    through libdw.
 //! 5. [`report::Report`] renders the §A.6-style console tables (and
 //!    JSON).
+//! 6. Optionally, [`remedy::RemediationPolicy`] closes the loop: live
+//!    [`detect::StreamFinding`]s become mapping rewrites the simulated
+//!    runtime applies *mid-run* (persist, downgrade, elide), with the
+//!    recovered transfer bytes/time accounted per finding kind in a
+//!    [`remedy::RemediationReport`].
 //!
 //! End-to-end, against a hand-built trace (no simulator needed):
 //!
@@ -61,11 +66,13 @@ pub mod attrib;
 pub mod collision;
 pub mod detect;
 pub mod predict;
+pub mod remedy;
 pub mod report;
 pub mod tool;
 
 pub use analysis::analyze;
 pub use detect::{Findings, IssueCounts};
 pub use predict::Prediction;
+pub use remedy::{LiveRemediator, RemediationPolicy, RemediationReport};
 pub use report::Report;
 pub use tool::{OmpDataPerfTool, ToolConfig, ToolHandle};

@@ -177,6 +177,7 @@ pub fn render_stream_finding(f: &StreamFinding) -> String {
             event,
             first,
             occurrence,
+            ..
         } => format!(
             "stream: duplicate transfer (occurrence {occurrence}) of content {hash} \
              to {dest_device} — event #{event} repeats #{first}"
@@ -187,6 +188,7 @@ pub fn render_stream_finding(f: &StreamFinding) -> String {
             dest_device,
             tx,
             rx,
+            ..
         } => format!(
             "stream: round trip of content {hash} from {src_device} via {dest_device} \
              — outbound #{tx}, returned by #{rx}"
@@ -197,6 +199,7 @@ pub fn render_stream_finding(f: &StreamFinding) -> String {
             bytes,
             alloc,
             occurrence,
+            ..
         } => format!(
             "stream: repeated allocation (occurrence {occurrence}) of 0x{host_addr:x} \
              ({bytes} B) on {device} — event #{alloc}"
@@ -205,6 +208,7 @@ pub fn render_stream_finding(f: &StreamFinding) -> String {
             device,
             alloc,
             delete,
+            ..
         } => match delete {
             Some(delete) => format!(
                 "stream: unused allocation on {device} — event #{alloc} (freed by #{delete})"
@@ -215,6 +219,7 @@ pub fn render_stream_finding(f: &StreamFinding) -> String {
             device,
             event,
             reason,
+            ..
         } => {
             let why = match reason {
                 crate::detect::UnusedTransferReason::AfterLastKernel => "after the last kernel",
@@ -421,7 +426,10 @@ mod tests {
         let findings = [
             StreamFinding::DuplicateTransfer {
                 hash: HashVal(0xab),
+                src_device: DeviceId::HOST,
                 dest_device: DeviceId::target(0),
+                host_addr: 0x1000,
+                codeptr: CodePtr(0x1),
                 event: 5,
                 first: 2,
                 occurrence: 2,
@@ -430,6 +438,8 @@ mod tests {
                 hash: HashVal(0xcd),
                 src_device: DeviceId::HOST,
                 dest_device: DeviceId::target(1),
+                host_addr: 0x1000,
+                codeptr: CodePtr(0x2),
                 tx: 3,
                 rx: 9,
             },
@@ -437,16 +447,21 @@ mod tests {
                 host_addr: 0x1000,
                 device: DeviceId::target(0),
                 bytes: 4096,
+                codeptr: CodePtr(0x3),
                 alloc: 7,
                 occurrence: 3,
             },
             StreamFinding::UnusedAlloc {
                 device: DeviceId::target(0),
+                host_addr: 0x2000,
+                codeptr: CodePtr(0x4),
                 alloc: 11,
                 delete: None,
             },
             StreamFinding::UnusedTransfer {
                 device: DeviceId::target(0),
+                host_addr: 0x3000,
+                codeptr: CodePtr(0x5),
                 event: 13,
                 reason: UnusedTransferReason::AfterLastKernel,
             },
@@ -469,7 +484,10 @@ mod tests {
         let mut sink = SnapshotStreamSink::new(2);
         let dup = |event| StreamFinding::DuplicateTransfer {
             hash: HashVal(0xab),
+            src_device: DeviceId::HOST,
             dest_device: DeviceId::target(0),
+            host_addr: 0x1000,
+            codeptr: CodePtr(0x1),
             event,
             first: 0,
             occurrence: 2,

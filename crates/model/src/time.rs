@@ -162,7 +162,7 @@ impl fmt::Display for SimTime {
 ///
 /// Events with `start == end` are instantaneous; the overlap predicates
 /// below treat the interval as closed for the purposes of Algorithm 4/5
-/// ("lifetimes [that] do not intersect with the execution of any active
+/// ("lifetimes \[that\] do not intersect with the execution of any active
 /// kernel"), which matches the paper's `<`/`>` comparisons.
 #[derive(
     Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,

@@ -22,17 +22,25 @@
 //!   (streaming) tools to turn completion-ordered callbacks back into a
 //!   chronological event stream, and the lock-free [`GlobalWatermark`]
 //!   that merges per-thread clocks when a multi-threaded runtime drives
-//!   callbacks from several shards at once.
+//!   callbacks from several shards at once. The merged watermark is
+//!   *strictly below*: it promises only that no future event can start
+//!   at or below it (`None` while any shard may still emit at t=0);
+//! * [`advice`] — the feedback extension real OMPT lacks: a
+//!   [`MapAdvisor`] the runtime consults at every map-clause item so a
+//!   live analysis can rewrite inefficient mappings mid-run, with
+//!   per-cause [`RemediationStats`] accounting what the rewrites saved.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod advice;
 pub mod callback;
 pub mod capability;
 pub mod progress;
 pub mod tool;
 pub mod version;
 
+pub use advice::{AdviceCause, MapAdvice, MapAdvisor, RemediationStats, RemedyCounter};
 pub use callback::{
     AccessRange, CallbackKind, DataOpCallback, DataOpType, Endpoint, HostAccessInfo,
     KernelAccessInfo, SubmitCallback, TargetCallback, TargetConstructKind,

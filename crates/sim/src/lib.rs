@@ -30,6 +30,15 @@
 //! threads, each driving its own deterministic runtime with its own
 //! tool shard, so the *merged* observation stays reproducible while
 //! the callback interleaving is genuinely concurrent.
+//!
+//! Beyond observation, the runtime accepts an
+//! [`odp_ompt::MapAdvisor`] ([`Runtime::attach_advisor`]): a live
+//! analysis can rewrite inefficient map clauses mid-run — skip
+//! provably redundant copies, keep mappings resident across regions,
+//! elide never-used allocations — with every applied rewrite and its
+//! recovered bytes/time accounted per finding kind and device
+//! ([`Runtime::remediation_stats`]). Without an advisor, directive
+//! execution is bit-for-bit identical to the unremediated runtime.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -23,10 +23,11 @@ use crate::kernel::{DeviceView, Kernel};
 use crate::memory::{DeviceMemory, HostMemory, VarId};
 use odp_model::{CodePtr, DeviceId, MapModifier, MapType, SimDuration, SimTime};
 use odp_ompt::{
-    AccessRange, CallbackKind, CompilerProfile, DataOpCallback, DataOpType, Endpoint,
-    HostAccessInfo, KernelAccessInfo, RuntimeCapabilities, SubmitCallback, TargetCallback,
-    TargetConstructKind, Tool, ToolRegistration,
+    AccessRange, AdviceCause, CallbackKind, CompilerProfile, DataOpCallback, DataOpType, Endpoint,
+    HostAccessInfo, KernelAccessInfo, MapAdvice, MapAdvisor, RemediationStats, RuntimeCapabilities,
+    SubmitCallback, TargetCallback, TargetConstructKind, Tool, ToolRegistration,
 };
+use std::collections::HashMap;
 
 /// One map clause item: `map(<modifier><type>: <var>)`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -119,6 +120,15 @@ pub struct Runtime {
     host: HostMemory,
     devices: Vec<DeviceState>,
     tool: Option<ToolSlot>,
+    /// Online mapping advisor (`--remediate`): consulted at every
+    /// map-clause item; `None` leaves directive execution bit-exact.
+    advisor: Option<Box<dyn MapAdvisor>>,
+    /// What the advisor's rewrites saved, per cause and device.
+    remedy: RemediationStats,
+    /// `(device, host_addr)` mappings alive only because a rewrite
+    /// skipped their release — re-entries that reuse them count as
+    /// recovered re-allocations/re-sends, attributed to the cause.
+    retained: HashMap<(u32, u64), AdviceCause>,
     warnings: Vec<RuntimeWarning>,
     open_regions: Vec<OpenRegion>,
     next_target_id: u64,
@@ -149,6 +159,9 @@ impl Runtime {
             host: HostMemory::new(),
             devices,
             tool: None,
+            advisor: None,
+            remedy: RemediationStats::default(),
+            retained: HashMap::new(),
             warnings: Vec::new(),
             open_regions: Vec::new(),
             next_target_id: 1,
@@ -184,6 +197,26 @@ impl Runtime {
     /// Detach and return the tool (used by harnesses that own the tool).
     pub fn detach_tool(&mut self) -> Option<Box<dyn Tool>> {
         self.tool.take().map(|s| s.tool)
+    }
+
+    /// Attach a mapping advisor (online remediation). The runtime
+    /// consults it at every map-clause item and applies the advised
+    /// rewrites; without an advisor, directive execution — and hence the
+    /// tool-visible event stream — is untouched. Attach before any
+    /// directive executes so enter/exit advice stays consistent.
+    pub fn attach_advisor(&mut self, advisor: Box<dyn MapAdvisor>) {
+        assert!(self.advisor.is_none(), "an advisor is already attached");
+        self.advisor = Some(advisor);
+    }
+
+    /// Is a mapping advisor attached?
+    pub fn advisor_attached(&self) -> bool {
+        self.advisor.is_some()
+    }
+
+    /// What the advisor's rewrites recovered so far (empty without one).
+    pub fn remediation_stats(&self) -> RemediationStats {
+        self.remedy.clone()
     }
 
     /// Current virtual time.
@@ -341,7 +374,7 @@ impl Runtime {
             codeptr,
         );
         for &m in maps {
-            self.map_enter(device, m, target_id, codeptr);
+            self.map_enter(device, m, target_id, codeptr, false);
         }
         self.emit_target(
             TargetConstructKind::TargetData,
@@ -401,7 +434,7 @@ impl Runtime {
             codeptr,
         );
         for &m in maps {
-            self.map_enter(device, m, target_id, codeptr);
+            self.map_enter(device, m, target_id, codeptr, false);
         }
         self.emit_target(
             TargetConstructKind::TargetEnterData,
@@ -501,8 +534,9 @@ impl Runtime {
 
         // Effective data environment: explicit maps, then implicit tofrom
         // for referenced-but-unmapped variables.
+        let referenced = kernel.referenced_vars();
         let mut effective: Vec<Map> = maps.to_vec();
-        for var in kernel.referenced_vars() {
+        for &var in &referenced {
             if !effective.iter().any(|m| m.var == var) {
                 effective.push(Map {
                     var,
@@ -512,7 +546,7 @@ impl Runtime {
             }
         }
         for &m in &effective {
-            self.map_enter(device, m, target_id, codeptr);
+            self.map_enter(device, m, target_id, codeptr, referenced.contains(&m.var));
         }
 
         self.run_kernel(device, codeptr, target_id, kernel);
@@ -555,8 +589,9 @@ impl Runtime {
             target_id,
             codeptr,
         );
+        let referenced = kernel.referenced_vars();
         let mut effective: Vec<Map> = maps.to_vec();
-        for var in kernel.referenced_vars() {
+        for &var in &referenced {
             if !effective.iter().any(|m| m.var == var) {
                 effective.push(Map {
                     var,
@@ -566,7 +601,7 @@ impl Runtime {
             }
         }
         for &m in &effective {
-            self.map_enter(device, m, target_id, codeptr);
+            self.map_enter(device, m, target_id, codeptr, referenced.contains(&m.var));
         }
 
         self.launch_kernel_async(device, codeptr, target_id, kernel);
@@ -836,14 +871,109 @@ impl Runtime {
     // Map-clause machinery
     // ---------------------------------------------------------------
 
-    fn map_enter(&mut self, device: u32, m: Map, target_id: u64, codeptr: CodePtr) {
+    /// Consult the attached advisor for one map item, or keep as written.
+    fn consult(&mut self, enter: bool, device: u32, m: Map, codeptr: CodePtr) -> MapAdvice {
+        let Some(advisor) = self.advisor.as_mut() else {
+            return MapAdvice::KEEP;
+        };
         let haddr = self.host.addr(m.var);
+        let bytes = self.host.size(m.var);
+        if enter {
+            advisor.advise_enter(device, codeptr, haddr, bytes, m.map_type)
+        } else {
+            advisor.advise_exit(device, codeptr, haddr, bytes, m.map_type)
+        }
+    }
+
+    /// Account a transfer a rewrite made unnecessary.
+    fn note_avoided_transfer(&mut self, device: u32, cause: AdviceCause, bytes: u64, h2d: bool) {
+        let dur = self.cfg.timing.transfer_duration(bytes, h2d);
+        let c = self.remedy.counter_mut(device, cause);
+        c.transfers_avoided += 1;
+        c.transfer_bytes_avoided += bytes;
+        c.transfer_time_avoided += dur;
+    }
+
+    /// Account an allocation a rewrite made unnecessary.
+    fn note_avoided_alloc(&mut self, device: u32, cause: AdviceCause, bytes: u64) {
+        let dur = self.cfg.timing.alloc.alloc_duration(bytes);
+        let c = self.remedy.counter_mut(device, cause);
+        c.allocs_avoided += 1;
+        c.mgmt_time_avoided += dur;
+    }
+
+    /// Account a deallocation a rewrite made unnecessary.
+    fn note_avoided_delete(&mut self, device: u32, cause: AdviceCause) {
+        let dur = self.cfg.timing.alloc.free_duration();
+        let c = self.remedy.counter_mut(device, cause);
+        c.deletes_avoided += 1;
+        c.mgmt_time_avoided += dur;
+    }
+
+    /// `force_map` pins the clause for a variable the launching kernel
+    /// references: elision and enter-copy downgrades (`skip_to`) are
+    /// overridden (a mispredicting advisor may waste bandwidth but never
+    /// leave a kernel without its data).
+    fn map_enter(
+        &mut self,
+        device: u32,
+        m: Map,
+        target_id: u64,
+        codeptr: CodePtr,
+        force_map: bool,
+    ) {
+        let advice = self.consult(true, device, m, codeptr);
+        let haddr = self.host.addr(m.var);
+        let bytes = self.host.size(m.var);
         let present = self.devices[device as usize].present.lookup(haddr).copied();
+
+        // Elide: drop the clause. Only meaningful while the data is
+        // absent; present data is simply reused (persist semantics).
+        if let Some(cause) = advice.elide {
+            if !force_map && present.is_none() {
+                if m.map_type.allocates() {
+                    self.note_avoided_alloc(device, cause, bytes);
+                    if m.map_type.copies_to_device() {
+                        self.note_avoided_transfer(device, cause, bytes, true);
+                    }
+                    self.remedy.counter_mut(device, cause).rewrites += 1;
+                }
+                return;
+            }
+        }
+
         match present {
             Some(entry) => {
-                self.devices[device as usize].present.retain(haddr);
+                // A mapping alive only because remediation skipped its
+                // release holds one *phantom* reference (the skip left
+                // the refcount at 1 with no real holder). This re-entry
+                // adopts it — consume the mark, skip the retain, and
+                // count the re-allocation + re-send the baseline would
+                // have performed as recovered.
+                let adopted = if entry.refcount == 1 {
+                    self.retained.remove(&(device, haddr))
+                } else {
+                    None
+                };
+                if let Some(cause) = adopted {
+                    self.note_avoided_alloc(device, cause, bytes);
+                    // Under `always` the copy below happens (or is booked
+                    // by skip_to) regardless of residency, so only a plain
+                    // `to` re-entry actually saves a transfer here.
+                    if m.map_type.copies_to_device() && !m.modifier.always {
+                        self.note_avoided_transfer(device, cause, bytes, true);
+                    }
+                } else {
+                    self.devices[device as usize].present.retain(haddr);
+                }
                 if m.modifier.always && m.map_type.copies_to_device() {
-                    self.do_h2d(device, m.var, entry.dev_addr, target_id, codeptr);
+                    match advice.skip_to {
+                        Some(cause) if !force_map => {
+                            self.note_avoided_transfer(device, cause, bytes, true);
+                            self.remedy.counter_mut(device, cause).rewrites += 1;
+                        }
+                        _ => self.do_h2d(device, m.var, entry.dev_addr, target_id, codeptr),
+                    }
                 }
             }
             None => {
@@ -862,40 +992,104 @@ impl Runtime {
                     self.host.size(m.var),
                 );
                 if m.map_type.copies_to_device() {
-                    self.do_h2d(device, m.var, dev_addr, target_id, codeptr);
+                    match advice.skip_to {
+                        // to → alloc: the data lands uninitialized, which
+                        // Algorithm 5 proved no kernel will notice. Like
+                        // elision, never applied to a variable the
+                        // launching kernel references.
+                        Some(cause) if !force_map => {
+                            self.note_avoided_transfer(device, cause, bytes, true);
+                            self.remedy.counter_mut(device, cause).rewrites += 1;
+                        }
+                        _ => self.do_h2d(device, m.var, dev_addr, target_id, codeptr),
+                    }
                 }
             }
         }
     }
 
     fn map_exit(&mut self, device: u32, m: Map, target_id: u64, codeptr: CodePtr) {
+        let advice = self.consult(false, device, m, codeptr);
         let haddr = self.host.addr(m.var);
+        let bytes = self.host.size(m.var);
         match m.map_type {
-            MapType::Delete => match self.devices[device as usize].present.force_remove(haddr) {
-                Some(entry) => self.do_delete(device, m.var, entry.dev_addr, target_id, codeptr),
-                None => self.warnings.push(RuntimeWarning::DeleteOfAbsentData {
-                    var: self.host.var(m.var).name.clone(),
-                }),
-            },
+            MapType::Delete => {
+                if let Some(cause) = advice.persist.or(advice.elide) {
+                    if self.devices[device as usize].present.contains(haddr) {
+                        // Keep the mapping resident despite the forced
+                        // delete; re-entries reuse it.
+                        self.retained.insert((device, haddr), cause);
+                        self.note_avoided_delete(device, cause);
+                        self.remedy.counter_mut(device, cause).rewrites += 1;
+                        return;
+                    }
+                    if advice.elide.is_some() {
+                        return; // elided at enter: nothing to delete
+                    }
+                }
+                match self.devices[device as usize].present.force_remove(haddr) {
+                    Some(entry) => {
+                        self.do_delete(device, m.var, entry.dev_addr, target_id, codeptr)
+                    }
+                    None => self.warnings.push(RuntimeWarning::DeleteOfAbsentData {
+                        var: self.host.var(m.var).name.clone(),
+                    }),
+                }
+            }
             _ => {
-                if !self.devices[device as usize].present.contains(haddr) {
+                let Some(entry) = self.devices[device as usize].present.lookup(haddr).copied()
+                else {
+                    if advice.elide.is_some() {
+                        return; // elided at enter: exit silently too
+                    }
                     self.warnings.push(RuntimeWarning::ReleaseOfAbsentData {
                         var: self.host.var(m.var).name.clone(),
                     });
                     return;
-                }
+                };
                 // `always from` copies back even while references remain.
                 if m.modifier.always && m.map_type.copies_from_device() {
-                    let dev_addr = self.devices[device as usize]
-                        .present
-                        .lookup(haddr)
-                        .expect("checked present")
-                        .dev_addr;
-                    self.do_d2h(device, m.var, dev_addr, target_id, codeptr);
+                    if let Some(cause) = advice.skip_from {
+                        self.note_avoided_transfer(device, cause, bytes, false);
+                        self.remedy.counter_mut(device, cause).rewrites += 1;
+                    } else {
+                        self.do_d2h(device, m.var, entry.dev_addr, target_id, codeptr);
+                    }
+                }
+                // Persist: when this release would free the mapping, keep
+                // it resident instead. An exit-side `from` copy degrades
+                // to a targeted update (host visibility preserved, no
+                // delete/re-send round trip) unless skip_from also holds.
+                let persist = advice.persist.or(advice.elide);
+                if let Some(cause) = persist {
+                    if entry.refcount == 1 {
+                        if m.map_type.copies_from_device() && !m.modifier.always {
+                            if let Some(skip) = advice.skip_from {
+                                self.note_avoided_transfer(device, skip, bytes, false);
+                            } else {
+                                self.do_d2h(device, m.var, entry.dev_addr, target_id, codeptr);
+                                let c = self.remedy.counter_mut(device, cause);
+                                c.updates_injected += 1;
+                                c.update_bytes += bytes;
+                            }
+                        }
+                        self.retained.insert((device, haddr), cause);
+                        self.note_avoided_delete(device, cause);
+                        self.remedy.counter_mut(device, cause).rewrites += 1;
+                        return;
+                    }
+                    // refcount > 1: the release cannot free; fall through.
                 }
                 if let Some(entry) = self.devices[device as usize].present.release(haddr) {
                     if m.map_type.copies_from_device() && !m.modifier.always {
-                        self.do_d2h(device, m.var, entry.dev_addr, target_id, codeptr);
+                        if let Some(cause) = advice.skip_from {
+                            // from → release: the copy-back is provably
+                            // redundant (the host already holds the bytes).
+                            self.note_avoided_transfer(device, cause, bytes, false);
+                            self.remedy.counter_mut(device, cause).rewrites += 1;
+                        } else {
+                            self.do_d2h(device, m.var, entry.dev_addr, target_id, codeptr);
+                        }
                     }
                     self.do_delete(device, m.var, entry.dev_addr, target_id, codeptr);
                 }
@@ -1713,6 +1907,259 @@ mod tests {
         rt.taskwait(0);
         assert_eq!(rt.now(), t);
         rt.finish();
+    }
+
+    /// Table-driven advisor for hook tests: one advice per host address.
+    struct TableAdvisor {
+        rules: Vec<(u64, MapAdvice)>,
+    }
+
+    impl MapAdvisor for TableAdvisor {
+        fn advise_enter(
+            &mut self,
+            _device: u32,
+            _codeptr: CodePtr,
+            host_addr: u64,
+            _bytes: u64,
+            _map_type: MapType,
+        ) -> MapAdvice {
+            self.rules
+                .iter()
+                .find(|(a, _)| *a == host_addr)
+                .map(|(_, adv)| *adv)
+                .unwrap_or(MapAdvice::KEEP)
+        }
+
+        fn advise_exit(
+            &mut self,
+            device: u32,
+            codeptr: CodePtr,
+            host_addr: u64,
+            bytes: u64,
+            map_type: MapType,
+        ) -> MapAdvice {
+            self.advise_enter(device, codeptr, host_addr, bytes, map_type)
+        }
+    }
+
+    fn advise(rt: &Runtime, var: VarId, advice: MapAdvice) -> Box<TableAdvisor> {
+        Box::new(TableAdvisor {
+            rules: vec![(rt.host_addr(var), advice)],
+        })
+    }
+
+    #[test]
+    fn persist_advice_keeps_the_mapping_resident() {
+        // The Listing 1 anti-pattern remediated: with persist advice the
+        // second region reuses the present entry — one alloc, one H2D.
+        let (mut rt, events, _) = recorder_runtime();
+        let a = rt.host_alloc("a", 1024);
+        rt.host_fill_u32(a, |i| i as u32);
+        rt.attach_advisor(advise(
+            &rt,
+            a,
+            MapAdvice {
+                persist: Some(AdviceCause::DuplicateTransfer),
+                ..MapAdvice::KEEP
+            },
+        ));
+        for _ in 0..3 {
+            rt.target(
+                0,
+                CodePtr(0x100),
+                &[map(MapType::To, a)],
+                Kernel::new("sum", KernelCost::fixed(1_000)).reads(&[a]),
+            );
+        }
+        rt.finish();
+        let ev = events.lock().unwrap();
+        let h2d = ev.iter().filter(|e| e.contains("TransferToDevice")).count();
+        let allocs = ev.iter().filter(|e| e.contains("Alloc")).count();
+        let deletes = ev.iter().filter(|e| e.contains("Delete")).count();
+        assert_eq!(h2d, 1, "re-sends dropped: {ev:?}");
+        assert_eq!(allocs, 1, "re-allocations dropped");
+        assert_eq!(deletes, 0, "releases skipped");
+        let rec = rt
+            .remediation_stats()
+            .counter(0, AdviceCause::DuplicateTransfer);
+        assert_eq!(rec.transfers_avoided, 2);
+        assert_eq!(rec.transfer_bytes_avoided, 2 * 1024);
+        assert!(rec.transfer_time_avoided > SimDuration::ZERO);
+        assert_eq!(rec.allocs_avoided, 2);
+        assert!(rec.rewrites >= 1);
+    }
+
+    #[test]
+    fn persist_advice_degrades_tofrom_exit_to_targeted_update() {
+        // tofrom + persist: the exit copy-back survives as a targeted
+        // update (host visibility preserved), the delete/re-send do not.
+        let (mut rt, events, _) = recorder_runtime();
+        let a = rt.host_alloc("a", 512);
+        rt.attach_advisor(advise(
+            &rt,
+            a,
+            MapAdvice {
+                persist: Some(AdviceCause::RoundTrip),
+                ..MapAdvice::KEEP
+            },
+        ));
+        for _ in 0..2 {
+            rt.target(
+                0,
+                CodePtr(0x200),
+                &[],
+                Kernel::new("incr", KernelCost::fixed(100))
+                    .reads(&[a])
+                    .writes(&[a]),
+            );
+        }
+        rt.finish();
+        let ev = events.lock().unwrap();
+        let h2d = ev.iter().filter(|e| e.contains("TransferToDevice")).count();
+        let d2h = ev
+            .iter()
+            .filter(|e| e.contains("TransferFromDevice"))
+            .count();
+        assert_eq!(h2d, 1, "implicit tofrom re-send dropped: {ev:?}");
+        assert_eq!(d2h, 2, "copy-back survives as an update each exit");
+        let rec = rt.remediation_stats().counter(0, AdviceCause::RoundTrip);
+        assert_eq!(rec.updates_injected, 2);
+        assert_eq!(rec.transfers_avoided, 1);
+    }
+
+    #[test]
+    fn skip_advice_downgrades_copies() {
+        // skip_to: to → alloc; skip_from: from → release.
+        let (mut rt, events, _) = recorder_runtime();
+        let a = rt.host_alloc("a", 256);
+        rt.attach_advisor(advise(
+            &rt,
+            a,
+            MapAdvice {
+                skip_to: Some(AdviceCause::UnusedTransfer),
+                skip_from: Some(AdviceCause::RoundTrip),
+                ..MapAdvice::KEEP
+            },
+        ));
+        let region = rt.target_data_begin(0, CodePtr(1), &[map(MapType::ToFrom, a)]);
+        rt.target_data_end(region);
+        rt.finish();
+        let ev = events.lock().unwrap();
+        assert!(
+            !ev.iter().any(|e| e.contains("Transfer")),
+            "both copies downgraded: {ev:?}"
+        );
+        assert_eq!(ev.iter().filter(|e| e.contains("Alloc")).count(), 1);
+        assert_eq!(ev.iter().filter(|e| e.contains("Delete")).count(), 1);
+        let stats = rt.remediation_stats();
+        assert_eq!(
+            stats
+                .counter(0, AdviceCause::UnusedTransfer)
+                .transfers_avoided,
+            1
+        );
+        assert_eq!(
+            stats.counter(0, AdviceCause::RoundTrip).transfers_avoided,
+            1
+        );
+    }
+
+    #[test]
+    fn elide_advice_drops_the_clause_but_never_starves_a_kernel() {
+        let (mut rt, events, _) = recorder_runtime();
+        let unused = rt.host_alloc("unused", 128);
+        let needed = rt.host_alloc("needed", 128);
+        let advisor = Box::new(TableAdvisor {
+            rules: vec![
+                (
+                    rt.host_addr(unused),
+                    MapAdvice {
+                        elide: Some(AdviceCause::UnusedAlloc),
+                        ..MapAdvice::KEEP
+                    },
+                ),
+                (
+                    rt.host_addr(needed),
+                    MapAdvice {
+                        elide: Some(AdviceCause::UnusedAlloc),
+                        ..MapAdvice::KEEP
+                    },
+                ),
+            ],
+        });
+        rt.attach_advisor(advisor);
+        // `unused` is only mapped by the data region → elided. `needed`
+        // is referenced by the kernel → the elision is overridden.
+        let region = rt.target_data_begin(0, CodePtr(1), &[map(MapType::To, unused)]);
+        rt.target(
+            0,
+            CodePtr(2),
+            &[map(MapType::To, needed)],
+            Kernel::new("k", KernelCost::fixed(10)).reads(&[needed]),
+        );
+        rt.target_data_end(region);
+        rt.finish();
+        let ev = events.lock().unwrap();
+        assert_eq!(
+            ev.iter().filter(|e| e.contains("Alloc")).count(),
+            1,
+            "only the kernel-referenced var is mapped: {ev:?}"
+        );
+        assert!(rt.warnings().is_empty(), "elided exit must stay silent");
+        let rec = rt.remediation_stats().counter(0, AdviceCause::UnusedAlloc);
+        assert_eq!(rec.allocs_avoided, 1);
+        assert_eq!(rec.transfers_avoided, 1);
+    }
+
+    #[test]
+    fn skip_to_advice_never_starves_a_kernel() {
+        // A skip_to rule learned from one wasted transfer must not drop
+        // the copy a *kernel-referenced* map of the same variable needs.
+        let (mut rt, events, _) = recorder_runtime();
+        let x = rt.host_alloc("x", 64);
+        rt.host_fill_u32(x, |i| i as u32 + 1);
+        rt.attach_advisor(advise(
+            &rt,
+            x,
+            MapAdvice {
+                skip_to: Some(AdviceCause::UnusedTransfer),
+                ..MapAdvice::KEEP
+            },
+        ));
+        let mut body = |view: &mut DeviceView<'_>| {
+            let vals = view.read_u32(VarId(0));
+            assert_eq!(vals[0], 1, "the kernel must see the host data");
+        };
+        rt.target(
+            0,
+            CodePtr(1),
+            &[map(MapType::To, x)],
+            Kernel::new("k", KernelCost::fixed(10))
+                .reads(&[x])
+                .body(&mut body),
+        );
+        rt.finish();
+        let ev = events.lock().unwrap();
+        assert_eq!(
+            ev.iter().filter(|e| e.contains("TransferToDevice")).count(),
+            1,
+            "the copy survives for a kernel-referenced var: {ev:?}"
+        );
+    }
+
+    #[test]
+    fn no_advisor_means_no_remediation_stats() {
+        let mut rt = Runtime::with_defaults();
+        assert!(!rt.advisor_attached());
+        let a = rt.host_alloc("a", 64);
+        rt.target(
+            0,
+            CodePtr(1),
+            &[map(MapType::To, a)],
+            Kernel::new("k", KernelCost::fixed(10)).reads(&[a]),
+        );
+        rt.finish();
+        assert!(!rt.remediation_stats().any_rewrites());
     }
 
     #[test]

@@ -12,6 +12,19 @@
 //! * code-pointer interning for the 24-byte target records,
 //! * hydration into the `odp-model` event types for the detectors, and
 //!   JSON export for offline analysis.
+//!
+//! # Sharding invariants
+//!
+//! Multi-threaded collection gives every runtime thread its own
+//! [`TraceLog`] shard (`TraceLog::for_shard`). **Event ids embed the
+//! shard**: `id = shard << 32 | per-shard sequence`, so ids are unique
+//! across threads without coordination, and
+//! `TraceLog::merge_shards` — which orders all shard streams by
+//! `(start time, shard, per-shard sequence)` — produces a merged trace
+//! that is independent of how the OS scheduled the recording threads.
+//! Hydration sorts by `(start, id)`; because the shard is the id's high
+//! half, cross-shard ties at the same start time break
+//! deterministically by shard number.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,7 +1,7 @@
 //! Packed event records.
 //!
 //! §7.4: "OMPDataPerf allocates 72 B for every OpenMP data transfer event
-//! [and] 24 B for every target launch event." These structs are laid out
+//! \[and\] 24 B for every target launch event." These structs are laid out
 //! to hit exactly those sizes, and the sizes are asserted at compile time
 //! so the space-overhead experiment (Figure 3) cannot silently drift.
 

@@ -1,7 +1,7 @@
 //! bfs — Rodinia's breadth-first search (graph algorithms).
 //!
 //! §7.5: "The bfs program from the Rodinia suite exhibits 3 issue types
-//! as a result of reallocating [and] transferring back and forth a
+//! as a result of reallocating \[and\] transferring back and forth a
 //! boolean to indicate when to stop launching kernels. We eliminated
 //! these issues by moving the loop check into the OpenMP target region,
 //! which resulted in 2.1× speedup for the small problem size."

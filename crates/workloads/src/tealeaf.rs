@@ -2,7 +2,7 @@
 //! sparse linear solve; included in SPEChpc 2021).
 //!
 //! §7.5: "The majority of the DDs and all of the RAs in tealeaf were
-//! caused by copies for initialization [of] reduction variables.
+//! caused by copies for initialization \[of\] reduction variables.
 //! Unfortunately, this is usually the fastest way to initialize
 //! reduction variables with current OpenMP features ... We could not
 //! determine a performant way to eliminate these issues."

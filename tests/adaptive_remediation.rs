@@ -1,0 +1,200 @@
+//! Adaptive remediation correctness, end to end.
+//!
+//! Property (seeded re-run): for every targeted workload, a re-run
+//! whose advisor was seeded from the baseline findings must (a) report
+//! **zero** findings of the remediated kinds, (b) move strictly fewer
+//! bytes than the baseline, and (c) account recovered transfer time
+//! greater than zero.
+//!
+//! Property (no-op): an *empty* policy must change nothing — findings
+//! byte-identical to the baseline, identical transfer totals.
+//!
+//! Property (adaptive): a single live run — findings streamed into the
+//! policy mid-run — must already recover transfer time on iterative
+//! workloads, while detection keeps reporting the pre-rewrite issues.
+
+use odp_workloads::adaptive::{run_adaptive, run_baseline, run_seeded};
+use odp_workloads::{ProblemSize, Variant};
+use ompdataperf::remedy::RemediationPolicy;
+
+/// The per-workload expectation for a seeded re-run. `inherent_dd`
+/// counts duplicates remediation cannot remove: identical content
+/// flowing through *different* variables (bfs ships one — the
+/// mask/visited initial images), which no mapping rewrite of a single
+/// clause can unify.
+struct Expect {
+    name: &'static str,
+    size: ProblemSize,
+    inherent_dd: usize,
+}
+
+const GRID: &[Expect] = &[
+    Expect {
+        name: "babelstream",
+        size: ProblemSize::Small,
+        inherent_dd: 0,
+    },
+    Expect {
+        name: "babelstream",
+        size: ProblemSize::Medium,
+        inherent_dd: 0,
+    },
+    Expect {
+        name: "bfs",
+        size: ProblemSize::Small,
+        inherent_dd: 1,
+    },
+    Expect {
+        name: "bfs",
+        size: ProblemSize::Medium,
+        inherent_dd: 1,
+    },
+    Expect {
+        name: "xsbench",
+        size: ProblemSize::Small,
+        inherent_dd: 0,
+    },
+];
+
+#[test]
+fn seeded_rerun_eliminates_the_remediated_kinds() {
+    for e in GRID {
+        let w = odp_workloads::by_name(e.name).unwrap();
+        let baseline = run_baseline(&*w, e.size, Variant::Original);
+        assert!(
+            baseline.report.counts.total() > 0,
+            "{} must have findings to remediate",
+            e.name
+        );
+
+        let policy = RemediationPolicy::from_findings(&baseline.report.findings);
+        let rerun = run_seeded(&*w, e.size, Variant::Original, policy);
+
+        let c = rerun.report.counts;
+        assert_eq!(
+            c.dd, e.inherent_dd,
+            "{} ({:?}): duplicate transfers must drop to the inherent floor, got {c:?}",
+            e.name, e.size
+        );
+        assert_eq!(
+            c.rt, 0,
+            "{} ({:?}): round trips remain: {c:?}",
+            e.name, e.size
+        );
+        assert_eq!(
+            c.ra, 0,
+            "{} ({:?}): repeated allocations remain: {c:?}",
+            e.name, e.size
+        );
+        assert!(
+            rerun.stats.bytes_transferred < baseline.stats.bytes_transferred,
+            "{} ({:?}): remediated run must move strictly fewer bytes ({} vs {})",
+            e.name,
+            e.size,
+            rerun.stats.bytes_transferred,
+            baseline.stats.bytes_transferred
+        );
+        assert!(
+            rerun.remediation.recovered_time().as_nanos() > 0,
+            "{} ({:?}): recovered transfer time must be measurable",
+            e.name,
+            e.size
+        );
+        // The accounting is consistent: actual + recovered = what the
+        // report calls the baseline.
+        assert_eq!(
+            rerun.remediation.actual_transfer_bytes,
+            rerun.stats.bytes_transferred
+        );
+    }
+}
+
+#[test]
+fn empty_policy_is_a_no_op() {
+    for name in ["babelstream", "bfs", "xsbench"] {
+        let w = odp_workloads::by_name(name).unwrap();
+        let baseline = run_baseline(&*w, ProblemSize::Small, Variant::Original);
+        let noop = run_seeded(
+            &*w,
+            ProblemSize::Small,
+            Variant::Original,
+            RemediationPolicy::new(),
+        );
+        assert_eq!(
+            serde_json::to_string(&noop.report.findings).unwrap(),
+            serde_json::to_string(&baseline.report.findings).unwrap(),
+            "{name}: an empty policy must leave detection byte-identical"
+        );
+        assert_eq!(
+            noop.stats.bytes_transferred,
+            baseline.stats.bytes_transferred
+        );
+        assert_eq!(noop.stats.transfers, baseline.stats.transfers);
+        assert!(noop.remediation.rows.is_empty(), "{name}: no rewrites");
+        assert_eq!(noop.remediation.recovered_transfer_bytes, 0);
+    }
+}
+
+#[test]
+fn adaptive_single_run_recovers_on_iterative_workloads() {
+    // babelstream and bfs iterate their inefficient pattern, so the
+    // findings from iteration n rewrite iteration n+1 within ONE run.
+    for name in ["babelstream", "bfs"] {
+        let w = odp_workloads::by_name(name).unwrap();
+        let baseline = run_baseline(&*w, ProblemSize::Small, Variant::Original);
+        let adaptive = run_adaptive(&*w, ProblemSize::Small, Variant::Original);
+        assert!(
+            adaptive.remediation.recovered_time().as_nanos() > 0,
+            "{name}: one adaptive run must recover transfer time"
+        );
+        assert!(
+            adaptive.stats.bytes_transferred < baseline.stats.bytes_transferred,
+            "{name}: adaptive run must move strictly fewer bytes"
+        );
+        assert!(
+            adaptive.report.counts.total() > 0,
+            "{name}: the pre-rewrite iterations are still reported"
+        );
+        assert!(
+            adaptive.report.counts.total() < baseline.report.counts.total(),
+            "{name}: later iterations must stop producing findings"
+        );
+    }
+}
+
+#[test]
+fn seeded_rerun_beats_adaptive_which_beats_baseline() {
+    // The ordering the design promises on an iterative workload:
+    // baseline ≥ adaptive (learns after iteration 1) ≥ seeded (knows
+    // everything from the start).
+    let w = odp_workloads::by_name("babelstream").unwrap();
+    let baseline = run_baseline(&*w, ProblemSize::Small, Variant::Original);
+    let adaptive = run_adaptive(&*w, ProblemSize::Small, Variant::Original);
+    let seeded = run_seeded(
+        &*w,
+        ProblemSize::Small,
+        Variant::Original,
+        RemediationPolicy::from_findings(&baseline.report.findings),
+    );
+    assert!(adaptive.stats.bytes_transferred < baseline.stats.bytes_transferred);
+    assert!(seeded.stats.bytes_transferred <= adaptive.stats.bytes_transferred);
+    assert!(seeded.stats.transfer_time < baseline.stats.transfer_time);
+}
+
+#[test]
+fn remediation_survives_the_fixed_variant_cleanly() {
+    // The paper's hand-fixed bfs has (almost) nothing left to remediate:
+    // a policy seeded from its own findings must not regress it.
+    let w = odp_workloads::by_name("bfs").unwrap();
+    let fixed = run_baseline(&*w, ProblemSize::Small, Variant::Fixed);
+    let policy = RemediationPolicy::from_findings(&fixed.report.findings);
+    let rerun = run_seeded(&*w, ProblemSize::Small, Variant::Fixed, policy);
+    assert!(
+        rerun.stats.bytes_transferred <= fixed.stats.bytes_transferred,
+        "remediation must never add traffic"
+    );
+    assert!(
+        rerun.report.counts.total() <= fixed.report.counts.total(),
+        "remediation must never add findings"
+    );
+}
