@@ -118,27 +118,38 @@ impl ArbalestReport {
     }
 }
 
+/// Collector state, **keyed by shard**. In the rank-per-thread threaded
+/// model every runtime thread drives its own data environment, and two
+/// threads' identical host addresses name *different* logical mappings.
+/// Before shard keying, one thread's `Delete` silently marked every
+/// thread's same-address mapping unmapped — a multi-threaded trace then
+/// miscompared as spurious UAF/USD. Fork one tool per runtime thread
+/// with [`ArbalestHandle::fork_tool`]; each fork tags its callbacks
+/// with its shard id.
 #[derive(Default)]
 struct Inner {
-    mappings: FnvHashMap<(DeviceId, u64), MappingState>,
-    hosts: FnvHashMap<u64, HostState>,
-    seen: FnvHashMap<(AnomalyKind, u64), ()>,
+    mappings: FnvHashMap<(u32, DeviceId, u64), MappingState>,
+    hosts: FnvHashMap<(u32, u64), HostState>,
+    seen: FnvHashMap<(AnomalyKind, u32, u64), ()>,
     report: ArbalestReport,
     /// Bytes of kernel accesses analyzed — the driver of Arbalest's
     /// instrumentation overhead.
     pub instrumented_bytes: u64,
+    /// Shards forked so far (= next shard id).
+    shards: u32,
 }
 
 impl Inner {
     fn emit(
         &mut self,
         kind: AnomalyKind,
+        shard: u32,
         host_addr: u64,
         bytes: u64,
         time: SimTime,
         device: DeviceId,
     ) {
-        if self.seen.insert((kind, host_addr), ()).is_none() {
+        if self.seen.insert((kind, shard, host_addr), ()).is_none() {
             self.report.anomalies.push(Anomaly {
                 kind,
                 host_addr,
@@ -166,20 +177,47 @@ impl ArbalestHandle {
     pub fn instrumented_bytes(&self) -> u64 {
         self.shared.lock().instrumented_bytes
     }
+
+    /// Fork a tool for one more runtime thread. All forks share this
+    /// handle's collector and report, but each keys its mapping/host
+    /// state by its own shard id, so one thread's deletes and writes
+    /// can never corrupt another thread's (same-address) analysis.
+    pub fn fork_tool(&self) -> ArbalestVecTool {
+        let mut inner = self.shared.lock();
+        let shard = inner.shards;
+        inner.shards += 1;
+        ArbalestVecTool {
+            shared: self.shared.clone(),
+            shard,
+        }
+    }
+
+    /// Shards forked so far.
+    pub fn shard_count(&self) -> u32 {
+        self.shared.lock().shards
+    }
 }
 
-/// The Arbalest-Vec tool. Attach to a runtime like any OMPT tool.
+/// The Arbalest-Vec tool. Attach to a runtime like any OMPT tool; for a
+/// multi-threaded (rank-per-thread) runtime, attach one
+/// [`ArbalestHandle::fork_tool`] result per runtime thread.
 pub struct ArbalestVecTool {
     shared: Arc<Mutex<Inner>>,
+    /// This instance's shard id (keyed into all collector state).
+    shard: u32,
 }
 
 impl ArbalestVecTool {
-    /// Build the tool and its handle.
+    /// Build the first tool (shard 0) and its handle.
     pub fn new() -> (ArbalestVecTool, ArbalestHandle) {
-        let shared = Arc::new(Mutex::new(Inner::default()));
+        let shared = Arc::new(Mutex::new(Inner {
+            shards: 1,
+            ..Inner::default()
+        }));
         (
             ArbalestVecTool {
                 shared: shared.clone(),
+                shard: 0,
             },
             ArbalestHandle { shared },
         )
@@ -202,20 +240,25 @@ impl Tool for ArbalestVecTool {
         if cb.endpoint != Endpoint::End {
             return;
         }
+        let shard = self.shard;
         let mut inner = self.shared.lock();
         match cb.optype {
             DataOpType::Alloc => {
-                inner
-                    .mappings
-                    .insert((cb.dest_device, cb.src_addr), MappingState::fresh(cb.bytes));
+                inner.mappings.insert(
+                    (shard, cb.dest_device, cb.src_addr),
+                    MappingState::fresh(cb.bytes),
+                );
             }
             DataOpType::Delete => {
-                if let Some(m) = inner.mappings.get_mut(&(cb.dest_device, cb.src_addr)) {
+                if let Some(m) = inner
+                    .mappings
+                    .get_mut(&(shard, cb.dest_device, cb.src_addr))
+                {
                     m.mapped = false;
                 }
             }
             DataOpType::TransferToDevice => {
-                let key = (cb.dest_device, cb.src_addr);
+                let key = (shard, cb.dest_device, cb.src_addr);
                 match inner.mappings.get(&key).copied() {
                     Some(m) if m.mapped => {
                         inner
@@ -226,6 +269,7 @@ impl Tool for ArbalestVecTool {
                     }
                     Some(_) => inner.emit(
                         AnomalyKind::Uaf,
+                        shard,
                         cb.src_addr,
                         cb.bytes,
                         cb.time,
@@ -236,7 +280,7 @@ impl Tool for ArbalestVecTool {
             }
             DataOpType::TransferFromDevice => {
                 // D2H refreshes the host copy: dest_addr is the host addr.
-                let host = inner.hosts.entry(cb.dest_addr).or_default();
+                let host = inner.hosts.entry((shard, cb.dest_addr)).or_default();
                 host.stale = false;
                 host.initialized = true;
             }
@@ -245,6 +289,7 @@ impl Tool for ArbalestVecTool {
     }
 
     fn on_kernel_access(&mut self, info: &KernelAccessInfo) {
+        let shard = self.shard;
         let mut inner = self.shared.lock();
         // First pass: liveness/bounds checks on every accessed range,
         // plus the UUM rule. Plain stores are provably writes; reads and
@@ -260,11 +305,12 @@ impl Tool for ArbalestVecTool {
             .chain(info.writes.iter().map(|r| (r, false)))
         {
             inner.instrumented_bytes += range.bytes;
-            let key = (info.device, range.host_addr);
+            let key = (shard, info.device, range.host_addr);
             match inner.mappings.get(&key).copied() {
                 None => {
                     inner.emit(
                         AnomalyKind::Uaf,
+                        shard,
                         range.host_addr,
                         range.bytes,
                         info.time,
@@ -274,6 +320,7 @@ impl Tool for ArbalestVecTool {
                 Some(m) if !m.mapped => {
                     inner.emit(
                         AnomalyKind::Uaf,
+                        shard,
                         range.host_addr,
                         range.bytes,
                         info.time,
@@ -284,6 +331,7 @@ impl Tool for ArbalestVecTool {
                     if range.bytes > m.bytes {
                         inner.emit(
                             AnomalyKind::Bo,
+                            shard,
                             range.host_addr,
                             range.bytes,
                             info.time,
@@ -293,6 +341,7 @@ impl Tool for ArbalestVecTool {
                     if may_consume && !m.dev_init {
                         inner.emit(
                             AnomalyKind::Uum,
+                            shard,
                             range.host_addr,
                             range.bytes,
                             info.time,
@@ -304,32 +353,34 @@ impl Tool for ArbalestVecTool {
         }
         // Second pass: apply write effects (masked or not).
         for range in info.writes.iter().chain(info.masked_writes.iter()) {
-            let key = (info.device, range.host_addr);
+            let key = (shard, info.device, range.host_addr);
             if let Some(m) = inner.mappings.get_mut(&key) {
                 if m.mapped {
                     m.dev_init = true;
                 }
             }
-            let host = inner.hosts.entry(range.host_addr).or_default();
+            let host = inner.hosts.entry((shard, range.host_addr)).or_default();
             host.stale = true; // device copy is now newer
         }
     }
 
     fn on_host_access(&mut self, info: &HostAccessInfo) {
+        let shard = self.shard;
         let mut inner = self.shared.lock();
         if info.is_write {
-            let host = inner.hosts.entry(info.host_addr).or_default();
+            let host = inner.hosts.entry((shard, info.host_addr)).or_default();
             host.initialized = true;
             host.stale = false; // the host copy is authoritative again
         } else {
             let stale = inner
                 .hosts
-                .get(&info.host_addr)
+                .get(&(shard, info.host_addr))
                 .map(|h| h.stale)
                 .unwrap_or(false);
             if stale {
                 inner.emit(
                     AnomalyKind::Usd,
+                    shard,
                     info.host_addr,
                     info.bytes,
                     info.time,
@@ -517,5 +568,83 @@ mod tests {
     #[test]
     fn nominal_slowdown_matches_paper() {
         assert!((ArbalestReport::NOMINAL_SLOWDOWN - 3.5).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn cross_shard_delete_does_not_poison_another_shards_mapping() {
+        // The miscompare shard keying fixes: in the rank-per-thread
+        // model two threads' data environments reuse the same host and
+        // device addresses. Thread 0 finishing its region (Delete) must
+        // not mark thread 1's same-address mapping unmapped — unkeyed
+        // state reported thread 1's subsequent transfer + kernel read
+        // as a spurious UAF.
+        use odp_model::SimTime;
+        use odp_ompt::{DataOpCallback, Endpoint};
+
+        let (mut t0, handle) = ArbalestVecTool::new();
+        let mut t1 = handle.fork_tool();
+        assert_eq!(handle.shard_count(), 2);
+        let op = |optype, bytes| DataOpCallback {
+            endpoint: Endpoint::End,
+            target_id: 1,
+            host_op_id: 1,
+            optype,
+            src_device: DeviceId::HOST,
+            src_addr: 0x1000,
+            dest_device: DeviceId::target(0),
+            dest_addr: 0xd000,
+            bytes,
+            codeptr_ra: odp_model::CodePtr(0x42),
+            time: SimTime(0),
+            payload: None,
+        };
+        // Both threads map the same (device, host address); thread 0
+        // tears its mapping down while thread 1's is still live.
+        t0.on_data_op(&op(DataOpType::Alloc, 64));
+        t1.on_data_op(&op(DataOpType::Alloc, 64));
+        t0.on_data_op(&op(DataOpType::Delete, 64));
+        t1.on_data_op(&op(DataOpType::TransferToDevice, 64));
+        t1.on_kernel_access(&KernelAccessInfo {
+            device: DeviceId::target(0),
+            target_id: 2,
+            reads: vec![odp_ompt::AccessRange {
+                host_addr: 0x1000,
+                dev_addr: 0xd000,
+                bytes: 64,
+            }],
+            writes: vec![],
+            masked_writes: vec![],
+            time: SimTime(10),
+        });
+        assert_eq!(
+            handle.report().summary(),
+            "N/A",
+            "thread 1's mapping is alive; no UAF may be reported"
+        );
+    }
+
+    #[test]
+    fn threaded_run_scales_anomalies_per_shard() {
+        // 4 OS threads each run the masked-write-only false-positive
+        // pattern against their own runtime: one UUM per shard, same
+        // summary as the single-threaded row.
+        let (tool, handle) = ArbalestVecTool::new();
+        let mut tools: Vec<Box<dyn odp_ompt::Tool>> = vec![Box::new(tool)];
+        for _ in 1..4 {
+            tools.push(Box::new(handle.fork_tool()));
+        }
+        odp_sim::run_on_threads(4, &odp_sim::RuntimeConfig::default(), tools, |_, rt| {
+            let out = rt.host_alloc("b", 1024);
+            rt.target(
+                0,
+                CodePtr(0x10),
+                &[map(MapType::Alloc, out)],
+                Kernel::new("mandelbrot", KernelCost::fixed(100)).masked_writes(&[out]),
+            );
+        });
+        let report = handle.report();
+        assert_eq!(report.summary(), "UUM", "same classes as one thread");
+        assert_eq!(report.count(AnomalyKind::Uum), 4, "one per shard");
+        assert_eq!(report.count(AnomalyKind::Uaf), 0, "no cross-shard poison");
     }
 }

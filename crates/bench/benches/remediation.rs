@@ -10,11 +10,16 @@
 //!   10k/100k-event scale, baseline vs. adaptive; the adaptive run
 //!   reports its recovered bytes so the payoff is visible next to the
 //!   consult cost.
+//! * `remediation_overhead/shared_consult` — the same consult served
+//!   through a `SharedRemediator` per-thread advisor handle (policy
+//!   behind a mutex + the per-consult findings pump), the cost every
+//!   map clause pays in a threaded `--remediate` run.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use odp_model::MapType;
+use odp_ompt::MapAdvisor as _;
 use odp_sim::{map, Kernel, KernelCost, Runtime, RuntimeConfig};
-use ompdataperf::remedy::{LiveRemediator, RemediationPolicy};
+use ompdataperf::remedy::{LiveRemediator, RemediationPolicy, SharedRemediator};
 use ompdataperf::tool::{OmpDataPerfTool, ToolConfig};
 use std::hint::black_box;
 
@@ -75,6 +80,41 @@ fn bench_remediation(c: &mut Criterion) {
             b.iter(|| {
                 addr = addr.wrapping_add(64) & 0xFFFF;
                 black_box(policy.advise(0, 0x1000 + addr))
+            })
+        });
+    }
+
+    // The threaded shape: one policy behind a per-thread advisor
+    // handle. Measures the mutex + pump overhead on top of the raw
+    // lookup above.
+    {
+        let mut policy = RemediationPolicy::new();
+        for i in 0..1_000u64 {
+            use odp_model::CodePtr;
+            use ompdataperf::detect::StreamFinding;
+            policy.observe(&StreamFinding::RepeatedAlloc {
+                host_addr: 0x1000 + i * 64,
+                device: odp_model::DeviceId::target(0),
+                bytes: 64,
+                codeptr: CodePtr(0x1),
+                alloc: i,
+                occurrence: 2,
+            });
+        }
+        let (remediator, _cell) = SharedRemediator::seeded(policy);
+        let mut advisor = remediator.fork_advisor();
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(BenchmarkId::new("shared_consult", "rules_1000"), |b| {
+            let mut addr = 0u64;
+            b.iter(|| {
+                addr = addr.wrapping_add(64) & 0xFFFF;
+                black_box(advisor.advise_enter(
+                    0,
+                    odp_model::CodePtr(0x1),
+                    0x1000 + addr,
+                    64,
+                    MapType::To,
+                ))
             })
         });
     }

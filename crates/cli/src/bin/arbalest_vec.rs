@@ -2,12 +2,14 @@
 //! baseline, runnable on the same workloads.
 //!
 //! ```sh
-//! cargo run -p odp-cli --bin arbalest-vec -- bspline-vgh-omp --size m
+//! cargo run -p odp-cli --bin arbalest_vec -- bspline-vgh-omp --size m
+//! cargo run -p odp-cli --bin arbalest_vec -- bfs --threads 4   # sharded
 //! ```
 
 use odp_arbalest::{AnomalyKind, ArbalestVecTool};
 use odp_cli::{parse, Parsed};
-use odp_sim::Runtime;
+use odp_ompt::Tool;
+use odp_sim::{Runtime, RuntimeConfig};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -28,12 +30,44 @@ fn main() -> ExitCode {
         eprintln!("error: unknown program '{}'", parsed.program);
         return ExitCode::FAILURE;
     };
+    if parsed.threads > 1 && !workload.supports_threads() {
+        eprintln!(
+            "error: {} has no threaded variant; --threads supports: {}",
+            workload.name(),
+            odp_workloads::threaded::threaded_workloads()
+                .iter()
+                .map(|w| w.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
 
-    let mut rt = Runtime::with_defaults();
+    // Previously this binary silently ignored --threads (and the
+    // unsharded collector would have miscompared a multi-threaded run:
+    // one thread's deletes poisoned every thread's same-address
+    // mappings). The collector state is now keyed per forked shard.
     let (tool, handle) = ArbalestVecTool::new();
-    rt.attach_tool(Box::new(tool));
-    workload.run(&mut rt, parsed.size, parsed.variant);
-    let stats = rt.finish();
+    let stats = if parsed.threads > 1 {
+        let mut tools: Vec<Box<dyn Tool>> = vec![Box::new(tool)];
+        for _ in 1..parsed.threads {
+            tools.push(Box::new(handle.fork_tool()));
+        }
+        let (_dbg, stats) = odp_workloads::threaded::run_threaded(
+            &*workload,
+            parsed.threads,
+            parsed.size,
+            parsed.variant,
+            &RuntimeConfig::default(),
+            tools,
+        );
+        stats
+    } else {
+        let mut rt = Runtime::with_defaults();
+        rt.attach_tool(Box::new(tool));
+        workload.run(&mut rt, parsed.size, parsed.variant);
+        rt.finish()
+    };
 
     let report = handle.report();
     println!("=== Arbalest-Vec Data Mapping Correctness Report ===");

@@ -119,19 +119,21 @@ fn main() -> ExitCode {
 
     // Live report consumer: drains findings while the program runs and
     // interleaves incremental §A.6 snapshot lines (suppressed under
-    // --json, where stdout must stay machine-readable).
+    // --json, where stdout must stay machine-readable). Consumes its
+    // own tee tap, so it composes with --remediate: the policy's pump
+    // and this poller each see the full findings stream.
     let run_done = Arc::new(AtomicBool::new(false));
     let poller = parsed
         .stream_interval_ms
         .filter(|_| !parsed.json && !parsed.quiet)
         .map(|ms| {
-            let handle = handle.clone();
+            let tap = handle.tap_stream_findings();
             let run_done = run_done.clone();
             std::thread::spawn(move || {
                 let mut sink = SnapshotStreamSink::new(0);
                 loop {
                     let done = run_done.load(Ordering::Acquire);
-                    let findings = handle.take_stream_findings();
+                    let findings = tap.take();
                     if !findings.is_empty() {
                         for f in &findings {
                             sink.on_finding(f);
@@ -156,14 +158,35 @@ fn main() -> ExitCode {
         for _ in 1..parsed.threads {
             tools.push(Box::new(handle.fork_tool()));
         }
-        odp_workloads::threaded::run_threaded(
-            &*workload,
-            parsed.threads,
-            parsed.size,
-            parsed.variant,
-            &cfg,
-            tools,
-        )
+        if parsed.remediate {
+            // Threaded remediation: the threads share one device data
+            // environment (true libomptarget semantics) and one live-fed
+            // policy behind per-thread advisor handles.
+            let (advisors, policy) =
+                odp_workloads::adaptive::threaded_advisors(&handle, parsed.threads, true, None);
+            let run = odp_workloads::threaded::run_threaded_shared(
+                &*workload,
+                parsed.threads,
+                parsed.size,
+                parsed.variant,
+                &cfg,
+                tools,
+                advisors,
+            );
+            if let Some(policy) = policy {
+                remedy = Some((policy, run.remediation));
+            }
+            (run.dbg, run.stats)
+        } else {
+            odp_workloads::threaded::run_threaded(
+                &*workload,
+                parsed.threads,
+                parsed.size,
+                parsed.variant,
+                &cfg,
+                tools,
+            )
+        }
     } else {
         let mut rt = Runtime::new(cfg);
         rt.attach_tool(Box::new(tool));

@@ -50,7 +50,10 @@ pub struct CommonArgs {
     /// `--remediate`: close the detect→fix loop — stream findings into
     /// a live remediation policy and rewrite inefficient mappings
     /// mid-run, then print the recovered-transfer summary (implies
-    /// `--stream`; single-threaded runs only).
+    /// `--stream`). With `--threads N` the threads share one device
+    /// data environment and one policy behind per-thread advisor
+    /// handles; composes with `--stream-interval` (the live findings
+    /// stream is teed to both consumers).
     pub remediate: bool,
 }
 
@@ -85,7 +88,8 @@ pub fn usage(tool: &str) -> String {
          \x20 --stream-interval MS  Print live findings + snapshot every MS ms (implies --stream)\n\
          \x20 --stream-cap N        Cap the streaming round-trip lookahead window at N\n\
          \x20 --threads N           Drive the workload from N OS threads (sharded collection)\n\
-         \x20 --remediate           Rewrite inefficient mappings mid-run from live findings (implies --stream)\n\
+         \x20 --remediate           Rewrite inefficient mappings mid-run from live findings (implies --stream;\n\
+         \x20                       with --threads: shared device tables + per-thread advisors)\n\
          Programs:\n\x20 {}",
         odp_workloads::all()
             .iter()
@@ -184,20 +188,9 @@ pub fn parse(tool: &str, args: &[String]) -> Parsed {
     if out.program.is_empty() {
         return Parsed::Error(format!("no program given\n\n{}", usage(tool)));
     }
-    if out.remediate && out.threads > 1 {
-        return Parsed::Error(
-            "--remediate drives one runtime's advisor and does not combine with --threads".into(),
-        );
-    }
-    if out.remediate && out.stream_interval_ms.is_some() {
-        // Both consumers would race on the drain-once findings stream;
-        // whatever the poller printed would be lost to the policy.
-        return Parsed::Error(
-            "--remediate consumes the live findings stream and does not combine with \
-             --stream-interval"
-                .into(),
-        );
-    }
+    // --remediate composes with --threads (shared-device semantics, one
+    // policy behind per-thread advisors) and with --stream-interval
+    // (the live findings stream is teed to every consumer).
     Parsed::Run(Box::new(out))
 }
 
@@ -296,7 +289,7 @@ mod tests {
     }
 
     #[test]
-    fn remediate_implies_stream_and_rejects_threads() {
+    fn remediate_implies_stream_and_composes_with_threads_and_interval() {
         match parse("ompdataperf", &argv("--remediate babelstream")) {
             Parsed::Run(a) => {
                 assert!(a.remediate);
@@ -304,20 +297,24 @@ mod tests {
             }
             _ => panic!("expected run"),
         }
-        assert!(matches!(
-            parse("ompdataperf", &argv("--remediate --threads 4 babelstream")),
-            Parsed::Error(_)
-        ));
-        assert!(
-            matches!(
-                parse(
-                    "ompdataperf",
-                    &argv("--remediate --stream-interval 10 babelstream")
-                ),
-                Parsed::Error(_)
-            ),
-            "the poller and the policy would race on the drain-once stream"
-        );
+        match parse("ompdataperf", &argv("--remediate --threads 4 babelstream")) {
+            Parsed::Run(a) => {
+                assert!(a.remediate && a.threads == 4, "threaded remediation runs");
+            }
+            _ => panic!("expected run: --remediate --threads is supported"),
+        }
+        match parse(
+            "ompdataperf",
+            &argv("--remediate --stream-interval 10 babelstream"),
+        ) {
+            Parsed::Run(a) => {
+                assert!(
+                    a.remediate && a.stream_interval_ms == Some(10),
+                    "the findings tee lets the poller and the policy coexist"
+                );
+            }
+            _ => panic!("expected run: --remediate --stream-interval is supported"),
+        }
         assert!(usage("ompdataperf").contains("--remediate"));
     }
 

@@ -367,6 +367,7 @@ impl IndexFindings {
                         .map(|&(tx, rx)| RoundTrip {
                             tx: view.op(tx).clone(),
                             rx: view.op(rx).clone(),
+                            spilled: false,
                         })
                         .collect(),
                 })

@@ -26,6 +26,11 @@ pub struct RoundTrip {
     pub tx: DataOpEvent,
     /// The reception at the outbound leg's source device.
     pub rx: DataOpEvent,
+    /// The pairing was forced by a streaming lookahead spill
+    /// (`StreamConfig::max_frontier`) instead of confirmed in order.
+    /// Always `false` on the post-mortem and uncapped streaming paths;
+    /// remediation seeding ignores spilled trips.
+    pub spilled: bool,
 }
 
 /// Round trips grouped by `(hash, src_device, dest_device)` as in the
@@ -91,6 +96,7 @@ pub fn find_round_trips(data_op_events: &[DataOpEvent]) -> Vec<RoundTripGroup> {
         entry.push(RoundTrip {
             tx: tx_event.clone(),
             rx: rx_event.clone(),
+            spilled: false,
         });
         // Avoid counting this tx as the completing reception of another
         // transfer's round trip.

@@ -140,6 +140,13 @@ pub enum StreamFinding {
         tx: Seq,
         /// Completing reception.
         rx: Seq,
+        /// The trip was resolved by a [`StreamConfig::max_frontier`]
+        /// spill — the pairing was forced against the reception queues
+        /// *as they stood*, not confirmed in frontier order, so it may
+        /// not be a real round trip. Remediation must never seed a
+        /// `skip_from` rule from a spilled trip (dropping a copy-back
+        /// on unconfirmed evidence would be unsound).
+        spilled: bool,
     },
     /// Algorithm 3: `alloc` re-allocated an already-seen mapping.
     RepeatedAlloc {
@@ -285,7 +292,8 @@ struct TripGroup {
     hash: HashVal,
     src: DeviceId,
     dest: DeviceId,
-    trips: Vec<(Seq, Seq)>,
+    /// `(tx, rx, spilled)` — `spilled` marks force-retired pairings.
+    trips: Vec<(Seq, Seq, bool)>,
 }
 
 /// The streaming twin of an alloc/delete pairing.
@@ -691,7 +699,17 @@ impl StreamingEngine {
     /// if its source device holds an unconsumed reception of the same
     /// content, dequeuing the transfer's own reception entry so it can
     /// never complete a second trip.
+    ///
+    /// A spill-popped head is by definition undecided, so the spill
+    /// itself never pairs — but it retires the head *without* consuming
+    /// the reception its future re-send would have consumed, so every
+    /// pairing completed after the first spill reads queue state the
+    /// exact algorithm might not have produced. All such trips are
+    /// therefore tagged `spilled` (unconfirmed) in both the live
+    /// finding and the materialized trip; with no spills ever, nothing
+    /// is tagged and finalize stays byte-identical to post-mortem.
     fn try_complete_trip(&mut self, tx: &FrontierTx) {
+        let spilled = self.stats.frontier_spilled > 0;
         let Some(&sx) = self.slot_index.get(&(tx.hash, tx.src)) else {
             return;
         };
@@ -713,7 +731,9 @@ impl StreamingEngine {
             });
             (self.trip_groups.len() - 1) as u32
         });
-        self.trip_groups[gx as usize].trips.push((tx.seq, rx));
+        self.trip_groups[gx as usize]
+            .trips
+            .push((tx.seq, rx, spilled));
         // Consume the front of the transfer's own destination queue.
         self.slots[tx.dest_slot as usize].head += 1;
         self.emit(StreamFinding::RoundTrip {
@@ -724,6 +744,7 @@ impl StreamingEngine {
             codeptr: tx.codeptr,
             tx: tx.seq,
             rx,
+            spilled,
         });
         self.counts.rt += 1;
     }
@@ -972,9 +993,10 @@ impl StreamingEngine {
                     trips: g
                         .trips
                         .iter()
-                        .map(|&(tx, rx)| RoundTrip {
+                        .map(|&(tx, rx, spilled)| RoundTrip {
                             tx: ev(tx),
                             rx: ev(rx),
+                            spilled,
                         })
                         .collect(),
                 })

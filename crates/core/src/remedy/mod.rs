@@ -49,7 +49,7 @@
 use crate::detect::stream::host_side_addr;
 use crate::detect::{Findings, StreamFinding};
 use crate::report::FindingsSink;
-use crate::tool::ToolHandle;
+use crate::tool::{FindingsTap, ToolHandle};
 use odp_hash::fnv::FnvHashMap;
 use odp_model::{CodePtr, DeviceId, MapType, SimDuration};
 use odp_ompt::{AdviceCause, MapAdvice, MapAdvisor, RemediationStats, RemedyCounter};
@@ -62,7 +62,7 @@ use std::sync::Arc;
 /// `(device, host address)`. Implements [`MapAdvisor`] directly (attach
 /// a pre-seeded policy with `Runtime::attach_advisor`) and
 /// [`FindingsSink`] (subscribe it to any live findings source).
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct RemediationPolicy {
     /// Merged rewrite per site. Slots only ever go `None` → `Some`
     /// (monotone), first cause wins for attribution.
@@ -84,26 +84,38 @@ impl RemediationPolicy {
     /// remediated kinds disappear from its report.
     pub fn from_findings(findings: &Findings) -> RemediationPolicy {
         let mut p = RemediationPolicy::new();
+        p.absorb(findings);
+        p
+    }
+
+    /// Merge a (further) report's findings into the policy — iterative
+    /// re-seeding. Under free-running shared-device threading each run's
+    /// schedule may expose sites a previous run never exercised; rules
+    /// are monotone per site, so absorbing successive reports converges
+    /// to a fixed point where the remediated kinds stay eliminated on
+    /// every schedule.
+    pub fn absorb(&mut self, findings: &Findings) {
         for g in &findings.duplicates {
             for e in g.events.iter().skip(1) {
-                p.on_duplicate(e.src_device, e.dest_device, host_side_addr(e));
+                self.on_duplicate(e.src_device, e.dest_device, host_side_addr(e));
             }
         }
         for g in &findings.round_trips {
-            for t in &g.trips {
-                p.on_round_trip(g.src_device, g.dest_device, host_side_addr(&t.tx));
+            // A spilled trip was never confirmed — seeding a rewrite
+            // from it could drop a copy-back the program needs.
+            for t in g.trips.iter().filter(|t| !t.spilled) {
+                self.on_round_trip(g.src_device, g.dest_device, host_side_addr(&t.tx));
             }
         }
         for g in &findings.repeated_allocs {
-            p.on_repeated_alloc(g.device, g.host_addr);
+            self.on_repeated_alloc(g.device, g.host_addr);
         }
         for ua in &findings.unused_allocs {
-            p.on_unused_alloc(ua.pair.alloc.dest_device, ua.pair.alloc.src_addr);
+            self.on_unused_alloc(ua.pair.alloc.dest_device, ua.pair.alloc.src_addr);
         }
         for ut in &findings.unused_transfers {
-            p.on_unused_transfer(ut.event.dest_device, ut.event.src_addr);
+            self.on_unused_transfer(ut.event.dest_device, ut.event.src_addr);
         }
-        p
     }
 
     /// Learn from one live finding.
@@ -115,6 +127,10 @@ impl RemediationPolicy {
                 host_addr,
                 ..
             } => self.on_duplicate(src_device, dest_device, host_addr),
+            StreamFinding::RoundTrip { spilled: true, .. } => {
+                // Force-retired by a lookahead spill: unconfirmed, so
+                // it must never seed a rewrite rule.
+            }
             StreamFinding::RoundTrip {
                 src_device,
                 dest_device,
@@ -250,24 +266,30 @@ impl FindingsSink for RemediationPolicy {
     }
 }
 
+/// The shareable policy cell advisors and reports read from.
+pub type SharedPolicyCell = Arc<Mutex<RemediationPolicy>>;
+
 /// The adaptive-mode advisor: pumps the streaming engine's new findings
 /// into the shared policy before every advice, so the rewrite rules
 /// grow *during* the run — iteration `n`'s diagnosis rewrites iteration
 /// `n+1`'s mappings. Requires the tool to run with `ToolConfig::stream`.
+/// Consumes its **own** tee tap ([`ToolHandle::tap_stream_findings`]),
+/// so a live console poller draining the default stream concurrently
+/// loses nothing to the policy (and vice versa).
 pub struct LiveRemediator {
-    handle: ToolHandle,
-    policy: Arc<Mutex<RemediationPolicy>>,
+    tap: FindingsTap,
+    policy: SharedPolicyCell,
 }
 
 impl LiveRemediator {
     /// Build a live remediator over a streaming tool's handle. Returns
     /// the advisor (box it into `Runtime::attach_advisor`) and the
     /// shared policy for post-run reporting.
-    pub fn new(handle: ToolHandle) -> (LiveRemediator, Arc<Mutex<RemediationPolicy>>) {
+    pub fn new(handle: ToolHandle) -> (LiveRemediator, SharedPolicyCell) {
         let policy = Arc::new(Mutex::new(RemediationPolicy::new()));
         (
             LiveRemediator {
-                handle,
+                tap: handle.tap_stream_findings(),
                 policy: policy.clone(),
             },
             policy,
@@ -275,7 +297,7 @@ impl LiveRemediator {
     }
 
     fn pump(&self) {
-        let findings = self.handle.take_stream_findings();
+        let findings = self.tap.take();
         if findings.is_empty() {
             return;
         }
@@ -311,6 +333,128 @@ impl MapAdvisor for LiveRemediator {
     ) -> MapAdvice {
         self.pump();
         self.policy
+            .lock()
+            .advise_exit(device, codeptr, host_addr, bytes, map_type)
+    }
+}
+
+/// What the per-thread advisor handles share: one policy, and (in
+/// adaptive mode) one tee tap on the live findings stream.
+struct SharedRemedyInner {
+    /// `None` in seeded mode (nothing to learn mid-run).
+    tap: Option<FindingsTap>,
+    policy: SharedPolicyCell,
+}
+
+/// One `RemediationPolicy` behind cheap per-thread advisor handles —
+/// the threaded counterpart of [`LiveRemediator`], mirroring the
+/// collector's shard→watermark design: each runtime thread attaches its
+/// own [`SharedAdvisor`] ([`SharedRemediator::fork_advisor`]), every
+/// consult first pumps the shared findings tap (non-blocking: a consult
+/// never waits for another thread's drain), and all threads' rewrites
+/// land in one policy, so a pattern thread A diagnosed rewrites thread
+/// B's very next region. Per-thread `RemediationStats` stay in each
+/// runtime and merge at finalize
+/// (`odp_sim::run_on_threads_shared` / `RemediationStats::merge`).
+pub struct SharedRemediator {
+    inner: Arc<SharedRemedyInner>,
+}
+
+impl SharedRemediator {
+    /// An adaptive shared remediator over a streaming tool's handle:
+    /// the policy starts empty and learns from the live findings
+    /// stream. Returns the remediator (fork one advisor per runtime
+    /// thread) and the shared policy for post-run reporting.
+    pub fn new(handle: ToolHandle) -> (SharedRemediator, SharedPolicyCell) {
+        let policy = Arc::new(Mutex::new(RemediationPolicy::new()));
+        (
+            SharedRemediator {
+                inner: Arc::new(SharedRemedyInner {
+                    tap: Some(handle.tap_stream_findings()),
+                    policy: policy.clone(),
+                }),
+            },
+            policy,
+        )
+    }
+
+    /// A seeded shared remediator: the policy is fixed up front
+    /// (typically [`RemediationPolicy::from_findings`] over a previous
+    /// run's report) and nothing is learned mid-run.
+    pub fn seeded(policy: RemediationPolicy) -> (SharedRemediator, SharedPolicyCell) {
+        let policy = Arc::new(Mutex::new(policy));
+        (
+            SharedRemediator {
+                inner: Arc::new(SharedRemedyInner {
+                    tap: None,
+                    policy: policy.clone(),
+                }),
+            },
+            policy,
+        )
+    }
+
+    /// Fork one advisor handle for a runtime thread (box it into that
+    /// thread's `Runtime::attach_advisor`).
+    pub fn fork_advisor(&self) -> SharedAdvisor {
+        SharedAdvisor {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+/// One runtime thread's handle onto the shared policy. Object-safe
+/// [`MapAdvisor`]; cheap to fork and to consult.
+pub struct SharedAdvisor {
+    inner: Arc<SharedRemedyInner>,
+}
+
+impl SharedAdvisor {
+    fn pump(&self) {
+        let Some(tap) = &self.inner.tap else {
+            return;
+        };
+        // Non-blocking: if another thread is mid-drain it will deliver
+        // to our shared tap; whatever is already there still lands in
+        // the policy before this consult.
+        let findings = tap.try_take();
+        if findings.is_empty() {
+            return;
+        }
+        let mut policy = self.inner.policy.lock();
+        for f in &findings {
+            policy.observe(f);
+        }
+    }
+}
+
+impl MapAdvisor for SharedAdvisor {
+    fn advise_enter(
+        &mut self,
+        device: u32,
+        codeptr: CodePtr,
+        host_addr: u64,
+        bytes: u64,
+        map_type: MapType,
+    ) -> MapAdvice {
+        self.pump();
+        self.inner
+            .policy
+            .lock()
+            .advise_enter(device, codeptr, host_addr, bytes, map_type)
+    }
+
+    fn advise_exit(
+        &mut self,
+        device: u32,
+        codeptr: CodePtr,
+        host_addr: u64,
+        bytes: u64,
+        map_type: MapType,
+    ) -> MapAdvice {
+        self.pump();
+        self.inner
+            .policy
             .lock()
             .advise_exit(device, codeptr, host_addr, bytes, map_type)
     }
@@ -537,6 +681,7 @@ mod tests {
             codeptr: CodePtr(0x2),
             tx: 2,
             rx: 3,
+            spilled: false,
         });
         p.observe(&StreamFinding::RoundTrip {
             hash: HashVal(3),
@@ -546,6 +691,7 @@ mod tests {
             codeptr: CodePtr(0x3),
             tx: 4,
             rx: 5,
+            spilled: false,
         });
         p.observe(&StreamFinding::RepeatedAlloc {
             host_addr: 0x400,
@@ -693,5 +839,78 @@ mod tests {
             "the live duplicate must already steer this consult"
         );
         assert_eq!(policy.lock().rule_count(), 1);
+    }
+
+    /// Regression (tiny `--stream-cap`): an Algorithm-2 transfer
+    /// force-retired by a frontier spill can pair with a reception "as
+    /// the queues stand" — an *unconfirmed* round trip. Such a finding
+    /// must never seed a `skip_from` rule, live or via `from_findings`.
+    #[test]
+    fn spilled_round_trips_never_seed_rules() {
+        use crate::detect::testutil::EventFactory;
+        use crate::detect::{EventView, StreamConfig, StreamingEngine};
+
+        let mut f = EventFactory::new();
+        // tx0 (unique hash, never returns) stalls the frontier head;
+        // tx1's content comes back via a D2H (rx) behind the stall;
+        // unique-hash filler then overflows the cap, force-retiring
+        // tx0 (no trip) and tx1 — which pairs with rx while spilled.
+        let mut ops = vec![
+            f.h2d(0, 0, 0x1000, 111, 64),  // tx0: undecided head
+            f.h2d(10, 0, 0x2000, 222, 64), // tx1: will spill-pair
+            f.d2h(20, 0, 0x2000, 222, 64), // rx for tx1's content
+        ];
+        for i in 0..8 {
+            ops.push(f.h2d(30 + i * 10, 0, 0x3000 + i * 0x100, 500 + i, 64));
+        }
+        let mut engine = StreamingEngine::new(StreamConfig {
+            num_devices: None,
+            max_frontier: Some(2),
+        });
+        for e in &ops {
+            engine.push_data_op(e.clone());
+            engine.advance_watermark(e.span.end);
+        }
+        let live = engine.take_findings();
+        let spilled_trip = live.iter().find_map(|f| match f {
+            StreamFinding::RoundTrip {
+                spilled, host_addr, ..
+            } => Some((*spilled, *host_addr)),
+            _ => None,
+        });
+        assert_eq!(
+            spilled_trip,
+            Some((true, 0x2000)),
+            "the force-retired pairing must be emitted tagged as spilled: {live:?}"
+        );
+        assert!(engine.buffer_stats().frontier_spilled > 0);
+
+        // Live path: the policy ignores the spilled trip entirely.
+        let mut p = RemediationPolicy::new();
+        for finding in &live {
+            p.observe(finding);
+        }
+        assert!(
+            p.advise(0, 0x2000).skip_from.is_none(),
+            "a spilled round trip must not downgrade the copy-back"
+        );
+
+        // Seeded path: the materialized findings carry the tag and
+        // from_findings skips those trips too.
+        let view = EventView::new(&ops, &[], 1);
+        let findings = engine.finalize(&view);
+        assert!(
+            findings
+                .round_trips
+                .iter()
+                .flat_map(|g| g.trips.iter())
+                .any(|t| t.spilled),
+            "materialized trips must carry the spill tag"
+        );
+        let mut seeded = RemediationPolicy::from_findings(&findings);
+        assert!(
+            seeded.advise(0, 0x2000).skip_from.is_none(),
+            "from_findings must ignore spilled trips"
+        );
     }
 }

@@ -442,6 +442,7 @@ mod tests {
                 codeptr: CodePtr(0x2),
                 tx: 3,
                 rx: 9,
+                spilled: false,
             },
             StreamFinding::RepeatedAlloc {
                 host_addr: 0x1000,

@@ -32,9 +32,11 @@
 //! watermark is already visible to the sweep.
 //!
 //! Lock order (outermost first): engine → shard list → one shard →
-//! control. The fast path takes only its own shard's (uncontended)
-//! lock; `control` guards cold data (console lines, flags, the opt-in
-//! collision audit, which serializes by design).
+//! control, and engine → tap list → one tap buffer (the findings tee).
+//! The fast path takes only its own shard's (uncontended) lock;
+//! `control` guards cold data (console lines, flags, the opt-in
+//! collision audit, which serializes by design); taps are touched only
+//! by findings consumers, never by callbacks.
 //!
 //! Construction returns the tool plus a [`ToolHandle`] sharing its
 //! collector, so the harness can extract the merged trace after the
@@ -138,6 +140,9 @@ struct Control {
     finalized: bool,
 }
 
+/// One tee subscriber's buffer of not-yet-consumed findings.
+type TapBuf = Arc<Mutex<Vec<StreamFinding>>>;
+
 /// Everything the shards share.
 struct ToolShared {
     cfg: ToolConfig,
@@ -149,6 +154,16 @@ struct ToolShared {
     engine: Mutex<Option<StreamingEngine>>,
     /// Per-shard clock merge (lock-free).
     watermark: GlobalWatermark,
+    /// The live-findings tee: every finding harvested from the engine
+    /// is appended to **each** registered tap, so independent consumers
+    /// (a snapshot poller, a remediation policy) compose instead of
+    /// stealing from one drain-once stream.
+    taps: Mutex<Vec<TapBuf>>,
+    /// The handle's default stream ([`ToolHandle::take_stream_findings`])
+    /// — registered as a tap lazily, on first use, so runs whose only
+    /// consumers are explicit taps (e.g. `--remediate` without a
+    /// poller) never accumulate an undrained buffer.
+    default_tap: Mutex<Option<TapBuf>>,
 }
 
 impl ToolShared {
@@ -196,6 +211,82 @@ impl ToolShared {
         if let Some(engine) = guard.as_mut() {
             self.drain_locked(engine);
         }
+    }
+
+    /// Move the engine's emitted findings into every registered tap.
+    /// `engine` must be locked by the caller.
+    fn harvest_locked(&self, engine: &mut StreamingEngine) {
+        let new = engine.take_findings();
+        if new.is_empty() {
+            return;
+        }
+        let taps = self.taps.lock();
+        for tap in taps.iter() {
+            tap.lock().extend(new.iter().copied());
+        }
+    }
+
+    /// The default stream's tap, registered on first use.
+    fn default_tap(&self) -> TapBuf {
+        let mut slot = self.default_tap.lock();
+        match &*slot {
+            Some(tap) => tap.clone(),
+            None => {
+                let tap: TapBuf = Arc::new(Mutex::new(Vec::new()));
+                self.taps.lock().push(tap.clone());
+                *slot = Some(tap.clone());
+                tap
+            }
+        }
+    }
+
+    /// Drain shard queues into the engine and harvest everything it
+    /// emitted into the taps. `block` decides whether to wait for a
+    /// contended engine lock or skip (another thread is already at it).
+    fn drain_and_harvest(&self, block: bool) {
+        let mut guard = if block {
+            self.engine.lock()
+        } else {
+            match self.engine.try_lock() {
+                Some(guard) => guard,
+                None => return,
+            }
+        };
+        if let Some(engine) = guard.as_mut() {
+            self.drain_locked(engine);
+            self.harvest_locked(engine);
+        }
+    }
+}
+
+/// An independent subscription to the live findings stream. Register
+/// with [`ToolHandle::tap_stream_findings`] **before** the run starts;
+/// every finding the engine emits from then on is delivered to every
+/// registered tap (the tee), so a live console poller and a remediation
+/// policy can both consume the full stream concurrently.
+#[derive(Clone)]
+pub struct FindingsTap {
+    shared: Arc<ToolShared>,
+    buf: TapBuf,
+}
+
+impl FindingsTap {
+    /// Drain the findings delivered to this tap since the last call.
+    /// Sweeps every shard's pending events and harvests the engine
+    /// first, so the caller sees everything decidable at the current
+    /// merged watermark.
+    pub fn take(&self) -> Vec<StreamFinding> {
+        self.shared.drain_and_harvest(true);
+        std::mem::take(&mut *self.buf.lock())
+    }
+
+    /// Like [`FindingsTap::take`], but never waits on a contended
+    /// engine lock (another thread drains on our behalf): returns
+    /// whatever has already been delivered. The cheap per-consult pump
+    /// for per-thread advisors.
+    pub fn try_take(&self) -> Vec<StreamFinding> {
+        self.shared.drain_and_harvest(false);
+        std::mem::take(&mut *self.buf.lock())
     }
 }
 
@@ -293,15 +384,31 @@ impl ToolHandle {
     /// call (empty when streaming is off). Safe to call while the
     /// program runs — this is the live consumption point. Sweeps every
     /// shard's pending events first, so the caller sees everything
-    /// decidable at the current merged watermark.
+    /// decidable at the current merged watermark. This is the handle's
+    /// *default* tee subscription (registered lazily on first call — it
+    /// observes findings emitted from then on); explicit taps
+    /// ([`ToolHandle::tap_stream_findings`]) receive the same findings
+    /// independently.
     pub fn take_stream_findings(&self) -> Vec<StreamFinding> {
-        let mut guard = self.shared.engine.lock();
-        match guard.as_mut() {
-            Some(engine) => {
-                self.shared.drain_locked(engine);
-                engine.take_findings()
-            }
-            None => Vec::new(),
+        if !self.shared.cfg.stream {
+            return Vec::new();
+        }
+        let tap = self.shared.default_tap();
+        self.shared.drain_and_harvest(true);
+        let mut buf = tap.lock();
+        std::mem::take(&mut *buf)
+    }
+
+    /// Register an independent live-findings subscription (the tee).
+    /// Every finding emitted after registration is delivered to every
+    /// tap *and* the default stream; register before the run starts so
+    /// nothing is missed.
+    pub fn tap_stream_findings(&self) -> FindingsTap {
+        let buf: TapBuf = Arc::new(Mutex::new(Vec::new()));
+        self.shared.taps.lock().push(buf.clone());
+        FindingsTap {
+            shared: self.shared.clone(),
+            buf,
         }
     }
 
@@ -378,6 +485,8 @@ impl OmpDataPerfTool {
                 })
             })),
             watermark: GlobalWatermark::with_capacity(GlobalWatermark::DEFAULT_SHARDS),
+            taps: Mutex::new(Vec::new()),
+            default_tap: Mutex::new(None),
         });
         let handle = ToolHandle {
             shared: shared.clone(),
@@ -1043,6 +1152,54 @@ mod tests {
             serde_json::to_string(&streamed).unwrap(),
             serde_json::to_string(&postmortem).unwrap()
         );
+    }
+
+    #[test]
+    fn findings_tee_delivers_the_full_stream_to_every_tap() {
+        // The tee is what lets --remediate compose with
+        // --stream-interval: a poller tap and a remediation tap (and
+        // the legacy default stream) each see every finding instead of
+        // stealing from one drain-once stream.
+        let (mut tool, handle) = OmpDataPerfTool::new(ToolConfig {
+            stream: true,
+            ..Default::default()
+        });
+        tool.initialize(&CompilerProfile::LlvmClang.capabilities());
+        let tap_a = handle.tap_stream_findings();
+        let tap_b = handle.tap_stream_findings();
+        // Activate the default stream too (it registers lazily, on
+        // first use, so undrained runs never grow it).
+        assert!(handle.take_stream_findings().is_empty());
+
+        let payload = vec![7u8; 64];
+        // Three identical transfers → two duplicate findings.
+        for (id, t) in [(1u64, 0u64), (2, 20), (3, 40)] {
+            tool.on_data_op(&data_op(
+                Endpoint::Begin,
+                id,
+                DataOpType::TransferToDevice,
+                t,
+                None,
+            ));
+            tool.on_data_op(&data_op(
+                Endpoint::End,
+                id,
+                DataOpType::TransferToDevice,
+                t + 10,
+                Some(&payload),
+            ));
+        }
+
+        let a = tap_a.take();
+        assert_eq!(a.len(), 2, "tap A sees both duplicates: {a:?}");
+        let b = tap_b.try_take();
+        assert_eq!(b.len(), 2, "tap B sees the same stream: {b:?}");
+        let legacy = handle.take_stream_findings();
+        assert_eq!(legacy.len(), 2, "the default stream is not starved");
+        // Second drains are empty: each consumer has its own cursor.
+        assert!(tap_a.take().is_empty());
+        assert!(tap_b.take().is_empty());
+        assert!(handle.take_stream_findings().is_empty());
     }
 
     #[test]

@@ -255,6 +255,19 @@ impl RemediationStats {
     pub fn any_rewrites(&self) -> bool {
         self.totals().rewrites > 0
     }
+
+    /// Accumulate another runtime's stats into this one (per-device,
+    /// per-cause) — how a shared-device threaded run folds each
+    /// thread's advisor accounting into one report.
+    pub fn merge(&mut self, other: &RemediationStats) {
+        for (device, row) in other.devices.iter().enumerate() {
+            for (cause, counter) in AdviceCause::ALL.iter().zip(row.iter()) {
+                if *counter != RemedyCounter::default() {
+                    self.counter_mut(device as u32, *cause).merge(counter);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -26,10 +26,14 @@
 //! deterministic (the detection algorithms need chronologically ordered
 //! logs, and the prediction-accuracy experiment needs reproducible
 //! timings). Multi-threaded callback emission — the shape a real
-//! runtime presents to an OMPT tool — comes from [`threads`]: N OS
-//! threads, each driving its own deterministic runtime with its own
-//! tool shard, so the *merged* observation stays reproducible while
-//! the callback interleaving is genuinely concurrent.
+//! runtime presents to an OMPT tool — comes from [`threads`], in two
+//! flavors: [`threads::run_on_threads`] gives every OS thread its own
+//! runtime *and devices* (rank-per-thread; merged observation stays
+//! reproducible while the callback interleaving is genuinely
+//! concurrent), and [`threads::run_on_threads_shared`] attaches all
+//! threads to **one** [`SharedDevices`] set — `libomptarget`'s real
+//! shape, where threads contend on the same per-device present tables
+//! and cross-thread mapping reuse is visible to tools and advisors.
 //!
 //! Beyond observation, the runtime accepts an
 //! [`odp_ompt::MapAdvisor`] ([`Runtime::attach_advisor`]): a live
@@ -45,6 +49,7 @@
 
 pub mod alloc;
 pub mod config;
+pub mod device;
 pub mod kernel;
 pub mod memory;
 pub mod present;
@@ -53,11 +58,12 @@ pub mod threads;
 pub mod timing;
 
 pub use config::RuntimeConfig;
+pub use device::SharedDevices;
 pub use kernel::{DeviceView, Kernel, KernelCost};
 pub use memory::VarId;
 pub use present::PresentTable;
 pub use runtime::{Map, Runtime, RuntimeStats, RuntimeWarning};
-pub use threads::{merged_stats, run_on_threads};
+pub use threads::{merged_stats, run_on_threads, run_on_threads_shared, SharedThreadOutcome};
 pub use timing::{AllocModel, TimingModel, TransferModel};
 
 use odp_model::{MapModifier, MapType};

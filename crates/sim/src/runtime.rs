@@ -19,15 +19,15 @@
 //! configured capability profile predates OpenMP 5.1.
 
 use crate::config::RuntimeConfig;
+use crate::device::{DeviceState, SharedDevices};
 use crate::kernel::{DeviceView, Kernel};
-use crate::memory::{DeviceMemory, HostMemory, VarId};
+use crate::memory::{HostMemory, VarId};
 use odp_model::{CodePtr, DeviceId, MapModifier, MapType, SimDuration, SimTime};
 use odp_ompt::{
     AccessRange, AdviceCause, CallbackKind, CompilerProfile, DataOpCallback, DataOpType, Endpoint,
     HostAccessInfo, KernelAccessInfo, MapAdvice, MapAdvisor, RemediationStats, RuntimeCapabilities,
     SubmitCallback, TargetCallback, TargetConstructKind, Tool, ToolRegistration,
 };
-use std::collections::HashMap;
 
 /// One map clause item: `map(<modifier><type>: <var>)`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -59,6 +59,21 @@ pub enum RuntimeWarning {
         /// Variable name.
         var: String,
     },
+    /// A transfer reused a present-table entry whose allocation size
+    /// differs from the variable's host size — only possible in
+    /// shared-device mode, when another thread mapped a different-sized
+    /// variable at the same host address. The copy is clamped to the
+    /// smaller size, so the simulation proceeds, but timing and content
+    /// no longer reflect a real runtime (which would have failed the
+    /// present-table size check).
+    MappingSizeMismatch {
+        /// Variable name.
+        var: String,
+        /// Bytes of the present-table entry actually used.
+        mapped: u64,
+        /// Bytes the variable's clause requested.
+        requested: u64,
+    },
 }
 
 /// Handle to an open structured `target data` region.
@@ -70,14 +85,6 @@ struct OpenRegion {
     maps: Vec<Map>,
     codeptr: CodePtr,
     target_id: u64,
-}
-
-struct DeviceState {
-    mem: DeviceMemory,
-    present: crate::present::PresentTable,
-    /// Device busy executing asynchronously launched kernels until this
-    /// time (OpenMP 5.1 `nowait` support, paper §7.8).
-    busy_until: SimTime,
 }
 
 struct ToolSlot {
@@ -118,17 +125,16 @@ pub struct Runtime {
     caps: RuntimeCapabilities,
     clock: SimTime,
     host: HostMemory,
-    devices: Vec<DeviceState>,
+    /// Per-device state (memory, present table, phantom-reference
+    /// marks) behind one lock per device — private to this runtime by
+    /// default, shared across runtimes in shared-device threaded mode.
+    devices: SharedDevices,
     tool: Option<ToolSlot>,
     /// Online mapping advisor (`--remediate`): consulted at every
     /// map-clause item; `None` leaves directive execution bit-exact.
     advisor: Option<Box<dyn MapAdvisor>>,
     /// What the advisor's rewrites saved, per cause and device.
     remedy: RemediationStats,
-    /// `(device, host_addr)` mappings alive only because a rewrite
-    /// skipped their release — re-entries that reuse them count as
-    /// recovered re-allocations/re-sends, attributed to the cause.
-    retained: HashMap<(u32, u64), AdviceCause>,
     warnings: Vec<RuntimeWarning>,
     open_regions: Vec<OpenRegion>,
     next_target_id: u64,
@@ -138,20 +144,27 @@ pub struct Runtime {
 }
 
 impl Runtime {
-    /// Create a runtime from `cfg`.
+    /// Create a runtime from `cfg` with its own private device set.
     pub fn new(cfg: RuntimeConfig) -> Self {
+        let devices = SharedDevices::new(&cfg);
+        Self::with_shared_devices(cfg, devices)
+    }
+
+    /// Create a runtime attached to an existing (possibly shared)
+    /// device set: the true multi-threaded shape, where every host
+    /// thread's directives operate on the **same** present tables.
+    /// `devices` must match `cfg.num_devices`.
+    pub fn with_shared_devices(cfg: RuntimeConfig, devices: SharedDevices) -> Self {
+        assert_eq!(
+            devices.len(),
+            cfg.num_devices as usize,
+            "shared device set does not match cfg.num_devices"
+        );
         let caps = if cfg.pre_emi_runtime {
             cfg.profile.capabilities_pre_emi()
         } else {
             cfg.profile.capabilities()
         };
-        let devices = (0..cfg.num_devices)
-            .map(|i| DeviceState {
-                mem: DeviceMemory::new(i, cfg.device_memory_bytes),
-                present: crate::present::PresentTable::new(),
-                busy_until: SimTime::ZERO,
-            })
-            .collect();
         Runtime {
             cfg,
             caps,
@@ -161,7 +174,6 @@ impl Runtime {
             tool: None,
             advisor: None,
             remedy: RemediationStats::default(),
-            retained: HashMap::new(),
             warnings: Vec::new(),
             open_regions: Vec::new(),
             next_target_id: 1,
@@ -174,6 +186,11 @@ impl Runtime {
     /// A runtime with the default configuration (1 LLVM-profile device).
     pub fn with_defaults() -> Self {
         Self::new(RuntimeConfig::default())
+    }
+
+    /// The (possibly shared) device set this runtime operates on.
+    pub fn shared_devices(&self) -> SharedDevices {
+        self.devices.clone()
     }
 
     /// The capability set this runtime advertises to tools.
@@ -490,15 +507,17 @@ impl Runtime {
             target_id,
             codeptr,
         );
+        let devices = self.devices.clone();
         for &var in vars {
             let haddr = self.host.addr(var);
-            match self.devices[device as usize].present.lookup(haddr) {
+            let mut dev = devices.lock(device);
+            match dev.present.lookup(haddr) {
                 Some(entry) => {
                     let dev_addr = entry.dev_addr;
                     if to_device {
-                        self.do_h2d(device, var, dev_addr, target_id, codeptr);
+                        self.do_h2d(&mut dev, device, var, dev_addr, target_id, codeptr);
                     } else {
-                        self.do_d2h(device, var, dev_addr, target_id, codeptr);
+                        self.do_d2h(&mut dev, device, var, dev_addr, target_id, codeptr);
                     }
                 }
                 None => self.warnings.push(RuntimeWarning::UpdateOfAbsentData {
@@ -608,9 +627,11 @@ impl Runtime {
 
         // The data-environment exit must wait for the kernel whenever it
         // moves or frees data the kernel may still be using.
+        let devices = self.devices.clone();
         let must_sync = effective.iter().any(|m| {
             let haddr = self.host.addr(m.var);
-            let refcount = self.devices[device as usize]
+            let refcount = devices
+                .lock(device)
                 .present
                 .lookup(haddr)
                 .map(|e| e.refcount)
@@ -636,7 +657,7 @@ impl Runtime {
     /// asynchronously launched kernels complete.
     pub fn taskwait(&mut self, device: u32) {
         self.assert_running(device);
-        let busy = self.devices[device as usize].busy_until;
+        let busy = self.devices.lock(device).busy_until;
         if busy > self.clock {
             self.clock = busy;
         }
@@ -652,7 +673,12 @@ impl Runtime {
         target_id: u64,
         kernel: Kernel<'_>,
     ) {
-        let start = self.devices[device as usize].busy_until.max(self.clock);
+        // Hold the device lock across gather / execute / write-back:
+        // the device runs one kernel at a time (its queue semantics),
+        // and no other thread may free or take a buffer mid-kernel.
+        let devices = self.devices.clone();
+        let mut dev = devices.lock(device);
+        let start = dev.busy_until.max(self.clock);
         let dur = SimDuration(self.cfg.timing.kernel_launch_ns) + kernel.cost.duration();
         let end = start + dur;
         self.emit_submit(
@@ -670,12 +696,11 @@ impl Runtime {
         let mut taken: Vec<(VarId, u64, Vec<u8>)> = Vec::with_capacity(referenced.len());
         for &var in &referenced {
             let haddr = self.host.addr(var);
-            let entry = self.devices[device as usize]
-                .present
-                .lookup(haddr)
-                .copied()
-                .expect("kernel var is mapped after map_enter");
-            let buf = self.devices[device as usize]
+            let entry = dev.present.lookup(haddr).copied().expect(
+                "kernel var is mapped after map_enter (a concurrent \
+                     map(delete:) of a range in use is a program data race)",
+            );
+            let buf = dev
                 .mem
                 .bytes_mut(entry.dev_addr)
                 .expect("mapped buffer exists")
@@ -688,17 +713,17 @@ impl Runtime {
             reads: kernel
                 .reads
                 .iter()
-                .map(|&v| self.access_range(device, v, &taken))
+                .map(|&v| self.access_range(&dev, v, &taken))
                 .collect(),
             writes: kernel
                 .writes
                 .iter()
-                .map(|&v| self.access_range(device, v, &taken))
+                .map(|&v| self.access_range(&dev, v, &taken))
                 .collect(),
             masked_writes: kernel
                 .masked_writes
                 .iter()
-                .map(|&v| self.access_range(device, v, &taken))
+                .map(|&v| self.access_range(&dev, v, &taken))
                 .collect(),
             time: start,
         };
@@ -718,12 +743,13 @@ impl Runtime {
             }
         }
         for (_, dev_addr, buf) in taken {
-            if let Some(slot) = self.devices[device as usize].mem.bytes_mut(dev_addr) {
+            if let Some(slot) = dev.mem.bytes_mut(dev_addr) {
                 *slot = buf;
             }
         }
 
-        self.devices[device as usize].busy_until = end;
+        dev.busy_until = end;
+        drop(dev);
         // The host returns right after the enqueue.
         self.clock += SimDuration(self.cfg.timing.kernel_launch_ns);
         self.stats.kernels += 1;
@@ -742,8 +768,14 @@ impl Runtime {
     }
 
     fn run_kernel(&mut self, device: u32, codeptr: CodePtr, target_id: u64, kernel: Kernel<'_>) {
+        // One lock for the whole kernel: the device executes kernels
+        // from a serialized queue, so concurrent threads' kernels on
+        // the same device take turns (and can never observe a buffer
+        // mid-take).
+        let devices = self.devices.clone();
+        let mut dev = devices.lock(device);
         // Queue behind any asynchronously launched kernel on this device.
-        let busy = self.devices[device as usize].busy_until;
+        let busy = dev.busy_until;
         if busy > self.clock {
             self.clock = busy;
         }
@@ -763,12 +795,11 @@ impl Runtime {
         let mut taken: Vec<(VarId, u64, Vec<u8>)> = Vec::with_capacity(referenced.len());
         for &var in &referenced {
             let haddr = self.host.addr(var);
-            let entry = self.devices[device as usize]
-                .present
-                .lookup(haddr)
-                .copied()
-                .expect("kernel var is mapped after map_enter");
-            let buf = self.devices[device as usize]
+            let entry = dev.present.lookup(haddr).copied().expect(
+                "kernel var is mapped after map_enter (a concurrent \
+                     map(delete:) of a range in use is a program data race)",
+            );
+            let buf = dev
                 .mem
                 .bytes_mut(entry.dev_addr)
                 .expect("mapped buffer exists")
@@ -783,17 +814,17 @@ impl Runtime {
             reads: kernel
                 .reads
                 .iter()
-                .map(|&v| self.access_range(device, v, &taken))
+                .map(|&v| self.access_range(&dev, v, &taken))
                 .collect(),
             writes: kernel
                 .writes
                 .iter()
-                .map(|&v| self.access_range(device, v, &taken))
+                .map(|&v| self.access_range(&dev, v, &taken))
                 .collect(),
             masked_writes: kernel
                 .masked_writes
                 .iter()
-                .map(|&v| self.access_range(device, v, &taken))
+                .map(|&v| self.access_range(&dev, v, &taken))
                 .collect(),
             time: t0,
         };
@@ -817,10 +848,11 @@ impl Runtime {
 
         // Return the buffers to the device.
         for (_, dev_addr, buf) in taken {
-            if let Some(slot) = self.devices[device as usize].mem.bytes_mut(dev_addr) {
+            if let Some(slot) = dev.mem.bytes_mut(dev_addr) {
                 *slot = buf;
             }
         }
+        drop(dev);
 
         // Advance time: launch overhead + execution.
         let dur = SimDuration(self.cfg.timing.kernel_launch_ns) + kernel.cost.duration();
@@ -844,7 +876,7 @@ impl Runtime {
 
     fn access_range(
         &self,
-        device: u32,
+        dev: &DeviceState,
         var: VarId,
         taken: &[(VarId, u64, Vec<u8>)],
     ) -> AccessRange {
@@ -853,12 +885,7 @@ impl Runtime {
             .iter()
             .find(|(v, _, _)| *v == var)
             .map(|(_, d, _)| *d)
-            .or_else(|| {
-                self.devices[device as usize]
-                    .present
-                    .lookup(haddr)
-                    .map(|e| e.dev_addr)
-            })
+            .or_else(|| dev.present.lookup(haddr).map(|e| e.dev_addr))
             .unwrap_or(0);
         AccessRange {
             host_addr: haddr,
@@ -925,7 +952,12 @@ impl Runtime {
         let advice = self.consult(true, device, m, codeptr);
         let haddr = self.host.addr(m.var);
         let bytes = self.host.size(m.var);
-        let present = self.devices[device as usize].present.lookup(haddr).copied();
+        // One lock for the whole clause: the lookup, the refcount or
+        // insert it decides on, and phantom-reference adoption must be
+        // atomic with respect to other threads mapping the same range.
+        let devices = self.devices.clone();
+        let mut dev = devices.lock(device);
+        let present = dev.present.lookup(haddr).copied();
 
         // Elide: drop the clause. Only meaningful while the data is
         // absent; present data is simply reused (persist semantics).
@@ -951,7 +983,7 @@ impl Runtime {
                 // count the re-allocation + re-send the baseline would
                 // have performed as recovered.
                 let adopted = if entry.refcount == 1 {
-                    self.retained.remove(&(device, haddr))
+                    dev.retained.remove(&haddr)
                 } else {
                     None
                 };
@@ -964,7 +996,7 @@ impl Runtime {
                         self.note_avoided_transfer(device, cause, bytes, true);
                     }
                 } else {
-                    self.devices[device as usize].present.retain(haddr);
+                    dev.present.retain(haddr);
                 }
                 if m.modifier.always && m.map_type.copies_to_device() {
                     match advice.skip_to {
@@ -972,7 +1004,9 @@ impl Runtime {
                             self.note_avoided_transfer(device, cause, bytes, true);
                             self.remedy.counter_mut(device, cause).rewrites += 1;
                         }
-                        _ => self.do_h2d(device, m.var, entry.dev_addr, target_id, codeptr),
+                        _ => {
+                            self.do_h2d(&mut dev, device, m.var, entry.dev_addr, target_id, codeptr)
+                        }
                     }
                 }
             }
@@ -985,12 +1019,8 @@ impl Runtime {
                     });
                     return;
                 }
-                let dev_addr = self.do_alloc(device, m.var, target_id, codeptr);
-                self.devices[device as usize].present.insert(
-                    haddr,
-                    dev_addr,
-                    self.host.size(m.var),
-                );
+                let dev_addr = self.do_alloc(&mut dev, device, m.var, target_id, codeptr);
+                dev.present.insert(haddr, dev_addr, self.host.size(m.var));
                 if m.map_type.copies_to_device() {
                     match advice.skip_to {
                         // to → alloc: the data lands uninitialized, which
@@ -1001,7 +1031,7 @@ impl Runtime {
                             self.note_avoided_transfer(device, cause, bytes, true);
                             self.remedy.counter_mut(device, cause).rewrites += 1;
                         }
-                        _ => self.do_h2d(device, m.var, dev_addr, target_id, codeptr),
+                        _ => self.do_h2d(&mut dev, device, m.var, dev_addr, target_id, codeptr),
                     }
                 }
             }
@@ -1012,13 +1042,17 @@ impl Runtime {
         let advice = self.consult(false, device, m, codeptr);
         let haddr = self.host.addr(m.var);
         let bytes = self.host.size(m.var);
+        // One lock for the whole clause (see map_enter): the release
+        // decision and any copy-back/free it triggers are atomic.
+        let devices = self.devices.clone();
+        let mut dev = devices.lock(device);
         match m.map_type {
             MapType::Delete => {
                 if let Some(cause) = advice.persist.or(advice.elide) {
-                    if self.devices[device as usize].present.contains(haddr) {
+                    if dev.present.contains(haddr) {
                         // Keep the mapping resident despite the forced
                         // delete; re-entries reuse it.
-                        self.retained.insert((device, haddr), cause);
+                        dev.retained.insert(haddr, cause);
                         self.note_avoided_delete(device, cause);
                         self.remedy.counter_mut(device, cause).rewrites += 1;
                         return;
@@ -1027,9 +1061,9 @@ impl Runtime {
                         return; // elided at enter: nothing to delete
                     }
                 }
-                match self.devices[device as usize].present.force_remove(haddr) {
+                match dev.present.force_remove(haddr) {
                     Some(entry) => {
-                        self.do_delete(device, m.var, entry.dev_addr, target_id, codeptr)
+                        self.do_delete(&mut dev, device, m.var, entry.dev_addr, target_id, codeptr)
                     }
                     None => self.warnings.push(RuntimeWarning::DeleteOfAbsentData {
                         var: self.host.var(m.var).name.clone(),
@@ -1037,8 +1071,7 @@ impl Runtime {
                 }
             }
             _ => {
-                let Some(entry) = self.devices[device as usize].present.lookup(haddr).copied()
-                else {
+                let Some(entry) = dev.present.lookup(haddr).copied() else {
                     if advice.elide.is_some() {
                         return; // elided at enter: exit silently too
                     }
@@ -1053,7 +1086,7 @@ impl Runtime {
                         self.note_avoided_transfer(device, cause, bytes, false);
                         self.remedy.counter_mut(device, cause).rewrites += 1;
                     } else {
-                        self.do_d2h(device, m.var, entry.dev_addr, target_id, codeptr);
+                        self.do_d2h(&mut dev, device, m.var, entry.dev_addr, target_id, codeptr);
                     }
                 }
                 // Persist: when this release would free the mapping, keep
@@ -1067,20 +1100,27 @@ impl Runtime {
                             if let Some(skip) = advice.skip_from {
                                 self.note_avoided_transfer(device, skip, bytes, false);
                             } else {
-                                self.do_d2h(device, m.var, entry.dev_addr, target_id, codeptr);
+                                self.do_d2h(
+                                    &mut dev,
+                                    device,
+                                    m.var,
+                                    entry.dev_addr,
+                                    target_id,
+                                    codeptr,
+                                );
                                 let c = self.remedy.counter_mut(device, cause);
                                 c.updates_injected += 1;
                                 c.update_bytes += bytes;
                             }
                         }
-                        self.retained.insert((device, haddr), cause);
+                        dev.retained.insert(haddr, cause);
                         self.note_avoided_delete(device, cause);
                         self.remedy.counter_mut(device, cause).rewrites += 1;
                         return;
                     }
                     // refcount > 1: the release cannot free; fall through.
                 }
-                if let Some(entry) = self.devices[device as usize].present.release(haddr) {
+                if let Some(entry) = dev.present.release(haddr) {
                     if m.map_type.copies_from_device() && !m.modifier.always {
                         if let Some(cause) = advice.skip_from {
                             // from → release: the copy-back is provably
@@ -1088,10 +1128,17 @@ impl Runtime {
                             self.note_avoided_transfer(device, cause, bytes, false);
                             self.remedy.counter_mut(device, cause).rewrites += 1;
                         } else {
-                            self.do_d2h(device, m.var, entry.dev_addr, target_id, codeptr);
+                            self.do_d2h(
+                                &mut dev,
+                                device,
+                                m.var,
+                                entry.dev_addr,
+                                target_id,
+                                codeptr,
+                            );
                         }
                     }
-                    self.do_delete(device, m.var, entry.dev_addr, target_id, codeptr);
+                    self.do_delete(&mut dev, device, m.var, entry.dev_addr, target_id, codeptr);
                 }
             }
         }
@@ -1101,9 +1148,16 @@ impl Runtime {
     // Primitive data operations (each = one OMPT data-op event)
     // ---------------------------------------------------------------
 
-    fn do_alloc(&mut self, device: u32, var: VarId, target_id: u64, codeptr: CodePtr) -> u64 {
+    fn do_alloc(
+        &mut self,
+        dev: &mut DeviceState,
+        device: u32,
+        var: VarId,
+        target_id: u64,
+        codeptr: CodePtr,
+    ) -> u64 {
         let bytes = self.host.size(var);
-        let dev_addr = self.devices[device as usize]
+        let dev_addr = dev
             .mem
             .alloc(bytes)
             .expect("simulated device out of memory");
@@ -1132,6 +1186,7 @@ impl Runtime {
 
     fn do_delete(
         &mut self,
+        dev: &mut DeviceState,
         device: u32,
         var: VarId,
         dev_addr: u64,
@@ -1139,7 +1194,7 @@ impl Runtime {
         codeptr: CodePtr,
     ) {
         let bytes = self.host.size(var);
-        let freed = self.devices[device as usize].mem.free(dev_addr);
+        let freed = dev.mem.free(dev_addr);
         debug_assert!(freed, "delete of unallocated device memory");
         let t0 = self.clock;
         let dur = self.cfg.timing.alloc.free_duration();
@@ -1162,12 +1217,30 @@ impl Runtime {
         );
     }
 
-    fn do_h2d(&mut self, device: u32, var: VarId, dev_addr: u64, target_id: u64, codeptr: CodePtr) {
+    fn do_h2d(
+        &mut self,
+        dev: &mut DeviceState,
+        device: u32,
+        var: VarId,
+        dev_addr: u64,
+        target_id: u64,
+        codeptr: CodePtr,
+    ) {
         let bytes = self.host.size(var);
-        // Real byte movement: host → device buffer.
+        // Real byte movement: host → device buffer. Clamped when a
+        // shared-device run reuses another thread's different-sized
+        // same-address mapping — surfaced as a warning, never silent.
         let src: Vec<u8> = self.host.bytes(var).to_vec();
-        if let Some(buf) = self.devices[device as usize].mem.bytes_mut(dev_addr) {
-            buf.copy_from_slice(&src);
+        if let Some(buf) = dev.mem.bytes_mut(dev_addr) {
+            if buf.len() != src.len() {
+                self.warnings.push(RuntimeWarning::MappingSizeMismatch {
+                    var: self.host.var(var).name.clone(),
+                    mapped: buf.len() as u64,
+                    requested: src.len() as u64,
+                });
+            }
+            let n = src.len().min(buf.len());
+            buf[..n].copy_from_slice(&src[..n]);
         }
         let t0 = self.clock;
         let dur = self.cfg.timing.transfer_duration(bytes, true);
@@ -1193,12 +1266,30 @@ impl Runtime {
         );
     }
 
-    fn do_d2h(&mut self, device: u32, var: VarId, dev_addr: u64, target_id: u64, codeptr: CodePtr) {
+    fn do_d2h(
+        &mut self,
+        dev: &mut DeviceState,
+        device: u32,
+        var: VarId,
+        dev_addr: u64,
+        target_id: u64,
+        codeptr: CodePtr,
+    ) {
         let bytes = self.host.size(var);
-        // Real byte movement: device buffer → host.
-        if let Some(buf) = self.devices[device as usize].mem.bytes(dev_addr) {
+        // Real byte movement: device buffer → host (clamped + warned on
+        // a size mismatch, see do_h2d).
+        if let Some(buf) = dev.mem.bytes(dev_addr) {
             let copy: Vec<u8> = buf.to_vec();
-            self.host.bytes_mut(var).copy_from_slice(&copy);
+            if copy.len() != self.host.size(var) as usize {
+                self.warnings.push(RuntimeWarning::MappingSizeMismatch {
+                    var: self.host.var(var).name.clone(),
+                    mapped: copy.len() as u64,
+                    requested: self.host.size(var),
+                });
+            }
+            let host = self.host.bytes_mut(var);
+            let n = copy.len().min(host.len());
+            host[..n].copy_from_slice(&copy[..n]);
         }
         let t0 = self.clock;
         let dur = self.cfg.timing.transfer_duration(bytes, false);
@@ -1416,12 +1507,12 @@ impl Runtime {
 
     /// Peak device memory in use on `device`.
     pub fn device_peak_bytes(&self, device: u32) -> u64 {
-        self.devices[device as usize].mem.peak_in_use()
+        self.devices.peak_bytes(device)
     }
 
     /// Live present-table mappings on `device` (testing aid).
     pub fn present_mappings(&self, device: u32) -> usize {
-        self.devices[device as usize].present.len()
+        self.devices.present_mappings(device)
     }
 
     /// Advance the clock by the host-side directive dispatch overhead.

@@ -3,13 +3,20 @@
 //! A real OpenMP program's host threads each issue target directives,
 //! so an OMPT tool observes callbacks arriving concurrently from every
 //! runtime thread. This module reproduces that concurrency with *real
-//! OS threads*: [`run_on_threads`] gives each thread its own
-//! [`Runtime`] instance — its own virtual clock, host memory, and
-//! device state (the rank-per-thread offload shape, as when each host
-//! thread drives its own data environment) — and attaches one caller-
-//! supplied tool per thread. A sharded tool (e.g.
-//! `ompdataperf::tool::ToolHandle::fork_tool`) turns those per-thread
-//! callback streams back into one deterministic trace.
+//! OS threads*, in two shapes:
+//!
+//! * [`run_on_threads`] gives each thread its own [`Runtime`] instance
+//!   — its own virtual clock, host memory, and device state (the
+//!   rank-per-thread offload shape, as when each host thread drives
+//!   its own data environment) — and attaches one caller-supplied tool
+//!   per thread. A sharded tool (e.g.
+//!   `ompdataperf::tool::ToolHandle::fork_tool`) turns those
+//!   per-thread callback streams back into one deterministic trace.
+//! * [`run_on_threads_shared`] attaches every thread's runtime to one
+//!   [`SharedDevices`] set — `libomptarget`'s true shape: all threads
+//!   contend on the same per-device present tables, cross-thread
+//!   mapping reuse is real, and each thread may carry its own
+//!   `MapAdvisor` handle (remediation under concurrency).
 //!
 //! Each thread's virtual timeline is deterministic, and sharded trace
 //! merging orders events by `(timestamp, shard, per-shard order)`, so
@@ -18,8 +25,9 @@
 //! suite pins down.
 
 use crate::config::RuntimeConfig;
+use crate::device::SharedDevices;
 use crate::runtime::{Runtime, RuntimeStats};
-use odp_ompt::Tool;
+use odp_ompt::{MapAdvisor, RemediationStats, Tool};
 
 /// Run `body` on `threads` OS threads, thread `i` against its own
 /// `Runtime::new(cfg.clone())` with `tools[i]` attached. Joins all
@@ -61,6 +69,97 @@ where
             .map(|h| h.join().expect("runtime thread panicked"))
             .collect()
     })
+}
+
+/// Outcome of a shared-device threaded run.
+pub struct SharedThreadOutcome<R> {
+    /// Per-thread `(body output, run statistics)`, thread-index order.
+    pub results: Vec<(R, RuntimeStats)>,
+    /// Per-thread advisor rewrites merged across all runtimes.
+    pub remediation: RemediationStats,
+    /// The device set the threads shared (for post-run inspection).
+    pub devices: SharedDevices,
+}
+
+/// Run `body` on `threads` OS threads that all operate on **one shared
+/// device set** — the true `libomptarget` shape, where every host
+/// thread's directives contend on the same per-device present tables.
+/// Thread `i` gets its own `Runtime` (private virtual clock and host
+/// memory) attached to the shared devices, with `tools[i]` and, when
+/// provided, `advisors[i]` attached.
+///
+/// Unlike [`run_on_threads`], the *interleaving* of present-table
+/// operations is real: which thread allocates a mapping first (and who
+/// merely retains it) depends on OS scheduling, exactly as in a real
+/// runtime. Deterministic assertions over such runs must force the
+/// interleaving (barriers), or assert scheduling-independent facts
+/// (e.g. a seeded remediation policy eliminates its finding kinds).
+///
+/// # Panics
+/// Propagates a panic from any runtime thread; panics when
+/// `tools.len() != threads` or a non-empty `advisors` has a different
+/// length.
+pub fn run_on_threads_shared<R, F>(
+    threads: u32,
+    cfg: &RuntimeConfig,
+    tools: Vec<Box<dyn Tool>>,
+    advisors: Vec<Option<Box<dyn MapAdvisor>>>,
+    body: F,
+) -> SharedThreadOutcome<R>
+where
+    R: Send,
+    F: Fn(u32, &mut Runtime) -> R + Sync,
+{
+    assert_eq!(tools.len(), threads as usize, "one tool per runtime thread");
+    assert!(
+        advisors.is_empty() || advisors.len() == threads as usize,
+        "advisors must be absent or one per runtime thread"
+    );
+    let devices = SharedDevices::new(cfg);
+    let mut advisors = advisors;
+    if advisors.is_empty() {
+        advisors = (0..threads).map(|_| None).collect();
+    }
+    let results = std::thread::scope(|scope| {
+        let body = &body;
+        let handles: Vec<_> = tools
+            .into_iter()
+            .zip(advisors)
+            .enumerate()
+            .map(|(i, (tool, advisor))| {
+                let cfg = cfg.clone();
+                let devices = devices.clone();
+                scope.spawn(move || {
+                    let mut rt = Runtime::with_shared_devices(cfg, devices);
+                    rt.attach_tool(tool);
+                    if let Some(advisor) = advisor {
+                        rt.attach_advisor(advisor);
+                    }
+                    let out = body(i as u32, &mut rt);
+                    let stats = rt.finish();
+                    let remedy = rt.remediation_stats();
+                    (out, stats, remedy)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("runtime thread panicked"))
+            .collect::<Vec<_>>()
+    });
+    let mut remediation = RemediationStats::default();
+    let results = results
+        .into_iter()
+        .map(|(out, stats, remedy)| {
+            remediation.merge(&remedy);
+            (out, stats)
+        })
+        .collect();
+    SharedThreadOutcome {
+        results,
+        remediation,
+        devices,
+    }
 }
 
 /// Aggregate per-thread run statistics: counters and cumulative times
@@ -153,5 +252,63 @@ mod tests {
     #[should_panic(expected = "one tool per runtime thread")]
     fn tool_count_must_match_thread_count() {
         let _ = run_on_threads(2, &RuntimeConfig::default(), Vec::new(), |_, _| ());
+    }
+
+    #[test]
+    fn shared_devices_are_reused_across_threads() {
+        use crate::map;
+        use odp_model::MapType;
+        use std::sync::Barrier;
+
+        // All threads open a data region over the same host address and
+        // hold it across a barrier: whatever the interleaving, exactly
+        // one thread allocates + transfers (map_enter is atomic on the
+        // shared present table) and the rest retain the entry.
+        let threads = 4u32;
+        let transfers = Arc::new(AtomicUsize::new(0));
+        let tools: Vec<Box<dyn Tool>> = (0..threads)
+            .map(|_| {
+                Box::new(Counter {
+                    transfers: transfers.clone(),
+                }) as Box<dyn Tool>
+            })
+            .collect();
+        let barrier = Barrier::new(threads as usize);
+        let outcome = run_on_threads_shared(
+            threads,
+            &RuntimeConfig::default(),
+            tools,
+            Vec::new(),
+            |_, rt| {
+                let a = rt.host_alloc("a", 256);
+                let region = rt.target_data_begin(0, CodePtr(0x10), &[map(MapType::To, a)]);
+                barrier.wait(); // every region is open before any closes
+                rt.target_data_end(region);
+            },
+        );
+        let stats: Vec<RuntimeStats> = outcome.results.iter().map(|(_, s)| *s).collect();
+        let merged = merged_stats(&stats);
+        assert_eq!(merged.allocs, 1, "one shared allocation: {merged:?}");
+        assert_eq!(merged.transfers, 1, "one shared H2D: {merged:?}");
+        assert_eq!(transfers.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            outcome.devices.present_mappings(0),
+            0,
+            "the last release frees the shared mapping"
+        );
+        assert!(!outcome.remediation.any_rewrites(), "no advisor attached");
+    }
+
+    #[test]
+    #[should_panic(expected = "advisors must be absent or one per runtime thread")]
+    fn shared_advisor_count_must_match() {
+        let tools: Vec<Box<dyn Tool>> = (0..2)
+            .map(|_| {
+                Box::new(Counter {
+                    transfers: Arc::new(AtomicUsize::new(0)),
+                }) as Box<dyn Tool>
+            })
+            .collect();
+        let _ = run_on_threads_shared(2, &RuntimeConfig::default(), tools, vec![None], |_, _| ());
     }
 }

@@ -19,11 +19,14 @@
 //! `recovered_time() > 0`.
 
 use crate::{ProblemSize, Variant, Workload};
+use odp_ompt::{MapAdvisor, Tool};
 use odp_sim::{Runtime, RuntimeConfig, RuntimeStats};
 use ompdataperf::detect::EventView;
-use ompdataperf::remedy::{LiveRemediator, RemediationPolicy, RemediationReport};
+use ompdataperf::remedy::{
+    LiveRemediator, RemediationPolicy, RemediationReport, SharedPolicyCell, SharedRemediator,
+};
 use ompdataperf::report::Report;
-use ompdataperf::tool::{OmpDataPerfTool, ToolConfig};
+use ompdataperf::tool::{OmpDataPerfTool, ToolConfig, ToolHandle};
 
 /// The outcome of one (possibly remediated) instrumented run.
 pub struct RemediatedRun {
@@ -81,8 +84,8 @@ fn run_with(w: &dyn Workload, size: ProblemSize, variant: Variant, mode: Mode) -
             Some(policy)
         }
         Mode::Seeded(policy) => {
-            let shared = std::sync::Arc::new(parking_lot::Mutex::new(policy));
-            rt.attach_advisor(Box::new(SharedPolicy(shared.clone())));
+            let (remediator, shared) = SharedRemediator::seeded(policy);
+            rt.attach_advisor(Box::new(remediator.fork_advisor()));
             Some(shared)
         }
     };
@@ -130,36 +133,142 @@ fn run_with(w: &dyn Workload, size: ProblemSize, variant: Variant, mode: Mode) -
     }
 }
 
-type SharedPolicyCell = std::sync::Arc<parking_lot::Mutex<RemediationPolicy>>;
+// ---------------------------------------------------------------------
+// Threaded drivers: the same three modes over a SHARED device data
+// environment (odp_sim::run_on_threads_shared) with one policy behind
+// per-thread advisor handles (remedy::SharedRemediator).
+// ---------------------------------------------------------------------
 
-/// Advisor wrapper sharing a seeded policy with the caller.
-struct SharedPolicy(SharedPolicyCell);
+/// Threaded baseline: `threads` OS threads drive the workload against
+/// one shared device set, no advisor — the comparison point for the
+/// threaded adaptive/seeded runs.
+pub fn run_baseline_threaded(
+    w: &dyn Workload,
+    threads: u32,
+    size: ProblemSize,
+    variant: Variant,
+) -> RemediatedRun {
+    run_with_threads(w, threads, size, variant, Mode::Baseline)
+}
 
-impl odp_ompt::MapAdvisor for SharedPolicy {
-    fn advise_enter(
-        &mut self,
-        device: u32,
-        codeptr: odp_model::CodePtr,
-        host_addr: u64,
-        bytes: u64,
-        map_type: odp_model::MapType,
-    ) -> odp_ompt::MapAdvice {
-        self.0
-            .lock()
-            .advise_enter(device, codeptr, host_addr, bytes, map_type)
+/// Threaded adaptive run: every thread's advisor handle shares one
+/// live-fed policy, so a pattern one thread diagnoses rewrites every
+/// thread's subsequent regions.
+pub fn run_adaptive_threaded(
+    w: &dyn Workload,
+    threads: u32,
+    size: ProblemSize,
+    variant: Variant,
+) -> RemediatedRun {
+    run_with_threads(w, threads, size, variant, Mode::Adaptive)
+}
+
+/// Threaded re-run with a pre-seeded policy shared by all threads.
+pub fn run_seeded_threaded(
+    w: &dyn Workload,
+    threads: u32,
+    size: ProblemSize,
+    variant: Variant,
+    policy: RemediationPolicy,
+) -> RemediatedRun {
+    run_with_threads(w, threads, size, variant, Mode::Seeded(policy))
+}
+
+/// Build the advisor set (and the policy cell for reporting) for a
+/// threaded run. Shared with the CLI's `--remediate --threads` path.
+pub fn threaded_advisors(
+    handle: &ToolHandle,
+    threads: u32,
+    mode_adaptive: bool,
+    seeded: Option<RemediationPolicy>,
+) -> (Vec<Option<Box<dyn MapAdvisor>>>, Option<SharedPolicyCell>) {
+    let remediator = if mode_adaptive {
+        Some(SharedRemediator::new(handle.clone()))
+    } else {
+        seeded.map(SharedRemediator::seeded)
+    };
+    match remediator {
+        None => (Vec::new(), None),
+        Some((remediator, policy)) => (
+            (0..threads)
+                .map(|_| Some(Box::new(remediator.fork_advisor()) as Box<dyn MapAdvisor>))
+                .collect(),
+            Some(policy),
+        ),
     }
+}
 
-    fn advise_exit(
-        &mut self,
-        device: u32,
-        codeptr: odp_model::CodePtr,
-        host_addr: u64,
-        bytes: u64,
-        map_type: odp_model::MapType,
-    ) -> odp_ompt::MapAdvice {
-        self.0
-            .lock()
-            .advise_exit(device, codeptr, host_addr, bytes, map_type)
+fn run_with_threads(
+    w: &dyn Workload,
+    threads: u32,
+    size: ProblemSize,
+    variant: Variant,
+    mode: Mode,
+) -> RemediatedRun {
+    let stream = matches!(mode, Mode::Adaptive);
+    let (tool, handle) = OmpDataPerfTool::new(ToolConfig {
+        stream,
+        ..Default::default()
+    });
+    let mut tools: Vec<Box<dyn Tool>> = vec![Box::new(tool)];
+    for _ in 1..threads {
+        tools.push(Box::new(handle.fork_tool()));
+    }
+    let (advisors, live_policy) = match mode {
+        Mode::Baseline => (Vec::new(), None),
+        Mode::Adaptive => threaded_advisors(&handle, threads, true, None),
+        Mode::Seeded(policy) => threaded_advisors(&handle, threads, false, Some(policy)),
+    };
+
+    let run = crate::threaded::run_threaded_shared(
+        w,
+        threads,
+        size,
+        variant,
+        &RuntimeConfig::default(),
+        tools,
+        advisors,
+    );
+
+    let trace = handle.take_trace();
+    let report = if let Some(mut engine) = handle.take_stream_engine() {
+        let view = EventView::from_log(&trace);
+        let findings = engine.finalize(&view);
+        ompdataperf::analysis::analyze_with_findings(
+            &trace,
+            Some(&run.dbg),
+            w.name(),
+            handle.console_lines(),
+            findings,
+        )
+    } else {
+        ompdataperf::analysis::analyze_named(
+            &trace,
+            Some(&run.dbg),
+            w.name(),
+            handle.console_lines(),
+        )
+    };
+
+    let remediation = match &live_policy {
+        Some(policy) => RemediationReport::new(
+            &policy.lock(),
+            &run.remediation,
+            run.stats.bytes_transferred,
+            run.stats.transfer_time,
+        ),
+        None => RemediationReport::new(
+            &RemediationPolicy::new(),
+            &run.remediation,
+            run.stats.bytes_transferred,
+            run.stats.transfer_time,
+        ),
+    };
+
+    RemediatedRun {
+        report,
+        remediation,
+        stats: run.stats,
     }
 }
 

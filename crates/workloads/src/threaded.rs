@@ -12,8 +12,10 @@
 //! real.
 
 use crate::{ProblemSize, Variant, Workload};
-use odp_ompt::Tool;
-use odp_sim::{run_on_threads, Runtime, RuntimeConfig, RuntimeStats};
+use odp_ompt::{MapAdvisor, RemediationStats, Tool};
+use odp_sim::{
+    run_on_threads, run_on_threads_shared, Runtime, RuntimeConfig, RuntimeStats, SharedDevices,
+};
 use ompdataperf::attrib::DebugInfo;
 
 /// Run `workload` on `threads` OS threads, each against its own runtime
@@ -48,6 +50,60 @@ pub fn run_threaded(
         .next()
         .expect("at least one thread");
     (dbg, odp_sim::merged_stats(&stats))
+}
+
+/// Outcome of a shared-device threaded workload run.
+pub struct SharedThreadedRun {
+    /// The workload's debug info (identical on every thread).
+    pub dbg: DebugInfo,
+    /// Merged run statistics across the threads.
+    pub stats: RuntimeStats,
+    /// Per-thread advisor rewrites, merged.
+    pub remediation: RemediationStats,
+    /// The device set the threads shared.
+    pub devices: SharedDevices,
+}
+
+/// Run `workload` on `threads` OS threads that share **one** device
+/// data environment (`odp_sim::run_on_threads_shared`) — the true
+/// `libomptarget` shape, where cross-thread present-table reuse and
+/// contention are real. Each thread gets `tools[i]` and, when
+/// provided, `advisors[i]` (fork the advisors from one
+/// `ompdataperf::remedy::SharedRemediator`).
+///
+/// # Panics
+/// When the workload does not support threaded execution, or the tool
+/// or advisor counts mismatch `threads`.
+pub fn run_threaded_shared(
+    workload: &dyn Workload,
+    threads: u32,
+    size: ProblemSize,
+    variant: Variant,
+    cfg: &RuntimeConfig,
+    tools: Vec<Box<dyn Tool>>,
+    advisors: Vec<Option<Box<dyn MapAdvisor>>>,
+) -> SharedThreadedRun {
+    assert!(
+        workload.supports_threads(),
+        "{} does not support --threads",
+        workload.name()
+    );
+    let outcome = run_on_threads_shared(threads, cfg, tools, advisors, |_, rt: &mut Runtime| {
+        workload.run(rt, size, variant)
+    });
+    let stats: Vec<RuntimeStats> = outcome.results.iter().map(|(_, s)| *s).collect();
+    let dbg = outcome
+        .results
+        .into_iter()
+        .map(|(d, _)| d)
+        .next()
+        .expect("at least one thread");
+    SharedThreadedRun {
+        dbg,
+        stats: odp_sim::merged_stats(&stats),
+        remediation: outcome.remediation,
+        devices: outcome.devices,
+    }
 }
 
 /// The workloads with threaded variants.
