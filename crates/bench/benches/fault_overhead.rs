@@ -1,0 +1,75 @@
+//! Criterion micro-benchmark: cost of the fault-injection hook on the
+//! per-event hot path. The disabled (default) plan must be a single
+//! flag test — the monitored program's per-event overhead with
+//! `FaultPlan::none()` wired in stays within noise (≤ 5%) of the plain
+//! callback path; an enabled plan pays one RNG draw per event.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use odp_model::{CodePtr, DeviceId, SimTime};
+use odp_ompt::{DataOpCallback, DataOpType, Endpoint, Tool};
+use odp_sim::{FaultPlan, FaultProfile};
+use ompdataperf::tool::{OmpDataPerfTool, ToolConfig};
+use std::hint::black_box;
+
+fn mk(endpoint: Endpoint, op_id: u64, time: u64, p: Option<&[u8]>) -> DataOpCallback<'_> {
+    DataOpCallback {
+        endpoint,
+        target_id: 1,
+        host_op_id: op_id,
+        optype: DataOpType::TransferToDevice,
+        src_device: DeviceId::HOST,
+        src_addr: 0x1000,
+        dest_device: DeviceId::target(0),
+        dest_addr: 0xd000,
+        bytes: 64,
+        codeptr_ra: CodePtr(0x42),
+        time: SimTime(time),
+        payload: p,
+    }
+}
+
+/// One monitored 64-byte transfer event (Begin + hashed End), with the
+/// runtime's fault consultation optionally riding in front — exactly
+/// where `dispatch_data_op_with_payload` puts it.
+fn bench_fault_hook(c: &mut Criterion) {
+    let payload: Vec<u8> = (0..64u32).map(|i| (i % 251) as u8).collect();
+    let mut group = c.benchmark_group("fault_overhead");
+
+    let variants: [(&str, Option<FaultPlan>); 3] = [
+        // The tool alone: the ~65 ns/event baseline.
+        ("baseline", None),
+        // The default wiring: plan present but disabled.
+        ("noop_plan", Some(FaultPlan::none())),
+        // An active profile: one RNG draw per event.
+        (
+            "lossy_plan",
+            Some(FaultPlan::from_profile(FaultProfile::Lossy, 42)),
+        ),
+    ];
+    for (name, plan) in variants {
+        group.bench_function(name, |b| {
+            let (mut tool, _handle) = OmpDataPerfTool::new(ToolConfig::default());
+            tool.initialize(&odp_ompt::CompilerProfile::LlvmClang.capabilities());
+            let mut session = plan.as_ref().map(|p| p.session());
+            let mut op_id = 0u64;
+            let mut t = 0u64;
+            b.iter(|| {
+                op_id += 1;
+                t += 20;
+                if let Some(s) = session.as_mut() {
+                    black_box(s.on_data_op(true));
+                }
+                tool.on_data_op(&mk(Endpoint::Begin, op_id, t, None));
+                tool.on_data_op(black_box(&mk(Endpoint::End, op_id, t + 10, Some(&payload))));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(800)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_fault_hook
+);
+criterion_main!(benches);

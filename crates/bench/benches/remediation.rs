@@ -72,6 +72,7 @@ fn bench_remediation(c: &mut Criterion) {
                 codeptr: CodePtr(0x1),
                 alloc: i as u64,
                 occurrence: 2,
+                confidence: ompdataperf::Confidence::Confirmed,
             });
         }
         group.throughput(Throughput::Elements(1));
@@ -99,6 +100,7 @@ fn bench_remediation(c: &mut Criterion) {
                 codeptr: CodePtr(0x1),
                 alloc: i,
                 occurrence: 2,
+                confidence: ompdataperf::Confidence::Confirmed,
             });
         }
         let (remediator, _cell) = SharedRemediator::seeded(policy);

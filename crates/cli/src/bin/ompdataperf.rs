@@ -77,6 +77,14 @@ fn main() -> ExitCode {
     if parsed.pre_emi {
         cfg = cfg.pre_emi();
     }
+    // Seeded fault injection (--fault-profile / --fault-seed): the plan
+    // is cloned into the runtime config; clones share the injected-
+    // fault totals, so the summary after the run sees every shard.
+    let fault_plan = odp_sim::FaultPlan::from_profile(
+        parsed.fault_profile.unwrap_or(odp_sim::FaultProfile::None),
+        parsed.fault_seed.unwrap_or(42),
+    );
+    cfg.faults = fault_plan.clone();
     if let Some(p) = &parsed.profile {
         match resolve_profile(p) {
             Some(profile) => cfg = cfg.with_profile(profile),
@@ -115,6 +123,9 @@ fn main() -> ExitCode {
         verbose: parsed.verbose,
         stream: parsed.stream,
         stream_max_frontier: parsed.stream_cap,
+        stall_timeout: parsed
+            .stall_timeout_ms
+            .map(std::time::Duration::from_millis),
     });
 
     // Live report consumer: drains findings while the program runs and
@@ -264,6 +275,15 @@ fn main() -> ExitCode {
         }
         let view = EventView::from_log(&trace);
         let findings = engine.finalize(&view);
+        // Trace health: shard-side quarantine counters (the engine left
+        // the handle above, so fold its counters in by hand) plus
+        // merge-time duplicate ids. A dirty trace warns in the report.
+        let mut health = handle.trace_health();
+        health.merge(&engine.health());
+        health.duplicate_ids += trace.duplicate_id_count();
+        if let Some(warning) = health.warning() {
+            console.push(warning);
+        }
         ompdataperf::analysis::analyze_with_findings(
             &trace,
             Some(&dbg),
@@ -272,12 +292,13 @@ fn main() -> ExitCode {
             findings,
         )
     } else {
-        ompdataperf::analysis::analyze_named(
-            &trace,
-            Some(&dbg),
-            workload.name(),
-            handle.console_lines(),
-        )
+        let mut console = handle.console_lines();
+        let mut health = handle.trace_health();
+        health.duplicate_ids += trace.duplicate_id_count();
+        if let Some(warning) = health.warning() {
+            console.push(warning);
+        }
+        ompdataperf::analysis::analyze_named(&trace, Some(&dbg), workload.name(), console)
     };
 
     // The remediation summary rides along with the report: recovered
@@ -304,6 +325,9 @@ fn main() -> ExitCode {
         println!("{}", report.render());
         if let Some(r) = &remediation {
             print!("{}", r.render());
+        }
+        if fault_plan.is_enabled() && !parsed.quiet {
+            println!("info: injected faults — {}", fault_plan.counts().summary());
         }
         if parsed.verbose {
             println!(

@@ -55,6 +55,18 @@ pub struct CommonArgs {
     /// handles; composes with `--stream-interval` (the live findings
     /// stream is teed to both consumers).
     pub remediate: bool,
+    /// `--fault-profile NAME`: inject seeded faults into the simulated
+    /// runtime's callback stream (drops, duplicates, truncation,
+    /// corruption, transfer failures, OOM, a stalled shard). The
+    /// pipeline must survive every profile without panicking.
+    pub fault_profile: Option<odp_sim::FaultProfile>,
+    /// `--fault-seed N`: the deterministic seed for the fault plan
+    /// (default 42). Same seed + same profile = same faults.
+    pub fault_seed: Option<u64>,
+    /// `--stall-timeout MS`: with `--stream`, force-release the reorder
+    /// buffer after the merged watermark has not advanced for this many
+    /// milliseconds (findings decided afterwards are degraded evidence).
+    pub stall_timeout_ms: Option<u64>,
 }
 
 /// Outcome of argument parsing.
@@ -90,7 +102,12 @@ pub fn usage(tool: &str) -> String {
          \x20 --threads N           Drive the workload from N OS threads (sharded collection)\n\
          \x20 --remediate           Rewrite inefficient mappings mid-run from live findings (implies --stream;\n\
          \x20                       with --threads: shared device tables + per-thread advisors)\n\
+         \x20 --fault-profile NAME  Inject seeded runtime faults: {}\n\
+         \x20 --fault-seed N        Deterministic fault seed (default: 42)\n\
+         \x20 --stall-timeout MS    With --stream: force-release the reorder buffer after MS ms\n\
+         \x20                       without watermark progress (degrades findings)\n\
          Programs:\n\x20 {}",
+        odp_sim::FaultProfile::NAMES,
         odp_workloads::all()
             .iter()
             .map(|w| w.name())
@@ -118,6 +135,9 @@ pub fn parse(tool: &str, args: &[String]) -> Parsed {
         stream_cap: None,
         threads: 1,
         remediate: false,
+        fault_profile: None,
+        fault_seed: None,
+        stall_timeout_ms: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -172,6 +192,26 @@ pub fn parse(tool: &str, args: &[String]) -> Parsed {
             "--threads" => match it.next().and_then(|v| v.parse::<u32>().ok()) {
                 Some(n) if n >= 1 => out.threads = n,
                 _ => return Parsed::Error("--threads needs a value >= 1".into()),
+            },
+            "--fault-profile" => match it.next().map(|s| s.as_str()) {
+                Some(name) => match odp_sim::FaultProfile::parse(name) {
+                    Some(p) => out.fault_profile = Some(p),
+                    None => {
+                        return Parsed::Error(format!(
+                            "unknown fault profile '{name}'; available: {}",
+                            odp_sim::FaultProfile::NAMES
+                        ))
+                    }
+                },
+                None => return Parsed::Error("--fault-profile needs a name".into()),
+            },
+            "--fault-seed" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(seed) => out.fault_seed = Some(seed),
+                None => return Parsed::Error("--fault-seed needs an integer value".into()),
+            },
+            "--stall-timeout" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) => out.stall_timeout_ms = Some(ms),
+                None => return Parsed::Error("--stall-timeout needs a ms value".into()),
             },
             other if other.starts_with('-') => {
                 return Parsed::Error(format!("unknown option {other}\n\n{}", usage(tool)))
@@ -316,6 +356,48 @@ mod tests {
             _ => panic!("expected run: --remediate --stream-interval is supported"),
         }
         assert!(usage("ompdataperf").contains("--remediate"));
+    }
+
+    #[test]
+    fn fault_flags_are_parsed() {
+        match parse(
+            "ompdataperf",
+            &argv("--fault-profile lossy --fault-seed 7 bfs"),
+        ) {
+            Parsed::Run(a) => {
+                assert_eq!(a.fault_profile, Some(odp_sim::FaultProfile::Lossy));
+                assert_eq!(a.fault_seed, Some(7));
+            }
+            _ => panic!("expected run"),
+        }
+        assert!(matches!(
+            parse("ompdataperf", &argv("--fault-profile bogus bfs")),
+            Parsed::Error(_)
+        ));
+        assert!(matches!(
+            parse("ompdataperf", &argv("--fault-seed nope bfs")),
+            Parsed::Error(_)
+        ));
+        let u = usage("ompdataperf");
+        assert!(u.contains("--fault-profile"));
+        assert!(u.contains("--fault-seed"));
+        assert!(u.contains("lossy"));
+    }
+
+    #[test]
+    fn stall_timeout_is_parsed() {
+        match parse("ompdataperf", &argv("--stream --stall-timeout 250 bfs")) {
+            Parsed::Run(a) => {
+                assert_eq!(a.stall_timeout_ms, Some(250));
+                assert!(a.stream);
+            }
+            _ => panic!("expected run"),
+        }
+        assert!(matches!(
+            parse("ompdataperf", &argv("--stall-timeout nope bfs")),
+            Parsed::Error(_)
+        ));
+        assert!(usage("ompdataperf").contains("--stall-timeout"));
     }
 
     #[test]

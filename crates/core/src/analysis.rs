@@ -9,18 +9,29 @@ use odp_trace::TraceLog;
 
 /// Infer the number of target devices from the event stream (the tool
 /// decodes traces offline and cannot ask the runtime).
+///
+/// Implausibly large device indices — a corrupted callback naming
+/// device `0x4000_0000` — are ignored here (capped by
+/// [`crate::detect::MAX_PLAUSIBLE_DEVICES`]) rather than trusted, so
+/// the per-device tables sized from this count stay bounded and the
+/// corrupt events land in [`crate::detect::OutOfRangeEvents`].
 pub fn infer_num_devices(data_ops: &[DataOpEvent], kernels: &[TargetEvent]) -> u32 {
+    let cap = crate::detect::MAX_PLAUSIBLE_DEVICES as i64;
     let mut max_ix: i64 = -1;
     for e in data_ops {
         for d in [e.src_device, e.dest_device] {
             if let Some(ix) = d.target_index() {
-                max_ix = max_ix.max(ix as i64);
+                if (ix as i64) < cap {
+                    max_ix = max_ix.max(ix as i64);
+                }
             }
         }
     }
     for k in kernels {
         if let Some(ix) = k.device.target_index() {
-            max_ix = max_ix.max(ix as i64);
+            if (ix as i64) < cap {
+                max_ix = max_ix.max(ix as i64);
+            }
         }
     }
     (max_ix + 1).max(1) as u32

@@ -5,6 +5,7 @@
 //! content-based: transfers are grouped by `(hash, dest_device)`; any
 //! group with at least two events is a set of duplicates.
 
+use crate::detect::Confidence;
 use odp_hash::fnv::FnvHashMap;
 use odp_model::{DataOpEvent, DeviceId, HashVal};
 use serde::Serialize;
@@ -19,6 +20,9 @@ pub struct DuplicateTransferGroup {
     /// All transfer events in the group, chronological. `events[0]` is
     /// the first (necessary) transfer; the rest are duplicates.
     pub events: Vec<DataOpEvent>,
+    /// Evidence trust level. Always [`Confidence::Confirmed`] on the
+    /// post-mortem paths; degraded only by streaming stall recovery.
+    pub confidence: Confidence,
 }
 
 impl DuplicateTransferGroup {
@@ -62,6 +66,7 @@ pub fn find_duplicate_transfers(data_op_events: &[DataOpEvent]) -> Vec<Duplicate
             hash: key.0,
             dest_device: key.1,
             events: events.iter().map(|e| (*e).clone()).collect(),
+            confidence: Confidence::Confirmed,
         });
     }
     duplicate_transfers

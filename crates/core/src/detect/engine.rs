@@ -27,8 +27,8 @@
 
 use crate::detect::pairing::AllocDeletePair;
 use crate::detect::{
-    DuplicateTransferGroup, Findings, IssueCounts, RepeatedAllocGroup, RoundTrip, RoundTripGroup,
-    UnusedAlloc, UnusedTransfer, UnusedTransferReason,
+    Confidence, DuplicateTransferGroup, Findings, IssueCounts, RepeatedAllocGroup, RoundTrip,
+    RoundTripGroup, UnusedAlloc, UnusedTransfer, UnusedTransferReason,
 };
 use odp_hash::fnv::FnvHashMap;
 use odp_model::{DataOpEvent, DeviceId, HashVal, SimTime, TargetEvent};
@@ -36,6 +36,16 @@ use odp_trace::TraceLog;
 
 /// Index of an event in [`EventView::data_ops`] (chronological order).
 pub type OpIx = u32;
+
+/// Upper bound on a *plausible* target-device index. Device numbers come
+/// from an untrusted trace: a corrupted callback can name device
+/// `0x4000_0000`, and sizing per-device tables from such an id would
+/// allocate billions of entries. Indices at or beyond this cap are
+/// treated as out-of-range (quarantined from the per-device algorithms
+/// and counted in [`OutOfRangeEvents`]) by both
+/// [`crate::analysis::infer_num_devices`] and the streaming engine's
+/// grow-on-demand device machines.
+pub const MAX_PLAUSIBLE_DEVICES: u32 = 4096;
 
 /// Events that name a target device at or beyond the view's `num_devices`
 /// and are therefore excluded from the per-device algorithms (4 and 5).
@@ -351,6 +361,7 @@ impl IndexFindings {
                         hash: slot.hash,
                         dest_device: slot.dest,
                         events: slot.events.iter().map(|&ox| view.op(ox).clone()).collect(),
+                        confidence: Confidence::Confirmed,
                     }
                 })
                 .collect(),
@@ -370,6 +381,7 @@ impl IndexFindings {
                             spilled: false,
                         })
                         .collect(),
+                    confidence: Confidence::Confirmed,
                 })
                 .collect(),
             repeated_allocs: self
@@ -384,6 +396,7 @@ impl IndexFindings {
                         .iter()
                         .map(|&px| view.resolve_pair(&view.pairs[px as usize]))
                         .collect(),
+                    confidence: Confidence::Confirmed,
                 })
                 .collect(),
             unused_allocs: self
@@ -391,6 +404,7 @@ impl IndexFindings {
                 .iter()
                 .map(|&px| UnusedAlloc {
                     pair: view.resolve_pair(&view.pairs[px as usize]),
+                    confidence: Confidence::Confirmed,
                 })
                 .collect(),
             unused_transfers: self
@@ -399,6 +413,7 @@ impl IndexFindings {
                 .map(|&(ox, reason)| UnusedTransfer {
                     event: view.op(ox).clone(),
                     reason,
+                    confidence: Confidence::Confirmed,
                 })
                 .collect(),
         }
@@ -433,7 +448,9 @@ pub fn detect_indexed(view: &EventView<'_>) -> IndexFindings {
         let mut group_ix: FnvHashMap<(HashVal, DeviceId, DeviceId), u32> = FnvHashMap::default();
         for (tix, &ox) in view.hashed_transfers.iter().enumerate() {
             let e = view.op(ox);
-            let hash = e.hash.expect("hashed_transfers holds hashed events");
+            let Some(hash) = e.hash else {
+                continue; // hashed_transfers holds hashed events only
+            };
             // A pending reception at the transfer's *source* device
             // completes a round trip.
             let Some(&rx_slot) = view.rx_index.get(&(hash, e.src_device)) else {

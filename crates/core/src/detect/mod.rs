@@ -113,6 +113,12 @@
 //! `streaming_vs_postmortem` and `sharded_vs_single_lock` groups of
 //! `crates/bench/benches/detectors.rs`.
 
+// Detection consumes untrusted event data: malformed input must be
+// quarantined and counted, never unwrapped. Real invariants carry
+// explicit allows at the call site.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod duplicate;
 pub mod engine;
 pub mod pairing;
@@ -126,13 +132,41 @@ use odp_model::{DataOpEvent, TargetEvent};
 use serde::Serialize;
 
 pub use duplicate::{find_duplicate_transfers, DuplicateTransferGroup};
-pub use engine::{EventView, IndexFindings, OutOfRangeEvents};
+pub use engine::{EventView, IndexFindings, OutOfRangeEvents, MAX_PLAUSIBLE_DEVICES};
 pub use pairing::{alloc_delete_pairs, AllocDeletePair};
 pub use realloc::{find_repeated_allocs, find_repeated_allocs_keyed, RepeatedAllocGroup};
 pub use roundtrip::{find_round_trips, RoundTrip, RoundTripGroup};
 pub use stream::{StreamBufferStats, StreamConfig, StreamEvent, StreamFinding, StreamingEngine};
 pub use unused_alloc::{find_unused_allocs, UnusedAlloc};
 pub use unused_transfer::{find_unused_transfers, UnusedTransfer, UnusedTransferReason};
+
+/// How much the evidence behind a finding can be trusted.
+///
+/// The streaming engine normally releases events only at the merged
+/// watermark, so every finding rests on a settled chronological order.
+/// Under degraded input — forced releases after a watermark stall,
+/// quarantined (orphaned / truncated / duplicate-id) events — the order
+/// is no longer guaranteed, and findings derived from it are tagged
+/// [`Confidence::Degraded`]. Degraded findings are reported (with the
+/// tag) but must never seed `remedy::RemediationPolicy` rules: a
+/// rewrite driven by unsettled evidence could mis-map a correct
+/// program.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub enum Confidence {
+    /// Derived from watermark-settled, well-formed evidence.
+    #[default]
+    Confirmed,
+    /// Derived at least in part from force-released or quarantined
+    /// evidence; report-only, never actionable.
+    Degraded,
+}
+
+impl Confidence {
+    /// True for [`Confidence::Degraded`].
+    pub fn is_degraded(self) -> bool {
+        self == Confidence::Degraded
+    }
+}
 
 /// Issue counts per category, using the paper's Table 1 conventions:
 ///

@@ -10,6 +10,7 @@
 //! variables throughout a program's execution" (§5.3).
 
 use crate::detect::pairing::{alloc_delete_pairs, AllocDeletePair};
+use crate::detect::Confidence;
 use odp_hash::fnv::FnvHashMap;
 use odp_model::{DataOpEvent, DeviceId};
 use serde::Serialize;
@@ -26,6 +27,9 @@ pub struct RepeatedAllocGroup {
     /// Alloc/delete pairs, chronological. `pairs[0]` is the first
     /// (necessary) allocation; the rest are repeats.
     pub pairs: Vec<AllocDeletePair>,
+    /// Evidence trust level. Always [`Confidence::Confirmed`] on the
+    /// post-mortem paths; degraded only by streaming stall recovery.
+    pub confidence: Confidence,
 }
 
 impl RepeatedAllocGroup {
@@ -70,7 +74,7 @@ pub fn find_repeated_allocs_keyed(
     key_order
         .into_iter()
         .filter_map(|key| {
-            let pairs = repeated.remove(&key).expect("key recorded");
+            let pairs = repeated.remove(&key)?;
             if pairs.len() < 2 {
                 return None; // remove entries without at least two allocs
             }
@@ -80,9 +84,10 @@ pub fn find_repeated_allocs_keyed(
                 bytes: if size_in_key {
                     key.2
                 } else {
-                    pairs[0].alloc.bytes
+                    pairs.first().map_or(0, |p| p.alloc.bytes)
                 },
                 pairs,
+                confidence: Confidence::Confirmed,
             })
         })
         .collect()

@@ -12,6 +12,7 @@
 //! dequeued so `tx` cannot later be counted as the completing leg of a
 //! different round trip.
 
+use crate::detect::Confidence;
 use odp_hash::fnv::FnvHashMap;
 use odp_model::{DataOpEvent, DeviceId, HashVal};
 use serde::Serialize;
@@ -45,6 +46,9 @@ pub struct RoundTripGroup {
     pub dest_device: DeviceId,
     /// Completed trips, chronological by outbound leg.
     pub trips: Vec<RoundTrip>,
+    /// Evidence trust level. Always [`Confidence::Confirmed`] on the
+    /// post-mortem paths; degraded only by streaming stall recovery.
+    pub confidence: Confidence,
 }
 
 impl RoundTripGroup {
@@ -79,15 +83,10 @@ pub fn find_round_trips(data_op_events: &[DataOpEvent]) -> Vec<RoundTripGroup> {
             continue;
         };
         let rx_key = (hash, tx_event.src_device);
-        let has_pending = received
-            .get(&rx_key)
-            .map(|q| !q.is_empty())
-            .unwrap_or(false);
-        if !has_pending {
+        let Some(rx_event) = received.get(&rx_key).and_then(|q| q.front().copied()) else {
             // Not a round trip: the data is never sent back.
             continue;
-        }
-        let rx_event = received[&rx_key].front().copied().expect("non-empty queue");
+        };
         let trip_key = (hash, tx_event.src_device, tx_event.dest_device);
         let entry = round_trips.entry(trip_key).or_default();
         if entry.is_empty() {
@@ -108,14 +107,15 @@ pub fn find_round_trips(data_op_events: &[DataOpEvent]) -> Vec<RoundTripGroup> {
 
     key_order
         .into_iter()
-        .map(|key| {
-            let trips = round_trips.remove(&key).expect("key recorded");
-            RoundTripGroup {
+        .filter_map(|key| {
+            let trips = round_trips.remove(&key)?;
+            Some(RoundTripGroup {
                 hash: key.0,
                 src_device: key.1,
                 dest_device: key.2,
                 trips,
-            }
+                confidence: Confidence::Confirmed,
+            })
         })
         .collect()
 }

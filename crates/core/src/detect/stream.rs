@@ -52,11 +52,13 @@
 
 use crate::detect::engine::{EventView, OutOfRangeEvents};
 use crate::detect::{
-    AllocDeletePair, DuplicateTransferGroup, Findings, IssueCounts, RepeatedAllocGroup, RoundTrip,
-    RoundTripGroup, UnusedAlloc, UnusedTransfer, UnusedTransferReason,
+    AllocDeletePair, Confidence, DuplicateTransferGroup, Findings, IssueCounts, RepeatedAllocGroup,
+    RoundTrip, RoundTripGroup, UnusedAlloc, UnusedTransfer, UnusedTransferReason,
 };
 use odp_hash::fnv::FnvHashMap;
-use odp_model::{CodePtr, DataOpEvent, DeviceId, HashVal, SimTime, TargetEvent, TargetKind};
+use odp_model::{
+    CodePtr, DataOpEvent, DeviceId, HashVal, SimTime, TargetEvent, TargetKind, TraceHealth,
+};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -123,6 +125,9 @@ pub enum StreamFinding {
         first: Seq,
         /// 1-based occurrence number (2 = first duplicate).
         occurrence: u32,
+        /// Trust level of the evidence (degraded once the stream was
+        /// force-released; degraded findings never seed remediation).
+        confidence: Confidence,
     },
     /// Algorithm 2: `tx` carried content away and `rx` returned it.
     RoundTrip {
@@ -147,6 +152,9 @@ pub enum StreamFinding {
         /// `skip_from` rule from a spilled trip (dropping a copy-back
         /// on unconfirmed evidence would be unsound).
         spilled: bool,
+        /// Trust level of the evidence (degraded once the stream was
+        /// force-released; degraded findings never seed remediation).
+        confidence: Confidence,
     },
     /// Algorithm 3: `alloc` re-allocated an already-seen mapping.
     RepeatedAlloc {
@@ -162,6 +170,9 @@ pub enum StreamFinding {
         alloc: Seq,
         /// 1-based occurrence number (2 = first repeat).
         occurrence: u32,
+        /// Trust level of the evidence (degraded once the stream was
+        /// force-released; degraded findings never seed remediation).
+        confidence: Confidence,
     },
     /// Algorithm 4: no kernel could have used this allocation.
     UnusedAlloc {
@@ -175,6 +186,9 @@ pub enum StreamFinding {
         alloc: Seq,
         /// Its deletion, if freed.
         delete: Option<Seq>,
+        /// Trust level of the evidence (degraded once the stream was
+        /// force-released; degraded findings never seed remediation).
+        confidence: Confidence,
     },
     /// Algorithm 5: a provably unused transfer.
     UnusedTransfer {
@@ -188,7 +202,23 @@ pub enum StreamFinding {
         event: Seq,
         /// Why it is provably unused.
         reason: UnusedTransferReason,
+        /// Trust level of the evidence (degraded once the stream was
+        /// force-released; degraded findings never seed remediation).
+        confidence: Confidence,
     },
+}
+
+impl StreamFinding {
+    /// The finding's evidence trust level.
+    pub fn confidence(&self) -> Confidence {
+        match *self {
+            StreamFinding::DuplicateTransfer { confidence, .. }
+            | StreamFinding::RoundTrip { confidence, .. }
+            | StreamFinding::RepeatedAlloc { confidence, .. }
+            | StreamFinding::UnusedAlloc { confidence, .. }
+            | StreamFinding::UnusedTransfer { confidence, .. } => confidence,
+        }
+    }
 }
 
 /// The host-side address of a transfer: the source of an H2D, the
@@ -399,6 +429,17 @@ pub struct StreamingEngine {
     out_of_range: OutOfRangeEvents,
     stats: StreamBufferStats,
     finalized: bool,
+
+    /// Set by the first forced release: every finding emitted (and
+    /// everything materialized) from then on is [`Confidence::Degraded`].
+    degraded: bool,
+    /// Last key released by a forced release. Events arriving at or
+    /// below it can no longer be ordered correctly and are quarantined
+    /// as late (counted in [`TraceHealth::late`]).
+    forced_floor: Option<(SimTime, Seq, u8)>,
+    /// Stream-side degradation counters (late quarantines, forced
+    /// releases, events missing at finalize).
+    health: TraceHealth,
 }
 
 impl StreamingEngine {
@@ -423,6 +464,9 @@ impl StreamingEngine {
     /// Buffer an incoming data operation (any completion order).
     pub fn push_data_op(&mut self, e: DataOpEvent) {
         debug_assert!(!self.finalized, "push after finalize");
+        if self.quarantine_late((e.span.start, e.id.0, 0)) {
+            return;
+        }
         self.buffer.push(Reverse(BufEntry::Op(e)));
         self.note_buffered();
     }
@@ -434,8 +478,23 @@ impl StreamingEngine {
         if k.kind != TargetKind::Kernel {
             return;
         }
+        if self.quarantine_late((k.span.start, k.id.0, 1)) {
+            return;
+        }
         self.buffer.push(Reverse(BufEntry::Kernel(k)));
         self.note_buffered();
+    }
+
+    /// After a forced release, events ordered at or below the forced
+    /// floor arrived too late to release in order: quarantine them
+    /// (counted, never ingested) instead of violating release
+    /// monotonicity.
+    fn quarantine_late(&mut self, key: (SimTime, Seq, u8)) -> bool {
+        if self.forced_floor.is_some_and(|floor| key <= floor) {
+            self.health.late += 1;
+            return true;
+        }
+        false
     }
 
     /// Release every buffered event whose start is at or below
@@ -450,7 +509,9 @@ impl StreamingEngine {
             if entry.key().0 > self.watermark {
                 break;
             }
-            let Reverse(entry) = self.buffer.pop().expect("peeked");
+            let Some(Reverse(entry)) = self.buffer.pop() else {
+                break;
+            };
             debug_assert!(
                 self.last_released.is_none_or(|last| last <= entry.key()),
                 "watermark violated: released {:?} after {:?} (watermark {:?})",
@@ -476,6 +537,52 @@ impl StreamingEngine {
     /// Drain the findings emitted since the last call.
     pub fn take_findings(&mut self) -> Vec<StreamFinding> {
         std::mem::take(&mut self.emitted)
+    }
+
+    /// Release **everything** in the reorder buffer regardless of the
+    /// watermark — the stall-recovery escape hatch. Call when a
+    /// [`odp_ompt::StallDetector`] declares the merged watermark wedged
+    /// (a shard stopped delivering End callbacks): the buffered events
+    /// drain in `(start, id)` order so detection can proceed, but the
+    /// watermark's no-future-event promise is gone — an event may yet
+    /// arrive that belonged before something just released. The engine
+    /// therefore marks itself degraded: every finding from here on
+    /// (live and materialized) carries [`Confidence::Degraded`], and
+    /// later events at or below the forced floor are quarantined as
+    /// late. Returns the number of events released.
+    pub fn force_release_all(&mut self) -> usize {
+        let released = self.buffer.len();
+        if released == 0 {
+            return 0;
+        }
+        self.degraded = true;
+        self.health.forced_releases += released as u64;
+        while let Some(Reverse(entry)) = self.buffer.pop() {
+            // Heap order keeps this batch internally monotonic, and
+            // everything <= the old watermark was already released.
+            self.last_released = Some(entry.key());
+            match entry {
+                BufEntry::Op(e) => self.ingest_op(&e),
+                BufEntry::Kernel(k) => self.ingest_kernel(&k),
+            }
+        }
+        self.forced_floor = self.last_released;
+        self.note_peaks();
+        released
+    }
+
+    /// True once a forced release degraded the stream: findings are no
+    /// longer backed by a settled event order.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Degradation counters accumulated by the engine itself: late
+    /// quarantines, forced releases, and events missing at finalize.
+    /// Collector-side counters (orphans, truncations, ...) live with
+    /// the tool; merge both for the full picture.
+    pub fn health(&self) -> TraceHealth {
+        self.health
     }
 
     /// Events excluded from Algorithms 4/5 because they named devices at
@@ -550,6 +657,7 @@ impl StreamingEngine {
                     codeptr: tx.codeptr,
                     event: tx.seq,
                     reason: UnusedTransferReason::AfterLastKernel,
+                    confidence: self.confidence(),
                 });
                 self.counts.ut += 1;
             }
@@ -601,7 +709,12 @@ impl StreamingEngine {
     fn in_range(&self, ix: usize) -> bool {
         match self.fixed_devices {
             Some(nd) => ix < nd as usize,
-            None => true,
+            // Grow-on-demand mode still bounds growth: a corrupted
+            // callback naming device 0x4000_0000 must be quarantined,
+            // not given a billion-entry machine table. The cap matches
+            // `infer_num_devices`, so finalize's view agrees on which
+            // events are out of range.
+            None => ix < crate::detect::MAX_PLAUSIBLE_DEVICES as usize,
         }
     }
 
@@ -642,6 +755,7 @@ impl StreamingEngine {
                 event: e.id.0,
                 first,
                 occurrence,
+                confidence: self.confidence(),
             });
             self.counts.dd += 1;
         }
@@ -664,7 +778,9 @@ impl StreamingEngine {
         // happening, the trade the cap buys its memory ceiling with.
         if let Some(cap) = self.max_frontier {
             while self.frontier.len() > cap {
-                let tx = self.frontier.pop_front().expect("len checked");
+                let Some(tx) = self.frontier.pop_front() else {
+                    break;
+                };
                 self.stats.frontier_spilled += 1;
                 self.try_complete_trip(&tx);
             }
@@ -690,7 +806,9 @@ impl StreamingEngine {
             if undecided {
                 break;
             }
-            let tx = self.frontier.pop_front().expect("peeked");
+            let Some(tx) = self.frontier.pop_front() else {
+                break;
+            };
             self.try_complete_trip(&tx);
         }
     }
@@ -745,6 +863,7 @@ impl StreamingEngine {
             tx: tx.seq,
             rx,
             spilled,
+            confidence: self.confidence(),
         });
         self.counts.rt += 1;
     }
@@ -788,6 +907,7 @@ impl StreamingEngine {
                 codeptr: e.codeptr,
                 alloc: e.id.0,
                 occurrence,
+                confidence: self.confidence(),
             });
             self.counts.ra += 1;
         }
@@ -852,6 +972,7 @@ impl StreamingEngine {
             codeptr: p.alloc_codeptr,
             alloc: p.alloc_seq,
             delete: p.delete_seq,
+            confidence: self.confidence(),
         };
         self.emit(finding);
         self.counts.ua += 1;
@@ -867,13 +988,14 @@ impl StreamingEngine {
             codeptr: e.codeptr,
         };
         self.machine(dev); // ensure the device table covers `dev`
+        let conf = self.confidence();
         let m = &mut self.machines[dev];
         if !m.pending_tx.is_empty() {
             m.pending_tx.push_back(tx); // preserve order behind the stall
             return;
         }
         if let Some(stalled) =
-            Self::alg5_process_tx(m, tx, dev, &mut self.emitted, &mut self.counts)
+            Self::alg5_process_tx(m, tx, dev, conf, &mut self.emitted, &mut self.counts)
         {
             m.pending_tx.push_back(stalled); // queue was empty: order holds
         }
@@ -887,6 +1009,7 @@ impl StreamingEngine {
         m: &mut DeviceMachine,
         tx: PendingTx,
         dev: usize,
+        confidence: Confidence,
         emitted: &mut Vec<StreamFinding>,
         counts: &mut IssueCounts,
     ) -> Option<PendingTx> {
@@ -906,6 +1029,7 @@ impl StreamingEngine {
                         codeptr: cand_cp,
                         event: cand,
                         reason: UnusedTransferReason::OverwrittenBeforeUse,
+                        confidence,
                     });
                     counts.ut += 1;
                 }
@@ -924,11 +1048,14 @@ impl StreamingEngine {
     /// now classify (the new kernel starts at or after each of them, so
     /// it is exactly the reference's `kernels[idx]`).
     fn alg5_on_kernel(&mut self, dev: usize) {
+        let conf = self.confidence();
         let m = &mut self.machines[dev];
-        while !m.pending_tx.is_empty() && !m.kq5.is_empty() {
-            let tx = m.pending_tx.pop_front().expect("checked");
+        while !m.kq5.is_empty() {
+            let Some(tx) = m.pending_tx.pop_front() else {
+                break;
+            };
             if let Some(stalled) =
-                Self::alg5_process_tx(m, tx, dev, &mut self.emitted, &mut self.counts)
+                Self::alg5_process_tx(m, tx, dev, conf, &mut self.emitted, &mut self.counts)
             {
                 m.pending_tx.push_front(stalled); // re-stalled: keep order
                 break;
@@ -940,6 +1067,15 @@ impl StreamingEngine {
 
     fn emit(&mut self, f: StreamFinding) {
         self.emitted.push(f);
+    }
+
+    /// Confidence of findings emitted right now.
+    fn confidence(&self) -> Confidence {
+        if self.degraded {
+            Confidence::Degraded
+        } else {
+            Confidence::Confirmed
+        }
     }
 
     fn note_buffered(&mut self) {
@@ -954,86 +1090,144 @@ impl StreamingEngine {
 
     /// Materialize owned findings from the hydrated view, in exactly the
     /// orders the fused engine (and the standalone passes) produce.
-    fn materialize(&self, view: &EventView<'_>) -> Findings {
+    ///
+    /// A streamed sequence number absent from the view (the collector
+    /// quarantined or lost the record after the engine saw the event)
+    /// does not panic: the affected finding — or the affected event
+    /// within its group — is dropped, counted in
+    /// [`TraceHealth::missing_at_finalize`], and the whole
+    /// materialization is downgraded to [`Confidence::Degraded`].
+    fn materialize(&mut self, view: &EventView<'_>) -> Findings {
         let mut by_seq: FnvHashMap<Seq, u32> =
             FnvHashMap::with_capacity_and_hasher(view.data_ops.len(), Default::default());
         for (ix, e) in view.data_ops.iter().enumerate() {
             by_seq.insert(e.id.0, ix as u32);
         }
-        let ev = |seq: Seq| -> DataOpEvent {
-            view.data_ops[*by_seq
-                .get(&seq)
-                .expect("streamed event missing from the finalize view")
-                as usize]
-                .clone()
+        let missing = std::cell::Cell::new(0u64);
+        let ev = |seq: Seq| -> Option<DataOpEvent> {
+            match by_seq.get(&seq) {
+                Some(&ix) => Some(view.data_ops[ix as usize].clone()),
+                None => {
+                    missing.set(missing.get() + 1);
+                    None
+                }
+            }
         };
-        let pair = |p: &StreamPair| AllocDeletePair {
-            alloc: ev(p.alloc_seq),
-            delete: p.delete_seq.map(&ev),
+        let pair = |p: &StreamPair| -> Option<AllocDeletePair> {
+            Some(AllocDeletePair {
+                alloc: ev(p.alloc_seq)?,
+                // A missing delete record degrades the pair to
+                // "never freed" rather than dropping it.
+                delete: p.delete_seq.and_then(&ev),
+            })
         };
+        let confidence = self.confidence();
 
-        Findings {
+        let findings = Findings {
             duplicates: self
                 .slots
                 .iter()
                 .filter(|s| s.events.len() >= 2)
-                .map(|s| DuplicateTransferGroup {
-                    hash: s.hash,
-                    dest_device: s.dest,
-                    events: s.events.iter().map(|&q| ev(q)).collect(),
+                .filter_map(|s| {
+                    let events: Vec<DataOpEvent> = s.events.iter().filter_map(|&q| ev(q)).collect();
+                    (events.len() >= 2).then_some(DuplicateTransferGroup {
+                        hash: s.hash,
+                        dest_device: s.dest,
+                        events,
+                        confidence,
+                    })
                 })
                 .collect(),
             round_trips: self
                 .trip_groups
                 .iter()
-                .map(|g| RoundTripGroup {
-                    hash: g.hash,
-                    src_device: g.src,
-                    dest_device: g.dest,
-                    trips: g
+                .filter_map(|g| {
+                    let trips: Vec<RoundTrip> = g
                         .trips
                         .iter()
-                        .map(|&(tx, rx, spilled)| RoundTrip {
-                            tx: ev(tx),
-                            rx: ev(rx),
-                            spilled,
+                        .filter_map(|&(tx, rx, spilled)| {
+                            Some(RoundTrip {
+                                tx: ev(tx)?,
+                                rx: ev(rx)?,
+                                spilled,
+                            })
                         })
-                        .collect(),
+                        .collect();
+                    (!trips.is_empty()).then_some(RoundTripGroup {
+                        hash: g.hash,
+                        src_device: g.src,
+                        dest_device: g.dest,
+                        trips,
+                        confidence,
+                    })
                 })
                 .collect(),
             repeated_allocs: self
                 .realloc_groups
                 .iter()
                 .filter(|g| g.pair_ixs.len() >= 2)
-                .map(|g| RepeatedAllocGroup {
-                    host_addr: g.host_addr,
-                    device: g.device,
-                    bytes: g.bytes,
-                    pairs: g
+                .filter_map(|g| {
+                    let pairs: Vec<AllocDeletePair> = g
                         .pair_ixs
                         .iter()
-                        .map(|&px| pair(&self.pairs[px as usize]))
-                        .collect(),
+                        .filter_map(|&px| pair(&self.pairs[px as usize]))
+                        .collect();
+                    (pairs.len() >= 2).then_some(RepeatedAllocGroup {
+                        host_addr: g.host_addr,
+                        device: g.device,
+                        bytes: g.bytes,
+                        pairs,
+                        confidence,
+                    })
                 })
                 .collect(),
             unused_allocs: self
                 .machines
                 .iter()
                 .flat_map(|m| m.unused.iter())
-                .map(|&px| UnusedAlloc {
-                    pair: pair(&self.pairs[px as usize]),
+                .filter_map(|&px| {
+                    Some(UnusedAlloc {
+                        pair: pair(&self.pairs[px as usize])?,
+                        confidence,
+                    })
                 })
                 .collect(),
             unused_transfers: self
                 .machines
                 .iter()
                 .flat_map(|m| m.unused_tx.iter())
-                .map(|&(seq, reason)| UnusedTransfer {
-                    event: ev(seq),
-                    reason,
+                .filter_map(|&(seq, reason)| {
+                    Some(UnusedTransfer {
+                        event: ev(seq)?,
+                        reason,
+                        confidence,
+                    })
                 })
                 .collect(),
+        };
+        let mut findings = findings;
+        self.health.missing_at_finalize += missing.get();
+        if missing.get() > 0 {
+            // The view disagrees with the stream: nothing materialized
+            // here is trustworthy evidence anymore.
+            self.degraded = true;
+            for g in &mut findings.duplicates {
+                g.confidence = Confidence::Degraded;
+            }
+            for g in &mut findings.round_trips {
+                g.confidence = Confidence::Degraded;
+            }
+            for g in &mut findings.repeated_allocs {
+                g.confidence = Confidence::Degraded;
+            }
+            for g in &mut findings.unused_allocs {
+                g.confidence = Confidence::Degraded;
+            }
+            for g in &mut findings.unused_transfers {
+                g.confidence = Confidence::Degraded;
+            }
         }
+        findings
     }
 }
 

@@ -8,6 +8,7 @@
 //! possibly* have been used.
 
 use crate::detect::pairing::{alloc_delete_pairs, AllocDeletePair};
+use crate::detect::Confidence;
 use odp_model::{DataOpEvent, SimTime, TargetEvent};
 use serde::Serialize;
 
@@ -16,6 +17,9 @@ use serde::Serialize;
 pub struct UnusedAlloc {
     /// The allocation and its deletion.
     pub pair: AllocDeletePair,
+    /// Evidence trust level. Always [`Confidence::Confirmed`] on the
+    /// post-mortem paths; degraded only by streaming stall recovery.
+    pub confidence: Confidence,
 }
 
 /// Algorithm 4. Both event slices must be chronological;
@@ -61,6 +65,7 @@ pub fn find_unused_allocs(
             if tgt_idx == tgt_events.len() || tgt_events[tgt_idx].span.start > delete_end {
                 unused_allocs.push(UnusedAlloc {
                     pair: (*pair).clone(),
+                    confidence: Confidence::Confirmed,
                 });
             }
         }

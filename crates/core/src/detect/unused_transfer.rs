@@ -8,6 +8,7 @@
 //! candidate was overwritten unused. Kernel executions clear the
 //! candidate map, since the kernel may have consumed the data.
 
+use crate::detect::Confidence;
 use odp_hash::fnv::FnvHashMap;
 use odp_model::{DataOpEvent, TargetEvent};
 use serde::Serialize;
@@ -29,6 +30,9 @@ pub struct UnusedTransfer {
     pub event: DataOpEvent,
     /// The proof category.
     pub reason: UnusedTransferReason,
+    /// Evidence trust level. Always [`Confidence::Confirmed`] on the
+    /// post-mortem paths; degraded only by streaming stall recovery.
+    pub confidence: Confidence,
 }
 
 /// Algorithm 5. Event slices must be chronological; `kernel_events` are
@@ -81,6 +85,7 @@ pub fn find_unused_transfers(
                 unused_transfers.push(UnusedTransfer {
                     event: (*tx).clone(),
                     reason: UnusedTransferReason::AfterLastKernel,
+                    confidence: Confidence::Confirmed,
                 });
             } else if tgt_events[tgt_idx].span.start > tx.span.start {
                 // Transfer doesn't overlap with an active kernel.
@@ -88,6 +93,7 @@ pub fn find_unused_transfers(
                     unused_transfers.push(UnusedTransfer {
                         event: (*cand).clone(),
                         reason: UnusedTransferReason::OverwrittenBeforeUse,
+                        confidence: Confidence::Confirmed,
                     });
                 }
                 candidates.insert(tx.src_addr, tx);

@@ -71,7 +71,7 @@ pub mod report;
 pub mod tool;
 
 pub use analysis::analyze;
-pub use detect::{Findings, IssueCounts};
+pub use detect::{Confidence, Findings, IssueCounts};
 pub use predict::Prediction;
 pub use remedy::{LiveRemediator, RemediationPolicy, RemediationReport};
 pub use report::Report;

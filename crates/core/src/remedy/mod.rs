@@ -95,31 +95,57 @@ impl RemediationPolicy {
     /// to a fixed point where the remediated kinds stay eliminated on
     /// every schedule.
     pub fn absorb(&mut self, findings: &Findings) {
-        for g in &findings.duplicates {
+        for g in findings
+            .duplicates
+            .iter()
+            .filter(|g| !g.confidence.is_degraded())
+        {
             for e in g.events.iter().skip(1) {
                 self.on_duplicate(e.src_device, e.dest_device, host_side_addr(e));
             }
         }
-        for g in &findings.round_trips {
+        for g in findings
+            .round_trips
+            .iter()
+            .filter(|g| !g.confidence.is_degraded())
+        {
             // A spilled trip was never confirmed — seeding a rewrite
             // from it could drop a copy-back the program needs.
             for t in g.trips.iter().filter(|t| !t.spilled) {
                 self.on_round_trip(g.src_device, g.dest_device, host_side_addr(&t.tx));
             }
         }
-        for g in &findings.repeated_allocs {
+        for g in findings
+            .repeated_allocs
+            .iter()
+            .filter(|g| !g.confidence.is_degraded())
+        {
             self.on_repeated_alloc(g.device, g.host_addr);
         }
-        for ua in &findings.unused_allocs {
+        for ua in findings
+            .unused_allocs
+            .iter()
+            .filter(|ua| !ua.confidence.is_degraded())
+        {
             self.on_unused_alloc(ua.pair.alloc.dest_device, ua.pair.alloc.src_addr);
         }
-        for ut in &findings.unused_transfers {
+        for ut in findings
+            .unused_transfers
+            .iter()
+            .filter(|ut| !ut.confidence.is_degraded())
+        {
             self.on_unused_transfer(ut.event.dest_device, ut.event.src_addr);
         }
     }
 
-    /// Learn from one live finding.
+    /// Learn from one live finding. Degraded findings — evidence that
+    /// survived a forced watermark release or arrived after one — are
+    /// ignored wholesale: a rewrite rule seeded from reordered or
+    /// incomplete evidence could skip a transfer the program needs.
     pub fn observe(&mut self, finding: &StreamFinding) {
+        if finding.confidence().is_degraded() {
+            return;
+        }
         match *finding {
             StreamFinding::DuplicateTransfer {
                 src_device,
@@ -647,7 +673,8 @@ impl RemediationReport {
 
     /// Serialize as pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("remediation report serialization cannot fail")
+        serde_json::to_string_pretty(self)
+            .unwrap_or_else(|e| format!("{{\"error\":\"remediation report serialization: {e}\"}}"))
     }
 }
 
@@ -672,6 +699,7 @@ mod tests {
             event: 1,
             first: 0,
             occurrence: 2,
+            confidence: crate::detect::Confidence::Confirmed,
         });
         p.observe(&StreamFinding::RoundTrip {
             hash: HashVal(2),
@@ -682,6 +710,7 @@ mod tests {
             tx: 2,
             rx: 3,
             spilled: false,
+            confidence: crate::detect::Confidence::Confirmed,
         });
         p.observe(&StreamFinding::RoundTrip {
             hash: HashVal(3),
@@ -692,6 +721,7 @@ mod tests {
             tx: 4,
             rx: 5,
             spilled: false,
+            confidence: crate::detect::Confidence::Confirmed,
         });
         p.observe(&StreamFinding::RepeatedAlloc {
             host_addr: 0x400,
@@ -700,6 +730,7 @@ mod tests {
             codeptr: CodePtr(0x4),
             alloc: 6,
             occurrence: 2,
+            confidence: crate::detect::Confidence::Confirmed,
         });
         p.observe(&StreamFinding::UnusedAlloc {
             device: dev(0),
@@ -707,6 +738,7 @@ mod tests {
             codeptr: CodePtr(0x5),
             alloc: 7,
             delete: None,
+            confidence: crate::detect::Confidence::Confirmed,
         });
         p.observe(&StreamFinding::UnusedTransfer {
             device: dev(0),
@@ -714,6 +746,7 @@ mod tests {
             codeptr: CodePtr(0x6),
             event: 8,
             reason: crate::detect::UnusedTransferReason::AfterLastKernel,
+            confidence: crate::detect::Confidence::Confirmed,
         });
 
         assert_eq!(p.rule_count(), 6);

@@ -402,7 +402,8 @@ impl Report {
 
     /// Serialize the report as pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+        serde_json::to_string_pretty(self)
+            .unwrap_or_else(|e| format!("{{\"error\":\"report serialization: {e}\"}}"))
     }
 }
 
@@ -433,6 +434,7 @@ mod tests {
                 event: 5,
                 first: 2,
                 occurrence: 2,
+                confidence: crate::detect::Confidence::Confirmed,
             },
             StreamFinding::RoundTrip {
                 hash: HashVal(0xcd),
@@ -443,6 +445,7 @@ mod tests {
                 tx: 3,
                 rx: 9,
                 spilled: false,
+                confidence: crate::detect::Confidence::Confirmed,
             },
             StreamFinding::RepeatedAlloc {
                 host_addr: 0x1000,
@@ -451,6 +454,7 @@ mod tests {
                 codeptr: CodePtr(0x3),
                 alloc: 7,
                 occurrence: 3,
+                confidence: crate::detect::Confidence::Confirmed,
             },
             StreamFinding::UnusedAlloc {
                 device: DeviceId::target(0),
@@ -458,6 +462,7 @@ mod tests {
                 codeptr: CodePtr(0x4),
                 alloc: 11,
                 delete: None,
+                confidence: crate::detect::Confidence::Confirmed,
             },
             StreamFinding::UnusedTransfer {
                 device: DeviceId::target(0),
@@ -465,6 +470,7 @@ mod tests {
                 codeptr: CodePtr(0x5),
                 event: 13,
                 reason: UnusedTransferReason::AfterLastKernel,
+                confidence: crate::detect::Confidence::Confirmed,
             },
         ];
         for f in &findings {
@@ -492,6 +498,7 @@ mod tests {
             event,
             first: 0,
             occurrence: 2,
+            confidence: crate::detect::Confidence::Confirmed,
         };
         for i in 1..=5 {
             sink.on_finding(&dup(i));

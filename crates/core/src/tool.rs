@@ -48,11 +48,11 @@ use crate::detect::{
 };
 use odp_hash::fnv::FnvHashMap;
 use odp_hash::HashAlgoId;
-use odp_model::{DataOpKind, SimDuration, SimTime, TargetKind, TimeSpan};
+use odp_model::{DataOpKind, SimDuration, SimTime, TargetKind, TimeSpan, TraceHealth};
 use odp_ompt::{
     CallbackKind, DataOpCallback, DataOpType, Endpoint, GlobalWatermark, RuntimeCapabilities,
-    ShardSlot, StreamClock, SubmitCallback, TargetCallback, TargetConstructKind, Tool,
-    ToolRegistration,
+    ShardSlot, StallDetector, StreamClock, SubmitCallback, TargetCallback, TargetConstructKind,
+    Tool, ToolRegistration,
 };
 use odp_trace::TraceLog;
 use parking_lot::Mutex;
@@ -80,6 +80,14 @@ pub struct ToolConfig {
     /// Hard cap for Algorithm 2's lookahead window
     /// ([`StreamConfig::max_frontier`]); `None` keeps streaming exact.
     pub stream_max_frontier: Option<usize>,
+    /// Wall-clock budget the streaming drain will wait on a
+    /// non-advancing merged watermark while events are buffered before
+    /// force-releasing the reorder buffer (`--stall-timeout`). A wedged
+    /// or dead shard pins the watermark forever; the forced release
+    /// keeps the pipeline live at the cost of tagging every finding
+    /// decided afterwards [`crate::Confidence::Degraded`]. `None`
+    /// (default) waits indefinitely.
+    pub stall_timeout: Option<std::time::Duration>,
 }
 
 /// Wall-clock hashing meter (Table 4's "effective hash rate").
@@ -113,6 +121,9 @@ struct ShardState {
     hash_meter: HashMeter,
     /// Events recorded but not yet swept into the streaming engine.
     pending: Vec<StreamEvent>,
+    /// Evidence this shard quarantined instead of recording (orphaned
+    /// `End`s, truncated payload hashes).
+    health: TraceHealth,
 }
 
 /// Cold shared state: console lines, negotiation flags, the audit.
@@ -154,6 +165,10 @@ struct ToolShared {
     engine: Mutex<Option<StreamingEngine>>,
     /// Per-shard clock merge (lock-free).
     watermark: GlobalWatermark,
+    /// The watermark stall detector (`stall_timeout` + `stream` only).
+    /// Lock order: engine → stall (the drain consults it while holding
+    /// the engine).
+    stall: Mutex<Option<StallDetector>>,
     /// The live-findings tee: every finding harvested from the engine
     /// is appended to **each** registered tap, so independent consumers
     /// (a snapshot poller, a remediation policy) compose instead of
@@ -189,6 +204,27 @@ impl ToolShared {
         // `None` = some shard may still emit at time zero: buffer only.
         if let Some(watermark) = watermark {
             engine.advance_watermark(watermark);
+        }
+        // Stall recovery: a wedged shard (open Begin, thread never
+        // progressing) pins the merged watermark and would buffer the
+        // stream forever. Past the configured timeout the drain
+        // force-releases the reorder buffer; the engine tags every
+        // finding decided afterwards as degraded.
+        let mut stall = self.stall.lock();
+        if let Some(detector) = stall.as_mut() {
+            if detector.check(watermark, engine.buffer_stats().buffered_now) {
+                let released = engine.force_release_all();
+                if released > 0 {
+                    detector.force_released();
+                    if !self.cfg.quiet {
+                        self.control.lock().warnings.push(format!(
+                            "warning: merged watermark stalled past the timeout; \
+                             force-released {released} buffered event(s) — \
+                             findings are now degraded evidence"
+                        ));
+                    }
+                }
+            }
         }
     }
 
@@ -427,6 +463,27 @@ impl ToolHandle {
         self.shared.engine.lock().as_ref().map(|e| e.buffer_stats())
     }
 
+    /// Aggregate trace health: what the collector and the streaming
+    /// engine quarantined instead of trusting. Tool-side orphaned
+    /// `End`s and truncated payloads come from the shards; late events,
+    /// forced releases, and finalize misses come from the engine.
+    /// Duplicate event ids are detected at merge time — fold
+    /// [`TraceLog::duplicate_id_count`] of the extracted trace in
+    /// separately.
+    pub fn trace_health(&self) -> TraceHealth {
+        let mut health = TraceHealth::default();
+        // Lock order: engine → shard list → one shard.
+        let guard = self.shared.engine.lock();
+        if let Some(engine) = guard.as_ref() {
+            health.merge(&engine.health());
+        }
+        let shards = self.shared.shards.lock();
+        for s in shards.iter() {
+            health.merge(&s.lock().health);
+        }
+        health
+    }
+
     /// Take the streaming engine out for finalization against the
     /// extracted trace (leaves streaming detached). Performs a final
     /// full drain first, so no shard-buffered event is lost.
@@ -485,6 +542,11 @@ impl OmpDataPerfTool {
                 })
             })),
             watermark: GlobalWatermark::with_capacity(GlobalWatermark::DEFAULT_SHARDS),
+            stall: Mutex::new(
+                cfg.stall_timeout
+                    .filter(|_| cfg.stream)
+                    .map(StallDetector::new),
+            ),
             taps: Mutex::new(Vec::new()),
             default_tap: Mutex::new(None),
         });
@@ -663,7 +725,12 @@ impl Tool for OmpDataPerfTool {
                 self.open_targets.insert(key, cb.time);
             }
             Endpoint::End => {
-                let start = self.open_targets.remove(&key).unwrap_or(cb.time);
+                // Orphaned region End (dropped or duplicated Begin):
+                // quarantine rather than invent a zero-length span.
+                let Some(start) = self.open_targets.remove(&key) else {
+                    self.shard.lock().health.orphaned += 1;
+                    return;
+                };
                 self.shard.lock().log.record_target(
                     target_kind(cb.construct),
                     cb.device,
@@ -682,13 +749,19 @@ impl Tool for OmpDataPerfTool {
             Endpoint::Begin if self.degraded => {
                 {
                     let mut shard = self.shard.lock();
-                    let hash = cb.payload.map(|p| self.hash_payload(&mut shard, p)).or(
-                        if data_op_kind(cb.optype) == DataOpKind::Transfer {
-                            Some(0)
-                        } else {
-                            None
-                        },
-                    );
+                    let truncated = cb.payload.is_some_and(|p| p.len() as u64 != cb.bytes);
+                    let hash = if truncated {
+                        shard.health.truncated += 1;
+                        None
+                    } else {
+                        cb.payload.map(|p| self.hash_payload(&mut shard, p)).or(
+                            if data_op_kind(cb.optype) == DataOpKind::Transfer {
+                                Some(0)
+                            } else {
+                                None
+                            },
+                        )
+                    };
                     let event = shard.log.record_data_op(
                         data_op_kind(cb.optype),
                         cb.src_device,
@@ -723,23 +796,32 @@ impl Tool for OmpDataPerfTool {
                 // Close the clock only for a *matched* Begin: an
                 // unmatched End's fallback time could coincide with a
                 // different op's open entry and corrupt the watermark.
-                let start = match self.open_ops.remove(&cb.host_op_id) {
-                    Some(begin) => {
-                        if self.cfg.stream {
-                            self.clock.close(begin, cb.time);
-                        }
-                        begin
+                let Some(start) = self.open_ops.remove(&cb.host_op_id) else {
+                    // Orphaned End — its Begin was dropped, or this End
+                    // is a duplicate. No trustworthy span exists, so
+                    // quarantine the event instead of guessing one.
+                    if self.cfg.stream {
+                        self.clock.observe(cb.time);
                     }
-                    None => {
-                        if self.cfg.stream {
-                            self.clock.observe(cb.time);
-                        }
-                        cb.time
-                    }
+                    self.shard.lock().health.orphaned += 1;
+                    self.publish_and_drain();
+                    return;
                 };
+                if self.cfg.stream {
+                    self.clock.close(start, cb.time);
+                }
                 {
                     let mut shard = self.shard.lock();
-                    let hash = cb.payload.map(|p| self.hash_payload(&mut shard, p));
+                    // A payload that disagrees with the claimed byte
+                    // count cannot be hashed truthfully: keep the op
+                    // (its timing is real) but quarantine the hash.
+                    let truncated = cb.payload.is_some_and(|p| p.len() as u64 != cb.bytes);
+                    let hash = if truncated {
+                        shard.health.truncated += 1;
+                        None
+                    } else {
+                        cb.payload.map(|p| self.hash_payload(&mut shard, p))
+                    };
                     let event = shard.log.record_data_op(
                         data_op_kind(cb.optype),
                         cb.src_device,
@@ -788,21 +870,19 @@ impl Tool for OmpDataPerfTool {
                 self.open_submits.insert(cb.target_id, cb.time);
             }
             Endpoint::End => {
-                // Matched-Begin-only close: see on_data_op.
-                let start = match self.open_submits.remove(&cb.target_id) {
-                    Some(begin) => {
-                        if self.cfg.stream {
-                            self.clock.close(begin, cb.time);
-                        }
-                        begin
+                // Matched-Begin-only close and orphan quarantine: see
+                // on_data_op.
+                let Some(start) = self.open_submits.remove(&cb.target_id) else {
+                    if self.cfg.stream {
+                        self.clock.observe(cb.time);
                     }
-                    None => {
-                        if self.cfg.stream {
-                            self.clock.observe(cb.time);
-                        }
-                        cb.time
-                    }
+                    self.shard.lock().health.orphaned += 1;
+                    self.publish_and_drain();
+                    return;
                 };
+                if self.cfg.stream {
+                    self.clock.close(start, cb.time);
+                }
                 {
                     let mut shard = self.shard.lock();
                     let event = shard.log.record_target(
@@ -1133,8 +1213,10 @@ mod tests {
             Some(&payload),
         ));
         // Op 1 is still open: nothing may have been released past t=99.
+        // The orphaned End (op 2) was quarantined, not buffered.
         let stats = handle.stream_buffer_stats().unwrap();
-        assert_eq!(stats.buffered_now, 2, "both events must wait on op 1");
+        assert_eq!(stats.buffered_now, 1, "op 3 must wait on op 1");
+        assert_eq!(handle.trace_health().orphaned, 1, "op 2 quarantined");
         tool.on_data_op(&data_op(
             Endpoint::End,
             1,
@@ -1152,6 +1234,130 @@ mod tests {
             serde_json::to_string(&streamed).unwrap(),
             serde_json::to_string(&postmortem).unwrap()
         );
+    }
+
+    #[test]
+    fn truncated_payload_quarantines_the_hash_but_keeps_the_event() {
+        let (mut tool, handle) = OmpDataPerfTool::new(ToolConfig::default());
+        tool.initialize(&CompilerProfile::LlvmClang.capabilities());
+        // The callback claims 64 bytes but delivers 32: the hash is
+        // untrustworthy, the timing is real.
+        let short = vec![1u8; 32];
+        let mut cb = data_op(Endpoint::End, 1, DataOpType::TransferToDevice, 50, None);
+        cb.bytes = 64;
+        cb.payload = Some(&short);
+        tool.on_data_op(&data_op(
+            Endpoint::Begin,
+            1,
+            DataOpType::TransferToDevice,
+            10,
+            None,
+        ));
+        tool.on_data_op(&cb);
+        tool.finalize(100);
+        assert_eq!(handle.trace_health().truncated, 1);
+        let trace = handle.take_trace();
+        let events = trace.data_op_events();
+        assert_eq!(events.len(), 1, "the op itself is kept");
+        assert!(events[0].hash.is_none(), "the hash is quarantined");
+        assert_eq!(events[0].span.duration().as_nanos(), 40);
+        assert_eq!(handle.hash_meter().bytes, 0, "nothing was hashed");
+    }
+
+    #[test]
+    fn stalled_watermark_force_releases_and_degrades_findings() {
+        use crate::detect::EventView;
+        // Shard 1 opens an op at t=0 and then wedges (never Ends, never
+        // finalizes during the run). With a zero stall timeout the
+        // second drain must force-release shard 0's buffered events
+        // instead of waiting forever.
+        let (mut t0, handle) = OmpDataPerfTool::new(ToolConfig {
+            stream: true,
+            stall_timeout: Some(std::time::Duration::ZERO),
+            quiet: false,
+            ..Default::default()
+        });
+        let mut t1 = handle.fork_tool();
+        let caps = CompilerProfile::LlvmClang.capabilities();
+        t0.initialize(&caps);
+        t1.initialize(&caps);
+        t1.on_data_op(&data_op(
+            Endpoint::Begin,
+            99,
+            DataOpType::TransferToDevice,
+            0,
+            None,
+        ));
+        let payload = vec![8u8; 64];
+        // Three identical transfers on shard 0 → two duplicate findings
+        // once released.
+        for (id, t) in [(1u64, 10u64), (2, 30), (3, 50)] {
+            t0.on_data_op(&data_op(
+                Endpoint::Begin,
+                id,
+                DataOpType::TransferToDevice,
+                t,
+                None,
+            ));
+            t0.on_data_op(&data_op(
+                Endpoint::End,
+                id,
+                DataOpType::TransferToDevice,
+                t + 5,
+                Some(&payload),
+            ));
+        }
+        // First drain arms the detector (watermark progressed to 0);
+        // the second sees no progress with events buffered → forced
+        // release. The drain thread never wedges on the stalled shard.
+        let first = handle.take_stream_findings();
+        let second = handle.take_stream_findings();
+        let findings: Vec<_> = first.into_iter().chain(second).collect();
+        assert!(
+            !findings.is_empty(),
+            "forced release must surface the duplicates"
+        );
+        assert!(
+            findings.iter().all(|f| f.confidence().is_degraded()),
+            "everything decided after a forced release is degraded: {findings:?}"
+        );
+        let health = handle.trace_health();
+        assert!(health.forced_releases > 0, "{health:?}");
+        assert!(handle
+            .console_lines()
+            .iter()
+            .any(|l| l.contains("watermark stalled")));
+
+        // Degraded findings must never seed remediation rules.
+        let mut policy = crate::remedy::RemediationPolicy::new();
+        for f in &findings {
+            policy.observe(f);
+        }
+        assert_eq!(policy.rule_count(), 0, "degraded evidence seeds nothing");
+
+        // Finalize still terminates and reconciles against the trace.
+        t1.on_data_op(&data_op(
+            Endpoint::End,
+            99,
+            DataOpType::TransferToDevice,
+            500,
+            Some(&payload),
+        ));
+        t0.finalize(1_000);
+        t1.finalize(1_000);
+        let trace = handle.take_trace();
+        let mut engine = handle.take_stream_engine().expect("engine");
+        assert!(engine.is_degraded());
+        let view = EventView::from_log(&trace);
+        let streamed = engine.finalize(&view);
+        assert!(streamed
+            .duplicates
+            .iter()
+            .all(|g| g.confidence.is_degraded()));
+        // Absorbing the degraded post-mortem findings also seeds nothing.
+        let mut policy = crate::remedy::RemediationPolicy::new();
+        policy.absorb(&streamed);
+        assert_eq!(policy.rule_count(), 0);
     }
 
     #[test]

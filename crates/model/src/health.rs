@@ -1,0 +1,151 @@
+//! Trace-health accounting: what the pipeline quarantined instead of
+//! trusting.
+//!
+//! A production ingest pipeline (ROADMAP: fleet-scale, millions of runs)
+//! sees callback streams its authors never anticipated — dropped or
+//! duplicated callbacks, truncated payloads, stalled shards, events
+//! naming devices that do not exist. The detection pipeline never
+//! panics on such input; it *quarantines* the malformed evidence and
+//! counts it here, so every report can state exactly how much of the
+//! stream it actually trusted.
+//!
+//! The accounting invariant (checked by the fault-injection
+//! differential suite): every event the producer injected is either
+//! **survived** (analyzed normally) or **quarantined** (counted in
+//! exactly one bucket below). Nothing is silently discarded.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters for evidence the pipeline refused to trust.
+///
+/// Each bucket is one failure class; [`TraceHealth::total_quarantined`]
+/// is the number of events (or event fragments) excluded from
+/// analysis. A wholly healthy run is `TraceHealth::default()`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceHealth {
+    /// Events naming a device outside the configured device range.
+    pub out_of_range: u64,
+    /// `End` callbacks with no matching open `Begin` (dropped or
+    /// duplicated begin/end edges).
+    pub orphaned: u64,
+    /// Transfer payloads shorter than the byte count the callback
+    /// claimed — the content hash cannot be trusted.
+    pub truncated: u64,
+    /// Event ids claimed by more than one shard record after a merge
+    /// (a duplicated `(shard, seq)` pair; the extra records).
+    pub duplicate_ids: u64,
+    /// Events that arrived at the streaming engine at or below a
+    /// watermark that a stall-recovery forced release already retired.
+    pub late: u64,
+    /// Times the watermark stall detector force-released the reorder
+    /// buffer rather than wait on a wedged shard.
+    pub forced_releases: u64,
+    /// Streamed events the finalize view no longer contained (the
+    /// post-mortem log lost what the engine saw live).
+    pub missing_at_finalize: u64,
+}
+
+impl TraceHealth {
+    /// A health record with every counter zero.
+    pub fn new() -> TraceHealth {
+        TraceHealth::default()
+    }
+
+    /// Events excluded from analysis. `forced_releases` is an incident
+    /// count, not an event count, so it is not part of the sum.
+    pub fn total_quarantined(&self) -> u64 {
+        self.out_of_range
+            + self.orphaned
+            + self.truncated
+            + self.duplicate_ids
+            + self.late
+            + self.missing_at_finalize
+    }
+
+    /// Did anything degrade at all?
+    pub fn is_clean(&self) -> bool {
+        *self == TraceHealth::default()
+    }
+
+    /// Fold another health record into this one (shard merge).
+    pub fn merge(&mut self, other: &TraceHealth) {
+        self.out_of_range += other.out_of_range;
+        self.orphaned += other.orphaned;
+        self.truncated += other.truncated;
+        self.duplicate_ids += other.duplicate_ids;
+        self.late += other.late;
+        self.forced_releases += other.forced_releases;
+        self.missing_at_finalize += other.missing_at_finalize;
+    }
+
+    /// The console warning summarizing what was quarantined, or `None`
+    /// for a clean trace.
+    pub fn warning(&self) -> Option<String> {
+        if self.is_clean() {
+            return None;
+        }
+        Some(format!(
+            "warning: degraded trace — quarantined {} event(s) \
+             (out-of-range {}, orphaned {}, truncated {}, duplicate ids {}, \
+             late {}, missing at finalize {}; {} forced release(s))",
+            self.total_quarantined(),
+            self.out_of_range,
+            self.orphaned,
+            self.truncated,
+            self.duplicate_ids,
+            self.late,
+            self.missing_at_finalize,
+            self.forced_releases,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_health_has_no_warning() {
+        let h = TraceHealth::new();
+        assert!(h.is_clean());
+        assert_eq!(h.total_quarantined(), 0);
+        assert!(h.warning().is_none());
+    }
+
+    #[test]
+    fn merge_sums_every_bucket() {
+        let mut a = TraceHealth {
+            out_of_range: 1,
+            orphaned: 2,
+            truncated: 3,
+            duplicate_ids: 4,
+            late: 5,
+            forced_releases: 6,
+            missing_at_finalize: 7,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.out_of_range, 2);
+        assert_eq!(a.orphaned, 4);
+        assert_eq!(a.truncated, 6);
+        assert_eq!(a.duplicate_ids, 8);
+        assert_eq!(a.late, 10);
+        assert_eq!(a.forced_releases, 12);
+        assert_eq!(a.missing_at_finalize, 14);
+        // forced_releases is an incident count, not quarantined events.
+        assert_eq!(a.total_quarantined(), 2 + 4 + 6 + 8 + 10 + 14);
+    }
+
+    #[test]
+    fn warning_reports_every_bucket() {
+        let h = TraceHealth {
+            orphaned: 3,
+            forced_releases: 1,
+            ..TraceHealth::default()
+        };
+        let w = h.warning().unwrap();
+        assert!(w.contains("quarantined 3 event(s)"));
+        assert!(w.contains("orphaned 3"));
+        assert!(w.contains("1 forced release(s)"));
+    }
+}

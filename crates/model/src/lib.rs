@@ -21,6 +21,7 @@
 pub mod addr;
 pub mod device;
 pub mod event;
+pub mod health;
 pub mod map;
 pub mod source;
 pub mod time;
@@ -28,6 +29,7 @@ pub mod time;
 pub use addr::{DevAddr, HostAddr, MemRange};
 pub use device::{DeviceId, DeviceKind};
 pub use event::{DataOpEvent, DataOpKind, EventId, HashVal, TargetEvent, TargetKind};
+pub use health::TraceHealth;
 pub use map::{MapModifier, MapType};
 pub use source::{CodePtr, SourceLoc};
 pub use time::{SimDuration, SimTime, TimeSpan};

@@ -46,6 +46,6 @@ pub use callback::{
     KernelAccessInfo, SubmitCallback, TargetCallback, TargetConstructKind,
 };
 pub use capability::{CompilerProfile, RuntimeCapabilities};
-pub use progress::{GlobalWatermark, ShardSlot, StreamClock};
+pub use progress::{GlobalWatermark, ShardSlot, StallDetector, StreamClock};
 pub use tool::{NullTool, SetCallbackResult, Tool, ToolRegistration};
 pub use version::OmptVersion;

@@ -268,6 +268,71 @@ impl GlobalWatermark {
     }
 }
 
+/// Detects a wedged merged watermark and authorizes timeout-based
+/// forced releases.
+///
+/// A shard that stops delivering End callbacks (a crashed runtime
+/// thread, a dropped End in a lossy transport) pins the merged
+/// watermark forever: every other shard's buffered events sit behind
+/// the stalled shard's earliest open begin and the drain thread spins
+/// without progress. The detector watches `(merged watermark, buffered
+/// event count)` snapshots from the drain loop; when the watermark has
+/// not advanced for `timeout` of wall-clock time while events remain
+/// buffered, [`StallDetector::check`] returns `true` and the consumer
+/// may force-release its buffer. Forced releases abandon the ordering
+/// guarantee the watermark provides, so consumers must tag everything
+/// released this way as degraded evidence.
+///
+/// The timer restarts on every watermark advance, on every buffer
+/// drain, and after each forced release (so repeated stalls are spaced
+/// at least `timeout` apart).
+#[derive(Debug)]
+pub struct StallDetector {
+    timeout: std::time::Duration,
+    last_merged: Option<SimTime>,
+    since: std::time::Instant,
+    forced: u64,
+}
+
+impl StallDetector {
+    /// A detector that declares a stall after `timeout` without
+    /// watermark progress.
+    pub fn new(timeout: std::time::Duration) -> StallDetector {
+        StallDetector {
+            timeout,
+            last_merged: None,
+            since: std::time::Instant::now(),
+            forced: 0,
+        }
+    }
+
+    /// Feed one drain-loop snapshot: the current merged watermark and
+    /// the number of events still buffered behind it. Returns `true`
+    /// when the stream is stalled — the watermark has not advanced for
+    /// at least the timeout while events remain buffered — in which
+    /// case the caller should force-release and report the release via
+    /// [`StallDetector::force_released`].
+    pub fn check(&mut self, merged: Option<SimTime>, buffered: usize) -> bool {
+        if merged > self.last_merged || buffered == 0 {
+            self.last_merged = self.last_merged.max(merged);
+            self.since = std::time::Instant::now();
+            return false;
+        }
+        self.since.elapsed() >= self.timeout
+    }
+
+    /// Record a forced release and restart the stall timer.
+    pub fn force_released(&mut self) {
+        self.forced += 1;
+        self.since = std::time::Instant::now();
+    }
+
+    /// Number of forced releases recorded so far.
+    pub fn forced_count(&self) -> u64 {
+        self.forced
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -403,6 +468,32 @@ mod tests {
         let g = GlobalWatermark::with_capacity(1);
         let _ = g.register();
         let _ = g.register();
+    }
+
+    #[test]
+    fn stall_detector_fires_only_without_progress() {
+        let mut d = StallDetector::new(std::time::Duration::ZERO);
+        // Progress (watermark advance) always resets, even with a zero
+        // timeout.
+        assert!(!d.check(Some(SimTime(10)), 5));
+        assert!(!d.check(Some(SimTime(20)), 5));
+        // Same watermark, events buffered, timeout elapsed: stalled.
+        assert!(d.check(Some(SimTime(20)), 5));
+        d.force_released();
+        assert_eq!(d.forced_count(), 1);
+        // An empty buffer is never a stall — nothing is held back.
+        assert!(!d.check(Some(SimTime(20)), 0));
+    }
+
+    #[test]
+    fn stall_detector_waits_out_the_timeout() {
+        let mut d = StallDetector::new(std::time::Duration::from_secs(3600));
+        assert!(!d.check(None, 3));
+        assert!(
+            !d.check(None, 3),
+            "no progress, but the timeout has not elapsed"
+        );
+        assert_eq!(d.forced_count(), 0);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Runtime configuration.
 
+use crate::faults::FaultPlan;
 use crate::timing::TimingModel;
 use odp_ompt::CompilerProfile;
 
@@ -17,6 +18,9 @@ pub struct RuntimeConfig {
     /// Pretend the runtime predates OMPT 5.1: only deprecated non-EMI
     /// callbacks are offered (reproduces the §A.6 degraded-mode warning).
     pub pre_emi_runtime: bool,
+    /// Seeded fault-injection plan (`FaultPlan::none()` by default).
+    /// Cloning the config shares the plan's injected-fault totals.
+    pub faults: FaultPlan,
 }
 
 impl Default for RuntimeConfig {
@@ -27,6 +31,7 @@ impl Default for RuntimeConfig {
             timing: TimingModel::default(),
             profile: CompilerProfile::LlvmClang,
             pre_emi_runtime: false,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -47,6 +52,12 @@ impl RuntimeConfig {
     /// Config advertising a pre-EMI (OMPT 5.0 preview) runtime.
     pub fn pre_emi(mut self) -> Self {
         self.pre_emi_runtime = true;
+        self
+    }
+
+    /// Config with a fault-injection plan attached.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
         self
     }
 }
@@ -73,5 +84,15 @@ mod tests {
         assert_eq!(c.num_devices, 4);
         assert_eq!(c.profile, CompilerProfile::AmdRocm);
         assert!(c.pre_emi_runtime);
+    }
+
+    #[test]
+    fn default_faults_are_disabled() {
+        assert!(!RuntimeConfig::default().faults.is_enabled());
+        let c = RuntimeConfig::default().with_faults(FaultPlan::from_profile(
+            crate::faults::FaultProfile::Lossy,
+            1,
+        ));
+        assert!(c.faults.is_enabled());
     }
 }

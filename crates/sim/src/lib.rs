@@ -50,6 +50,7 @@
 pub mod alloc;
 pub mod config;
 pub mod device;
+pub mod faults;
 pub mod kernel;
 pub mod memory;
 pub mod present;
@@ -59,6 +60,7 @@ pub mod timing;
 
 pub use config::RuntimeConfig;
 pub use device::SharedDevices;
+pub use faults::{FaultConfig, FaultCounts, FaultPlan, FaultProfile, FaultSession};
 pub use kernel::{DeviceView, Kernel, KernelCost};
 pub use memory::VarId;
 pub use present::PresentTable;

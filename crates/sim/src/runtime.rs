@@ -20,6 +20,9 @@
 
 use crate::config::RuntimeConfig;
 use crate::device::{DeviceState, SharedDevices};
+use crate::faults::{
+    flip_payload_bit, DataOpFault, FaultCounts, FaultSession, CORRUPT_DEVICE_OFFSET,
+};
 use crate::kernel::{DeviceView, Kernel};
 use crate::memory::{HostMemory, VarId};
 use odp_model::{CodePtr, DeviceId, MapModifier, MapType, SimDuration, SimTime};
@@ -73,6 +76,23 @@ pub enum RuntimeWarning {
         mapped: u64,
         /// Bytes the variable's clause requested.
         requested: u64,
+    },
+    /// A device allocation failed (capacity exhausted, or an injected
+    /// OOM fault). The mapping is skipped; kernels referencing the
+    /// variable compute on scratch storage.
+    DeviceOutOfMemory {
+        /// Variable name.
+        var: String,
+        /// Bytes the allocation requested.
+        bytes: u64,
+    },
+    /// A transfer failed and was retried (injected fault); the clock
+    /// absorbed the failed attempts plus exponential backoff.
+    TransferRetried {
+        /// Variable name.
+        var: String,
+        /// Failed attempts before the successful one.
+        attempts: u32,
     },
 }
 
@@ -135,6 +155,9 @@ pub struct Runtime {
     advisor: Option<Box<dyn MapAdvisor>>,
     /// What the advisor's rewrites saved, per cause and device.
     remedy: RemediationStats,
+    /// Per-runtime fault-injection state (no-op unless the config's
+    /// plan is enabled).
+    faults: FaultSession,
     warnings: Vec<RuntimeWarning>,
     open_regions: Vec<OpenRegion>,
     next_target_id: u64,
@@ -165,6 +188,7 @@ impl Runtime {
         } else {
             cfg.profile.capabilities()
         };
+        let faults = cfg.faults.session();
         Runtime {
             cfg,
             caps,
@@ -174,6 +198,7 @@ impl Runtime {
             tool: None,
             advisor: None,
             remedy: RemediationStats::default(),
+            faults,
             warnings: Vec::new(),
             open_regions: Vec::new(),
             next_target_id: 1,
@@ -234,6 +259,12 @@ impl Runtime {
     /// What the advisor's rewrites recovered so far (empty without one).
     pub fn remediation_stats(&self) -> RemediationStats {
         self.remedy.clone()
+    }
+
+    /// Injected-fault totals so far, summed over every runtime sharing
+    /// this config's plan (all zero without a fault plan).
+    pub fn fault_counts(&self) -> FaultCounts {
+        self.faults.plan().counts()
     }
 
     /// Current virtual time.
@@ -696,16 +727,20 @@ impl Runtime {
         let mut taken: Vec<(VarId, u64, Vec<u8>)> = Vec::with_capacity(referenced.len());
         for &var in &referenced {
             let haddr = self.host.addr(var);
-            let entry = dev.present.lookup(haddr).copied().expect(
-                "kernel var is mapped after map_enter (a concurrent \
-                     map(delete:) of a range in use is a program data race)",
-            );
-            let buf = dev
-                .mem
-                .bytes_mut(entry.dev_addr)
-                .expect("mapped buffer exists")
-                .split_off(0);
-            taken.push((var, entry.dev_addr, buf));
+            // A referenced var is mapped after map_enter — unless the
+            // mapping was skipped by a device OOM (or a concurrent
+            // map(delete:), which is a program data race). The kernel
+            // then computes on zeroed scratch storage whose writes are
+            // discarded, instead of tearing the run down.
+            let buf_for = |dev: &mut DeviceState| {
+                let entry = dev.present.lookup(haddr).copied()?;
+                let buf = dev.mem.bytes_mut(entry.dev_addr)?.split_off(0);
+                Some((entry.dev_addr, buf))
+            };
+            match buf_for(&mut dev) {
+                Some((dev_addr, buf)) => taken.push((var, dev_addr, buf)),
+                None => taken.push((var, u64::MAX, vec![0u8; self.host.size(var) as usize])),
+            }
         }
         let access_info = KernelAccessInfo {
             device: DeviceId::target(device),
@@ -795,16 +830,20 @@ impl Runtime {
         let mut taken: Vec<(VarId, u64, Vec<u8>)> = Vec::with_capacity(referenced.len());
         for &var in &referenced {
             let haddr = self.host.addr(var);
-            let entry = dev.present.lookup(haddr).copied().expect(
-                "kernel var is mapped after map_enter (a concurrent \
-                     map(delete:) of a range in use is a program data race)",
-            );
-            let buf = dev
-                .mem
-                .bytes_mut(entry.dev_addr)
-                .expect("mapped buffer exists")
-                .split_off(0);
-            taken.push((var, entry.dev_addr, buf));
+            // A referenced var is mapped after map_enter — unless the
+            // mapping was skipped by a device OOM (or a concurrent
+            // map(delete:), which is a program data race). The kernel
+            // then computes on zeroed scratch storage whose writes are
+            // discarded, instead of tearing the run down.
+            let buf_for = |dev: &mut DeviceState| {
+                let entry = dev.present.lookup(haddr).copied()?;
+                let buf = dev.mem.bytes_mut(entry.dev_addr)?.split_off(0);
+                Some((entry.dev_addr, buf))
+            };
+            match buf_for(&mut dev) {
+                Some((dev_addr, buf)) => taken.push((var, dev_addr, buf)),
+                None => taken.push((var, u64::MAX, vec![0u8; self.host.size(var) as usize])),
+            }
         }
 
         // Instrumentation feed for access-tracking tools.
@@ -1019,7 +1058,12 @@ impl Runtime {
                     });
                     return;
                 }
-                let dev_addr = self.do_alloc(&mut dev, device, m.var, target_id, codeptr);
+                let Some(dev_addr) = self.do_alloc(&mut dev, device, m.var, target_id, codeptr)
+                else {
+                    // Device OOM: the mapping is skipped; the kernel
+                    // path substitutes scratch storage.
+                    return;
+                };
                 dev.present.insert(haddr, dev_addr, self.host.size(m.var));
                 if m.map_type.copies_to_device() {
                     match advice.skip_to {
@@ -1148,6 +1192,11 @@ impl Runtime {
     // Primitive data operations (each = one OMPT data-op event)
     // ---------------------------------------------------------------
 
+    /// Allocate device memory for `var`. Returns `None` — with a
+    /// [`RuntimeWarning::DeviceOutOfMemory`] recorded and no event
+    /// emitted — when capacity is exhausted or an injected OOM fault
+    /// fires; the caller skips the mapping and the run degrades
+    /// gracefully instead of panicking.
     fn do_alloc(
         &mut self,
         dev: &mut DeviceState,
@@ -1155,12 +1204,20 @@ impl Runtime {
         var: VarId,
         target_id: u64,
         codeptr: CodePtr,
-    ) -> u64 {
+    ) -> Option<u64> {
         let bytes = self.host.size(var);
-        let dev_addr = dev
-            .mem
-            .alloc(bytes)
-            .expect("simulated device out of memory");
+        let dev_addr = if self.faults.alloc_fails() {
+            None
+        } else {
+            dev.mem.alloc(bytes)
+        };
+        let Some(dev_addr) = dev_addr else {
+            self.warnings.push(RuntimeWarning::DeviceOutOfMemory {
+                var: self.host.var(var).name.clone(),
+                bytes,
+            });
+            return None;
+        };
         let t0 = self.clock;
         let dur = self.cfg.timing.alloc.alloc_duration(bytes);
         self.clock += dur;
@@ -1181,7 +1238,7 @@ impl Runtime {
             self.clock,
             None,
         );
-        dev_addr
+        Some(dev_addr)
     }
 
     fn do_delete(
@@ -1242,6 +1299,7 @@ impl Runtime {
             let n = src.len().min(buf.len());
             buf[..n].copy_from_slice(&src[..n]);
         }
+        self.absorb_transfer_retries(var, bytes, true);
         let t0 = self.clock;
         let dur = self.cfg.timing.transfer_duration(bytes, true);
         self.clock += dur;
@@ -1291,6 +1349,7 @@ impl Runtime {
             let n = copy.len().min(host.len());
             host[..n].copy_from_slice(&copy[..n]);
         }
+        self.absorb_transfer_retries(var, bytes, false);
         let t0 = self.clock;
         let dur = self.cfg.timing.transfer_duration(bytes, false);
         self.clock += dur;
@@ -1313,6 +1372,33 @@ impl Runtime {
             t1,
             var,
         );
+    }
+
+    /// Consult the fault plan for injected transfer failures: each
+    /// failed attempt costs a full flight plus exponential backoff
+    /// before the retry, absorbed into the clock ahead of the
+    /// successful attempt (whose event span stays clean).
+    fn absorb_transfer_retries(&mut self, var: VarId, bytes: u64, h2d: bool) {
+        let failures = self.faults.transfer_failures();
+        if failures == 0 {
+            return;
+        }
+        let flight = self.cfg.timing.transfer_duration(bytes, h2d);
+        let latency = if h2d {
+            self.cfg.timing.h2d.latency_ns
+        } else {
+            self.cfg.timing.d2h.latency_ns
+        };
+        let mut penalty = SimDuration(0);
+        for attempt in 0..failures {
+            penalty += flight + SimDuration(latency << attempt);
+        }
+        self.clock += penalty;
+        self.stats.transfer_time += penalty;
+        self.warnings.push(RuntimeWarning::TransferRetried {
+            var: self.host.var(var).name.clone(),
+            attempts: failures,
+        });
     }
 
     // ---------------------------------------------------------------
@@ -1404,6 +1490,12 @@ impl Runtime {
         if !emi && !legacy {
             return;
         }
+        let fault = self.faults.on_data_op(false);
+        let device = if fault == DataOpFault::CorruptDevice {
+            device + CORRUPT_DEVICE_OFFSET
+        } else {
+            device
+        };
         let (src_device, dest_device) = device_endpoints(optype, device);
         let mk = |endpoint, time, payload| DataOpCallback {
             endpoint,
@@ -1420,9 +1512,16 @@ impl Runtime {
             payload,
         };
         if emi {
-            slot.tool.on_data_op(&mk(Endpoint::Begin, t0, None));
-            slot.tool.on_data_op(&mk(Endpoint::End, t1, payload));
-        } else {
+            if fault != DataOpFault::DropBegin {
+                slot.tool.on_data_op(&mk(Endpoint::Begin, t0, None));
+            }
+            if fault != DataOpFault::DropEnd {
+                slot.tool.on_data_op(&mk(Endpoint::End, t1, payload));
+                if fault == DataOpFault::DuplicateEnd {
+                    slot.tool.on_data_op(&mk(Endpoint::End, t1, payload));
+                }
+            }
+        } else if fault != DataOpFault::DropBegin {
             // Begin-only, and the payload is observable at start for a
             // pointer-chasing tool, so hand it over here.
             slot.tool.on_data_op(&mk(Endpoint::Begin, t0, payload));
@@ -1454,9 +1553,32 @@ impl Runtime {
         if !emi && !legacy {
             return;
         }
+        let fault = self.faults.on_data_op(true);
+        let device = if fault == DataOpFault::CorruptDevice {
+            device + CORRUPT_DEVICE_OFFSET
+        } else {
+            device
+        };
         // For H2D the host copy *is* the payload; for D2H we just copied
         // the device bytes into the host var, so it is content-identical.
-        let payload = self.host.bytes(var);
+        // Payload faults operate on an owned copy so host memory itself
+        // stays intact.
+        let owned: Option<Vec<u8>> = match fault {
+            DataOpFault::TruncatePayload => {
+                let p = self.host.bytes(var);
+                Some(p[..p.len() / 2].to_vec())
+            }
+            DataOpFault::CorruptPayload => {
+                let mut p = self.host.bytes(var).to_vec();
+                flip_payload_bit(&mut p, host_op_id);
+                Some(p)
+            }
+            _ => None,
+        };
+        let payload = match owned.as_deref() {
+            Some(p) => p,
+            None => self.host.bytes(var),
+        };
         let (src_device, dest_device) = device_endpoints(optype, device);
         let mk = |endpoint, time, payload| DataOpCallback {
             endpoint,
@@ -1473,9 +1595,16 @@ impl Runtime {
             payload,
         };
         if emi {
-            slot.tool.on_data_op(&mk(Endpoint::Begin, t0, None));
-            slot.tool.on_data_op(&mk(Endpoint::End, t1, Some(payload)));
-        } else {
+            if fault != DataOpFault::DropBegin {
+                slot.tool.on_data_op(&mk(Endpoint::Begin, t0, None));
+            }
+            if fault != DataOpFault::DropEnd {
+                slot.tool.on_data_op(&mk(Endpoint::End, t1, Some(payload)));
+                if fault == DataOpFault::DuplicateEnd {
+                    slot.tool.on_data_op(&mk(Endpoint::End, t1, Some(payload)));
+                }
+            }
+        } else if fault != DataOpFault::DropBegin {
             slot.tool
                 .on_data_op(&mk(Endpoint::Begin, t0, Some(payload)));
         }

@@ -54,7 +54,10 @@ where
             .into_iter()
             .enumerate()
             .map(|(i, tool)| {
-                let cfg = cfg.clone();
+                let mut cfg = cfg.clone();
+                // Each shard draws an independent, reproducible fault
+                // stream; totals stay shared across the shards.
+                cfg.faults = cfg.faults.for_shard(i as u32);
                 scope.spawn(move || {
                     let mut rt = Runtime::new(cfg);
                     rt.attach_tool(tool);
@@ -127,7 +130,8 @@ where
             .zip(advisors)
             .enumerate()
             .map(|(i, (tool, advisor))| {
-                let cfg = cfg.clone();
+                let mut cfg = cfg.clone();
+                cfg.faults = cfg.faults.for_shard(i as u32);
                 let devices = devices.clone();
                 scope.spawn(move || {
                     let mut rt = Runtime::with_shared_devices(cfg, devices);

@@ -109,6 +109,9 @@ pub fn to_chrome_trace(log: &TraceLog) -> String {
         #[serde(rename = "displayTimeUnit")]
         display_time_unit: &'static str,
     }
+    // Invariant, not event data: `Root` is built from plain
+    // serializable types; serialization cannot fail.
+    #[allow(clippy::expect_used)]
     serde_json::to_string_pretty(&Root {
         trace_events: events,
         display_time_unit: "ns",

@@ -73,6 +73,9 @@ impl<T> ChunkedVec<T> {
             self.starts.push(self.len);
             self.chunks.push(Vec::with_capacity(cap));
         }
+        // Invariant, not event data: the branch above just pushed a
+        // chunk whenever `chunks` was empty or full.
+        #[allow(clippy::expect_used)]
         self.chunks.last_mut().expect("chunk exists").push(value);
         self.len += 1;
     }

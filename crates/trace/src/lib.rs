@@ -28,6 +28,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Event-data paths must quarantine-and-count malformed input, never
+// panic on it. The few remaining `expect`s are real invariants, each
+// carrying an explicit allow + justification at the call site.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod chrome;
 pub mod chunked;

@@ -53,6 +53,9 @@ pub struct TraceLog {
     /// Merged logs are read-only: hydration, stats, and export walk the
     /// shards; `record_*` must not be called on them.
     shards: Vec<TraceLog>,
+    /// Event ids claimed by more than one shard record (shard-id
+    /// collisions detected at merge; see `merge_shards`).
+    duplicate_ids: u64,
     peak_alloc_bytes: usize,
     total_time: SimDuration,
     /// Memoized chronological hydration of `data_ops`.
@@ -98,9 +101,19 @@ impl TraceLog {
     /// chronological order — `(start, shard, per-shard seq)` — is
     /// independent of thread scheduling. A single shard is returned
     /// unchanged.
+    ///
+    /// Producers are not trusted to keep shard ids unique: when two
+    /// shard logs claim the same shard id, their dense per-shard
+    /// sequences collide and the overlapping records would previously
+    /// have been silently double-counted. The merge now detects the
+    /// collision and counts every duplicated `(shard, seq)` id in
+    /// [`TraceLog::duplicate_id_count`], so downstream health
+    /// accounting can quarantine rather than trust them.
     pub fn merge_shards(mut shards: Vec<TraceLog>) -> TraceLog {
         if shards.len() == 1 {
-            return shards.pop().expect("checked length");
+            if let Some(only) = shards.pop() {
+                return only;
+            }
         }
         let total_time = shards
             .iter()
@@ -108,12 +121,30 @@ impl TraceLog {
             .max()
             .unwrap_or_default();
         let peak = shards.iter().map(|s| s.peak_alloc_bytes).sum();
+        // Shards sharing an id_base have dense seqs 0..next_seq, so the
+        // ids duplicated by a colliding group are everything beyond the
+        // group's widest shard: Σ next_seq − max next_seq.
+        let mut by_base: std::collections::BTreeMap<u64, (u64, u64)> =
+            std::collections::BTreeMap::new();
+        for s in &shards {
+            let entry = by_base.entry(s.id_base).or_insert((0, 0));
+            entry.0 += s.next_seq as u64;
+            entry.1 = entry.1.max(s.next_seq as u64);
+        }
+        let duplicate_ids = by_base.values().map(|(sum, max)| sum - max).sum();
         TraceLog {
             shards,
             total_time,
             peak_alloc_bytes: peak,
+            duplicate_ids,
             ..Self::default()
         }
+    }
+
+    /// Event ids claimed by more than one record across the merged
+    /// shard set (0 for a well-formed shard set or a plain log).
+    pub fn duplicate_id_count(&self) -> u64 {
+        self.duplicate_ids
     }
 
     /// Is this a merged (read-only) log?
@@ -403,6 +434,9 @@ impl TraceLog {
             "targets": self.target_events_sorted(),
             "total_time_ns": self.total_time.as_nanos(),
         });
+        // Invariant, not event data: the export tree is built from
+        // plain serializable types; serialization cannot fail.
+        #[allow(clippy::expect_used)]
         serde_json::to_string_pretty(&export).expect("trace serialization cannot fail")
     }
 }
@@ -750,6 +784,22 @@ mod tests {
         assert_eq!(space.target_records, 2);
         assert!(space.record_bytes >= 3 * 72 + 2 * 24);
         assert_eq!(merged.kernel_events().len(), 2);
+    }
+
+    #[test]
+    fn merge_counts_duplicate_ids_from_colliding_shards() {
+        // Two producers mistakenly claim shard 1: their dense seqs
+        // collide, so the smaller shard's records (2 ops + 1 kernel)
+        // all duplicate ids the larger shard already claimed.
+        let a = shard_with_ops(1, &[0, 10, 20]);
+        let b = shard_with_ops(1, &[5, 15]);
+        let c = shard_with_ops(2, &[7]);
+        let merged = TraceLog::merge_shards(vec![a, b, c]);
+        assert_eq!(merged.duplicate_id_count(), 3);
+
+        let clean =
+            TraceLog::merge_shards(vec![shard_with_ops(0, &[0, 10]), shard_with_ops(1, &[5])]);
+        assert_eq!(clean.duplicate_id_count(), 0, "unique shards are clean");
     }
 
     #[test]

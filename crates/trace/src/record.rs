@@ -103,8 +103,12 @@ impl DataOpRecord {
             hash: hash.unwrap_or(0),
             codeptr: codeptr.0,
             seq,
-            src_dev: src_dev.raw() as i16,
-            dest_dev: dest_dev.raw() as i16,
+            // Device ids come from untrusted callbacks and the record
+            // narrows them to i16: saturate instead of wrapping, so a
+            // corrupt id (e.g. 0x4000_0000) stays visibly out of range
+            // after hydration rather than aliasing a real device.
+            src_dev: src_dev.raw().clamp(i16::MIN as i32, i16::MAX as i32) as i16,
+            dest_dev: dest_dev.raw().clamp(i16::MIN as i32, i16::MAX as i32) as i16,
             kind: encode_data_op_kind(kind),
             flags: if hash.is_some() { FLAG_HAS_HASH } else { 0 },
             _pad: [0; 6],

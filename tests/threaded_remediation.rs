@@ -379,6 +379,7 @@ fn cross_thread_phantom_reference_adoption_is_sound() {
         codeptr: CodePtr(0x10),
         alloc: 1,
         occurrence: 2,
+        confidence: ompdataperf::Confidence::Confirmed,
     });
 
     let (tool, handle) = OmpDataPerfTool::new(ToolConfig::default());
