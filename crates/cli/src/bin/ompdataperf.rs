@@ -126,6 +126,8 @@ fn main() -> ExitCode {
         stall_timeout: parsed
             .stall_timeout_ms
             .map(std::time::Duration::from_millis),
+        ring_capacity: None,
+        publish_every: None,
     });
 
     // Live report consumer: drains findings while the program runs and

@@ -5,7 +5,7 @@ use crate::detect::{EventView, Findings};
 use crate::predict::predict;
 use crate::report::{build_sections, Report};
 use odp_model::{DataOpEvent, TargetEvent};
-use odp_trace::TraceLog;
+use odp_trace::{ColumnarView, TraceLog};
 
 /// Infer the number of target devices from the event stream (the tool
 /// decodes traces offline and cannot ask the runtime).
@@ -29,6 +29,29 @@ pub fn infer_num_devices(data_ops: &[DataOpEvent], kernels: &[TargetEvent]) -> u
     }
     for k in kernels {
         if let Some(ix) = k.device.target_index() {
+            if (ix as i64) < cap {
+                max_ix = max_ix.max(ix as i64);
+            }
+        }
+    }
+    (max_ix + 1).max(1) as u32
+}
+
+/// [`infer_num_devices`] over the columnar hydration: same cap, same
+/// result, but streaming over the dense device columns instead of row
+/// slices (the `EventView::from_log` fast path).
+pub fn infer_num_devices_columnar(cols: &ColumnarView) -> u32 {
+    let cap = crate::detect::MAX_PLAUSIBLE_DEVICES as i64;
+    let mut max_ix: i64 = -1;
+    for d in cols.ops.src_devices.iter().chain(&cols.ops.dest_devices) {
+        if let Some(ix) = d.target_index() {
+            if (ix as i64) < cap {
+                max_ix = max_ix.max(ix as i64);
+            }
+        }
+    }
+    for d in &cols.kernels.devices {
+        if let Some(ix) = d.target_index() {
             if (ix as i64) < cap {
                 max_ix = max_ix.max(ix as i64);
             }

@@ -10,16 +10,19 @@
 //! million-event scale that redundancy dominates analysis time.
 //!
 //! This engine hydrates the trace **once** into a shared [`EventView`]
-//! — borrowed, chronologically sorted event slices plus the side tables
-//! every algorithm needs (per-`(hash, dest)` reception queues,
-//! alloc/delete pairing, per-device partitions) — built in a single
-//! linear indexing sweep. Detection then runs one more chronological
-//! sweep in which all five algorithms advance as incremental state
-//! machines over `&DataOpEvent` references, producing *index-based*
-//! findings ([`IndexFindings`]): no event is cloned during detection.
-//! Owned [`Findings`] (byte-identical to the standalone detectors'
-//! output, group order included) are materialized only at the report
-//! boundary via [`IndexFindings::resolve`].
+//! — a thin facade over the struct-of-arrays
+//! [`odp_trace::ColumnarView`] (one dense column per event field) plus
+//! the side tables every algorithm needs (per-`(hash, dest)` reception
+//! queues, alloc/delete pairing, per-device partitions) — built in a
+//! single linear indexing sweep. Detection then runs one more
+//! chronological sweep in which all five algorithms advance as
+//! incremental state machines reading only the columns they need (a
+//! hash here, a start time there — never a whole ~96-byte row),
+//! producing *index-based* findings ([`IndexFindings`]): no event is
+//! materialized during detection. Owned [`Findings`] (byte-identical
+//! to the standalone detectors' output, group order included) are
+//! gathered from the columns only at the report boundary via
+//! [`IndexFindings::resolve`].
 //!
 //! Equivalence with the five independent passes is enforced by the
 //! differential test suite in `crates/core/tests/fused_differential.rs`
@@ -31,10 +34,11 @@ use crate::detect::{
     RoundTripGroup, UnusedAlloc, UnusedTransfer, UnusedTransferReason,
 };
 use odp_hash::fnv::FnvHashMap;
-use odp_model::{DataOpEvent, DeviceId, HashVal, SimTime, TargetEvent};
-use odp_trace::TraceLog;
+use odp_model::{DataOpEvent, DataOpKind, DeviceId, HashVal, SimTime, TargetEvent};
+use odp_trace::{ColumnarView, DataOpColumns, TargetColumns, TraceLog};
 
-/// Index of an event in [`EventView::data_ops`] (chronological order).
+/// Index of an event in the view's data-op columns (chronological
+/// order).
 pub type OpIx = u32;
 
 /// Upper bound on a *plausible* target-device index. Device numbers come
@@ -90,13 +94,95 @@ impl OutOfRangeEvents {
     }
 }
 
-/// One reception queue: every transfer of one `(hash, dest_device)`
-/// pair, chronological. Shared by Algorithms 1 (whole queue = duplicate
-/// group) and 2 (FIFO of pending receptions).
+/// One reception queue key: a `(hash, dest_device)` pair. The queue's
+/// events live in the view's CSR arrays (`rx_events`/`rx_bounds`) —
+/// one flat allocation for every queue instead of a `Vec` per slot,
+/// which on a trace with mostly-unique hashes would mean one heap
+/// allocation per transfer. Shared by Algorithms 1 (whole queue =
+/// duplicate group) and 2 (FIFO of pending receptions).
 struct RxSlot {
     hash: HashVal,
     dest: DeviceId,
-    events: Vec<OpIx>,
+}
+
+/// Avalanche mix of a reception-queue key for the Bloom filter: every
+/// input bit influences the selected bit, so structured hash values
+/// (sequential counters, small pools) spread evenly.
+#[inline]
+fn rx_key_mix(hash: HashVal, dev: DeviceId) -> u64 {
+    let mut x = hash
+        .0
+        .wrapping_add((dev.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x
+}
+
+/// Open-addressed `(hash, dest_device)` → `rx_slots` index: linear
+/// probing over a power-of-two table sized to ≤50% load for the
+/// trace's hashed-transfer count (so it never grows), `u32::MAX` =
+/// empty. The probe position comes from [`rx_key_mix`], which the
+/// build pass and Algorithm 2 already compute for the Bloom filter —
+/// indexing a key costs no second hash. Keys live in `rx_slots`
+/// itself; the table stores only the 4-byte slot index, so a probe
+/// touches one dense array.
+struct RxIndex {
+    mask: usize,
+    slots: Box<[u32]>,
+}
+
+impl RxIndex {
+    fn with_capacity(keys: usize) -> RxIndex {
+        let cap = (keys * 2).next_power_of_two().max(16);
+        RxIndex {
+            mask: cap - 1,
+            slots: vec![u32::MAX; cap].into_boxed_slice(),
+        }
+    }
+
+    #[inline]
+    fn get(&self, mix: u64, hash: HashVal, dest: DeviceId, rx_slots: &[RxSlot]) -> Option<u32> {
+        let mut i = mix as usize & self.mask;
+        loop {
+            let s = self.slots[i];
+            if s == u32::MAX {
+                return None;
+            }
+            let key = &rx_slots[s as usize];
+            if key.hash == hash && key.dest == dest {
+                return Some(s);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Find the slot for a key, appending a fresh [`RxSlot`] (preserving
+    /// first-seen slot order) when the key is new.
+    #[inline]
+    fn find_or_insert(
+        &mut self,
+        mix: u64,
+        hash: HashVal,
+        dest: DeviceId,
+        rx_slots: &mut Vec<RxSlot>,
+    ) -> u32 {
+        let mut i = mix as usize & self.mask;
+        loop {
+            let s = self.slots[i];
+            if s == u32::MAX {
+                let slot = rx_slots.len() as u32;
+                rx_slots.push(RxSlot { hash, dest });
+                self.slots[i] = slot;
+                return slot;
+            }
+            let key = &rx_slots[s as usize];
+            if key.hash == hash && key.dest == dest {
+                return s;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
 }
 
 /// An alloc/delete pairing by event index (the zero-copy counterpart of
@@ -106,23 +192,43 @@ struct IdxPair {
     delete: Option<OpIx>,
 }
 
+/// The columnar event source behind an [`EventView`]: either the trace
+/// log's memoized hydration (borrowed — the zero-copy `from_log` path)
+/// or columns built from caller-provided row slices.
+enum ColsSource<'a> {
+    Borrowed(&'a ColumnarView),
+    Owned(Box<ColumnarView>),
+}
+
 /// The shared, hydrated, indexed view of one trace.
 ///
-/// Borrows the chronologically sorted event slices (from the trace
-/// log's memoized hydration, or from caller-owned vectors) and carries
-/// the side tables that the fused sweep shares across all five
-/// algorithms. Building the view is one linear pass over each slice.
+/// A thin facade over the struct-of-arrays [`ColumnarView`] (borrowed
+/// from the trace log's memoized hydration, or built from caller-owned
+/// slices) carrying the side tables that the fused sweep shares across
+/// all five algorithms. Building the view is one linear pass over the
+/// columns; the sweeps then stream over exactly the columns each state
+/// machine reads.
 pub struct EventView<'a> {
-    /// Data-op events, sorted by (start, log order).
-    pub data_ops: &'a [DataOpEvent],
-    /// Kernel-execution events, sorted by (start, log order).
-    pub kernels: &'a [TargetEvent],
+    /// Columnar events, `(start, log order)`-sorted.
+    source: ColsSource<'a>,
     /// Number of target devices analyzed (Algorithms 4/5 iterate these).
     pub num_devices: u32,
-    /// Reception queues in first-seen key order.
+    /// Reception queue keys in first-seen key order.
     rx_slots: Vec<RxSlot>,
+    /// CSR storage for the reception queues: slot `s` holds the
+    /// chronological event indices `rx_events[rx_bounds[s]..rx_bounds[s+1]]`.
+    rx_events: Vec<OpIx>,
+    /// Queue boundaries into `rx_events` (`rx_slots.len() + 1` entries).
+    rx_bounds: Vec<u32>,
     /// `(hash, dest_device)` → index into `rx_slots`.
-    rx_index: FnvHashMap<(HashVal, DeviceId), u32>,
+    rx_index: RxIndex,
+    /// One-hash Bloom filter over the reception-queue keys (~8 bits per
+    /// key). Algorithm 2 probes the reception index once per hashed
+    /// transfer, and on real traces almost all probes miss: the filter
+    /// turns each of those cache-missing map lookups into one hit in a
+    /// table that fits L2. False positives only cost the map lookup
+    /// they would have done anyway.
+    rx_filter: Box<[u64]>,
     /// Chronological indices of hashed transfers (the only events
     /// Algorithms 1/2 look at), so the round-trip sweep skips straight
     /// over allocs, deletes, and hashless transfers.
@@ -144,20 +250,41 @@ pub struct EventView<'a> {
 }
 
 impl<'a> EventView<'a> {
-    /// Build the view from sorted event slices. One linear pass over
-    /// `kernels` and one over `data_ops`; no event is cloned.
+    /// Build the view from sorted event slices: the events are
+    /// scattered into owned columns, then indexed. The `from_log` path
+    /// borrows the log's memoized columns instead.
     pub fn new(
         data_ops: &'a [DataOpEvent],
         kernels: &'a [TargetEvent],
         num_devices: u32,
     ) -> EventView<'a> {
+        Self::build(
+            ColsSource::Owned(Box::new(ColumnarView::from_events(data_ops, kernels))),
+            num_devices,
+        )
+    }
+
+    /// Build the view over borrowed columnar hydration (zero-copy).
+    pub fn over(cols: &'a ColumnarView, num_devices: u32) -> EventView<'a> {
+        Self::build(ColsSource::Borrowed(cols), num_devices)
+    }
+
+    /// The single indexing pass: stream over the kind/hash/device/addr
+    /// columns and build every side table the five sweeps share.
+    fn build(source: ColsSource<'a>, num_devices: u32) -> EventView<'a> {
+        let cols = match &source {
+            ColsSource::Borrowed(c) => *c,
+            ColsSource::Owned(b) => b,
+        };
+        let ops = &cols.ops;
+        let kerns = &cols.kernels;
         let nd = num_devices as usize;
 
         let mut out_of_range = OutOfRangeEvents::default();
 
         let mut kernels_by_device: Vec<Vec<u32>> = vec![Vec::new(); nd];
-        for (kx, k) in kernels.iter().enumerate() {
-            if let Some(ix) = k.device.target_index() {
+        for (kx, d) in kerns.devices.iter().enumerate() {
+            if let Some(ix) = d.target_index() {
                 if ix < nd {
                     kernels_by_device[ix].push(kx as u32);
                 } else {
@@ -166,21 +293,23 @@ impl<'a> EventView<'a> {
             }
         }
 
-        // A cheap counting pass (no hashing) sizes the tables up front,
-        // so the build pass never rehashes.
+        // A cheap counting pass over two dense columns (no hashing)
+        // sizes the tables up front, so the build pass never rehashes.
         let mut n_hashed_tx = 0usize;
         let mut n_allocs = 0usize;
-        for e in data_ops {
-            if e.is_transfer() && e.hash.is_some() {
+        for (kind, hash) in ops.kinds.iter().zip(&ops.hashes) {
+            if *kind == DataOpKind::Transfer && hash.is_some() {
                 n_hashed_tx += 1;
-            } else if e.is_alloc() {
+            } else if *kind == DataOpKind::Alloc {
                 n_allocs += 1;
             }
         }
 
         let mut rx_slots: Vec<RxSlot> = Vec::with_capacity(n_hashed_tx.min(1 << 16));
-        let mut rx_index: FnvHashMap<(HashVal, DeviceId), u32> =
-            FnvHashMap::with_capacity_and_hasher(n_hashed_tx, Default::default());
+        let mut rx_counts: Vec<u32> = Vec::with_capacity(n_hashed_tx.min(1 << 16));
+        let mut rx_index = RxIndex::with_capacity(n_hashed_tx);
+        let filter_words = ((n_hashed_tx * 8).next_power_of_two() / 64).clamp(16, 1 << 17);
+        let mut rx_filter = vec![0u64; filter_words].into_boxed_slice();
         let mut hashed_transfers: Vec<OpIx> = Vec::with_capacity(n_hashed_tx);
         let mut dest_slot: Vec<u32> = Vec::with_capacity(n_hashed_tx);
         let mut pairs: Vec<IdxPair> = Vec::with_capacity(n_allocs);
@@ -189,58 +318,84 @@ impl<'a> EventView<'a> {
         let mut tx_by_device: Vec<Vec<OpIx>> = vec![Vec::new(); nd];
         let mut pairs_by_device: Vec<Vec<u32>> = vec![Vec::new(); nd];
 
-        for (ox, e) in data_ops.iter().enumerate() {
+        for (ox, &kind) in ops.kinds.iter().enumerate() {
             let ox = ox as OpIx;
-            if e.is_transfer() {
-                if let Some(hash) = e.hash {
-                    let slot = *rx_index.entry((hash, e.dest_device)).or_insert_with(|| {
-                        rx_slots.push(RxSlot {
-                            hash,
-                            dest: e.dest_device,
-                            events: Vec::new(),
-                        });
-                        (rx_slots.len() - 1) as u32
+            match kind {
+                DataOpKind::Transfer => {
+                    let dest = ops.dest_devices[ox as usize];
+                    if let Some(hash) = ops.hashes[ox as usize] {
+                        let mix = rx_key_mix(hash, dest);
+                        rx_filter[(mix as usize >> 6) & (filter_words - 1)] |= 1 << (mix % 64);
+                        let slot = rx_index.find_or_insert(mix, hash, dest, &mut rx_slots);
+                        if slot as usize == rx_counts.len() {
+                            rx_counts.push(0);
+                        }
+                        rx_counts[slot as usize] += 1;
+                        hashed_transfers.push(ox);
+                        dest_slot.push(slot);
+                    }
+                    if let Some(ix) = dest.target_index() {
+                        if ix < nd {
+                            tx_by_device[ix].push(ox);
+                        } else {
+                            out_of_range.transfers += 1;
+                        }
+                    }
+                }
+                DataOpKind::Alloc => {
+                    let dest = ops.dest_devices[ox as usize];
+                    let pair_ix = pairs.len() as u32;
+                    // A new allocation at an address shadows any stale
+                    // open entry (same contract as `alloc_delete_pairs`).
+                    open.insert((dest, ops.dest_addrs[ox as usize]), pair_ix);
+                    pairs.push(IdxPair {
+                        alloc: ox,
+                        delete: None,
                     });
-                    rx_slots[slot as usize].events.push(ox);
-                    hashed_transfers.push(ox);
-                    dest_slot.push(slot);
-                }
-                if let Some(ix) = e.dest_device.target_index() {
-                    if ix < nd {
-                        tx_by_device[ix].push(ox);
-                    } else {
-                        out_of_range.transfers += 1;
+                    if let Some(ix) = dest.target_index() {
+                        if ix < nd {
+                            pairs_by_device[ix].push(pair_ix);
+                        } else {
+                            out_of_range.allocs += 1;
+                        }
                     }
                 }
-            } else if e.is_alloc() {
-                let pair_ix = pairs.len() as u32;
-                // A new allocation at an address shadows any stale open
-                // entry (same contract as `alloc_delete_pairs`).
-                open.insert((e.dest_device, e.dest_addr), pair_ix);
-                pairs.push(IdxPair {
-                    alloc: ox,
-                    delete: None,
-                });
-                if let Some(ix) = e.dest_device.target_index() {
-                    if ix < nd {
-                        pairs_by_device[ix].push(pair_ix);
-                    } else {
-                        out_of_range.allocs += 1;
+                DataOpKind::Delete => {
+                    let key = (ops.dest_devices[ox as usize], ops.dest_addrs[ox as usize]);
+                    if let Some(pair_ix) = open.remove(&key) {
+                        pairs[pair_ix as usize].delete = Some(ox);
                     }
                 }
-            } else if e.is_delete() {
-                if let Some(pair_ix) = open.remove(&(e.dest_device, e.dest_addr)) {
-                    pairs[pair_ix as usize].delete = Some(ox);
-                }
+                _ => {}
             }
         }
 
+        // Second, hash-free pass: prefix-sum the queue lengths into CSR
+        // bounds and scatter the hashed transfers into their queues —
+        // chronological within each queue because `hashed_transfers` is.
+        let mut rx_bounds: Vec<u32> = Vec::with_capacity(rx_slots.len() + 1);
+        let mut acc = 0u32;
+        rx_bounds.push(0);
+        for &c in &rx_counts {
+            acc += c;
+            rx_bounds.push(acc);
+        }
+        let mut cursor: Vec<u32> = rx_bounds[..rx_slots.len()].to_vec();
+        let mut rx_events: Vec<OpIx> = vec![0; hashed_transfers.len()];
+        for (&ox, &slot) in hashed_transfers.iter().zip(&dest_slot) {
+            let c = &mut cursor[slot as usize];
+            rx_events[*c as usize] = ox;
+            *c += 1;
+        }
+
         EventView {
-            data_ops,
-            kernels,
+            source,
             num_devices,
             rx_slots,
+            rx_events,
+            rx_bounds,
             rx_index,
+            rx_filter,
             hashed_transfers,
             dest_slot,
             pairs,
@@ -259,33 +414,69 @@ impl<'a> EventView<'a> {
         self.out_of_range
     }
 
-    /// Build a view over a trace log's memoized hydrations, inferring
-    /// the device count from the events.
+    /// Build a view over a trace log's memoized columnar hydration
+    /// (zero-copy borrow), inferring the device count from the columns.
     pub fn from_log(log: &'a TraceLog) -> EventView<'a> {
-        let data_ops = log.data_op_events_sorted();
-        let kernels = log.kernel_events_sorted();
-        let num_devices = crate::analysis::infer_num_devices(data_ops, kernels);
-        EventView::new(data_ops, kernels, num_devices)
+        let cols = log.columnar();
+        let num_devices = crate::analysis::infer_num_devices_columnar(cols);
+        EventView::over(cols, num_devices)
     }
 
-    /// The event behind an index.
+    /// The columnar event source (shared by every consumer of this
+    /// view: the fused sweeps, streaming finalize, resolution).
     #[inline]
-    pub fn op(&self, ix: OpIx) -> &DataOpEvent {
-        &self.data_ops[ix as usize]
+    pub fn cols(&self) -> &ColumnarView {
+        match &self.source {
+            ColsSource::Borrowed(c) => c,
+            ColsSource::Owned(b) => b,
+        }
+    }
+
+    /// Data-op columns, `(start, log order)`-sorted.
+    #[inline]
+    pub fn ops(&self) -> &DataOpColumns {
+        &self.cols().ops
+    }
+
+    /// Kernel-execution columns, `(start, log order)`-sorted.
+    #[inline]
+    pub fn kernels(&self) -> &TargetColumns {
+        &self.cols().kernels
+    }
+
+    /// Number of data-op events in the view.
+    #[inline]
+    pub fn op_count(&self) -> usize {
+        self.ops().len()
+    }
+
+    /// Gather the event behind an index into an owned row (report
+    /// boundary only — the sweeps read individual columns instead).
+    #[inline]
+    pub fn op(&self, ix: OpIx) -> DataOpEvent {
+        self.ops().event(ix as usize)
+    }
+
+    /// Reception queue `s`: chronological hashed-transfer indices with
+    /// the slot's `(hash, dest_device)` key (CSR slice).
+    #[inline]
+    fn rx_queue(&self, s: u32) -> &[OpIx] {
+        &self.rx_events
+            [self.rx_bounds[s as usize] as usize..self.rx_bounds[s as usize + 1] as usize]
     }
 
     /// End of a pairing's lifetime (delete end, or program end for
     /// never-freed allocations) — `AllocDeletePair::lifetime_end`.
     fn pair_lifetime_end(&self, p: &IdxPair) -> SimTime {
         p.delete
-            .map(|d| self.op(d).span.end)
+            .map(|d| self.ops().ends[d as usize])
             .unwrap_or(SimTime(u64::MAX))
     }
 
     fn resolve_pair(&self, p: &IdxPair) -> AllocDeletePair {
         AllocDeletePair {
-            alloc: self.op(p.alloc).clone(),
-            delete: p.delete.map(|d| self.op(d).clone()),
+            alloc: self.op(p.alloc),
+            delete: p.delete.map(|d| self.op(d)),
         }
     }
 }
@@ -303,6 +494,11 @@ pub struct IndexFindings {
     duplicates: Vec<u32>,
     /// Algorithm 2: round-trip groups.
     round_trips: Vec<IdxRoundTripGroup>,
+    /// Flat arena of `(outbound leg, completing reception, next)` trip
+    /// records: every group's trips as an intrusive chain, so a trace
+    /// with thousands of one-trip groups costs zero per-group heap
+    /// allocations (`u32::MAX` terminates a chain).
+    rt_trips: Vec<(OpIx, OpIx, u32)>,
     /// Algorithm 3: repeated-allocation groups.
     repeated_allocs: Vec<IdxRepeatedAllocGroup>,
     /// Algorithm 4: unused allocations as `pairs` indices.
@@ -315,8 +511,10 @@ struct IdxRoundTripGroup {
     hash: HashVal,
     src: DeviceId,
     dest: DeviceId,
-    /// (outbound leg, completing reception) pairs.
-    trips: Vec<(OpIx, OpIx)>,
+    /// Chronological trip chain through [`IndexFindings::rt_trips`].
+    head: u32,
+    tail: u32,
+    len: u32,
 }
 
 struct IdxRepeatedAllocGroup {
@@ -335,9 +533,9 @@ impl IndexFindings {
             dd: self
                 .duplicates
                 .iter()
-                .map(|&s| view.rx_slots[s as usize].events.len().saturating_sub(1))
+                .map(|&s| view.rx_queue(s).len().saturating_sub(1))
                 .sum(),
-            rt: self.round_trips.iter().map(|g| g.trips.len()).sum(),
+            rt: self.round_trips.iter().map(|g| g.len as usize).sum(),
             ra: self
                 .repeated_allocs
                 .iter()
@@ -360,7 +558,7 @@ impl IndexFindings {
                     DuplicateTransferGroup {
                         hash: slot.hash,
                         dest_device: slot.dest,
-                        events: slot.events.iter().map(|&ox| view.op(ox).clone()).collect(),
+                        events: view.rx_queue(s).iter().map(|&ox| view.op(ox)).collect(),
                         confidence: Confidence::Confirmed,
                     }
                 })
@@ -372,15 +570,20 @@ impl IndexFindings {
                     hash: g.hash,
                     src_device: g.src,
                     dest_device: g.dest,
-                    trips: g
-                        .trips
-                        .iter()
-                        .map(|&(tx, rx)| RoundTrip {
-                            tx: view.op(tx).clone(),
-                            rx: view.op(rx).clone(),
-                            spilled: false,
-                        })
-                        .collect(),
+                    trips: {
+                        let mut trips = Vec::with_capacity(g.len as usize);
+                        let mut t = g.head;
+                        while t != u32::MAX {
+                            let (tx, rx, next) = self.rt_trips[t as usize];
+                            trips.push(RoundTrip {
+                                tx: view.op(tx),
+                                rx: view.op(rx),
+                                spilled: false,
+                            });
+                            t = next;
+                        }
+                        trips
+                    },
                     confidence: Confidence::Confirmed,
                 })
                 .collect(),
@@ -411,7 +614,7 @@ impl IndexFindings {
                 .unused_transfers
                 .iter()
                 .map(|&(ox, reason)| UnusedTransfer {
-                    event: view.op(ox).clone(),
+                    event: view.op(ox),
                     reason,
                     confidence: Confidence::Confirmed,
                 })
@@ -423,20 +626,24 @@ impl IndexFindings {
 /// Run all five detection algorithms over the view in one fused
 /// chronological sweep, returning index-based findings.
 ///
-/// The invariant every state machine below relies on: `view.data_ops`
-/// and `view.kernels` are chronological (start, then log order), and
-/// the per-device / per-key side tables preserve that order as
-/// subsequences. Each algorithm therefore observes events in exactly
-/// the order the standalone detectors do, and the outputs match them
-/// byte for byte — group order, event order within groups, everything.
+/// The invariant every state machine below relies on: the view's
+/// data-op and kernel columns are chronological (start, then log
+/// order), and the per-device / per-key side tables preserve that
+/// order as subsequences. Each algorithm therefore observes events in
+/// exactly the order the standalone detectors do, and the outputs
+/// match them byte for byte — group order, event order within groups,
+/// everything. The sweeps read only the columns they need (hash,
+/// device, address, time), streaming over dense arrays.
 pub fn detect_indexed(view: &EventView<'_>) -> IndexFindings {
     let mut out = IndexFindings::default();
+    let ops = view.ops();
+    let kerns = view.kernels();
 
     // Algorithm 1 — duplicate transfers. The reception queues *are* the
     // groups: first-seen key order, chronological events.
-    for (sx, slot) in view.rx_slots.iter().enumerate() {
-        if slot.events.len() >= 2 {
-            out.duplicates.push(sx as u32);
+    for sx in 0..view.rx_slots.len() as u32 {
+        if view.rx_queue(sx).len() >= 2 {
+            out.duplicates.push(sx);
         }
     }
 
@@ -447,31 +654,51 @@ pub fn detect_indexed(view: &EventView<'_>) -> IndexFindings {
         let mut heads: Vec<usize> = vec![0; view.rx_slots.len()];
         let mut group_ix: FnvHashMap<(HashVal, DeviceId, DeviceId), u32> = FnvHashMap::default();
         for (tix, &ox) in view.hashed_transfers.iter().enumerate() {
-            let e = view.op(ox);
-            let Some(hash) = e.hash else {
+            let Some(hash) = ops.hashes[ox as usize] else {
                 continue; // hashed_transfers holds hashed events only
             };
+            let src = ops.src_devices[ox as usize];
             // A pending reception at the transfer's *source* device
-            // completes a round trip.
-            let Some(&rx_slot) = view.rx_index.get(&(hash, e.src_device)) else {
+            // completes a round trip. Cheap Bloom rejection first: the
+            // overwhelmingly common case is "this data never returns",
+            // and the filter decides that without touching the map.
+            let mix = rx_key_mix(hash, src);
+            if view.rx_filter[(mix as usize >> 6) & (view.rx_filter.len() - 1)] & (1 << (mix % 64))
+                == 0
+            {
+                continue;
+            }
+            let Some(rx_slot) = view.rx_index.get(mix, hash, src, &view.rx_slots) else {
                 continue;
             };
-            let queue = &view.rx_slots[rx_slot as usize].events;
+            let queue = view.rx_queue(rx_slot);
             if heads[rx_slot as usize] >= queue.len() {
                 continue; // queue exhausted: data never returns
             }
             let rx = queue[heads[rx_slot as usize]];
-            let key = (hash, e.src_device, e.dest_device);
+            let dest = ops.dest_devices[ox as usize];
+            let key = (hash, src, dest);
             let gx = *group_ix.entry(key).or_insert_with(|| {
                 out.round_trips.push(IdxRoundTripGroup {
                     hash,
-                    src: e.src_device,
-                    dest: e.dest_device,
-                    trips: Vec::new(),
+                    src,
+                    dest,
+                    head: u32::MAX,
+                    tail: u32::MAX,
+                    len: 0,
                 });
                 (out.round_trips.len() - 1) as u32
             });
-            out.round_trips[gx as usize].trips.push((ox, rx));
+            let trip = out.rt_trips.len() as u32;
+            out.rt_trips.push((ox, rx, u32::MAX));
+            let group = &mut out.round_trips[gx as usize];
+            if group.tail == u32::MAX {
+                group.head = trip;
+            } else {
+                out.rt_trips[group.tail as usize].2 = trip;
+            }
+            group.tail = trip;
+            group.len += 1;
             // Dequeue this transfer from its own destination's queue so
             // it cannot later complete a different round trip. The slot
             // was recorded at enqueue time: no second hash lookup.
@@ -484,18 +711,28 @@ pub fn detect_indexed(view: &EventView<'_>) -> IndexFindings {
     {
         let mut group_ix: FnvHashMap<(u64, DeviceId, u64), u32> = FnvHashMap::default();
         let mut groups: Vec<IdxRepeatedAllocGroup> = Vec::new();
+        // Allocation sites repeat in runs (the loop re-allocating the
+        // same buffer is the pattern Algorithm 3 exists to catch), so a
+        // one-entry cache short-circuits most of the map traffic.
+        let mut last: Option<((u64, DeviceId, u64), u32)> = None;
         for (px, pair) in view.pairs.iter().enumerate() {
-            let alloc = view.op(pair.alloc);
-            let key = (alloc.src_addr, alloc.dest_device, alloc.bytes);
-            let gx = *group_ix.entry(key).or_insert_with(|| {
-                groups.push(IdxRepeatedAllocGroup {
-                    host_addr: alloc.src_addr,
-                    device: alloc.dest_device,
-                    bytes: alloc.bytes,
-                    pair_ixs: Vec::new(),
-                });
-                (groups.len() - 1) as u32
-            });
+            let ax = pair.alloc as usize;
+            let (host_addr, device, bytes) =
+                (ops.src_addrs[ax], ops.dest_devices[ax], ops.bytes[ax]);
+            let key = (host_addr, device, bytes);
+            let gx = match last {
+                Some((k, gx)) if k == key => gx,
+                _ => *group_ix.entry(key).or_insert_with(|| {
+                    groups.push(IdxRepeatedAllocGroup {
+                        host_addr,
+                        device,
+                        bytes,
+                        pair_ixs: Vec::new(),
+                    });
+                    (groups.len() - 1) as u32
+                }),
+            };
+            last = Some((key, gx));
             groups[gx as usize].pair_ixs.push(px as u32);
         }
         out.repeated_allocs = groups
@@ -513,12 +750,12 @@ pub fn detect_indexed(view: &EventView<'_>) -> IndexFindings {
         let mut kx = 0usize;
         for &px in &view.pairs_by_device[dev] {
             let pair = &view.pairs[px as usize];
-            let alloc_start = view.op(pair.alloc).span.start;
-            while kx < kernels.len() && view.kernels[kernels[kx] as usize].span.end < alloc_start {
+            let alloc_start = ops.starts[pair.alloc as usize];
+            while kx < kernels.len() && kerns.ends[kernels[kx] as usize] < alloc_start {
                 kx += 1;
             }
             let lifetime_end = view.pair_lifetime_end(pair);
-            if kx == kernels.len() || view.kernels[kernels[kx] as usize].span.start > lifetime_end {
+            if kx == kernels.len() || kerns.starts[kernels[kx] as usize] > lifetime_end {
                 out.unused_allocs.push(px);
             }
         }
@@ -533,20 +770,21 @@ pub fn detect_indexed(view: &EventView<'_>) -> IndexFindings {
         let mut kx = 0usize;
         let mut candidates: FnvHashMap<u64, OpIx> = FnvHashMap::default();
         for &tx in &view.tx_by_device[dev] {
-            let e = view.op(tx);
-            while kx < kernels.len() && view.kernels[kernels[kx] as usize].span.end < e.span.start {
+            let tx_start = ops.starts[tx as usize];
+            let src_addr = ops.src_addrs[tx as usize];
+            while kx < kernels.len() && kerns.ends[kernels[kx] as usize] < tx_start {
                 kx += 1;
                 candidates.clear();
             }
             if kx == kernels.len() {
                 out.unused_transfers
                     .push((tx, UnusedTransferReason::AfterLastKernel));
-            } else if view.kernels[kernels[kx] as usize].span.start > e.span.start {
-                if let Some(&cand) = candidates.get(&e.src_addr) {
+            } else if kerns.starts[kernels[kx] as usize] > tx_start {
+                if let Some(&cand) = candidates.get(&src_addr) {
                     out.unused_transfers
                         .push((cand, UnusedTransferReason::OverwrittenBeforeUse));
                 }
-                candidates.insert(e.src_addr, tx);
+                candidates.insert(src_addr, tx);
             } else {
                 // Overlaps a running kernel (asynchronous mapping):
                 // conservatively forget all candidates.
@@ -635,9 +873,14 @@ mod tests {
         let view = EventView::from_log(&log);
         let findings = detect(&view);
         assert_eq!(findings.counts().dd, 1);
-        // A second view re-borrows the same hydration: no further sorts.
+        // A second view re-borrows the same columnar hydration: no
+        // further sorts.
         let view2 = EventView::from_log(&log);
         let _ = detect(&view2);
-        assert_eq!(log.sort_count(), before + 2, "one sort per event family");
+        assert_eq!(
+            log.sort_count(),
+            before + 1,
+            "one columnar pass covers both event families"
+        );
     }
 }

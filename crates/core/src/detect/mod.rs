@@ -19,13 +19,18 @@
 //!   repeats work: Algorithms 1+2 both build the reception map, 3+4
 //!   both pair allocs with deletes, 4+5 both partition by device.
 //!
-//! * **The fused engine** ([`engine`]) — hydrates the trace once into a
-//!   shared [`engine::EventView`] (borrowed sorted slices + the shared
-//!   side tables, built in one indexing pass), then advances all five
+//! * **The fused engine** ([`engine`]) — the trace log memoizes one
+//!   struct-of-arrays hydration (`odp_trace::ColumnarView`: dense
+//!   id/kind/device/addr/bytes/hash/time/codeptr columns, k-way merged
+//!   across shards); the engine wraps it in a shared
+//!   [`engine::EventView`] — a zero-copy facade carrying the side
+//!   tables built in one indexing pass — then advances all five
 //!   algorithms as incremental state machines in **one** chronological
-//!   detection sweep over `&DataOpEvent` references. Findings are
-//!   index-based ([`engine::IndexFindings`]) until the report boundary;
-//!   only events that appear in findings are ever cloned.
+//!   detection sweep, each reading only the columns its state machine
+//!   needs. Findings are index-based ([`engine::IndexFindings`]) until
+//!   the report boundary; only events that appear in findings are ever
+//!   gathered back into rows. ARCHITECTURE.md's memory-layout section
+//!   has the column map and the cache story.
 //!
 //! **The one-pass invariant:** the engine observes events in exactly
 //! the order the standalone passes do (chronological, with per-key and
@@ -42,23 +47,32 @@
 //! The third execution mode, [`stream::StreamingEngine`], runs the same
 //! incremental state machines *while the program executes*. Collection
 //! is sharded: every runtime thread owns a tool shard, and the
-//! per-callback fast path performs **zero global lock acquisitions** —
-//! it touches its own shard (trace log + pending queue, one
-//! uncontended lock), its own `StreamClock`, and two atomic stores
-//! into the `GlobalWatermark`:
+//! per-callback fast path performs **zero lock acquisitions** — it
+//! appends to its own shard's trace log, hands the completed event to
+//! the drain through its own fixed-capacity lock-free SPSC ring (one
+//! release store per side; a bounded, counted spill absorbs overflow
+//! when drains can't keep up), and publishes its `StreamClock` through
+//! a batcher that touches the shared `GlobalWatermark` every K events
+//! instead of every event:
 //!
 //! ```text
-//! thread 0 ─► shard 0: TraceLog(for_shard 0) + pending queue ──┐
-//! thread 1 ─► shard 1: TraceLog(for_shard 1) + pending queue ──┤
-//!    ⋮            ⋮    (own StreamClock, publish ──► GlobalWatermark)
-//! thread N ─► shard N: TraceLog(for_shard N) + pending queue ──┤
-//!                                                              │
-//!          merged watermark = min over shards of the earliest  │
-//!          possible future start, strictly below (None while   │
-//!          any shard may still emit at t=0)                    │
+//! thread 0 ─► shard 0: TraceLog(for_shard 0) ─► SPSC ring 0 ───┐
+//! thread 1 ─► shard 1: TraceLog(for_shard 1) ─► SPSC ring 1 ───┤
+//!    ⋮            ⋮    (ring full ⇒ bounded, counted spill)     │
+//! thread N ─► shard N: TraceLog(for_shard N) ─► SPSC ring N ───┤
+//!      │                                                       │
+//!      └─ StreamClock ─► PublishBatcher ─► GlobalWatermark     │
+//!         (publish every K events — immediately when a queued  │
+//!         event's time could retreat behind the safe point;    │
+//!         merged watermark = min over shards of the earliest   │
+//!         possible future start, None while any shard may      │
+//!         still emit at t=0)                                   │
 //!                                                              ▼
 //!          amortized drain (engine try_lock; snapshot merged
-//!          watermark, THEN sweep every shard's pending queue)
+//!          watermark, THEN consume every ring + spill in one
+//!          pass and feed StreamingEngine::ingest_batch — one
+//!          watermark snapshot and one buffer maintenance step
+//!          per batch, not per event)
 //!                              │
 //!                              ▼
 //!         StreamingEngine reorder buffer ── released at the merged

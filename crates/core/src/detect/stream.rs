@@ -485,6 +485,41 @@ impl StreamingEngine {
         self.note_buffered();
     }
 
+    /// Buffer a whole drained batch, then advance once — the sharded
+    /// collector's ring-drain entry point. Equivalent to pushing each
+    /// event and calling [`StreamingEngine::advance_watermark`] with
+    /// `watermark` (when `Some`; `None` = nothing settled yet, buffer
+    /// only), but the reorder-buffer peak bookkeeping and the release
+    /// sweep are amortized over the batch instead of paid per event —
+    /// the buffer only grows inside the loop, so its peak is its size
+    /// at the end of the loop.
+    pub fn ingest_batch<I>(&mut self, events: I, watermark: Option<SimTime>)
+    where
+        I: IntoIterator<Item = StreamEvent>,
+    {
+        debug_assert!(!self.finalized, "ingest after finalize");
+        for ev in events {
+            match ev {
+                StreamEvent::Op(e) => {
+                    if !self.quarantine_late((e.span.start, e.id.0, 0)) {
+                        self.buffer.push(Reverse(BufEntry::Op(e)));
+                    }
+                }
+                StreamEvent::Kernel(k) => {
+                    if k.kind == TargetKind::Kernel
+                        && !self.quarantine_late((k.span.start, k.id.0, 1))
+                    {
+                        self.buffer.push(Reverse(BufEntry::Kernel(k)));
+                    }
+                }
+            }
+        }
+        self.note_buffered();
+        if let Some(watermark) = watermark {
+            self.advance_watermark(watermark);
+        }
+    }
+
     /// After a forced release, events ordered at or below the forced
     /// floor arrived too late to release in order: quarantine them
     /// (counted, never ingested) instead of violating release
@@ -1099,14 +1134,14 @@ impl StreamingEngine {
     /// materialization is downgraded to [`Confidence::Degraded`].
     fn materialize(&mut self, view: &EventView<'_>) -> Findings {
         let mut by_seq: FnvHashMap<Seq, u32> =
-            FnvHashMap::with_capacity_and_hasher(view.data_ops.len(), Default::default());
-        for (ix, e) in view.data_ops.iter().enumerate() {
-            by_seq.insert(e.id.0, ix as u32);
+            FnvHashMap::with_capacity_and_hasher(view.op_count(), Default::default());
+        for (ix, id) in view.ops().ids.iter().enumerate() {
+            by_seq.insert(id.0, ix as u32);
         }
         let missing = std::cell::Cell::new(0u64);
         let ev = |seq: Seq| -> Option<DataOpEvent> {
             match by_seq.get(&seq) {
-                Some(&ix) => Some(view.data_ops[ix as usize].clone()),
+                Some(&ix) => Some(view.op(ix)),
                 None => {
                     missing.set(missing.get() + 1);
                     None

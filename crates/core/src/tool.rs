@@ -16,27 +16,38 @@
 //! **only that thread's shard** — its own [`TraceLog`] shard (event ids
 //! embed the shard, so the post-run [`TraceLog::merge_shards`] is
 //! deterministic regardless of OS scheduling), its own hash meter, its
-//! own [`StreamClock`], and its own pending-event queue. The only
-//! cross-thread traffic on the fast path is a pair of atomic stores into
-//! the [`GlobalWatermark`] — **zero global lock acquisitions**.
+//! own [`StreamClock`], and its own lock-free SPSC ingest ring
+//! ([`odp_ompt::ring`]). Cross-thread traffic on the fast path is one
+//! slot write + release store into the ring, plus — every K-th event,
+//! via [`PublishBatcher`] — a pair of atomic stores into the
+//! [`GlobalWatermark`]. **Zero global lock acquisitions.**
 //!
-//! Streaming mode adds an amortized batch step: after publishing its
-//! clock, a callback *tries* to take the engine lock; whoever succeeds
-//! snapshots the merged watermark, sweeps every shard's pending queue
-//! into the [`StreamingEngine`]'s reorder buffer, and advances it. A
-//! failed `try_lock` just means another thread is already draining —
-//! the next advance catches up, and finalize always performs a full
-//! blocking drain. The snapshot-*then*-drain order is what makes this
-//! sound: each shard queues an event *before* publishing the clock edge
-//! that could unblock it, so any event at or below a snapshotted merged
-//! watermark is already visible to the sweep.
+//! Streaming mode adds an amortized batch step: after queuing its
+//! event, a callback *tries* to take the engine lock; whoever succeeds
+//! snapshots the merged watermark, sweeps every shard's ring (and its
+//! bounded spill, fed only when a ring overflows) into the
+//! [`StreamingEngine`]'s reorder buffer in one
+//! [`StreamingEngine::ingest_batch`] call, and advances it. A failed
+//! `try_lock` just means another thread is already draining — the next
+//! advance catches up. Blocking observers (`take_stream_findings`,
+//! taps, finalize, stats) drain with `flush`: they first re-publish
+//! every dirty shard clock, because batched publication deliberately
+//! lets the published bound lag the real clock (lagging is always
+//! conservative — never unsound — but a flush is what makes everything
+//! decidable *now* actually decided). The snapshot-*then*-drain order
+//! is what makes all of this sound: each shard queues an event
+//! *before* publishing the clock edge that could unblock it, so any
+//! event at or below a snapshotted merged watermark is already visible
+//! to the sweep.
 //!
 //! Lock order (outermost first): engine → shard list → one shard →
-//! control, and engine → tap list → one tap buffer (the findings tee).
-//! The fast path takes only its own shard's (uncontended) lock;
-//! `control` guards cold data (console lines, flags, the opt-in
-//! collision audit, which serializes by design); taps are touched only
-//! by findings consumers, never by callbacks.
+//! control, engine → drain batch → ingest list → one spill/consumer,
+//! and engine → tap list → one tap buffer (the findings tee). The fast
+//! path takes only its own shard's (uncontended) lock — and its own
+//! spill's, only when the ring overflows; `control` guards cold data
+//! (console lines, flags, the opt-in collision audit, which serializes
+//! by design); taps are touched only by findings consumers, never by
+//! callbacks.
 //!
 //! Construction returns the tool plus a [`ToolHandle`] sharing its
 //! collector, so the harness can extract the merged trace after the
@@ -50,12 +61,13 @@ use odp_hash::fnv::FnvHashMap;
 use odp_hash::HashAlgoId;
 use odp_model::{DataOpKind, SimDuration, SimTime, TargetKind, TimeSpan, TraceHealth};
 use odp_ompt::{
-    CallbackKind, DataOpCallback, DataOpType, Endpoint, GlobalWatermark, RuntimeCapabilities,
-    ShardSlot, StallDetector, StreamClock, SubmitCallback, TargetCallback, TargetConstructKind,
-    Tool, ToolRegistration,
+    ring, CallbackKind, DataOpCallback, DataOpType, Endpoint, GlobalWatermark, PublishBatcher,
+    RuntimeCapabilities, ShardSlot, StallDetector, StreamClock, SubmitCallback, TargetCallback,
+    TargetConstructKind, Tool, ToolRegistration,
 };
 use odp_trace::TraceLog;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -88,6 +100,17 @@ pub struct ToolConfig {
     /// decided afterwards [`crate::Confidence::Degraded`]. `None`
     /// (default) waits indefinitely.
     pub stall_timeout: Option<std::time::Duration>,
+    /// Capacity of each shard's SPSC ingest ring (streaming mode),
+    /// rounded up to a power of two; `None` = 1024. A full ring never
+    /// blocks or drops: overflowing events take the mutex-protected
+    /// spill path (counted in [`ToolHandle::spilled_events`]).
+    pub ring_capacity: Option<usize>,
+    /// Publish a shard's clock to the global watermark every K-th
+    /// event edge instead of every edge; `None` =
+    /// [`PublishBatcher::DEFAULT_EVERY`]. Retreat-risk edges always
+    /// publish immediately, and blocking drains flush, so batching
+    /// trades only drain latency — never soundness or final coverage.
+    pub publish_every: Option<u32>,
 }
 
 /// Wall-clock hashing meter (Table 4's "effective hash rate").
@@ -110,20 +133,72 @@ impl HashMeter {
     }
 }
 
+/// Default capacity of a shard's SPSC ingest ring.
+const DEFAULT_RING_CAPACITY: usize = 1024;
+
+/// The consumer-facing side of one shard's ingest channel: the ring's
+/// consumer half plus the bounded overflow spill. Shared between the
+/// producer (spill only) and the drain path; the ring itself needs no
+/// lock — the consumer mutex only serializes successive drainers.
+struct IngestShared {
+    /// Consumer half of the shard's SPSC ring.
+    consumer: Mutex<ring::Consumer<StreamEvent>>,
+    /// Overflow events that arrived while the ring was full. The
+    /// producer pushes here (briefly locking) only on overflow, so the
+    /// common case never touches this mutex.
+    spill: Mutex<Vec<StreamEvent>>,
+    /// Total events that ever took the spill path (monotonic).
+    spilled: AtomicU64,
+}
+
 /// One runtime thread's slice of the collector. Only the owning thread
 /// touches it on the fast path; the handle's observers lock it briefly
-/// to aggregate.
-#[derive(Debug, Default)]
+/// to aggregate, and flushing drains lock it to re-publish the clock.
 struct ShardState {
     /// This thread's trace shard (event ids embed the shard id).
     log: TraceLog,
     /// This thread's hash-rate meter.
     hash_meter: HashMeter,
-    /// Events recorded but not yet swept into the streaming engine.
-    pending: Vec<StreamEvent>,
     /// Evidence this shard quarantined instead of recording (orphaned
     /// `End`s, truncated payload hashes).
     health: TraceHealth,
+    /// This thread's reorder clock. Lives under the shard lock (not in
+    /// the tool) so a flushing drain can publish it fresh.
+    clock: StreamClock,
+    /// Amortizes watermark publication to every K-th edge.
+    batcher: PublishBatcher,
+    /// This shard's watermark-publish slot.
+    slot: ShardSlot,
+    /// Producer half of the ingest ring (streaming mode only). Under
+    /// the shard lock, which only the owning thread takes on the fast
+    /// path — so pushes stay effectively single-producer and
+    /// uncontended.
+    ring: Option<ring::Producer<StreamEvent>>,
+    /// The shared side of the ingest channel (spill on overflow).
+    ingest: Option<Arc<IngestShared>>,
+}
+
+impl ShardState {
+    /// Hand `event` to the streaming consumer (ring; spill when full)
+    /// and note the clock edge, publishing this shard's slot when the
+    /// batcher says it is due. The caller holds the shard lock and has
+    /// already applied the edge to `clock`. The order is load-bearing:
+    /// the event must be queued *before* the publish that could
+    /// unblock it (the drain's snapshot-then-sweep soundness).
+    fn queue_and_note(&mut self, shared: &ToolShared, event: Option<StreamEvent>) {
+        if let (Some(event), Some(ring)) = (event, self.ring.as_mut()) {
+            if let Err(event) = ring.push(event) {
+                if let Some(ingest) = self.ingest.as_ref() {
+                    ingest.spill.lock().push(event);
+                    ingest.spilled.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        if self.batcher.note(&self.clock) {
+            shared.watermark.publish(self.slot, &self.clock);
+            self.batcher.mark_published(&self.clock);
+        }
+    }
 }
 
 /// Cold shared state: console lines, negotiation flags, the audit.
@@ -160,6 +235,12 @@ struct ToolShared {
     control: Mutex<Control>,
     /// All shards, fork order (= shard id order).
     shards: Mutex<Vec<Arc<Mutex<ShardState>>>>,
+    /// Per-shard ingest channels, fork order (streaming mode only).
+    ingests: Mutex<Vec<Arc<IngestShared>>>,
+    /// Scratch buffer the drain reuses across sweeps. Guarded by the
+    /// engine lock in practice (only a drainer touches it); its own
+    /// mutex keeps the type honest. Lock order: engine → batch.
+    batch: Mutex<Vec<StreamEvent>>,
     /// The online detection engine (`stream` mode only). Fast-path
     /// callbacks never block on it: they `try_lock` to drain.
     engine: Mutex<Option<StreamingEngine>>,
@@ -182,29 +263,47 @@ struct ToolShared {
 }
 
 impl ToolShared {
-    /// Sweep every shard's pending queue into the engine and advance it
-    /// to the merged watermark. `engine` must be locked by the caller.
-    fn drain_locked(&self, engine: &mut StreamingEngine) {
+    /// Sweep every shard's ingest ring (and spill) into the engine and
+    /// advance it to the merged watermark. `engine` must be locked by
+    /// the caller.
+    ///
+    /// `flush` is for blocking observers: batched publication lets the
+    /// published bound lag each shard's real clock (conservative, so
+    /// events can sit queued behind a stale bound), and a flushing
+    /// drain first re-publishes every dirty shard fresh so everything
+    /// decidable *now* is decided. The callback fast path passes
+    /// `false` — it must never take another shard's lock.
+    fn drain_locked(&self, engine: &mut StreamingEngine, flush: bool) {
+        if flush {
+            let shards = self.shards.lock();
+            for shard in shards.iter() {
+                let mut shard = shard.lock();
+                let s = &mut *shard;
+                if s.batcher.dirty() {
+                    self.watermark.publish(s.slot, &s.clock);
+                    s.batcher.mark_published(&s.clock);
+                }
+            }
+        }
         // Snapshot BEFORE sweeping: every event at or below this merged
         // watermark was queued before its shard published the edge that
         // enabled it (shards queue, then publish), so the sweep below
         // is guaranteed to see it.
         let watermark = self.watermark.merged();
-        // Lock order engine → shard list → shard allows holding the
-        // list guard across the sweep (no per-drain clone).
+        let mut batch = self.batch.lock();
         {
-            let shards = self.shards.lock();
-            for shard in shards.iter() {
-                let mut shard = shard.lock();
-                for ev in shard.pending.drain(..) {
-                    engine.push(ev);
-                }
+            let ingests = self.ingests.lock();
+            for ingest in ingests.iter() {
+                // Spill before ring: spilled events predate whatever
+                // the producer pushed after the consumer freed space.
+                // (The engine's reorder buffer re-sorts either way.)
+                batch.append(&mut ingest.spill.lock());
+                ingest.consumer.lock().pop_all(&mut batch);
             }
         }
         // `None` = some shard may still emit at time zero: buffer only.
-        if let Some(watermark) = watermark {
-            engine.advance_watermark(watermark);
-        }
+        engine.ingest_batch(batch.drain(..), watermark);
+        drop(batch);
         // Stall recovery: a wedged shard (open Begin, thread never
         // progressing) pins the merged watermark and would buffer the
         // stream forever. Past the configured timeout the drain
@@ -237,15 +336,15 @@ impl ToolShared {
             return; // another thread is already draining
         };
         if let Some(engine) = guard.as_mut() {
-            self.drain_locked(engine);
+            self.drain_locked(engine, false);
         }
     }
 
-    /// Blocking drain for observers and finalization.
+    /// Blocking (flushing) drain for observers and finalization.
     fn drain_all(&self) {
         let mut guard = self.engine.lock();
         if let Some(engine) = guard.as_mut() {
-            self.drain_locked(engine);
+            self.drain_locked(engine, true);
         }
     }
 
@@ -289,7 +388,9 @@ impl ToolShared {
             }
         };
         if let Some(engine) = guard.as_mut() {
-            self.drain_locked(engine);
+            // Observer-initiated: flush even on the try_lock path (the
+            // lock was free; shard locks are brief and uncontended).
+            self.drain_locked(engine, true);
             self.harvest_locked(engine);
         }
     }
@@ -453,14 +554,33 @@ impl ToolHandle {
     pub fn stream_counts(&self) -> Option<IssueCounts> {
         let mut guard = self.shared.engine.lock();
         guard.as_mut().map(|engine| {
-            self.shared.drain_locked(engine);
+            self.shared.drain_locked(engine, true);
             engine.live_counts()
         })
     }
 
     /// Current streaming window sizes (`None` when streaming is off).
+    /// Drains first — otherwise events sitting in the ingest rings
+    /// would be invisible to the count.
     pub fn stream_buffer_stats(&self) -> Option<StreamBufferStats> {
-        self.shared.engine.lock().as_ref().map(|e| e.buffer_stats())
+        let mut guard = self.shared.engine.lock();
+        guard.as_mut().map(|engine| {
+            self.shared.drain_locked(engine, true);
+            engine.buffer_stats()
+        })
+    }
+
+    /// Events that overflowed their shard's ingest ring and took the
+    /// mutex-protected spill path instead (streaming mode; total
+    /// across shards). Nothing is ever lost or reordered either way —
+    /// a growing count just means [`ToolConfig::ring_capacity`] is
+    /// undersized for the callback rate between drains.
+    pub fn spilled_events(&self) -> u64 {
+        let ingests = self.shared.ingests.lock();
+        ingests
+            .iter()
+            .map(|i| i.spilled.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Aggregate trace health: what the collector and the streaming
@@ -490,7 +610,7 @@ impl ToolHandle {
     pub fn take_stream_engine(&self) -> Option<StreamingEngine> {
         let mut guard = self.shared.engine.lock();
         if let Some(engine) = guard.as_mut() {
-            self.shared.drain_locked(engine);
+            self.shared.drain_locked(engine, true);
         }
         guard.take()
     }
@@ -510,9 +630,6 @@ pub struct OmpDataPerfTool {
     /// `initialize` — callbacks read this instead of taking a lock a
     /// second time per event.
     degraded: bool,
-    /// Per-thread reorder clock: tracks this thread's open data ops and
-    /// kernel submits (the two event families the detectors consume).
-    clock: StreamClock,
     /// host_op_id → begin time of the open data op.
     open_ops: FnvHashMap<u64, SimTime>,
     /// target_id → begin time of the open kernel submit.
@@ -535,6 +652,8 @@ impl OmpDataPerfTool {
                 ..Default::default()
             }),
             shards: Mutex::new(Vec::new()),
+            ingests: Mutex::new(Vec::new()),
+            batch: Mutex::new(Vec::new()),
             engine: Mutex::new(cfg.stream.then(|| {
                 StreamingEngine::new(StreamConfig {
                     num_devices: None,
@@ -558,20 +677,41 @@ impl OmpDataPerfTool {
 
     fn new_shard(shared: Arc<ToolShared>) -> OmpDataPerfTool {
         let slot = shared.watermark.register();
+        let cfg = shared.cfg;
+        // The ingest channel exists only in streaming mode: non-stream
+        // runs never queue events, so they skip the ring allocation.
+        let (producer, ingest) = if cfg.stream {
+            let (tx, rx) = ring::spsc(cfg.ring_capacity.unwrap_or(DEFAULT_RING_CAPACITY));
+            let ingest = Arc::new(IngestShared {
+                consumer: Mutex::new(rx),
+                spill: Mutex::new(Vec::new()),
+                spilled: AtomicU64::new(0),
+            });
+            shared.ingests.lock().push(ingest.clone());
+            (Some(tx), Some(ingest))
+        } else {
+            (None, None)
+        };
         let shard = Arc::new(Mutex::new(ShardState {
             log: TraceLog::for_shard(slot.index() as u32),
-            ..Default::default()
+            hash_meter: HashMeter::default(),
+            health: TraceHealth::default(),
+            clock: StreamClock::new(),
+            batcher: PublishBatcher::new(
+                cfg.publish_every.unwrap_or(PublishBatcher::DEFAULT_EVERY),
+            ),
+            slot,
+            ring: producer,
+            ingest,
         }));
         shared.shards.lock().push(shard.clone());
         shared.control.lock().spawned_shards += 1;
-        let cfg = shared.cfg;
         OmpDataPerfTool {
             cfg,
             shared,
             shard,
             slot,
             degraded: false,
-            clock: StreamClock::new(),
             open_ops: FnvHashMap::default(),
             open_submits: FnvHashMap::default(),
             open_targets: FnvHashMap::default(),
@@ -600,18 +740,6 @@ impl OmpDataPerfTool {
             self.shared.control.lock().audit.record(payload, h);
         }
         h
-    }
-
-    /// Publish this thread's clock and opportunistically advance the
-    /// engine. Call *after* releasing the shard lock (the queued event
-    /// must be visible before the publish — and the drain re-locks the
-    /// shard).
-    fn publish_and_drain(&self) {
-        if !self.cfg.stream {
-            return;
-        }
-        self.shared.watermark.publish(self.slot, &self.clock);
-        self.shared.maybe_drain();
     }
 }
 
@@ -774,21 +902,21 @@ impl Tool for OmpDataPerfTool {
                         cb.codeptr_ra,
                     );
                     if self.cfg.stream {
-                        shard.pending.push(StreamEvent::Op(event));
+                        shard.clock.observe(cb.time);
+                        shard.queue_and_note(&self.shared, Some(StreamEvent::Op(event)));
                     }
                 }
-                if self.cfg.stream {
-                    self.clock.observe(cb.time);
-                    self.publish_and_drain();
-                }
+                self.shared.maybe_drain();
             }
             Endpoint::Begin => {
                 if self.cfg.stream {
-                    self.clock.open(cb.time);
-                    // Publish the open immediately: until then the merge
-                    // only knows this thread's clock, which is already
-                    // at or below the new begin.
-                    self.shared.watermark.publish(self.slot, &self.clock);
+                    // The open can only hold the shard's published
+                    // bound at or below where it already was; the
+                    // batcher publishes immediately iff deferral would
+                    // overstate it (retreat risk).
+                    let mut shard = self.shard.lock();
+                    shard.clock.open(cb.time);
+                    shard.queue_and_note(&self.shared, None);
                 }
                 self.open_ops.insert(cb.host_op_id, cb.time);
             }
@@ -800,16 +928,17 @@ impl Tool for OmpDataPerfTool {
                     // Orphaned End — its Begin was dropped, or this End
                     // is a duplicate. No trustworthy span exists, so
                     // quarantine the event instead of guessing one.
-                    if self.cfg.stream {
-                        self.clock.observe(cb.time);
+                    {
+                        let mut shard = self.shard.lock();
+                        shard.health.orphaned += 1;
+                        if self.cfg.stream {
+                            shard.clock.observe(cb.time);
+                            shard.queue_and_note(&self.shared, None);
+                        }
                     }
-                    self.shard.lock().health.orphaned += 1;
-                    self.publish_and_drain();
+                    self.shared.maybe_drain();
                     return;
                 };
-                if self.cfg.stream {
-                    self.clock.close(start, cb.time);
-                }
                 {
                     let mut shard = self.shard.lock();
                     // A payload that disagrees with the claimed byte
@@ -834,10 +963,11 @@ impl Tool for OmpDataPerfTool {
                         cb.codeptr_ra,
                     );
                     if self.cfg.stream {
-                        shard.pending.push(StreamEvent::Op(event));
+                        shard.clock.close(start, cb.time);
+                        shard.queue_and_note(&self.shared, Some(StreamEvent::Op(event)));
                     }
                 }
-                self.publish_and_drain();
+                self.shared.maybe_drain();
             }
         }
     }
@@ -854,18 +984,17 @@ impl Tool for OmpDataPerfTool {
                         cb.codeptr_ra,
                     );
                     if self.cfg.stream {
-                        shard.pending.push(StreamEvent::Kernel(event));
+                        shard.clock.observe(cb.time);
+                        shard.queue_and_note(&self.shared, Some(StreamEvent::Kernel(event)));
                     }
                 }
-                if self.cfg.stream {
-                    self.clock.observe(cb.time);
-                    self.publish_and_drain();
-                }
+                self.shared.maybe_drain();
             }
             Endpoint::Begin => {
                 if self.cfg.stream {
-                    self.clock.open(cb.time);
-                    self.shared.watermark.publish(self.slot, &self.clock);
+                    let mut shard = self.shard.lock();
+                    shard.clock.open(cb.time);
+                    shard.queue_and_note(&self.shared, None);
                 }
                 self.open_submits.insert(cb.target_id, cb.time);
             }
@@ -873,16 +1002,17 @@ impl Tool for OmpDataPerfTool {
                 // Matched-Begin-only close and orphan quarantine: see
                 // on_data_op.
                 let Some(start) = self.open_submits.remove(&cb.target_id) else {
-                    if self.cfg.stream {
-                        self.clock.observe(cb.time);
+                    {
+                        let mut shard = self.shard.lock();
+                        shard.health.orphaned += 1;
+                        if self.cfg.stream {
+                            shard.clock.observe(cb.time);
+                            shard.queue_and_note(&self.shared, None);
+                        }
                     }
-                    self.shard.lock().health.orphaned += 1;
-                    self.publish_and_drain();
+                    self.shared.maybe_drain();
                     return;
                 };
-                if self.cfg.stream {
-                    self.clock.close(start, cb.time);
-                }
                 {
                     let mut shard = self.shard.lock();
                     let event = shard.log.record_target(
@@ -892,19 +1022,26 @@ impl Tool for OmpDataPerfTool {
                         cb.codeptr_ra,
                     );
                     if self.cfg.stream {
-                        shard.pending.push(StreamEvent::Kernel(event));
+                        shard.clock.close(start, cb.time);
+                        shard.queue_and_note(&self.shared, Some(StreamEvent::Kernel(event)));
                     }
                 }
-                self.publish_and_drain();
+                self.shared.maybe_drain();
             }
         }
     }
 
     fn finalize(&mut self, total_time_ns: u64) {
-        self.shard
-            .lock()
-            .log
-            .set_total_time(SimDuration(total_time_ns));
+        {
+            let mut shard = self.shard.lock();
+            shard.log.set_total_time(SimDuration(total_time_ns));
+            // The batcher must read as clean after retirement: a later
+            // flushing drain re-publishes dirty shards, and doing so
+            // here would overwrite the retirement below with the stale
+            // clock and re-pin the merge.
+            let s = &mut *shard;
+            s.batcher.mark_published(&s.clock);
+        }
         // A finished thread must not pin the merged watermark.
         self.shared.watermark.retire(self.slot);
         let all_done = {
@@ -1406,6 +1543,89 @@ mod tests {
         assert!(tap_a.take().is_empty());
         assert!(tap_b.take().is_empty());
         assert!(handle.take_stream_findings().is_empty());
+    }
+
+    #[test]
+    fn full_ring_spills_without_losing_or_reordering_events() {
+        use crate::detect::{EventView, Findings};
+        let (mut tool, handle) = OmpDataPerfTool::new(ToolConfig {
+            stream: true,
+            ring_capacity: Some(2),
+            ..Default::default()
+        });
+        tool.initialize(&CompilerProfile::LlvmClang.capabilities());
+        let payload = vec![6u8; 64];
+        // Hold the engine lock: every callback-side maybe_drain
+        // try_lock fails, so nothing consumes the capacity-2 ring and
+        // the 3rd..10th events MUST take the spill path.
+        let engine_guard = handle.shared.engine.lock();
+        for id in 0..10u64 {
+            tool.on_data_op(&data_op(
+                Endpoint::Begin,
+                id,
+                DataOpType::TransferToDevice,
+                id * 10,
+                None,
+            ));
+            tool.on_data_op(&data_op(
+                Endpoint::End,
+                id,
+                DataOpType::TransferToDevice,
+                id * 10 + 5,
+                Some(&payload),
+            ));
+        }
+        assert_eq!(handle.spilled_events(), 8, "2 ring slots + 8 spilled");
+        drop(engine_guard);
+        tool.finalize(1_000);
+        let trace = handle.take_trace();
+        assert_eq!(trace.data_op_count(), 10, "no event was lost");
+        let mut engine = handle.take_stream_engine().expect("engine");
+        let view = EventView::from_log(&trace);
+        let streamed = engine.finalize(&view);
+        let postmortem = Findings::detect_fused(&view);
+        assert_eq!(
+            serde_json::to_string(&streamed).unwrap(),
+            serde_json::to_string(&postmortem).unwrap(),
+            "spilled events must re-merge byte-identically"
+        );
+        assert_eq!(streamed.counts().dd, 9, "all ten transfers were seen");
+    }
+
+    #[test]
+    fn batched_publication_flushes_for_blocking_observers() {
+        // publish_every too large to ever fire on its own: every
+        // finding must still be visible to a blocking observer, because
+        // flushing drains re-publish dirty shard clocks themselves.
+        let (mut tool, handle) = OmpDataPerfTool::new(ToolConfig {
+            stream: true,
+            publish_every: Some(1_000_000),
+            ..Default::default()
+        });
+        tool.initialize(&CompilerProfile::LlvmClang.capabilities());
+        let payload = vec![3u8; 64];
+        for (id, t) in [(1u64, 0u64), (2, 20), (3, 40)] {
+            tool.on_data_op(&data_op(
+                Endpoint::Begin,
+                id,
+                DataOpType::TransferToDevice,
+                t,
+                None,
+            ));
+            tool.on_data_op(&data_op(
+                Endpoint::End,
+                id,
+                DataOpType::TransferToDevice,
+                t + 10,
+                Some(&payload),
+            ));
+        }
+        let live = handle.take_stream_findings();
+        assert_eq!(
+            live.len(),
+            2,
+            "flush makes deferred edges visible: {live:?}"
+        );
     }
 
     #[test]

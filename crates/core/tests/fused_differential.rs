@@ -10,10 +10,14 @@ mod common;
 
 use common::{random_trace, shard_partition};
 use odp_model::{DataOpEvent, TargetEvent};
+use odp_trace::ColumnarView;
 use ompdataperf::detect::{EventView, Findings};
 
 /// Exact equality through the canonical JSON rendering: covers every
-/// field of every finding and the order of everything.
+/// field of every finding and the order of everything. Runs the fused
+/// sweep twice — over the slice-backed view and over an explicitly
+/// columnar one — so the borrowed and owned column paths both stay
+/// pinned to the row reference passes.
 fn assert_identical(ops: &[DataOpEvent], kernels: &[TargetEvent], num_devices: u32, ctx: &str) {
     let view = EventView::new(ops, kernels, num_devices);
     let fused = Findings::detect_fused(&view);
@@ -27,6 +31,13 @@ fn assert_identical(ops: &[DataOpEvent], kernels: &[TargetEvent], num_devices: u
         serde_json::to_string_pretty(&fused).unwrap(),
         serde_json::to_string_pretty(&separate).unwrap(),
         "findings diverge ({ctx})"
+    );
+    let cols = ColumnarView::from_events(ops, kernels);
+    let fused_columnar = Findings::detect_fused(&EventView::over(&cols, num_devices));
+    assert_eq!(
+        serde_json::to_string_pretty(&fused_columnar).unwrap(),
+        serde_json::to_string_pretty(&separate).unwrap(),
+        "columnar-view findings diverge ({ctx})"
     );
 }
 

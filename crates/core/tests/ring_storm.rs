@@ -1,0 +1,269 @@
+//! SPSC-ingest-ring storm suite (satellite of the columnar/ring PR).
+//!
+//! The sharded collector hands events from callback threads to the
+//! streaming drain through fixed-capacity lock-free rings with a
+//! mutex-protected spill for overflow. These storms force the shapes
+//! the unit tests can't: index wraparound under sustained load,
+//! full-ring spilling at the capacity boundary while drains race the
+//! producers, publish batching under contention, and shards finalizing
+//! while others still produce. The oracle everywhere is the repo's
+//! core invariant — streaming finalize byte-identical to post-mortem
+//! detection — plus "no event lost" trace counts.
+//!
+//! CI runs this suite twice: free-running, and with
+//! `RUST_TEST_THREADS=1` so every test's *internal* threads still race
+//! while the harness adds no extra noise.
+
+use odp_model::{CodePtr, DeviceId, SimTime};
+use odp_ompt::{CompilerProfile, DataOpCallback, DataOpType, Endpoint, SubmitCallback, Tool};
+use ompdataperf::detect::{EventView, Findings};
+use ompdataperf::tool::{OmpDataPerfTool, ToolConfig, ToolHandle};
+use std::sync::{Arc, Barrier};
+
+fn data_op<'a>(
+    endpoint: Endpoint,
+    host_op_id: u64,
+    time: u64,
+    payload: Option<&'a [u8]>,
+) -> DataOpCallback<'a> {
+    DataOpCallback {
+        endpoint,
+        target_id: 1,
+        host_op_id,
+        optype: DataOpType::TransferToDevice,
+        src_device: DeviceId::HOST,
+        src_addr: 0x1000 + (host_op_id % 5) * 0x100,
+        dest_device: DeviceId::target(0),
+        dest_addr: 0xd000,
+        bytes: payload.map(|p| p.len() as u64).unwrap_or(64),
+        codeptr_ra: CodePtr(0x42),
+        time: SimTime(time),
+        payload,
+    }
+}
+
+fn submit(endpoint: Endpoint, target_id: u64, time: u64) -> SubmitCallback {
+    SubmitCallback {
+        endpoint,
+        target_id,
+        device: DeviceId::target(0),
+        requested_num_teams: 1,
+        codeptr_ra: CodePtr(0x77),
+        time: SimTime(time),
+    }
+}
+
+/// Deterministic per-thread storm, seeded by `(thread, seed)`: transfer
+/// pairs with an overlapping op every 3rd iteration, a kernel every 8th,
+/// payload content from a small pool so cross-thread duplicates exist.
+/// Times start at `base` and only move forward — a shard's clock must
+/// never run backwards past what it already published.
+fn storm(tool: &mut OmpDataPerfTool, thread: u64, seed: u64, ops: u64, base: u64) {
+    let payloads: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i; 64]).collect();
+    let mut t = base + seed % 17;
+    for i in 0..ops {
+        let id = (seed << 24) + thread * 1_000_000 + i;
+        tool.on_data_op(&data_op(Endpoint::Begin, id, t, None));
+        if i % 3 == 0 {
+            tool.on_data_op(&data_op(Endpoint::Begin, id + 500_000, t + 2, None));
+            tool.on_data_op(&data_op(
+                Endpoint::End,
+                id + 500_000,
+                t + 4,
+                Some(&payloads[((i + seed + 1) % 5) as usize]),
+            ));
+        }
+        tool.on_data_op(&data_op(
+            Endpoint::End,
+            id,
+            t + 10,
+            Some(&payloads[((i + seed) % 5) as usize]),
+        ));
+        if i % 8 == 0 {
+            tool.on_submit(&submit(Endpoint::Begin, id, t + 12));
+            tool.on_submit(&submit(Endpoint::End, id, t + 20));
+        }
+        t += 25 + (i % 4);
+    }
+}
+
+fn run_storm(cfg: ToolConfig, threads: u64, seed: u64, ops: u64) -> ToolHandle {
+    let (tool0, handle) = OmpDataPerfTool::new(cfg);
+    let mut tools = vec![tool0];
+    for _ in 1..threads {
+        tools.push(handle.fork_tool());
+    }
+    let caps = CompilerProfile::LlvmClang.capabilities();
+    std::thread::scope(|s| {
+        let joins: Vec<_> = tools
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut tool)| {
+                let caps = caps.clone();
+                s.spawn(move || {
+                    tool.initialize(&caps);
+                    storm(&mut tool, i as u64, seed, ops, 0);
+                    tool.finalize(1_000_000);
+                })
+            })
+            .collect();
+        for j in joins {
+            j.join().expect("storm thread panicked");
+        }
+    });
+    handle
+}
+
+fn assert_oracle(handle: &ToolHandle, label: &str) {
+    let trace = handle.take_trace();
+    let mut engine = handle.take_stream_engine().expect("streaming enabled");
+    let view = EventView::from_log(&trace);
+    let streamed = engine.finalize(&view);
+    let postmortem = Findings::detect_fused(&view);
+    assert_eq!(
+        serde_json::to_string_pretty(&streamed).unwrap(),
+        serde_json::to_string_pretty(&postmortem).unwrap(),
+        "streaming diverged from post-mortem ({label})"
+    );
+    assert!(
+        postmortem.counts().dd > 0,
+        "the storm is built to contain duplicates ({label})"
+    );
+}
+
+/// Tiny rings + varied publish cadences: sustained storms wrap the ring
+/// indices thousands of times, and engine-lock contention between
+/// drains forces the full-ring spill path. Whatever mix of ring and
+/// spill each event took, the detected findings must not change.
+#[test]
+fn tiny_rings_wraparound_and_spill_keep_findings_byte_identical() {
+    for (seed, (cap, every)) in [(1usize, 1u32), (2, 7), (4, 32), (1, 64)]
+        .into_iter()
+        .enumerate()
+    {
+        let cfg = ToolConfig {
+            stream: true,
+            ring_capacity: Some(cap),
+            publish_every: Some(every),
+            ..Default::default()
+        };
+        let handle = run_storm(cfg, 4, seed as u64, 600);
+        // Spills are scheduling-dependent (they need drain contention),
+        // so the count is informational; correctness must hold at any
+        // value.
+        let _spilled = handle.spilled_events();
+        assert_oracle(&handle, &format!("cap={cap} every={every}"));
+    }
+}
+
+/// A live observer hammers the findings stream while tiny rings race at
+/// the capacity boundary. Everything drained live plus the final
+/// counts must account for every finding exactly once.
+#[test]
+fn capacity_boundary_racing_with_live_observer() {
+    let cfg = ToolConfig {
+        stream: true,
+        ring_capacity: Some(1),
+        publish_every: Some(5),
+        ..Default::default()
+    };
+    let (tool0, handle) = OmpDataPerfTool::new(cfg);
+    let mut tools = vec![tool0];
+    for _ in 1..4 {
+        tools.push(handle.fork_tool());
+    }
+    let caps = CompilerProfile::LlvmClang.capabilities();
+    let drained = std::thread::scope(|s| {
+        let joins: Vec<_> = tools
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut tool)| {
+                let caps = caps.clone();
+                s.spawn(move || {
+                    tool.initialize(&caps);
+                    storm(&mut tool, i as u64, 3, 400, 0);
+                    tool.finalize(1_000_000);
+                })
+            })
+            .collect();
+        let mut live = Vec::new();
+        while joins.iter().any(|j| !j.is_finished()) {
+            live.extend(handle.take_stream_findings());
+            std::thread::yield_now();
+        }
+        for j in joins {
+            j.join().expect("storm thread panicked");
+        }
+        live.extend(handle.take_stream_findings());
+        live
+    });
+    assert!(!drained.is_empty(), "findings must flow during the run");
+    let counts = handle.stream_counts().expect("streaming on");
+    assert_eq!(counts.total(), drained.len(), "no finding lost or doubled");
+    assert_oracle(&handle, "cap=1 live observer");
+}
+
+/// Half the shards finalize (retiring their watermark slots and
+/// clearing their batchers) while the other half keep producing into
+/// their rings. Late producers' events must still merge and detect
+/// exactly.
+#[test]
+fn finalize_while_producing_keeps_the_oracle() {
+    let cfg = ToolConfig {
+        stream: true,
+        ring_capacity: Some(2),
+        publish_every: Some(9),
+        ..Default::default()
+    };
+    const THREADS: usize = 4;
+    let (tool0, handle) = OmpDataPerfTool::new(cfg);
+    let mut tools = vec![tool0];
+    for _ in 1..THREADS {
+        tools.push(handle.fork_tool());
+    }
+    let caps = CompilerProfile::LlvmClang.capabilities();
+    let fence = Arc::new(Barrier::new(THREADS));
+    std::thread::scope(|s| {
+        for (i, mut tool) in tools.into_iter().enumerate() {
+            let caps = caps.clone();
+            let fence = fence.clone();
+            s.spawn(move || {
+                tool.initialize(&caps);
+                storm(&mut tool, i as u64, 5, 200, 0);
+                if i % 2 == 0 {
+                    // Even shards finish early...
+                    tool.finalize(1_000_000);
+                    fence.wait();
+                } else {
+                    // ...odd shards keep producing after the early
+                    // finalizers have retired their slots.
+                    fence.wait();
+                    storm(&mut tool, i as u64 + 100, 6, 200, 10_000);
+                    tool.finalize(1_000_000);
+                }
+            });
+        }
+    });
+    assert_oracle(&handle, "finalize while producing");
+}
+
+/// Same seed, same config, two runs: the merged trace must be
+/// byte-identical no matter how rings, spills, and drains interleaved
+/// (scheduling independence survives the ring rewrite).
+#[test]
+fn ring_ingest_is_scheduling_independent() {
+    let cfg = ToolConfig {
+        stream: true,
+        ring_capacity: Some(2),
+        publish_every: Some(3),
+        ..Default::default()
+    };
+    let t1 = run_storm(cfg, 8, 11, 300).take_trace();
+    let t2 = run_storm(cfg, 8, 11, 300).take_trace();
+    assert_eq!(t1.data_op_count(), t2.data_op_count());
+    assert_eq!(
+        t1.to_json(),
+        t2.to_json(),
+        "merged trace must not depend on scheduling"
+    );
+}

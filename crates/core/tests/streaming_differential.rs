@@ -81,7 +81,11 @@ fn assert_streaming_identical(
         ..Default::default()
     });
     feed_completion_order(&mut engine, ops, kernels);
-    let view = EventView::new(ops, kernels, num_devices);
+    // Finalize against an explicitly columnar view: the reconciliation
+    // pass must behave identically whether the view borrows caller
+    // slices or owned columns (the merged-log path).
+    let cols = odp_trace::ColumnarView::from_events(ops, kernels);
+    let view = EventView::over(&cols, num_devices);
     let streamed = engine.finalize(&view);
     let postmortem = Findings::detect(ops, kernels, num_devices);
     assert_eq!(

@@ -24,19 +24,28 @@
 //!   that merges per-thread clocks when a multi-threaded runtime drives
 //!   callbacks from several shards at once. The merged watermark is
 //!   *strictly below*: it promises only that no future event can start
-//!   at or below it (`None` while any shard may still emit at t=0);
+//!   at or below it (`None` while any shard may still emit at t=0).
+//!   [`PublishBatcher`] amortizes the publish stores across K events on
+//!   the callback fast path without ever letting the published bound
+//!   overstate what is settled;
+//! * [`ring`] — the lock-free SPSC ingest ring each callback shard uses
+//!   to hand completed events to the streaming drain path without a
+//!   mutex on the producer side;
 //! * [`advice`] — the feedback extension real OMPT lacks: a
 //!   [`MapAdvisor`] the runtime consults at every map-clause item so a
 //!   live analysis can rewrite inefficient mappings mid-run, with
 //!   per-cause [`RemediationStats`] accounting what the rewrites saved.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the `ring` module opts back in with a scoped
+// `allow` and per-block SAFETY proofs; everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod advice;
 pub mod callback;
 pub mod capability;
 pub mod progress;
+pub mod ring;
 pub mod tool;
 pub mod version;
 
@@ -46,6 +55,6 @@ pub use callback::{
     KernelAccessInfo, SubmitCallback, TargetCallback, TargetConstructKind,
 };
 pub use capability::{CompilerProfile, RuntimeCapabilities};
-pub use progress::{GlobalWatermark, ShardSlot, StallDetector, StreamClock};
+pub use progress::{GlobalWatermark, PublishBatcher, ShardSlot, StallDetector, StreamClock};
 pub use tool::{NullTool, SetCallbackResult, Tool, ToolRegistration};
 pub use version::OmptVersion;

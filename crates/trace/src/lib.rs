@@ -36,12 +36,14 @@
 
 pub mod chrome;
 pub mod chunked;
+pub mod columnar;
 pub mod intern;
 pub mod log;
 pub mod record;
 pub mod stats;
 
 pub use chunked::ChunkedVec;
+pub use columnar::{ColumnarView, DataOpColumns, TargetColumns};
 pub use intern::CodePtrTable;
 pub use log::TraceLog;
 pub use record::{DataOpRecord, TargetRecord, DATA_OP_RECORD_BYTES, TARGET_RECORD_BYTES};

@@ -2,6 +2,9 @@
 //! hydrated view the detectors consume afterwards.
 
 use crate::chunked::ChunkedVec;
+use crate::columnar::{
+    merge_sorted_parts, sorted_perm, ColumnarView, DataOpColumns, TargetColumns,
+};
 use crate::intern::CodePtrTable;
 use crate::record::{DataOpRecord, TargetRecord};
 use crate::stats::{SpaceStats, TraceStats};
@@ -20,10 +23,15 @@ use std::sync::OnceLock;
 /// (with log order breaking ties), which is the precondition of every
 /// algorithm in §5.
 ///
-/// Hydration is memoized: the first call to a `*_events` accessor (or
-/// [`TraceLog::stats`] / [`TraceLog::to_json`]) sorts once and caches the
-/// result; repeated calls borrow the cached slice via the `*_sorted`
-/// accessors without re-hydrating or re-sorting. Appending a record
+/// Hydration is memoized and **columnar-first**: the first call to
+/// [`TraceLog::columnar`] (or any accessor that needs it — data-op /
+/// kernel events, [`TraceLog::to_json`]) runs one indexing pass that
+/// hydrates the packed records straight into a struct-of-arrays
+/// [`ColumnarView`] (per-part permutation sort + k-way shard merge) and
+/// caches it; the detectors sweep those cache-dense columns directly.
+/// The row slices returned by the `*_sorted` accessors are *derived*
+/// from the columns by a memoized gather — no second sort — so row and
+/// columnar consumers can never disagree. Appending a record
 /// invalidates the caches (appends take `&mut self`, so no reader can
 /// hold a stale borrow). [`TraceLog::sort_count`] exposes how many sort
 /// passes have actually run, so the memoization is testable.
@@ -58,12 +66,16 @@ pub struct TraceLog {
     duplicate_ids: u64,
     peak_alloc_bytes: usize,
     total_time: SimDuration,
-    /// Memoized chronological hydration of `data_ops`.
+    /// Memoized columnar hydration (data-op + kernel columns, both
+    /// `(start, id)`-ordered) — the single indexing pass every other
+    /// hydration view derives from.
+    columnar: OnceLock<ColumnarView>,
+    /// Memoized row gather of the columnar data-op hydration.
     hydrated_ops: OnceLock<Vec<DataOpEvent>>,
     /// Memoized chronological hydration of all `targets`.
     hydrated_targets: OnceLock<Vec<TargetEvent>>,
-    /// Memoized chronological hydration of kernel records only (built by
-    /// filtering *records* before hydration, so a log dominated by
+    /// Memoized row gather of the columnar kernel hydration (the
+    /// columnar pass filters *records*, so a log dominated by
     /// non-kernel constructs never hydrates them on this path).
     hydrated_kernels: OnceLock<Vec<TargetEvent>>,
     /// Memoized aggregate statistics.
@@ -219,6 +231,7 @@ impl TraceLog {
     /// Drop the memoized hydrations after an append. Cheap when nothing
     /// is cached (the steady state while the program runs).
     fn invalidate_hydration(&mut self) {
+        self.columnar.take();
         self.hydrated_ops.take();
         self.hydrated_targets.take();
         self.hydrated_kernels.take();
@@ -295,27 +308,60 @@ impl TraceLog {
         }
     }
 
-    /// Borrow the memoized chronological data-op events (start, then log
-    /// order) — the `data_op_events` input of Algorithms 1–5. Sorts at
-    /// most once per batch of appends. On a merged log this is the
-    /// deterministic `(start, shard, per-shard order)` merge of every
-    /// shard's stream.
-    pub fn data_op_events_sorted(&self) -> &[DataOpEvent] {
-        self.hydrated_ops.get_or_init(|| {
+    /// Borrow the memoized columnar hydration: data-op and kernel
+    /// events decomposed into `(start, id)`-ordered struct-of-arrays
+    /// columns — the representation the fused detector sweeps consume
+    /// directly. Built in one indexing pass per batch of appends: each
+    /// part (the log itself, plus every merged shard) is hydrated in
+    /// append order and permutation-sorted, then the parts are k-way
+    /// merged by `(start, id, part)` — byte-identical to sorting the
+    /// concatenation, but without re-sorting already-ordered shards.
+    pub fn columnar(&self) -> &ColumnarView {
+        self.columnar.get_or_init(|| {
             self.sort_passes.fetch_add(1, Ordering::Relaxed);
-            let mut events: Vec<DataOpEvent> = self
-                .parts()
-                .flat_map(|p| {
-                    p.data_ops.iter().map(|r| {
+            let mut op_parts: Vec<(Vec<DataOpEvent>, Vec<u32>)> = Vec::new();
+            let mut kernel_parts: Vec<(Vec<TargetEvent>, Vec<u32>)> = Vec::new();
+            for p in self.parts() {
+                let ops: Vec<DataOpEvent> = p
+                    .data_ops
+                    .iter()
+                    .map(|r| {
                         let mut e = r.to_event();
                         e.id = EventId(p.id_base | e.id.0);
                         e
                     })
-                })
-                .collect();
-            events.sort_by_key(|e| (e.span.start, e.id));
-            events
+                    .collect();
+                let op_perm = sorted_perm(&ops, |e| (e.span.start, e.id));
+                op_parts.push((ops, op_perm));
+                let kernels: Vec<TargetEvent> = p
+                    .targets
+                    .iter()
+                    .filter(|r| r.kind() == TargetKind::Kernel)
+                    .map(|r| {
+                        let cp = p.codeptrs.resolve(r.codeptr_ix);
+                        r.to_event(p.id_base | r.seq() as u64, cp)
+                    })
+                    .collect();
+                let kernel_perm = sorted_perm(&kernels, |e| (e.span.start, e.id));
+                kernel_parts.push((kernels, kernel_perm));
+            }
+            let mut ops = DataOpColumns::with_capacity(op_parts.iter().map(|(r, _)| r.len()).sum());
+            merge_sorted_parts(&op_parts, |e| (e.span.start, e.id), |e| ops.push(e));
+            let mut kernels =
+                TargetColumns::with_capacity(kernel_parts.iter().map(|(r, _)| r.len()).sum());
+            merge_sorted_parts(&kernel_parts, |e| (e.span.start, e.id), |e| kernels.push(e));
+            ColumnarView { ops, kernels }
         })
+    }
+
+    /// Borrow the memoized chronological data-op events (start, then log
+    /// order) — the `data_op_events` input of Algorithms 1–5. A gather
+    /// from the columnar hydration, memoized; no additional sorting. On
+    /// a merged log this is the deterministic `(start, shard, per-shard
+    /// order)` merge of every shard's stream.
+    pub fn data_op_events_sorted(&self) -> &[DataOpEvent] {
+        self.hydrated_ops
+            .get_or_init(|| self.columnar().ops.to_events())
     }
 
     /// Hydrate data-op events as an owned vector (copies the memoized
@@ -348,26 +394,12 @@ impl TraceLog {
     }
 
     /// Borrow the memoized kernel-execution events (input to Algorithms
-    /// 4/5). Filters the packed *records* before hydrating, so non-kernel
-    /// target constructs are never hydrated or sorted on this path.
+    /// 4/5). A gather from the columnar hydration — which filters the
+    /// packed *records* before hydrating, so non-kernel target
+    /// constructs are never hydrated or sorted on this path.
     pub fn kernel_events_sorted(&self) -> &[TargetEvent] {
-        self.hydrated_kernels.get_or_init(|| {
-            self.sort_passes.fetch_add(1, Ordering::Relaxed);
-            let mut events: Vec<TargetEvent> = self
-                .parts()
-                .flat_map(|p| {
-                    p.targets
-                        .iter()
-                        .filter(|r| r.kind() == TargetKind::Kernel)
-                        .map(|r| {
-                            let cp = p.codeptrs.resolve(r.codeptr_ix);
-                            r.to_event(p.id_base | r.seq() as u64, cp)
-                        })
-                })
-                .collect();
-            events.sort_by_key(|e| (e.span.start, e.id));
-            events
-        })
+        self.hydrated_kernels
+            .get_or_init(|| self.columnar().kernels.to_events())
     }
 
     /// Hydrate only kernel-execution events as an owned vector.
@@ -591,19 +623,24 @@ mod tests {
         let mut log = sample_log();
         assert_eq!(log.sort_count(), 0, "no hydration before first access");
 
-        // Kernel hydration filters records directly — one sort, and it
-        // does not build (or need) the full target hydration.
+        // The first event access runs the single columnar indexing
+        // pass; it covers data ops AND kernels.
         let k1 = log.kernel_events();
         assert_eq!(log.sort_count(), 1);
         let k2 = log.kernel_events();
         assert_eq!(log.sort_count(), 1, "kernel hydration memoized");
         assert_eq!(k1, k2);
 
-        // Repeated data-op hydration: exactly one sort.
+        // Data-op rows are a gather from the same columnar pass — no
+        // second sort.
         let ops1 = log.data_op_events();
         let ops2 = log.data_op_events();
         assert_eq!(ops1, ops2);
-        assert_eq!(log.sort_count(), 2, "data-op hydration memoized");
+        assert_eq!(
+            log.sort_count(),
+            1,
+            "data ops derive from the columnar pass"
+        );
 
         // Stats and JSON export reuse the caches (JSON additionally
         // builds the full target hydration, once).
@@ -611,9 +648,10 @@ mod tests {
         let _ = log.stats();
         let _ = log.to_json();
         let _ = log.to_json();
-        assert_eq!(log.sort_count(), 3, "export added only the target sort");
+        assert_eq!(log.sort_count(), 2, "export added only the target sort");
 
-        // Appending invalidates: the next access re-sorts, once.
+        // Appending invalidates: the next access re-runs the columnar
+        // pass, once.
         log.record_data_op(
             DataOpKind::Transfer,
             DeviceId::HOST,
@@ -627,9 +665,88 @@ mod tests {
         );
         let ops3 = log.data_op_events();
         assert_eq!(ops3.len(), ops1.len() + 1);
-        assert_eq!(log.sort_count(), 4);
+        assert_eq!(log.sort_count(), 3);
         let _ = log.data_op_events();
-        assert_eq!(log.sort_count(), 4);
+        assert_eq!(log.sort_count(), 3);
+    }
+
+    #[test]
+    fn columnar_hydration_matches_row_hydration() {
+        let log = sample_log();
+        let cols = log.columnar();
+        assert_eq!(cols.ops.to_events(), log.data_op_events());
+        assert_eq!(cols.kernels.to_events(), log.kernel_events());
+        for (i, e) in log.data_op_events_sorted().iter().enumerate() {
+            assert_eq!(&cols.ops.event(i), e, "field-for-field at {i}");
+        }
+    }
+
+    /// The k-way shard merge must emit exactly the order the old
+    /// concat-then-stable-sort produced — including overlapping spans,
+    /// same-start ties across shards, and out-of-append-order starts
+    /// within a shard (completion-ordered recording).
+    #[test]
+    fn kway_merge_order_matches_concat_sort() {
+        let build = || {
+            let mut a = TraceLog::for_shard(0);
+            let mut b = TraceLog::for_shard(1);
+            let mut c = TraceLog::for_shard(7);
+            // Appended in completion order: starts go backwards.
+            for &t in &[40u64, 10, 25, 10] {
+                a.record_data_op(
+                    DataOpKind::Transfer,
+                    DeviceId::HOST,
+                    DeviceId::target(0),
+                    0x1000 + t,
+                    0xd000,
+                    64,
+                    Some(t),
+                    span(t, t + 30),
+                    CodePtr(0x100),
+                );
+            }
+            for &t in &[10u64, 10, 90] {
+                b.record_data_op(
+                    DataOpKind::Alloc,
+                    DeviceId::HOST,
+                    DeviceId::target(1),
+                    0x2000 + t,
+                    0xe000,
+                    32,
+                    None,
+                    span(t, t + 5),
+                    CodePtr(0x200),
+                );
+                b.record_target(
+                    TargetKind::Kernel,
+                    DeviceId::target(1),
+                    span(t + 1, t + 4),
+                    CodePtr(0x300),
+                );
+            }
+            c.record_target(
+                TargetKind::Kernel,
+                DeviceId::target(0),
+                span(10, 20),
+                CodePtr(0x400),
+            );
+            vec![a, b, c]
+        };
+
+        // Oracle: hydrate every shard separately and stable-sort the
+        // concatenation, in shard-vector order — the old row path.
+        let shards = build();
+        let mut naive_ops: Vec<DataOpEvent> =
+            shards.iter().flat_map(|s| s.data_op_events()).collect();
+        naive_ops.sort_by_key(|e| (e.span.start, e.id));
+        let mut naive_kernels: Vec<TargetEvent> =
+            shards.iter().flat_map(|s| s.kernel_events()).collect();
+        naive_kernels.sort_by_key(|e| (e.span.start, e.id));
+
+        let merged = TraceLog::merge_shards(build());
+        assert_eq!(merged.data_op_events(), naive_ops);
+        assert_eq!(merged.kernel_events(), naive_kernels);
+        assert_eq!(merged.columnar().ops.to_events(), naive_ops);
     }
 
     #[test]

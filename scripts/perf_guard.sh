@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Perf guard for the columnar/ring hot path: re-measures the fused
+# detector sweep with the `hotpath` binary and fails if any measured
+# size regressed more than 20% (Melem/s) against the checked-in
+# BENCH_hotpath.json baseline.
+#
+# Shared-runner noise makes single bench runs flaky, so a regression
+# must reproduce on three consecutive runs before the guard fails.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --release -p odp-bench --bin hotpath
+
+attempts=3
+i=1
+while [ "$i" -le "$attempts" ]; do
+    if ./target/release/hotpath --quick --guard BENCH_hotpath.json; then
+        exit 0
+    fi
+    echo "perf_guard: attempt $i/$attempts failed" >&2
+    i=$((i + 1))
+done
+echo "perf_guard: fused sweep regression reproduced on $attempts runs" >&2
+exit 1
