@@ -13,10 +13,11 @@
 //!     [--quick] [--json PATH] [--guard BASELINE]
 //! ```
 //!
-//! `--guard BASELINE` compares the fresh fused sweep against the
-//! checked-in baseline's `fused` rows and exits non-zero if any size
-//! regressed more than 20% — the contract `scripts/perf_guard.sh`
-//! enforces in CI.
+//! `--guard BASELINE` compares the fresh run against the checked-in
+//! baseline and exits non-zero on a >20% regression in any gated
+//! number: fused Melem/s (throughput floor) plus streaming, reorder,
+//! and callback ns/event (latency ceilings) — the contract
+//! `scripts/perf_guard.sh` enforces in CI.
 
 use odp_bench::{measure_wall, Table};
 use odp_model::{
@@ -204,6 +205,7 @@ fn main() {
     let mut fused = Vec::new();
     let mut separate = Vec::new();
     let mut streaming = Vec::new();
+    let mut reorder = Vec::new();
 
     let mut hydrate = Vec::new();
 
@@ -276,7 +278,7 @@ fn main() {
         ]);
         separate.push(s);
 
-        if events <= 100_000 {
+        {
             // Streaming increment: batched ingest in ring-drain-sized
             // chunks with a trailing watermark, then finalize — the
             // shape `ToolShared::drain_locked` produces.
@@ -309,6 +311,47 @@ fn main() {
                 format!("{:.1}", s.ns_per_event),
             ]);
             streaming.push(s);
+        }
+
+        {
+            // Standalone reorder-pipeline increment: the shard-run
+            // merge that replaced the streaming engine's BinaryHeap,
+            // fed four in-order shard runs with a trailing watermark
+            // drain every 256 events — detector state machines
+            // excluded, so this row isolates the pipeline's per-event
+            // push + merge + retire cost (the <50 ns streaming-
+            // increment budget).
+            use ompdataperf::detect::reorder::RunMergeBuffer;
+            let shards = 4u64;
+            let s = sweep(total, reps, || {
+                let start = Instant::now();
+                let mut buf: RunMergeBuffer<u64> = RunMergeBuffer::default();
+                let mut drained = 0usize;
+                for i in 0..total as u64 {
+                    let t = SimTime(i * 10);
+                    buf.push((i % shards) as u32, (t, i, 0), i);
+                    if i % 256 == 255 {
+                        let wm = SimTime((i * 10).saturating_sub(2_560));
+                        while let Some(v) = buf.pop_if(|k| k.0 <= wm) {
+                            drained += 1;
+                            black_box(v);
+                        }
+                    }
+                }
+                while let Some(v) = buf.pop_if(|_| true) {
+                    drained += 1;
+                    black_box(v);
+                }
+                black_box(drained);
+                start.elapsed()
+            });
+            table.row(vec![
+                "reorder".into(),
+                format!("{events}"),
+                format!("{:.3}", s.melem_per_s),
+                format!("{:.1}", s.ns_per_event),
+            ]);
+            reorder.push(s);
         }
     }
 
@@ -352,6 +395,7 @@ fn main() {
             "hydrate": hydrate.iter().map(row).collect::<Vec<_>>(),
             "separate": separate.iter().map(row).collect::<Vec<_>>(),
             "streaming": streaming.iter().map(row).collect::<Vec<_>>(),
+            "reorder": reorder.iter().map(row).collect::<Vec<_>>(),
             "callback": {
                 "threads": threads,
                 "pairs_per_thread": pairs,
@@ -385,36 +429,73 @@ fn main() {
                 std::process::exit(2);
             }
         };
-        let rows = baseline["fused"].as_array().cloned().unwrap_or_default();
+
         let mut checked = 0usize;
         let mut failed = false;
-        for s in &fused {
-            let base = rows.iter().find_map(|r| {
-                (r["events"].as_u64() == Some(s.events as u64))
-                    .then(|| r["melem_per_s"].as_f64())?
-            });
-            let Some(base) = base else { continue };
+
+        // Throughput gates (higher is better): fused Melem/s.
+        // Latency gates (lower is better): streaming, reorder, and
+        // callback ns/event. Both use the same ±20% band the script's
+        // 3-strike retry was designed around.
+        let mut gate = |name: &str,
+                        events: Option<usize>,
+                        measured: f64,
+                        base: f64,
+                        floor: bool| {
             checked += 1;
-            let floor = base * (1.0 - TOLERANCE);
-            if s.melem_per_s < floor {
+            let at = events.map(|e| format!(" @{e} events")).unwrap_or_default();
+            let bound = if floor {
+                base * (1.0 - TOLERANCE)
+            } else {
+                base * (1.0 + TOLERANCE)
+            };
+            let (unit, ok) = if floor {
+                ("Melem/s", measured >= bound)
+            } else {
+                ("ns/event", measured <= bound)
+            };
+            if ok {
+                println!(
+                    "perf guard: {name}{at} ok: {measured:.3} {unit} vs bound {bound:.3} (baseline {base:.3})"
+                );
+            } else {
                 eprintln!(
-                    "perf guard: fused @{} events REGRESSED: {:.3} Melem/s < floor {:.3} (baseline {:.3} − {:.0}%)",
-                    s.events,
-                    s.melem_per_s,
-                    floor,
-                    base,
+                    "perf guard: {name}{at} REGRESSED: {measured:.3} {unit} vs bound {bound:.3} (baseline {base:.3} ± {:.0}%)",
                     TOLERANCE * 100.0
                 );
                 failed = true;
-            } else {
-                println!(
-                    "perf guard: fused @{} events ok: {:.3} Melem/s ≥ floor {:.3} (baseline {:.3})",
-                    s.events, s.melem_per_s, floor, base
-                );
+            }
+        };
+
+        let by_events = |section: &str, events: usize, field: &str| -> Option<f64> {
+            baseline[section].as_array()?.iter().find_map(|r| {
+                (r["events"].as_u64() == Some(events as u64)).then(|| r[field].as_f64())?
+            })
+        };
+        for s in &fused {
+            if let Some(base) = by_events("fused", s.events, "melem_per_s") {
+                gate("fused", Some(s.events), s.melem_per_s, base, true);
             }
         }
+        for s in &streaming {
+            if let Some(base) = by_events("streaming", s.events, "ns_per_event") {
+                gate("streaming", Some(s.events), s.ns_per_event, base, false);
+            }
+        }
+        for s in &reorder {
+            if let Some(base) = by_events("reorder", s.events, "ns_per_event") {
+                gate("reorder", Some(s.events), s.ns_per_event, base, false);
+            }
+        }
+        if let Some(base) = baseline["callback"]["ns_per_event"].as_f64() {
+            gate("callback", None, callback_ns, base, false);
+        }
+        if let Some(base) = baseline["callback"]["ring_ns_per_event"].as_f64() {
+            gate("callback+ring", None, callback_stream_ns, base, false);
+        }
+
         if checked == 0 {
-            eprintln!("perf guard: baseline {path} has no fused rows matching the measured sizes");
+            eprintln!("perf guard: baseline {path} has no rows matching the measured sizes");
             std::process::exit(2);
         }
         if failed {

@@ -73,6 +73,13 @@ fn main() -> ExitCode {
         },
     };
 
+    // Pin the post-mortem sweep's worker count before any detection
+    // runs (`--sweep-threads` overrides `ODP_SWEEP_THREADS`; findings
+    // are byte-identical at every count).
+    if let Some(n) = parsed.sweep_threads {
+        ompdataperf::detect::set_sweep_threads(n);
+    }
+
     let mut cfg = RuntimeConfig::default();
     if parsed.pre_emi {
         cfg = cfg.pre_emi();

@@ -31,7 +31,7 @@
 use crate::detect::pairing::AllocDeletePair;
 use crate::detect::{
     Confidence, DuplicateTransferGroup, Findings, IssueCounts, RepeatedAllocGroup, RoundTrip,
-    RoundTripGroup, UnusedAlloc, UnusedTransfer, UnusedTransferReason,
+    RoundTripGroup, TripList, UnusedAlloc, UnusedTransfer, UnusedTransferReason,
 };
 use odp_hash::fnv::FnvHashMap;
 use odp_model::{DataOpEvent, DataOpKind, DeviceId, HashVal, SimTime, TargetEvent};
@@ -185,6 +185,67 @@ impl RxIndex {
     }
 }
 
+/// Avalanche mix of an allocation identity (`(device, device_addr)`) for
+/// [`OpenAllocIndex`] probing.
+#[inline]
+fn open_key_mix(dev: DeviceId, addr: u64) -> u64 {
+    let mut x = addr.wrapping_add((dev.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x
+}
+
+/// Open-addressed `(device, device_addr)` → open-pairing index for the
+/// build pass's alloc/delete matching: linear probing, `u32::MAX` =
+/// empty, sized to ≤50% load for the trace's alloc count so it never
+/// grows. Keys are never removed — a slot always holds the *latest*
+/// pairing opened at its address (a fresh allocation shadows a stale
+/// entry by overwriting the slot), and a delete checks whether that
+/// pairing is still open instead of consuming the entry, which keeps
+/// the table tombstone-free. Keys live in the event columns themselves
+/// (`pairs[slot].alloc` points back at the allocation's row), so the
+/// table stores only a 4-byte pairing index.
+struct OpenAllocIndex {
+    mask: usize,
+    slots: Box<[u32]>,
+}
+
+impl OpenAllocIndex {
+    fn with_capacity(keys: usize) -> OpenAllocIndex {
+        let cap = (keys * 2).next_power_of_two().max(16);
+        OpenAllocIndex {
+            mask: cap - 1,
+            slots: vec![u32::MAX; cap].into_boxed_slice(),
+        }
+    }
+
+    /// The table slot for an allocation identity: either empty
+    /// (`u32::MAX`) or holding the latest pairing opened at this key.
+    /// The caller reads it (delete) or overwrites it (alloc).
+    #[inline]
+    fn slot_mut(
+        &mut self,
+        dev: DeviceId,
+        addr: u64,
+        pairs: &[IdxPair],
+        ops: &DataOpColumns,
+    ) -> &mut u32 {
+        let mut i = open_key_mix(dev, addr) as usize & self.mask;
+        loop {
+            let s = self.slots[i];
+            if s == u32::MAX {
+                return &mut self.slots[i];
+            }
+            let ox = pairs[s as usize].alloc as usize;
+            if ops.dest_devices[ox] == dev && ops.dest_addrs[ox] == addr {
+                return &mut self.slots[i];
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+}
+
 /// An alloc/delete pairing by event index (the zero-copy counterpart of
 /// [`AllocDeletePair`]). Shared by Algorithms 3 and 4.
 struct IdxPair {
@@ -237,6 +298,13 @@ pub struct EventView<'a> {
     /// `rx_slots` index it was enqueued into — precomputed so the sweep
     /// dequeues without a second hash lookup.
     dest_slot: Vec<u32>,
+    /// For each hashed transfer (parallel to `hashed_transfers`), the
+    /// [`rx_key_mix`] of its `(hash, src_device)` key — the probe
+    /// Algorithm 2 makes against the Bloom filter. Precomputed in the
+    /// build pass so the sweep's reject phase is a pure scan of two
+    /// dense arrays (mix column + filter words), no hash loads, no
+    /// mixing.
+    src_mix: Vec<u64>,
     /// Alloc/delete pairings, in allocation order.
     pairs: Vec<IdxPair>,
     /// Per-target-device transfer indices (Algorithm 5 input).
@@ -312,28 +380,51 @@ impl<'a> EventView<'a> {
         let mut rx_filter = vec![0u64; filter_words].into_boxed_slice();
         let mut hashed_transfers: Vec<OpIx> = Vec::with_capacity(n_hashed_tx);
         let mut dest_slot: Vec<u32> = Vec::with_capacity(n_hashed_tx);
+        let mut src_mix: Vec<u64> = Vec::with_capacity(n_hashed_tx);
         let mut pairs: Vec<IdxPair> = Vec::with_capacity(n_allocs);
-        let mut open: FnvHashMap<(DeviceId, u64), u32> =
-            FnvHashMap::with_capacity_and_hasher(n_allocs, Default::default());
+        let mut open = OpenAllocIndex::with_capacity(n_allocs);
         let mut tx_by_device: Vec<Vec<OpIx>> = vec![Vec::new(); nd];
         let mut pairs_by_device: Vec<Vec<u32>> = vec![Vec::new(); nd];
+
+        // Reception-queue indexing runs as its own phased sub-pass: at
+        // million-event scale the slot index outgrows the cache and
+        // every probe is a dependent memory miss, so burying the probes
+        // inside the full per-kind loop body serializes them — the
+        // instruction window fills with bookkeeping before the next
+        // miss can issue. Splitting (a) a sequential collect of the
+        // hashed transfers and their key mixes from (b) a tight
+        // probe-only loop keeps many misses in flight at once.
+        let mut dest_mix: Vec<u64> = Vec::with_capacity(n_hashed_tx);
+        for (ox, &kind) in ops.kinds.iter().enumerate() {
+            if kind == DataOpKind::Transfer {
+                if let Some(hash) = ops.hashes[ox] {
+                    let mix = rx_key_mix(hash, ops.dest_devices[ox]);
+                    rx_filter[(mix as usize >> 6) & (filter_words - 1)] |= 1 << (mix % 64);
+                    hashed_transfers.push(ox as OpIx);
+                    dest_mix.push(mix);
+                    src_mix.push(rx_key_mix(hash, ops.src_devices[ox]));
+                }
+            }
+        }
+        for (tix, &ox) in hashed_transfers.iter().enumerate() {
+            let Some(hash) = ops.hashes[ox as usize] else {
+                continue; // collected above: always hashed
+            };
+            let dest = ops.dest_devices[ox as usize];
+            let slot = rx_index.find_or_insert(dest_mix[tix], hash, dest, &mut rx_slots);
+            dest_slot.push(slot);
+        }
+        drop(dest_mix);
+        rx_counts.resize(rx_slots.len(), 0);
+        for &slot in &dest_slot {
+            rx_counts[slot as usize] += 1;
+        }
 
         for (ox, &kind) in ops.kinds.iter().enumerate() {
             let ox = ox as OpIx;
             match kind {
                 DataOpKind::Transfer => {
                     let dest = ops.dest_devices[ox as usize];
-                    if let Some(hash) = ops.hashes[ox as usize] {
-                        let mix = rx_key_mix(hash, dest);
-                        rx_filter[(mix as usize >> 6) & (filter_words - 1)] |= 1 << (mix % 64);
-                        let slot = rx_index.find_or_insert(mix, hash, dest, &mut rx_slots);
-                        if slot as usize == rx_counts.len() {
-                            rx_counts.push(0);
-                        }
-                        rx_counts[slot as usize] += 1;
-                        hashed_transfers.push(ox);
-                        dest_slot.push(slot);
-                    }
                     if let Some(ix) = dest.target_index() {
                         if ix < nd {
                             tx_by_device[ix].push(ox);
@@ -345,13 +436,13 @@ impl<'a> EventView<'a> {
                 DataOpKind::Alloc => {
                     let dest = ops.dest_devices[ox as usize];
                     let pair_ix = pairs.len() as u32;
-                    // A new allocation at an address shadows any stale
-                    // open entry (same contract as `alloc_delete_pairs`).
-                    open.insert((dest, ops.dest_addrs[ox as usize]), pair_ix);
                     pairs.push(IdxPair {
                         alloc: ox,
                         delete: None,
                     });
+                    // A new allocation at an address shadows any stale
+                    // open entry (same contract as `alloc_delete_pairs`).
+                    *open.slot_mut(dest, ops.dest_addrs[ox as usize], &pairs, ops) = pair_ix;
                     if let Some(ix) = dest.target_index() {
                         if ix < nd {
                             pairs_by_device[ix].push(pair_ix);
@@ -361,9 +452,16 @@ impl<'a> EventView<'a> {
                     }
                 }
                 DataOpKind::Delete => {
-                    let key = (ops.dest_devices[ox as usize], ops.dest_addrs[ox as usize]);
-                    if let Some(pair_ix) = open.remove(&key) {
-                        pairs[pair_ix as usize].delete = Some(ox);
+                    let dest = ops.dest_devices[ox as usize];
+                    let pix = *open.slot_mut(dest, ops.dest_addrs[ox as usize], &pairs, ops);
+                    if pix != u32::MAX {
+                        let pair = &mut pairs[pix as usize];
+                        // Still open: this delete closes it. Already
+                        // closed (and not re-opened since): a double
+                        // free, which pairs with nothing.
+                        if pair.delete.is_none() {
+                            pair.delete = Some(ox);
+                        }
                     }
                 }
                 _ => {}
@@ -398,6 +496,7 @@ impl<'a> EventView<'a> {
             rx_filter,
             hashed_transfers,
             dest_slot,
+            src_mix,
             pairs,
             tx_by_device,
             kernels_by_device,
@@ -501,6 +600,14 @@ pub struct IndexFindings {
     rt_trips: Vec<(OpIx, OpIx, u32)>,
     /// Algorithm 3: repeated-allocation groups.
     repeated_allocs: Vec<IdxRepeatedAllocGroup>,
+    /// Flat arena of `(pair index, next)` records for the
+    /// repeated-alloc groups' member chains — the same intrusive-chain
+    /// trick as `rt_trips`. Traces dominated by unique allocation
+    /// sites (most of them) would otherwise pay one heap-allocated
+    /// single-element `Vec` per site; the arena is one allocation
+    /// total, and singleton chains that never reach group size 2 just
+    /// sit unreferenced in it.
+    ra_pairs: Vec<(u32, u32)>,
     /// Algorithm 4: unused allocations as `pairs` indices.
     unused_allocs: Vec<u32>,
     /// Algorithm 5: unused transfers.
@@ -517,12 +624,16 @@ struct IdxRoundTripGroup {
     len: u32,
 }
 
+#[derive(Clone, Copy)]
 struct IdxRepeatedAllocGroup {
     host_addr: u64,
     device: DeviceId,
     bytes: u64,
-    /// Indices into the view's shared pairing table.
-    pair_ixs: Vec<u32>,
+    /// Allocation-ordered member chain through
+    /// [`IndexFindings::ra_pairs`] (`u32::MAX` terminates).
+    head: u32,
+    tail: u32,
+    len: u32,
 }
 
 impl IndexFindings {
@@ -539,7 +650,7 @@ impl IndexFindings {
             ra: self
                 .repeated_allocs
                 .iter()
-                .map(|g| g.pair_ixs.len().saturating_sub(1))
+                .map(|g| (g.len as usize).saturating_sub(1))
                 .sum(),
             ua: self.unused_allocs.len(),
             ut: self.unused_transfers.len(),
@@ -571,18 +682,29 @@ impl IndexFindings {
                     src_device: g.src,
                     dest_device: g.dest,
                     trips: {
-                        let mut trips = Vec::with_capacity(g.len as usize);
-                        let mut t = g.head;
-                        while t != u32::MAX {
-                            let (tx, rx, next) = self.rt_trips[t as usize];
-                            trips.push(RoundTrip {
+                        // Single-trip groups dominate realistic traces;
+                        // building them inline skips one heap Vec per
+                        // group (the malloc otherwise costs more than
+                        // the gather at million-event scale).
+                        let gather = |t: u32| {
+                            let (tx, rx, _) = self.rt_trips[t as usize];
+                            RoundTrip {
                                 tx: view.op(tx),
                                 rx: view.op(rx),
                                 spilled: false,
-                            });
-                            t = next;
+                            }
+                        };
+                        if g.len == 1 {
+                            TripList::One([gather(g.head)])
+                        } else {
+                            let mut trips = Vec::with_capacity(g.len as usize);
+                            let mut t = g.head;
+                            while t != u32::MAX {
+                                trips.push(gather(t));
+                                t = self.rt_trips[t as usize].2;
+                            }
+                            TripList::Many(trips)
                         }
-                        trips
                     },
                     confidence: Confidence::Confirmed,
                 })
@@ -594,11 +716,16 @@ impl IndexFindings {
                     host_addr: g.host_addr,
                     device: g.device,
                     bytes: g.bytes,
-                    pairs: g
-                        .pair_ixs
-                        .iter()
-                        .map(|&px| view.resolve_pair(&view.pairs[px as usize]))
-                        .collect(),
+                    pairs: {
+                        let mut pairs = Vec::with_capacity(g.len as usize);
+                        let mut p = g.head;
+                        while p != u32::MAX {
+                            let (px, next) = self.ra_pairs[p as usize];
+                            pairs.push(view.resolve_pair(&view.pairs[px as usize]));
+                            p = next;
+                        }
+                        pairs
+                    },
                     confidence: Confidence::Confirmed,
                 })
                 .collect(),
@@ -635,51 +762,274 @@ impl IndexFindings {
 /// everything. The sweeps read only the columns they need (hash,
 /// device, address, time), streaming over dense arrays.
 pub fn detect_indexed(view: &EventView<'_>) -> IndexFindings {
-    let mut out = IndexFindings::default();
-    let ops = view.ops();
-    let kerns = view.kernels();
+    detect_indexed_with(view, 1)
+}
 
-    // Algorithm 1 — duplicate transfers. The reception queues *are* the
-    // groups: first-seen key order, chronological events.
-    for sx in 0..view.rx_slots.len() as u32 {
-        if view.rx_queue(sx).len() >= 2 {
-            out.duplicates.push(sx);
-        }
+/// [`detect_indexed`] with an explicit worker count. `threads == 1` is
+/// the sequential sweep; `threads > 1` partitions the work across
+/// `std::thread::scope` workers (see `detect_parallel`) and merges
+/// deterministically — the output is byte-identical either way.
+pub fn detect_indexed_with(view: &EventView<'_>, threads: usize) -> IndexFindings {
+    if threads <= 1 {
+        detect_sequential(view)
+    } else {
+        detect_parallel(view, threads)
+    }
+}
+
+/// The sequential fused sweep: all five algorithms, one worker.
+fn detect_sequential(view: &EventView<'_>) -> IndexFindings {
+    let mut out = IndexFindings {
+        duplicates: alg1_duplicates(view),
+        ..Default::default()
+    };
+    let trips = alg2_scan(view, 0, 1);
+    alg2_link_groups(view, &trips, &mut out);
+    let part = alg3_scan(view, 0, 1);
+    alg3_merge(vec![part], &mut out);
+    for dev in 0..view.num_devices as usize {
+        alg4_device(view, dev, &mut out.unused_allocs);
+        alg5_device(view, dev, &mut out.unused_transfers);
+    }
+    out
+}
+
+/// The partitioned fused sweep. The five algorithms decompose without
+/// sharing mutable state:
+///
+/// - Algorithm 2 partitions **by hash**: a transfer with hash `h` only
+///   reads the `(h, src)` queue cursor and advances the `(h, dest)`
+///   cursor, so per-hash partitions never touch each other's cursors.
+///   Workers emit raw trips tagged with the transfer's sweep position;
+///   a sort on that position plus [`alg2_link_groups`] rebuilds group
+///   creation order exactly.
+/// - Algorithm 3 partitions by allocation key; merged groups sort by
+///   their first member's pair index (= first-seen key order).
+/// - Algorithms 4/5 partition per device; results concatenate in
+///   device order.
+/// - Algorithm 1 is a trivial slot scan and stays on this thread.
+///
+/// Workers claim jobs from a shared atomic cursor, so a skewed device
+/// or hash partition does not idle the rest of the pool.
+fn detect_parallel(view: &EventView<'_>, threads: usize) -> IndexFindings {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[derive(Clone, Copy)]
+    enum Job {
+        Rt(usize),
+        Ra(usize),
+        Ua(usize),
+        Ut(usize),
+    }
+    enum JobOut {
+        Trips(Vec<(u32, OpIx, OpIx)>),
+        Allocs(RaPart),
+        UnusedAllocs(Vec<u32>),
+        UnusedTransfers(Vec<(OpIx, UnusedTransferReason)>),
     }
 
-    // Algorithm 2 — round trips: one chronological sweep consuming the
-    // shared reception queues through per-slot cursors (the standalone
-    // detector's FIFO pops, without cloning the queues).
-    {
-        let mut heads: Vec<usize> = vec![0; view.rx_slots.len()];
-        let mut group_ix: FnvHashMap<(HashVal, DeviceId, DeviceId), u32> = FnvHashMap::default();
-        for (tix, &ox) in view.hashed_transfers.iter().enumerate() {
+    let nparts = threads;
+    let nd = view.num_devices as usize;
+    let mut jobs: Vec<Job> = Vec::with_capacity(2 * nparts + 2 * nd);
+    jobs.extend((0..nparts).map(Job::Rt));
+    jobs.extend((0..nparts).map(Job::Ra));
+    jobs.extend((0..nd).map(Job::Ua));
+    jobs.extend((0..nd).map(Job::Ut));
+
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<JobOut>> = Vec::new();
+    slots.resize_with(jobs.len(), || None);
+
+    let mut out = IndexFindings::default();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads.min(jobs.len()))
+            .map(|_| {
+                s.spawn(|| {
+                    let mut mine: Vec<(usize, JobOut)> = Vec::new();
+                    loop {
+                        let j = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(j) else {
+                            break;
+                        };
+                        let produced = match *job {
+                            Job::Rt(p) => JobOut::Trips(alg2_scan(view, p, nparts)),
+                            Job::Ra(p) => JobOut::Allocs(alg3_scan(view, p, nparts)),
+                            Job::Ua(d) => {
+                                let mut v = Vec::new();
+                                alg4_device(view, d, &mut v);
+                                JobOut::UnusedAllocs(v)
+                            }
+                            Job::Ut(d) => {
+                                let mut v = Vec::new();
+                                alg5_device(view, d, &mut v);
+                                JobOut::UnusedTransfers(v)
+                            }
+                        };
+                        mine.push((j, produced));
+                    }
+                    mine
+                })
+            })
+            .collect();
+
+        // Algorithm 1 overlaps with the workers — it is a pure read.
+        out.duplicates = alg1_duplicates(view);
+
+        for h in handles {
+            let mine = h.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
+            for (j, produced) in mine {
+                slots[j] = Some(produced);
+            }
+        }
+    });
+
+    // Deterministic merge, in job order (= partition order = device
+    // order). A worker that found nothing still filled its slot.
+    let mut trips: Vec<(u32, OpIx, OpIx)> = Vec::new();
+    let mut ra_parts: Vec<RaPart> = Vec::new();
+    for produced in slots.into_iter().flatten() {
+        match produced {
+            JobOut::Trips(t) => trips.extend(t),
+            JobOut::Allocs(p) => ra_parts.push(p),
+            JobOut::UnusedAllocs(v) => out.unused_allocs.extend(v),
+            JobOut::UnusedTransfers(v) => out.unused_transfers.extend(v),
+        }
+    }
+    // Per-partition trip lists are sweep-ordered; the global rebuild
+    // needs the interleaving the sequential sweep would have seen.
+    trips.sort_unstable_by_key(|&(tix, _, _)| tix);
+    alg2_link_groups(view, &trips, &mut out);
+    alg3_merge(ra_parts, &mut out);
+    out
+}
+
+/// Algorithm 1 — duplicate transfers. The reception queues *are* the
+/// groups: first-seen key order, chronological events.
+fn alg1_duplicates(view: &EventView<'_>) -> Vec<u32> {
+    (0..view.rx_slots.len() as u32)
+        .filter(|&sx| view.rx_queue(sx).len() >= 2)
+        .collect()
+}
+
+/// The Algorithm 2 partition a hash belongs to. Must depend on the
+/// hash **only** (never the devices): a transfer reads its `(hash,
+/// src)` queue and advances its `(hash, dest)` queue, so hash-sharded
+/// cursors are private to one partition.
+#[inline]
+fn rt_part_of(hash: HashVal, nparts: usize) -> usize {
+    ((hash.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) % nparts
+}
+
+/// Algorithm 2 scan — round trips: one chronological sweep consuming
+/// the shared reception queues through per-slot cursors (the
+/// standalone detector's FIFO pops, without cloning the queues).
+/// Returns completed trips as `(sweep position, outbound leg,
+/// completing reception)`; group linking happens afterwards in
+/// [`alg2_link_groups`] so partitioned scans merge exactly.
+///
+/// The sweep is two-phase over chunks: phase one probes the Bloom
+/// filter for a whole chunk of precomputed key mixes (a pure scan with
+/// no dependent loads, so the misses — the overwhelmingly common case
+/// of "this data never returns" — retire at memory bandwidth), phase
+/// two runs the queue machinery only for the survivors. Bloom-rejected
+/// transfers have zero state effect, which is what makes the split
+/// exact.
+fn alg2_scan(view: &EventView<'_>, part: usize, nparts: usize) -> Vec<(u32, OpIx, OpIx)> {
+    let ops = view.ops();
+    let mut heads: Vec<u32> = vec![0; view.rx_slots.len()];
+    let mut trips: Vec<(u32, OpIx, OpIx)> = Vec::new();
+    let fmask = view.rx_filter.len() - 1;
+    let n = view.hashed_transfers.len();
+    let mut hits: Vec<(u32, u32)> = Vec::new();
+    let mut chunk = 0usize;
+    while chunk < n {
+        let end = (chunk + 256).min(n);
+        // Phase one: Bloom probes for the whole chunk.
+        hits.clear();
+        for tix in chunk..end {
+            let mix = view.src_mix[tix];
+            if view.rx_filter[(mix as usize >> 6) & fmask] & (1 << (mix % 64)) != 0 {
+                hits.push((tix as u32, u32::MAX));
+            }
+        }
+        // Phase two: resolve the survivors' reception slots — read-only
+        // probes with no cross-iteration dependency, so their cache
+        // misses overlap instead of chaining.
+        for hit in &mut hits {
+            let tix = hit.0 as usize;
+            let ox = view.hashed_transfers[tix];
             let Some(hash) = ops.hashes[ox as usize] else {
                 continue; // hashed_transfers holds hashed events only
             };
+            if nparts > 1 && rt_part_of(hash, nparts) != part {
+                continue;
+            }
             let src = ops.src_devices[ox as usize];
             // A pending reception at the transfer's *source* device
-            // completes a round trip. Cheap Bloom rejection first: the
-            // overwhelmingly common case is "this data never returns",
-            // and the filter decides that without touching the map.
-            let mix = rx_key_mix(hash, src);
-            if view.rx_filter[(mix as usize >> 6) & (view.rx_filter.len() - 1)] & (1 << (mix % 64))
-                == 0
+            // completes a round trip.
+            if let Some(rx_slot) = view
+                .rx_index
+                .get(view.src_mix[tix], hash, src, &view.rx_slots)
             {
+                hit.1 = rx_slot;
+            }
+        }
+        // Phase three: the stateful queue machinery, survivors only.
+        for &(tix, rx_slot) in &hits {
+            if rx_slot == u32::MAX {
                 continue;
             }
-            let Some(rx_slot) = view.rx_index.get(mix, hash, src, &view.rx_slots) else {
-                continue;
-            };
             let queue = view.rx_queue(rx_slot);
-            if heads[rx_slot as usize] >= queue.len() {
+            if heads[rx_slot as usize] as usize >= queue.len() {
                 continue; // queue exhausted: data never returns
             }
-            let rx = queue[heads[rx_slot as usize]];
-            let dest = ops.dest_devices[ox as usize];
-            let key = (hash, src, dest);
-            let gx = *group_ix.entry(key).or_insert_with(|| {
-                out.round_trips.push(IdxRoundTripGroup {
+            let rx = queue[heads[rx_slot as usize] as usize];
+            let ox = view.hashed_transfers[tix as usize];
+            trips.push((tix, ox, rx));
+            // Dequeue this transfer from its own destination's queue so
+            // it cannot later complete a different round trip. The slot
+            // was recorded at enqueue time: no second hash lookup.
+            heads[view.dest_slot[tix as usize] as usize] += 1;
+        }
+        chunk = end;
+    }
+    trips
+}
+
+/// Open-addressed round-trip-group index for [`alg2_link_groups`]
+/// (linear probing, `u32::MAX` = empty, keys live in the group
+/// records). Sized for the trip count up front, so it never grows.
+struct RtIndex {
+    mask: usize,
+    slots: Box<[u32]>,
+}
+
+impl RtIndex {
+    fn with_capacity(keys: usize) -> RtIndex {
+        let cap = (keys * 2).next_power_of_two().max(16);
+        RtIndex {
+            mask: cap - 1,
+            slots: vec![u32::MAX; cap].into_boxed_slice(),
+        }
+    }
+
+    /// Find the group for a `(hash, src, dest)` key, appending a fresh
+    /// empty group (preserving first-seen order) when the key is new.
+    #[inline]
+    fn find_or_insert(
+        &mut self,
+        hash: HashVal,
+        src: DeviceId,
+        dest: DeviceId,
+        groups: &mut Vec<IdxRoundTripGroup>,
+    ) -> u32 {
+        let mix = rx_key_mix(hash, src) ^ (dest.0 as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        let mut i = mix as usize & self.mask;
+        loop {
+            let s = self.slots[i];
+            if s == u32::MAX {
+                let gx = groups.len() as u32;
+                groups.push(IdxRoundTripGroup {
                     hash,
                     src,
                     dest,
@@ -687,120 +1037,299 @@ pub fn detect_indexed(view: &EventView<'_>) -> IndexFindings {
                     tail: u32::MAX,
                     len: 0,
                 });
-                (out.round_trips.len() - 1) as u32
-            });
-            let trip = out.rt_trips.len() as u32;
-            out.rt_trips.push((ox, rx, u32::MAX));
-            let group = &mut out.round_trips[gx as usize];
-            if group.tail == u32::MAX {
-                group.head = trip;
-            } else {
-                out.rt_trips[group.tail as usize].2 = trip;
+                self.slots[i] = gx;
+                return gx;
             }
-            group.tail = trip;
-            group.len += 1;
-            // Dequeue this transfer from its own destination's queue so
-            // it cannot later complete a different round trip. The slot
-            // was recorded at enqueue time: no second hash lookup.
-            heads[view.dest_slot[tix] as usize] += 1;
+            let g = &groups[s as usize];
+            if g.hash == hash && g.src == src && g.dest == dest {
+                return s;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+}
+
+/// Build the Algorithm 2 groups from sweep-ordered trips: group
+/// creation order is first-trip order, member chains are sweep order —
+/// exactly what an interleaved scan-and-link would produce.
+fn alg2_link_groups(view: &EventView<'_>, trips: &[(u32, OpIx, OpIx)], out: &mut IndexFindings) {
+    let ops = view.ops();
+    let mut group_ix = RtIndex::with_capacity(trips.len());
+    out.rt_trips.reserve(trips.len());
+    // Phased like the view's reception-queue indexing: (1) gather each
+    // trip's grouping key from the columns (sequential-ish reads), (2) a
+    // tight probe-only loop resolving group indices (keeps many table
+    // misses in flight), (3) chain linking over the now-dense group and
+    // trip arrays.
+    let mut keyed: Vec<(HashVal, DeviceId, DeviceId, OpIx, OpIx)> = Vec::with_capacity(trips.len());
+    for &(_, ox, rx) in trips {
+        let Some(hash) = ops.hashes[ox as usize] else {
+            continue; // trips reference hashed transfers only
+        };
+        keyed.push((
+            hash,
+            ops.src_devices[ox as usize],
+            ops.dest_devices[ox as usize],
+            ox,
+            rx,
+        ));
+    }
+    let mut gxs: Vec<u32> = Vec::with_capacity(keyed.len());
+    for &(hash, src, dest, _, _) in &keyed {
+        gxs.push(group_ix.find_or_insert(hash, src, dest, &mut out.round_trips));
+    }
+    for (&gx, &(_, _, _, ox, rx)) in gxs.iter().zip(&keyed) {
+        let trip = out.rt_trips.len() as u32;
+        out.rt_trips.push((ox, rx, u32::MAX));
+        let group = &mut out.round_trips[gx as usize];
+        if group.tail == u32::MAX {
+            group.head = trip;
+        } else {
+            out.rt_trips[group.tail as usize].2 = trip;
+        }
+        group.tail = trip;
+        group.len += 1;
+    }
+}
+
+/// Avalanche mix of an Algorithm 3 allocation key ⟨host addr, device,
+/// size⟩, used for both the open-addressed group index and the
+/// partition split.
+#[inline]
+fn ra_key_mix(host_addr: u64, device: DeviceId, bytes: u64) -> u64 {
+    let mut x = host_addr
+        .wrapping_add((device.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(bytes.wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x
+}
+
+/// Open-addressed allocation-key → group index for Algorithm 3 (same
+/// shape as [`RxIndex`]: linear probing, `u32::MAX` = empty, keys live
+/// in the group records themselves). Sized for the view's full pair
+/// count so it never grows, even under a skewed partition split.
+struct RaIndex {
+    mask: usize,
+    slots: Box<[u32]>,
+}
+
+impl RaIndex {
+    fn with_capacity(keys: usize) -> RaIndex {
+        let cap = (keys * 2).next_power_of_two().max(16);
+        RaIndex {
+            mask: cap - 1,
+            slots: vec![u32::MAX; cap].into_boxed_slice(),
         }
     }
 
-    // Algorithm 3 — repeated allocations, over the shared pairing table
-    // (allocation order), grouped by ⟨host addr, device, size⟩.
-    {
-        let mut group_ix: FnvHashMap<(u64, DeviceId, u64), u32> = FnvHashMap::default();
-        let mut groups: Vec<IdxRepeatedAllocGroup> = Vec::new();
-        // Allocation sites repeat in runs (the loop re-allocating the
-        // same buffer is the pattern Algorithm 3 exists to catch), so a
-        // one-entry cache short-circuits most of the map traffic.
-        let mut last: Option<((u64, DeviceId, u64), u32)> = None;
-        for (px, pair) in view.pairs.iter().enumerate() {
-            let ax = pair.alloc as usize;
-            let (host_addr, device, bytes) =
-                (ops.src_addrs[ax], ops.dest_devices[ax], ops.bytes[ax]);
-            let key = (host_addr, device, bytes);
-            let gx = match last {
-                Some((k, gx)) if k == key => gx,
-                _ => *group_ix.entry(key).or_insert_with(|| {
-                    groups.push(IdxRepeatedAllocGroup {
-                        host_addr,
-                        device,
-                        bytes,
-                        pair_ixs: Vec::new(),
-                    });
-                    (groups.len() - 1) as u32
-                }),
-            };
-            last = Some((key, gx));
-            groups[gx as usize].pair_ixs.push(px as u32);
-        }
-        out.repeated_allocs = groups
-            .into_iter()
-            .filter(|g| g.pair_ixs.len() >= 2)
-            .collect();
-    }
-
-    // Algorithm 4 — unused allocations: per device, advance a kernel
-    // cursor alongside the (allocation-ordered) pairings; an allocation
-    // whose lifetime precedes the next kernel on its device can never
-    // have been used.
-    for dev in 0..view.num_devices as usize {
-        let kernels = &view.kernels_by_device[dev];
-        let mut kx = 0usize;
-        for &px in &view.pairs_by_device[dev] {
-            let pair = &view.pairs[px as usize];
-            let alloc_start = ops.starts[pair.alloc as usize];
-            while kx < kernels.len() && kerns.ends[kernels[kx] as usize] < alloc_start {
-                kx += 1;
+    /// Find the group for a key, appending a fresh empty group
+    /// (preserving first-seen order) when the key is new.
+    #[inline]
+    fn find_or_insert(
+        &mut self,
+        mix: u64,
+        host_addr: u64,
+        device: DeviceId,
+        bytes: u64,
+        groups: &mut Vec<IdxRepeatedAllocGroup>,
+    ) -> u32 {
+        let mut i = mix as usize & self.mask;
+        loop {
+            let s = self.slots[i];
+            if s == u32::MAX {
+                let gx = groups.len() as u32;
+                groups.push(IdxRepeatedAllocGroup {
+                    host_addr,
+                    device,
+                    bytes,
+                    head: u32::MAX,
+                    tail: u32::MAX,
+                    len: 0,
+                });
+                self.slots[i] = gx;
+                return gx;
             }
-            let lifetime_end = view.pair_lifetime_end(pair);
-            if kx == kernels.len() || kerns.starts[kernels[kx] as usize] > lifetime_end {
-                out.unused_allocs.push(px);
+            let g = &groups[s as usize];
+            if g.host_addr == host_addr && g.device == device && g.bytes == bytes {
+                return s;
             }
+            i = (i + 1) & self.mask;
         }
     }
+}
 
-    // Algorithm 5 — unused transfers: per device, a candidate map from
-    // source address to the last transfer that wrote from it; kernel
-    // completions clear the candidates (the kernel may have consumed
-    // the data).
-    for dev in 0..view.num_devices as usize {
-        let kernels = &view.kernels_by_device[dev];
-        let mut kx = 0usize;
-        let mut candidates: FnvHashMap<u64, OpIx> = FnvHashMap::default();
-        for &tx in &view.tx_by_device[dev] {
-            let tx_start = ops.starts[tx as usize];
-            let src_addr = ops.src_addrs[tx as usize];
-            while kx < kernels.len() && kerns.ends[kernels[kx] as usize] < tx_start {
-                kx += 1;
-                candidates.clear();
-            }
-            if kx == kernels.len() {
-                out.unused_transfers
-                    .push((tx, UnusedTransferReason::AfterLastKernel));
-            } else if kerns.starts[kernels[kx] as usize] > tx_start {
-                if let Some(&cand) = candidates.get(&src_addr) {
-                    out.unused_transfers
-                        .push((cand, UnusedTransferReason::OverwrittenBeforeUse));
+/// One Algorithm 3 partition's output: its groups (singletons
+/// included) plus its local chain arena `(group, next pair)` links.
+type RaPart = (Vec<IdxRepeatedAllocGroup>, Vec<(u32, u32)>);
+
+/// Algorithm 3 scan — repeated allocations, over the shared pairing
+/// table (allocation order), grouped by ⟨host addr, device, size⟩.
+/// Returns **all** groups (singletons included) plus the local chain
+/// arena; [`alg3_merge`] filters and orders.
+fn alg3_scan(view: &EventView<'_>, part: usize, nparts: usize) -> RaPart {
+    let ops = view.ops();
+    let mut groups: Vec<IdxRepeatedAllocGroup> = Vec::new();
+    let mut chain: Vec<(u32, u32)> = Vec::new();
+    let mut index = RaIndex::with_capacity(view.pairs.len());
+    // Allocation sites repeat in runs (the loop re-allocating the
+    // same buffer is the pattern Algorithm 3 exists to catch), so a
+    // one-entry cache short-circuits most of the index traffic.
+    let mut last: Option<((u64, DeviceId, u64), u32)> = None;
+    for (px, pair) in view.pairs.iter().enumerate() {
+        let ax = pair.alloc as usize;
+        let (host_addr, device, bytes) = (ops.src_addrs[ax], ops.dest_devices[ax], ops.bytes[ax]);
+        let key = (host_addr, device, bytes);
+        let gx = match last {
+            Some((k, gx)) if k == key => gx,
+            _ => {
+                let mix = ra_key_mix(host_addr, device, bytes);
+                if nparts > 1 && (mix >> 32) as usize % nparts != part {
+                    continue;
                 }
-                candidates.insert(src_addr, tx);
-            } else {
-                // Overlaps a running kernel (asynchronous mapping):
-                // conservatively forget all candidates.
-                candidates.clear();
+                index.find_or_insert(mix, host_addr, device, bytes, &mut groups)
             }
+        };
+        last = Some((key, gx));
+        let link = chain.len() as u32;
+        chain.push((px as u32, u32::MAX));
+        let group = &mut groups[gx as usize];
+        if group.tail == u32::MAX {
+            group.head = link;
+        } else {
+            chain[group.tail as usize].1 = link;
+        }
+        group.tail = link;
+        group.len += 1;
+    }
+    (groups, chain)
+}
+
+/// Merge Algorithm 3 partitions: concatenate the chain arenas (fixing
+/// up the intra-chain links), drop singleton groups, and order the
+/// rest by their first member's pair index — which *is* first-seen key
+/// order, because every key lives in exactly one partition.
+fn alg3_merge(parts: Vec<RaPart>, out: &mut IndexFindings) {
+    let mut merged: Vec<IdxRepeatedAllocGroup> = Vec::new();
+    let single = parts.len() == 1;
+    for (groups, chain) in parts {
+        let off = out.ra_pairs.len() as u32;
+        out.ra_pairs.extend(chain.iter().map(|&(px, next)| {
+            (
+                px,
+                if next == u32::MAX {
+                    u32::MAX
+                } else {
+                    next + off
+                },
+            )
+        }));
+        merged.extend(groups.into_iter().filter(|g| g.len >= 2).map(|mut g| {
+            g.head += off;
+            g.tail += off;
+            g
+        }));
+    }
+    if !single {
+        merged.sort_unstable_by_key(|g| out.ra_pairs[g.head as usize].0);
+    }
+    out.repeated_allocs = merged;
+}
+
+/// Algorithm 4 — unused allocations on one device: advance a kernel
+/// cursor alongside the (allocation-ordered) pairings; an allocation
+/// whose lifetime precedes the next kernel on its device can never
+/// have been used.
+fn alg4_device(view: &EventView<'_>, dev: usize, out: &mut Vec<u32>) {
+    let ops = view.ops();
+    let kerns = view.kernels();
+    let kernels = &view.kernels_by_device[dev];
+    let mut kx = 0usize;
+    for &px in &view.pairs_by_device[dev] {
+        let pair = &view.pairs[px as usize];
+        let alloc_start = ops.starts[pair.alloc as usize];
+        while kx < kernels.len() && kerns.ends[kernels[kx] as usize] < alloc_start {
+            kx += 1;
+        }
+        let lifetime_end = view.pair_lifetime_end(pair);
+        if kx == kernels.len() || kerns.starts[kernels[kx] as usize] > lifetime_end {
+            out.push(px);
         }
     }
+}
 
-    out
+/// Algorithm 5 — unused transfers on one device: a candidate map from
+/// source address to the last transfer that wrote from it; kernel
+/// completions clear the candidates (the kernel may have consumed the
+/// data).
+fn alg5_device(view: &EventView<'_>, dev: usize, out: &mut Vec<(OpIx, UnusedTransferReason)>) {
+    let ops = view.ops();
+    let kerns = view.kernels();
+    let kernels = &view.kernels_by_device[dev];
+    let mut kx = 0usize;
+    let mut candidates: FnvHashMap<u64, OpIx> = FnvHashMap::default();
+    for &tx in &view.tx_by_device[dev] {
+        let tx_start = ops.starts[tx as usize];
+        let src_addr = ops.src_addrs[tx as usize];
+        while kx < kernels.len() && kerns.ends[kernels[kx] as usize] < tx_start {
+            kx += 1;
+            candidates.clear();
+        }
+        if kx == kernels.len() {
+            out.push((tx, UnusedTransferReason::AfterLastKernel));
+        } else if kerns.starts[kernels[kx] as usize] > tx_start {
+            if let Some(&cand) = candidates.get(&src_addr) {
+                out.push((cand, UnusedTransferReason::OverwrittenBeforeUse));
+            }
+            candidates.insert(src_addr, tx);
+        } else {
+            // Overlaps a running kernel (asynchronous mapping):
+            // conservatively forget all candidates.
+            candidates.clear();
+        }
+    }
+}
+
+/// The process-wide fused-sweep worker count: `0` = not yet resolved.
+/// Resolution order: [`set_sweep_threads`] (the CLI's
+/// `--sweep-threads`), else the `ODP_SWEEP_THREADS` environment
+/// variable, else `1` (sequential — the byte-identity baseline).
+static SWEEP_THREADS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Pin the fused-sweep worker count (clamped to ≥ 1). Overrides
+/// `ODP_SWEEP_THREADS`.
+pub fn set_sweep_threads(threads: usize) {
+    SWEEP_THREADS.store(threads.max(1), std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The fused-sweep worker count [`detect`] will use (resolving
+/// `ODP_SWEEP_THREADS` on first call; `1` = sequential).
+pub fn sweep_threads() -> usize {
+    let n = SWEEP_THREADS.load(std::sync::atomic::Ordering::Relaxed);
+    if n != 0 {
+        return n;
+    }
+    let resolved = std::env::var("ODP_SWEEP_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1);
+    SWEEP_THREADS.store(resolved, std::sync::atomic::Ordering::Relaxed);
+    resolved
 }
 
 /// Run the fused engine end to end: indexed detection plus owned
-/// materialization. Equivalent to — and the implementation behind —
-/// [`Findings::detect`].
+/// materialization, on [`sweep_threads`] workers. Equivalent to — and
+/// the implementation behind — [`Findings::detect`].
 pub fn detect(view: &EventView<'_>) -> Findings {
-    detect_indexed(view).resolve(view)
+    detect_with(view, sweep_threads())
+}
+
+/// [`detect`] with an explicit worker count (`1` = sequential). The
+/// findings are byte-identical for every count.
+pub fn detect_with(view: &EventView<'_>, threads: usize) -> Findings {
+    detect_indexed_with(view, threads).resolve(view)
 }
 
 #[cfg(test)]

@@ -126,6 +126,83 @@
 //! end to end). Per-callback overhead is tracked by the
 //! `streaming_vs_postmortem` and `sharded_vs_single_lock` groups of
 //! `crates/bench/benches/detectors.rs`.
+//!
+//! # The reorder buffer: BinaryHeap → shard-run merge
+//!
+//! The streaming engine's reorder stage used to be a
+//! `BinaryHeap<Reverse<BufEntry>>`: every push paid an `O(log n)` sift
+//! comparing full buffered entries, even though per-shard arrival
+//! order is already *nearly* sorted (a shard records events in its own
+//! completion order). [`reorder::RunMergeBuffer`] exploits exactly
+//! that:
+//!
+//! ```text
+//!        push(shard, key = (start, id, family), event)
+//!                           │
+//!            key ≥ the shard lane's last pushed key?
+//!          yes (≈ every event) │           no (genuine intra-shard
+//!                ▼             │           inversion — late arrival)
+//!      RunLane[shard]          └─────────────────┐
+//!      append to keys[]/entries[] arenas         ▼
+//!      (O(1); no comparisons against       side pocket (small
+//!      other shards until release)         BinaryHeap, usually
+//!                │                         empty; counted in
+//!                │                         StreamBufferStats::
+//!                │                         reorder_inversions /
+//!                │                         reorder_pocket_peak)
+//!                └──────────────┬────────────────┘
+//!                               ▼
+//!        LoserTree k-way merge over lane heads (+ pocket head,
+//!        entered only while non-empty): each node caches its
+//!        source's (key, shard), so a pop replays one leaf-to-root
+//!        path — one head probe plus log k tuple compares; appends
+//!        mark the tree dirty and it rebuilds once per release batch
+//!                               ▼
+//!        pop_if(key ≤ watermark): batch retirement in (start, id)
+//!        order — fully drained lanes reset their arenas in place,
+//!        long-lived backlogs compact amortized O(1) per event
+//! ```
+//!
+//! The equivalence oracle lives in
+//! `crates/core/tests/reorder_equivalence.rs`: the buffer must release
+//! the exact sequence the retired heap would, under interleaved
+//! watermark gates, for every shard count and inversion rate, and its
+//! inversion accounting must match an external model of the
+//! run-extension rule. `crates/bench/benches/reorder.rs` races the two
+//! structures directly; the `reorder` rows of the `hotpath` binary gate
+//! the standalone pipeline at ~15–25 ns/event in CI.
+//!
+//! # The post-mortem sweep: sequential → partitioned
+//!
+//! [`Findings::detect`] resolves a process-wide worker count (CLI
+//! `--sweep-threads`, env `ODP_SWEEP_THREADS`, default 1 =
+//! sequential); [`detect_with`] takes it explicitly. The five
+//! algorithms partition over the shared read-only [`EventView`]
+//! without any shared mutable state, on plain `std::thread::scope`
+//! workers pulling jobs from an atomic cursor:
+//!
+//! ```text
+//!                 EventView (shared, read-only)
+//!        │              │               │              │
+//!   Alg 2 by hash   Alg 3 by alloc   Alg 4/5 per    Alg 1 whole
+//!   (per-hash       key (pair-table  device         (slot scan on
+//!   queue cursors)  partitions)      (device-local  the calling
+//!        │              │            queues)        thread)
+//!        │              │               │              │
+//!        └──────────────┴───────┬───────┴──────────────┘
+//!                               ▼
+//!        deterministic merge in job order (= partition order =
+//!        device order); Algorithm 2 trips re-sort by sweep
+//!        position, Algorithm 3 groups by first-seen pair index
+//!                               ▼
+//!        detect_with(view, n) ≡ detect_with(view, 1), n ∈ ℕ —
+//!        byte-identical findings for every worker count
+//! ```
+//!
+//! `crates/core/tests/sweep_determinism.rs` enforces the worker-count
+//! invariant (1/2/4/8/33 workers, JSON equality), and CI re-runs the
+//! differential suites under `ODP_SWEEP_THREADS=4` so every
+//! byte-identity oracle doubles as a parallel-sweep oracle.
 
 // Detection consumes untrusted event data: malformed input must be
 // quarantined and counted, never unwrapped. Real invariants carry
@@ -137,6 +214,7 @@ pub mod duplicate;
 pub mod engine;
 pub mod pairing;
 pub mod realloc;
+pub mod reorder;
 pub mod roundtrip;
 pub mod stream;
 pub mod unused_alloc;
@@ -146,10 +224,13 @@ use odp_model::{DataOpEvent, TargetEvent};
 use serde::Serialize;
 
 pub use duplicate::{find_duplicate_transfers, DuplicateTransferGroup};
-pub use engine::{EventView, IndexFindings, OutOfRangeEvents, MAX_PLAUSIBLE_DEVICES};
+pub use engine::{
+    detect_with, set_sweep_threads, sweep_threads, EventView, IndexFindings, OutOfRangeEvents,
+    MAX_PLAUSIBLE_DEVICES,
+};
 pub use pairing::{alloc_delete_pairs, AllocDeletePair};
 pub use realloc::{find_repeated_allocs, find_repeated_allocs_keyed, RepeatedAllocGroup};
-pub use roundtrip::{find_round_trips, RoundTrip, RoundTripGroup};
+pub use roundtrip::{find_round_trips, RoundTrip, RoundTripGroup, TripList};
 pub use stream::{StreamBufferStats, StreamConfig, StreamEvent, StreamFinding, StreamingEngine};
 pub use unused_alloc::{find_unused_allocs, UnusedAlloc};
 pub use unused_transfer::{find_unused_transfers, UnusedTransfer, UnusedTransferReason};

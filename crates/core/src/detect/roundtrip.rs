@@ -34,6 +34,61 @@ pub struct RoundTrip {
     pub spilled: bool,
 }
 
+/// The trips of one group, stored inline when there is exactly one.
+///
+/// On realistic traces most `(hash, src, dest)` groups complete a single
+/// round trip, and a heap `Vec` per group makes the report boundary
+/// malloc-bound at million-event scale (glibc charges ~120 ns per
+/// alloc/free of a trip buffer, which for hundreds of thousands of
+/// groups dwarfs the gather itself). Reads go through `Deref<[RoundTrip]>`
+/// so call sites treat it as a slice; it serializes exactly like a
+/// `Vec<RoundTrip>`.
+#[derive(Clone, Debug)]
+pub enum TripList {
+    /// Exactly one trip, inline — no heap allocation.
+    One([RoundTrip; 1]),
+    /// Two or more trips (or zero, which no detector emits).
+    Many(Vec<RoundTrip>),
+}
+
+impl std::ops::Deref for TripList {
+    type Target = [RoundTrip];
+
+    #[inline]
+    fn deref(&self) -> &[RoundTrip] {
+        match self {
+            TripList::One(t) => t,
+            TripList::Many(v) => v,
+        }
+    }
+}
+
+impl From<Vec<RoundTrip>> for TripList {
+    #[inline]
+    fn from(v: Vec<RoundTrip>) -> TripList {
+        match <[RoundTrip; 1]>::try_from(v) {
+            Ok(one) => TripList::One(one),
+            Err(v) => TripList::Many(v),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a TripList {
+    type Item = &'a RoundTrip;
+    type IntoIter = std::slice::Iter<'a, RoundTrip>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl Serialize for TripList {
+    fn to_value(&self) -> serde::Value {
+        // Identical to `Vec<RoundTrip>`: a plain sequence.
+        (**self).to_value()
+    }
+}
+
 /// Round trips grouped by `(hash, src_device, dest_device)` as in the
 /// paper.
 #[derive(Clone, Debug, Serialize)]
@@ -45,7 +100,7 @@ pub struct RoundTripGroup {
     /// The intermediate device.
     pub dest_device: DeviceId,
     /// Completed trips, chronological by outbound leg.
-    pub trips: Vec<RoundTrip>,
+    pub trips: TripList,
     /// Evidence trust level. Always [`Confidence::Confirmed`] on the
     /// post-mortem paths; degraded only by streaming stall recovery.
     pub confidence: Confidence,
@@ -113,7 +168,7 @@ pub fn find_round_trips(data_op_events: &[DataOpEvent]) -> Vec<RoundTripGroup> {
                 hash: key.0,
                 src_device: key.1,
                 dest_device: key.2,
-                trips,
+                trips: trips.into(),
                 confidence: Confidence::Confirmed,
             })
         })

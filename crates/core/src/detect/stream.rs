@@ -15,11 +15,14 @@
 //! callbacks fire when operations *finish*; overlapping (async) spans
 //! therefore arrive out of chronological start order, while every
 //! detector's precondition is `(start, log order)`. The engine keeps a
-//! reorder buffer (a min-heap on `(start, id)`) and only releases
-//! events at or below the caller-supplied *watermark* — the earliest
-//! begin time of any still-open operation (see
-//! [`odp_ompt::StreamClock`]). The buffer is bounded by the number of
-//! concurrently open operations, not by trace length.
+//! shard-run reorder pipeline ([`crate::detect::reorder`]): each
+//! recording shard appends to an in-order run lane (arrival within a
+//! shard is near-sorted), a k-way loser-tree merge releases the global
+//! minimum, and genuine intra-shard inversions fall back to a small
+//! side pocket. Events release only at or below the caller-supplied
+//! *watermark* — the earliest begin time of any still-open operation
+//! (see [`odp_ompt::StreamClock`]). The buffer is bounded by the number
+//! of concurrently open operations, not by trace length.
 //!
 //! **Algorithm 2 needs lookahead.** Post-mortem, the round-trip pass
 //! consults reception queues built from the *full* trace: whether a
@@ -51,6 +54,7 @@
 //! trace's hydrated [`EventView`].
 
 use crate::detect::engine::{EventView, OutOfRangeEvents};
+use crate::detect::reorder::{RunMergeBuffer, SortKey};
 use crate::detect::{
     AllocDeletePair, Confidence, DuplicateTransferGroup, Findings, IssueCounts, RepeatedAllocGroup,
     RoundTrip, RoundTripGroup, UnusedAlloc, UnusedTransfer, UnusedTransferReason,
@@ -59,8 +63,7 @@ use odp_hash::fnv::FnvHashMap;
 use odp_model::{
     CodePtr, DataOpEvent, DeviceId, HashVal, SimTime, TargetEvent, TargetKind, TraceHealth,
 };
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 /// A logged event's sequence number ([`odp_model::EventId`] value) — how
 /// the streaming engine refers to events without holding them.
@@ -255,11 +258,21 @@ pub struct StreamBufferStats {
     /// Non-zero means late round trips may have been missed (finalize is
     /// no longer guaranteed byte-identical to post-mortem detection).
     pub frontier_spilled: usize,
+    /// Intra-shard arrival inversions the reorder pipeline routed to its
+    /// side pocket (events that completed after a later-starting event
+    /// of the same shard). High values mean the trace is not near-sorted
+    /// and the run-lane fast path is not engaging.
+    pub reorder_inversions: usize,
+    /// Side-pocket high-water mark (bounded by genuine overlap, not
+    /// trace length).
+    pub reorder_pocket_peak: usize,
 }
 
-/// Reorder-buffer entry, min-ordered by `(start, id, family)` — the same
-/// key the trace log's hydration sorts by (families tie arbitrarily;
-/// the detectors only compare spans across families).
+/// Reorder-buffer entry, released in `(start, id, family)` order — the
+/// same key the trace log's hydration sorts by (families tie
+/// arbitrarily; the detectors only compare spans across families). The
+/// key is computed once at push time and carried beside the entry in
+/// the reorder pipeline's lane arenas, so releases never re-derive it.
 #[derive(Debug)]
 enum BufEntry {
     Op(DataOpEvent),
@@ -267,7 +280,7 @@ enum BufEntry {
 }
 
 impl BufEntry {
-    fn key(&self) -> (SimTime, Seq, u8) {
+    fn key(&self) -> SortKey {
         match self {
             BufEntry::Op(e) => (e.span.start, e.id.0, 0),
             BufEntry::Kernel(k) => (k.span.start, k.id.0, 1),
@@ -275,21 +288,12 @@ impl BufEntry {
     }
 }
 
-impl PartialEq for BufEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.key() == other.key()
-    }
-}
-impl Eq for BufEntry {}
-impl PartialOrd for BufEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for BufEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.key().cmp(&other.key())
-    }
+/// The shard an event id originated from: ids embed the recording
+/// shard in their high 32 bits (see `TraceLog::merge_shards`), which is
+/// what routes each event to its in-order run lane.
+#[inline]
+fn shard_of(seq: Seq) -> u32 {
+    (seq >> 32) as u32
 }
 
 /// One reception queue — the streaming twin of the fused engine's
@@ -399,8 +403,10 @@ pub struct StreamingEngine {
     fixed_devices: Option<u32>,
     /// Algorithm 2 lookahead hard cap (`None` = unbounded/exact).
     max_frontier: Option<usize>,
-    /// Reorder buffer (min-heap on `(start, id)`).
-    buffer: BinaryHeap<Reverse<BufEntry>>,
+    /// Reorder buffer: per-shard in-order run lanes merged by a
+    /// loser tree, with a side pocket for genuine intra-shard
+    /// inversions (see [`crate::detect::reorder`]).
+    buffer: RunMergeBuffer<BufEntry>,
     /// Everything at or below this start time has been released.
     watermark: SimTime,
     /// Last released key, for the monotonicity debug check.
@@ -464,10 +470,11 @@ impl StreamingEngine {
     /// Buffer an incoming data operation (any completion order).
     pub fn push_data_op(&mut self, e: DataOpEvent) {
         debug_assert!(!self.finalized, "push after finalize");
-        if self.quarantine_late((e.span.start, e.id.0, 0)) {
+        let key = (e.span.start, e.id.0, 0);
+        if self.quarantine_late(key) {
             return;
         }
-        self.buffer.push(Reverse(BufEntry::Op(e)));
+        self.buffer.push(shard_of(e.id.0), key, BufEntry::Op(e));
         self.note_buffered();
     }
 
@@ -478,10 +485,11 @@ impl StreamingEngine {
         if k.kind != TargetKind::Kernel {
             return;
         }
-        if self.quarantine_late((k.span.start, k.id.0, 1)) {
+        let key = (k.span.start, k.id.0, 1);
+        if self.quarantine_late(key) {
             return;
         }
-        self.buffer.push(Reverse(BufEntry::Kernel(k)));
+        self.buffer.push(shard_of(k.id.0), key, BufEntry::Kernel(k));
         self.note_buffered();
     }
 
@@ -501,15 +509,15 @@ impl StreamingEngine {
         for ev in events {
             match ev {
                 StreamEvent::Op(e) => {
-                    if !self.quarantine_late((e.span.start, e.id.0, 0)) {
-                        self.buffer.push(Reverse(BufEntry::Op(e)));
+                    let key = (e.span.start, e.id.0, 0);
+                    if !self.quarantine_late(key) {
+                        self.buffer.push(shard_of(e.id.0), key, BufEntry::Op(e));
                     }
                 }
                 StreamEvent::Kernel(k) => {
-                    if k.kind == TargetKind::Kernel
-                        && !self.quarantine_late((k.span.start, k.id.0, 1))
-                    {
-                        self.buffer.push(Reverse(BufEntry::Kernel(k)));
+                    let key = (k.span.start, k.id.0, 1);
+                    if k.kind == TargetKind::Kernel && !self.quarantine_late(key) {
+                        self.buffer.push(shard_of(k.id.0), key, BufEntry::Kernel(k));
                     }
                 }
             }
@@ -540,13 +548,8 @@ impl StreamingEngine {
         if watermark > self.watermark {
             self.watermark = watermark;
         }
-        while let Some(Reverse(entry)) = self.buffer.peek() {
-            if entry.key().0 > self.watermark {
-                break;
-            }
-            let Some(Reverse(entry)) = self.buffer.pop() else {
-                break;
-            };
+        let wm = self.watermark;
+        while let Some(entry) = self.buffer.pop_if(|key| key.0 <= wm) {
             debug_assert!(
                 self.last_released.is_none_or(|last| last <= entry.key()),
                 "watermark violated: released {:?} after {:?} (watermark {:?})",
@@ -592,8 +595,8 @@ impl StreamingEngine {
         }
         self.degraded = true;
         self.health.forced_releases += released as u64;
-        while let Some(Reverse(entry)) = self.buffer.pop() {
-            // Heap order keeps this batch internally monotonic, and
+        while let Some(entry) = self.buffer.pop_if(|_| true) {
+            // Merge order keeps this batch internally monotonic, and
             // everything <= the old watermark was already released.
             self.last_released = Some(entry.key());
             match entry {
@@ -632,6 +635,8 @@ impl StreamingEngine {
         s.buffered_now = self.buffer.len();
         s.frontier_now = self.frontier.len();
         s.device_pending_now = self.machines.iter().map(|m| m.pending_len()).sum();
+        s.reorder_inversions = self.buffer.inversions() as usize;
+        s.reorder_pocket_peak = self.buffer.pocket_peak();
         s
     }
 
@@ -661,7 +666,7 @@ impl StreamingEngine {
 
         // Nothing is open anymore: release the whole reorder buffer.
         self.watermark = SimTime(u64::MAX);
-        while let Some(Reverse(entry)) = self.buffer.pop() {
+        while let Some(entry) = self.buffer.pop_if(|_| true) {
             debug_assert!(self.last_released.is_none_or(|last| last <= entry.key()));
             self.last_released = Some(entry.key());
             match entry {
@@ -1192,7 +1197,7 @@ impl StreamingEngine {
                         hash: g.hash,
                         src_device: g.src,
                         dest_device: g.dest,
-                        trips,
+                        trips: trips.into(),
                         confidence,
                     })
                 })

@@ -1,0 +1,107 @@
+//! Determinism suite for the partitioned post-mortem sweep: the fused
+//! detectors fan out across `std::thread::scope` workers (Algorithms
+//! 4/5 partitioned by device, 1/3 by host address, 2 by hash), and the
+//! index-ordered merge must make the worker count *unobservable* —
+//! byte-identical findings for every thread count, on every trace.
+//!
+//! CI additionally re-runs the differential suites with
+//! `ODP_SWEEP_THREADS=4`, so every byte-identity oracle in this
+//! directory doubles as a parallel-sweep oracle there.
+
+mod common;
+
+use common::{random_trace, shard_partition};
+use odp_model::{DataOpEvent, TargetEvent};
+use ompdataperf::detect::{detect_with, set_sweep_threads, sweep_threads, EventView, Findings};
+
+/// The oracle: worker counts 2/4/8 (and one absurdly oversubscribed
+/// count) must reproduce the sequential sweep bit for bit.
+fn assert_thread_count_unobservable(
+    ops: &[DataOpEvent],
+    kernels: &[TargetEvent],
+    num_devices: u32,
+    ctx: &str,
+) {
+    let view = EventView::new(ops, kernels, num_devices);
+    let sequential = detect_with(&view, 1);
+    let sequential_json = serde_json::to_string_pretty(&sequential).unwrap();
+    for workers in [2usize, 4, 8, 33] {
+        let parallel = detect_with(&view, workers);
+        assert_eq!(
+            sequential.counts(),
+            parallel.counts(),
+            "issue counts diverge at {workers} workers ({ctx})"
+        );
+        assert_eq!(
+            sequential_json,
+            serde_json::to_string_pretty(&parallel).unwrap(),
+            "findings diverge at {workers} workers ({ctx})"
+        );
+    }
+    // The public entry point must agree too, whatever the process-wide
+    // worker knob currently says.
+    let default_path = Findings::detect(ops, kernels, num_devices);
+    assert_eq!(
+        sequential_json,
+        serde_json::to_string_pretty(&default_path).unwrap(),
+        "Findings::detect diverges from the sequential sweep ({ctx})"
+    );
+}
+
+#[test]
+fn parallel_sweep_is_deterministic_on_random_traces() {
+    for seed in 1..=20u64 {
+        let devices = 1 + (seed % 3) as u32;
+        let (ops, kernels) = random_trace(seed.wrapping_mul(0xA076_1D64_78BD_642F), 400, devices);
+        assert_thread_count_unobservable(
+            &ops,
+            &kernels,
+            devices,
+            &format!("seed {seed}, {devices} devices"),
+        );
+    }
+}
+
+#[test]
+fn parallel_sweep_is_deterministic_on_large_trace() {
+    let (ops, kernels) = random_trace(0xC0FF_EE00, 20_000, 3);
+    assert_thread_count_unobservable(&ops, &kernels, 3, "large trace");
+}
+
+#[test]
+fn parallel_sweep_is_deterministic_on_sharded_ids() {
+    // Shard-encoded event ids (high 32 bits = shard) stress the
+    // partition hashing: ids are no longer dense small integers.
+    let (ops, kernels) = random_trace(0xBEE5_1E55, 2_000, 2);
+    let sharded = shard_partition(&ops, &kernels, 4, 0x51AB);
+    assert_thread_count_unobservable(&sharded.ops, &sharded.kernels, 2, "4-shard ids");
+}
+
+#[test]
+fn parallel_sweep_handles_degenerate_traces() {
+    // Empty trace: nothing to partition, nothing to merge.
+    assert_thread_count_unobservable(&[], &[], 1, "empty trace");
+    // Tiny trace with more workers than events.
+    let (ops, kernels) = random_trace(7, 3, 1);
+    assert_thread_count_unobservable(&ops, &kernels, 1, "3-event trace");
+}
+
+#[test]
+fn sweep_thread_knob_round_trips() {
+    // The process-wide knob feeds `detect()`; byte-identity makes the
+    // setting unobservable in the findings, so flipping it here cannot
+    // disturb the other tests in this binary.
+    set_sweep_threads(4);
+    assert_eq!(sweep_threads(), 4);
+    let (ops, kernels) = random_trace(11, 300, 2);
+    let view = EventView::new(&ops, &kernels, 2);
+    let at_four = ompdataperf::detect::engine::detect(&view);
+    let sequential = detect_with(&view, 1);
+    assert_eq!(
+        serde_json::to_string_pretty(&at_four).unwrap(),
+        serde_json::to_string_pretty(&sequential).unwrap(),
+    );
+    // Clamped to >= 1: zero means "sequential", never "panic".
+    set_sweep_threads(0);
+    assert_eq!(sweep_threads(), 1);
+}

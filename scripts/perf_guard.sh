@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
 # Perf guard for the columnar/ring hot path: re-measures the fused
-# detector sweep with the `hotpath` binary and fails if any measured
-# size regressed more than 20% (Melem/s) against the checked-in
-# BENCH_hotpath.json baseline.
+# detector sweep (Melem/s floor), the streaming and standalone-reorder
+# increments, and the per-callback cost (ns/event ceilings) with the
+# `hotpath` binary and fails if any gated number regressed more than
+# 20% against the checked-in BENCH_hotpath.json baseline.
 #
 # Shared-runner noise makes single bench runs flaky, so a regression
 # must reproduce on three consecutive runs before the guard fails.
@@ -20,5 +21,5 @@ while [ "$i" -le "$attempts" ]; do
     echo "perf_guard: attempt $i/$attempts failed" >&2
     i=$((i + 1))
 done
-echo "perf_guard: fused sweep regression reproduced on $attempts runs" >&2
+echo "perf_guard: hot-path regression reproduced on $attempts runs" >&2
 exit 1
