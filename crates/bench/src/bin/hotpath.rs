@@ -1,3 +1,7 @@
+// The vendored `json!` stand-in expands field-by-field recursively; the
+// bench document's field count needs more headroom than the default 128.
+#![recursion_limit = "512"]
+
 //! Hot-path throughput probe for the columnar/ring refactor: the fused
 //! detector sweep (Melem/s over the columnar `EventView`), the
 //! per-callback collection cost of the sharded tool (ns/event, ring
@@ -15,9 +19,9 @@
 //!
 //! `--guard BASELINE` compares the fresh run against the checked-in
 //! baseline and exits non-zero on a >20% regression in any gated
-//! number: fused Melem/s (throughput floor) plus streaming, reorder,
-//! and callback ns/event (latency ceilings) — the contract
-//! `scripts/perf_guard.sh` enforces in CI.
+//! number: fused, persist_save, and persist_load Melem/s (throughput
+//! floors) plus streaming, reorder, and callback ns/event (latency
+//! ceilings) — the contract `scripts/perf_guard.sh` enforces in CI.
 
 use odp_bench::{measure_wall, Table};
 use odp_model::{
@@ -208,6 +212,8 @@ fn main() {
     let mut reorder = Vec::new();
 
     let mut hydrate = Vec::new();
+    let mut persist_save = Vec::new();
+    let mut persist_load = Vec::new();
 
     for &events in sizes {
         let (ops, kernels) = build_log(events / 5);
@@ -260,6 +266,53 @@ fn main() {
             format!("{:.1}", s.ns_per_event),
         ]);
         hydrate.push(s);
+
+        {
+            // Persistence round-trip over the same columns: `to_bytes`
+            // is column memcpy + FNV-1a checksums + the JSON footer;
+            // the load verifies every checksum and rebuilds the
+            // columns. Both are floors the perf guard holds so the
+            // corpus pipeline keeps up with the detectors it feeds.
+            let artifact = odp_trace::TraceArtifact {
+                meta: odp_trace::TraceMeta {
+                    program: "hotpath".into(),
+                    total_time_ns: events as u64 * 100,
+                    ..Default::default()
+                },
+                shards: vec![odp_trace::ShardColumns {
+                    shard: 0,
+                    ops: cols.ops.clone(),
+                    targets: cols.kernels.clone(),
+                }],
+                ..Default::default()
+            };
+            let s = sweep(total, reps, || {
+                let start = Instant::now();
+                black_box(black_box(&artifact).to_bytes());
+                start.elapsed()
+            });
+            table.row(vec![
+                "persist_save".into(),
+                format!("{events}"),
+                format!("{:.3}", s.melem_per_s),
+                format!("{:.1}", s.ns_per_event),
+            ]);
+            persist_save.push(s);
+
+            let bytes = artifact.to_bytes();
+            let s = sweep(total, reps, || {
+                let start = Instant::now();
+                black_box(odp_trace::load_trace_lenient(black_box(&bytes)));
+                start.elapsed()
+            });
+            table.row(vec![
+                "persist_load".into(),
+                format!("{events}"),
+                format!("{:.3}", s.melem_per_s),
+                format!("{:.1}", s.ns_per_event),
+            ]);
+            persist_load.push(s);
+        }
 
         let s = sweep(total, reps, || {
             let start = Instant::now();
@@ -393,6 +446,8 @@ fn main() {
             "quick": quick,
             "fused": fused.iter().map(row).collect::<Vec<_>>(),
             "hydrate": hydrate.iter().map(row).collect::<Vec<_>>(),
+            "persist_save": persist_save.iter().map(row).collect::<Vec<_>>(),
+            "persist_load": persist_load.iter().map(row).collect::<Vec<_>>(),
             "separate": separate.iter().map(row).collect::<Vec<_>>(),
             "streaming": streaming.iter().map(row).collect::<Vec<_>>(),
             "reorder": reorder.iter().map(row).collect::<Vec<_>>(),
@@ -475,6 +530,16 @@ fn main() {
         for s in &fused {
             if let Some(base) = by_events("fused", s.events, "melem_per_s") {
                 gate("fused", Some(s.events), s.melem_per_s, base, true);
+            }
+        }
+        for s in &persist_save {
+            if let Some(base) = by_events("persist_save", s.events, "melem_per_s") {
+                gate("persist_save", Some(s.events), s.melem_per_s, base, true);
+            }
+        }
+        for s in &persist_load {
+            if let Some(base) = by_events("persist_load", s.events, "melem_per_s") {
+                gate("persist_load", Some(s.events), s.melem_per_s, base, true);
             }
         }
         for s in &streaming {

@@ -221,7 +221,7 @@ pub mod unused_alloc;
 pub mod unused_transfer;
 
 use odp_model::{DataOpEvent, TargetEvent};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 pub use duplicate::{find_duplicate_transfers, DuplicateTransferGroup};
 pub use engine::{
@@ -271,7 +271,7 @@ impl Confidence {
 /// * **RA** — repeated allocation *pairs* beyond the first per site;
 /// * **UA** — unused allocations;
 /// * **UT** — unused transfers.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IssueCounts {
     /// Duplicate data transfers.
     pub dd: usize,

@@ -1,0 +1,653 @@
+//! Fleet-scale trace aggregation: many-producer ingest, deterministic
+//! compaction, cross-run rollup, and the corpus differ.
+//!
+//! The ROADMAP's north star is a fleet where millions of runs stream
+//! findings into one aggregate view. This module is that backend's
+//! in-process core, layered on the persistent trace format
+//! ([`odp_trace::persist`]):
+//!
+//! ```text
+//! producer threads ──► FleetIngest::submit(run_id, artifact bytes)
+//!                            │   (serialized shard streams, any order)
+//!                            ▼
+//!                      FleetIngest::compact()
+//!                        per run: lenient-decode every submission,
+//!                        canonically order the shard columns, re-merge
+//!                        with the k-way (start, id) shard merge, run
+//!                        the fused engine ──► RunReport
+//!                            │
+//!                            ▼
+//!                      Corpus { runs, fleet }
+//!                        fleet rollup keyed by (codeptr, device, kind)
+//!                            │
+//!                            ▼
+//!                      diff_corpora(base, new) ──► new/fixed/persisting
+//!                        (the CI regression gate: `odp trace diff`)
+//! ```
+//!
+//! Every stage is **scheduling-independent**: submissions may arrive in
+//! any interleaving from any number of threads, and the compacted
+//! corpus — including its JSON rendering — is identical, because event
+//! ids embed their shard and the compactor orders everything by
+//! content, never by arrival. The `fleet_ingest` stress suite pins this
+//! under free-running and pinned harnesses.
+
+use crate::analysis::infer_num_devices_columnar;
+use crate::detect::{EventView, Findings, IssueCounts};
+use odp_model::TraceHealth;
+use odp_trace::persist::{load_trace_lenient, ShardColumns, TraceArtifact, TraceMeta};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Which of the five §5 inefficiency classes a finding belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FindingKind {
+    /// Algorithm 1: duplicate data transfer.
+    DuplicateTransfer,
+    /// Algorithm 2: round-trip data transfer.
+    RoundTrip,
+    /// Algorithm 3: repeated device memory allocation.
+    RepeatedAlloc,
+    /// Algorithm 4: unused device memory allocation.
+    UnusedAlloc,
+    /// Algorithm 5: unused data transfer.
+    UnusedTransfer,
+}
+
+impl FindingKind {
+    /// Table 1-style short code.
+    pub fn code(self) -> &'static str {
+        match self {
+            FindingKind::DuplicateTransfer => "DD",
+            FindingKind::RoundTrip => "RT",
+            FindingKind::RepeatedAlloc => "RA",
+            FindingKind::UnusedAlloc => "UA",
+            FindingKind::UnusedTransfer => "UT",
+        }
+    }
+}
+
+/// One run's findings at one source site, keyed the way the fleet
+/// rollup (and the static-mapping consumer downstream) wants them:
+/// `(codeptr, device, kind)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteFinding {
+    /// Source site (code pointer of the offending directive).
+    pub codeptr: u64,
+    /// Raw device number the waste landed on (-1 = host).
+    pub device: i32,
+    /// Inefficiency class.
+    pub kind: FindingKind,
+    /// Redundant instances at this site (duplicates, trips, repeats…).
+    pub count: u64,
+    /// Bytes wasted at this site.
+    pub bytes: u64,
+}
+
+/// The per-run row of a corpus: identity, health, Table 1 counts, and
+/// the site-keyed findings the rollup aggregates.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Producer-chosen run identifier (e.g. `babelstream-0`).
+    pub run_id: String,
+    /// Monitored program name from the trace metadata.
+    pub program: String,
+    /// Merged quarantine accounting across the run's submissions.
+    pub health: TraceHealth,
+    /// Table 1-style issue counts from the fused engine.
+    pub counts: IssueCounts,
+    /// Findings keyed by `(codeptr, device, kind)`, ascending.
+    pub findings: Vec<SiteFinding>,
+}
+
+/// One `(codeptr, device, kind)` site aggregated across every run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetEntry {
+    /// Source site.
+    pub codeptr: u64,
+    /// Raw device number.
+    pub device: i32,
+    /// Inefficiency class.
+    pub kind: FindingKind,
+    /// Number of runs exhibiting the finding at this site.
+    pub runs: u64,
+    /// Total redundant instances across those runs.
+    pub count: u64,
+    /// Total bytes wasted across those runs.
+    pub bytes: u64,
+}
+
+/// The fleet rollup: every finding site across every run, ascending by
+/// `(codeptr, device, kind)`.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Aggregated entries.
+    pub entries: Vec<FleetEntry>,
+}
+
+/// A compacted corpus: per-run reports plus the fleet rollup. The
+/// durable, diffable artifact `odp trace save` writes and
+/// `odp trace diff` gates on.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Corpus {
+    /// Per-run reports, ascending by `run_id`.
+    pub runs: Vec<RunReport>,
+    /// Cross-run rollup keyed by `(codeptr, device, kind)`.
+    pub fleet: FleetReport,
+}
+
+impl Corpus {
+    /// Deterministic pretty-JSON rendering (insertion-ordered objects,
+    /// content-ordered arrays — byte-stable across schedulers).
+    pub fn to_json(&self) -> String {
+        // Invariant, not event data: the corpus is plain serializable
+        // types; serialization cannot fail.
+        #[allow(clippy::expect_used)]
+        serde_json::to_string_pretty(self).expect("corpus serialization cannot fail")
+    }
+
+    /// Parse a corpus back from its JSON rendering.
+    pub fn from_json(s: &str) -> Result<Corpus, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+}
+
+/// Extract `(codeptr, device, kind)`-keyed site findings from a fused
+/// detection result, mirroring the report's waste accounting: counts
+/// are redundant instances (first occurrences are necessary and not
+/// charged), bytes are the eliminable bytes.
+pub fn site_findings(findings: &Findings) -> Vec<SiteFinding> {
+    let mut sites: BTreeMap<(u64, i32, FindingKind), (u64, u64)> = BTreeMap::new();
+    let mut add = |codeptr: u64, device: i32, kind: FindingKind, bytes: u64| {
+        let e = sites.entry((codeptr, device, kind)).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += bytes;
+    };
+    for g in &findings.duplicates {
+        for e in g.events.iter().skip(1) {
+            add(
+                e.codeptr.0,
+                g.dest_device.raw(),
+                FindingKind::DuplicateTransfer,
+                e.bytes,
+            );
+        }
+    }
+    for g in &findings.round_trips {
+        for t in g.trips.iter() {
+            add(
+                t.rx.codeptr.0,
+                g.dest_device.raw(),
+                FindingKind::RoundTrip,
+                t.tx.bytes + t.rx.bytes,
+            );
+        }
+    }
+    for g in &findings.repeated_allocs {
+        for p in g.pairs.iter().skip(1) {
+            add(
+                p.alloc.codeptr.0,
+                g.device.raw(),
+                FindingKind::RepeatedAlloc,
+                g.bytes,
+            );
+        }
+    }
+    for ua in &findings.unused_allocs {
+        add(
+            ua.pair.alloc.codeptr.0,
+            ua.pair.alloc.dest_device.raw(),
+            FindingKind::UnusedAlloc,
+            ua.pair.alloc.bytes,
+        );
+    }
+    for ut in &findings.unused_transfers {
+        add(
+            ut.event.codeptr.0,
+            ut.event.dest_device.raw(),
+            FindingKind::UnusedTransfer,
+            ut.event.bytes,
+        );
+    }
+    sites
+        .into_iter()
+        .map(|((codeptr, device, kind), (count, bytes))| SiteFinding {
+            codeptr,
+            device,
+            kind,
+            count,
+            bytes,
+        })
+        .collect()
+}
+
+/// Many-producer ingest service: concurrent producers submit serialized
+/// trace artifacts ([`TraceArtifact::to_bytes`] output) under a run id;
+/// [`FleetIngest::compact`] batch-merges each run deterministically and
+/// rolls the fleet report up.
+///
+/// One run's shards may arrive split across any number of submissions,
+/// in any order, from any thread. The compactor never trusts arrival
+/// order: shard columns are canonically re-ordered by content before
+/// the k-way `(start, id)` merge, so the corpus is a pure function of
+/// the submitted bytes.
+#[derive(Default)]
+pub struct FleetIngest {
+    /// run id → serialized submissions (arrival-ordered; order is
+    /// deliberately ignored by compaction).
+    runs: Mutex<BTreeMap<String, Vec<Vec<u8>>>>,
+}
+
+impl FleetIngest {
+    /// An empty ingest service.
+    pub fn new() -> FleetIngest {
+        FleetIngest::default()
+    }
+
+    /// Submit one serialized trace artifact for `run_id`. Cheap (one
+    /// lock, one move); safe from any thread.
+    pub fn submit(&self, run_id: &str, bytes: Vec<u8>) {
+        self.runs
+            .lock()
+            .entry(run_id.to_string())
+            .or_default()
+            .push(bytes);
+    }
+
+    /// Number of runs with at least one submission.
+    pub fn run_count(&self) -> usize {
+        self.runs.lock().len()
+    }
+
+    /// Compact every run and roll the fleet report up. Deterministic:
+    /// independent of submission order, thread count, and interleaving.
+    pub fn compact(&self) -> Corpus {
+        let runs = self.runs.lock();
+        let mut reports = Vec::with_capacity(runs.len());
+        for (run_id, submissions) in runs.iter() {
+            reports.push(compact_run(run_id, submissions));
+        }
+        drop(runs);
+        let fleet = rollup(&reports);
+        Corpus {
+            runs: reports,
+            fleet,
+        }
+    }
+}
+
+/// Canonical sort key for a shard-columns block: its own serialized
+/// bytes. Total, content-based, and independent of arrival order; ties
+/// are exact duplicates, for which order cannot matter.
+fn shard_sort_key(s: &ShardColumns) -> Vec<u8> {
+    TraceArtifact {
+        meta: TraceMeta::default(),
+        health: TraceHealth::default(),
+        shards: vec![s.clone()],
+    }
+    .to_bytes()
+}
+
+/// Deterministically merge one run's submissions and run the fused
+/// engine over the combined trace.
+fn compact_run(run_id: &str, submissions: &[Vec<u8>]) -> RunReport {
+    let artifacts: Vec<TraceArtifact> = submissions.iter().map(|b| load_trace_lenient(b)).collect();
+
+    let mut health = TraceHealth::default();
+    let mut meta = TraceMeta::default();
+    let mut programs: Vec<&str> = Vec::new();
+    let mut shards: Vec<ShardColumns> = Vec::new();
+    for a in &artifacts {
+        health.merge(&a.health);
+        meta.total_time_ns = meta.total_time_ns.max(a.meta.total_time_ns);
+        meta.peak_alloc_bytes += a.meta.peak_alloc_bytes;
+        meta.duplicate_ids += a.meta.duplicate_ids;
+        if !a.meta.program.is_empty() {
+            programs.push(&a.meta.program);
+        }
+        shards.extend(a.shards.iter().cloned());
+    }
+    programs.sort_unstable();
+    meta.program = programs.first().map(|p| p.to_string()).unwrap_or_default();
+
+    // Arrival order carries no meaning; content order does. Sorting by
+    // serialized shard bytes makes the combined part order — and with
+    // it the (start, id, part) merge — a pure function of the data.
+    shards.sort_by_cached_key(shard_sort_key);
+
+    // Producers are not trusted to keep (shard, seq) ids unique across
+    // submissions: count every id claimed by more than one shard block
+    // (within a block, merge-time accounting already ran on save).
+    let mut claims: BTreeMap<u64, u64> = BTreeMap::new();
+    for s in &shards {
+        let mut ids: Vec<u64> = s
+            .ops
+            .ids
+            .iter()
+            .chain(s.targets.ids.iter())
+            .map(|i| i.0)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        for id in ids {
+            *claims.entry(id).or_insert(0) += 1;
+        }
+    }
+    let cross_duplicates: u64 = claims.values().map(|&c| c - 1).sum();
+    health.duplicate_ids += cross_duplicates;
+
+    let artifact = TraceArtifact {
+        meta,
+        health,
+        shards,
+    };
+    let cols = artifact.columnar();
+    let view = EventView::over(&cols, infer_num_devices_columnar(&cols));
+    let findings = Findings::detect_fused(&view);
+    RunReport {
+        run_id: run_id.to_string(),
+        program: artifact.meta.program.clone(),
+        health: artifact.health,
+        counts: findings.counts(),
+        findings: site_findings(&findings),
+    }
+}
+
+/// Aggregate per-run site findings into the fleet rollup.
+pub fn rollup(runs: &[RunReport]) -> FleetReport {
+    let mut entries: BTreeMap<(u64, i32, FindingKind), (u64, u64, u64)> = BTreeMap::new();
+    for run in runs {
+        for f in &run.findings {
+            let e = entries
+                .entry((f.codeptr, f.device, f.kind))
+                .or_insert((0, 0, 0));
+            e.0 += 1;
+            e.1 += f.count;
+            e.2 += f.bytes;
+        }
+    }
+    FleetReport {
+        entries: entries
+            .into_iter()
+            .map(
+                |((codeptr, device, kind), (runs, count, bytes))| FleetEntry {
+                    codeptr,
+                    device,
+                    kind,
+                    runs,
+                    count,
+                    bytes,
+                },
+            )
+            .collect(),
+    }
+}
+
+/// The differ's classification of two corpora's fleet rollups.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CorpusDiff {
+    /// Sites present in the new corpus but not the baseline — the
+    /// regressions a CI gate fails on.
+    pub new: Vec<FleetEntry>,
+    /// Sites present in the baseline but gone from the new corpus.
+    pub fixed: Vec<FleetEntry>,
+    /// Sites present in both (entry values from the new corpus).
+    pub persisting: Vec<FleetEntry>,
+}
+
+impl CorpusDiff {
+    /// Does this diff fail a regression gate?
+    pub fn is_regression(&self) -> bool {
+        !self.new.is_empty()
+    }
+
+    /// Deterministic pretty-JSON rendering.
+    pub fn to_json(&self) -> String {
+        // Invariant, not event data — plain serializable types.
+        #[allow(clippy::expect_used)]
+        serde_json::to_string_pretty(self).expect("diff serialization cannot fail")
+    }
+
+    /// Human-readable summary, one line per site.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut section = |title: &str, entries: &[FleetEntry]| {
+            out.push_str(&format!("{title}: {}\n", entries.len()));
+            for e in entries {
+                out.push_str(&format!(
+                    "  {} codeptr 0x{:x} dev {} — {} finding(s), {} byte(s), {} run(s)\n",
+                    e.kind.code(),
+                    e.codeptr,
+                    e.device,
+                    e.count,
+                    e.bytes,
+                    e.runs,
+                ));
+            }
+        };
+        section("new", &self.new);
+        section("fixed", &self.fixed);
+        section("persisting", &self.persisting);
+        out
+    }
+}
+
+/// Compare two corpora's fleet rollups site by site, classifying every
+/// `(codeptr, device, kind)` key as new, fixed, or persisting.
+pub fn diff_corpora(base: &Corpus, new: &Corpus) -> CorpusDiff {
+    let key = |e: &FleetEntry| (e.codeptr, e.device, e.kind);
+    let base_keys: BTreeMap<_, &FleetEntry> =
+        base.fleet.entries.iter().map(|e| (key(e), e)).collect();
+    let new_keys: BTreeMap<_, &FleetEntry> =
+        new.fleet.entries.iter().map(|e| (key(e), e)).collect();
+    let mut diff = CorpusDiff::default();
+    for (k, e) in &new_keys {
+        if base_keys.contains_key(k) {
+            diff.persisting.push(**e);
+        } else {
+            diff.new.push(**e);
+        }
+    }
+    for (k, e) in &base_keys {
+        if !new_keys.contains_key(k) {
+            diff.fixed.push(**e);
+        }
+    }
+    diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odp_model::{CodePtr, DataOpKind, DeviceId, SimTime, TargetKind, TimeSpan};
+    use odp_trace::TraceLog;
+
+    fn span(a: u64, b: u64) -> TimeSpan {
+        TimeSpan::new(SimTime(a), SimTime(b))
+    }
+
+    /// A trace with one duplicate-transfer site: the same payload sent
+    /// to device 0 twice from codeptr 0x100, plus a kernel so the
+    /// transfers count as used.
+    fn duplicate_trace() -> TraceLog {
+        let mut log = TraceLog::new();
+        for t in [0u64, 20] {
+            log.record_data_op(
+                DataOpKind::Transfer,
+                DeviceId::HOST,
+                DeviceId::target(0),
+                0x1000,
+                0x8000,
+                64,
+                Some(0xfeed),
+                span(t, t + 10),
+                CodePtr(0x100),
+            );
+            log.record_target(
+                TargetKind::Kernel,
+                DeviceId::target(0),
+                span(t + 11, t + 15),
+                CodePtr(0x200),
+            );
+        }
+        log
+    }
+
+    fn corpus_of(log: &TraceLog, run_id: &str) -> Corpus {
+        let ingest = FleetIngest::new();
+        let artifact = TraceArtifact::from_log(log, "test", TraceHealth::default());
+        ingest.submit(run_id, artifact.to_bytes());
+        ingest.compact()
+    }
+
+    #[test]
+    fn compaction_reports_site_findings() {
+        let corpus = corpus_of(&duplicate_trace(), "dup-0");
+        assert_eq!(corpus.runs.len(), 1);
+        let run = &corpus.runs[0];
+        assert_eq!(run.run_id, "dup-0");
+        assert_eq!(run.counts.dd, 1);
+        let dd: Vec<_> = run
+            .findings
+            .iter()
+            .filter(|f| f.kind == FindingKind::DuplicateTransfer)
+            .collect();
+        assert_eq!(dd.len(), 1);
+        assert_eq!(dd[0].codeptr, 0x100);
+        assert_eq!(dd[0].device, 0);
+        assert_eq!(dd[0].count, 1);
+        assert_eq!(dd[0].bytes, 64);
+        assert_eq!(corpus.fleet.entries.len(), run.findings.len());
+    }
+
+    #[test]
+    fn corpus_json_round_trips() {
+        let corpus = corpus_of(&duplicate_trace(), "dup-0");
+        let json = corpus.to_json();
+        let parsed = Corpus::from_json(&json).unwrap();
+        assert_eq!(parsed, corpus);
+        assert_eq!(parsed.to_json(), json);
+    }
+
+    #[test]
+    fn diff_classifies_new_fixed_persisting() {
+        let base = corpus_of(&duplicate_trace(), "run");
+        let clean = corpus_of(&TraceLog::new(), "run");
+        let d = diff_corpora(&base, &clean);
+        assert!(!d.is_regression());
+        assert!(d.new.is_empty());
+        assert_eq!(d.fixed.len(), base.fleet.entries.len());
+        assert!(d.persisting.is_empty());
+
+        let d2 = diff_corpora(&clean, &base);
+        assert!(d2.is_regression());
+        assert_eq!(d2.new.len(), base.fleet.entries.len());
+
+        let d3 = diff_corpora(&base, &base);
+        assert!(!d3.is_regression());
+        assert_eq!(d3.persisting.len(), base.fleet.entries.len());
+        assert!(d3.render().contains("persisting"));
+    }
+
+    #[test]
+    fn split_submissions_merge_like_one() {
+        // One run's two shards submitted separately must compact to the
+        // same corpus as one combined submission.
+        let mut a = TraceLog::for_shard(0);
+        let mut b = TraceLog::for_shard(1);
+        for t in [0u64, 20] {
+            a.record_data_op(
+                DataOpKind::Transfer,
+                DeviceId::HOST,
+                DeviceId::target(0),
+                0x1000,
+                0x8000,
+                64,
+                Some(0xfeed),
+                span(t, t + 10),
+                CodePtr(0x100),
+            );
+        }
+        b.record_target(
+            TargetKind::Kernel,
+            DeviceId::target(0),
+            span(31, 35),
+            CodePtr(0x200),
+        );
+
+        let combined = FleetIngest::new();
+        let merged = TraceLog::merge_shards(vec![
+            {
+                let mut l = TraceLog::for_shard(0);
+                for t in [0u64, 20] {
+                    l.record_data_op(
+                        DataOpKind::Transfer,
+                        DeviceId::HOST,
+                        DeviceId::target(0),
+                        0x1000,
+                        0x8000,
+                        64,
+                        Some(0xfeed),
+                        span(t, t + 10),
+                        CodePtr(0x100),
+                    );
+                }
+                l
+            },
+            {
+                let mut l = TraceLog::for_shard(1);
+                l.record_target(
+                    TargetKind::Kernel,
+                    DeviceId::target(0),
+                    span(31, 35),
+                    CodePtr(0x200),
+                );
+                l
+            },
+        ]);
+        combined.submit(
+            "r",
+            TraceArtifact::from_log(&merged, "p", TraceHealth::default()).to_bytes(),
+        );
+
+        let split = FleetIngest::new();
+        // Reverse arrival order on purpose.
+        split.submit(
+            "r",
+            TraceArtifact::from_log(&b, "p", TraceHealth::default()).to_bytes(),
+        );
+        split.submit(
+            "r",
+            TraceArtifact::from_log(&a, "p", TraceHealth::default()).to_bytes(),
+        );
+
+        assert_eq!(split.compact().to_json(), combined.compact().to_json());
+    }
+
+    #[test]
+    fn colliding_submissions_are_counted_as_duplicates() {
+        // Two producers both claim shard 0 with overlapping seqs.
+        let log = duplicate_trace();
+        let ingest = FleetIngest::new();
+        let bytes = TraceArtifact::from_log(&log, "p", TraceHealth::default()).to_bytes();
+        ingest.submit("r", bytes.clone());
+        ingest.submit("r", bytes);
+        let corpus = ingest.compact();
+        let run = &corpus.runs[0];
+        assert_eq!(
+            run.health.duplicate_ids, 4,
+            "every id claimed twice: 2 ops + 2 kernels"
+        );
+        assert!(run.health.warning().is_some());
+    }
+
+    #[test]
+    fn corrupt_submission_degrades_health_not_process() {
+        let ingest = FleetIngest::new();
+        ingest.submit("r", b"definitely not a trace".to_vec());
+        let corpus = ingest.compact();
+        assert_eq!(corpus.runs[0].health.unreadable, 1);
+        assert_eq!(corpus.runs[0].counts, IssueCounts::default());
+    }
+}

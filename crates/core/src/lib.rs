@@ -65,6 +65,7 @@ pub mod analysis;
 pub mod attrib;
 pub mod collision;
 pub mod detect;
+pub mod fleet;
 pub mod predict;
 pub mod remedy;
 pub mod report;

@@ -1,0 +1,257 @@
+//! Concurrency and determinism suite for the fleet ingest service.
+//!
+//! Many producers submit serialized shard streams from real OS threads,
+//! in seeded-shuffled arrival orders; the compacted corpus — run
+//! reports, fleet rollup, and the exact JSON bytes — must be identical
+//! whatever the schedule. CI runs this suite twice (free-running and
+//! `RUST_TEST_THREADS=1`) so the internal threads race under both
+//! harness regimes.
+//!
+//! Also pinned here: duplicate submissions are *accounted* (never
+//! silently merged), a corrupt submission degrades its run's health
+//! without poisoning the process or sibling runs, and the rollup counts
+//! per-site run occurrences across runs.
+
+mod common;
+
+use common::Rng;
+use odp_model::{CodePtr, DataOpKind, DeviceId, SimTime, TargetKind, TimeSpan, TraceHealth};
+use odp_trace::{TraceArtifact, TraceLog};
+use ompdataperf::fleet::{diff_corpora, Corpus, FindingKind, FleetIngest};
+use proptest::prelude::*;
+
+fn span(a: u64, b: u64) -> TimeSpan {
+    TimeSpan::new(SimTime(a), SimTime(b))
+}
+
+/// Build one shard's trace log from a seeded generator. Small pools of
+/// hashes, addresses, and code pointers force cross-shard duplicate
+/// receptions and repeated allocations so compaction has real findings
+/// to aggregate.
+fn shard_log(seed: u64, shard: u32, ops: u64) -> TraceLog {
+    let mut log = TraceLog::for_shard(shard);
+    let mut rng = Rng::new(seed ^ (u64::from(shard) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut t = u64::from(shard); // skewed clocks across shards
+    for i in 0..ops {
+        t += 1 + rng.below(20);
+        let dev = DeviceId::target(rng.below(2) as u32);
+        let cp = CodePtr(0x400_000 + rng.below(4) * 0x10);
+        let _ = match rng.below(8) {
+            0 | 1 => log.record_data_op(
+                DataOpKind::Alloc,
+                DeviceId::HOST,
+                dev,
+                0x1000 + rng.below(3) * 0x100,
+                0xd000,
+                64 << rng.below(3),
+                None,
+                span(t, t + 2),
+                cp,
+            ),
+            2 => log.record_data_op(
+                DataOpKind::Transfer,
+                dev,
+                DeviceId::HOST,
+                0xd000,
+                0x1000 + rng.below(3) * 0x100,
+                64,
+                Some(rng.below(4)),
+                span(t, t + 5),
+                cp,
+            ),
+            _ => log.record_data_op(
+                DataOpKind::Transfer,
+                DeviceId::HOST,
+                dev,
+                0x1000 + rng.below(3) * 0x100,
+                0xd000,
+                64,
+                Some(rng.below(4)),
+                span(t, t + 5),
+                cp,
+            ),
+        };
+        if i % 3 == 0 {
+            log.record_target(TargetKind::Kernel, dev, span(t + 6, t + 9), CodePtr(0x77));
+        }
+    }
+    log
+}
+
+/// `(run_id, serialized shard)` pairs for `runs` runs × `shards` shards.
+fn submissions(seed: u64, runs: usize, shards: u32, ops: u64) -> Vec<(String, Vec<u8>)> {
+    let mut out = Vec::new();
+    for r in 0..runs {
+        for s in 0..shards {
+            let log = shard_log(seed ^ (r as u64) << 32, s, ops);
+            let artifact =
+                TraceArtifact::from_log(&log, &format!("prog-{r}"), TraceHealth::default());
+            out.push((format!("run-{r}"), artifact.to_bytes()));
+        }
+    }
+    out
+}
+
+/// Submit every pair from `threads` OS threads in a seeded-shuffled
+/// order, compact, and return the corpus JSON.
+fn corpus_json(pairs: &[(String, Vec<u8>)], threads: usize, order_seed: u64) -> String {
+    let mut idx: Vec<usize> = (0..pairs.len()).collect();
+    let mut rng = Rng::new(order_seed);
+    for i in (1..idx.len()).rev() {
+        idx.swap(i, rng.below(i as u64 + 1) as usize);
+    }
+    let ingest = FleetIngest::new();
+    let per = idx.len().div_ceil(threads).max(1);
+    std::thread::scope(|sc| {
+        for chunk in idx.chunks(per) {
+            let ingest = &ingest;
+            sc.spawn(move || {
+                for &i in chunk {
+                    ingest.submit(&pairs[i].0, pairs[i].1.clone());
+                }
+            });
+        }
+    });
+    ingest.compact().to_json()
+}
+
+// ---------------------------------------------------------------------
+// Pinned coverage
+// ---------------------------------------------------------------------
+
+#[test]
+fn eight_writers_compact_identically_to_one() {
+    let pairs = submissions(7, 3, 4, 60);
+    let serial = corpus_json(&pairs, 1, 0);
+    for (threads, order_seed) in [(2, 11), (4, 23), (8, 37), (8, 41)] {
+        assert_eq!(
+            corpus_json(&pairs, threads, order_seed),
+            serial,
+            "{threads} writers (order seed {order_seed}) diverged from serial ingest"
+        );
+    }
+    // The corpus is real, not vacuously empty.
+    let corpus = Corpus::from_json(&serial).expect("parse");
+    assert_eq!(corpus.runs.len(), 3);
+    assert!(
+        corpus.fleet.entries.iter().any(|e| e.runs > 1),
+        "seeded runs share sites; the rollup must count them across runs"
+    );
+    assert!(!corpus.fleet.entries.is_empty());
+}
+
+#[test]
+fn duplicate_submissions_are_accounted_not_merged() {
+    let log = shard_log(99, 0, 20);
+    let events = (log.data_op_count() + log.target_count()) as u64;
+    let bytes = TraceArtifact::from_log(&log, "dup", TraceHealth::default()).to_bytes();
+
+    let ingest = FleetIngest::new();
+    ingest.submit("run", bytes.clone());
+    ingest.submit("run", bytes);
+    let corpus = ingest.compact();
+    assert_eq!(
+        corpus.runs[0].health.duplicate_ids, events,
+        "every id claimed twice must be counted exactly once as a duplicate"
+    );
+    assert!(corpus.runs[0].health.warning().is_some());
+}
+
+#[test]
+fn corrupt_submission_degrades_its_run_only() {
+    let good = TraceArtifact::from_log(&shard_log(5, 0, 30), "ok", TraceHealth::default());
+
+    let ingest = FleetIngest::new();
+    ingest.submit("healthy", good.to_bytes());
+    ingest.submit("poisoned", good.to_bytes());
+    ingest.submit("poisoned", b"definitely not a trace file".to_vec());
+    let corpus = ingest.compact();
+
+    let healthy = corpus
+        .runs
+        .iter()
+        .find(|r| r.run_id == "healthy")
+        .expect("run");
+    let poisoned = corpus
+        .runs
+        .iter()
+        .find(|r| r.run_id == "poisoned")
+        .expect("run");
+    assert!(healthy.health.is_clean(), "sibling run must stay clean");
+    assert_eq!(
+        poisoned.health.unreadable, 1,
+        "garbage must surface as unreadable"
+    );
+    // The good shard in the poisoned run still contributes findings.
+    assert_eq!(poisoned.counts, healthy.counts);
+}
+
+#[test]
+fn rollup_keys_sites_stably_across_runs() {
+    // Two runs with the identical trace: every fleet entry spans both
+    // runs with doubled totals, and diffing the corpus against itself
+    // reports everything persisting.
+    let pairs = submissions(13, 2, 2, 40);
+    let solo = {
+        let ingest = FleetIngest::new();
+        for (run, bytes) in &pairs[..2] {
+            ingest.submit(run, bytes.clone());
+        }
+        ingest.compact()
+    };
+    let both = Corpus::from_json(&corpus_json(&pairs, 2, 3)).expect("parse");
+    for entry in &both.fleet.entries {
+        assert!(entry.runs >= 1 && entry.runs <= 2);
+        assert!(matches!(
+            entry.kind,
+            FindingKind::DuplicateTransfer
+                | FindingKind::RoundTrip
+                | FindingKind::RepeatedAlloc
+                | FindingKind::UnusedAlloc
+                | FindingKind::UnusedTransfer
+        ));
+    }
+    let d = diff_corpora(&both, &both);
+    assert!(!d.is_regression());
+    assert_eq!(d.persisting.len(), both.fleet.entries.len());
+    assert!(d.new.is_empty() && d.fixed.is_empty());
+    // Sanity: the one-run corpus is a subset of the two-run fleet.
+    for e in &solo.fleet.entries {
+        assert!(
+            both.fleet
+                .entries
+                .iter()
+                .any(|b| (b.codeptr, b.device, b.kind) == (e.codeptr, e.device, e.kind)),
+            "run-0 site vanished from the two-run rollup"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property: scheduling independence over the generator space
+// ---------------------------------------------------------------------
+
+proptest! {
+    // Each case spins up to 3 ingest rounds with real threads; keep the
+    // count CI-sized. The vendored proptest stand-in seeds its RNG from
+    // the test name, so every run draws the same cases.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn corpus_is_schedule_independent(
+        seed in 0u64..u64::MAX,
+        runs in 1usize..4,
+        shards in 1u32..5,
+        ops in 1u64..50,
+        threads in 2usize..9,
+        order_seed in 0u64..u64::MAX,
+    ) {
+        let pairs = submissions(seed, runs, shards, ops);
+        let serial = corpus_json(&pairs, 1, 0);
+        let threaded = corpus_json(&pairs, threads, order_seed);
+        prop_assert_eq!(&threaded, &serial, "threaded ingest diverged from serial");
+        let corpus = Corpus::from_json(&serial).expect("parse");
+        prop_assert_eq!(corpus.runs.len(), runs);
+        prop_assert_eq!(corpus.to_json(), serial);
+    }
+}

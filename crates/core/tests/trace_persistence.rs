@@ -1,0 +1,550 @@
+//! Property suite for the persistent trace format (`odp_trace::persist`).
+//!
+//! Three oracles, each over seeded generators so a failing case
+//! reproduces forever:
+//!
+//! 1. **Round-trip identity**: for any shard-interleaved merged trace —
+//!    including lossy/hostile/stalled/OOM fault-profile runs through the
+//!    full simulated runtime — `TraceArtifact::from_log` → `to_bytes` →
+//!    `load_trace` is field-for-field identical: the artifact itself,
+//!    its `ColumnarView` against the in-memory hydration, the sorted
+//!    target events, the recomputed stats, and the persisted
+//!    `TraceHealth` and shard ids.
+//! 2. **Findings byte-identity**: the fused detection sweep over the
+//!    loaded columns serializes to byte-identical JSON as the sweep over
+//!    the live trace — persistence must never fork analysis results.
+//! 3. **Loader robustness**: sampled truncations and bit flips of a
+//!    multi-shard file never panic the lenient loader, and every
+//!    mutation either decodes to the original artifact (padding bytes
+//!    are not checksummed) or surfaces in `TraceHealth::unreadable`.
+//!    The strict loader must reject anything that does not decode to
+//!    the original.
+//!
+//! The exhaustive single-artifact truncation/bit-flip fuzz lives in
+//! `odp_trace::persist`'s unit tests; this suite samples the same
+//! predicates over a larger, multi-shard artifact and adds the
+//! whole-pipeline generators.
+
+mod common;
+
+use common::Rng;
+use odp_model::{CodePtr, DeviceId, MapType, SimTime, TraceHealth};
+use odp_ompt::{CompilerProfile, DataOpCallback, DataOpType, Endpoint, SubmitCallback, Tool};
+use odp_sim::{map, FaultPlan, FaultProfile, Kernel, KernelCost, Runtime, RuntimeConfig};
+use odp_trace::persist::{load_trace, load_trace_lenient};
+use odp_trace::{TraceArtifact, TraceLog};
+use ompdataperf::analysis::infer_num_devices_columnar;
+use ompdataperf::detect::{EventView, Findings};
+use ompdataperf::tool::{OmpDataPerfTool, ToolConfig};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+// ---------------------------------------------------------------------
+// The shared oracle
+// ---------------------------------------------------------------------
+
+/// Save `trace` + `health`, load it back strictly and leniently, and
+/// check every identity the format promises.
+fn assert_round_trip(trace: &TraceLog, health: &TraceHealth, program: &str) {
+    let artifact = TraceArtifact::from_log(trace, program, *health);
+    let bytes = artifact.to_bytes();
+
+    let strict = load_trace(&bytes).expect("a writer's own output must verify");
+    let lenient = load_trace_lenient(&bytes);
+    assert_eq!(strict, artifact, "strict load diverged from the artifact");
+    assert_eq!(lenient, artifact, "lenient load diverged on clean bytes");
+
+    // Field-for-field columnar identity against in-memory hydration.
+    let cols = strict.columnar();
+    assert_eq!(&cols, trace.columnar(), "ColumnarView diverged");
+    assert_eq!(
+        strict.target_events_sorted(),
+        trace.target_events_sorted(),
+        "sorted target events diverged"
+    );
+    assert_eq!(strict.health, *health, "TraceHealth was not preserved");
+    assert_eq!(strict.meta.program, program);
+    assert_eq!(
+        serde_json::to_string(&strict.stats()).expect("serialize stats"),
+        serde_json::to_string(&trace.stats()).expect("serialize stats"),
+        "recomputed stats diverged"
+    );
+
+    // Findings byte-identity: fused sweep over disk == fused sweep over
+    // the live trace, down to the serialized JSON.
+    let n_mem = infer_num_devices_columnar(trace.columnar());
+    let n_disk = infer_num_devices_columnar(&cols);
+    assert_eq!(n_mem, n_disk, "device inference diverged across the trip");
+    let from_mem = Findings::detect_fused(&EventView::over(trace.columnar(), n_mem));
+    let from_disk = Findings::detect_fused(&EventView::over(&cols, n_disk));
+    assert_eq!(
+        serde_json::to_string_pretty(&from_mem).expect("serialize findings"),
+        serde_json::to_string_pretty(&from_disk).expect("serialize findings"),
+        "findings JSON diverged across the round trip"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Generator 1: shard-interleaved callback storms
+// ---------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)] // a callback-record builder mirrors the callback's fields
+fn data_op<'a>(
+    endpoint: Endpoint,
+    host_op_id: u64,
+    optype: DataOpType,
+    src_device: DeviceId,
+    dest_device: DeviceId,
+    addr_salt: u64,
+    time: u64,
+    payload: Option<&'a [u8]>,
+) -> DataOpCallback<'a> {
+    DataOpCallback {
+        endpoint,
+        target_id: 1,
+        host_op_id,
+        optype,
+        src_device,
+        src_addr: 0x1000 + (addr_salt % 7) * 0x100,
+        dest_device,
+        dest_addr: 0xd000 + (addr_salt % 5) * 0x80,
+        bytes: payload.map(|p| p.len() as u64).unwrap_or(64),
+        codeptr_ra: CodePtr(0x400_000 + (addr_salt % 4) * 0x10),
+        time: SimTime(time),
+        payload,
+    }
+}
+
+/// Feed a seeded interleaved callback storm across `shards` forked tool
+/// shards (one logical producer each, driven round-robin in random
+/// order) and return the merged trace plus its composed health. Small
+/// pools of payloads, devices, and addresses force duplicate hashes,
+/// round trips, and re-allocations into the trace so the findings
+/// oracle is non-vacuous.
+fn storm_trace(seed: u64, shards: usize, ops_per_shard: u64) -> (TraceLog, TraceHealth) {
+    let (tool0, handle) = OmpDataPerfTool::new(ToolConfig {
+        quiet: true,
+        ..Default::default()
+    });
+    let mut tools = vec![tool0];
+    for _ in 1..shards {
+        tools.push(handle.fork_tool());
+    }
+    let caps = CompilerProfile::LlvmClang.capabilities();
+    for tool in &mut tools {
+        tool.initialize(&caps);
+    }
+
+    let payloads: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i; 32 + 16 * i as usize]).collect();
+    let mut rng = Rng::new(seed);
+    let mut clocks = vec![0u64; shards];
+    let mut emitted = vec![0u64; shards];
+    for _ in 0..shards as u64 * ops_per_shard {
+        // Pick any shard with budget left: the interleaving (and thus
+        // the per-shard clock skew) is seed-controlled.
+        let mut s = rng.below(shards as u64) as usize;
+        while emitted[s] >= ops_per_shard {
+            s = (s + 1) % shards;
+        }
+        let i = emitted[s];
+        emitted[s] += 1;
+        let id = s as u64 * 1_000_000 + i;
+        let t = clocks[s];
+        let dev = DeviceId::target(rng.below(3) as u32);
+        let tool = &mut tools[s];
+        match rng.below(10) {
+            0 | 1 => {
+                let op = DataOpType::Alloc;
+                tool.on_data_op(&data_op(
+                    Endpoint::Begin,
+                    id,
+                    op,
+                    DeviceId::HOST,
+                    dev,
+                    i,
+                    t,
+                    None,
+                ));
+                tool.on_data_op(&data_op(
+                    Endpoint::End,
+                    id,
+                    op,
+                    DeviceId::HOST,
+                    dev,
+                    i,
+                    t + 3,
+                    None,
+                ));
+            }
+            2 => {
+                let op = DataOpType::Delete;
+                tool.on_data_op(&data_op(
+                    Endpoint::Begin,
+                    id,
+                    op,
+                    DeviceId::HOST,
+                    dev,
+                    i,
+                    t,
+                    None,
+                ));
+                tool.on_data_op(&data_op(
+                    Endpoint::End,
+                    id,
+                    op,
+                    DeviceId::HOST,
+                    dev,
+                    i,
+                    t + 2,
+                    None,
+                ));
+            }
+            3 | 4 => {
+                let op = DataOpType::TransferFromDevice;
+                let p = &payloads[(i % 5) as usize];
+                tool.on_data_op(&data_op(
+                    Endpoint::Begin,
+                    id,
+                    op,
+                    dev,
+                    DeviceId::HOST,
+                    i,
+                    t,
+                    None,
+                ));
+                tool.on_data_op(&data_op(
+                    Endpoint::End,
+                    id,
+                    op,
+                    dev,
+                    DeviceId::HOST,
+                    i,
+                    t + 6,
+                    Some(p),
+                ));
+            }
+            _ => {
+                let op = DataOpType::TransferToDevice;
+                let p = &payloads[(i % 5) as usize];
+                tool.on_data_op(&data_op(
+                    Endpoint::Begin,
+                    id,
+                    op,
+                    DeviceId::HOST,
+                    dev,
+                    i,
+                    t,
+                    None,
+                ));
+                if i.is_multiple_of(4) {
+                    // An overlapping second transfer inside the first's span.
+                    let p2 = &payloads[((i + 2) % 5) as usize];
+                    let id2 = id + 500_000;
+                    tool.on_data_op(&data_op(
+                        Endpoint::Begin,
+                        id2,
+                        op,
+                        DeviceId::HOST,
+                        dev,
+                        i + 1,
+                        t + 1,
+                        None,
+                    ));
+                    tool.on_data_op(&data_op(
+                        Endpoint::End,
+                        id2,
+                        op,
+                        DeviceId::HOST,
+                        dev,
+                        i + 1,
+                        t + 4,
+                        Some(p2),
+                    ));
+                }
+                tool.on_data_op(&data_op(
+                    Endpoint::End,
+                    id,
+                    op,
+                    DeviceId::HOST,
+                    dev,
+                    i,
+                    t + 8,
+                    Some(p),
+                ));
+            }
+        }
+        if i.is_multiple_of(6) {
+            tool.on_submit(&SubmitCallback {
+                endpoint: Endpoint::Begin,
+                target_id: id,
+                device: dev,
+                requested_num_teams: 1,
+                codeptr_ra: CodePtr(0x77),
+                time: SimTime(t + 9),
+            });
+            tool.on_submit(&SubmitCallback {
+                endpoint: Endpoint::End,
+                target_id: id,
+                device: dev,
+                requested_num_teams: 1,
+                codeptr_ra: CodePtr(0x77),
+                time: SimTime(t + 15),
+            });
+        }
+        // Per-shard clocks stay monotonic (the OMPT contract); the
+        // jitter makes cross-shard timestamps collide.
+        clocks[s] = t + 8 + rng.below(9);
+    }
+    for mut tool in tools {
+        tool.finalize(10_000_000);
+    }
+
+    let trace = handle.take_trace();
+    let mut health = handle.trace_health();
+    health.duplicate_ids += trace.duplicate_id_count();
+    (trace, health)
+}
+
+// ---------------------------------------------------------------------
+// Generator 2: fault-profile runs through the simulated runtime
+// ---------------------------------------------------------------------
+
+/// One step of a synthetic host program (a trimmed copy of the
+/// fault-differential harness: this suite only needs the trace, not the
+/// differential oracle).
+#[derive(Clone, Debug)]
+struct FaultStep {
+    var: usize,
+    unstructured: bool,
+    update_to: bool,
+    mutate: bool,
+}
+
+/// Run a synthetic program under `plan` with the full pipeline attached
+/// (sharded collector + streaming engine) and compose health exactly
+/// like the CLI report: collector quarantines, then engine degradation,
+/// then merge-time duplicate ids.
+fn run_faulty(
+    steps: &[FaultStep],
+    var_sizes: &[usize],
+    plan: FaultPlan,
+) -> (TraceLog, TraceHealth) {
+    let cfg = RuntimeConfig {
+        faults: plan,
+        ..RuntimeConfig::default()
+    };
+    let mut rt = Runtime::new(cfg);
+    let (tool, handle) = OmpDataPerfTool::new(ToolConfig {
+        stream: true,
+        quiet: true,
+        ..Default::default()
+    });
+    rt.attach_tool(Box::new(tool));
+
+    let vars: Vec<_> = var_sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &bytes)| rt.host_alloc(&format!("v{i}"), bytes))
+        .collect();
+    for (i, step) in steps.iter().enumerate() {
+        let cp = CodePtr(0x1000 + 0x10 * i as u64);
+        let v = vars[step.var % vars.len()];
+        if step.unstructured {
+            rt.target_enter_data(0, cp, &[map(MapType::To, v)]);
+            if step.update_to {
+                rt.target_update_to(0, cp, &[v]);
+            }
+            rt.target_exit_data(0, cp, &[map(MapType::From, v)]);
+        } else {
+            let kernel = if step.mutate {
+                Kernel::new("k", KernelCost::fixed(50))
+                    .reads(&[v])
+                    .writes(&[v])
+            } else {
+                Kernel::new("k", KernelCost::fixed(50)).reads(&[v])
+            };
+            rt.target(0, cp, &[map(MapType::ToFrom, v)], kernel);
+        }
+    }
+    rt.finish();
+
+    let trace = handle.take_trace();
+    let mut engine = handle.take_stream_engine().expect("streaming was enabled");
+    let view = EventView::from_log(&trace);
+    let _findings = engine.finalize(&view);
+    let mut health = handle.trace_health();
+    health.merge(&engine.health());
+    health.duplicate_ids += trace.duplicate_id_count();
+    (trace, health)
+}
+
+/// A fixed program long enough that every named profile actually fires.
+fn reference_steps() -> Vec<FaultStep> {
+    let mut steps = Vec::new();
+    for round in 0..6 {
+        steps.push(FaultStep {
+            var: 0,
+            unstructured: false,
+            update_to: false,
+            mutate: false,
+        });
+        steps.push(FaultStep {
+            var: 1,
+            unstructured: false,
+            update_to: false,
+            mutate: round % 2 == 0,
+        });
+        steps.push(FaultStep {
+            var: 2,
+            unstructured: true,
+            update_to: round % 3 == 0,
+            mutate: false,
+        });
+    }
+    steps
+}
+
+const PROFILES: [FaultProfile; 4] = [
+    FaultProfile::Lossy,
+    FaultProfile::Hostile,
+    FaultProfile::Stalled,
+    FaultProfile::Oom,
+];
+
+// ---------------------------------------------------------------------
+// Pinned coverage
+// ---------------------------------------------------------------------
+
+#[test]
+fn named_fault_profiles_round_trip() {
+    let steps = reference_steps();
+    let sizes = [48usize, 32, 24];
+    for profile in PROFILES {
+        for seed in [0u64, 1, 42] {
+            let (trace, health) =
+                run_faulty(&steps, &sizes, FaultPlan::from_profile(profile, seed));
+            assert_round_trip(&trace, &health, "fault-profile");
+        }
+    }
+}
+
+#[test]
+fn lossy_round_trip_preserves_a_dirty_health() {
+    // Guard against vacuity: the lossy run must actually dirty its
+    // health, and the loaded artifact must carry that exact health.
+    let (trace, health) = run_faulty(
+        &reference_steps(),
+        &[48, 32, 24],
+        FaultPlan::from_profile(FaultProfile::Lossy, 42),
+    );
+    assert!(!health.is_clean(), "lossy plan injected nothing");
+    let artifact = TraceArtifact::from_log(&trace, "lossy", health);
+    let loaded = load_trace(&artifact.to_bytes()).expect("load");
+    assert_eq!(loaded.health, health);
+    assert!(loaded.health.warning().is_some());
+}
+
+#[test]
+fn storm_generator_exercises_findings() {
+    // The seed pools must actually produce findings, or the byte-identity
+    // oracle on findings JSON would pass trivially on empty documents.
+    let (trace, _health) = storm_trace(0xBADC0DE, 4, 120);
+    let n = infer_num_devices_columnar(trace.columnar());
+    let findings = Findings::detect_fused(&EventView::over(trace.columnar(), n));
+    assert!(findings.counts().total() > 0, "storm produced no findings");
+}
+
+// ---------------------------------------------------------------------
+// Loader fuzz fixture
+// ---------------------------------------------------------------------
+
+/// One multi-shard serialized artifact, built once: the fuzz cases below
+/// sample mutations of these bytes.
+fn fixture() -> &'static (TraceArtifact, Vec<u8>) {
+    static FIXTURE: OnceLock<(TraceArtifact, Vec<u8>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let (trace, health) = storm_trace(0xC0FFEE, 3, 60);
+        let artifact = TraceArtifact::from_log(&trace, "fuzz-fixture", health);
+        let bytes = artifact.to_bytes();
+        (artifact, bytes)
+    })
+}
+
+// ---------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    // Each storm case replays a few hundred callbacks and each fault
+    // case a full simulated run; keep the counts CI-sized. The vendored
+    // proptest stand-in seeds its RNG from the test name, so every run
+    // draws the same cases.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn shard_interleaved_traces_round_trip(
+        seed in 0u64..u64::MAX,
+        shards in 1usize..5,
+        ops in 1u64..80,
+    ) {
+        let (trace, health) = storm_trace(seed, shards, ops);
+        assert_round_trip(&trace, &health, "storm");
+    }
+
+    #[test]
+    fn fault_profile_traces_round_trip(
+        steps in collection::vec(
+            (0usize..4, 0u8..2, 0u8..2, 0u8..2).prop_map(|(var, u, t, m)| FaultStep {
+                var,
+                unstructured: u == 1,
+                update_to: t == 1,
+                mutate: m == 1,
+            }),
+            1..12,
+        ),
+        var_sizes in collection::vec(2usize..64, 1..4),
+        profile_ix in 0usize..4,
+        seed in 0u64..u64::MAX,
+    ) {
+        let plan = FaultPlan::from_profile(PROFILES[profile_ix], seed);
+        let (trace, health) = run_faulty(&steps, &var_sizes, plan);
+        assert_round_trip(&trace, &health, "faulty");
+    }
+
+    #[test]
+    fn truncations_degrade_and_never_panic(cut in 0usize..usize::MAX) {
+        let (original, bytes) = fixture();
+        let cut = cut % bytes.len(); // strictly shorter than the file
+        let loaded = load_trace_lenient(&bytes[..cut]);
+        prop_assert!(
+            loaded.health.unreadable > 0,
+            "a truncated file (cut {} of {}) must surface as unreadable",
+            cut,
+            bytes.len()
+        );
+        prop_assert!(load_trace(&bytes[..cut]).is_err(), "strict load must reject");
+        // The truncated decode never resurrects more than was written.
+        prop_assert!(loaded.data_op_count() <= original.data_op_count());
+    }
+
+    #[test]
+    fn bit_flips_degrade_or_decode_identically(
+        pos in 0usize..usize::MAX,
+        mask in 1u8..255,
+    ) {
+        let (original, bytes) = fixture();
+        let mut mutated = bytes.clone();
+        let pos = pos % mutated.len();
+        mutated[pos] ^= mask;
+        let loaded = load_trace_lenient(&mutated);
+        prop_assert!(
+            loaded == *original || loaded.health.unreadable > 0,
+            "a bit flip at {pos} neither decoded identically nor degraded"
+        );
+        // Strict load may only succeed on an identical decode (flips in
+        // inter-section padding are invisible to every checksum).
+        if let Ok(strict) = load_trace(&mutated) {
+            prop_assert_eq!(strict, original.clone());
+        }
+    }
+}

@@ -43,6 +43,10 @@ pub struct TraceHealth {
     /// Streamed events the finalize view no longer contained (the
     /// post-mortem log lost what the engine saw live).
     pub missing_at_finalize: u64,
+    /// Persisted events dropped by the trace loader: sections of an
+    /// on-disk trace whose checksum, bounds, or layout could not be
+    /// verified (a wholly undecodable file counts as one).
+    pub unreadable: u64,
 }
 
 impl TraceHealth {
@@ -60,6 +64,7 @@ impl TraceHealth {
             + self.duplicate_ids
             + self.late
             + self.missing_at_finalize
+            + self.unreadable
     }
 
     /// Did anything degrade at all?
@@ -76,6 +81,7 @@ impl TraceHealth {
         self.late += other.late;
         self.forced_releases += other.forced_releases;
         self.missing_at_finalize += other.missing_at_finalize;
+        self.unreadable += other.unreadable;
     }
 
     /// The console warning summarizing what was quarantined, or `None`
@@ -87,7 +93,7 @@ impl TraceHealth {
         Some(format!(
             "warning: degraded trace — quarantined {} event(s) \
              (out-of-range {}, orphaned {}, truncated {}, duplicate ids {}, \
-             late {}, missing at finalize {}; {} forced release(s))",
+             late {}, missing at finalize {}, unreadable {}; {} forced release(s))",
             self.total_quarantined(),
             self.out_of_range,
             self.orphaned,
@@ -95,6 +101,7 @@ impl TraceHealth {
             self.duplicate_ids,
             self.late,
             self.missing_at_finalize,
+            self.unreadable,
             self.forced_releases,
         ))
     }
@@ -122,6 +129,7 @@ mod tests {
             late: 5,
             forced_releases: 6,
             missing_at_finalize: 7,
+            unreadable: 8,
         };
         let b = a;
         a.merge(&b);
@@ -132,8 +140,22 @@ mod tests {
         assert_eq!(a.late, 10);
         assert_eq!(a.forced_releases, 12);
         assert_eq!(a.missing_at_finalize, 14);
+        assert_eq!(a.unreadable, 16);
         // forced_releases is an incident count, not quarantined events.
-        assert_eq!(a.total_quarantined(), 2 + 4 + 6 + 8 + 10 + 14);
+        assert_eq!(a.total_quarantined(), 2 + 4 + 6 + 8 + 10 + 14 + 16);
+    }
+
+    #[test]
+    fn unreadable_degrades_and_round_trips() {
+        let h = TraceHealth {
+            unreadable: 2,
+            ..TraceHealth::default()
+        };
+        assert!(!h.is_clean());
+        assert!(h.warning().unwrap().contains("unreadable 2"));
+        let json = serde_json::to_string(&h).unwrap();
+        let parsed: TraceHealth = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, h);
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod chunked;
 pub mod columnar;
 pub mod intern;
 pub mod log;
+pub mod persist;
 pub mod record;
 pub mod stats;
 
@@ -46,5 +47,8 @@ pub use chunked::ChunkedVec;
 pub use columnar::{ColumnarView, DataOpColumns, TargetColumns};
 pub use intern::CodePtrTable;
 pub use log::TraceLog;
+pub use persist::{
+    load_trace, load_trace_lenient, PersistError, ShardColumns, TraceArtifact, TraceMeta,
+};
 pub use record::{DataOpRecord, TargetRecord, DATA_OP_RECORD_BYTES, TARGET_RECORD_BYTES};
 pub use stats::{SpaceStats, TraceStats};

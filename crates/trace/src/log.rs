@@ -407,6 +407,56 @@ impl TraceLog {
         self.kernel_events_sorted().to_vec()
     }
 
+    /// Export every part of this log — the log itself plus each merged
+    /// shard, in merge order, empty parts skipped — as `(shard id,
+    /// sorted data-op columns, sorted target columns)` triples: the
+    /// input of [`crate::persist`].
+    ///
+    /// Each part's columns are `(start, id)`-sorted with the same
+    /// stable permutation sort hydration uses, and parts keep the merge
+    /// order [`TraceLog::columnar`] tie-breaks on, so re-merging the
+    /// exported parts by `(start, id, part)` reproduces the in-memory
+    /// hydration exactly — including adversarial shard sets whose event
+    /// ids collide. Unlike the columnar hydration, the exported target
+    /// columns carry *every* target construct (with its kind column),
+    /// so a persisted trace also reproduces
+    /// [`TraceLog::target_events_sorted`], stats, and space accounting.
+    pub fn shard_parts(&self) -> Vec<(u32, DataOpColumns, TargetColumns)> {
+        let mut out = Vec::new();
+        for p in self.parts() {
+            if p.data_ops.is_empty() && p.targets.is_empty() {
+                continue;
+            }
+            let op_rows: Vec<DataOpEvent> = p
+                .data_ops
+                .iter()
+                .map(|r| {
+                    let mut e = r.to_event();
+                    e.id = EventId(p.id_base | e.id.0);
+                    e
+                })
+                .collect();
+            let mut ops = DataOpColumns::with_capacity(op_rows.len());
+            for &i in &sorted_perm(&op_rows, |e| (e.span.start, e.id)) {
+                ops.push(&op_rows[i as usize]);
+            }
+            let target_rows: Vec<TargetEvent> = p
+                .targets
+                .iter()
+                .map(|r| {
+                    let cp = p.codeptrs.resolve(r.codeptr_ix);
+                    r.to_event(p.id_base | r.seq() as u64, cp)
+                })
+                .collect();
+            let mut targets = TargetColumns::with_capacity(target_rows.len());
+            for &i in &sorted_perm(&target_rows, |e| (e.span.start, e.id)) {
+                targets.push(&target_rows[i as usize]);
+            }
+            out.push((p.shard(), ops, targets));
+        }
+        out
+    }
+
     /// Number of hydration sort passes performed so far. Repeated calls
     /// to the event accessors must not grow this (the memoization
     /// contract); appending a record resets the caches and allows one

@@ -1,0 +1,975 @@
+//! Versioned, shard-aware binary on-disk trace format.
+//!
+//! A persisted trace is the durable twin of [`crate::TraceLog`]'s
+//! in-memory hydration: per-shard `(start, id)`-sorted columns written
+//! as raw little-endian fixed-width sections, indexed by a JSON footer,
+//! carrying the run's [`TraceHealth`], stats metadata, and shard ids.
+//! Loading rebuilds a [`ColumnarView`] **byte-identical** to what
+//! hydrating the original log would have produced — the contract the
+//! `trace_persistence` property suite pins, fault-profile traces
+//! included.
+//!
+//! # File layout (version 1)
+//!
+//! ```text
+//! offset 0   ┌──────────────────────────────────────────────┐
+//!            │ magic "ODPTRACE" (8 B)                       │
+//!            │ version u32 LE · reserved u32 LE             │
+//! offset 16  ├──────────────────────────────────────────────┤
+//!            │ column sections, 8-byte aligned:             │
+//!            │   shard 0 ops:     ids · kinds · devices ·   │
+//!            │                    addrs · bytes · hashes ·  │
+//!            │                    flags · spans · codeptrs  │
+//!            │   shard 0 targets: ids · devices · kinds ·   │
+//!            │                    spans · codeptrs          │
+//!            │   shard 1 ops: …                             │
+//! data end   ├──────────────────────────────────────────────┤
+//!            │ footer: JSON index                           │
+//!            │   {version, meta, health, shards:[{shard,    │
+//!            │    ops:{rows, cols:[{name,off,len,crc}]},    │
+//!            │    targets:{…}}]}                            │
+//!            ├──────────────────────────────────────────────┤
+//!            │ footer_len u64 LE · footer_crc u64 LE        │
+//!            │ tail magic "ODPTEND\0" (8 B)                 │
+//!            └──────────────────────────────────────────────┘
+//! ```
+//!
+//! Every column section and the footer carry an FNV-1a-64 checksum.
+//! Sections are raw fixed-width little-endian arrays at 8-byte-aligned
+//! offsets located purely through the footer index, so a later
+//! zero-copy `mmap` fast path — casting sections in place instead of
+//! copying them into `Vec`s — reads the same bytes through the same
+//! index and needs **no version bump**. (This crate is
+//! `forbid(unsafe_code)`, so version 1 hydrates by copying.)
+//!
+//! # Degradation contract
+//!
+//! [`load_trace_lenient`] never panics and never silently drops data:
+//! a section whose bounds, length, or checksum cannot be verified
+//! quarantines its whole shard, and the shard's claimed event count
+//! lands in [`TraceHealth::unreadable`] (an undecodable file counts as
+//! one). [`load_trace`] is the strict variant for writers validating
+//! their own output.
+
+use crate::columnar::{
+    merge_sorted_parts, sorted_perm, ColumnarView, DataOpColumns, TargetColumns,
+};
+use crate::log::TraceLog;
+use crate::record::{
+    decode_data_op_kind, decode_target_kind, encode_data_op_kind, encode_target_kind,
+    DATA_OP_RECORD_BYTES, TARGET_RECORD_BYTES,
+};
+use crate::stats::{SpaceStats, TraceStats};
+use odp_model::{
+    CodePtr, DataOpEvent, DataOpKind, DeviceId, EventId, HashVal, SimDuration, SimTime,
+    TargetEvent, TargetKind, TraceHealth,
+};
+use serde::{Deserialize, Serialize};
+
+/// Leading file magic (stable across versions).
+pub const TRACE_MAGIC: [u8; 8] = *b"ODPTRACE";
+/// Trailing file magic.
+pub const TAIL_MAGIC: [u8; 8] = *b"ODPTEND\0";
+/// Current format version.
+pub const TRACE_VERSION: u32 = 1;
+
+const HEADER_BYTES: usize = 16;
+/// footer_len u64 + footer_crc u64 + tail magic.
+const TAIL_BYTES: usize = 24;
+
+/// FNV-1a 64-bit — dependency-free integrity check for column sections
+/// and the footer. Not cryptographic; it exists to catch the bit flips,
+/// truncations, and torn writes the loader fuzz cases inject.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Run-level metadata persisted alongside the columns.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceMeta {
+    /// Monitored program name.
+    pub program: String,
+    /// Finalized total execution time, ns.
+    pub total_time_ns: u64,
+    /// Peak heap bytes the original log allocated (Figure 3).
+    pub peak_alloc_bytes: u64,
+    /// Merge-time duplicate-id count ([`TraceLog::duplicate_id_count`]).
+    pub duplicate_ids: u64,
+}
+
+/// One shard's persisted columns, both tables `(start, id)`-sorted.
+/// The target columns carry every construct (with its kind), not just
+/// kernels, so the persisted trace reproduces target hydration and
+/// stats as well as the detector inputs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardColumns {
+    /// Shard id (the high half of this shard's event ids).
+    pub shard: u32,
+    /// Data-operation columns.
+    pub ops: DataOpColumns,
+    /// Target-construct columns.
+    pub targets: TargetColumns,
+}
+
+/// A trace in its persistable form: metadata + health + per-shard
+/// sorted columns. The in-memory side of the on-disk format — built
+/// from a [`TraceLog`] by [`TraceArtifact::from_log`], rebuilt from
+/// bytes by [`load_trace`] / [`load_trace_lenient`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceArtifact {
+    /// Run metadata.
+    pub meta: TraceMeta,
+    /// Quarantine accounting carried over from the run (plus
+    /// [`TraceHealth::unreadable`] drops added by a lenient load).
+    pub health: TraceHealth,
+    /// Per-shard columns, in the original log's merge order.
+    pub shards: Vec<ShardColumns>,
+}
+
+/// Why a strict load refused a file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PersistError {
+    /// Shorter than header + tail.
+    TooShort,
+    /// Leading or trailing magic mismatch.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Footer length out of bounds, checksum mismatch, or undecodable
+    /// JSON.
+    BadFooter(String),
+    /// A column section failed bounds, width, or checksum verification.
+    BadSection {
+        /// Shard id the section belongs to.
+        shard: u32,
+        /// Column name from the footer index.
+        column: String,
+        /// What failed.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::TooShort => write!(f, "file shorter than header + tail"),
+            PersistError::BadMagic => write!(f, "not an ODPTRACE file (magic mismatch)"),
+            PersistError::BadVersion(v) => write!(f, "unsupported trace format version {v}"),
+            PersistError::BadFooter(why) => write!(f, "unreadable footer: {why}"),
+            PersistError::BadSection {
+                shard,
+                column,
+                reason,
+            } => write!(f, "shard {shard} column '{column}': {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+// ------------------------------------------------------------------
+// Footer index (JSON, checksummed).
+// ------------------------------------------------------------------
+
+#[derive(Serialize, Deserialize)]
+struct Footer {
+    version: u32,
+    meta: TraceMeta,
+    health: TraceHealth,
+    shards: Vec<ShardIndex>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct ShardIndex {
+    shard: u32,
+    ops: TableIndex,
+    targets: TableIndex,
+}
+
+#[derive(Serialize, Deserialize)]
+struct TableIndex {
+    rows: u64,
+    cols: Vec<ColIndex>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct ColIndex {
+    name: String,
+    off: u64,
+    len: u64,
+    crc: u64,
+}
+
+/// Column names + element widths of the two tables, in section order.
+const OP_COLS: &[(&str, usize)] = &[
+    ("ids", 8),
+    ("kinds", 1),
+    ("src_devices", 4),
+    ("dest_devices", 4),
+    ("src_addrs", 8),
+    ("dest_addrs", 8),
+    ("bytes", 8),
+    ("hash_values", 8),
+    ("hash_flags", 1),
+    ("starts", 8),
+    ("ends", 8),
+    ("codeptrs", 8),
+];
+const TARGET_COLS: &[(&str, usize)] = &[
+    ("ids", 8),
+    ("devices", 4),
+    ("kinds", 1),
+    ("starts", 8),
+    ("ends", 8),
+    ("codeptrs", 8),
+];
+
+// ------------------------------------------------------------------
+// Writer.
+// ------------------------------------------------------------------
+
+struct SectionWriter {
+    buf: Vec<u8>,
+}
+
+impl SectionWriter {
+    fn new() -> Self {
+        let mut buf = Vec::with_capacity(4096);
+        buf.extend_from_slice(&TRACE_MAGIC);
+        buf.extend_from_slice(&TRACE_VERSION.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes()); // reserved
+        SectionWriter { buf }
+    }
+
+    /// Append one 8-byte-aligned section and return its index entry.
+    fn section(&mut self, name: &str, bytes: &[u8]) -> ColIndex {
+        while !self.buf.len().is_multiple_of(8) {
+            self.buf.push(0);
+        }
+        let off = self.buf.len() as u64;
+        self.buf.extend_from_slice(bytes);
+        ColIndex {
+            name: name.to_string(),
+            off,
+            len: bytes.len() as u64,
+            crc: fnv1a64(bytes),
+        }
+    }
+
+    fn u64s(&mut self, name: &str, vals: impl Iterator<Item = u64>) -> ColIndex {
+        let mut bytes = Vec::new();
+        for v in vals {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.section(name, &bytes)
+    }
+
+    fn i32s(&mut self, name: &str, vals: impl Iterator<Item = i32>) -> ColIndex {
+        let mut bytes = Vec::new();
+        for v in vals {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.section(name, &bytes)
+    }
+
+    fn u8s(&mut self, name: &str, vals: impl Iterator<Item = u8>) -> ColIndex {
+        let bytes: Vec<u8> = vals.collect();
+        self.section(name, &bytes)
+    }
+}
+
+impl TraceArtifact {
+    /// Snapshot a log into its persistable form. `program` and `health`
+    /// come from the tool run (the log itself does not carry them);
+    /// everything else — shard ids, per-shard sorted columns, stats
+    /// metadata — is derived from the log so the round trip is closed.
+    pub fn from_log(log: &TraceLog, program: &str, health: TraceHealth) -> TraceArtifact {
+        let shards = log
+            .shard_parts()
+            .into_iter()
+            .map(|(shard, ops, targets)| ShardColumns {
+                shard,
+                ops,
+                targets,
+            })
+            .collect();
+        TraceArtifact {
+            meta: TraceMeta {
+                program: program.to_string(),
+                total_time_ns: log.total_time().as_nanos(),
+                peak_alloc_bytes: log.space_stats().peak_alloc_bytes as u64,
+                duplicate_ids: log.duplicate_id_count(),
+            },
+            health,
+            shards,
+        }
+    }
+
+    /// Serialize to the version-1 binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = SectionWriter::new();
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for s in &self.shards {
+            let ops = &s.ops;
+            let op_cols = vec![
+                w.u64s("ids", ops.ids.iter().map(|i| i.0)),
+                w.u8s("kinds", ops.kinds.iter().map(|&k| encode_data_op_kind(k))),
+                w.i32s("src_devices", ops.src_devices.iter().map(|d| d.raw())),
+                w.i32s("dest_devices", ops.dest_devices.iter().map(|d| d.raw())),
+                w.u64s("src_addrs", ops.src_addrs.iter().copied()),
+                w.u64s("dest_addrs", ops.dest_addrs.iter().copied()),
+                w.u64s("bytes", ops.bytes.iter().copied()),
+                w.u64s(
+                    "hash_values",
+                    ops.hashes.iter().map(|h| h.map(|v| v.0).unwrap_or(0)),
+                ),
+                w.u8s("hash_flags", ops.hashes.iter().map(|h| h.is_some() as u8)),
+                w.u64s("starts", ops.starts.iter().map(|t| t.as_nanos())),
+                w.u64s("ends", ops.ends.iter().map(|t| t.as_nanos())),
+                w.u64s("codeptrs", ops.codeptrs.iter().map(|c| c.0)),
+            ];
+            let t = &s.targets;
+            let target_cols = vec![
+                w.u64s("ids", t.ids.iter().map(|i| i.0)),
+                w.i32s("devices", t.devices.iter().map(|d| d.raw())),
+                w.u8s("kinds", t.kinds.iter().map(|&k| encode_target_kind(k))),
+                w.u64s("starts", t.starts.iter().map(|x| x.as_nanos())),
+                w.u64s("ends", t.ends.iter().map(|x| x.as_nanos())),
+                w.u64s("codeptrs", t.codeptrs.iter().map(|c| c.0)),
+            ];
+            shards.push(ShardIndex {
+                shard: s.shard,
+                ops: TableIndex {
+                    rows: ops.len() as u64,
+                    cols: op_cols,
+                },
+                targets: TableIndex {
+                    rows: t.len() as u64,
+                    cols: target_cols,
+                },
+            });
+        }
+        let footer = Footer {
+            version: TRACE_VERSION,
+            meta: self.meta.clone(),
+            health: self.health,
+            shards,
+        };
+        // Invariant, not event data: the footer is built from plain
+        // serializable types; serialization cannot fail.
+        #[allow(clippy::expect_used)]
+        let footer_bytes = serde_json::to_string(&footer)
+            .expect("footer serialization cannot fail")
+            .into_bytes();
+        let mut buf = w.buf;
+        let crc = fnv1a64(&footer_bytes);
+        buf.extend_from_slice(&footer_bytes);
+        buf.extend_from_slice(&(footer_bytes.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf.extend_from_slice(&TAIL_MAGIC);
+        buf
+    }
+
+    /// Rebuild the chronological columnar hydration — the detector
+    /// input. Per-shard columns are k-way merged by `(start, id,
+    /// shard order)`, and kernels are filtered from the target columns
+    /// record-first, exactly mirroring [`TraceLog::columnar`]: the
+    /// result is field-for-field identical to hydrating the original
+    /// log in memory.
+    pub fn columnar(&self) -> ColumnarView {
+        let op_parts: Vec<(Vec<DataOpEvent>, Vec<u32>)> = self
+            .shards
+            .iter()
+            .map(|s| {
+                let rows = s.ops.to_events();
+                let perm = sorted_perm(&rows, |e| (e.span.start, e.id));
+                (rows, perm)
+            })
+            .collect();
+        let kernel_parts: Vec<(Vec<TargetEvent>, Vec<u32>)> = self
+            .shards
+            .iter()
+            .map(|s| {
+                let rows: Vec<TargetEvent> = (0..s.targets.len())
+                    .filter(|&i| s.targets.kinds[i] == TargetKind::Kernel)
+                    .map(|i| s.targets.event(i))
+                    .collect();
+                let perm = sorted_perm(&rows, |e| (e.span.start, e.id));
+                (rows, perm)
+            })
+            .collect();
+        let mut ops = DataOpColumns::with_capacity(op_parts.iter().map(|(r, _)| r.len()).sum());
+        merge_sorted_parts(&op_parts, |e| (e.span.start, e.id), |e| ops.push(e));
+        let mut kernels =
+            TargetColumns::with_capacity(kernel_parts.iter().map(|(r, _)| r.len()).sum());
+        merge_sorted_parts(&kernel_parts, |e| (e.span.start, e.id), |e| kernels.push(e));
+        ColumnarView { ops, kernels }
+    }
+
+    /// Chronological hydration of every target construct, matching
+    /// [`TraceLog::target_events_sorted`] on the original log.
+    pub fn target_events_sorted(&self) -> Vec<TargetEvent> {
+        let parts: Vec<(Vec<TargetEvent>, Vec<u32>)> = self
+            .shards
+            .iter()
+            .map(|s| {
+                let rows = s.targets.to_events();
+                let perm = sorted_perm(&rows, |e| (e.span.start, e.id));
+                (rows, perm)
+            })
+            .collect();
+        let mut out = Vec::with_capacity(parts.iter().map(|(r, _)| r.len()).sum());
+        merge_sorted_parts(&parts, |e| (e.span.start, e.id), |e| out.push(e.clone()));
+        out
+    }
+
+    /// Number of persisted data-op events.
+    pub fn data_op_count(&self) -> usize {
+        self.shards.iter().map(|s| s.ops.len()).sum()
+    }
+
+    /// Number of persisted target events.
+    pub fn target_count(&self) -> usize {
+        self.shards.iter().map(|s| s.targets.len()).sum()
+    }
+
+    /// Recompute aggregate statistics from the persisted columns —
+    /// identical to [`TraceLog::stats`] on the original log (the sums
+    /// run over the same event values; `total_time` comes from the
+    /// persisted metadata).
+    pub fn stats(&self) -> TraceStats {
+        let mut s = TraceStats::default();
+        for shard in &self.shards {
+            let ops = &shard.ops;
+            for i in 0..ops.len() {
+                let dur = SimDuration(
+                    ops.ends[i]
+                        .as_nanos()
+                        .saturating_sub(ops.starts[i].as_nanos()),
+                );
+                match ops.kinds[i] {
+                    DataOpKind::Transfer => {
+                        s.transfers += 1;
+                        s.bytes_transferred += ops.bytes[i];
+                        s.transfer_time += dur;
+                        let (src, dest) = (ops.src_devices[i], ops.dest_devices[i]);
+                        if src.is_host() && dest.is_target() {
+                            s.h2d_transfers += 1;
+                        } else if src.is_target() && dest.is_host() {
+                            s.d2h_transfers += 1;
+                        }
+                    }
+                    DataOpKind::Alloc => {
+                        s.allocs += 1;
+                        s.bytes_allocated += ops.bytes[i];
+                        s.alloc_time += dur;
+                    }
+                    DataOpKind::Delete => {
+                        s.deletes += 1;
+                        s.alloc_time += dur;
+                    }
+                    _ => {}
+                }
+            }
+            let t = &shard.targets;
+            for i in 0..t.len() {
+                if t.kinds[i] == TargetKind::Kernel {
+                    s.kernels += 1;
+                    s.kernel_time +=
+                        SimDuration(t.ends[i].as_nanos().saturating_sub(t.starts[i].as_nanos()));
+                }
+            }
+        }
+        s.total_time = SimDuration(self.meta.total_time_ns);
+        s
+    }
+
+    /// Space accounting reconstructed from the persisted columns and
+    /// metadata, matching [`TraceLog::space_stats`].
+    pub fn space_stats(&self) -> SpaceStats {
+        let data_op_records = self.data_op_count();
+        let target_records = self.target_count();
+        SpaceStats {
+            data_op_records,
+            target_records,
+            record_bytes: data_op_records * DATA_OP_RECORD_BYTES
+                + target_records * TARGET_RECORD_BYTES,
+            peak_alloc_bytes: self.meta.peak_alloc_bytes as usize,
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// Reader.
+// ------------------------------------------------------------------
+
+struct SectionReader<'a> {
+    data: &'a [u8],
+    /// First byte past the column sections (start of the footer).
+    data_end: usize,
+}
+
+impl<'a> SectionReader<'a> {
+    /// Borrow one verified section: bounds, 8-byte alignment, exact
+    /// width, checksum.
+    fn section(&self, shard: u32, col: &ColIndex, rows: u64, width: usize) -> SectionResult<'a> {
+        let fail = |reason: &str| {
+            Err(PersistError::BadSection {
+                shard,
+                column: col.name.clone(),
+                reason: reason.to_string(),
+            })
+        };
+        let (off, len) = (col.off as usize, col.len as usize);
+        if !col.off.is_multiple_of(8) {
+            return fail("unaligned offset");
+        }
+        let Some(end) = off.checked_add(len) else {
+            return fail("offset overflow");
+        };
+        if off < HEADER_BYTES || end > self.data_end {
+            return fail("out of bounds");
+        }
+        let Some(expect) = (rows as usize).checked_mul(width) else {
+            return fail("row count overflow");
+        };
+        if len != expect {
+            return fail("length does not match row count");
+        }
+        let bytes = &self.data[off..end];
+        if fnv1a64(bytes) != col.crc {
+            return fail("checksum mismatch");
+        }
+        Ok(bytes)
+    }
+}
+
+type SectionResult<'a> = Result<&'a [u8], PersistError>;
+
+fn read_u64s(bytes: &[u8]) -> Vec<u64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| {
+            let mut a = [0u8; 8];
+            a.copy_from_slice(c);
+            u64::from_le_bytes(a)
+        })
+        .collect()
+}
+
+fn read_i32s(bytes: &[u8]) -> Vec<i32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| {
+            let mut a = [0u8; 4];
+            a.copy_from_slice(c);
+            i32::from_le_bytes(a)
+        })
+        .collect()
+}
+
+/// Locate a table's column by name and verify the footer lists exactly
+/// the expected column set.
+fn table_cols<'t>(
+    shard: u32,
+    table: &'t TableIndex,
+    spec: &[(&str, usize)],
+) -> Result<Vec<&'t ColIndex>, PersistError> {
+    let mut out = Vec::with_capacity(spec.len());
+    for &(name, _) in spec {
+        match table.cols.iter().find(|c| c.name == name) {
+            Some(c) => out.push(c),
+            None => {
+                return Err(PersistError::BadSection {
+                    shard,
+                    column: name.to_string(),
+                    reason: "column missing from footer index".to_string(),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn decode_shard(r: &SectionReader<'_>, ix: &ShardIndex) -> Result<ShardColumns, PersistError> {
+    let shard = ix.shard;
+
+    let cols = table_cols(shard, &ix.ops, OP_COLS)?;
+    let mut sections = Vec::with_capacity(cols.len());
+    for (col, &(_, width)) in cols.iter().zip(OP_COLS) {
+        sections.push(r.section(shard, col, ix.ops.rows, width)?);
+    }
+    let n = ix.ops.rows as usize;
+    let hash_values = read_u64s(sections[7]);
+    let hash_flags = sections[8];
+    let mut ops = DataOpColumns {
+        ids: read_u64s(sections[0]).into_iter().map(EventId).collect(),
+        kinds: sections[1]
+            .iter()
+            .map(|&k| decode_data_op_kind(k))
+            .collect(),
+        src_devices: read_i32s(sections[2]).into_iter().map(DeviceId).collect(),
+        dest_devices: read_i32s(sections[3]).into_iter().map(DeviceId).collect(),
+        src_addrs: read_u64s(sections[4]),
+        dest_addrs: read_u64s(sections[5]),
+        bytes: read_u64s(sections[6]),
+        hashes: (0..n)
+            .map(|i| (hash_flags[i] != 0).then(|| HashVal(hash_values[i])))
+            .collect(),
+        starts: read_u64s(sections[9]).into_iter().map(SimTime).collect(),
+        ends: read_u64s(sections[10]).into_iter().map(SimTime).collect(),
+        codeptrs: read_u64s(sections[11]).into_iter().map(CodePtr).collect(),
+    };
+
+    let cols = table_cols(shard, &ix.targets, TARGET_COLS)?;
+    let mut sections = Vec::with_capacity(cols.len());
+    for (col, &(_, width)) in cols.iter().zip(TARGET_COLS) {
+        sections.push(r.section(shard, col, ix.targets.rows, width)?);
+    }
+    let mut targets = TargetColumns {
+        ids: read_u64s(sections[0]).into_iter().map(EventId).collect(),
+        devices: read_i32s(sections[1]).into_iter().map(DeviceId).collect(),
+        kinds: sections[2].iter().map(|&k| decode_target_kind(k)).collect(),
+        starts: read_u64s(sections[3]).into_iter().map(SimTime).collect(),
+        ends: read_u64s(sections[4]).into_iter().map(SimTime).collect(),
+        codeptrs: read_u64s(sections[5]).into_iter().map(CodePtr).collect(),
+    };
+
+    // Sortedness is an invariant of everything downstream (the k-way
+    // merge, the detectors). A hostile or foreign writer may have
+    // emitted unsorted columns that still checksum — normalize with the
+    // same stable sort hydration uses instead of trusting them.
+    ensure_sorted_ops(&mut ops);
+    ensure_sorted_targets(&mut targets);
+    Ok(ShardColumns {
+        shard,
+        ops,
+        targets,
+    })
+}
+
+fn ensure_sorted_ops(cols: &mut DataOpColumns) {
+    let sorted = (1..cols.len())
+        .all(|i| (cols.starts[i - 1], cols.ids[i - 1]) <= (cols.starts[i], cols.ids[i]));
+    if sorted {
+        return;
+    }
+    let rows = cols.to_events();
+    let mut out = DataOpColumns::with_capacity(rows.len());
+    for &i in &sorted_perm(&rows, |e| (e.span.start, e.id)) {
+        out.push(&rows[i as usize]);
+    }
+    *cols = out;
+}
+
+fn ensure_sorted_targets(cols: &mut TargetColumns) {
+    let sorted = (1..cols.len())
+        .all(|i| (cols.starts[i - 1], cols.ids[i - 1]) <= (cols.starts[i], cols.ids[i]));
+    if sorted {
+        return;
+    }
+    let rows = cols.to_events();
+    let mut out = TargetColumns::with_capacity(rows.len());
+    for &i in &sorted_perm(&rows, |e| (e.span.start, e.id)) {
+        out.push(&rows[i as usize]);
+    }
+    *cols = out;
+}
+
+/// Parse the envelope (magics, version, checksummed footer) and return
+/// the footer plus a section reader over the column region.
+fn read_envelope(bytes: &[u8]) -> Result<(Footer, SectionReader<'_>), PersistError> {
+    if bytes.len() < HEADER_BYTES + TAIL_BYTES {
+        return Err(PersistError::TooShort);
+    }
+    if bytes[..8] != TRACE_MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let mut v = [0u8; 4];
+    v.copy_from_slice(&bytes[8..12]);
+    let version = u32::from_le_bytes(v);
+    if version != TRACE_VERSION {
+        return Err(PersistError::BadVersion(version));
+    }
+    let len = bytes.len();
+    if bytes[len - 8..] != TAIL_MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let mut w = [0u8; 8];
+    w.copy_from_slice(&bytes[len - TAIL_BYTES..len - 16]);
+    let footer_len = u64::from_le_bytes(w) as usize;
+    w.copy_from_slice(&bytes[len - 16..len - 8]);
+    let footer_crc = u64::from_le_bytes(w);
+    let footer_end = len - TAIL_BYTES;
+    let Some(footer_start) = footer_end.checked_sub(footer_len) else {
+        return Err(PersistError::BadFooter("length out of bounds".to_string()));
+    };
+    if footer_start < HEADER_BYTES {
+        return Err(PersistError::BadFooter("length out of bounds".to_string()));
+    }
+    let footer_bytes = &bytes[footer_start..footer_end];
+    if fnv1a64(footer_bytes) != footer_crc {
+        return Err(PersistError::BadFooter("checksum mismatch".to_string()));
+    }
+    let footer_str =
+        std::str::from_utf8(footer_bytes).map_err(|e| PersistError::BadFooter(e.to_string()))?;
+    let footer: Footer =
+        serde_json::from_str(footer_str).map_err(|e| PersistError::BadFooter(e.to_string()))?;
+    if footer.version != TRACE_VERSION {
+        return Err(PersistError::BadVersion(footer.version));
+    }
+    let reader = SectionReader {
+        data: bytes,
+        data_end: footer_start,
+    };
+    Ok((footer, reader))
+}
+
+/// Strict load: any unverifiable byte is an error. Writers use this to
+/// validate their own output; ingest paths use [`load_trace_lenient`].
+pub fn load_trace(bytes: &[u8]) -> Result<TraceArtifact, PersistError> {
+    let (footer, reader) = read_envelope(bytes)?;
+    let mut shards = Vec::with_capacity(footer.shards.len());
+    for ix in &footer.shards {
+        shards.push(decode_shard(&reader, ix)?);
+    }
+    Ok(TraceArtifact {
+        meta: footer.meta,
+        health: footer.health,
+        shards,
+    })
+}
+
+/// Lenient load: never panics, never silently drops. An unverifiable
+/// column quarantines its whole shard and adds the shard's claimed
+/// event count to [`TraceHealth::unreadable`]; an undecodable envelope
+/// yields an empty artifact with `unreadable = 1`. The returned
+/// artifact's health is the persisted health plus those drops, so
+/// `health.warning()` reports the degradation exactly like every other
+/// quarantine bucket.
+pub fn load_trace_lenient(bytes: &[u8]) -> TraceArtifact {
+    let (footer, reader) = match read_envelope(bytes) {
+        Ok(ok) => ok,
+        Err(_) => {
+            return TraceArtifact {
+                meta: TraceMeta::default(),
+                health: TraceHealth {
+                    unreadable: 1,
+                    ..TraceHealth::default()
+                },
+                shards: Vec::new(),
+            }
+        }
+    };
+    let mut health = footer.health;
+    let mut shards = Vec::with_capacity(footer.shards.len());
+    for ix in &footer.shards {
+        match decode_shard(&reader, ix) {
+            Ok(s) => shards.push(s),
+            Err(_) => health.unreadable += ix.ops.rows + ix.targets.rows,
+        }
+    }
+    TraceArtifact {
+        meta: footer.meta,
+        health,
+        shards,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odp_model::TimeSpan;
+
+    fn span(a: u64, b: u64) -> TimeSpan {
+        TimeSpan::new(SimTime(a), SimTime(b))
+    }
+
+    fn sample_merged_log() -> TraceLog {
+        let mut a = TraceLog::for_shard(0);
+        let mut b = TraceLog::for_shard(3);
+        for &t in &[40u64, 10, 25] {
+            a.record_data_op(
+                DataOpKind::Transfer,
+                DeviceId::HOST,
+                DeviceId::target(0),
+                0x1000 + t,
+                0xd000,
+                64,
+                Some(t ^ 0xabc),
+                span(t, t + 30),
+                CodePtr(0x100),
+            );
+        }
+        a.record_target(
+            TargetKind::Region,
+            DeviceId::target(0),
+            span(5, 95),
+            CodePtr(0x110),
+        );
+        a.record_target(
+            TargetKind::Kernel,
+            DeviceId::target(0),
+            span(20, 60),
+            CodePtr(0x120),
+        );
+        for &t in &[10u64, 10] {
+            b.record_data_op(
+                DataOpKind::Alloc,
+                DeviceId::HOST,
+                DeviceId::target(1),
+                0x2000,
+                0xe000,
+                32,
+                None,
+                span(t, t + 5),
+                CodePtr(0x200),
+            );
+        }
+        b.record_target(
+            TargetKind::Kernel,
+            DeviceId::target(1),
+            span(12, 18),
+            CodePtr(0x210),
+        );
+        let mut merged = TraceLog::merge_shards(vec![a, b]);
+        merged.set_total_time(SimDuration(1_000));
+        merged
+    }
+
+    fn sample_health() -> TraceHealth {
+        TraceHealth {
+            orphaned: 2,
+            truncated: 1,
+            ..TraceHealth::default()
+        }
+    }
+
+    #[test]
+    fn round_trip_is_field_for_field_identical() {
+        let log = sample_merged_log();
+        let artifact = TraceArtifact::from_log(&log, "sample", sample_health());
+        let bytes = artifact.to_bytes();
+        let loaded = load_trace(&bytes).unwrap();
+        assert_eq!(loaded, artifact);
+        assert_eq!(&loaded.columnar(), log.columnar());
+        assert_eq!(loaded.target_events_sorted(), log.target_events_sorted());
+        assert_eq!(loaded.health, sample_health());
+        assert_eq!(loaded.meta.program, "sample");
+        assert_eq!(
+            serde_json::to_string(&loaded.stats()).unwrap(),
+            serde_json::to_string(&log.stats()).unwrap()
+        );
+        assert_eq!(loaded.space_stats(), log.space_stats());
+        assert_eq!(
+            loaded.shards.iter().map(|s| s.shard).collect::<Vec<_>>(),
+            vec![0, 3]
+        );
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let log = TraceLog::new();
+        let artifact = TraceArtifact::from_log(&log, "empty", TraceHealth::default());
+        let loaded = load_trace(&artifact.to_bytes()).unwrap();
+        assert_eq!(loaded, artifact);
+        assert!(loaded.shards.is_empty());
+        assert_eq!(&loaded.columnar(), log.columnar());
+    }
+
+    #[test]
+    fn lenient_load_never_panics_on_truncation() {
+        let log = sample_merged_log();
+        let bytes = TraceArtifact::from_log(&log, "t", TraceHealth::default()).to_bytes();
+        for cut in 0..bytes.len() {
+            let art = load_trace_lenient(&bytes[..cut]);
+            assert!(
+                art.health.unreadable > 0,
+                "truncation at {cut}/{} must be accounted",
+                bytes.len()
+            );
+            assert!(art.health.warning().is_some());
+        }
+        // The untruncated file is clean.
+        assert_eq!(load_trace_lenient(&bytes).health.unreadable, 0);
+    }
+
+    #[test]
+    fn lenient_load_quarantines_bit_flips_or_preserves_data() {
+        let log = sample_merged_log();
+        let artifact = TraceArtifact::from_log(&log, "t", TraceHealth::default());
+        let bytes = artifact.to_bytes();
+        for pos in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0x40;
+            let art = load_trace_lenient(&corrupt);
+            // Either the flip hit slack (alignment padding) and the data
+            // is intact, or the loader accounted the drop — never a
+            // silent mutation, never a panic.
+            if art.health.unreadable == 0 {
+                assert_eq!(art, artifact, "silent corruption at byte {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn strict_load_rejects_what_lenient_quarantines() {
+        let log = sample_merged_log();
+        let bytes = TraceArtifact::from_log(&log, "t", TraceHealth::default()).to_bytes();
+        assert!(load_trace(&bytes).is_ok());
+        let mut corrupt = bytes.clone();
+        corrupt[HEADER_BYTES + 3] ^= 0xff; // inside shard 0's id column
+        assert!(load_trace(&corrupt).is_err());
+        assert!(load_trace(&bytes[..bytes.len() - 1]).is_err());
+        assert!(load_trace(b"not a trace").is_err());
+    }
+
+    #[test]
+    fn unsorted_columns_are_normalized_on_load() {
+        // A foreign writer emits rows in reverse order; the loader must
+        // restore the (start, id) invariant the detectors require.
+        let mut ops = DataOpColumns::default();
+        for t in (0..4u64).rev() {
+            ops.push(&DataOpEvent {
+                id: EventId(t),
+                kind: DataOpKind::Transfer,
+                src_device: DeviceId::HOST,
+                dest_device: DeviceId::target(0),
+                src_addr: t,
+                dest_addr: 0,
+                bytes: 1,
+                hash: Some(HashVal(t)),
+                span: span(t * 10, t * 10 + 5),
+                codeptr: CodePtr(0x1),
+            });
+        }
+        let artifact = TraceArtifact {
+            meta: TraceMeta::default(),
+            health: TraceHealth::default(),
+            shards: vec![ShardColumns {
+                shard: 0,
+                ops,
+                targets: TargetColumns::default(),
+            }],
+        };
+        let loaded = load_trace(&artifact.to_bytes()).unwrap();
+        let starts: Vec<u64> = loaded.shards[0].ops.starts.iter().map(|t| t.0).collect();
+        assert_eq!(starts, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn version_and_magic_are_checked() {
+        let log = TraceLog::new();
+        let mut bytes = TraceArtifact::from_log(&log, "v", TraceHealth::default()).to_bytes();
+        bytes[8] = 99; // version
+        assert_eq!(load_trace(&bytes), Err(PersistError::BadVersion(99)));
+        let art = load_trace_lenient(&bytes);
+        assert_eq!(art.health.unreadable, 1);
+        assert!(art.shards.is_empty());
+    }
+}

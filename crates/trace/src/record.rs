@@ -59,7 +59,7 @@ const KIND_DELETE: u8 = 2;
 const KIND_ASSOCIATE: u8 = 3;
 const KIND_DISASSOCIATE: u8 = 4;
 
-fn encode_data_op_kind(k: DataOpKind) -> u8 {
+pub(crate) fn encode_data_op_kind(k: DataOpKind) -> u8 {
     match k {
         DataOpKind::Alloc => KIND_ALLOC,
         DataOpKind::Transfer => KIND_TRANSFER,
@@ -69,7 +69,7 @@ fn encode_data_op_kind(k: DataOpKind) -> u8 {
     }
 }
 
-fn decode_data_op_kind(k: u8) -> DataOpKind {
+pub(crate) fn decode_data_op_kind(k: u8) -> DataOpKind {
     match k {
         KIND_ALLOC => DataOpKind::Alloc,
         KIND_TRANSFER => DataOpKind::Transfer,
@@ -143,7 +143,7 @@ const TKIND_ENTER_DATA: u8 = 3;
 const TKIND_EXIT_DATA: u8 = 4;
 const TKIND_UPDATE: u8 = 5;
 
-fn encode_target_kind(k: TargetKind) -> u8 {
+pub(crate) fn encode_target_kind(k: TargetKind) -> u8 {
     match k {
         TargetKind::Region => TKIND_REGION,
         TargetKind::Kernel => TKIND_KERNEL,
@@ -154,7 +154,7 @@ fn encode_target_kind(k: TargetKind) -> u8 {
     }
 }
 
-fn decode_target_kind(k: u8) -> TargetKind {
+pub(crate) fn decode_target_kind(k: u8) -> TargetKind {
     match k {
         TKIND_REGION => TargetKind::Region,
         TKIND_KERNEL => TargetKind::Kernel,

@@ -1,0 +1,81 @@
+//! Capture a workload run as a persistable trace artifact.
+//!
+//! The bridge between the benchmark drivers and the persistence layer:
+//! run one instrumented workload (optionally with live remediation,
+//! exactly like `ompdataperf --remediate`), compose the run's full
+//! health picture the way the CLI report does, and snapshot the trace
+//! into an [`odp_trace::TraceArtifact`] ready for
+//! `TraceArtifact::to_bytes` / fleet ingest. Shared by `odp trace save`
+//! and the golden-corpus fixtures, so both produce identical corpora
+//! for identical workloads.
+
+use crate::{ProblemSize, Variant, Workload};
+use odp_sim::{Runtime, RuntimeConfig};
+use odp_trace::TraceArtifact;
+use ompdataperf::detect::EventView;
+use ompdataperf::remedy::LiveRemediator;
+use ompdataperf::tool::{OmpDataPerfTool, ToolConfig};
+
+/// Run `w` once under the tool and snapshot the trace as a persistable
+/// artifact carrying the run's merged health (collector quarantines,
+/// streaming-engine degradation when remediating, merge-time duplicate
+/// ids) and the workload's name as the program.
+///
+/// With `remediate` the streaming engine feeds a live policy during the
+/// run — the captured trace is the *remediated* execution, which is
+/// what makes baseline-vs-remediated corpus diffs meaningful.
+pub fn capture_artifact(
+    w: &dyn Workload,
+    size: ProblemSize,
+    variant: Variant,
+    remediate: bool,
+) -> TraceArtifact {
+    let (tool, handle) = OmpDataPerfTool::new(ToolConfig {
+        stream: remediate,
+        ..Default::default()
+    });
+    let mut rt = Runtime::new(RuntimeConfig::default());
+    rt.attach_tool(Box::new(tool));
+    if remediate {
+        let (remediator, _policy) = LiveRemediator::new(handle.clone());
+        rt.attach_advisor(Box::new(remediator));
+    }
+    let _dbg = w.run(&mut rt, size, variant);
+    rt.finish();
+
+    let trace = handle.take_trace();
+    let mut health = handle.trace_health();
+    if let Some(mut engine) = handle.take_stream_engine() {
+        // Settle the engine against the merged trace (same as the CLI
+        // report path) so its degradation counters are final.
+        let view = EventView::from_log(&trace);
+        let _findings = engine.finalize(&view);
+        health.merge(&engine.health());
+    }
+    health.duplicate_ids += trace.duplicate_id_count();
+    TraceArtifact::from_log(&trace, w.name(), health)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::babelstream::BabelStream;
+    use odp_trace::persist::load_trace;
+
+    #[test]
+    fn captured_artifact_round_trips() {
+        let w = BabelStream;
+        let artifact = capture_artifact(&w, ProblemSize::Small, Variant::Original, false);
+        assert!(artifact.data_op_count() > 0);
+        assert_eq!(artifact.meta.program, w.name());
+        let loaded = load_trace(&artifact.to_bytes()).unwrap();
+        assert_eq!(loaded, artifact);
+    }
+
+    #[test]
+    fn capture_is_deterministic() {
+        let a = capture_artifact(&BabelStream, ProblemSize::Small, Variant::Original, true);
+        let b = capture_artifact(&BabelStream, ProblemSize::Small, Variant::Original, true);
+        assert_eq!(a.to_bytes(), b.to_bytes(), "simulated time is bit-stable");
+    }
+}

@@ -24,6 +24,7 @@
 pub mod adaptive;
 pub mod babelstream;
 pub mod bfs;
+pub mod capture;
 pub mod hecbench;
 pub mod hotspot;
 pub mod inject;

@@ -1,9 +1,10 @@
 #!/usr/bin/env sh
 # Perf guard for the columnar/ring hot path: re-measures the fused
-# detector sweep (Melem/s floor), the streaming and standalone-reorder
-# increments, and the per-callback cost (ns/event ceilings) with the
-# `hotpath` binary and fails if any gated number regressed more than
-# 20% against the checked-in BENCH_hotpath.json baseline.
+# detector sweep and the persistence round-trip (Melem/s floors), the
+# streaming and standalone-reorder increments, and the per-callback
+# cost (ns/event ceilings) with the `hotpath` binary and fails if any
+# gated number regressed more than 20% against the checked-in
+# BENCH_hotpath.json baseline.
 #
 # Shared-runner noise makes single bench runs flaky, so a regression
 # must reproduce on three consecutive runs before the guard fails.
