@@ -23,6 +23,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod state;
 
@@ -261,11 +263,9 @@ impl Tool for ArbalestVecTool {
                 let key = (shard, cb.dest_device, cb.src_addr);
                 match inner.mappings.get(&key).copied() {
                     Some(m) if m.mapped => {
-                        inner
-                            .mappings
-                            .get_mut(&key)
-                            .expect("checked present")
-                            .dev_init = true;
+                        if let Some(entry) = inner.mappings.get_mut(&key) {
+                            entry.dev_init = true;
+                        }
                     }
                     Some(_) => inner.emit(
                         AnomalyKind::Uaf,

@@ -35,7 +35,8 @@ fn main() {
     let mut table = Table::new(&headers_ref);
 
     for name in programs {
-        let w = odp_workloads::by_name(name).unwrap();
+        let w = odp_workloads::by_name(name)
+            .unwrap_or_else(|| panic!("unknown ablation workload '{name}'"));
         let baseline = measure_wall(REPS, || {
             let mut rt = Runtime::with_defaults();
             let t = std::time::Instant::now();

@@ -20,11 +20,19 @@ fn main() {
         "fig5_throughput",
         "table6_ompt",
     ];
-    let exe_dir = std::env::current_exe()
-        .expect("current exe path")
-        .parent()
-        .expect("bin dir")
-        .to_path_buf();
+    let exe_dir = match std::env::current_exe() {
+        Ok(exe) => match exe.parent() {
+            Some(dir) => dir.to_path_buf(),
+            None => {
+                eprintln!("cannot determine bench binary directory");
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("cannot determine current executable: {e}");
+            std::process::exit(1);
+        }
+    };
 
     for bin in bins {
         println!("\n================ {bin} ================\n");

@@ -92,7 +92,7 @@ fn main() {
                 "worst": worst,
                 "points": records,
             }))
-            .unwrap()
+            .unwrap_or_else(|e| panic!("serialize experiment json: {e}"))
         );
     }
 }

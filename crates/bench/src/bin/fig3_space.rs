@@ -71,7 +71,7 @@ fn main() {
                 "experiment": "fig3_space",
                 "points": records,
             }))
-            .unwrap()
+            .unwrap_or_else(|e| panic!("serialize experiment json: {e}"))
         );
     }
 }

@@ -101,7 +101,7 @@ fn main() {
                 "mse": mse,
                 "points": records,
             }))
-            .unwrap()
+            .unwrap_or_else(|e| panic!("serialize experiment json: {e}"))
         );
     }
 }

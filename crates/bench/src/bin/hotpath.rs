@@ -463,8 +463,10 @@ fn main() {
                 "callback_ns_per_event": 35.4,
             },
         });
-        let rendered = serde_json::to_string_pretty(&doc).expect("serialize bench doc");
-        std::fs::write(&path, rendered + "\n").expect("write bench json");
+        let rendered = serde_json::to_string_pretty(&doc)
+            .unwrap_or_else(|e| panic!("serialize bench doc: {e}"));
+        std::fs::write(&path, rendered + "\n")
+            .unwrap_or_else(|e| panic!("write bench json {path}: {e}"));
         println!("wrote {path}");
     }
 

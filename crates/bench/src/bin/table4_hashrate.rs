@@ -26,7 +26,8 @@ use std::time::Instant;
 fn collect_payloads(name: &str) -> Vec<Vec<u8>> {
     // Run with the collision-audit tool: it retains payload copies,
     // which is exactly the corpus we want to replay.
-    let w = odp_workloads::by_name(name).unwrap();
+    let w = odp_workloads::by_name(name)
+        .unwrap_or_else(|| panic!("unknown hash-rate workload '{name}'"));
     let mut rt = Runtime::with_defaults();
     let (tool, handle) = OmpDataPerfTool::new(ToolConfig {
         collision_audit: false,
@@ -111,11 +112,13 @@ fn main() {
     println!("{}", table.render());
 
     // The selection criterion of §B.1.
-    let (best_ix, best) = averages
+    let Some((best_ix, best)) = averages
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.gb_per_s().partial_cmp(&b.1.gb_per_s()).unwrap())
-        .unwrap();
+        .max_by(|a, b| a.1.gb_per_s().total_cmp(&b.1.gb_per_s()))
+    else {
+        panic!("no hash averages measured");
+    };
     println!(
         "fastest average: {} at {:.1} GB/s (paper: t1ha0_avx2 at 32 GB/s on EPYC 7543)",
         HashAlgoId::ALL[best_ix].name(),
@@ -129,7 +132,7 @@ fn main() {
                 "experiment": "table4_hashrate",
                 "points": records,
             }))
-            .unwrap()
+            .unwrap_or_else(|e| panic!("serialize experiment json: {e}"))
         );
     }
 }

@@ -1,10 +1,14 @@
-//! `odp` — corpus tooling for the persistent trace backend.
+//! `odp` — corpus tooling for the persistent trace backend, plus the
+//! static analysis front end.
 //!
 //! ```text
 //! odp trace save --out corpus.json --runs babelstream,bfs [--size s]
 //!                [--variant original] [--remediate] [--trace-dir DIR]
 //! odp trace load FILE.odpt
 //! odp trace diff BASE.json NEW.json [--json]
+//! odp static analyze <workload> [--size s|m|l] [--json]
+//! odp static crosscheck <workload> [--size s|m|l] [--json]
+//! odp static plan <workload> [--size s|m|l] [--json]
 //! ```
 //!
 //! `save` captures one instrumented run per named workload, feeds the
@@ -14,6 +18,15 @@
 //! corrupt files degrade to a health warning, never a failure. `diff`
 //! compares two corpora and exits non-zero when new findings appear:
 //! the CI regression gate.
+//!
+//! `static analyze` predicts the five inefficiency classes from the
+//! declarative mapping IR without running the program; `crosscheck`
+//! also lowers the IR onto the simulated runtime and scores the
+//! predictions against the fused dynamic engine (exits non-zero if any
+//! `Certain` prediction is refuted); `plan` emits machine-readable
+//! directive rewrites from the `Certain` predictions and validates them
+//! by applying, re-lowering and re-running (exits non-zero if the
+//! rewritten program regresses).
 
 use odp_trace::persist::load_trace_lenient;
 use odp_workloads::{by_name, ProblemSize, Variant};
@@ -21,12 +34,15 @@ use ompdataperf::fleet::{diff_corpora, Corpus, FleetIngest};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-odp — persistent trace corpus tooling
+odp — persistent trace corpus tooling & static analysis
 
 USAGE:
     odp trace save --out <corpus.json> --runs <w1,w2,...> [options]
     odp trace load <file.odpt>
     odp trace diff <base.json> <new.json> [--json]
+    odp static analyze <workload> [--size s|m|l] [--json]
+    odp static crosscheck <workload> [--size s|m|l] [--json]
+    odp static plan <workload> [--size s|m|l] [--json]
 
 SAVE OPTIONS:
     --out PATH        corpus JSON output path (required)
@@ -40,6 +56,15 @@ DIFF:
     exits 1 when the new corpus contains finding sites absent from the
     baseline (new regressions); prints new/fixed/persisting either as
     text or, with --json, as a machine-readable document.
+
+STATIC:
+    workloads: babelstream, bfs, xsbench (declarative IR descriptions).
+    analyze     print Certain / MayDependOnData predictions per site
+    crosscheck  score predictions against a lowered dynamic run; exits 1
+                if any Certain prediction is dynamically refuted
+    plan        emit directive rewrites from Certain predictions and
+                validate by re-running; exits 1 on apply failure or if
+                the rewrite does not strictly help
 ";
 
 fn main() -> ExitCode {
@@ -57,6 +82,7 @@ fn main() -> ExitCode {
         ["trace", "save", rest @ ..] => cmd_save(rest),
         ["trace", "load", rest @ ..] => cmd_load(rest),
         ["trace", "diff", rest @ ..] => cmd_diff(rest),
+        ["static", rest @ ..] => cmd_static(rest),
         other => {
             eprintln!("unknown command {:?}\n\n{USAGE}", other.join(" "));
             ExitCode::FAILURE
@@ -184,6 +210,99 @@ fn cmd_load(args: &[&str]) -> ExitCode {
         None => println!("  health: clean"),
     }
     ExitCode::SUCCESS
+}
+
+fn cmd_static(args: &[&str]) -> ExitCode {
+    let (verb, rest) = match args {
+        [verb @ ("analyze" | "crosscheck" | "plan"), rest @ ..] => (*verb, rest),
+        _ => {
+            return fail("static needs analyze|crosscheck|plan <workload> [--size s|m|l] [--json]")
+        }
+    };
+    let mut workload: Option<&str> = None;
+    let mut size = odp_static::Size::S;
+    let mut json = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match *arg {
+            "--size" => match it.next().copied().and_then(odp_static::Size::parse) {
+                Some(s) => size = s,
+                None => return fail("--size needs s|m|l"),
+            },
+            "--json" => json = true,
+            name if workload.is_none() && !name.starts_with('-') => workload = Some(name),
+            other => return fail(&format!("unknown static option {other}")),
+        }
+    }
+    let Some(name) = workload else {
+        return fail(&format!(
+            "static {verb} needs a workload: {}",
+            odp_static::NAMES.join(", ")
+        ));
+    };
+    let Some(program) = odp_static::by_name(name, size) else {
+        return fail(&format!(
+            "unknown workload '{name}' (have: {})",
+            odp_static::NAMES.join(", ")
+        ));
+    };
+
+    match verb {
+        "analyze" => {
+            let report = odp_static::analyze(&program);
+            if json {
+                println!("{}", report.to_json());
+            } else {
+                print!("{}", odp_static::analysis::render_report(&program, &report));
+            }
+            ExitCode::SUCCESS
+        }
+        "crosscheck" => {
+            let (check, _report, run) = odp_static::crosscheck(&program);
+            if json {
+                println!("{}", check.to_json());
+            } else {
+                print!("{}", check.render(&program));
+                for w in &run.warnings {
+                    println!("  runtime warning: {w}");
+                }
+            }
+            if check.summary.certain_precision_is_total() {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "refuted: {} Certain prediction(s) not dynamically confirmed",
+                    check.summary.certain_refuted
+                );
+                ExitCode::FAILURE
+            }
+        }
+        "plan" => {
+            let report = odp_static::analyze(&program);
+            let plan = odp_static::emit_plan(&program, &report);
+            match odp_static::validate_plan(&program, &plan) {
+                Ok((outcome, _rewritten)) => {
+                    if json {
+                        println!("{}", plan.to_json());
+                    } else {
+                        print!("{}", plan.render());
+                    }
+                    println!(
+                        "validated: {} dynamic finding(s) before, {} after",
+                        outcome.before_total, outcome.after_total
+                    );
+                    if outcome.non_increasing() {
+                        ExitCode::SUCCESS
+                    } else {
+                        eprintln!("rewrite regressed the program");
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => fail(&format!("plan failed to apply: {e}")),
+            }
+        }
+        _ => unreachable!(),
+    }
 }
 
 fn cmd_diff(args: &[&str]) -> ExitCode {

@@ -3,13 +3,17 @@
 /// Load a little-endian `u32` from `data` at `offset`.
 #[inline(always)]
 pub fn read32(data: &[u8], offset: usize) -> u32 {
-    u32::from_le_bytes(data[offset..offset + 4].try_into().unwrap())
+    let mut buf = [0u8; 4];
+    buf.copy_from_slice(&data[offset..offset + 4]);
+    u32::from_le_bytes(buf)
 }
 
 /// Load a little-endian `u64` from `data` at `offset`.
 #[inline(always)]
 pub fn read64(data: &[u8], offset: usize) -> u64 {
-    u64::from_le_bytes(data[offset..offset + 8].try_into().unwrap())
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(&data[offset..offset + 8]);
+    u64::from_le_bytes(buf)
 }
 
 /// Load up to 8 trailing bytes as a little-endian integer (zero padded).

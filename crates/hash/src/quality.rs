@@ -149,6 +149,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "statistical sweep is too slow under miri")]
     fn all_algorithms_avalanche_reasonably() {
         // A correct mixer flips ~50 % of output bits per input-bit flip.
         // We allow generous tolerance: this is a smoke screen for broken
@@ -164,6 +165,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "statistical sweep is too slow under miri")]
     fn strong_64bit_functions_have_tight_avalanche() {
         for algo in [
             HashAlgoId::XXH64,
@@ -181,6 +183,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "100k-key sweep is too slow under miri")]
     fn no_collisions_on_100k_random_keys() {
         // §B.1 observed 0 collisions for all evaluated functions across
         // the benchmark corpus; 100k random 64-byte keys is a comparable
@@ -196,6 +199,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "40k-key chi-square sweep is too slow under miri")]
     fn digests_spread_over_buckets() {
         for algo in HashAlgoId::ALL {
             let chi = bucket_chi_square(algo, 40_000, 256, 48, 99);

@@ -34,7 +34,7 @@ pub fn t1ha0_lanes<const LANES: usize>(data: &[u8]) -> u64 {
     let mut chunks = data.chunks_exact(block);
     for chunk in &mut chunks {
         for lane in 0..LANES {
-            let v = u64::from_le_bytes(chunk[lane * 8..lane * 8 + 8].try_into().unwrap());
+            let v = read64(chunk, lane * 8);
             lanes[lane] = mum(lanes[lane] ^ v, keys[lane]);
         }
     }
@@ -106,10 +106,10 @@ pub fn t1ha1_le(data: &[u8]) -> u64 {
 
     let mut chunks = data.chunks_exact(32);
     for c in &mut chunks {
-        let w0 = u64::from_le_bytes(c[0..8].try_into().unwrap());
-        let w1 = u64::from_le_bytes(c[8..16].try_into().unwrap());
-        let w2 = u64::from_le_bytes(c[16..24].try_into().unwrap());
-        let w3 = u64::from_le_bytes(c[24..32].try_into().unwrap());
+        let w0 = read64(c, 0);
+        let w1 = read64(c, 8);
+        let w2 = read64(c, 16);
+        let w3 = read64(c, 24);
         let d = w0.wrapping_add(w2).rotate_right(17) ^ w1;
         let e = w1.wrapping_sub(w3).rotate_right(31) ^ w0;
         a = mum(a ^ e, PRIME2).wrapping_add(w3);
@@ -138,10 +138,10 @@ pub fn t1ha2_atonce(data: &[u8]) -> u64 {
 
     let mut chunks = data.chunks_exact(32);
     for ch in &mut chunks {
-        let w0 = u64::from_le_bytes(ch[0..8].try_into().unwrap());
-        let w1 = u64::from_le_bytes(ch[8..16].try_into().unwrap());
-        let w2 = u64::from_le_bytes(ch[16..24].try_into().unwrap());
-        let w3 = u64::from_le_bytes(ch[24..32].try_into().unwrap());
+        let w0 = read64(ch, 0);
+        let w1 = read64(ch, 8);
+        let w2 = read64(ch, 16);
+        let w3 = read64(ch, 24);
         let d13 = w1.wrapping_add(c.wrapping_add(w3).rotate_right(17));
         let d02 = w0.wrapping_add(d.wrapping_add(w2).rotate_right(17));
         c ^= a.wrapping_add(w1.rotate_right(41));

@@ -62,6 +62,10 @@ mod tests {
     use super::*;
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "wall-clock measurement over 1 MB is too slow under miri"
+    )]
     fn measured_rate_is_positive() {
         let data = vec![0xABu8; 64 * 1024];
         let t = measure(HashAlgoId::T1ha0_avx2, &data, 16);

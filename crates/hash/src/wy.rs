@@ -6,7 +6,7 @@
 //! rapidhash structure (16-byte fast path, 48-byte unrolled bulk loop)
 //! without claiming digest compatibility.
 
-use crate::primitives::{mum, read64, read_tail64};
+use crate::primitives::{mum, read32, read64, read_tail64};
 
 const S0: u64 = 0x2d35_8dcc_aa6c_78a5;
 const S1: u64 = 0x8bb8_4b93_962e_acc9;
@@ -25,8 +25,8 @@ pub fn rapidhash(data: &[u8]) -> u64 {
             seed = mum(lo ^ S1, hi ^ seed);
         } else if len >= 4 {
             // First and last 4 bytes (overlapping), as wyhash's wyr4 pair.
-            let lo = u32::from_le_bytes(data[..4].try_into().unwrap()) as u64;
-            let hi = u32::from_le_bytes(data[len - 4..].try_into().unwrap()) as u64;
+            let lo = read32(data, 0) as u64;
+            let hi = read32(data, len - 4) as u64;
             seed = mum((lo << 32 | hi) ^ S1, seed ^ S2);
         } else if len > 0 {
             // Gather first, middle, last bytes the way wyhash's wyr3 does

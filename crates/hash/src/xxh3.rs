@@ -81,7 +81,7 @@ fn long_hash(data: &[u8]) -> [u64; 2] {
     let mut chunks = data.chunks_exact(64);
     for stripe in &mut chunks {
         for lane in 0..8 {
-            let v = u64::from_le_bytes(stripe[lane * 8..lane * 8 + 8].try_into().unwrap());
+            let v = read64(stripe, lane * 8);
             let k = v ^ SECRET[lane + 1];
             acc[lane ^ 1] = acc[lane ^ 1].wrapping_add(v);
             acc[lane] = acc[lane].wrapping_add((k as u32 as u64).wrapping_mul(k >> 32));

@@ -40,6 +40,8 @@
 // `allow` and per-block SAFETY proofs; everything else stays safe.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod advice;
 pub mod callback;

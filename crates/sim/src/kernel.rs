@@ -11,6 +11,23 @@
 use crate::memory::VarId;
 use odp_model::SimDuration;
 
+/// Infallible fixed-width copies for the typed accessors (`chunks_exact`
+/// guarantees the width).
+#[inline]
+pub(crate) fn le4(c: &[u8]) -> [u8; 4] {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(c);
+    b
+}
+
+/// See [`le4`].
+#[inline]
+pub(crate) fn le8(c: &[u8]) -> [u8; 8] {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(c);
+    b
+}
+
 /// Cost model for one kernel launch.
 #[derive(Clone, Copy, Debug)]
 pub struct KernelCost {
@@ -86,7 +103,7 @@ impl<'a> DeviceView<'a> {
     pub fn read_f64(&self, var: VarId) -> Vec<f64> {
         self.bytes(var)
             .chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .map(|c| f64::from_le_bytes(le8(c)))
             .collect()
     }
 
@@ -103,7 +120,7 @@ impl<'a> DeviceView<'a> {
     pub fn read_f32(&self, var: VarId) -> Vec<f32> {
         self.bytes(var)
             .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .map(|c| f32::from_le_bytes(le4(c)))
             .collect()
     }
 
@@ -120,7 +137,7 @@ impl<'a> DeviceView<'a> {
     pub fn read_u32(&self, var: VarId) -> Vec<u32> {
         self.bytes(var)
             .chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .map(|c| u32::from_le_bytes(le4(c)))
             .collect()
     }
 
@@ -136,7 +153,7 @@ impl<'a> DeviceView<'a> {
     /// Read a single little-endian `u32` scalar (index in u32 units).
     pub fn scalar_u32(&self, var: VarId, index: usize) -> u32 {
         let b = self.bytes(var);
-        u32::from_le_bytes(b[index * 4..index * 4 + 4].try_into().unwrap())
+        u32::from_le_bytes(le4(&b[index * 4..index * 4 + 4]))
     }
 
     /// Write a single `u32` scalar.

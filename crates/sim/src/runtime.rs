@@ -350,7 +350,7 @@ impl Runtime {
         self.host
             .bytes(var)
             .chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .map(|c| u32::from_le_bytes(crate::kernel::le4(c)))
             .collect()
     }
 
@@ -359,7 +359,7 @@ impl Runtime {
         self.host
             .bytes(var)
             .chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .map(|c| f64::from_le_bytes(crate::kernel::le8(c)))
             .collect()
     }
 
@@ -449,7 +449,9 @@ impl Runtime {
             self.open_regions.len(),
             "target data regions must close in LIFO order"
         );
-        let region = self.open_regions.pop().expect("open region");
+        let Some(region) = self.open_regions.pop() else {
+            unreachable!("length asserted above")
+        };
         self.emit_target(
             TargetConstructKind::TargetData,
             Endpoint::Begin,

@@ -69,7 +69,10 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("runtime thread panicked"))
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
             .collect()
     })
 }
@@ -148,7 +151,10 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("runtime thread panicked"))
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
             .collect::<Vec<_>>()
     });
     let mut remediation = RemediationStats::default();

@@ -1,0 +1,571 @@
+//! The static analyses: five exact analogues of the §5 dynamic
+//! detectors, run over the abstract event stream instead of a trace.
+//!
+//! Each analogue reproduces its dynamic counterpart's structure —
+//! grouping keys, FIFO pairing, candidate clearing — with content
+//! *tokens* standing in for payload hashes and stream position standing
+//! in for timestamps (the simulated clock strictly advances between the
+//! synchronous directives the IR models, so interval logic degenerates
+//! to position comparisons). On top of the dynamic logic, every flagged
+//! instance carries a certainty bit derived from the abstract events'
+//! taint tracking; a whole row is [`Certainty::Certain`] only when at
+//! least one of its instances provably occurs in *every* execution.
+
+use crate::exec::{abstract_run, AbsEvent, AbsOp, AbsOpKind, AbsTrace, Ep, Tok};
+use crate::ir::MappingProgram;
+use ompdataperf::fleet::FindingKind;
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// How sure the analyzer is that a predicted finding occurs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum Certainty {
+    /// Occurs in every execution of the program: safe to rewrite on.
+    Certain,
+    /// Predicted from the symbolic unrolling of data-dependent control
+    /// flow; the count (or the finding itself) may vary with input.
+    MayDependOnData,
+}
+
+/// One predicted finding row, keyed like the dynamic engine's
+/// `SiteFinding`: `(codeptr, device, kind)`.
+#[derive(Clone, Debug, Serialize)]
+pub struct StaticPrediction {
+    /// Source site (directive code pointer).
+    pub codeptr: u64,
+    /// Raw device number the waste lands on (-1 = host).
+    pub device: i32,
+    /// Inefficiency class.
+    pub kind: FindingKind,
+    /// Row certainty: `Certain` iff at least one instance is certain.
+    pub certainty: Certainty,
+    /// Predicted instances at this site (for `MayDependOnData` rows this
+    /// reflects the symbolic unrolling, not any concrete input).
+    pub count: u64,
+    /// Instances that provably occur in every execution.
+    pub certain_count: u64,
+    /// Predicted wasted bytes across all instances.
+    pub bytes: u64,
+    /// Variables involved, by name, sorted.
+    pub vars: Vec<String>,
+}
+
+/// The static analyzer's output for one program.
+#[derive(Clone, Debug, Serialize)]
+pub struct StaticReport {
+    /// Program name.
+    pub program: String,
+    /// Predictions ascending by `(codeptr, device, kind)`.
+    pub rows: Vec<StaticPrediction>,
+    /// Mirrored runtime warnings the symbolic execution hit
+    /// (release/delete/update of absent data).
+    pub warnings: u32,
+}
+
+impl StaticReport {
+    /// Rows tagged [`Certainty::Certain`].
+    pub fn certain_rows(&self) -> impl Iterator<Item = &StaticPrediction> {
+        self.rows
+            .iter()
+            .filter(|r| r.certainty == Certainty::Certain)
+    }
+
+    /// Deterministic pretty-JSON rendering (counts only, byte-stable).
+    pub fn to_json(&self) -> String {
+        // Plain serializable counts; cannot fail.
+        #[allow(clippy::expect_used)]
+        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+    }
+}
+
+/// One flagged instance, before row aggregation.
+struct Flag {
+    codeptr: u64,
+    device: i32,
+    kind: FindingKind,
+    bytes: u64,
+    certain: bool,
+    var: usize,
+}
+
+/// Run the full static analysis: symbolic execution, then the five
+/// detector analogues, aggregated into `(codeptr, device, kind)` rows.
+pub fn analyze(p: &MappingProgram) -> StaticReport {
+    let trace = abstract_run(p);
+    let mut flags = Vec::new();
+    duplicate_transfers(&trace, &mut flags);
+    round_trips(&trace, &mut flags);
+    repeated_allocs(&trace, &mut flags);
+    unused_allocs(p, &trace, &mut flags);
+    unused_transfers(p, &trace, &mut flags);
+
+    // (codeptr, device, kind) → (count, certain_count, bytes, var names).
+    type RowAgg = BTreeMap<(u64, i32, FindingKind), (u64, u64, u64, BTreeSet<String>)>;
+    let mut rows: RowAgg = BTreeMap::new();
+    for f in flags {
+        let e = rows
+            .entry((f.codeptr, f.device, f.kind))
+            .or_insert((0, 0, 0, BTreeSet::new()));
+        e.0 += 1;
+        if f.certain {
+            e.1 += 1;
+        }
+        e.2 += f.bytes;
+        e.3.insert(p.vars[f.var].name.clone());
+    }
+    StaticReport {
+        program: p.name.clone(),
+        rows: rows
+            .into_iter()
+            .map(
+                |((codeptr, device, kind), (count, certain_count, bytes, vars))| StaticPrediction {
+                    codeptr,
+                    device,
+                    kind,
+                    certainty: if certain_count > 0 {
+                        Certainty::Certain
+                    } else {
+                        Certainty::MayDependOnData
+                    },
+                    count,
+                    certain_count,
+                    bytes,
+                    vars: vars.into_iter().collect(),
+                },
+            )
+            .collect(),
+        warnings: trace.warnings,
+    }
+}
+
+fn transfers(trace: &AbsTrace) -> impl Iterator<Item = &AbsOp> {
+    trace.events.iter().filter_map(|e| match e {
+        AbsEvent::Op(op) if op.is_transfer() => Some(op),
+        _ => None,
+    })
+}
+
+/// Tokens carried only by certain transfers. A round trip may be tagged
+/// `Certain` only for such tokens: if any `May` transfer shares the
+/// token, the dynamic FIFO pairing could resolve differently across
+/// inputs.
+fn stable_tokens(trace: &AbsTrace) -> BTreeMap<Tok, bool> {
+    let mut stable: BTreeMap<Tok, bool> = BTreeMap::new();
+    for op in transfers(trace) {
+        if let Some(tok) = op.tok {
+            let e = stable.entry(tok).or_insert(true);
+            *e &= op.certain;
+        }
+    }
+    stable
+}
+
+/// Algorithm 1 analogue: group transfers by `(token, dest)`; every
+/// event after a group's first is a duplicate.
+fn duplicate_transfers(trace: &AbsTrace, flags: &mut Vec<Flag>) {
+    let mut groups: BTreeMap<(Tok, Ep), Vec<&AbsOp>> = BTreeMap::new();
+    for op in transfers(trace) {
+        if let Some(tok) = op.tok {
+            groups.entry((tok, op.dest())).or_default().push(op);
+        }
+    }
+    for ((_, dest), events) in groups {
+        if events.len() < 2 {
+            continue;
+        }
+        for (i, e) in events.iter().enumerate().skip(1) {
+            // A certain duplicate needs a certain *earlier* delivery:
+            // the necessary first transfer must exist in every run.
+            let earlier_certain = events[..i].iter().any(|p| p.certain);
+            flags.push(Flag {
+                codeptr: e.codeptr,
+                device: dest.raw(),
+                kind: FindingKind::DuplicateTransfer,
+                bytes: e.bytes,
+                certain: e.certain && earlier_certain,
+                var: e.var,
+            });
+        }
+    }
+}
+
+/// Algorithm 2 analogue: the exact two-pass reception-queue pairing,
+/// with tokens for hashes and endpoints for device ids.
+fn round_trips(trace: &AbsTrace, flags: &mut Vec<Flag>) {
+    let stable = stable_tokens(trace);
+    let mut received: BTreeMap<(Tok, Ep), VecDeque<&AbsOp>> = BTreeMap::new();
+    for op in transfers(trace) {
+        if let Some(tok) = op.tok {
+            received.entry((tok, op.dest())).or_default().push_back(op);
+        }
+    }
+    for tx in transfers(trace) {
+        let Some(tok) = tx.tok else { continue };
+        let Some(rx) = received
+            .get(&(tok, tx.src()))
+            .and_then(|q| q.front().copied())
+        else {
+            continue;
+        };
+        // The trip is attributed to the reception leg, wasting both
+        // legs' bytes on the outbound destination.
+        flags.push(Flag {
+            codeptr: rx.codeptr,
+            device: tx.dest().raw(),
+            kind: FindingKind::RoundTrip,
+            bytes: tx.bytes + rx.bytes,
+            certain: tx.certain && rx.certain && stable.get(&tok).copied().unwrap_or(false),
+            var: rx.var,
+        });
+        if let Some(q) = received.get_mut(&(tok, tx.dest())) {
+            q.pop_front();
+        }
+    }
+}
+
+/// An alloc/delete pair of the abstract stream, by event index.
+struct AbsPair<'a> {
+    alloc: &'a AbsOp,
+    alloc_pos: usize,
+    delete: Option<&'a AbsOp>,
+    delete_pos: usize,
+}
+
+impl AbsPair<'_> {
+    fn certain(&self) -> bool {
+        self.alloc.certain && self.delete.is_none_or(|d| d.certain)
+    }
+}
+
+/// Pair allocs with their deletes per `(device, var)`. In the abstract
+/// stream these strictly alternate (present-table reference counting),
+/// mirroring the dynamic pairing by `(dest_device, dest_addr)`. Leaked
+/// allocations get an open lifetime to stream end.
+fn alloc_pairs(trace: &AbsTrace) -> Vec<AbsPair<'_>> {
+    let mut open: BTreeMap<(u32, usize), usize> = BTreeMap::new();
+    let mut pairs: Vec<AbsPair<'_>> = Vec::new();
+    for (pos, e) in trace.events.iter().enumerate() {
+        let AbsEvent::Op(op) = e else { continue };
+        match op.kind {
+            AbsOpKind::Alloc => {
+                open.insert((op.device, op.var), pairs.len());
+                pairs.push(AbsPair {
+                    alloc: op,
+                    alloc_pos: pos,
+                    delete: None,
+                    delete_pos: usize::MAX,
+                });
+            }
+            AbsOpKind::Delete => {
+                if let Some(ix) = open.remove(&(op.device, op.var)) {
+                    pairs[ix].delete = Some(op);
+                    pairs[ix].delete_pos = pos;
+                }
+            }
+            _ => {}
+        }
+    }
+    pairs
+}
+
+/// Algorithm 3 analogue: alloc/delete pairs grouped by
+/// `(var, device, bytes)` (the var stands in for the host address);
+/// every pair after a group's first is a repeat.
+fn repeated_allocs(trace: &AbsTrace, flags: &mut Vec<Flag>) {
+    let pairs = alloc_pairs(trace);
+    let mut groups: BTreeMap<(usize, u32, u64), Vec<&AbsPair<'_>>> = BTreeMap::new();
+    for p in &pairs {
+        groups
+            .entry((p.alloc.var, p.alloc.device, p.alloc.bytes))
+            .or_default()
+            .push(p);
+    }
+    for (_, group) in groups {
+        if group.len() < 2 {
+            continue;
+        }
+        for (i, p) in group.iter().enumerate().skip(1) {
+            let earlier_certain = group[..i].iter().any(|q| q.certain());
+            flags.push(Flag {
+                codeptr: p.alloc.codeptr,
+                device: p.alloc.device as i32,
+                kind: FindingKind::RepeatedAlloc,
+                bytes: p.alloc.bytes,
+                certain: p.certain() && earlier_certain,
+                var: p.alloc.var,
+            });
+        }
+    }
+}
+
+/// Positions of kernel executions per device.
+fn kernel_positions(p: &MappingProgram, trace: &AbsTrace) -> Vec<Vec<usize>> {
+    let mut per_dev: Vec<Vec<usize>> = vec![Vec::new(); p.num_devices as usize];
+    for (pos, e) in trace.events.iter().enumerate() {
+        if let AbsEvent::Kernel(k) = e {
+            per_dev[k.device as usize].push(pos);
+        }
+    }
+    per_dev
+}
+
+/// Algorithm 4 analogue: an allocation is unused when no kernel on its
+/// device executes inside its lifetime (position interval).
+fn unused_allocs(p: &MappingProgram, trace: &AbsTrace, flags: &mut Vec<Flag>) {
+    let kernels = kernel_positions(p, trace);
+    for pair in alloc_pairs(trace) {
+        let dev = pair.alloc.device as usize;
+        let used = kernels[dev]
+            .iter()
+            .any(|&k| k > pair.alloc_pos && k < pair.delete_pos);
+        if !used {
+            flags.push(Flag {
+                codeptr: pair.alloc.codeptr,
+                device: pair.alloc.device as i32,
+                kind: FindingKind::UnusedAlloc,
+                bytes: pair.alloc.bytes,
+                certain: pair.certain(),
+                var: pair.alloc.var,
+            });
+        }
+    }
+}
+
+/// Algorithm 5 analogue: per device, walk device-bound transfers in
+/// order; kernels clear the candidate map; a transfer re-sending a
+/// variable with no intervening kernel proves the candidate unused, and
+/// transfers after the device's last kernel are unused outright.
+fn unused_transfers(p: &MappingProgram, trace: &AbsTrace, flags: &mut Vec<Flag>) {
+    let kernels = kernel_positions(p, trace);
+    for (dev, tgt) in kernels.iter().enumerate() {
+        let tx_events: Vec<(usize, &AbsOp)> = trace
+            .events
+            .iter()
+            .enumerate()
+            .filter_map(|(pos, e)| match e {
+                AbsEvent::Op(op) if op.kind == AbsOpKind::H2D && op.device as usize == dev => {
+                    Some((pos, op))
+                }
+                _ => None,
+            })
+            .collect();
+        let mut tgt_idx = 0usize;
+        // candidates: var → the last transfer writing it to the device.
+        let mut candidates: BTreeMap<usize, &AbsOp> = BTreeMap::new();
+        for (pos, tx) in tx_events {
+            while tgt_idx < tgt.len() && tgt[tgt_idx] < pos {
+                tgt_idx += 1;
+                candidates.clear();
+            }
+            if tgt_idx == tgt.len() {
+                flags.push(Flag {
+                    codeptr: tx.codeptr,
+                    device: dev as i32,
+                    kind: FindingKind::UnusedTransfer,
+                    bytes: tx.bytes,
+                    certain: tx.certain,
+                    var: tx.var,
+                });
+            } else {
+                if let Some(cand) = candidates.get(&tx.var) {
+                    flags.push(Flag {
+                        codeptr: cand.codeptr,
+                        device: dev as i32,
+                        kind: FindingKind::UnusedTransfer,
+                        bytes: cand.bytes,
+                        certain: cand.certain && tx.certain,
+                        var: cand.var,
+                    });
+                }
+                candidates.insert(tx.var, tx);
+            }
+        }
+    }
+}
+
+/// Render a report as aligned text with site labels.
+pub fn render_report(p: &MappingProgram, report: &StaticReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "static analysis: {}", report.program);
+    if report.rows.is_empty() {
+        let _ = writeln!(out, "  no predicted findings");
+        return out;
+    }
+    for r in &report.rows {
+        let tag = match r.certainty {
+            Certainty::Certain => "certain",
+            Certainty::MayDependOnData => "may    ",
+        };
+        let _ = writeln!(
+            out,
+            "  [{}] {} dev{:>2} @ {:<24} count {} (certain {}) bytes {}  vars: {}",
+            tag,
+            r.kind.code(),
+            r.device,
+            p.site_label(r.codeptr),
+            r.count,
+            r.certain_count,
+            r.bytes,
+            r.vars.join(", "),
+        );
+    }
+    if report.warnings > 0 {
+        let _ = writeln!(out, "  warnings: {}", report.warnings);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Init, KernelSpec, KernelWrite, MapClause, Step, TripCount, VarDecl, VarRef};
+
+    fn two_var_prog(steps: Vec<Step>) -> MappingProgram {
+        MappingProgram {
+            name: "t".into(),
+            num_devices: 1,
+            vars: vec![
+                VarDecl {
+                    name: "a".into(),
+                    bytes: 32,
+                    init: Init::f64(1.5),
+                },
+                VarDecl {
+                    name: "b".into(),
+                    bytes: 32,
+                    init: Init::f64(2.5),
+                },
+            ],
+            steps,
+            site_labels: std::collections::BTreeMap::new(),
+        }
+    }
+
+    fn kernel_reading(v: VarRef) -> KernelSpec {
+        KernelSpec {
+            name: "k".into(),
+            reads: vec![v],
+            writes: vec![],
+        }
+    }
+
+    #[test]
+    fn static_loop_realloc_is_certain_dd_and_ra() {
+        // for (3x) { target map(tofrom: a) read(a) } — re-sends identical
+        // content and re-allocates each iteration.
+        let p = two_var_prog(vec![Step::Loop {
+            trip: TripCount::Static(3),
+            body: vec![Step::Target {
+                site: 0x10,
+                device: 0,
+                maps: vec![MapClause::tofrom(VarRef(0))],
+                kernel: kernel_reading(VarRef(0)),
+            }],
+        }]);
+        let r = analyze(&p);
+        let dd = r
+            .rows
+            .iter()
+            .find(|x| x.kind == FindingKind::DuplicateTransfer && x.device == 0)
+            .expect("DD row");
+        assert_eq!(dd.certainty, Certainty::Certain);
+        assert_eq!(dd.count, 2);
+        assert_eq!(dd.certain_count, 2);
+        let ra = r
+            .rows
+            .iter()
+            .find(|x| x.kind == FindingKind::RepeatedAlloc)
+            .expect("RA row");
+        assert_eq!(ra.count, 2);
+        assert_eq!(ra.certainty, Certainty::Certain);
+        // The unmodified data also round-trips: D2H returns what H2D sent.
+        assert!(r.rows.iter().any(|x| x.kind == FindingKind::RoundTrip));
+    }
+
+    #[test]
+    fn kernel_modified_data_does_not_round_trip() {
+        let p = two_var_prog(vec![Step::Target {
+            site: 0x10,
+            device: 0,
+            maps: vec![MapClause::tofrom(VarRef(0))],
+            kernel: KernelSpec {
+                name: "k".into(),
+                reads: vec![VarRef(0)],
+                writes: vec![KernelWrite::unique(VarRef(0))],
+            },
+        }]);
+        let r = analyze(&p);
+        assert!(!r.rows.iter().any(|x| x.kind == FindingKind::RoundTrip));
+    }
+
+    #[test]
+    fn alloc_without_kernel_is_unused() {
+        let p = two_var_prog(vec![Step::DataRegion {
+            site: 0x10,
+            device: 0,
+            maps: vec![MapClause::alloc(VarRef(0))],
+            body: vec![],
+        }]);
+        let r = analyze(&p);
+        let ua = r
+            .rows
+            .iter()
+            .find(|x| x.kind == FindingKind::UnusedAlloc)
+            .expect("UA row");
+        assert_eq!(ua.certainty, Certainty::Certain);
+        assert_eq!(ua.count, 1);
+    }
+
+    #[test]
+    fn update_after_last_kernel_is_unused_transfer() {
+        let p = two_var_prog(vec![Step::DataRegion {
+            site: 0x10,
+            device: 0,
+            maps: vec![MapClause::to(VarRef(0))],
+            body: vec![
+                Step::Target {
+                    site: 0x20,
+                    device: 0,
+                    maps: vec![],
+                    kernel: kernel_reading(VarRef(0)),
+                },
+                Step::HostWrite {
+                    var: VarRef(0),
+                    content: crate::ir::WriteContent::Byte(3),
+                },
+                Step::UpdateTo {
+                    site: 0x30,
+                    device: 0,
+                    vars: vec![VarRef(0)],
+                },
+            ],
+        }]);
+        let r = analyze(&p);
+        let ut = r
+            .rows
+            .iter()
+            .find(|x| x.kind == FindingKind::UnusedTransfer)
+            .expect("UT row");
+        assert_eq!(ut.codeptr, 0x30);
+        assert_eq!(ut.certainty, Certainty::Certain);
+    }
+
+    #[test]
+    fn data_dependent_loop_rows_are_may() {
+        // bfs-shaped: transfers inside a data-dependent loop produce
+        // findings, but none may claim certainty.
+        let p = two_var_prog(vec![Step::Loop {
+            trip: TripCount::DataDependent { executed: 2 },
+            body: vec![Step::Target {
+                site: 0x10,
+                device: 0,
+                maps: vec![MapClause::tofrom(VarRef(0))],
+                kernel: kernel_reading(VarRef(0)),
+            }],
+        }]);
+        let r = analyze(&p);
+        assert!(!r.rows.is_empty());
+        assert!(r.certain_rows().next().is_none(), "{:?}", r.rows);
+    }
+}

@@ -1,0 +1,816 @@
+//! Abstract execution of a [`MappingProgram`]: the static mirror of
+//! `odp_sim::Runtime`'s present-table semantics.
+//!
+//! The executor walks the step tree exactly the way the runtime
+//! executes the lowered program — reference-counted present tables per
+//! device, enter/exit clause ordering, implicit `tofrom` maps — but
+//! with *content tokens* in place of byte buffers: a token names a
+//! provably-known byte pattern ([`Pat::Init`]) or a unique kernel
+//! result ([`Pat::Uniq`]). Token equality implies byte equality in any
+//! concrete execution, which is what keeps `Certain` predictions sound.
+//!
+//! Data-dependent loops are unrolled a fixed number of times with every
+//! emitted event tagged uncertain, then *probed*: the loop body is
+//! re-run from the pre-loop state for 1 and for 4 iterations, and any
+//! variable or present-table entry on which the three final states
+//! disagree is tainted — its post-loop value depends on the iteration
+//! count, so nothing downstream may claim certainty from it.
+
+use crate::ir::{Fires, Init, MapClause, MappingProgram, Step, TripCount, VarRef, WriteContent};
+use odp_model::MapType;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How many iterations a data-dependent loop is symbolically unrolled.
+/// Three is the smallest count that exhibits "repeats every iteration"
+/// patterns (two duplicates, not one coincidence).
+pub const DATA_DEPENDENT_UNROLL: u32 = 3;
+
+/// A content pattern: the analyzer's stand-in for a buffer image.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Pat {
+    /// A deterministic initial-image pattern (normalized).
+    Init(Init),
+    /// The result of one specific kernel (or host) write — unequal to
+    /// every other token by construction.
+    Uniq(u64),
+}
+
+/// A content token: pattern plus buffer length. Equal tokens are
+/// provably byte-identical buffers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Tok {
+    /// The byte pattern.
+    pub pat: Pat,
+    /// Buffer length in bytes.
+    pub len: u64,
+}
+
+/// One endpoint of a transfer, mirroring `odp_model::DeviceId`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Ep {
+    /// The host.
+    Host,
+    /// Target device by index.
+    Dev(u32),
+}
+
+impl Ep {
+    /// Raw device number as findings report it (-1 = host).
+    pub fn raw(self) -> i32 {
+        match self {
+            Ep::Host => -1,
+            Ep::Dev(d) => d as i32,
+        }
+    }
+}
+
+/// Kind of an abstract data operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbsOpKind {
+    /// Host-to-device transfer.
+    H2D,
+    /// Device-to-host transfer.
+    D2H,
+    /// Device allocation.
+    Alloc,
+    /// Device deallocation.
+    Delete,
+}
+
+/// An abstract data-op event.
+#[derive(Clone, Debug)]
+pub struct AbsOp {
+    /// Operation kind.
+    pub kind: AbsOpKind,
+    /// The variable moved/allocated.
+    pub var: usize,
+    /// The target device involved.
+    pub device: u32,
+    /// Attribution site.
+    pub codeptr: u64,
+    /// Payload/allocation size.
+    pub bytes: u64,
+    /// Content carried (transfers only).
+    pub tok: Option<Tok>,
+    /// True when the event provably occurs with exactly this content in
+    /// every execution of the program.
+    pub certain: bool,
+}
+
+impl AbsOp {
+    /// Transfer source endpoint.
+    pub fn src(&self) -> Ep {
+        match self.kind {
+            AbsOpKind::H2D => Ep::Host,
+            AbsOpKind::D2H => Ep::Dev(self.device),
+            AbsOpKind::Alloc | AbsOpKind::Delete => Ep::Dev(self.device),
+        }
+    }
+
+    /// Transfer destination endpoint.
+    pub fn dest(&self) -> Ep {
+        match self.kind {
+            AbsOpKind::H2D => Ep::Dev(self.device),
+            AbsOpKind::D2H => Ep::Host,
+            AbsOpKind::Alloc | AbsOpKind::Delete => Ep::Dev(self.device),
+        }
+    }
+
+    /// Is this a transfer (vs alloc/delete)?
+    pub fn is_transfer(&self) -> bool {
+        matches!(self.kind, AbsOpKind::H2D | AbsOpKind::D2H)
+    }
+}
+
+/// An abstract kernel execution.
+#[derive(Clone, Debug)]
+pub struct AbsKernel {
+    /// Executing device.
+    pub device: u32,
+    /// Attribution site.
+    pub codeptr: u64,
+    /// True when the execution occurs in every run (not inside a
+    /// data-dependent loop).
+    pub certain: bool,
+}
+
+/// One event of the abstract stream, in program (= chronological)
+/// order. The simulated clock strictly advances between directives, so
+/// for the synchronous directives the IR models, stream order *is*
+/// timestamp order — Algorithms 4/5's interval logic reduces to
+/// position comparisons.
+#[derive(Clone, Debug)]
+pub enum AbsEvent {
+    /// A data operation.
+    Op(AbsOp),
+    /// A kernel execution.
+    Kernel(AbsKernel),
+}
+
+/// The abstract event stream of one symbolic execution.
+#[derive(Clone, Debug, Default)]
+pub struct AbsTrace {
+    /// Events in program order.
+    pub events: Vec<AbsEvent>,
+    /// Mirrored runtime warnings (release/delete/update of absent
+    /// data) encountered during symbolic execution.
+    pub warnings: u32,
+}
+
+#[derive(Clone, PartialEq, Eq)]
+struct VarContent {
+    tok: Tok,
+    /// Content depends on a data-dependent iteration count.
+    tainted: bool,
+}
+
+#[derive(Clone, PartialEq, Eq)]
+struct Entry {
+    refcount: u32,
+    tok: Tok,
+    tainted: bool,
+}
+
+#[derive(Clone)]
+struct State {
+    host: Vec<VarContent>,
+    dev: Vec<BTreeMap<usize, Entry>>,
+    /// (device, var) pairs whose *residency* (presence/refcount) is
+    /// iteration-count-dependent: every occurrence decision that reads
+    /// the present table for them is uncertain. Monotone.
+    res_taint: BTreeSet<(u32, usize)>,
+    uniq: u64,
+}
+
+#[derive(Clone, Copy)]
+struct LoopFrame {
+    data_dependent: bool,
+    is_last: bool,
+}
+
+struct Exec<'p> {
+    p: &'p MappingProgram,
+    st: State,
+    events: Vec<AbsEvent>,
+    emit: bool,
+    may_depth: u32,
+    loop_stack: Vec<LoopFrame>,
+    warnings: u32,
+}
+
+/// Symbolically execute `p`, producing the abstract event stream the
+/// detector analogues run over. `p` must have passed
+/// [`MappingProgram::validate`].
+pub fn abstract_run(p: &MappingProgram) -> AbsTrace {
+    let host = p
+        .vars
+        .iter()
+        .map(|v| VarContent {
+            tok: Tok {
+                pat: Pat::Init(v.init.normalize()),
+                len: v.bytes as u64,
+            },
+            tainted: false,
+        })
+        .collect();
+    let mut e = Exec {
+        p,
+        st: State {
+            host,
+            dev: vec![BTreeMap::new(); p.num_devices as usize],
+            res_taint: BTreeSet::new(),
+            uniq: 0,
+        },
+        events: Vec::new(),
+        emit: true,
+        may_depth: 0,
+        loop_stack: Vec::new(),
+        warnings: 0,
+    };
+    e.steps(&p.steps);
+    AbsTrace {
+        events: e.events,
+        warnings: e.warnings,
+    }
+}
+
+impl<'p> Exec<'p> {
+    fn steps(&mut self, steps: &[Step]) {
+        for s in steps {
+            self.step(s);
+        }
+    }
+
+    fn step(&mut self, s: &Step) {
+        match s {
+            Step::DataRegion {
+                site,
+                device,
+                maps,
+                body,
+            } => {
+                for m in maps {
+                    self.map_enter(*device, *m, *site);
+                }
+                self.steps(body);
+                for m in maps.iter().rev() {
+                    self.map_exit(*device, *m, *site);
+                }
+            }
+            Step::EnterData { site, device, maps } => {
+                for m in maps {
+                    self.map_enter(*device, *m, *site);
+                }
+            }
+            Step::ExitData { site, device, maps } => {
+                // `target exit data` applies clauses in source order
+                // (only structured regions unwind in reverse).
+                for m in maps {
+                    self.map_exit(*device, *m, *site);
+                }
+            }
+            Step::UpdateTo { site, device, vars } => {
+                for &v in vars {
+                    if self.st.dev[*device as usize].contains_key(&v.0) {
+                        self.transfer(AbsOpKind::H2D, *device, v, *site);
+                    } else {
+                        self.warnings += 1;
+                    }
+                }
+            }
+            Step::UpdateFrom { site, device, vars } => {
+                for &v in vars {
+                    if self.st.dev[*device as usize].contains_key(&v.0) {
+                        self.transfer(AbsOpKind::D2H, *device, v, *site);
+                    } else {
+                        self.warnings += 1;
+                    }
+                }
+            }
+            Step::Target {
+                site,
+                device,
+                maps,
+                kernel,
+            } => {
+                let mut effective: Vec<MapClause> = maps.clone();
+                for v in kernel.referenced() {
+                    if !effective.iter().any(|m| m.var == v) {
+                        effective.push(MapClause::tofrom(v));
+                    }
+                }
+                for m in &effective {
+                    self.map_enter(*device, *m, *site);
+                }
+                if self.emit {
+                    self.events.push(AbsEvent::Kernel(AbsKernel {
+                        device: *device,
+                        codeptr: *site,
+                        certain: self.may_depth == 0,
+                    }));
+                }
+                let is_last = self.innermost_dd_is_last();
+                for w in &kernel.writes {
+                    if w.fires == Fires::OnAllButLastIteration && is_last {
+                        continue;
+                    }
+                    let len = self.p.vars[w.var.0].bytes as u64;
+                    let tok = self.content_tok(w.content, len);
+                    // The effective map guarantees presence; content is
+                    // now exactly the written token.
+                    if let Some(e) = self.st.dev[*device as usize].get_mut(&w.var.0) {
+                        e.tok = tok;
+                        e.tainted = false;
+                    }
+                }
+                for m in effective.iter().rev() {
+                    self.map_exit(*device, *m, *site);
+                }
+            }
+            Step::HostWrite { var, content } => {
+                let len = self.p.vars[var.0].bytes as u64;
+                let tok = self.content_tok(*content, len);
+                self.st.host[var.0] = VarContent {
+                    tok,
+                    tainted: false,
+                };
+            }
+            Step::Loop {
+                trip: TripCount::Static(n),
+                body,
+            } => {
+                for _ in 0..*n {
+                    self.loop_stack.push(LoopFrame {
+                        data_dependent: false,
+                        is_last: false,
+                    });
+                    self.steps(body);
+                    self.loop_stack.pop();
+                }
+            }
+            Step::Loop {
+                trip: TripCount::DataDependent { .. },
+                body,
+            } => {
+                self.data_dependent(body);
+            }
+        }
+    }
+
+    fn data_dependent(&mut self, body: &[Step]) {
+        let pre = self.st.clone();
+        self.may_depth += 1;
+        for i in 0..DATA_DEPENDENT_UNROLL {
+            self.loop_stack.push(LoopFrame {
+                data_dependent: true,
+                is_last: i + 1 == DATA_DEPENDENT_UNROLL,
+            });
+            self.steps(body);
+            self.loop_stack.pop();
+        }
+        self.may_depth -= 1;
+        // Probe: the same loop run for 1 and 4 iterations from the same
+        // pre-state. State the three runs agree on is iteration-count
+        // independent and keeps its certainty; the rest is tainted.
+        let one = self.probe(&pre, body, 1);
+        let four = self.probe(&pre, body, 4);
+        self.taint_divergent(&one, &four);
+    }
+
+    fn probe(&self, pre: &State, body: &[Step], iters: u32) -> State {
+        let mut sub = Exec {
+            p: self.p,
+            st: pre.clone(),
+            events: Vec::new(),
+            emit: false,
+            may_depth: self.may_depth + 1,
+            loop_stack: self.loop_stack.clone(),
+            warnings: 0,
+        };
+        for i in 0..iters {
+            sub.loop_stack.push(LoopFrame {
+                data_dependent: true,
+                is_last: i + 1 == iters,
+            });
+            sub.steps(body);
+            sub.loop_stack.pop();
+        }
+        sub.st
+    }
+
+    fn taint_divergent(&mut self, one: &State, four: &State) {
+        for v in 0..self.p.vars.len() {
+            if one.host[v] != self.st.host[v] || four.host[v] != self.st.host[v] {
+                self.st.host[v].tainted = true;
+            }
+        }
+        for d in 0..self.p.num_devices {
+            for v in 0..self.p.vars.len() {
+                let b = self.st.dev[d as usize].get(&v);
+                if one.dev[d as usize].get(&v) != b || four.dev[d as usize].get(&v) != b {
+                    self.st.res_taint.insert((d, v));
+                    if let Some(e) = self.st.dev[d as usize].get_mut(&v) {
+                        e.tainted = true;
+                    }
+                }
+            }
+        }
+        // Taints discovered by the probes themselves (nested loops)
+        // propagate too.
+        let extra: Vec<_> = one
+            .res_taint
+            .iter()
+            .chain(four.res_taint.iter())
+            .copied()
+            .collect();
+        self.st.res_taint.extend(extra);
+    }
+
+    fn innermost_dd_is_last(&self) -> bool {
+        self.loop_stack
+            .iter()
+            .rev()
+            .find(|f| f.data_dependent)
+            .map(|f| f.is_last)
+            .unwrap_or(false)
+    }
+
+    fn content_tok(&mut self, content: WriteContent, len: u64) -> Tok {
+        let pat = match content {
+            WriteContent::Unique => {
+                self.st.uniq += 1;
+                Pat::Uniq(self.st.uniq)
+            }
+            WriteContent::Byte(v) => Pat::Init(Init::Byte(v)),
+            WriteContent::U32(v) => Pat::Init(Init::U32Affine { base: v, step: 0 }.normalize()),
+        };
+        Tok { pat, len }
+    }
+
+    // -- mirrored runtime primitives --------------------------------
+
+    fn base_certain(&self, device: u32, var: VarRef) -> bool {
+        self.may_depth == 0 && !self.st.res_taint.contains(&(device, var.0))
+    }
+
+    fn transfer(&mut self, kind: AbsOpKind, device: u32, var: VarRef, codeptr: u64) {
+        let len = self.p.vars[var.0].bytes as u64;
+        match kind {
+            AbsOpKind::H2D => {
+                let host = self.st.host[var.0].clone();
+                let certain = self.base_certain(device, var) && !host.tainted;
+                if let Some(e) = self.st.dev[device as usize].get_mut(&var.0) {
+                    e.tok = host.tok;
+                    e.tainted = host.tainted;
+                }
+                self.push_op(kind, var, device, codeptr, len, Some(host.tok), certain);
+            }
+            AbsOpKind::D2H => {
+                let (tok, tainted) = match self.st.dev[device as usize].get(&var.0) {
+                    Some(e) => (e.tok, e.tainted),
+                    None => return,
+                };
+                let res = self.st.res_taint.contains(&(device, var.0));
+                let certain = self.may_depth == 0 && !res && !tainted;
+                self.st.host[var.0] = VarContent {
+                    tok,
+                    tainted: tainted || res,
+                };
+                self.push_op(kind, var, device, codeptr, len, Some(tok), certain);
+            }
+            AbsOpKind::Alloc | AbsOpKind::Delete => {
+                let certain = self.base_certain(device, var);
+                self.push_op(kind, var, device, codeptr, len, None, certain);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // one field per AbsOp column
+    fn push_op(
+        &mut self,
+        kind: AbsOpKind,
+        var: VarRef,
+        device: u32,
+        codeptr: u64,
+        bytes: u64,
+        tok: Option<Tok>,
+        certain: bool,
+    ) {
+        if self.emit {
+            self.events.push(AbsEvent::Op(AbsOp {
+                kind,
+                var: var.0,
+                device,
+                codeptr,
+                bytes,
+                tok,
+                certain,
+            }));
+        }
+    }
+
+    fn map_enter(&mut self, device: u32, m: MapClause, codeptr: u64) {
+        let var = m.var;
+        let present = self.st.dev[device as usize].contains_key(&var.0);
+        if present {
+            if let Some(e) = self.st.dev[device as usize].get_mut(&var.0) {
+                e.refcount += 1;
+            }
+            if m.always && m.map_type.copies_to_device() {
+                self.transfer(AbsOpKind::H2D, device, var, codeptr);
+            }
+        } else {
+            if !m.map_type.allocates() {
+                // release/delete of absent data on an enter path.
+                self.warnings += 1;
+                return;
+            }
+            self.transfer(AbsOpKind::Alloc, device, var, codeptr);
+            let len = self.p.vars[var.0].bytes as u64;
+            // Device allocations are zero-filled.
+            self.st.dev[device as usize].insert(
+                var.0,
+                Entry {
+                    refcount: 1,
+                    tok: Tok {
+                        pat: Pat::Init(Init::Byte(0)),
+                        len,
+                    },
+                    tainted: false,
+                },
+            );
+            if m.map_type.copies_to_device() {
+                self.transfer(AbsOpKind::H2D, device, var, codeptr);
+            }
+        }
+    }
+
+    fn map_exit(&mut self, device: u32, m: MapClause, codeptr: u64) {
+        let var = m.var;
+        if m.map_type == MapType::Delete {
+            if self.st.dev[device as usize].contains_key(&var.0) {
+                self.transfer(AbsOpKind::Delete, device, var, codeptr);
+                self.st.dev[device as usize].remove(&var.0);
+            } else {
+                self.warnings += 1;
+            }
+            return;
+        }
+        if !self.st.dev[device as usize].contains_key(&var.0) {
+            self.warnings += 1;
+            return;
+        }
+        if m.always && m.map_type.copies_from_device() {
+            self.transfer(AbsOpKind::D2H, device, var, codeptr);
+        }
+        let freed = match self.st.dev[device as usize].get_mut(&var.0) {
+            Some(e) => {
+                e.refcount -= 1;
+                e.refcount == 0
+            }
+            None => return,
+        };
+        if freed {
+            if m.map_type.copies_from_device() && !m.always {
+                self.transfer(AbsOpKind::D2H, device, var, codeptr);
+            }
+            self.transfer(AbsOpKind::Delete, device, var, codeptr);
+            self.st.dev[device as usize].remove(&var.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{KernelSpec, KernelWrite, VarDecl};
+
+    fn prog(steps: Vec<Step>) -> MappingProgram {
+        MappingProgram {
+            name: "t".into(),
+            num_devices: 1,
+            vars: vec![
+                VarDecl {
+                    name: "x".into(),
+                    bytes: 16,
+                    init: Init::Byte(1),
+                },
+                VarDecl {
+                    name: "y".into(),
+                    bytes: 16,
+                    init: Init::Byte(2),
+                },
+            ],
+            steps,
+            site_labels: BTreeMap::new(),
+        }
+    }
+
+    fn ops(t: &AbsTrace) -> Vec<&AbsOp> {
+        t.events
+            .iter()
+            .filter_map(|e| match e {
+                AbsEvent::Op(o) => Some(o),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn region_alloc_copy_unwind() {
+        let p = prog(vec![Step::DataRegion {
+            site: 1,
+            device: 0,
+            maps: vec![MapClause::tofrom(VarRef(0))],
+            body: vec![],
+        }]);
+        p.validate().expect("valid");
+        let t = abstract_run(&p);
+        let o = ops(&t);
+        let kinds: Vec<_> = o.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                AbsOpKind::Alloc,
+                AbsOpKind::H2D,
+                AbsOpKind::D2H,
+                AbsOpKind::Delete
+            ]
+        );
+        assert!(o.iter().all(|e| e.certain));
+        // Content unchanged on device: D2H carries the same token H2D sent.
+        assert_eq!(o[1].tok, o[2].tok);
+    }
+
+    #[test]
+    fn nested_region_retains_without_transfers() {
+        let p = prog(vec![Step::DataRegion {
+            site: 1,
+            device: 0,
+            maps: vec![MapClause::to(VarRef(0))],
+            body: vec![Step::DataRegion {
+                site: 2,
+                device: 0,
+                maps: vec![MapClause::tofrom(VarRef(0))],
+                body: vec![],
+            }],
+        }]);
+        let t = abstract_run(&p);
+        let o = ops(&t);
+        // Outer: alloc+H2D ... inner: nothing (retain/release) ... outer: delete.
+        assert_eq!(o.len(), 3);
+        assert_eq!(o[2].kind, AbsOpKind::Delete);
+    }
+
+    #[test]
+    fn kernel_write_changes_token() {
+        let p = prog(vec![Step::Target {
+            site: 1,
+            device: 0,
+            maps: vec![],
+            kernel: KernelSpec {
+                name: "k".into(),
+                reads: vec![VarRef(0)],
+                writes: vec![KernelWrite::unique(VarRef(0))],
+            },
+        }]);
+        let t = abstract_run(&p);
+        let o = ops(&t);
+        // implicit tofrom: alloc, H2D, (kernel), D2H, delete.
+        assert_eq!(o.len(), 4);
+        assert_ne!(o[1].tok, o[2].tok, "kernel result is a fresh token");
+        assert!(matches!(o[2].tok.unwrap().pat, Pat::Uniq(_)));
+    }
+
+    #[test]
+    fn data_dependent_loop_events_are_uncertain() {
+        let p = prog(vec![Step::Loop {
+            trip: TripCount::DataDependent { executed: 2 },
+            body: vec![Step::Target {
+                site: 1,
+                device: 0,
+                maps: vec![MapClause::tofrom(VarRef(0))],
+                kernel: KernelSpec {
+                    name: "k".into(),
+                    reads: vec![VarRef(0)],
+                    writes: vec![],
+                },
+            }],
+        }]);
+        let t = abstract_run(&p);
+        assert!(!ops(&t).is_empty());
+        assert!(ops(&t).iter().all(|e| !e.certain));
+    }
+
+    #[test]
+    fn loop_stable_state_stays_certain_after_loop() {
+        // The loop only reads x; the post-loop D2H of x is still certain.
+        let p = prog(vec![Step::DataRegion {
+            site: 1,
+            device: 0,
+            maps: vec![MapClause::tofrom(VarRef(0))],
+            body: vec![Step::Loop {
+                trip: TripCount::DataDependent { executed: 2 },
+                body: vec![Step::Target {
+                    site: 2,
+                    device: 0,
+                    maps: vec![],
+                    kernel: KernelSpec {
+                        name: "k".into(),
+                        reads: vec![VarRef(0)],
+                        writes: vec![KernelWrite::unique(VarRef(1))],
+                    },
+                }],
+            }],
+        }]);
+        let t = abstract_run(&p);
+        let o = ops(&t);
+        let d2h_x: Vec<_> = o
+            .iter()
+            .filter(|e| e.kind == AbsOpKind::D2H && e.var == 0)
+            .collect();
+        assert_eq!(d2h_x.len(), 1);
+        assert!(d2h_x[0].certain, "x untouched by the loop stays certain");
+    }
+
+    #[test]
+    fn loop_written_state_is_tainted_after_loop() {
+        // The loop kernel-writes x with unique content; the post-loop
+        // D2H of x depends on the iteration count.
+        let p = prog(vec![Step::DataRegion {
+            site: 1,
+            device: 0,
+            maps: vec![MapClause::tofrom(VarRef(0))],
+            body: vec![Step::Loop {
+                trip: TripCount::DataDependent { executed: 2 },
+                body: vec![Step::Target {
+                    site: 2,
+                    device: 0,
+                    maps: vec![],
+                    kernel: KernelSpec {
+                        name: "k".into(),
+                        reads: vec![],
+                        writes: vec![KernelWrite::unique(VarRef(0))],
+                    },
+                }],
+            }],
+        }]);
+        let t = abstract_run(&p);
+        let o = ops(&t);
+        let d2h_x: Vec<_> = o
+            .iter()
+            .filter(|e| e.kind == AbsOpKind::D2H && e.var == 0 && e.codeptr == 1)
+            .collect();
+        assert_eq!(d2h_x.len(), 1);
+        assert!(!d2h_x[0].certain, "loop-written content is tainted");
+    }
+
+    #[test]
+    fn all_but_last_write_leaves_pre_loop_content_possible() {
+        // x is written Byte(9) on all but the last iteration; with one
+        // iteration the write never fires, so post-loop content is
+        // iteration-count dependent → tainted.
+        let p = prog(vec![
+            Step::Loop {
+                trip: TripCount::DataDependent { executed: 3 },
+                body: vec![Step::Target {
+                    site: 2,
+                    device: 0,
+                    maps: vec![MapClause::tofrom(VarRef(0))],
+                    kernel: KernelSpec {
+                        name: "k".into(),
+                        reads: vec![],
+                        writes: vec![KernelWrite {
+                            var: VarRef(0),
+                            content: WriteContent::Byte(9),
+                            fires: Fires::OnAllButLastIteration,
+                        }],
+                    },
+                }],
+            },
+            Step::UpdateTo {
+                site: 3,
+                device: 0,
+                vars: vec![VarRef(0)],
+            },
+        ]);
+        let t = abstract_run(&p);
+        // The UpdateTo targets absent data (region closed) → warning,
+        // but host content must be tainted either way.
+        let o = ops(&t);
+        let last_h2d = o.iter().rfind(|e| e.kind == AbsOpKind::H2D).unwrap();
+        assert!(!last_h2d.certain);
+    }
+
+    #[test]
+    fn release_of_absent_data_warns_and_emits_nothing() {
+        let p = prog(vec![Step::ExitData {
+            site: 1,
+            device: 0,
+            maps: vec![MapClause::release(VarRef(0))],
+        }]);
+        let t = abstract_run(&p);
+        assert_eq!(t.warnings, 1);
+        assert!(ops(&t).is_empty());
+    }
+}

@@ -1,0 +1,335 @@
+//! Lowering: execute a [`MappingProgram`] on the real simulated
+//! runtime under the OMPDataPerf tool, and run the fused dynamic
+//! engine over the captured trace.
+//!
+//! This is the other half of the cross-check: the same IR description
+//! that the static analyzer reasons about symbolically is executed for
+//! real — present-table reference counting, simulated clock, content
+//! hashing — producing the dynamic `(codeptr, device, kind)` findings
+//! the static predictions are scored against.
+//!
+//! Content fidelity: deterministic initializers are materialized
+//! byte-exactly ([`crate::ir::Init::materialize`]), and
+//! [`crate::ir::WriteContent::Unique`] kernel writes fill the device
+//! buffer with splitmix64-derived blocks keyed by a global write
+//! serial, so every unique write produces an image distinct from every
+//! other buffer image in the program — mirroring the abstract
+//! executor's token inequalities in the dynamic content hashes.
+
+use crate::ir::{Fires, MapClause, MappingProgram, Step, TripCount, WriteContent};
+use odp_model::{CodePtr, MapModifier};
+use odp_sim::{Kernel, KernelCost, Map, Runtime, RuntimeConfig, VarId};
+use ompdataperf::detect::{EventView, Findings, IssueCounts};
+use ompdataperf::fleet::{site_findings, SiteFinding};
+use ompdataperf::tool::{OmpDataPerfTool, ToolConfig};
+
+/// The dynamic half of a cross-check: one lowered execution's findings.
+#[derive(Clone, Debug)]
+pub struct LoweredRun {
+    /// Findings keyed `(codeptr, device, kind)`, ascending.
+    pub sites: Vec<SiteFinding>,
+    /// Table 1-style totals.
+    pub counts: IssueCounts,
+    /// Runtime warnings the execution hit, rendered.
+    pub warnings: Vec<String>,
+    /// Data-op events the run produced (sanity statistic).
+    pub data_ops: usize,
+}
+
+impl LoweredRun {
+    /// The dynamic finding at a `(codeptr, device, kind)` key, if any.
+    pub fn at(
+        &self,
+        codeptr: u64,
+        device: i32,
+        kind: ompdataperf::fleet::FindingKind,
+    ) -> Option<&SiteFinding> {
+        self.sites
+            .iter()
+            .find(|s| s.codeptr == codeptr && s.device == device && s.kind == kind)
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A globally-distinct buffer image for unique-content write `serial`.
+fn unique_image(serial: u64, bytes: usize) -> Vec<u8> {
+    let seed = splitmix64(serial);
+    let mut out = vec![0u8; bytes];
+    for (i, chunk) in out.chunks_mut(8).enumerate() {
+        let block = splitmix64(seed ^ (i as u64)).to_le_bytes();
+        chunk.copy_from_slice(&block[..chunk.len()]);
+    }
+    out
+}
+
+struct Lowerer<'p> {
+    p: &'p MappingProgram,
+    rt: Runtime,
+    vars: Vec<VarId>,
+    /// Global unique-write serial (one sequence for the whole run, so
+    /// every unique image differs from every other).
+    uniq: u64,
+    /// Innermost data-dependent loop "is last iteration" flags.
+    dd_last: Vec<bool>,
+}
+
+impl Lowerer<'_> {
+    fn lower_maps(&self, maps: &[MapClause]) -> Vec<Map> {
+        maps.iter()
+            .map(|m| Map {
+                var: self.vars[m.var.0],
+                map_type: m.map_type,
+                modifier: if m.always {
+                    MapModifier::ALWAYS
+                } else {
+                    MapModifier::NONE
+                },
+            })
+            .collect()
+    }
+
+    fn content_image(&mut self, content: WriteContent, bytes: usize) -> Vec<u8> {
+        match content {
+            WriteContent::Unique => {
+                self.uniq += 1;
+                unique_image(self.uniq, bytes)
+            }
+            WriteContent::Byte(v) => vec![v; bytes],
+            WriteContent::U32(v) => {
+                let mut out = vec![0u8; bytes];
+                for chunk in out.chunks_exact_mut(4) {
+                    chunk.copy_from_slice(&v.to_le_bytes());
+                }
+                out
+            }
+        }
+    }
+
+    fn steps(&mut self, steps: &[Step]) {
+        for s in steps {
+            self.step(s);
+        }
+    }
+
+    fn step(&mut self, s: &Step) {
+        match s {
+            Step::DataRegion {
+                site,
+                device,
+                maps,
+                body,
+            } => {
+                let lowered = self.lower_maps(maps);
+                let handle = self.rt.target_data_begin(*device, CodePtr(*site), &lowered);
+                self.steps(body);
+                self.rt.target_data_end(handle);
+            }
+            Step::EnterData { site, device, maps } => {
+                let lowered = self.lower_maps(maps);
+                self.rt.target_enter_data(*device, CodePtr(*site), &lowered);
+            }
+            Step::ExitData { site, device, maps } => {
+                let lowered = self.lower_maps(maps);
+                self.rt.target_exit_data(*device, CodePtr(*site), &lowered);
+            }
+            Step::UpdateTo { site, device, vars } => {
+                let ids: Vec<VarId> = vars.iter().map(|v| self.vars[v.0]).collect();
+                self.rt.target_update_to(*device, CodePtr(*site), &ids);
+            }
+            Step::UpdateFrom { site, device, vars } => {
+                let ids: Vec<VarId> = vars.iter().map(|v| self.vars[v.0]).collect();
+                self.rt.target_update_from(*device, CodePtr(*site), &ids);
+            }
+            Step::Target {
+                site,
+                device,
+                maps,
+                kernel,
+            } => {
+                let lowered = self.lower_maps(maps);
+                let reads: Vec<VarId> = kernel.reads.iter().map(|v| self.vars[v.0]).collect();
+                let writes: Vec<VarId> = kernel.writes.iter().map(|w| self.vars[w.var.0]).collect();
+                let is_last = self.dd_last.last().copied().unwrap_or(false);
+                let fills: Vec<(VarId, Vec<u8>)> = kernel
+                    .writes
+                    .iter()
+                    .filter(|w| w.fires == Fires::Always || !is_last)
+                    .map(|w| {
+                        let bytes = self.p.vars[w.var.0].bytes;
+                        (self.vars[w.var.0], self.content_image(w.content, bytes))
+                    })
+                    .collect();
+                let mut body = |view: &mut odp_sim::DeviceView<'_>| {
+                    for (var, img) in &fills {
+                        let buf = view.bytes_mut(*var);
+                        let n = buf.len().min(img.len());
+                        buf[..n].copy_from_slice(&img[..n]);
+                    }
+                };
+                self.rt.target(
+                    *device,
+                    CodePtr(*site),
+                    &lowered,
+                    Kernel::new(&kernel.name, KernelCost::fixed(1000))
+                        .reads(&reads)
+                        .writes(&writes)
+                        .body(&mut body),
+                );
+            }
+            Step::HostWrite { var, content } => {
+                let bytes = self.p.vars[var.0].bytes;
+                let img = self.content_image(*content, bytes);
+                self.rt
+                    .host_bytes_mut(self.vars[var.0])
+                    .copy_from_slice(&img);
+            }
+            Step::Loop { trip, body } => {
+                let (iters, dd) = match trip {
+                    TripCount::Static(n) => (*n, false),
+                    TripCount::DataDependent { executed } => (*executed, true),
+                };
+                for i in 0..iters {
+                    if dd {
+                        self.dd_last.push(i + 1 == iters);
+                    }
+                    self.steps(body);
+                    if dd {
+                        self.dd_last.pop();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Lower `p` onto the simulated runtime, execute it under the
+/// OMPDataPerf tool, and run the fused dynamic engine over the trace.
+pub fn lower_and_run(p: &MappingProgram) -> LoweredRun {
+    let (tool, handle) = OmpDataPerfTool::new(ToolConfig::default());
+    let mut rt = Runtime::new(RuntimeConfig::default().with_devices(p.num_devices));
+    rt.attach_tool(Box::new(tool));
+
+    let vars = p
+        .vars
+        .iter()
+        .map(|v| {
+            let id = rt.host_alloc(&v.name, v.bytes);
+            rt.host_bytes_mut(id)
+                .copy_from_slice(&v.init.materialize(v.bytes));
+            id
+        })
+        .collect();
+
+    let mut lowerer = Lowerer {
+        p,
+        rt,
+        vars,
+        uniq: 0,
+        dd_last: Vec::new(),
+    };
+    lowerer.steps(&p.steps);
+    lowerer.rt.finish();
+    let warnings = lowerer
+        .rt
+        .warnings()
+        .iter()
+        .map(|w| format!("{w:?}"))
+        .collect();
+
+    let trace = handle.take_trace();
+    let view = EventView::from_log(&trace);
+    let findings = Findings::detect_fused(&view);
+    LoweredRun {
+        sites: site_findings(&findings),
+        counts: findings.counts(),
+        warnings,
+        data_ops: view.op_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Init, KernelSpec, KernelWrite, VarDecl, VarRef};
+    use ompdataperf::fleet::FindingKind;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn unique_images_are_distinct() {
+        let a = unique_image(1, 64);
+        let b = unique_image(2, 64);
+        let c = unique_image(1, 64);
+        assert_ne!(a, b);
+        assert_eq!(a, c, "same serial reproduces the same image");
+    }
+
+    #[test]
+    fn lowered_loop_produces_dynamic_dd_and_ra() {
+        // The same shape analysis.rs pins statically: 3 iterations of
+        // target map(tofrom: a) with a read-only kernel.
+        let p = MappingProgram {
+            name: "t".into(),
+            num_devices: 1,
+            vars: vec![VarDecl {
+                name: "a".into(),
+                bytes: 64,
+                init: Init::f64(1.5),
+            }],
+            steps: vec![Step::Loop {
+                trip: TripCount::Static(3),
+                body: vec![Step::Target {
+                    site: 0x10,
+                    device: 0,
+                    maps: vec![MapClause::tofrom(VarRef(0))],
+                    kernel: KernelSpec {
+                        name: "k".into(),
+                        reads: vec![VarRef(0)],
+                        writes: vec![],
+                    },
+                }],
+            }],
+            site_labels: BTreeMap::new(),
+        };
+        p.validate().expect("valid");
+        let run = lower_and_run(&p);
+        assert!(run.warnings.is_empty(), "{:?}", run.warnings);
+        let dd = run.at(0x10, 0, FindingKind::DuplicateTransfer).expect("DD");
+        assert_eq!(dd.count, 2);
+        let ra = run.at(0x10, 0, FindingKind::RepeatedAlloc).expect("RA");
+        assert_eq!(ra.count, 2);
+    }
+
+    #[test]
+    fn kernel_unique_write_defeats_round_trip() {
+        let p = MappingProgram {
+            name: "t".into(),
+            num_devices: 1,
+            vars: vec![VarDecl {
+                name: "a".into(),
+                bytes: 64,
+                init: Init::f64(1.5),
+            }],
+            steps: vec![Step::Target {
+                site: 0x10,
+                device: 0,
+                maps: vec![MapClause::tofrom(VarRef(0))],
+                kernel: KernelSpec {
+                    name: "k".into(),
+                    reads: vec![VarRef(0)],
+                    writes: vec![KernelWrite::unique(VarRef(0))],
+                },
+            }],
+            site_labels: BTreeMap::new(),
+        };
+        let run = lower_and_run(&p);
+        assert!(run.at(0x10, 0, FindingKind::RoundTrip).is_none());
+        assert_eq!(run.counts.rt, 0);
+    }
+}

@@ -1,0 +1,388 @@
+//! Declarative IR descriptions of the three reference workloads.
+//!
+//! Each constructor expresses a workload's *data-mapping skeleton* — the
+//! map clauses, region structure and loop shape of its canonical
+//! OpenMP-offload source — so one description drives the static
+//! analyzer, the dynamic lowering, and the patch-plan emitter:
+//!
+//! - [`babelstream`]: the run loop re-opens a `target data` region with
+//!   `map(to:)` on all three streams every iteration, and the dot
+//!   kernel carries a per-iteration `map(from: sum)` — the fully
+//!   `Certain`, fully remediable case (§7.5's re-mapping pattern; the
+//!   fix is SNIPPETS.md's Mem5 split: hoist the region, split the sum
+//!   map into `enter data` + deferred `exit data`).
+//! - [`bfs`]: rodinia-style level loop with a data-dependent trip count
+//!   and everything implicitly `tofrom`-mapped per kernel — the
+//!   canonical `MayDependOnData` flood, plus one `Certain` cross-variable
+//!   duplicate (mask and visited share a byte-identical initial image)
+//!   that no directive rewrite can remove.
+//! - [`xsbench`]: a lookup kernel with `map(tofrom:)` on read-only
+//!   tables — the round-trip pattern (§7.5), fixed by `tofrom` → `to`.
+
+use crate::ir::{
+    Init, KernelSpec, KernelWrite, MapClause, MappingProgram, Step, TripCount, VarDecl, VarRef,
+    WriteContent,
+};
+use std::collections::BTreeMap;
+
+/// Problem-size presets for the declarative workloads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Size {
+    /// Small: unit-test scale.
+    S,
+    /// Medium: CI smoke scale.
+    M,
+    /// Large: benchmark scale.
+    L,
+}
+
+impl Size {
+    /// Parse `s`/`m`/`l` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Size> {
+        match s.to_ascii_lowercase().as_str() {
+            "s" | "small" => Some(Size::S),
+            "m" | "medium" => Some(Size::M),
+            "l" | "large" => Some(Size::L),
+            _ => None,
+        }
+    }
+}
+
+/// Names accepted by [`by_name`].
+pub const NAMES: [&str; 3] = ["babelstream", "bfs", "xsbench"];
+
+/// Construct a declarative workload by name at a preset size.
+pub fn by_name(name: &str, size: Size) -> Option<MappingProgram> {
+    match name {
+        "babelstream" => Some(match size {
+            Size::S => babelstream(4, 32),
+            Size::M => babelstream(10, 1024),
+            Size::L => babelstream(50, 16384),
+        }),
+        "bfs" => Some(match size {
+            Size::S => bfs(16, 3),
+            Size::M => bfs(64, 5),
+            Size::L => bfs(256, 8),
+        }),
+        "xsbench" => Some(match size {
+            Size::S => xsbench(64),
+            Size::M => xsbench(2048),
+            Size::L => xsbench(32768),
+        }),
+        _ => None,
+    }
+}
+
+/// Directive sites of [`babelstream`].
+pub mod babelstream_sites {
+    /// The per-iteration `target data` region.
+    pub const REGION: u64 = 0x100;
+    /// The copy kernel.
+    pub const COPY: u64 = 0x110;
+    /// The mul kernel.
+    pub const MUL: u64 = 0x120;
+    /// The add kernel.
+    pub const ADD: u64 = 0x130;
+    /// The triad kernel.
+    pub const TRIAD: u64 = 0x140;
+    /// The dot kernel (carries `map(from: sum)`).
+    pub const DOT: u64 = 0x150;
+}
+
+/// BabelStream's mapping skeleton: `runs` iterations, each re-opening a
+/// `target data map(to: a, b, c)` region around the five kernels, with
+/// the dot kernel's reduction result mapped `from` per iteration.
+pub fn babelstream(runs: u32, elems: usize) -> MappingProgram {
+    use babelstream_sites as site;
+    let a = VarRef(0);
+    let b = VarRef(1);
+    let c = VarRef(2);
+    let sum = VarRef(3);
+    let kernel = |name: &str, reads: &[VarRef], writes: &[VarRef]| KernelSpec {
+        name: name.into(),
+        reads: reads.to_vec(),
+        writes: writes.iter().map(|&v| KernelWrite::unique(v)).collect(),
+    };
+    MappingProgram {
+        name: format!("babelstream(runs={runs}, elems={elems})"),
+        num_devices: 1,
+        vars: vec![
+            VarDecl {
+                name: "a".into(),
+                bytes: elems * 8,
+                init: Init::f64(0.1),
+            },
+            VarDecl {
+                name: "b".into(),
+                bytes: elems * 8,
+                init: Init::f64(0.2),
+            },
+            VarDecl {
+                name: "c".into(),
+                bytes: elems * 8,
+                init: Init::f64(0.0),
+            },
+            VarDecl {
+                name: "sum".into(),
+                bytes: 8,
+                init: Init::f64(0.0),
+            },
+        ],
+        steps: vec![Step::Loop {
+            trip: TripCount::Static(runs),
+            body: vec![Step::DataRegion {
+                site: site::REGION,
+                device: 0,
+                maps: vec![MapClause::to(a), MapClause::to(b), MapClause::to(c)],
+                body: vec![
+                    Step::Target {
+                        site: site::COPY,
+                        device: 0,
+                        maps: vec![],
+                        kernel: kernel("copy", &[a], &[c]),
+                    },
+                    Step::Target {
+                        site: site::MUL,
+                        device: 0,
+                        maps: vec![],
+                        kernel: kernel("mul", &[c], &[b]),
+                    },
+                    Step::Target {
+                        site: site::ADD,
+                        device: 0,
+                        maps: vec![],
+                        kernel: kernel("add", &[a, b], &[c]),
+                    },
+                    Step::Target {
+                        site: site::TRIAD,
+                        device: 0,
+                        maps: vec![],
+                        kernel: kernel("triad", &[b, c], &[a]),
+                    },
+                    Step::Target {
+                        site: site::DOT,
+                        device: 0,
+                        maps: vec![MapClause::from(sum)],
+                        kernel: kernel("dot", &[a, b], &[sum]),
+                    },
+                ],
+            }],
+        }],
+        site_labels: BTreeMap::from([
+            (site::REGION, "babelstream:run_loop_region".into()),
+            (site::COPY, "babelstream:copy".into()),
+            (site::MUL, "babelstream:mul".into()),
+            (site::ADD, "babelstream:add".into()),
+            (site::TRIAD, "babelstream:triad".into()),
+            (site::DOT, "babelstream:dot".into()),
+        ]),
+    }
+}
+
+/// Directive sites of [`bfs`].
+pub mod bfs_sites {
+    /// The initialization kernel (first delivery of mask/visited/cost).
+    pub const INIT: u64 = 0x200;
+    /// Level kernel 1 (expand frontier).
+    pub const K1: u64 = 0x210;
+    /// Level kernel 2 (commit frontier, raise `over`).
+    pub const K2: u64 = 0x220;
+}
+
+/// Rodinia-style BFS: an initialization kernel, then a data-dependent
+/// level loop whose two kernels rely entirely on implicit `tofrom`
+/// mapping. `levels` is the trip count one concrete input produces.
+pub fn bfs(nodes: u32, levels: u32) -> MappingProgram {
+    use bfs_sites as site;
+    let graph = VarRef(0);
+    let mask = VarRef(1);
+    let updating_mask = VarRef(2);
+    let visited = VarRef(3);
+    let cost = VarRef(4);
+    let over = VarRef(5);
+    let n = nodes as usize;
+    MappingProgram {
+        name: format!("bfs(nodes={nodes}, levels={levels})"),
+        num_devices: 1,
+        vars: vec![
+            VarDecl {
+                name: "graph".into(),
+                bytes: n * 4,
+                init: Init::U32Chain { limit: nodes },
+            },
+            VarDecl {
+                name: "mask".into(),
+                bytes: n,
+                init: Init::MarkFirstByte(1),
+            },
+            VarDecl {
+                name: "updating_mask".into(),
+                bytes: n,
+                init: Init::Byte(0),
+            },
+            VarDecl {
+                name: "visited".into(),
+                bytes: n,
+                init: Init::MarkFirstByte(1),
+            },
+            VarDecl {
+                name: "cost".into(),
+                bytes: n * 4,
+                init: Init::U32FirstRest {
+                    first: 0,
+                    rest: u32::MAX,
+                },
+            },
+            VarDecl {
+                name: "over".into(),
+                bytes: 4,
+                init: Init::Byte(0),
+            },
+        ],
+        steps: vec![
+            // Deliver the initial masks and costs for a device-side
+            // sanity pass. mask and visited have byte-identical images:
+            // the unremediable cross-variable duplicate.
+            Step::Target {
+                site: site::INIT,
+                device: 0,
+                maps: vec![
+                    MapClause::to(mask),
+                    MapClause::to(visited),
+                    MapClause::to(cost),
+                ],
+                kernel: KernelSpec {
+                    name: "bfs_init_check".into(),
+                    reads: vec![mask, visited, cost],
+                    writes: vec![],
+                },
+            },
+            Step::Loop {
+                trip: TripCount::DataDependent { executed: levels },
+                body: vec![
+                    Step::HostWrite {
+                        var: over,
+                        content: WriteContent::Byte(0),
+                    },
+                    Step::Target {
+                        site: site::K1,
+                        device: 0,
+                        maps: vec![],
+                        kernel: KernelSpec {
+                            name: "bfs_kernel_1".into(),
+                            reads: vec![graph, mask, cost],
+                            writes: vec![
+                                KernelWrite::unique(updating_mask),
+                                KernelWrite::unique(cost),
+                                KernelWrite::byte(mask, 0),
+                            ],
+                        },
+                    },
+                    Step::Target {
+                        site: site::K2,
+                        device: 0,
+                        maps: vec![],
+                        kernel: KernelSpec {
+                            name: "bfs_kernel_2".into(),
+                            reads: vec![updating_mask],
+                            writes: vec![
+                                KernelWrite::unique(mask),
+                                KernelWrite::unique(visited),
+                                KernelWrite {
+                                    var: over,
+                                    content: WriteContent::U32(1),
+                                    fires: crate::ir::Fires::OnAllButLastIteration,
+                                },
+                                KernelWrite::byte(updating_mask, 0),
+                            ],
+                        },
+                    },
+                ],
+            },
+        ],
+        site_labels: BTreeMap::from([
+            (site::INIT, "bfs:init_check".into()),
+            (site::K1, "bfs:kernel_1".into()),
+            (site::K2, "bfs:kernel_2".into()),
+        ]),
+    }
+}
+
+/// Directive sites of [`xsbench`].
+pub mod xsbench_sites {
+    /// The cross-section lookup kernel.
+    pub const LOOKUP: u64 = 0x300;
+}
+
+/// XSBench's lookup skeleton: one kernel with `map(tofrom:)` on its
+/// read-only energy and nuclide grids — each makes an unmodified round
+/// trip (§7.5's rsbench/xsbench pattern).
+pub fn xsbench(gridpoints: usize) -> MappingProgram {
+    use xsbench_sites as site;
+    let energy_grid = VarRef(0);
+    let nuclide_grid = VarRef(1);
+    let results = VarRef(2);
+    MappingProgram {
+        name: format!("xsbench(gridpoints={gridpoints})"),
+        num_devices: 1,
+        vars: vec![
+            VarDecl {
+                name: "energy_grid".into(),
+                bytes: gridpoints * 4,
+                init: Init::U32Affine { base: 7, step: 3 },
+            },
+            VarDecl {
+                name: "nuclide_grid".into(),
+                bytes: gridpoints * 8,
+                init: Init::f64(0.5),
+            },
+            VarDecl {
+                name: "results".into(),
+                bytes: gridpoints * 8,
+                init: Init::f64(0.0),
+            },
+        ],
+        steps: vec![Step::Target {
+            site: site::LOOKUP,
+            device: 0,
+            maps: vec![
+                MapClause::tofrom(energy_grid),
+                MapClause::tofrom(nuclide_grid),
+                MapClause::tofrom(results),
+            ],
+            kernel: KernelSpec {
+                name: "xs_lookup".into(),
+                reads: vec![energy_grid, nuclide_grid],
+                writes: vec![KernelWrite::unique(results)],
+            },
+        }],
+        site_labels: BTreeMap::from([(site::LOOKUP, "xsbench:lookup_kernel".into())]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_programs_validate_at_all_sizes() {
+        for name in NAMES {
+            for size in [Size::S, Size::M, Size::L] {
+                let p = by_name(name, size).expect("known name");
+                p.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(by_name("minifmm", Size::S).is_none());
+    }
+
+    #[test]
+    fn size_parses_aliases() {
+        assert_eq!(Size::parse("S"), Some(Size::S));
+        assert_eq!(Size::parse("medium"), Some(Size::M));
+        assert_eq!(Size::parse("x"), None);
+    }
+}

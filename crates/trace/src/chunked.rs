@@ -138,6 +138,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "10k-push loop is too slow under miri")]
     fn iter_preserves_append_order() {
         let mut v = ChunkedVec::new();
         for i in 0..10_000u64 {
@@ -174,6 +175,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "20k-push loop is too slow under miri")]
     fn get_random_access_after_growth() {
         let mut v = ChunkedVec::new();
         for i in 0..20_000u64 {

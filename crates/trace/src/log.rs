@@ -638,6 +638,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "10k-record append loop is too slow under miri")]
     fn space_stats_track_peak() {
         let mut log = TraceLog::new();
         for _ in 0..10_000 {

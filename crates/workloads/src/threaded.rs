@@ -48,7 +48,7 @@ pub fn run_threaded(
         .into_iter()
         .map(|(d, _)| d)
         .next()
-        .expect("at least one thread");
+        .unwrap_or_else(|| panic!("no worker threads ran"));
     (dbg, odp_sim::merged_stats(&stats))
 }
 
@@ -97,7 +97,7 @@ pub fn run_threaded_shared(
         .into_iter()
         .map(|(d, _)| d)
         .next()
-        .expect("at least one thread");
+        .unwrap_or_else(|| panic!("no worker threads ran"));
     SharedThreadedRun {
         dbg,
         stats: odp_sim::merged_stats(&stats),

@@ -1,0 +1,55 @@
+#!/usr/bin/env sh
+# Determinism lint: the report/export/persist layers must never iterate
+# a std HashMap/HashSet — iteration order is randomized per process
+# (SipHash keyed by RandomState), so any output derived from it is
+# nondeterministic across runs. Those layers use BTreeMap/BTreeSet or
+# insertion-ordered Vecs instead.
+#
+# The gate is intentionally blunt: it forbids *naming* std's HashMap or
+# HashSet anywhere in the gated paths, because a lookup-only map today
+# becomes an iterated map in a refactor tomorrow. Lookup-only uses that
+# genuinely need O(1) maps live outside these paths (e.g. the trace
+# interner's ptr->id table, which resolves through an insertion-ordered
+# Vec and never exposes map order). Fixed-hasher wrappers such as
+# `FnvHashMap` (deterministic order for a fixed insertion sequence) are
+# allowed and deliberately not matched.
+set -eu
+cd "$(dirname "$0")/.."
+
+# Paths whose output must be byte-deterministic: finding reports and
+# exports, fleet aggregation, trace persistence/export/stats, and the
+# whole static-analysis crate (golden fixtures are pinned byte-for-byte).
+GATED_PATHS="
+crates/core/src/report
+crates/core/src/fleet
+crates/core/src/remedy
+crates/trace/src/persist.rs
+crates/trace/src/chrome.rs
+crates/trace/src/stats.rs
+crates/trace/src/log.rs
+crates/static/src
+"
+
+fail=0
+for path in $GATED_PATHS; do
+    if [ ! -e "$path" ]; then
+        echo "determinism_lint: gated path missing: $path" >&2
+        fail=1
+        continue
+    fi
+    # Match the bare std type names only: a non-identifier character (or
+    # line start) before HashMap/HashSet, so FnvHashMap and friends pass.
+    # Also flag RandomState, the source of the per-process randomness.
+    if hits=$(grep -rnE '(^|[^A-Za-z0-9_])(HashMap|HashSet|RandomState)' "$path"); then
+        echo "determinism_lint: std hash collections in deterministic-output path:" >&2
+        echo "$hits" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "determinism_lint: FAILED — use BTreeMap/BTreeSet (or an" >&2
+    echo "insertion-ordered Vec) in report/export/persist code paths." >&2
+    exit 1
+fi
+echo "determinism_lint: OK — no std HashMap/HashSet in gated paths"
